@@ -1,0 +1,45 @@
+package w5bench
+
+import (
+	"errors"
+	"testing"
+
+	"w5/internal/declass"
+)
+
+type benchEnv map[string]string
+
+func (m benchEnv) ReadOwnerFile(p string) ([]byte, error) {
+	v, ok := m[p]
+	if !ok {
+		return nil, errors.New("not found")
+	}
+	return []byte(v), nil
+}
+
+func benchmarkDeclassifierForms(b *testing.B) {
+	env := benchEnv{"/social/friends": "alice\nbob\ncarol\ndave\neve\nfrank\ngrace"}
+	req := declass.Request{Owner: "bob", Viewer: "grace", App: "x", Data: []byte("payload")}
+
+	b.Run("native-go", func(b *testing.B) {
+		pol := declass.FriendList{}
+		for i := 0; i < b.N; i++ {
+			if !pol.Decide(req, env).Allow {
+				b.Fatal("denied")
+			}
+		}
+	})
+	b.Run("wvm-sandboxed", func(b *testing.B) {
+		prog, err := declass.CompileFriendListWVM()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pol := declass.WVMPolicy{PolicyName: "fl", Prog: prog}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !pol.Decide(req, env).Allow {
+				b.Fatal("denied")
+			}
+		}
+	})
+}

@@ -1,0 +1,289 @@
+// Package w5bench holds the testing.B benchmarks for the evaluation
+// suite — one benchmark per experiment table (DESIGN.md §3). Each
+// benchmark exercises the experiment's inner operation under b.N;
+// cmd/w5bench prints the corresponding full tables.
+//
+// Run: go test -bench=. -benchmem
+package w5bench
+
+import (
+	"fmt"
+	"testing"
+
+	"w5/internal/attack"
+	"w5/internal/baseline"
+	"w5/internal/core"
+	"w5/internal/declass"
+	"w5/internal/difc"
+	"w5/internal/experiments"
+	"w5/internal/htmlsafe"
+	"w5/internal/rank"
+	"w5/internal/registry"
+	"w5/internal/table"
+	"w5/internal/workload"
+	"w5/internal/wvm"
+)
+
+// BenchmarkE1_AdoptionCost measures one "check the box" app adoption on
+// W5 versus one full silo re-signup (signup + re-upload) on the
+// baseline.
+func BenchmarkE1_AdoptionCost(b *testing.B) {
+	items := workload.Items("bob", 10, 64, 4096, 1)
+
+	b.Run("w5-enable", func(b *testing.B) {
+		p := core.NewProvider(core.Config{Name: "e1", Enforce: true})
+		p.CreateUser("bob", "pw")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.EnableApp("bob", fmt.Sprintf("app%d", i))
+		}
+	})
+	b.Run("baseline-resignup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			site := baseline.NewSite("site")
+			site.Signup("bob", "pw")
+			for _, it := range items {
+				site.Upload("bob", it.Name, it.Data, baseline.Private)
+			}
+		}
+	})
+}
+
+// BenchmarkE2_SecurityMatrix runs the full adversary suite against the
+// W5 surface (the complete provision + attack + scoring cycle).
+func BenchmarkE2_SecurityMatrix(b *testing.B) {
+	suite := attack.Suite()
+	for i := 0; i < b.N; i++ {
+		for _, atk := range suite {
+			s, err := attack.NewW5Surface()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out := atk.Run(s); !out.Blocked() {
+				b.Fatalf("%s not blocked", atk.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkE3_LabelOps measures the DIFC primitives at realistic label
+// sizes (2 tags: owner secrecy + write tag).
+func BenchmarkE3_LabelOps(b *testing.B) {
+	a := difc.NewLabel(1, 2)
+	c := difc.NewLabel(2, 3)
+	caps := difc.CapsFor(1)
+	b.Run("union", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = a.Union(c)
+		}
+	})
+	b.Run("subset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = a.SubsetOf(c)
+		}
+	})
+	b.Run("flow-check", func(b *testing.B) {
+		sp := difc.LabelPair{Secrecy: a}
+		rp := difc.LabelPair{Secrecy: c}
+		for i := 0; i < b.N; i++ {
+			_ = difc.SafeFlow(sp, caps, rp, difc.EmptyCaps)
+		}
+	})
+	b.Run("export-check", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = difc.CanExport(a, caps)
+		}
+	})
+}
+
+// e3App is the canonical request: read a private file, return it.
+type e3App struct{}
+
+func (e3App) Name() string { return "e3app" }
+func (e3App) Handle(env *core.AppEnv, req core.AppRequest) (core.AppResponse, error) {
+	data, err := env.ReadFile("/home/" + req.Owner + "/private/doc")
+	if err != nil {
+		return core.AppResponse{Status: 404}, nil
+	}
+	return core.AppResponse{Body: data}, nil
+}
+
+func requestPathProvider(b *testing.B, enforce bool) *core.Provider {
+	b.Helper()
+	// Quotas off: these benches measure IFC cost, and the default
+	// 8 MiB network budget would (correctly!) cut the app off after
+	// ~8k exported responses.
+	p := core.NewProvider(core.Config{Name: "bench", Enforce: enforce, DisableQuotas: true})
+	p.InstallApp(e3App{})
+	if _, err := p.CreateUser("bob", "pw"); err != nil {
+		b.Fatal(err)
+	}
+	u, _ := p.GetUser("bob")
+	label := difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}
+	if err := p.FS.Write(p.UserCred("bob"), "/home/bob/private/doc", make([]byte, 1024), label); err != nil {
+		b.Fatal(err)
+	}
+	p.EnableApp("bob", "e3app")
+	return p
+}
+
+// BenchmarkE3_RequestPath measures the end-to-end invoke/export path
+// with enforcement on and off — the monitor's whole price.
+func BenchmarkE3_RequestPath(b *testing.B) {
+	for _, enforce := range []bool{true, false} {
+		name := "enforcing"
+		if !enforce {
+			name = "no-checks"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := requestPathProvider(b, enforce)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inv, err := p.Invoke("e3app", core.AppRequest{Viewer: "bob", Owner: "bob"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.ExportCheck(inv, "bob"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4_TCBSize measures a full declassifier DECISION — the
+// runtime cost of the small trusted module E4 sizes statically.
+func BenchmarkE4_TCBSize(b *testing.B) {
+	prog, err := declass.CompileFriendListWVM()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := declass.WVMPolicy{PolicyName: "friendlist", Prog: prog}
+	env := staticEnv{"/social/friends": "alice\nbob\ncarol\ndave\neve"}
+	req := declass.Request{Owner: "bob", Viewer: "dave", App: "x", Data: []byte("payload")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !pol.Decide(req, env).Allow {
+			b.Fatal("friend denied")
+		}
+	}
+}
+
+type staticEnv map[string]string
+
+func (m staticEnv) ReadOwnerFile(p string) ([]byte, error) {
+	v, ok := m[p]
+	if !ok {
+		return nil, fmt.Errorf("not found")
+	}
+	return []byte(v), nil
+}
+
+// BenchmarkE5_CodeRank measures a full CodeRank computation over a
+// 1000-module planted graph.
+func BenchmarkE5_CodeRank(b *testing.B) {
+	const n, k = 1000, 100
+	pairs := workload.PlantedGraph(n, k, 3, 99)
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("mod%05d", i)
+	}
+	edges := make([]registry.Edge, len(pairs))
+	for i, e := range pairs {
+		edges[i] = registry.Edge{From: nodes[e[0]], To: nodes[e[1]], Kind: "import"}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := rank.Compute(nodes, edges, rank.Options{})
+		if !res.Converged {
+			b.Fatal("did not converge")
+		}
+	}
+}
+
+// BenchmarkE6_FederationSync measures one incremental federation pull
+// (steady state: one changed file per sync).
+func BenchmarkE6_FederationSync(b *testing.B) {
+	// Full experiment (HTTP servers) is in experiments.E6Federation;
+	// here we isolate the steady-state cycle via the harness.
+	b.Run("sync-cycle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t := experiments.E6Federation(10)
+			if len(t.Rows) != 3 {
+				b.Fatal("bad table")
+			}
+		}
+	})
+}
+
+// BenchmarkE7_CovertChannel measures the probe cycle on both stores.
+func BenchmarkE7_CovertChannel(b *testing.B) {
+	for _, naive := range []bool{true, false} {
+		name := "labeled"
+		if naive {
+			name = "naive"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := table.New(table.Options{Naive: naive})
+				s.Create(table.Schema{Name: "rv", Columns: []string{"k"}, Unique: "k"})
+				victim := table.Cred{Caps: difc.CapsFor(1), Principal: "victim"}
+				s.Insert(victim, "rv", map[string]string{"k": "x"},
+					difc.LabelPair{Secrecy: difc.NewLabel(1)})
+				s.Insert(table.Cred{Principal: "attacker"}, "rv",
+					map[string]string{"k": "x"}, difc.LabelPair{})
+			}
+		})
+	}
+}
+
+// BenchmarkE8_ResourceIsolation measures the gas-metered execution rate
+// of confined bytecode — the mechanism that contains CPU rogues.
+func BenchmarkE8_ResourceIsolation(b *testing.B) {
+	prog, err := wvm.Assemble("loop: jmp loop", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("metered-instructions", func(b *testing.B) {
+		vm := wvm.New(prog, wvm.Config{Gas: uint64(b.N)})
+		b.ResetTimer()
+		vm.Run()
+		if vm.Steps() < uint64(b.N) {
+			b.Fatalf("ran %d steps, want >= %d", vm.Steps(), b.N)
+		}
+	})
+}
+
+// BenchmarkE9_GatewayThroughput measures the provider-side request path
+// that the HTTP gateway drives per request (invoke + export + filter).
+func BenchmarkE9_GatewayThroughput(b *testing.B) {
+	p := requestPathProvider(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inv, err := p.Invoke("e3app", core.AppRequest{Viewer: "bob", Owner: "bob"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		body, err := p.ExportCheck(inv, "bob")
+		if err != nil {
+			b.Fatal(err)
+		}
+		htmlsafe.Sanitize(string(body), htmlsafe.Policy{})
+	}
+}
+
+// BenchmarkE10_JSFilter measures sanitizer throughput on a 64 KiB page.
+func BenchmarkE10_JSFilter(b *testing.B) {
+	page := workload.HTMLPage(64<<10, 20, 20, 1)
+	b.SetBytes(int64(len(page)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, rep := htmlsafe.Sanitize(page, htmlsafe.Policy{})
+		if rep.ScriptsRemoved == 0 {
+			b.Fatal("filter did nothing")
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Command w5asm assembles W5 Assembly source into a module blob, or
+// disassembles a blob back into auditable source.
+//
+// Usage:
+//
+//	w5asm build  prog.w5asm prog.w5vm    # assemble (app syscall ABI)
+//	w5asm audit  prog.w5vm               # print listing + module hash
+//
+// The "audit" output is what a user reads before pinning the hash —
+// reassembling the listing reproduces the module bit-for-bit.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"w5/internal/core"
+	"w5/internal/declass"
+	"w5/internal/wvm"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "build":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		src, err := os.ReadFile(os.Args[2])
+		check(err)
+		// Accept both the app ABI and the declassifier ABI names.
+		names := map[string]uint16{}
+		for k, v := range core.AppSyscallNames {
+			names[k] = v
+		}
+		for k, v := range declass.WVMSyscallNames {
+			names["declass_"+k] = v
+		}
+		prog, err := wvm.Assemble(string(src), names)
+		check(err)
+		check(os.WriteFile(os.Args[3], prog.Marshal(), 0o644))
+		fmt.Printf("wrote %s (%d bytes)\nhash %s\n", os.Args[3], len(prog.Marshal()), prog.Hash())
+	case "audit":
+		blob, err := os.ReadFile(os.Args[2])
+		check(err)
+		prog, err := wvm.Unmarshal(blob)
+		check(err)
+		fmt.Printf("; module hash %s\n%s", prog.Hash(), wvm.Disassemble(prog))
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: w5asm build <src> <out> | w5asm audit <module>")
+	os.Exit(2)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "w5asm:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,34 @@
+// Command w5bench runs the full W5 evaluation suite and prints every
+// experiment table (E1–E10). See DESIGN.md §3 for the experiment index
+// and EXPERIMENTS.md for recorded results.
+//
+// Usage:
+//
+//	w5bench            # run everything
+//	w5bench E2 E7      # run selected experiments
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"w5/internal/experiments"
+)
+
+func main() {
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[strings.ToUpper(a)] = true
+	}
+	fmt.Println("W5 evaluation suite — World Wide Web Without Walls (HotNets 2007)")
+	fmt.Println(strings.Repeat("=", 70))
+	for _, t := range experiments.All() {
+		base := strings.TrimRight(t.ID, "ab")
+		if len(want) > 0 && !want[t.ID] && !want[base] {
+			continue
+		}
+		fmt.Println()
+		fmt.Println(t.Render())
+	}
+}

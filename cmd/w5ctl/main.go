@@ -1,0 +1,178 @@
+// Command w5ctl is a small CLI client for a running w5d provider. It
+// keeps a session cookie in $HOME/.w5ctl-cookie so successive commands
+// stay authenticated.
+//
+// Usage:
+//
+//	w5ctl -server http://localhost:8055 signup bob hunter2
+//	w5ctl login bob hunter2
+//	w5ctl enable social
+//	w5ctl grant-write social
+//	w5ctl declass friend-list
+//	w5ctl app social /profile owner=bob
+//	w5ctl post social /profile owner=bob body='hello world'
+//	w5ctl search photo
+//	w5ctl whoami
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"w5/internal/gateway"
+)
+
+var server string
+
+func main() {
+	args := os.Args[1:]
+	server = "http://localhost:8055"
+	if len(args) >= 2 && args[0] == "-server" {
+		server = args[1]
+		args = args[2:]
+	}
+	if len(args) == 0 {
+		usage()
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "signup", "login":
+		need(rest, 2)
+		resp := post("/"+cmd, url.Values{"user": {rest[0]}, "password": {rest[1]}}, true)
+		fmt.Print(resp)
+	case "logout":
+		fmt.Print(post("/logout", nil, false))
+		os.Remove(cookiePath())
+	case "whoami":
+		fmt.Print(get("/whoami"))
+	case "enable":
+		need(rest, 1)
+		fmt.Print(post("/grants/enable", url.Values{"app": {rest[0]}}, false))
+	case "grant-write":
+		need(rest, 1)
+		fmt.Print(post("/grants/write", url.Values{"app": {rest[0]}}, false))
+	case "declass":
+		need(rest, 1)
+		v := url.Values{"policy": {rest[0]}}
+		for _, kv := range rest[1:] {
+			k, val, _ := strings.Cut(kv, "=")
+			v.Set(k, val)
+		}
+		fmt.Print(post("/grants/declass", v, false))
+	case "app", "post":
+		need(rest, 2)
+		appName, path := rest[0], rest[1]
+		v := url.Values{}
+		for _, kv := range rest[2:] {
+			k, val, _ := strings.Cut(kv, "=")
+			v.Set(k, val)
+		}
+		target := "/app/" + appName + path
+		if cmd == "app" {
+			if enc := v.Encode(); enc != "" {
+				target += "?" + enc
+			}
+			fmt.Print(get(target))
+		} else {
+			fmt.Print(post(target, v, false))
+		}
+	case "search":
+		q := ""
+		if len(rest) > 0 {
+			q = rest[0]
+		}
+		fmt.Print(get("/registry/search?q=" + url.QueryEscape(q)))
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: w5ctl [-server URL] <command>
+commands:
+  signup <user> <pass>         create an account (logs in)
+  login <user> <pass>          log in
+  logout | whoami
+  enable <app>                 adopt an app ("check the box")
+  grant-write <app>            let an app write your data
+  declass <policy> [k=v...]    authorize a declassifier
+                               (owner-only|public|friend-list|group|chameleon-friends)
+  app  <app> <path> [k=v...]   GET an app route
+  post <app> <path> [k=v...]   POST to an app route
+  search [query]               code search`)
+	os.Exit(2)
+}
+
+func cookiePath() string {
+	home, err := os.UserHomeDir()
+	if err != nil {
+		home = "."
+	}
+	return filepath.Join(home, ".w5ctl-cookie")
+}
+
+func client() *http.Client { return &http.Client{} }
+
+func addCookie(req *http.Request) {
+	if tok, err := os.ReadFile(cookiePath()); err == nil {
+		req.AddCookie(&http.Cookie{Name: gateway.SessionCookie, Value: strings.TrimSpace(string(tok))})
+	}
+}
+
+func saveCookie(resp *http.Response) {
+	for _, c := range resp.Cookies() {
+		if c.Name == gateway.SessionCookie {
+			os.WriteFile(cookiePath(), []byte(c.Value), 0o600)
+		}
+	}
+}
+
+func get(path string) string {
+	req, err := http.NewRequest("GET", server+path, nil)
+	check(err)
+	addCookie(req)
+	resp, err := client().Do(req)
+	check(err)
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 400 {
+		fmt.Fprintf(os.Stderr, "w5ctl: HTTP %d\n", resp.StatusCode)
+	}
+	return string(b)
+}
+
+func post(path string, form url.Values, save bool) string {
+	req, err := http.NewRequest("POST", server+path, strings.NewReader(form.Encode()))
+	check(err)
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	addCookie(req)
+	resp, err := client().Do(req)
+	check(err)
+	defer resp.Body.Close()
+	if save {
+		saveCookie(resp)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 400 {
+		fmt.Fprintf(os.Stderr, "w5ctl: HTTP %d\n", resp.StatusCode)
+	}
+	return string(b)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "w5ctl:", err)
+		os.Exit(1)
+	}
+}

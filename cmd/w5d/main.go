@@ -1,0 +1,70 @@
+// Command w5d runs a W5 provider: the meta-application platform with
+// its HTTP front-end, all stock applications installed, and (optionally)
+// a federation export endpoint.
+//
+// Usage:
+//
+//	w5d [-addr :8055] [-name w5] [-peer name=secret ...]
+//
+// Then, with any HTTP client:
+//
+//	curl -X POST -d 'user=bob&password=pw' http://localhost:8055/signup
+//	curl -b cookies.txt -c cookies.txt ... /grants/enable?app=social
+//	curl .../app/social/profile?owner=bob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"w5/internal/apps"
+	"w5/internal/core"
+	"w5/internal/federation"
+	"w5/internal/gateway"
+)
+
+type peerList map[string]string
+
+func (p peerList) String() string { return fmt.Sprint(map[string]string(p)) }
+func (p peerList) Set(v string) error {
+	name, secret, ok := strings.Cut(v, "=")
+	if !ok || name == "" || secret == "" {
+		return fmt.Errorf("peer must be name=secret")
+	}
+	p[name] = secret
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":8055", "listen address")
+	name := flag.String("name", "w5", "provider name")
+	auditStderr := flag.Bool("audit", false, "mirror the audit log to stderr")
+	peers := peerList{}
+	flag.Var(peers, "peer", "federation peer as name=secret (repeatable)")
+	flag.Parse()
+
+	p := core.NewProvider(core.Config{Name: *name, Enforce: true})
+	if *auditStderr {
+		p.Log.SetSink(os.Stderr)
+	}
+	for _, app := range []core.App{
+		apps.Social{}, apps.PhotoShare{}, apps.Blog{},
+		apps.Recommend{}, apps.Dating{}, apps.Mashup{},
+	} {
+		p.InstallApp(app)
+	}
+	gw := gateway.New(p, gateway.Options{FilterHTML: true})
+	if len(peers) > 0 {
+		federation.MountExport(p, gw.Mux(), peers)
+		log.Printf("federation export enabled for peers: %s", peers)
+	}
+	log.Printf("W5 provider %q serving on %s (apps: %s)",
+		*name, *addr, strings.Join(p.AppNames(), ", "))
+	if err := http.ListenAndServe(*addr, gw); err != nil {
+		log.Fatal(err)
+	}
+}

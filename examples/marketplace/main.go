@@ -1,0 +1,110 @@
+// Marketplace: the paper's developer ecosystem (§2, §3.2) in one run.
+// A developer uploads an open-source module (the registry verifies the
+// listing reproduces the bytecode); another developer forks it; an
+// editor endorses; users' dependency structure feeds CodeRank; and a
+// search returns rank-ordered results. Finally the uploaded module
+// actually RUNS as a confined application.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"w5/internal/core"
+	"w5/internal/rank"
+	"w5/internal/registry"
+	"w5/internal/wvm"
+)
+
+const greeterSource = `
+.data greet "hello from the marketplace, "
+        push @greet
+        push #greet
+        sys emit
+        pop
+        push 1024
+        sys copy_viewer
+        store 0
+        push 1024
+        load 0
+        sys emit
+        pop
+        halt
+`
+
+func main() {
+	p := core.NewProvider(core.Config{Name: "marketplace", Enforce: true})
+
+	// devA uploads an open-source app. The registry recompiles the
+	// listing and refuses the upload unless it matches the bytecode —
+	// the §2 guarantee that users run exactly the code they audited.
+	prog, err := wvm.Assemble(greeterSource, core.AppSyscallNames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := p.Registry.Put(registry.Upload{
+		Module: "greeter", Version: "1.0", Developer: "devA",
+		Kind: registry.KindApp, Program: prog,
+		Source: greeterSource, SysNames: core.AppSyscallNames,
+		Summary: "greets the viewer by name",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uploaded greeter@1.0 hash=%s…\n", v.Hash[:16])
+
+	// A tampered "open-source" upload is refused.
+	_, err = p.Registry.Put(registry.Upload{
+		Module: "trojan", Version: "1.0", Developer: "devX",
+		Kind: registry.KindApp, Program: prog,
+		Source: "push 0\nhalt\n", // listing does not match!
+	})
+	fmt.Printf("tampered listing upload: %v  ✓\n", err)
+
+	// devB forks it — "any developer can customize an existing
+	// application by simply forking the existing code".
+	fork, err := p.Registry.Fork("devB", "greeter", "", "greeter-deluxe", "1.0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("devB forked: %s (fork of %s)\n", fork.Module, fork.ForkOf)
+
+	// Libraries and dependency edges for CodeRank.
+	lib, _ := wvm.Assemble("halt", nil)
+	p.Registry.Put(registry.Upload{Module: "htmllib", Version: "1.0",
+		Developer: "devA", Kind: registry.KindLibrary, Program: lib,
+		Summary: "html rendering library"})
+	p.Registry.Put(registry.Upload{Module: "photoapp", Version: "1.0",
+		Developer: "devC", Kind: registry.KindApp, Program: lib,
+		Deps: []string{"htmllib"}, Summary: "photo gallery"})
+	p.Registry.Put(registry.Upload{Module: "blogapp", Version: "1.0",
+		Developer: "devC", Kind: registry.KindApp, Program: lib,
+		Deps: []string{"htmllib"}, Summary: "blog engine"})
+	p.Registry.RecordEmbed("blogapp", "photoapp")
+	p.Registry.Endorse("editor:webweekly", "greeter")
+
+	// Code search, rank-ordered (§3.2).
+	fmt.Println("\ncode search 'greeter' (rank-ordered):")
+	for _, r := range rank.SearchRanked(p.Registry, "greeter", rank.Options{}) {
+		fmt.Printf("  %-16s score %.4f\n", r.Module, r.Score)
+	}
+	fmt.Println("developer trust ranking:")
+	for _, r := range rank.DeveloperRank(p.Registry, rank.Options{}) {
+		fmt.Printf("  %-6s %.4f\n", r.Module, r.Score)
+	}
+
+	// And the module actually runs, confined, for a real user.
+	p.CreateUser("mallory", "pw") // even mallory can safely run it
+	if err := p.InstallWVMApp("greeter", ""); err != nil {
+		log.Fatal(err)
+	}
+	inv, err := p.Invoke("greeter", core.AppRequest{Viewer: "mallory"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := p.ExportCheck(inv, "mallory")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrunning greeter for mallory: %q\n", body)
+}

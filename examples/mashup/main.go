@@ -1,0 +1,74 @@
+// Mashup: the paper's §4 example. A page combines Bob's PRIVATE address
+// book with a map renderer — entirely server-side, inside the security
+// perimeter. The map module sees the addresses (it must, to place the
+// markers) but can never ship them to its developer: the process is
+// tainted with s_bob and only Bob's browser can receive the result.
+//
+// Contrast (quoted from §4): under the status quo "such a mashup would
+// reveal the page of the address book (both names and addresses) to
+// Google"; under MashupOS the names can be hidden but "the application
+// still uses the Google API ... and therefore cannot stop the
+// transmission of the addresses back to Google's servers."
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"w5/internal/apps"
+	"w5/internal/core"
+	"w5/internal/difc"
+)
+
+func main() {
+	p := core.NewProvider(core.Config{Name: "mashup", Enforce: true})
+	p.InstallApp(apps.Mashup{})
+
+	bob, err := p.CreateUser("bob", "pw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	private := difc.LabelPair{
+		Secrecy:   difc.NewLabel(bob.SecrecyTag),
+		Integrity: difc.NewLabel(bob.WriteTag),
+	}
+	book := `# name,street,x,y
+alice,12 main st,2,3
+dentist,4 elm ave,9,1
+jazz club,77 blue note rd,5,6
+`
+	if err := p.FS.Write(p.UserCred("bob"), "/home/bob/private/addressbook",
+		[]byte(book), private); err != nil {
+		log.Fatal(err)
+	}
+	p.EnableApp("bob", "mashup")
+
+	// Bob fetches his annotated map.
+	inv, err := p.Invoke("mashup", core.AppRequest{
+		Viewer: "bob", Owner: "bob", Path: "/map",
+		Params: map[string]string{"w": "48", "h": "14"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The process is now tainted by bob's data: the map was drawn from
+	// private addresses.
+	fmt.Printf("map process labels after rendering: %s\n\n", inv.Proc.Labels())
+	body, err := p.ExportCheck(inv, "bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(body))
+
+	// The "map developer" (any other principal) gets nothing — this is
+	// the line MashupOS cannot hold and W5 can.
+	p.CreateUser("mapdev", "pw")
+	inv, _ = p.Invoke("mashup", core.AppRequest{
+		Viewer: "mapdev", Owner: "bob", Path: "/map", Params: map[string]string{},
+	})
+	if _, err := p.ExportCheck(inv, "mapdev"); err != nil {
+		fmt.Printf("\nmap developer's fetch: %v  ✓ (addresses stayed inside the perimeter)\n", err)
+	} else {
+		log.Fatal("BUG: addresses leaked to the map developer")
+	}
+}

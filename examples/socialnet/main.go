@@ -1,0 +1,97 @@
+// Socialnet: the paper's §3.1 scenario end to end, over real HTTP.
+// "A social networking application should be able to show Bob's profile
+// to Alice but not to Charlie" — where Alice is on Bob's friend list
+// and the friend-list DECLASSIFIER (not the application) enforces it.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+
+	"w5/internal/apps"
+	"w5/internal/core"
+	"w5/internal/gateway"
+)
+
+type user struct {
+	name   string
+	client *http.Client
+}
+
+func newUser(t *httptest.Server, name string) *user {
+	jar, _ := cookiejar.New(nil)
+	u := &user{name: name, client: &http.Client{Jar: jar}}
+	resp, err := u.client.PostForm(t.URL+"/signup",
+		url.Values{"user": {name}, "password": {"pw"}})
+	if err != nil || resp.StatusCode != 200 {
+		log.Fatalf("signup %s: %v (%v)", name, err, resp.Status)
+	}
+	resp.Body.Close()
+	return u
+}
+
+func (u *user) get(t *httptest.Server, path string) (int, string) {
+	resp, err := u.client.Get(t.URL + path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+func (u *user) post(t *httptest.Server, path string, form url.Values) string {
+	resp, err := u.client.PostForm(t.URL+path, form)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+func main() {
+	p := core.NewProvider(core.Config{Name: "socialnet", Enforce: true})
+	p.InstallApp(apps.Social{})
+	srv := httptest.NewServer(gateway.New(p, gateway.Options{FilterHTML: true}))
+	defer srv.Close()
+
+	bob := newUser(srv, "bob")
+	alice := newUser(srv, "alice")
+	charlie := newUser(srv, "charlie")
+
+	// Bob adopts the app, grants it write access (it maintains his
+	// profile and friend list), writes his profile, and friends Alice.
+	bob.post(srv, "/grants/enable", url.Values{"app": {"social"}})
+	bob.post(srv, "/grants/write", url.Values{"app": {"social"}})
+	bob.post(srv, "/app/social/profile", url.Values{"owner": {"bob"},
+		"body": {"Bob's profile: jazz, hiking, and sci-fi."}})
+	bob.post(srv, "/app/social/friends", url.Values{"owner": {"bob"}, "add": {"alice"}})
+
+	// Crucially: Bob authorizes the friend-list declassifier. Without
+	// this, NOBODY but Bob could see his profile, whatever the app did.
+	fmt.Println("bob:", bob.post(srv, "/grants/declass", url.Values{"policy": {"friend-list"}}))
+
+	show := func(u *user) {
+		code, body := u.get(srv, "/app/social/profile?owner=bob")
+		if code == 200 {
+			fmt.Printf("%-8s -> HTTP %d (profile visible, %d bytes)\n", u.name, code, len(body))
+		} else {
+			fmt.Printf("%-8s -> HTTP %d (blocked by bob's policy)\n", u.name, code)
+		}
+	}
+	show(bob)     // owner: 200
+	show(alice)   // friend: 200, via the declassifier
+	show(charlie) // stranger: 403
+
+	// Bob un-friends nobody, but revokes the policy — now even Alice
+	// is blocked, demonstrating that the POLICY, not the app, decides.
+	bob.post(srv, "/grants/declass", url.Values{"revoke": {"friend-list"}})
+	fmt.Println("\nafter bob revokes the friend-list declassifier:")
+	show(alice)
+}

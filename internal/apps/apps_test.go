@@ -1,0 +1,355 @@
+package apps
+
+import (
+	"encoding/base64"
+	"errors"
+	"strings"
+	"testing"
+
+	"w5/internal/core"
+	"w5/internal/declass"
+	"w5/internal/difc"
+)
+
+// harness builds a provider with all apps installed and a set of users
+// who have enabled + write-granted the given apps.
+func harness(t *testing.T, users []string, appNames ...string) *core.Provider {
+	t.Helper()
+	p := core.NewProvider(core.Config{Name: "appstest", Enforce: true})
+	for _, a := range []core.App{Social{}, PhotoShare{}, Blog{}, Recommend{}, Dating{}, Mashup{}} {
+		p.InstallApp(a)
+	}
+	for _, u := range users {
+		if _, err := p.CreateUser(u, "pw"); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range appNames {
+			p.EnableApp(u, a)
+			p.GrantWrite(u, a)
+		}
+	}
+	return p
+}
+
+// call invokes an app and exports to the viewer, returning status/body;
+// export denial is reported as status 403.
+func call(t *testing.T, p *core.Provider, app, viewer, owner, path, method string, params map[string]string) (int, string) {
+	t.Helper()
+	inv, err := p.Invoke(app, core.AppRequest{
+		Viewer: viewer, Owner: owner, Path: path, Method: method, Params: params,
+	})
+	if err != nil {
+		t.Fatalf("Invoke(%s %s): %v", app, path, err)
+	}
+	status := inv.Response.Status
+	body, err := p.ExportCheck(inv, viewer)
+	if err != nil {
+		if errors.Is(err, core.ErrExportDenied) {
+			return 403, ""
+		}
+		t.Fatalf("ExportCheck: %v", err)
+	}
+	return status, string(body)
+}
+
+func TestSocialProfileAndFriends(t *testing.T) {
+	p := harness(t, []string{"bob"}, "social")
+
+	// No profile yet.
+	if code, _ := call(t, p, "social", "bob", "bob", "/profile", "GET", nil); code != 404 {
+		t.Errorf("empty profile = %d", code)
+	}
+	// Set then get.
+	code, body := call(t, p, "social", "bob", "bob", "/profile", "POST",
+		map[string]string{"body": "hi, I am <bob>"})
+	if code != 200 {
+		t.Fatalf("set profile = %d %q", code, body)
+	}
+	code, body = call(t, p, "social", "bob", "bob", "/profile", "GET", nil)
+	if code != 200 || !strings.Contains(body, "hi, I am &lt;bob&gt;") {
+		t.Errorf("get profile = %d %q (HTML escaping?)", code, body)
+	}
+	// Friends.
+	for _, f := range []string{"alice", "carol"} {
+		if code, _ := call(t, p, "social", "bob", "bob", "/friends", "POST",
+			map[string]string{"add": f}); code != 200 {
+			t.Fatalf("add friend %s = %d", f, code)
+		}
+	}
+	// Duplicate add is a no-op.
+	if _, body := call(t, p, "social", "bob", "bob", "/friends", "POST",
+		map[string]string{"add": "alice"}); !strings.Contains(body, "already") {
+		t.Errorf("duplicate add = %q", body)
+	}
+	code, body = call(t, p, "social", "bob", "bob", "/friends", "GET", nil)
+	if code != 200 || !strings.Contains(body, "alice") || !strings.Contains(body, "carol") {
+		t.Errorf("friends = %d %q", code, body)
+	}
+	// Bad friend names rejected.
+	if code, _ := call(t, p, "social", "bob", "bob", "/friends", "POST",
+		map[string]string{"add": "x\ny"}); code != 400 {
+		t.Errorf("newline in friend name accepted")
+	}
+}
+
+func TestSocialWriteRequiresGrant(t *testing.T) {
+	p := harness(t, []string{"bob"}, "social")
+	p.RevokeWrite("bob", "social")
+	code, _ := call(t, p, "social", "bob", "bob", "/profile", "POST",
+		map[string]string{"body": "x"})
+	if code != 403 {
+		t.Errorf("ungranted write = %d, want 403", code)
+	}
+}
+
+func TestPhotoShareLifecycle(t *testing.T) {
+	p := harness(t, []string{"bob"}, "photoshare")
+	img := base64.StdEncoding.EncodeToString([]byte{0xFF, 0xD8, 0xFF, 0xE0})
+
+	code, body := call(t, p, "photoshare", "bob", "bob", "/upload", "POST",
+		map[string]string{"name": "cat.jpg", "data": img})
+	if code != 200 {
+		t.Fatalf("upload = %d %q", code, body)
+	}
+	code, body = call(t, p, "photoshare", "bob", "bob", "/", "GET", nil)
+	if code != 200 || !strings.Contains(body, "cat.jpg") {
+		t.Errorf("list = %d %q", code, body)
+	}
+	code, body = call(t, p, "photoshare", "bob", "bob", "/view", "GET",
+		map[string]string{"name": "cat.jpg"})
+	if code != 200 || !strings.Contains(body, "data:image/jpeg;base64,") {
+		t.Errorf("view = %d", code)
+	}
+	// Path traversal refused.
+	if code, _ := call(t, p, "photoshare", "bob", "bob", "/view", "GET",
+		map[string]string{"name": "../../etc/passwd"}); code != 400 {
+		t.Errorf("traversal name = %d, want 400", code)
+	}
+	// Delete.
+	if code, _ := call(t, p, "photoshare", "bob", "bob", "/delete", "POST",
+		map[string]string{"name": "cat.jpg"}); code != 200 {
+		t.Errorf("delete = %d", code)
+	}
+	code, body = call(t, p, "photoshare", "bob", "bob", "/view", "GET",
+		map[string]string{"name": "cat.jpg"})
+	if code != 404 {
+		t.Errorf("view after delete = %d", code)
+	}
+}
+
+func TestPhotoNotExportableToStranger(t *testing.T) {
+	p := harness(t, []string{"bob", "charlie"}, "photoshare")
+	img := base64.StdEncoding.EncodeToString([]byte("JPEGDATA"))
+	call(t, p, "photoshare", "bob", "bob", "/upload", "POST",
+		map[string]string{"name": "cat.jpg", "data": img})
+
+	// Charlie asks the app for Bob's photo; the app can read it (it has
+	// s_bob+ because bob enabled the app) but the export must fail.
+	code, body := call(t, p, "photoshare", "charlie", "bob", "/view", "GET",
+		map[string]string{"name": "cat.jpg"})
+	if code != 403 {
+		t.Errorf("stranger view = %d %q", code, body)
+	}
+}
+
+func TestBlogPostAndRead(t *testing.T) {
+	p := harness(t, []string{"bob"}, "blog")
+	code, body := call(t, p, "blog", "bob", "bob", "/post", "POST",
+		map[string]string{"title": "first!", "body": "hello world"})
+	if code != 200 {
+		t.Fatalf("post = %d %q", code, body)
+	}
+	code, body = call(t, p, "blog", "bob", "bob", "/", "GET", nil)
+	if code != 200 || !strings.Contains(body, "first!") {
+		t.Errorf("list = %d %q", code, body)
+	}
+	// Read via the listed id (row id 1 — first insert).
+	code, body = call(t, p, "blog", "bob", "bob", "/read", "GET",
+		map[string]string{"id": "1"})
+	if code != 200 || !strings.Contains(body, "hello world") {
+		t.Errorf("read = %d %q", code, body)
+	}
+}
+
+func TestBlogPrivateInvisibleToOthersPublicVisible(t *testing.T) {
+	p := harness(t, []string{"bob", "alice"}, "blog")
+	call(t, p, "blog", "bob", "bob", "/post", "POST",
+		map[string]string{"title": "secret plans", "body": "shh"})
+	call(t, p, "blog", "bob", "bob", "/post", "POST",
+		map[string]string{"title": "public post", "body": "hello all", "public": "1"})
+
+	// Alice lists bob's blog: sees only the public post (the private
+	// row is filtered by the table store AND would fail export anyway).
+	code, body := call(t, p, "blog", "alice", "bob", "/", "GET", nil)
+	if code != 200 {
+		t.Fatalf("alice list = %d", code)
+	}
+	if strings.Contains(body, "secret plans") {
+		t.Errorf("private post leaked: %q", body)
+	}
+	if !strings.Contains(body, "public post") {
+		t.Errorf("public post missing: %q", body)
+	}
+}
+
+func TestRecommendTopItems(t *testing.T) {
+	p := harness(t, []string{"bob", "alice", "carol"}, "blog", "recommend", "social")
+	// Bob's interests and friendships.
+	call(t, p, "social", "bob", "bob", "/friends", "POST", map[string]string{"add": "alice"})
+	call(t, p, "social", "bob", "bob", "/friends", "POST", map[string]string{"add": "carol"})
+	writeInterests(t, p, "bob", "jazz hiking photography")
+
+	// The recommendation commingles the friends' PRIVATE posts, so each
+	// friend must have a policy that approves bob: they friend him back
+	// and authorize the friend-list declassifier. (Without this, the
+	// export below fails — the platform, not the app, decides.)
+	for _, friend := range []string{"alice", "carol"} {
+		call(t, p, "social", friend, friend, "/friends", "POST", map[string]string{"add": "bob"})
+		if err := p.AuthorizeDeclassifier(friend, declass.FriendList{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Friends' posts with varying relevance.
+	call(t, p, "blog", "alice", "alice", "/post", "POST",
+		map[string]string{"title": "jazz night", "body": "jazz jazz hiking"})
+	call(t, p, "blog", "carol", "carol", "/post", "POST",
+		map[string]string{"title": "tax tips", "body": "boring"})
+	call(t, p, "blog", "carol", "carol", "/post", "POST",
+		map[string]string{"title": "hiking trip", "body": "photography on the trail"})
+
+	code, body := call(t, p, "recommend", "bob", "bob", "/top", "GET",
+		map[string]string{"n": "2"})
+	if code != 200 {
+		t.Fatalf("recommend = %d %q", code, body)
+	}
+	// Both relevant items present, the irrelevant one cut by n=2.
+	if !strings.Contains(body, "jazz night") || !strings.Contains(body, "hiking trip") {
+		t.Errorf("top items wrong: %q", body)
+	}
+	if strings.Contains(body, "tax tips") {
+		t.Errorf("irrelevant item included: %q", body)
+	}
+	// The recommendation commingles alice's and carol's data; it must
+	// not export to alice (carol's policy hasn't approved her).
+	inv, _ := p.Invoke("recommend", core.AppRequest{Viewer: "alice", Owner: "bob",
+		Path: "/top", Params: map[string]string{}})
+	if _, err := p.ExportCheck(inv, "alice"); !errors.Is(err, core.ErrExportDenied) {
+		t.Errorf("commingled result exported to alice: %v", err)
+	}
+}
+
+// userLabelOf is the boilerplate private label for a user: {s_u}/{w_u}.
+func userLabelOf(u *core.User) difc.LabelPair {
+	return difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}
+}
+
+func writeInterests(t *testing.T, p *core.Provider, user, interests string) {
+	t.Helper()
+	u, err := p.GetUser(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.FS.Write(p.UserCred(user), "/home/"+user+"/social/interests",
+		[]byte(interests), userLabelOf(u)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatingMatch(t *testing.T) {
+	p := harness(t, []string{"bob", "alice", "zed"}, "dating")
+	writeInterests(t, p, "bob", "jazz hiking scifi")
+	writeInterests(t, p, "alice", "jazz hiking cooking")
+	writeInterests(t, p, "zed", "golf")
+
+	// Matching reads both parties' private interests; candidates decide
+	// who may learn about matches involving them. Alice admits only
+	// bob; zed's dating data is public.
+	if err := p.AuthorizeDeclassifier("alice", declass.Group{GroupName: "dates", Members: []string{"bob"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AuthorizeDeclassifier("zed", declass.Public{}); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := call(t, p, "dating", "bob", "bob", "/match", "GET",
+		map[string]string{"candidate": "alice"})
+	if code != 200 {
+		t.Fatalf("match = %d %q", code, body)
+	}
+	// Jaccard: |{jazz,hiking}| / |{jazz,hiking,scifi,cooking}| = 2/4.
+	if !strings.Contains(body, "50%") {
+		t.Errorf("score wrong: %q", body)
+	}
+	if !strings.Contains(body, "hiking, jazz") {
+		t.Errorf("shared interests wrong: %q", body)
+	}
+	// Weighted metric: make jazz worth 3 → 4/6 = 67%.
+	_, body = call(t, p, "dating", "bob", "bob", "/match", "GET",
+		map[string]string{"candidate": "alice", "weight.jazz": "3"})
+	if !strings.Contains(body, "67%") {
+		t.Errorf("weighted score wrong: %q", body)
+	}
+	// Ranking.
+	_, body = call(t, p, "dating", "bob", "bob", "/best", "GET", nil)
+	aliceIdx := strings.Index(body, "alice")
+	zedIdx := strings.Index(body, "zed")
+	if aliceIdx < 0 || (zedIdx >= 0 && zedIdx < aliceIdx) {
+		t.Errorf("ranking wrong: %q", body)
+	}
+	// The match result is tainted by BOTH users; alice cannot pull
+	// bob×alice compatibility without bob's consent... and vice versa:
+	// charlie can see nothing at all.
+	inv, _ := p.Invoke("dating", core.AppRequest{Viewer: "zed", Owner: "bob",
+		Path: "/match", Params: map[string]string{"candidate": "alice"}})
+	if _, err := p.ExportCheck(inv, "zed"); !errors.Is(err, core.ErrExportDenied) {
+		t.Errorf("pair compatibility exported to third party: %v", err)
+	}
+}
+
+func TestMashupServerSide(t *testing.T) {
+	p := harness(t, []string{"bob"}, "mashup")
+	book := "# name,street,x,y\nalice,1 main st,2,3\ncafe,9 side ave,8,1\n"
+	u, _ := p.GetUser("bob")
+	if err := p.FS.Write(p.UserCred("bob"), "/home/bob/private/addressbook",
+		[]byte(book), userLabelOf(u)); err != nil {
+		t.Fatal(err)
+	}
+	code, body := call(t, p, "mashup", "bob", "bob", "/map", "GET", nil)
+	if code != 200 {
+		t.Fatalf("map = %d", code)
+	}
+	// Markers and legend present.
+	if !strings.Contains(body, "A = alice") || !strings.Contains(body, "B = cafe") {
+		t.Errorf("legend wrong: %q", body)
+	}
+	// The address book page renders too.
+	code, body = call(t, p, "mashup", "bob", "bob", "/book", "GET", nil)
+	if code != 200 || !strings.Contains(body, "1 main st") {
+		t.Errorf("book = %d %q", code, body)
+	}
+	// And none of it exports to a stranger: the §4 property that the
+	// map developer/other users never see the addresses.
+	inv, _ := p.Invoke("mashup", core.AppRequest{Viewer: "", Owner: "bob", Path: "/map",
+		Params: map[string]string{}})
+	if _, err := p.ExportCheck(inv, ""); !errors.Is(err, core.ErrExportDenied) {
+		t.Errorf("map exported anonymously: %v", err)
+	}
+}
+
+func TestAppsRejectMissingOwner(t *testing.T) {
+	p := harness(t, nil)
+	for _, app := range []string{"social", "photoshare", "blog", "recommend", "dating", "mashup"} {
+		inv, err := p.Invoke(app, core.AppRequest{Viewer: "", Owner: "", Path: "/"})
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if inv.Response.Status != 400 && inv.Response.Status != 404 {
+			t.Errorf("%s with no owner = %d", app, inv.Response.Status)
+		}
+		p.Kernel.Exit(inv.Proc)
+	}
+}

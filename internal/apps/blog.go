@@ -1,0 +1,144 @@
+package apps
+
+import (
+	"fmt"
+	"html"
+	"strconv"
+	"strings"
+
+	"w5/internal/core"
+	"w5/internal/table"
+)
+
+// Blog is the blogging application from Figure 2, built on the labeled
+// tuple store rather than files — it exercises the SQL-replacement
+// substrate (§3.5). Each post is one labeled row; private posts carry
+// the author's secrecy tag, published posts don't. The table is shared
+// by all users of the app, yet the store's label filtering means no
+// reader ever observes a row they shouldn't — including through counts.
+//
+// Routes:
+//
+//	GET  /                          list posts by owner visible to the process
+//	GET  /read?id=N                 read one post
+//	POST /post?title=T&body=B&public=0|1   write a post (needs write grant)
+type Blog struct{}
+
+// Name implements core.App.
+func (Blog) Name() string { return "blog" }
+
+// BlogTable is the shared posts table.
+const BlogTable = "blog_posts"
+
+func blogSchema() table.Schema {
+	return table.Schema{
+		Name:    BlogTable,
+		Columns: []string{"author", "seq", "title", "body", "public"},
+		Index:   []string{"author"},
+	}
+}
+
+// Handle implements core.App.
+func (Blog) Handle(env *core.AppEnv, req core.AppRequest) (core.AppResponse, error) {
+	if err := env.CreateTable(blogSchema()); err != nil {
+		return core.AppResponse{}, err
+	}
+	if req.Owner == "" {
+		return text(400, "owner required"), nil
+	}
+	switch {
+	case req.Path == "/" || req.Path == "":
+		rows, err := env.Select(BlogTable, visiblePred(req))
+		if err != nil {
+			return text(500, "query failed"), nil
+		}
+		var sb strings.Builder
+		sb.WriteString("<ul>")
+		for _, r := range rows {
+			fmt.Fprintf(&sb, `<li>#%s: <a href="/app/blog/read?owner=%s&id=%d">%s</a></li>`,
+				html.EscapeString(r.Values["seq"]), html.EscapeString(req.Owner),
+				r.ID, html.EscapeString(r.Values["title"]))
+		}
+		sb.WriteString("</ul>")
+		return page("Blog of "+req.Owner, sb.String()), nil
+
+	case req.Path == "/read":
+		id, err := strconv.ParseUint(req.Params["id"], 10, 64)
+		if err != nil {
+			return text(400, "bad id"), nil
+		}
+		rows, err := env.Select(BlogTable, visiblePred(req))
+		if err != nil {
+			return text(500, "query failed"), nil
+		}
+		for _, r := range rows {
+			if r.ID == id {
+				return page(r.Values["title"],
+					"<article><pre>"+html.EscapeString(r.Values["body"])+"</pre></article>"), nil
+			}
+		}
+		return text(404, "no such post"), nil
+
+	case req.Path == "/post" && req.Method == "POST":
+		title := strings.TrimSpace(req.Params["title"])
+		if title == "" {
+			return text(400, "title required"), nil
+		}
+		pub := req.Params["public"] == "1"
+		var label, err = env.UserLabel(req.Owner)
+		if err != nil {
+			return text(404, "no such user"), nil
+		}
+		if pub {
+			label, err = env.PublicLabel(req.Owner)
+			if err != nil {
+				return text(404, "no such user"), nil
+			}
+		}
+		// seq numbers are per-author and only for display. When posting
+		// publicly, count only public rows: reading a private row here
+		// would taint this process and make the public write an
+		// (illegal) write-down. Order of operations matters in IFC
+		// code, and this is the idiom: read at or below your target
+		// write level.
+		var seqPred table.Pred = table.Cmp{Col: "author", Op: table.Eq, Val: req.Owner}
+		if pub {
+			seqPred = table.And{L: seqPred, R: table.Cmp{Col: "public", Op: table.Eq, Val: "1"}}
+		}
+		rows, _ := env.Select(BlogTable, seqPred)
+		seq := len(rows) + 1
+		_, err = env.Insert(BlogTable, map[string]string{
+			"author": req.Owner,
+			"seq":    strconv.Itoa(seq),
+			"title":  title,
+			"body":   req.Params["body"],
+			"public": boolStr(pub),
+		}, label)
+		if err != nil {
+			return text(403, "post denied (grant write access?)"), nil
+		}
+		return text(200, fmt.Sprintf("posted #%d", seq)), nil
+	}
+	return text(404, "unknown route"), nil
+}
+
+// visiblePred restricts reads to the owner's posts and — when the
+// viewer is not the owner — to published posts only. This is a
+// WELL-BEHAVED app limiting its own taint so its output stays
+// exportable; if it misbehaved and read private rows anyway, the
+// perimeter (not this code) would stop the leak. See
+// TestPhotoNotExportableToStranger for the misbehaving case.
+func visiblePred(req core.AppRequest) table.Pred {
+	var p table.Pred = table.Cmp{Col: "author", Op: table.Eq, Val: req.Owner}
+	if req.Viewer != req.Owner {
+		p = table.And{L: p, R: table.Cmp{Col: "public", Op: table.Eq, Val: "1"}}
+	}
+	return p
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}

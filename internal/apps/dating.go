@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strconv"
+	"strings"
+
+	"w5/internal/core"
+)
+
+// Dating implements the §2 example: "For an online-dating application,
+// Bob can upload a custom compatibility metric." Users keep an
+// interests file (comma/whitespace-separated tags) in their private
+// social directory; the app scores pairs of users.
+//
+// The default metric is Jaccard similarity over interest sets. The
+// "custom metric" of the paper appears two ways: weights supplied as
+// request parameters (weight.<tag>=N), and — fully generally — by
+// forking this module in the registry (examples/marketplace shows a
+// fork flow).
+//
+// The flow property worth noticing: matching Bob against Alice reads
+// BOTH users' private interests, so the process is tainted {s_bob,
+// s_alice} and the result can be exported only to a viewer both users'
+// policies accept. The platform turns "who may learn we are 87%
+// compatible?" into policy, not app code.
+//
+// Routes:
+//
+//	GET /match?candidate=U          score owner vs candidate
+//	GET /best                       rank all platform users for owner
+type Dating struct{}
+
+// Name implements core.App.
+func (Dating) Name() string { return "dating" }
+
+// Handle implements core.App.
+func (Dating) Handle(env *core.AppEnv, req core.AppRequest) (core.AppResponse, error) {
+	if req.Owner == "" {
+		return text(400, "owner required"), nil
+	}
+	mine := interestSet(env, req.Owner)
+	if len(mine) == 0 {
+		return text(404, "owner has no interests file"), nil
+	}
+	weights := parseWeights(req.Params)
+
+	switch req.Path {
+	case "/match":
+		cand := req.Params["candidate"]
+		if cand == "" || cand == req.Owner {
+			return text(400, "candidate required"), nil
+		}
+		theirs := interestSet(env, cand)
+		if len(theirs) == 0 {
+			return text(403, "candidate data unavailable"), nil
+		}
+		score, shared := compatibility(mine, theirs, weights)
+		return page(fmt.Sprintf("Match %s × %s", req.Owner, cand),
+			fmt.Sprintf("<p>score: <b>%.0f%%</b></p><p>shared: %s</p>",
+				score*100, html.EscapeString(strings.Join(shared, ", ")))), nil
+
+	case "/best":
+		type cand struct {
+			user  string
+			score float64
+		}
+		var cands []cand
+		for _, u := range env.Users() {
+			if u == req.Owner {
+				continue
+			}
+			theirs := interestSet(env, u)
+			if len(theirs) == 0 {
+				continue // not a dating user, or their policy hides them
+			}
+			s, _ := compatibility(mine, theirs, weights)
+			cands = append(cands, cand{user: u, score: s})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].score != cands[j].score {
+				return cands[i].score > cands[j].score
+			}
+			return cands[i].user < cands[j].user
+		})
+		var sb strings.Builder
+		sb.WriteString("<ol>")
+		for _, c := range cands {
+			fmt.Fprintf(&sb, "<li>%s — %.0f%%</li>", html.EscapeString(c.user), c.score*100)
+		}
+		sb.WriteString("</ol>")
+		return page("Best matches for "+req.Owner, sb.String()), nil
+	}
+	return text(404, "unknown route"), nil
+}
+
+func interestSet(env *core.AppEnv, user string) map[string]bool {
+	data, err := env.ReadFile("/home/" + user + "/social/interests")
+	if err != nil {
+		return nil
+	}
+	set := make(map[string]bool)
+	for _, tag := range tokenize(string(data)) {
+		set[tag] = true
+	}
+	return set
+}
+
+// parseWeights extracts weight.<tag>=N parameters (the lightweight
+// custom-metric hook).
+func parseWeights(params map[string]string) map[string]float64 {
+	w := make(map[string]float64)
+	for k, v := range params {
+		if tag, ok := strings.CutPrefix(k, "weight."); ok {
+			if f, err := strconv.ParseFloat(v, 64); err == nil && f >= 0 {
+				w[tag] = f
+			}
+		}
+	}
+	return w
+}
+
+// compatibility is weighted Jaccard similarity; unweighted tags count 1.
+func compatibility(a, b map[string]bool, weights map[string]float64) (float64, []string) {
+	wOf := func(tag string) float64 {
+		if w, ok := weights[tag]; ok {
+			return w
+		}
+		return 1
+	}
+	var inter, union float64
+	var shared []string
+	seen := make(map[string]bool)
+	for tag := range a {
+		seen[tag] = true
+		if b[tag] {
+			inter += wOf(tag)
+			shared = append(shared, tag)
+		}
+		union += wOf(tag)
+	}
+	for tag := range b {
+		if !seen[tag] {
+			union += wOf(tag)
+		}
+	}
+	if union == 0 {
+		return 0, nil
+	}
+	sort.Strings(shared)
+	return inter / union, shared
+}

@@ -1,0 +1,143 @@
+package apps
+
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"w5/internal/core"
+)
+
+// Mashup implements the §4 example: a page combining "a private address
+// book from MyYahoo with a map from Google" — except that on W5 "the
+// same application could generate the annotated map on the server side,
+// disallowing export of the address data to the map developers."
+//
+// The address book is a private labeled file ("name,street,x,y" lines);
+// the map module is a server-side renderer (an ASCII grid standing in
+// for map tiles). Both run inside the perimeter: the address data
+// taints the process, the map renderer sees it, and nothing reaches any
+// third party. Contrast with MashupOS, which (per §4) still cannot stop
+// the marker coordinates from flowing to the external map API.
+//
+// Routes:
+//
+//	GET /map?w=40&h=12     render the annotated map
+//	GET /book              render the raw address book
+type Mashup struct{}
+
+// Name implements core.App.
+func (Mashup) Name() string { return "mashup" }
+
+func bookPath(owner string) string { return "/home/" + owner + "/private/addressbook" }
+
+type entry struct {
+	name   string
+	street string
+	x, y   int
+}
+
+// Handle implements core.App.
+func (Mashup) Handle(env *core.AppEnv, req core.AppRequest) (core.AppResponse, error) {
+	if req.Owner == "" {
+		return text(400, "owner required"), nil
+	}
+	entries, err := readBook(env, req.Owner)
+	if err != nil {
+		return text(404, "no address book"), nil
+	}
+	switch req.Path {
+	case "/book":
+		var sb strings.Builder
+		sb.WriteString("<table><tr><th>name</th><th>street</th></tr>")
+		for _, e := range entries {
+			fmt.Fprintf(&sb, "<tr><td>%s</td><td>%s</td></tr>",
+				html.EscapeString(e.name), html.EscapeString(e.street))
+		}
+		sb.WriteString("</table>")
+		return page("Address book of "+req.Owner, sb.String()), nil
+
+	case "/map":
+		w, h := 40, 12
+		fmt.Sscanf(req.Params["w"], "%d", &w)
+		fmt.Sscanf(req.Params["h"], "%d", &h)
+		if w < 10 || w > 200 {
+			w = 40
+		}
+		if h < 5 || h > 60 {
+			h = 12
+		}
+		grid := renderMap(entries, w, h)
+		var legend strings.Builder
+		for i, e := range entries {
+			fmt.Fprintf(&legend, "%c = %s (%s)<br>", marker(i), html.EscapeString(e.name),
+				html.EscapeString(e.street))
+		}
+		return page("Map for "+req.Owner,
+			"<pre>"+html.EscapeString(grid)+"</pre><p>"+legend.String()+"</p>"), nil
+	}
+	return text(404, "unknown route"), nil
+}
+
+func readBook(env *core.AppEnv, owner string) ([]entry, error) {
+	data, err := env.ReadFile(bookPath(owner))
+	if err != nil {
+		return nil, err
+	}
+	var out []entry
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 4 {
+			continue
+		}
+		var e entry
+		e.name = strings.TrimSpace(parts[0])
+		e.street = strings.TrimSpace(parts[1])
+		fmt.Sscanf(strings.TrimSpace(parts[2]), "%d", &e.x)
+		fmt.Sscanf(strings.TrimSpace(parts[3]), "%d", &e.y)
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// renderMap is the server-side "map tile service": a grid with roads
+// and markers. Coordinates are normalized into the viewport.
+func renderMap(entries []entry, w, h int) string {
+	grid := make([][]byte, h)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(".", w))
+		if y%4 == 2 { // east-west roads
+			grid[y] = []byte(strings.Repeat("-", w))
+		}
+	}
+	for x := 0; x < w; x += 10 { // north-south roads
+		for y := 0; y < h; y++ {
+			grid[y][x] = '|'
+		}
+	}
+	maxX, maxY := 1, 1
+	for _, e := range entries {
+		if e.x > maxX {
+			maxX = e.x
+		}
+		if e.y > maxY {
+			maxY = e.y
+		}
+	}
+	for i, e := range entries {
+		px := e.x * (w - 1) / maxX
+		py := e.y * (h - 1) / maxY
+		grid[py][px] = marker(i)
+	}
+	rows := make([]string, h)
+	for y := range grid {
+		rows[y] = string(grid[y])
+	}
+	return strings.Join(rows, "\n")
+}
+
+func marker(i int) byte { return byte('A' + i%26) }

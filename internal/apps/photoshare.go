@@ -1,0 +1,111 @@
+package apps
+
+import (
+	"encoding/base64"
+	"fmt"
+	"html"
+	"strings"
+
+	"w5/internal/core"
+	"w5/internal/difc"
+)
+
+// PhotoShare is the photo-sharing application from Figure 2. Photos
+// live under the owner's home as labeled files; "albums" are
+// directories. Crucially, nothing in this code decides who may see a
+// photo — the labels and the owner's declassifiers do.
+//
+// Routes:
+//
+//	GET  /                         list the owner's photos
+//	GET  /view?name=N              render one photo (base64 inline)
+//	POST /upload?name=N&data=B64   store a photo (needs write grant)
+//	POST /delete?name=N            remove a photo (needs write grant)
+type PhotoShare struct{}
+
+// Name implements core.App.
+func (PhotoShare) Name() string { return "photoshare" }
+
+func photoDir(owner string) string { return "/home/" + owner + "/private/photos" }
+
+// Handle implements core.App.
+func (PhotoShare) Handle(env *core.AppEnv, req core.AppRequest) (core.AppResponse, error) {
+	if req.Owner == "" {
+		return text(400, "owner required"), nil
+	}
+	switch {
+	case req.Path == "/" || req.Path == "":
+		infos, err := env.List(photoDir(req.Owner))
+		if err != nil {
+			return page("Photos of "+req.Owner, "<p>(no photos)</p>"), nil
+		}
+		var sb strings.Builder
+		sb.WriteString("<ul>")
+		for _, info := range infos {
+			fmt.Fprintf(&sb, `<li><a href="/app/photoshare/view?owner=%s&name=%s">%s</a> (%d bytes, v%d)</li>`,
+				html.EscapeString(req.Owner), html.EscapeString(info.Name),
+				html.EscapeString(info.Name), info.Size, info.Version)
+		}
+		sb.WriteString("</ul>")
+		return page("Photos of "+req.Owner, sb.String()), nil
+
+	case req.Path == "/view":
+		name := req.Params["name"]
+		if !validName(name) {
+			return text(400, "bad photo name"), nil
+		}
+		data, err := env.ReadFile(photoDir(req.Owner) + "/" + name)
+		if err != nil {
+			return text(404, "no such photo"), nil
+		}
+		b64 := base64.StdEncoding.EncodeToString(data)
+		return page("Photo "+name,
+			`<img alt="`+html.EscapeString(name)+`" src="data:image/jpeg;base64,`+b64+`">`), nil
+
+	case req.Path == "/upload" && req.Method == "POST":
+		name := req.Params["name"]
+		if !validName(name) {
+			return text(400, "bad photo name"), nil
+		}
+		data, err := base64.StdEncoding.DecodeString(req.Params["data"])
+		if err != nil {
+			return text(400, "data must be base64"), nil
+		}
+		label, err := env.UserLabel(req.Owner)
+		if err != nil {
+			return text(404, "no such user"), nil
+		}
+		if err := ensurePhotoDir(env, req.Owner, label); err != nil {
+			return text(403, "cannot create photo album"), nil
+		}
+		if err := env.WriteFile(photoDir(req.Owner)+"/"+name, data, label); err != nil {
+			return text(403, "write denied (grant write access?)"), nil
+		}
+		return text(200, fmt.Sprintf("stored %s (%d bytes)", name, len(data))), nil
+
+	case req.Path == "/delete" && req.Method == "POST":
+		name := req.Params["name"]
+		if !validName(name) {
+			return text(400, "bad photo name"), nil
+		}
+		if err := env.Remove(photoDir(req.Owner) + "/" + name); err != nil {
+			return text(403, "delete denied"), nil
+		}
+		return text(200, "deleted "+name), nil
+	}
+	return text(404, "unknown route"), nil
+}
+
+func ensurePhotoDir(env *core.AppEnv, owner string, label difc.LabelPair) error {
+	if _, err := env.Stat(photoDir(owner)); err == nil {
+		return nil
+	}
+	return env.Mkdir(photoDir(owner), label)
+}
+
+func validName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	return !strings.ContainsAny(name, "/\\\x00")
+}

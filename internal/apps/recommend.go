@@ -1,0 +1,115 @@
+package apps
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"w5/internal/core"
+	"w5/internal/table"
+)
+
+// Recommend implements the §2 example: "Bob can deploy an application
+// that sends him daily e-mail with the 5 most 'relevant' photos and
+// blog entries posted by his friends."
+//
+// Relevance here is keyword overlap between the viewer's interests file
+// and each friend's blog posts. The interesting property is not the
+// scoring but the information flow: the app freely commingles MANY
+// friends' private data in one process — its label accumulates all
+// their tags — and the result can still only be exported to someone
+// every contributing owner's policy approves. Aggregation over
+// isolation (§5), enforced.
+//
+// Routes:
+//
+//	GET /top?n=5    the viewer's top-n relevant items
+type Recommend struct{}
+
+// Name implements core.App.
+func (Recommend) Name() string { return "recommend" }
+
+type scored struct {
+	author string
+	title  string
+	score  int
+}
+
+// Handle implements core.App.
+func (Recommend) Handle(env *core.AppEnv, req core.AppRequest) (core.AppResponse, error) {
+	if err := env.CreateTable(blogSchema()); err != nil {
+		return core.AppResponse{}, err
+	}
+	if req.Owner == "" {
+		return text(400, "owner required"), nil
+	}
+	n := 5
+	if v := req.Params["n"]; v != "" {
+		fmt.Sscanf(v, "%d", &n)
+		if n < 1 || n > 100 {
+			n = 5
+		}
+	}
+	interests := readInterests(env, req.Owner)
+	friends, err := readFriends(env, req.Owner)
+	if err != nil {
+		return text(403, "cannot read friend list"), nil
+	}
+	var items []scored
+	for _, friend := range friends {
+		// Reading a friend's posts taints this process with the
+		// friend's tag — if the friend enabled this app. Otherwise the
+		// rows are invisible and the friend contributes nothing.
+		rows, err := env.Select(BlogTable, table.Cmp{Col: "author", Op: table.Eq, Val: friend})
+		if err != nil {
+			continue
+		}
+		for _, r := range rows {
+			s := relevance(interests, r.Values["title"]+" "+r.Values["body"])
+			items = append(items, scored{author: friend, title: r.Values["title"], score: s})
+		}
+	}
+	sort.SliceStable(items, func(i, j int) bool { return items[i].score > items[j].score })
+	if len(items) > n {
+		items = items[:n]
+	}
+	var sb strings.Builder
+	sb.WriteString("<ol>")
+	for _, it := range items {
+		fmt.Fprintf(&sb, "<li>%s — %s (score %d)</li>",
+			html.EscapeString(it.title), html.EscapeString(it.author), it.score)
+	}
+	sb.WriteString("</ol>")
+	return page(fmt.Sprintf("Top %d for %s", n, req.Owner), sb.String()), nil
+}
+
+func readInterests(env *core.AppEnv, user string) []string {
+	data, err := env.ReadFile("/home/" + user + "/social/interests")
+	if err != nil {
+		return nil
+	}
+	return tokenize(string(data))
+}
+
+func tokenize(s string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !('a' <= r && r <= 'z' || '0' <= r && r <= '9')
+	})
+	return fields
+}
+
+// relevance counts interest keywords occurring in the text.
+func relevance(interests []string, text string) int {
+	words := make(map[string]bool)
+	for _, w := range tokenize(text) {
+		words[w] = true
+	}
+	n := 0
+	for _, kw := range interests {
+		if words[kw] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,131 @@
+// Package apps contains the developer-contributed applications that run
+// on the W5 platform: the photo sharing and blogging applications of
+// Figure 2, the social-networking pieces of §3.1, and the §2 examples
+// (recommendation engine, dating compatibility, chameleon profiles, and
+// the §4 address-book/map mashup).
+//
+// Everything here is UNTRUSTED code: it sees only core.AppEnv, whose
+// operations are mediated by the DIFC kernel. These applications are
+// written to be well-behaved; internal/attack contains their malicious
+// counterparts, and the platform must not care which kind it runs.
+package apps
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"w5/internal/core"
+	"w5/internal/store"
+)
+
+// Social is the social-networking application: profiles and friend
+// lists, stored as ordinary labeled files under the owner's home so
+// that the friend-list declassifier (and anything else the user
+// authorizes) can govern their export.
+//
+// Routes:
+//
+//	GET  /profile            render owner's profile
+//	POST /profile  body=...  set owner's profile (needs write grant)
+//	GET  /friends            list owner's friends
+//	POST /friends  add=name  add a friend (needs write grant)
+type Social struct{}
+
+// Name implements core.App.
+func (Social) Name() string { return "social" }
+
+// Handle implements core.App.
+func (Social) Handle(env *core.AppEnv, req core.AppRequest) (core.AppResponse, error) {
+	if req.Owner == "" {
+		return text(400, "owner required"), nil
+	}
+	switch {
+	case req.Path == "/profile" && req.Method == "GET":
+		data, err := env.ReadFile(profilePath(req.Owner))
+		if err != nil {
+			return text(404, "no profile"), nil
+		}
+		return page("Profile of "+req.Owner, "<pre>"+html.EscapeString(string(data))+"</pre>"), nil
+
+	case req.Path == "/profile" && req.Method == "POST":
+		label, err := env.UserLabel(req.Owner)
+		if err != nil {
+			return text(404, "no such user"), nil
+		}
+		if err := env.WriteFile(profilePath(req.Owner), []byte(req.Params["body"]), label); err != nil {
+			return text(403, "write denied (grant write access to this app?)"), nil
+		}
+		return text(200, "profile updated"), nil
+
+	case req.Path == "/friends" && req.Method == "GET":
+		friends, err := readFriends(env, req.Owner)
+		if err != nil {
+			return text(404, "no friend list"), nil
+		}
+		return page("Friends of "+req.Owner, "<ul><li>"+strings.Join(friends, "</li><li>")+"</li></ul>"), nil
+
+	case req.Path == "/friends" && req.Method == "POST":
+		add := strings.TrimSpace(req.Params["add"])
+		if add == "" || strings.ContainsAny(add, "\n#") {
+			return text(400, "bad friend name"), nil
+		}
+		friends, _ := readFriends(env, req.Owner)
+		for _, f := range friends {
+			if f == add {
+				return text(200, "already friends"), nil
+			}
+		}
+		friends = append(friends, add)
+		label, err := env.UserLabel(req.Owner)
+		if err != nil {
+			return text(404, "no such user"), nil
+		}
+		body := strings.Join(friends, "\n") + "\n"
+		if err := env.WriteFile(friendsPath(req.Owner), []byte(body), label); err != nil {
+			return text(403, "write denied"), nil
+		}
+		return text(200, fmt.Sprintf("added %s (%d friends)", add, len(friends))), nil
+	}
+	return text(404, "unknown route"), nil
+}
+
+func profilePath(user string) string { return "/home/" + user + "/social/profile" }
+func friendsPath(user string) string { return "/home/" + user + "/social/friends" }
+
+// readFriends parses the owner's friend file: one name per line, '#'
+// comments — the same format the FriendList declassifier consumes.
+func readFriends(env *core.AppEnv, owner string) ([]string, error) {
+	data, err := env.ReadFile(friendsPath(owner))
+	if err != nil {
+		if err == store.ErrNotFound {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, "#") {
+			out = append(out, line)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// text builds a plain-text response.
+func text(status int, s string) core.AppResponse {
+	return core.AppResponse{Status: status, ContentType: "text/plain; charset=utf-8", Body: []byte(s)}
+}
+
+// page builds a small HTML page.
+func page(title, body string) core.AppResponse {
+	return core.AppResponse{
+		Status:      200,
+		ContentType: "text/html; charset=utf-8",
+		Body: []byte("<html><head><title>" + html.EscapeString(title) + "</title></head><body><h1>" +
+			html.EscapeString(title) + "</h1>" + body + "</body></html>"),
+	}
+}

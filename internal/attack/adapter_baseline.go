@@ -1,0 +1,110 @@
+package attack
+
+import (
+	"errors"
+
+	"w5/internal/baseline"
+	"w5/internal/difc"
+	"w5/internal/table"
+)
+
+// BaselineSurface runs the same adversary as a trusted application on a
+// Figure-1 site. There is no reference monitor; the only protections
+// are advisory visibility flags that application code is trusted to
+// honor — and this application does not.
+type BaselineSurface struct {
+	site  *baseline.Site
+	naive *table.Store
+	// exfil is the attacker's collection point: on the baseline,
+	// nothing prevents the app from writing to it.
+	exfil []byte
+}
+
+// NewBaselineSurface provisions the silo and plants the secret.
+func NewBaselineSurface() (*BaselineSurface, error) {
+	site := baseline.NewSite("socialsilo")
+	if err := site.Signup("victim", "pw"); err != nil {
+		return nil, err
+	}
+	if err := site.Upload("victim", "/private/secret", []byte(Secret), baseline.Private); err != nil {
+		return nil, err
+	}
+	// The conventional SQL backend with a global unique constraint.
+	naive := table.New(table.Options{Naive: true})
+	if err := naive.Create(table.Schema{
+		Name: rendezvousTable, Columns: []string{"k"}, Unique: "k",
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := naive.Insert(table.Cred{Principal: "victimapp"}, rendezvousTable,
+		map[string]string{"k": "signal"}, difc.LabelPair{}); err != nil {
+		return nil, err
+	}
+	return &BaselineSurface{site: site, naive: naive}, nil
+}
+
+// ReadSecret implements Surface: the app is trusted; it reads freely.
+func (s *BaselineSurface) ReadSecret() ([]byte, error) {
+	d, err := s.site.AppRead("victim", "/private/secret")
+	if err != nil {
+		return nil, err
+	}
+	return d.Data, nil
+}
+
+// ExportDirect implements Surface: apps make outbound requests at will.
+func (s *BaselineSurface) ExportDirect(data []byte) ([]byte, error) {
+	s.exfil = append([]byte(nil), data...)
+	return s.exfil, nil
+}
+
+// WritePublic implements Surface: flip the datum public, or just copy
+// it under a public path; either way the accomplice fetches it.
+func (s *BaselineSurface) WritePublic(data []byte) ([]byte, error) {
+	if err := s.site.AppWrite("victim", "/public/loot", data); err != nil {
+		return nil, err
+	}
+	d, err := s.site.AppRead("victim", "/public/loot")
+	if err != nil {
+		return nil, err
+	}
+	return d.Data, nil
+}
+
+// LaunderViaIPC implements Surface: in-process handoff, no monitor.
+func (s *BaselineSurface) LaunderViaIPC(data []byte) ([]byte, error) {
+	return s.ExportDirect(data)
+}
+
+// ShedLabel implements Surface: there is no label to shed.
+func (s *BaselineSurface) ShedLabel(data []byte) ([]byte, error) {
+	return s.ExportDirect(data)
+}
+
+// ProbeSecretByQuery implements Surface: the unique-constraint error is
+// the covert channel, working as badly as §3.5 warns.
+func (s *BaselineSurface) ProbeSecretByQuery() (bool, error) {
+	_, err := s.naive.Insert(table.Cred{Principal: "evilapp"}, rendezvousTable,
+		map[string]string{"k": "signal"}, difc.LabelPair{})
+	if errors.Is(err, table.ErrDuplicate) {
+		return true, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// Vandalize implements Surface: trusted write access, no write tags.
+func (s *BaselineSurface) Vandalize() error {
+	return s.site.AppWrite("victim", "/private/secret", []byte("DEFACED"))
+}
+
+// SecretWasVandalized implements Surface.
+func (s *BaselineSurface) SecretWasVandalized() bool {
+	d, err := s.site.AppRead("victim", "/private/secret")
+	return err != nil || string(d.Data) != Secret
+}
+
+// TrueSecretBit implements Surface.
+func (s *BaselineSurface) TrueSecretBit() bool { return true }

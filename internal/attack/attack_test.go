@@ -1,0 +1,105 @@
+package attack
+
+import (
+	"testing"
+)
+
+// TestW5BlocksEveryVector is the E2 headline at unit scale: the W5
+// platform must contain the entire suite.
+func TestW5BlocksEveryVector(t *testing.T) {
+	for _, atk := range Suite() {
+		t.Run(atk.Name, func(t *testing.T) {
+			s, err := NewW5Surface()
+			if err != nil {
+				t.Fatalf("surface: %v", err)
+			}
+			out := atk.Run(s)
+			if !out.Blocked() {
+				t.Errorf("W5 failed to block %s: %+v", atk.Name, out)
+			}
+			// Denials should be visible in the audit trail (the
+			// provider can see attacks happening).
+			if out.Err == nil && atk.Name != "covert-query" {
+				t.Logf("note: %s blocked without error (silent containment)", atk.Name)
+			}
+		})
+	}
+}
+
+// TestBaselineFailsEveryVector: the same suite fully succeeds against
+// the trusting Figure-1 site — the status quo the paper critiques.
+func TestBaselineFailsEveryVector(t *testing.T) {
+	for _, atk := range Suite() {
+		t.Run(atk.Name, func(t *testing.T) {
+			s, err := NewBaselineSurface()
+			if err != nil {
+				t.Fatalf("surface: %v", err)
+			}
+			out := atk.Run(s)
+			if out.Blocked() {
+				t.Errorf("baseline unexpectedly blocked %s (comparator broken): %+v", atk.Name, out)
+			}
+		})
+	}
+}
+
+// TestVictimStillWorksOnW5: containment must not break the victim's own
+// access — after every attack, the victim can still read their secret.
+func TestVictimStillWorksOnW5(t *testing.T) {
+	for _, atk := range Suite() {
+		s, err := NewW5Surface()
+		if err != nil {
+			t.Fatal(err)
+		}
+		atk.Run(s)
+		data, _, err := s.P.FS.Read(s.P.UserCred("victim"), "/home/victim/private/secret")
+		if err != nil || string(data) != Secret {
+			t.Errorf("after %s: victim read = %q, %v", atk.Name, data, err)
+		}
+	}
+}
+
+// TestAttacksAreRealOnW5ReadPath: the read itself must SUCCEED on W5
+// (the app has the grant); W5's story is confinement after reading,
+// not read prevention. If the read failed, the suite would be testing
+// a strawman.
+func TestAttacksAreRealOnW5ReadPath(t *testing.T) {
+	s, err := NewW5Surface()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.ReadSecret()
+	if err != nil {
+		t.Fatalf("confined app could not even read: %v", err)
+	}
+	if string(data) != Secret {
+		t.Fatalf("read wrong data: %q", data)
+	}
+}
+
+func TestSuiteStable(t *testing.T) {
+	a, b := Suite(), Suite()
+	if len(a) != 6 {
+		t.Fatalf("suite has %d attacks, want 6", len(a))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Error("suite order unstable")
+		}
+		if a[i].Description == "" {
+			t.Errorf("%s lacks a description", a[i].Name)
+		}
+	}
+}
+
+func TestSecretMatchesHelper(t *testing.T) {
+	if !secretMatches([]byte("xx"+Secret+"yy"), []byte(Secret)) {
+		t.Error("substring match failed")
+	}
+	if secretMatches(nil, []byte(Secret)) {
+		t.Error("nil matched")
+	}
+	if secretMatches([]byte("other"), []byte(Secret)) {
+		t.Error("non-match matched")
+	}
+}

@@ -1,0 +1,175 @@
+// Package audit provides the W5 provider's append-only audit log.
+//
+// The W5 paper places the burden of correctness on "a very small number
+// of components" run by the provider (§1–§2). The audit log is how that
+// promise is made inspectable: every privilege grant, every
+// declassification, every denied flow, and every policy change is
+// recorded with a monotonically increasing sequence number. Entries are
+// immutable once appended; the log can be filtered for display (w5ctl
+// audit) and is consulted by the security experiments to verify that
+// denials happened for the right reason.
+package audit
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind classifies an audit event.
+type Kind string
+
+// The event kinds recorded by the platform.
+const (
+	KindTagMint      Kind = "tag-mint"      // a fresh tag was created
+	KindGrant        Kind = "grant"         // capabilities delegated
+	KindRevoke       Kind = "revoke"        // capabilities revoked
+	KindSpawn        Kind = "spawn"         // process created
+	KindExit         Kind = "exit"          // process destroyed
+	KindFlowAllowed  Kind = "flow-allowed"  // IPC or storage flow permitted
+	KindFlowDenied   Kind = "flow-denied"   // IPC or storage flow denied
+	KindExport       Kind = "export"        // data crossed the perimeter
+	KindExportDenied Kind = "export-denied" // perimeter crossing denied
+	KindDeclassify   Kind = "declassify"    // a declassifier exercised s_u-
+	KindPolicyChange Kind = "policy-change" // user edited a policy
+	KindQuota        Kind = "quota"         // a quota was exhausted
+	KindLogin        Kind = "login"         // session established
+	KindUpload       Kind = "upload"        // module uploaded to registry
+	KindFederation   Kind = "federation"    // cross-provider sync event
+)
+
+// Event is one immutable audit record.
+type Event struct {
+	Seq     uint64    // assigned by the log, strictly increasing from 1
+	Time    time.Time // wall-clock time of the append
+	Kind    Kind
+	Actor   string // the principal that acted (user, process, module)
+	Subject string // what was acted upon (tag, file, endpoint, user)
+	Detail  string // human-readable specifics
+}
+
+// String renders a single-line form suitable for terminals.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s %s actor=%s subject=%s %s",
+		e.Seq, e.Time.UTC().Format(time.RFC3339), e.Kind, e.Actor, e.Subject, e.Detail)
+}
+
+// Log is a concurrency-safe append-only event log. The zero value is
+// ready to use. An optional Clock may be injected for deterministic
+// tests; it defaults to time.Now.
+type Log struct {
+	mu     sync.RWMutex
+	events []Event
+	seq    uint64
+	clock  func() time.Time
+	sink   io.Writer // optional mirror for every event line
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// SetClock injects a time source; nil restores time.Now. For tests.
+func (l *Log) SetClock(clock func() time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.clock = clock
+}
+
+// SetSink mirrors every appended event, rendered by Event.String plus a
+// newline, to w. Pass nil to disable. Errors from the sink are ignored:
+// auditing must never block the data path.
+func (l *Log) SetSink(w io.Writer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = w
+}
+
+// Append records an event and returns its sequence number.
+func (l *Log) Append(kind Kind, actor, subject, detail string) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now
+	if l.clock != nil {
+		now = l.clock
+	}
+	l.seq++
+	e := Event{Seq: l.seq, Time: now(), Kind: kind, Actor: actor, Subject: subject, Detail: detail}
+	l.events = append(l.events, e)
+	if l.sink != nil {
+		fmt.Fprintln(l.sink, e.String())
+	}
+	return e.Seq
+}
+
+// Appendf is Append with a formatted detail string.
+func (l *Log) Appendf(kind Kind, actor, subject, format string, args ...any) uint64 {
+	return l.Append(kind, actor, subject, fmt.Sprintf(format, args...))
+}
+
+// Len reports the number of events recorded.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.events)
+}
+
+// Snapshot returns a copy of all events in sequence order.
+func (l *Log) Snapshot() []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Since returns a copy of all events with Seq > seq, for incremental
+// consumers (the federation log shipper uses this).
+func (l *Log) Since(seq uint64) []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	// Seq i is stored at index i-1; binary search unnecessary.
+	start := int(seq)
+	if start > len(l.events) {
+		start = len(l.events)
+	}
+	out := make([]Event, len(l.events)-start)
+	copy(out, l.events[start:])
+	return out
+}
+
+// Filter returns the events for which keep returns true, in order.
+func (l *Log) Filter(keep func(Event) bool) []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Event
+	for _, e := range l.events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByKind returns all events of the given kind, in order.
+func (l *Log) ByKind(kind Kind) []Event {
+	return l.Filter(func(e Event) bool { return e.Kind == kind })
+}
+
+// ByActor returns all events with the given actor, in order.
+func (l *Log) ByActor(actor string) []Event {
+	return l.Filter(func(e Event) bool { return e.Actor == actor })
+}
+
+// CountKind reports how many events of the given kind were recorded.
+func (l *Log) CountKind(kind Kind) int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

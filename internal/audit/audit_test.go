@@ -1,0 +1,154 @@
+package audit
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAppendAssignsSequence(t *testing.T) {
+	l := New()
+	for i := 1; i <= 5; i++ {
+		seq := l.Append(KindGrant, "alice", "t1", "grant t1-")
+		if seq != uint64(i) {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	if l.Len() != 5 {
+		t.Errorf("Len = %d, want 5", l.Len())
+	}
+	evs := l.Snapshot()
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	l := New()
+	l.Append(KindSpawn, "kernel", "p1", "")
+	s := l.Snapshot()
+	s[0].Actor = "mallory"
+	if l.Snapshot()[0].Actor != "kernel" {
+		t.Error("snapshot aliases internal storage")
+	}
+}
+
+func TestSince(t *testing.T) {
+	l := New()
+	for i := 0; i < 10; i++ {
+		l.Append(KindFlowAllowed, "p", "q", "")
+	}
+	got := l.Since(7)
+	if len(got) != 3 {
+		t.Fatalf("Since(7) returned %d events, want 3", len(got))
+	}
+	if got[0].Seq != 8 {
+		t.Errorf("first event seq = %d, want 8", got[0].Seq)
+	}
+	if len(l.Since(10)) != 0 {
+		t.Error("Since(last) not empty")
+	}
+	if len(l.Since(99)) != 0 {
+		t.Error("Since(beyond) not empty")
+	}
+	if len(l.Since(0)) != 10 {
+		t.Error("Since(0) should return everything")
+	}
+}
+
+func TestFilterByKindAndActor(t *testing.T) {
+	l := New()
+	l.Append(KindGrant, "alice", "t1", "")
+	l.Append(KindFlowDenied, "mallory", "t1", "")
+	l.Append(KindGrant, "bob", "t2", "")
+	l.Append(KindFlowDenied, "mallory", "t2", "")
+
+	if n := len(l.ByKind(KindGrant)); n != 2 {
+		t.Errorf("ByKind(grant) = %d, want 2", n)
+	}
+	if n := len(l.ByActor("mallory")); n != 2 {
+		t.Errorf("ByActor(mallory) = %d, want 2", n)
+	}
+	if n := l.CountKind(KindFlowDenied); n != 2 {
+		t.Errorf("CountKind = %d, want 2", n)
+	}
+	if n := l.CountKind(KindExport); n != 0 {
+		t.Errorf("CountKind(export) = %d, want 0", n)
+	}
+}
+
+func TestClockInjection(t *testing.T) {
+	l := New()
+	fixed := time.Date(2007, 8, 24, 0, 0, 0, 0, time.UTC) // the TR's date
+	l.SetClock(func() time.Time { return fixed })
+	l.Append(KindLogin, "bob", "session", "")
+	if got := l.Snapshot()[0].Time; !got.Equal(fixed) {
+		t.Errorf("time = %v, want %v", got, fixed)
+	}
+}
+
+func TestSinkMirrorsEvents(t *testing.T) {
+	l := New()
+	var sb strings.Builder
+	l.SetSink(&sb)
+	l.Append(KindExportDenied, "app:evil", "bob-data", "residue {t1}")
+	out := sb.String()
+	for _, want := range []string{"export-denied", "app:evil", "bob-data", "residue {t1}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sink output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestAppendf(t *testing.T) {
+	l := New()
+	l.Appendf(KindQuota, "app:x", "cpu", "budget %d exhausted", 1000)
+	if got := l.Snapshot()[0].Detail; got != "budget 1000 exhausted" {
+		t.Errorf("Detail = %q", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Seq: 7, Time: time.Unix(0, 0).UTC(), Kind: KindExport, Actor: "gw", Subject: "bob", Detail: "ok"}
+	s := e.String()
+	for _, want := range []string{"#7", "export", "actor=gw", "subject=bob"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := New()
+	const goroutines, per = 16, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Append(KindFlowAllowed, "p", "q", "")
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != goroutines*per {
+		t.Fatalf("Len = %d, want %d", l.Len(), goroutines*per)
+	}
+	// Sequence numbers must be dense 1..N.
+	seen := make(map[uint64]bool)
+	for _, e := range l.Snapshot() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	for i := uint64(1); i <= goroutines*per; i++ {
+		if !seen[i] {
+			t.Fatalf("missing seq %d", i)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package baseline simulates "today's Web" of the paper's Figure 1: a
+// collection of siloed sites, each binding applications to its own copy
+// of user data, with application code fully trusted by the site.
+//
+// It exists as the controlled comparator for the experiments:
+//
+//   - E1 measures the cost of adopting a new application here (per-site
+//     signup plus re-uploading every datum) against W5's one-checkbox
+//     EnableApp.
+//   - E2 runs the adversary suite against this package's trusting
+//     adapter and W5's confined one.
+//   - E3/E9 use a baseline request path with no label checks as the
+//     performance reference.
+//
+// The implementation intentionally mirrors how a conventional LAMP-ish
+// site behaves: per-site accounts, per-site data tables, and "privacy
+// settings" that are advisory flags the application code is trusted to
+// honor — precisely the arrangement the paper criticizes ("That such
+// calamities will not happen is something that a user must trust").
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors.
+var (
+	ErrNoUser   = errors.New("baseline: no such user")
+	ErrNoDatum  = errors.New("baseline: no such datum")
+	ErrBadLogin = errors.New("baseline: authentication failed")
+)
+
+// Visibility is an advisory privacy setting. Nothing enforces it;
+// applications are expected (!) to respect it.
+type Visibility string
+
+// Advisory visibility levels.
+const (
+	Private Visibility = "private"
+	Friends Visibility = "friends"
+	Public  Visibility = "public"
+)
+
+// Datum is one stored item with its advisory setting.
+type Datum struct {
+	Path       string
+	Data       []byte
+	Visibility Visibility
+}
+
+// Site is one Figure-1 Web application: app logic plus its own copy of
+// user data. Safe for concurrent use.
+type Site struct {
+	Name string
+
+	mu      sync.RWMutex
+	users   map[string]string // user -> password (plaintext; sadly, period-accurate)
+	data    map[string]map[string]*Datum
+	friends map[string]map[string]bool
+	// ops and bytes count the work users have performed against this
+	// site — the E1 metric.
+	ops   int
+	bytes int
+}
+
+// NewSite creates an empty silo.
+func NewSite(name string) *Site {
+	return &Site{
+		Name:    name,
+		users:   make(map[string]string),
+		data:    make(map[string]map[string]*Datum),
+		friends: make(map[string]map[string]bool),
+	}
+}
+
+// Signup creates an account on THIS site (every site needs its own).
+func (s *Site) Signup(user, password string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.users[user]; dup {
+		return fmt.Errorf("baseline: user %q exists on %s", user, s.Name)
+	}
+	s.users[user] = password
+	s.data[user] = make(map[string]*Datum)
+	s.friends[user] = make(map[string]bool)
+	s.ops++
+	return nil
+}
+
+// Login verifies a password.
+func (s *Site) Login(user, password string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if p, ok := s.users[user]; !ok || p != password {
+		return ErrBadLogin
+	}
+	return nil
+}
+
+// Upload stores a datum in this site's silo — data the user almost
+// certainly already uploaded somewhere else.
+func (s *Site) Upload(user, path string, data []byte, vis Visibility) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	silo, ok := s.data[user]
+	if !ok {
+		return ErrNoUser
+	}
+	silo[path] = &Datum{Path: path, Data: append([]byte(nil), data...), Visibility: vis}
+	s.ops++
+	s.bytes += len(data)
+	return nil
+}
+
+// AddFriend records a friendship edge (per site, of course).
+func (s *Site) AddFriend(user, friend string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.friends[user]
+	if !ok {
+		return ErrNoUser
+	}
+	f[friend] = true
+	s.ops++
+	return nil
+}
+
+// FriendsOf lists a user's friends, sorted.
+func (s *Site) FriendsOf(user string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.friends[user]))
+	for f := range s.friends[user] {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppRead is what application code calls. The application is TRUSTED:
+// it receives the datum regardless of visibility, because the site
+// cannot run the feature otherwise. Enforcement of the advisory
+// setting is left to the app — the crux of the paper's complaint.
+func (s *Site) AppRead(user, path string) (*Datum, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	silo, ok := s.data[user]
+	if !ok {
+		return nil, ErrNoUser
+	}
+	d, ok := silo[path]
+	if !ok {
+		return nil, ErrNoDatum
+	}
+	cp := *d
+	cp.Data = append([]byte(nil), d.Data...)
+	return &cp, nil
+}
+
+// AppWrite lets application code overwrite any datum. Trusted, again.
+func (s *Site) AppWrite(user, path string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	silo, ok := s.data[user]
+	if !ok {
+		return ErrNoUser
+	}
+	d, ok := silo[path]
+	if !ok {
+		silo[path] = &Datum{Path: path, Data: append([]byte(nil), data...), Visibility: Private}
+		return nil
+	}
+	d.Data = append([]byte(nil), data...)
+	return nil
+}
+
+// ServeView renders a datum to a viewer, honoring the advisory
+// visibility the way a WELL-BEHAVED app would. Malicious apps simply
+// call AppRead and ship the bytes wherever they like (see
+// internal/attack).
+func (s *Site) ServeView(owner, viewer, path string) ([]byte, error) {
+	d, err := s.AppRead(owner, path)
+	if err != nil {
+		return nil, err
+	}
+	switch d.Visibility {
+	case Public:
+		return d.Data, nil
+	case Friends:
+		if viewer == owner || s.isFriend(owner, viewer) {
+			return d.Data, nil
+		}
+		return nil, errors.New("baseline: not visible (advisory)")
+	default:
+		if viewer == owner {
+			return d.Data, nil
+		}
+		return nil, errors.New("baseline: not visible (advisory)")
+	}
+}
+
+func (s *Site) isFriend(owner, viewer string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.friends[owner][viewer]
+}
+
+// Ops and Bytes report the cumulative user effort invested in this
+// silo (signups, uploads, friend edges; bytes re-uploaded).
+func (s *Site) Ops() int   { s.mu.RLock(); defer s.mu.RUnlock(); return s.ops }
+func (s *Site) Bytes() int { s.mu.RLock(); defer s.mu.RUnlock(); return s.bytes }
+
+// DataCopies counts how many copies of the user's data exist across a
+// fleet of sites — Figure 1's duplication, measured.
+func DataCopies(sites []*Site, user string) int {
+	n := 0
+	for _, s := range sites {
+		s.mu.RLock()
+		n += len(s.data[user])
+		s.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+)
+
+func site(t *testing.T) *Site {
+	t.Helper()
+	s := NewSite("flickr-ish")
+	if err := s.Signup("bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSignupAndLogin(t *testing.T) {
+	s := site(t)
+	if err := s.Login("bob", "pw"); err != nil {
+		t.Error(err)
+	}
+	if err := s.Login("bob", "wrong"); !errors.Is(err, ErrBadLogin) {
+		t.Errorf("wrong password: %v", err)
+	}
+	if err := s.Signup("bob", "x"); err == nil {
+		t.Error("duplicate signup succeeded")
+	}
+}
+
+func TestUploadAndAppRead(t *testing.T) {
+	s := site(t)
+	if err := s.Upload("bob", "/photo", []byte("img"), Private); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.AppRead("bob", "/photo")
+	if err != nil || string(d.Data) != "img" {
+		t.Fatalf("AppRead = %v, %v", d, err)
+	}
+	// The app reads PRIVATE data without ceremony: that is the point.
+	if d.Visibility != Private {
+		t.Error("visibility lost")
+	}
+	if _, err := s.AppRead("ghost", "/photo"); !errors.Is(err, ErrNoUser) {
+		t.Errorf("missing user: %v", err)
+	}
+	if _, err := s.AppRead("bob", "/none"); !errors.Is(err, ErrNoDatum) {
+		t.Errorf("missing datum: %v", err)
+	}
+}
+
+func TestServeViewHonorsAdvisoryFlags(t *testing.T) {
+	s := site(t)
+	s.Signup("alice", "pw")
+	s.Upload("bob", "/private", []byte("p"), Private)
+	s.Upload("bob", "/friendsonly", []byte("f"), Friends)
+	s.Upload("bob", "/public", []byte("pub"), Public)
+	s.AddFriend("bob", "alice")
+
+	cases := []struct {
+		viewer, path string
+		want         bool
+	}{
+		{"bob", "/private", true},
+		{"alice", "/private", false},
+		{"alice", "/friendsonly", true},
+		{"eve", "/friendsonly", false},
+		{"eve", "/public", true},
+		{"", "/public", true},
+	}
+	for _, tt := range cases {
+		_, err := s.ServeView("bob", tt.viewer, tt.path)
+		if (err == nil) != tt.want {
+			t.Errorf("ServeView(%q,%q) err=%v, want ok=%v", tt.viewer, tt.path, err, tt.want)
+		}
+	}
+}
+
+func TestOpsAndBytesAccounting(t *testing.T) {
+	s := site(t) // signup = 1 op
+	s.Upload("bob", "/a", make([]byte, 100), Private)
+	s.Upload("bob", "/b", make([]byte, 50), Private)
+	s.AddFriend("bob", "alice")
+	if s.Ops() != 4 {
+		t.Errorf("Ops = %d, want 4", s.Ops())
+	}
+	if s.Bytes() != 150 {
+		t.Errorf("Bytes = %d, want 150", s.Bytes())
+	}
+}
+
+func TestDataCopiesAcrossSilos(t *testing.T) {
+	// The Figure-1 pathology: every site holds its own copy.
+	var sites []*Site
+	for i := 0; i < 3; i++ {
+		s := NewSite("site")
+		s.Signup("bob", "pw")
+		s.Upload("bob", "/photo", []byte("img"), Private)
+		s.Upload("bob", "/bio", []byte("hi"), Public)
+		sites = append(sites, s)
+	}
+	if n := DataCopies(sites, "bob"); n != 6 {
+		t.Errorf("DataCopies = %d, want 6", n)
+	}
+}
+
+func TestFriendsOfSorted(t *testing.T) {
+	s := site(t)
+	s.AddFriend("bob", "zoe")
+	s.AddFriend("bob", "alice")
+	got := s.FriendsOf("bob")
+	if len(got) != 2 || got[0] != "alice" || got[1] != "zoe" {
+		t.Errorf("FriendsOf = %v", got)
+	}
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+
+	"w5/internal/audit"
+	"w5/internal/declass"
+	"w5/internal/difc"
+	"w5/internal/kernel"
+	"w5/internal/store"
+	"w5/internal/table"
+)
+
+// App is a developer-contributed application. Implementations live in
+// internal/apps and are untrusted: they see only the AppEnv, whose
+// every operation is mediated by the DIFC kernel.
+type App interface {
+	// Name is the application's registry name.
+	Name() string
+	// Handle serves one request. Returning an error produces a 500
+	// without exporting anything.
+	Handle(env *AppEnv, req AppRequest) (AppResponse, error)
+}
+
+// AppRequest is one invocation of an application.
+type AppRequest struct {
+	// Viewer is the authenticated requesting user ("" = anonymous).
+	Viewer string
+	// Owner is the user whose data the request concerns; defaults to
+	// Viewer when empty.
+	Owner string
+	// Path is the app-relative resource path.
+	Path string
+	// Method is "GET" or "POST".
+	Method string
+	// Params carries form/query parameters.
+	Params map[string]string
+}
+
+// AppResponse is what an application produces. The body does NOT leave
+// the platform here: the gateway must pass the invocation through
+// Provider.ExportCheck first.
+type AppResponse struct {
+	Status      int
+	ContentType string
+	Body        []byte
+}
+
+// Invocation bundles a finished app run: the response plus the process
+// that produced it, whose labels gate the export.
+type Invocation struct {
+	Response AppResponse
+	Proc     *kernel.Process
+	provider *Provider
+}
+
+// AppEnv is the only interface applications have to the platform. Every
+// read raises the process's secrecy label to dominate what was read
+// (auto-taint); every write happens at the process's current labels.
+// An application literally cannot read private data and then write it
+// somewhere less protected.
+type AppEnv struct {
+	p       *Provider
+	proc    *kernel.Process
+	appName string
+}
+
+// AppName returns the running application's name.
+func (e *AppEnv) AppName() string { return e.appName }
+
+// cred snapshots the process's current security context for storage.
+func (e *AppEnv) cred() store.Cred {
+	return store.Cred{
+		Labels:    e.proc.Labels(),
+		Caps:      e.proc.Caps(),
+		Principal: "app:" + e.appName,
+	}
+}
+
+func (e *AppEnv) tableCred() table.Cred {
+	c := e.cred()
+	return table.Cred{Labels: c.Labels, Caps: c.Caps, Principal: c.Principal}
+}
+
+// raiseFor raises the process's secrecy label to absorb a label just
+// read. The kernel verifies the raise is covered by the process's plus
+// capabilities — which is exactly the read-permission check.
+func (e *AppEnv) raiseFor(read difc.LabelPair) error {
+	cur := e.proc.Labels()
+	want := difc.LabelPair{
+		Secrecy:   cur.Secrecy.Union(read.Secrecy),
+		Integrity: cur.Integrity,
+	}
+	if want.Secrecy.Equal(cur.Secrecy) {
+		return nil
+	}
+	return e.p.Kernel.SetLabels(e.proc, want)
+}
+
+// ReadFile reads a file, tainting the process with the file's secrecy.
+func (e *AppEnv) ReadFile(path string) ([]byte, error) {
+	data, label, err := e.p.FS.Read(e.cred(), path)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.raiseFor(label); err != nil {
+		return nil, kernel.ErrDenied
+	}
+	return data, nil
+}
+
+// WriteFile writes a file at the given label; the kernel-side checks
+// forbid writing below the process's current taint.
+func (e *AppEnv) WriteFile(path string, data []byte, label difc.LabelPair) error {
+	return e.p.FS.Write(e.cred(), path, data, label)
+}
+
+// Mkdir creates a directory at the given label.
+func (e *AppEnv) Mkdir(path string, label difc.LabelPair) error {
+	return e.p.FS.Mkdir(e.cred(), path, label)
+}
+
+// List lists a directory.
+func (e *AppEnv) List(path string) ([]store.Info, error) {
+	return e.p.FS.List(e.cred(), path)
+}
+
+// Stat stats a path.
+func (e *AppEnv) Stat(path string) (store.Info, error) {
+	return e.p.FS.Stat(e.cred(), path)
+}
+
+// Remove deletes a file (write-protection permitting).
+func (e *AppEnv) Remove(path string) error {
+	return e.p.FS.Remove(e.cred(), path)
+}
+
+// UserLabel returns the boilerplate label for a user's private,
+// write-protected data: {s_u} / {w_u}. Apps use it when storing data on
+// a user's behalf.
+func (e *AppEnv) UserLabel(user string) (difc.LabelPair, error) {
+	u, err := e.p.GetUser(user)
+	if err != nil {
+		return difc.LabelPair{}, err
+	}
+	return difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}, nil
+}
+
+// PublicLabel returns the label of published, write-protected data:
+// {} / {w_u}.
+func (e *AppEnv) PublicLabel(user string) (difc.LabelPair, error) {
+	u, err := e.p.GetUser(user)
+	if err != nil {
+		return difc.LabelPair{}, err
+	}
+	return difc.LabelPair{Integrity: difc.NewLabel(u.WriteTag)}, nil
+}
+
+// Insert adds a labeled row.
+func (e *AppEnv) Insert(tbl string, values map[string]string, label difc.LabelPair) (uint64, error) {
+	return e.p.Tables.Insert(e.tableCred(), tbl, values, label)
+}
+
+// Select queries rows visible at the process's clearance, tainting the
+// process with the join of the returned rows' labels.
+func (e *AppEnv) Select(tbl string, pred table.Pred) ([]table.Row, error) {
+	rows, joined, err := e.p.Tables.Select(e.tableCred(), tbl, pred)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.raiseFor(joined); err != nil {
+		return nil, kernel.ErrDenied
+	}
+	return rows, nil
+}
+
+// Update rewrites matching visible rows.
+func (e *AppEnv) Update(tbl string, pred table.Pred, set map[string]string) (int, error) {
+	return e.p.Tables.Update(e.tableCred(), tbl, pred, set)
+}
+
+// CreateTable declares a table (idempotent convenience for app setup).
+func (e *AppEnv) CreateTable(schema table.Schema) error {
+	err := e.p.Tables.Create(schema)
+	if err == table.ErrTableExist {
+		return nil
+	}
+	return err
+}
+
+// Users lists platform accounts. Account existence is public directory
+// metadata (like /home names).
+func (e *AppEnv) Users() []string { return e.p.Users() }
+
+// Labels exposes the process's current labels (apps may adapt output to
+// their taint — e.g. warn the user).
+func (e *AppEnv) Labels() difc.LabelPair { return e.proc.Labels() }
+
+// Invoke runs application app for req, in a fresh kernel process
+// carrying exactly the capabilities users have granted this app. The
+// caller (gateway or test) must route the result through ExportCheck
+// before any byte leaves the platform.
+func (p *Provider) Invoke(appName string, req AppRequest) (*Invocation, error) {
+	app, ok := p.lookupApp(appName)
+	if !ok {
+		return nil, ErrNoApp
+	}
+	if req.Owner == "" {
+		req.Owner = req.Viewer
+	}
+	if req.Params == nil {
+		req.Params = map[string]string{}
+	}
+	if req.Method == "" {
+		req.Method = "GET"
+	}
+	caps, endorse := p.appCaps(appName)
+	proc, err := p.Kernel.Spawn(nil, kernel.SpawnSpec{
+		Name:      "app:" + appName,
+		Owner:     "app:" + appName,
+		Integrity: endorse,
+		Caps:      caps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	env := &AppEnv{p: p, proc: proc, appName: appName}
+	resp, err := app.Handle(env, req)
+	if err != nil {
+		p.Kernel.Exit(proc)
+		return nil, fmt.Errorf("w5: app %s: %w", appName, err)
+	}
+	if resp.Status == 0 {
+		resp.Status = 200
+	}
+	if resp.ContentType == "" {
+		resp.ContentType = "text/html; charset=utf-8"
+	}
+	return &Invocation{Response: resp, Proc: proc, provider: p}, nil
+}
+
+// ExportCheck decides whether an invocation's response may cross the
+// perimeter toward viewer, applying §3.1's full export chain:
+//
+//  1. The viewer's own session privilege (s_viewer−) covers the
+//     viewer's own taint — "destined for Bob's browser".
+//  2. Every remaining secrecy tag is routed to its owner's authorized
+//     declassifiers; an affirmative decision contributes the deposited
+//     capability (and possibly a transformed payload — chameleon).
+//  3. If residue remains, the export is denied and audited.
+//
+// On success it returns the (possibly transformed) body; the invocation
+// process is exited either way.
+func (p *Provider) ExportCheck(inv *Invocation, viewer string) ([]byte, error) {
+	defer p.Kernel.Exit(inv.Proc)
+	body := inv.Response.Body
+
+	sessionCaps := difc.EmptyCaps
+	if u, err := p.GetUser(viewer); err == nil {
+		sessionCaps = difc.NewCapSet(difc.Minus(u.SecrecyTag))
+	}
+
+	labels := inv.Proc.Labels()
+	residue := difc.ExportResidue(labels.Secrecy, inv.Proc.Caps().Union(sessionCaps))
+	extra := sessionCaps
+	for _, tag := range residue.Tags() {
+		owner, ok := p.TagOwner(tag)
+		if !ok {
+			p.Log.Appendf(audit.KindExportDenied, inv.Proc.Name(),
+				"viewer:"+displayName(viewer), "unattributable taint %s", tag)
+			return nil, ErrExportDenied // unattributable taint never leaves
+		}
+		d, caps, err := p.Declass.Ask(declass.Request{
+			Owner:  owner,
+			Viewer: viewer,
+			App:    inv.Proc.Name(),
+			Path:   "", // path is app-internal; audit carries app name
+			Data:   body,
+		})
+		if err != nil || !d.Allow {
+			p.Log.Appendf(audit.KindExportDenied, inv.Proc.Name(),
+				"viewer:"+displayName(viewer), "owner %s policy refused (%v)", owner, err)
+			return nil, ErrExportDenied
+		}
+		if d.Data != nil {
+			body = d.Data
+		}
+		extra = extra.Union(caps)
+	}
+	if err := p.Kernel.Export(inv.Proc, extra, "viewer:"+displayName(viewer), len(body)); err != nil {
+		return nil, ErrExportDenied
+	}
+	return body, nil
+}
+
+func displayName(v string) string {
+	if v == "" {
+		return "(anonymous)"
+	}
+	return v
+}

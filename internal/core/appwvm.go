@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"w5/internal/wvm"
+)
+
+// WVM application ABI: the syscall surface a developer-uploaded
+// bytecode application codes against (§2's "API exposed by the W5
+// platform"). Everything flows through the AppEnv, so bytecode apps get
+// auto-tainting reads and label-checked writes exactly like native
+// apps.
+//
+//	copy_viewer(addr)                      -> len
+//	copy_owner(addr)                       -> len
+//	copy_param(keyAddr,keyLen,dst,cap)     -> len or -1
+//	read_file(pathAddr,pathLen,dst,cap)    -> n or -1   (taints process)
+//	write_private(pathA,pathL,dataA,dataL) -> 0 or -1   (owner's boilerplate label)
+//	emit(addr,len)                         -> len       (append to response body)
+const (
+	AppSysCopyViewer   uint16 = 1
+	AppSysCopyOwner    uint16 = 2
+	AppSysCopyParam    uint16 = 3
+	AppSysReadFile     uint16 = 4
+	AppSysWritePrivate uint16 = 5
+	AppSysEmit         uint16 = 6
+)
+
+// AppSyscallNames maps assembly names to the app ABI numbers.
+var AppSyscallNames = map[string]uint16{
+	"copy_viewer":   AppSysCopyViewer,
+	"copy_owner":    AppSysCopyOwner,
+	"copy_param":    AppSysCopyParam,
+	"read_file":     AppSysReadFile,
+	"write_private": AppSysWritePrivate,
+	"emit":          AppSysEmit,
+}
+
+// WVMApp adapts an uploaded bytecode module to the App interface. The
+// module's exit value becomes the HTTP status (0 meaning 200).
+type WVMApp struct {
+	// AppName is the registry name the module was uploaded under.
+	AppName string
+	// Prog is the verified module.
+	Prog *wvm.Program
+	// Gas bounds one request (default 1_000_000 instructions; the
+	// process's CPU quota applies on top).
+	Gas uint64
+	// MemSize bounds guest memory (default 64 KiB).
+	MemSize int
+}
+
+// Name implements App.
+func (w WVMApp) Name() string { return w.AppName }
+
+// Handle implements App by executing the module under the request.
+func (w WVMApp) Handle(env *AppEnv, req AppRequest) (AppResponse, error) {
+	gas := w.Gas
+	if gas == 0 {
+		gas = 1_000_000
+	}
+	var body []byte
+
+	copyStr := func(vm *wvm.VM, addr int64, s string) ([]int64, error) {
+		if err := vm.WriteMem(addr, []byte(s)); err != nil {
+			return []int64{-1}, nil
+		}
+		return []int64{int64(len(s))}, nil
+	}
+
+	table := wvm.SyscallTable{
+		AppSysCopyViewer: {Name: "copy_viewer", Arity: 1,
+			Fn: func(vm *wvm.VM, a []int64) ([]int64, error) { return copyStr(vm, a[0], req.Viewer) }},
+		AppSysCopyOwner: {Name: "copy_owner", Arity: 1,
+			Fn: func(vm *wvm.VM, a []int64) ([]int64, error) { return copyStr(vm, a[0], req.Owner) }},
+		AppSysCopyParam: {Name: "copy_param", Arity: 4,
+			Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+				key, err := vm.ReadMem(a[0], a[1])
+				if err != nil {
+					return []int64{-1}, nil
+				}
+				v, ok := req.Params[string(key)]
+				if !ok {
+					return []int64{-1}, nil
+				}
+				if int64(len(v)) > a[3] {
+					v = v[:a[3]]
+				}
+				if err := vm.WriteMem(a[2], []byte(v)); err != nil {
+					return []int64{-1}, nil
+				}
+				return []int64{int64(len(v))}, nil
+			}},
+		AppSysReadFile: {Name: "read_file", Arity: 4,
+			Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+				path, err := vm.ReadMem(a[0], a[1])
+				if err != nil {
+					return []int64{-1}, nil
+				}
+				data, err := env.ReadFile(string(path))
+				if err != nil {
+					return []int64{-1}, nil
+				}
+				if int64(len(data)) > a[3] {
+					data = data[:a[3]]
+				}
+				if err := vm.WriteMem(a[2], data); err != nil {
+					return []int64{-1}, nil
+				}
+				return []int64{int64(len(data))}, nil
+			}},
+		AppSysWritePrivate: {Name: "write_private", Arity: 4,
+			Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+				path, err := vm.ReadMem(a[0], a[1])
+				if err != nil {
+					return []int64{-1}, nil
+				}
+				data, err := vm.ReadMem(a[2], a[3])
+				if err != nil {
+					return []int64{-1}, nil
+				}
+				label, err := env.UserLabel(req.Owner)
+				if err != nil {
+					return []int64{-1}, nil
+				}
+				if err := env.WriteFile(string(path), data, label); err != nil {
+					return []int64{-1}, nil
+				}
+				return []int64{0}, nil
+			}},
+		AppSysEmit: {Name: "emit", Arity: 2,
+			Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+				chunk, err := vm.ReadMem(a[0], a[1])
+				if err != nil {
+					return []int64{-1}, nil
+				}
+				body = append(body, chunk...)
+				return []int64{int64(len(chunk))}, nil
+			}},
+	}
+
+	vm := wvm.New(w.Prog, wvm.Config{
+		Gas:      gas,
+		MemSize:  w.MemSize,
+		Syscalls: table,
+		Account:  env.proc.Account(),
+	})
+	status, err := vm.Run()
+	if err != nil {
+		return AppResponse{}, fmt.Errorf("module fault: %w", err)
+	}
+	if status == 0 {
+		status = 200
+	}
+	return AppResponse{Status: int(status), Body: body}, nil
+}
+
+// InstallWVMApp registers an uploaded module (by registry name/version)
+// as a runnable application.
+func (p *Provider) InstallWVMApp(module, version string) error {
+	v, err := p.Registry.Get(module, version)
+	if err != nil {
+		return err
+	}
+	prog, err := v.Program()
+	if err != nil {
+		return err
+	}
+	p.InstallApp(WVMApp{AppName: module, Prog: prog})
+	return nil
+}

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"w5/internal/declass"
+	"w5/internal/difc"
+	"w5/internal/registry"
+	"w5/internal/store"
+	"w5/internal/wvm"
+)
+
+func newProvider(t *testing.T) *Provider {
+	t.Helper()
+	return NewProvider(Config{Name: "test", Enforce: true})
+}
+
+func TestCreateUserProvisionsHome(t *testing.T) {
+	p := newProvider(t)
+	u, err := p.CreateUser("bob", "hunter2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.SecrecyTag == 0 || u.WriteTag == 0 || u.SecrecyTag == u.WriteTag {
+		t.Fatalf("bad tags: %+v", u)
+	}
+	// Home skeleton exists and carries the right labels.
+	cred := p.UserCred("bob")
+	for _, dir := range []string{"/home/bob", "/home/bob/private", "/home/bob/public", "/home/bob/social"} {
+		if _, err := p.FS.List(cred, dir); err != nil {
+			t.Errorf("List(%s): %v", dir, err)
+		}
+	}
+	st, _ := p.FS.Stat(cred, "/home/bob/private")
+	if !st.Label.Secrecy.Has(u.SecrecyTag) {
+		t.Error("/home/bob/private not secret")
+	}
+	if !st.Label.Integrity.Has(u.WriteTag) {
+		t.Error("/home/bob/private not write-protected")
+	}
+	// Tag reverse lookup.
+	if owner, ok := p.TagOwner(u.SecrecyTag); !ok || owner != "bob" {
+		t.Error("TagOwner(s_bob) wrong")
+	}
+	// Duplicate refused.
+	if _, err := p.CreateUser("bob", "x"); !errors.Is(err, ErrUserExists) {
+		t.Errorf("duplicate user: %v", err)
+	}
+}
+
+func TestAuthenticate(t *testing.T) {
+	p := newProvider(t)
+	p.CreateUser("bob", "hunter2")
+	if !p.Authenticate("bob", "hunter2") {
+		t.Error("correct password rejected")
+	}
+	if p.Authenticate("bob", "wrong") {
+		t.Error("wrong password accepted")
+	}
+	if p.Authenticate("ghost", "x") {
+		t.Error("missing user accepted")
+	}
+}
+
+// echoApp is a minimal test app: it reads the file named by the "path"
+// parameter (relative to the owner's home) and returns its contents.
+type echoApp struct{}
+
+func (echoApp) Name() string { return "echo" }
+func (echoApp) Handle(env *AppEnv, req AppRequest) (AppResponse, error) {
+	data, err := env.ReadFile("/home/" + req.Owner + req.Params["path"])
+	if err != nil {
+		return AppResponse{Status: 404, Body: []byte("not found")}, nil
+	}
+	return AppResponse{Body: data}, nil
+}
+
+// leakApp tries to copy the owner's private data into a public file —
+// the storage-relay exfiltration.
+type leakApp struct{}
+
+func (leakApp) Name() string { return "leaker" }
+func (leakApp) Handle(env *AppEnv, req AppRequest) (AppResponse, error) {
+	data, err := env.ReadFile("/home/" + req.Owner + "/private/diary")
+	if err != nil {
+		return AppResponse{Status: 404}, nil
+	}
+	// Attempt the relay; the platform must refuse.
+	err = env.WriteFile("/home/"+req.Owner+"/public/stolen", data, difc.LabelPair{})
+	if err != nil {
+		return AppResponse{Body: []byte("relay blocked")}, nil
+	}
+	return AppResponse{Body: []byte("relay SUCCEEDED")}, nil
+}
+
+func setupBobWithDiary(t *testing.T, p *Provider) {
+	t.Helper()
+	if _, err := p.CreateUser("bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	cred := p.UserCred("bob")
+	u, _ := p.GetUser("bob")
+	label := difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}
+	if err := p.FS.Write(cred, "/home/bob/private/diary", []byte("my secret"), label); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvokeRequiresEnablement(t *testing.T) {
+	p := newProvider(t)
+	setupBobWithDiary(t, p)
+	p.InstallApp(echoApp{})
+
+	// Without EnableApp the app lacks s_bob+ and cannot read.
+	inv, err := p.Invoke("echo", AppRequest{Viewer: "bob", Params: map[string]string{"path": "/private/diary"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Response.Status != 404 {
+		t.Errorf("un-enabled app read private data: %+v", inv.Response)
+	}
+	p.Kernel.Exit(inv.Proc)
+
+	// After the one-checkbox enable, the read works.
+	p.EnableApp("bob", "echo")
+	inv, err = p.Invoke("echo", AppRequest{Viewer: "bob", Params: map[string]string{"path": "/private/diary"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(inv.Response.Body) != "my secret" {
+		t.Errorf("body = %q", inv.Response.Body)
+	}
+	// The process is now tainted with s_bob.
+	u, _ := p.GetUser("bob")
+	if !inv.Proc.Labels().Secrecy.Has(u.SecrecyTag) {
+		t.Error("app process not tainted after read")
+	}
+	p.Kernel.Exit(inv.Proc)
+}
+
+func TestExportToOwnerAllowed(t *testing.T) {
+	p := newProvider(t)
+	setupBobWithDiary(t, p)
+	p.InstallApp(echoApp{})
+	p.EnableApp("bob", "echo")
+
+	inv, _ := p.Invoke("echo", AppRequest{Viewer: "bob", Params: map[string]string{"path": "/private/diary"}})
+	body, err := p.ExportCheck(inv, "bob")
+	if err != nil {
+		t.Fatalf("export to owner: %v", err)
+	}
+	if string(body) != "my secret" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestExportToStrangerDenied(t *testing.T) {
+	p := newProvider(t)
+	setupBobWithDiary(t, p)
+	p.CreateUser("charlie", "pw")
+	p.InstallApp(echoApp{})
+	p.EnableApp("bob", "echo")
+
+	inv, _ := p.Invoke("echo", AppRequest{
+		Viewer: "charlie", Owner: "bob",
+		Params: map[string]string{"path": "/private/diary"},
+	})
+	if _, err := p.ExportCheck(inv, "charlie"); !errors.Is(err, ErrExportDenied) {
+		t.Fatalf("export to charlie: %v", err)
+	}
+}
+
+func TestExportToAnonymousDenied(t *testing.T) {
+	p := newProvider(t)
+	setupBobWithDiary(t, p)
+	p.InstallApp(echoApp{})
+	p.EnableApp("bob", "echo")
+
+	inv, _ := p.Invoke("echo", AppRequest{
+		Viewer: "", Owner: "bob",
+		Params: map[string]string{"path": "/private/diary"},
+	})
+	if _, err := p.ExportCheck(inv, ""); !errors.Is(err, ErrExportDenied) {
+		t.Fatalf("anonymous export: %v", err)
+	}
+}
+
+func TestExportViaFriendDeclassifier(t *testing.T) {
+	// The full §3.1 scenario: Bob authorizes a friend-list
+	// declassifier; Alice (friend) can see his data, Charlie cannot.
+	p := newProvider(t)
+	setupBobWithDiary(t, p)
+	p.CreateUser("alice", "pw")
+	p.CreateUser("charlie", "pw")
+	p.InstallApp(echoApp{})
+	p.EnableApp("bob", "echo")
+
+	// Bob's friend list (stored like any other private data).
+	bobCred := p.UserCred("bob")
+	u, _ := p.GetUser("bob")
+	label := difc.LabelPair{Secrecy: difc.NewLabel(u.SecrecyTag), Integrity: difc.NewLabel(u.WriteTag)}
+	if err := p.FS.Write(bobCred, "/home/bob/social/friends", []byte("alice\n"), label); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AuthorizeDeclassifier("bob", declass.FriendList{}); err != nil {
+		t.Fatal(err)
+	}
+
+	serve := func(viewer string) ([]byte, error) {
+		inv, err := p.Invoke("echo", AppRequest{
+			Viewer: viewer, Owner: "bob",
+			Params: map[string]string{"path": "/private/diary"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.ExportCheck(inv, viewer)
+	}
+
+	if body, err := serve("alice"); err != nil || string(body) != "my secret" {
+		t.Errorf("friend export: %q, %v", body, err)
+	}
+	if _, err := serve("charlie"); !errors.Is(err, ErrExportDenied) {
+		t.Errorf("non-friend export: %v", err)
+	}
+	if body, err := serve("bob"); err != nil || string(body) != "my secret" {
+		t.Errorf("owner export: %q, %v", body, err)
+	}
+}
+
+func TestStorageRelayBlocked(t *testing.T) {
+	p := newProvider(t)
+	setupBobWithDiary(t, p)
+	p.InstallApp(leakApp{})
+	p.EnableApp("bob", "leaker")
+
+	inv, err := p.Invoke("leaker", AppRequest{Viewer: "bob", Owner: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(inv.Response.Body) != "relay blocked" {
+		t.Fatalf("storage relay: %q", inv.Response.Body)
+	}
+	p.Kernel.Exit(inv.Proc)
+	// And nothing landed in /public.
+	infos, _ := p.FS.List(p.UserCred("bob"), "/home/bob/public")
+	if len(infos) != 0 {
+		t.Errorf("public dir contains %v", infos)
+	}
+}
+
+func TestWriteGrantRequiredToModify(t *testing.T) {
+	p := newProvider(t)
+	setupBobWithDiary(t, p)
+	writer := appFunc{"writer", func(env *AppEnv, req AppRequest) (AppResponse, error) {
+		label, err := env.UserLabel(req.Owner)
+		if err != nil {
+			return AppResponse{}, err
+		}
+		// Must first raise to read level? No: blind write at the
+		// owner's label; integrity is the gate.
+		if err := env.WriteFile("/home/"+req.Owner+"/private/diary", []byte("edited"), label); err != nil {
+			return AppResponse{Body: []byte("write denied")}, nil
+		}
+		return AppResponse{Body: []byte("write ok")}, nil
+	}}
+	p.InstallApp(writer)
+	p.EnableApp("bob", "writer")
+
+	inv, _ := p.Invoke("writer", AppRequest{Viewer: "bob", Owner: "bob"})
+	if string(inv.Response.Body) != "write denied" {
+		t.Fatalf("write without grant: %q", inv.Response.Body)
+	}
+	p.Kernel.Exit(inv.Proc)
+
+	p.GrantWrite("bob", "writer")
+	inv, _ = p.Invoke("writer", AppRequest{Viewer: "bob", Owner: "bob"})
+	if string(inv.Response.Body) != "write ok" {
+		t.Fatalf("write with grant: %q", inv.Response.Body)
+	}
+	p.Kernel.Exit(inv.Proc)
+
+	data, _, _ := p.FS.Read(p.UserCred("bob"), "/home/bob/private/diary")
+	if string(data) != "edited" {
+		t.Error("granted write did not take effect")
+	}
+}
+
+// appFunc adapts a function to the App interface for tests.
+type appFunc struct {
+	name string
+	fn   func(*AppEnv, AppRequest) (AppResponse, error)
+}
+
+func (a appFunc) Name() string { return a.name }
+func (a appFunc) Handle(env *AppEnv, req AppRequest) (AppResponse, error) {
+	return a.fn(env, req)
+}
+
+func TestInvokeUnknownApp(t *testing.T) {
+	p := newProvider(t)
+	if _, err := p.Invoke("ghost", AppRequest{}); !errors.Is(err, ErrNoApp) {
+		t.Errorf("unknown app: %v", err)
+	}
+}
+
+func TestDisableAppRevokesRead(t *testing.T) {
+	p := newProvider(t)
+	setupBobWithDiary(t, p)
+	p.InstallApp(echoApp{})
+	p.EnableApp("bob", "echo")
+	p.DisableApp("bob", "echo")
+	inv, _ := p.Invoke("echo", AppRequest{Viewer: "bob", Params: map[string]string{"path": "/private/diary"}})
+	if inv.Response.Status != 404 {
+		t.Errorf("disabled app still reads: %+v", inv.Response)
+	}
+	p.Kernel.Exit(inv.Proc)
+	if p.AppEnabled("bob", "echo") {
+		t.Error("AppEnabled after disable")
+	}
+}
+
+func TestChameleonTransformsOnExport(t *testing.T) {
+	p := newProvider(t)
+	setupBobWithDiary(t, p)
+	p.CreateUser("date", "pw")
+	p.InstallApp(echoApp{})
+	p.EnableApp("bob", "echo")
+
+	bobCred := p.UserCred("bob")
+	u, _ := p.GetUser("bob")
+	label := difc.LabelPair{Secrecy: difc.NewLabel(u.SecrecyTag), Integrity: difc.NewLabel(u.WriteTag)}
+	profile := "name: bob\n[private]\nsci-fi fan\n[/private]\nlikes dogs"
+	p.FS.Write(bobCred, "/home/bob/social/profile", []byte(profile), label)
+	p.AuthorizeDeclassifier("bob", declass.Chameleon{Inner: declass.Public{}})
+
+	inv, _ := p.Invoke("echo", AppRequest{
+		Viewer: "date", Owner: "bob",
+		Params: map[string]string{"path": "/social/profile"},
+	})
+	body, err := p.ExportCheck(inv, "date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body), "sci-fi") {
+		t.Errorf("private marker leaked to date: %q", body)
+	}
+	if !strings.Contains(string(body), "likes dogs") {
+		t.Errorf("public portion lost: %q", body)
+	}
+}
+
+const wvmEchoAppSource = `
+.data pfx "/home/"
+.data greet "hello "
+; emit "hello <viewer>"
+        push @greet
+        push #greet
+        sys emit
+        pop
+        push 1024
+        sys copy_viewer
+        store 0
+        push 1024
+        load 0
+        sys emit
+        pop
+        halt
+`
+
+func TestWVMAppEndToEnd(t *testing.T) {
+	p := newProvider(t)
+	p.CreateUser("bob", "pw")
+	prog, err := wvm.Assemble(wvmEchoAppSource, AppSyscallNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upload to the registry as open source, then install from it.
+	_, err = p.Registry.Put(registry.Upload{
+		Module: "greeter", Version: "1.0", Developer: "devA",
+		Kind: registry.KindApp, Program: prog, Source: wvmEchoAppSource,
+		SysNames: AppSyscallNames, Summary: "greets the viewer",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InstallWVMApp("greeter", ""); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := p.Invoke("greeter", AppRequest{Viewer: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := p.ExportCheck(inv, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != "hello bob" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestUsersSortedAndAppNames(t *testing.T) {
+	p := newProvider(t)
+	p.CreateUser("zoe", "pw")
+	p.CreateUser("adam", "pw")
+	got := p.Users()
+	if len(got) != 2 || got[0] != "adam" {
+		t.Errorf("Users = %v", got)
+	}
+	p.InstallApp(echoApp{})
+	if names := p.AppNames(); len(names) != 1 || names[0] != "echo" {
+		t.Errorf("AppNames = %v", names)
+	}
+}
+
+func TestUserCredUnknownUserIsPowerless(t *testing.T) {
+	p := newProvider(t)
+	cred := p.UserCred("ghost")
+	if !cred.Caps.IsEmpty() {
+		t.Error("unknown user got capabilities")
+	}
+	if _, err := p.FS.List(cred, "/"); err != nil && !errors.Is(err, store.ErrDenied) {
+		// Root is public: listing should work even powerless.
+		t.Errorf("List(/): %v", err)
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"w5/internal/audit"
+	"w5/internal/declass"
+	"w5/internal/difc"
+	"w5/internal/quota"
+)
+
+// TestConcurrentMultiUserIsolation runs many users and many concurrent
+// app invocations and asserts the core isolation property under racy
+// conditions: every user sees exactly their own document, and no
+// cross-user export ever succeeds without a policy.
+func TestConcurrentMultiUserIsolation(t *testing.T) {
+	const users, itersPerUser = 8, 40
+	p := NewProvider(Config{Name: "integ", Enforce: true})
+	p.InstallApp(echoApp{})
+
+	names := make([]string, users)
+	for i := range names {
+		names[i] = fmt.Sprintf("user%02d", i)
+		if _, err := p.CreateUser(names[i], "pw"); err != nil {
+			t.Fatal(err)
+		}
+		u, _ := p.GetUser(names[i])
+		label := difc.LabelPair{
+			Secrecy:   difc.NewLabel(u.SecrecyTag),
+			Integrity: difc.NewLabel(u.WriteTag),
+		}
+		doc := []byte("secret of " + names[i])
+		if err := p.FS.Write(p.UserCred(names[i]),
+			"/home/"+names[i]+"/private/doc", doc, label); err != nil {
+			t.Fatal(err)
+		}
+		p.EnableApp(names[i], "echo")
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, users*itersPerUser*2)
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			victim := names[(me+1)%users]
+			for it := 0; it < itersPerUser; it++ {
+				// My own document: must always work and be mine.
+				inv, err := p.Invoke("echo", AppRequest{
+					Viewer: names[me], Owner: names[me],
+					Params: map[string]string{"path": "/private/doc"},
+				})
+				if err != nil {
+					errCh <- err
+					continue
+				}
+				body, err := p.ExportCheck(inv, names[me])
+				if err != nil {
+					errCh <- fmt.Errorf("%s own read: %w", names[me], err)
+					continue
+				}
+				if string(body) != "secret of "+names[me] {
+					errCh <- fmt.Errorf("%s got %q", names[me], body)
+				}
+				// My neighbour's document: app reads it, export must fail.
+				inv, err = p.Invoke("echo", AppRequest{
+					Viewer: names[me], Owner: victim,
+					Params: map[string]string{"path": "/private/doc"},
+				})
+				if err != nil {
+					errCh <- err
+					continue
+				}
+				if _, err := p.ExportCheck(inv, names[me]); !errors.Is(err, ErrExportDenied) {
+					errCh <- fmt.Errorf("%s exported %s's data (err=%v)", names[me], victim, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	// Every cross-user attempt was audited as a denial.
+	denials := p.Log.CountKind(audit.KindExportDenied)
+	if denials < users*itersPerUser {
+		t.Errorf("only %d export denials audited, want >= %d", denials, users*itersPerUser)
+	}
+}
+
+// TestDeclassifierChangeTakesEffectImmediately covers a policy
+// lifecycle race users care about: revoking a declassifier stops
+// sharing on the very next request, with no caching anywhere.
+func TestDeclassifierChangeTakesEffectImmediately(t *testing.T) {
+	p := NewProvider(Config{Name: "integ2", Enforce: true})
+	setupBobWithDiary(t, p)
+	p.CreateUser("alice", "pw")
+	p.InstallApp(echoApp{})
+	p.EnableApp("bob", "echo")
+
+	serve := func() error {
+		inv, err := p.Invoke("echo", AppRequest{Viewer: "alice", Owner: "bob",
+			Params: map[string]string{"path": "/private/diary"}})
+		if err != nil {
+			return err
+		}
+		_, err = p.ExportCheck(inv, "alice")
+		return err
+	}
+	if err := serve(); !errors.Is(err, ErrExportDenied) {
+		t.Fatalf("before grant: %v", err)
+	}
+	p.AuthorizeDeclassifier("bob", declass.Group{GroupName: "g", Members: []string{"alice"}})
+	if err := serve(); err != nil {
+		t.Fatalf("after grant: %v", err)
+	}
+	p.Declass.Revoke("bob", "group:g")
+	if err := serve(); !errors.Is(err, ErrExportDenied) {
+		t.Fatalf("after revoke: %v", err)
+	}
+}
+
+// TestQuotaExhaustionIsPerPrincipal ensures one app hitting its network
+// budget cannot affect another app's service — the billing boundary.
+func TestQuotaExhaustionIsPerPrincipal(t *testing.T) {
+	p := NewProvider(Config{Name: "integ3", Enforce: true,
+		AppLimits: quota.Limits{Network: 2048}})
+	setupBobWithDiary(t, p)
+	p.InstallApp(echoApp{})
+	p.InstallApp(appFunc{"echo2", func(env *AppEnv, req AppRequest) (AppResponse, error) {
+		data, err := env.ReadFile("/home/" + req.Owner + req.Params["path"])
+		if err != nil {
+			return AppResponse{Status: 404}, nil
+		}
+		return AppResponse{Body: data}, nil
+	}})
+	p.EnableApp("bob", "echo")
+	p.EnableApp("bob", "echo2")
+
+	serve := func(app string) error {
+		inv, err := p.Invoke(app, AppRequest{Viewer: "bob", Owner: "bob",
+			Params: map[string]string{"path": "/private/diary"}})
+		if err != nil {
+			return err
+		}
+		_, err = p.ExportCheck(inv, "bob")
+		return err
+	}
+	// Drain app "echo"'s 2 KiB budget ("my secret" = 9 bytes per req).
+	exhausted := false
+	for i := 0; i < 400; i++ {
+		if err := serve("echo"); err != nil {
+			exhausted = true
+			break
+		}
+	}
+	if !exhausted {
+		t.Fatal("echo never hit its network quota")
+	}
+	// The other app is unaffected.
+	if err := serve("echo2"); err != nil {
+		t.Fatalf("echo2 affected by echo's exhaustion: %v", err)
+	}
+}
+
+// TestAuditTrailTellsTheStory replays the quickstart flow and checks
+// the audit log contains the load-bearing events in order categories.
+func TestAuditTrailTellsTheStory(t *testing.T) {
+	p := NewProvider(Config{Name: "integ4", Enforce: true})
+	setupBobWithDiary(t, p)
+	p.CreateUser("eve", "pw")
+	p.InstallApp(echoApp{})
+	p.EnableApp("bob", "echo")
+	p.AuthorizeDeclassifier("bob", declass.OwnerOnly{})
+
+	inv, _ := p.Invoke("echo", AppRequest{Viewer: "bob", Owner: "bob",
+		Params: map[string]string{"path": "/private/diary"}})
+	p.ExportCheck(inv, "bob")
+	inv, _ = p.Invoke("echo", AppRequest{Viewer: "eve", Owner: "bob",
+		Params: map[string]string{"path": "/private/diary"}})
+	p.ExportCheck(inv, "eve")
+
+	for kind, min := range map[audit.Kind]int{
+		audit.KindTagMint:      4, // 2 users x 2 tags
+		audit.KindGrant:        1, // enable
+		audit.KindPolicyChange: 1, // declassifier authorization
+		audit.KindSpawn:        2,
+		audit.KindExport:       1, // bob's success
+		audit.KindExportDenied: 1, // eve's denial
+	} {
+		if got := p.Log.CountKind(kind); got < min {
+			t.Errorf("audit %s count = %d, want >= %d", kind, got, min)
+		}
+	}
+}
+
+// TestLabelsNeverShrinkDuringHandle pins the auto-taint contract: after
+// an app reads two users' data, its process label contains both tags.
+func TestLabelsNeverShrinkDuringHandle(t *testing.T) {
+	p := NewProvider(Config{Name: "integ5", Enforce: true})
+	for _, n := range []string{"u1", "u2"} {
+		p.CreateUser(n, "pw")
+		u, _ := p.GetUser(n)
+		label := difc.LabelPair{
+			Secrecy:   difc.NewLabel(u.SecrecyTag),
+			Integrity: difc.NewLabel(u.WriteTag),
+		}
+		p.FS.Write(p.UserCred(n), "/home/"+n+"/private/doc", []byte(n), label)
+	}
+	mixer := appFunc{"mixer", func(env *AppEnv, req AppRequest) (AppResponse, error) {
+		a, err1 := env.ReadFile("/home/u1/private/doc")
+		b, err2 := env.ReadFile("/home/u2/private/doc")
+		if err1 != nil || err2 != nil {
+			return AppResponse{Status: 404}, nil
+		}
+		return AppResponse{Body: append(a, b...)}, nil
+	}}
+	p.InstallApp(mixer)
+	p.EnableApp("u1", "mixer")
+	p.EnableApp("u2", "mixer")
+
+	inv, err := p.Invoke("mixer", AppRequest{Viewer: "u1", Owner: "u1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Kernel.Exit(inv.Proc)
+	u1, _ := p.GetUser("u1")
+	u2, _ := p.GetUser("u2")
+	s := inv.Proc.Labels().Secrecy
+	if !s.Has(u1.SecrecyTag) || !s.Has(u2.SecrecyTag) {
+		t.Fatalf("commingling process label %s missing a tag", s)
+	}
+	// Exportable to NOBODY without both owners' policies: not even u1.
+	if _, err := p.ExportCheck(inv, "u1"); !errors.Is(err, ErrExportDenied) {
+		t.Errorf("commingled export to u1: %v", err)
+	}
+}

@@ -1,0 +1,421 @@
+// Package core assembles the W5 meta-application: "a single logical
+// machine on which applications and data are segregated" (§1).
+//
+// A Provider owns one instance of every trusted subsystem — the DIFC
+// kernel, the labeled filesystem and tuple store, the module registry,
+// the declassifier manager, quotas, and the audit log — and implements
+// the user lifecycle the paper describes: account creation mints the
+// user's secrecy tag s_u and write-protection tag w_u; "checking a box"
+// to adopt an application is EnableApp; granting write access or
+// authorizing a declassifier deposits exactly the corresponding
+// capability and nothing more.
+//
+// Everything in internal/apps runs through AppEnv (appenv.go), which
+// snapshots the calling process's labels before every storage operation
+// and raises them afterward — untrusted code simply cannot forget to
+// taint itself. The gateway (internal/gateway) is the only component
+// that exports bytes, and it does so through Provider.ExportCheck.
+package core
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"w5/internal/audit"
+	"w5/internal/declass"
+	"w5/internal/difc"
+	"w5/internal/kernel"
+	"w5/internal/quota"
+	"w5/internal/registry"
+	"w5/internal/store"
+	"w5/internal/table"
+)
+
+// Errors.
+var (
+	ErrUserExists   = errors.New("w5: user already exists")
+	ErrNoUser       = errors.New("w5: no such user")
+	ErrBadPassword  = errors.New("w5: authentication failed")
+	ErrNoApp        = errors.New("w5: no such application")
+	ErrNotEnabled   = errors.New("w5: user has not enabled this application")
+	ErrExportDenied = errors.New("w5: export denied by policy")
+)
+
+// User is one end-user account. The two tags implement the paper's two
+// default policies: data labeled {s_u} is private to u (boilerplate
+// privacy), data with w_u in its integrity label is write-protected.
+type User struct {
+	Name       string
+	SecrecyTag difc.Tag // s_u
+	WriteTag   difc.Tag // w_u
+	passSalt   []byte
+	passHash   []byte
+}
+
+// Config configures a Provider.
+type Config struct {
+	// Name identifies the provider (used in federation and audit).
+	Name string
+	// Enforce turns DIFC checking on (default in NewProvider; the E3
+	// baseline sets it false).
+	Enforce bool
+	// AppLimits is the per-application quota budget (zero value =
+	// quota.DefaultAppLimits()).
+	AppLimits quota.Limits
+	// NaiveTables selects the covert-channel-prone table store (the E7
+	// comparator only).
+	NaiveTables bool
+	// DisableQuotas removes all resource limits (E8 baseline).
+	DisableQuotas bool
+}
+
+// Provider is one W5 deployment.
+type Provider struct {
+	Name     string
+	Kernel   *kernel.Kernel
+	FS       *store.FS
+	Tables   *table.Store
+	Registry *registry.Registry
+	Declass  *declass.Manager
+	Quotas   *quota.Manager
+	Log      *audit.Log
+
+	mu       sync.RWMutex
+	users    map[string]*User
+	tagUser  map[difc.Tag]string          // s_u or w_u -> user name
+	enabled  map[string]map[string]bool   // user -> app -> enabled ("checked the box")
+	writes   map[string]map[string]bool   // user -> app -> write granted
+	goApps   map[string]App               // installed native (Go) applications
+}
+
+// NewProvider builds a fully wired provider.
+func NewProvider(cfg Config) *Provider {
+	if cfg.Name == "" {
+		cfg.Name = "w5"
+	}
+	log := audit.New()
+	limits := cfg.AppLimits
+	if limits == (quota.Limits{}) {
+		limits = quota.DefaultAppLimits()
+	}
+	var qm *quota.Manager
+	if !cfg.DisableQuotas {
+		qm = quota.NewManager(limits)
+	}
+	k := kernel.New(kernel.Options{Enforce: cfg.Enforce, Log: log, Quotas: qm})
+	fs := store.New(store.Options{Log: log, Quotas: qm})
+	tbl := table.New(table.Options{Log: log, Quotas: qm, Naive: cfg.NaiveTables})
+	reg := registry.New(log)
+
+	p := &Provider{
+		Name:     cfg.Name,
+		Kernel:   k,
+		FS:       fs,
+		Tables:   tbl,
+		Registry: reg,
+		Quotas:   qm,
+		Log:      log,
+		users:    make(map[string]*User),
+		tagUser:  make(map[difc.Tag]string),
+		enabled:  make(map[string]map[string]bool),
+		writes:   make(map[string]map[string]bool),
+		goApps:   make(map[string]App),
+	}
+	p.Declass = declass.NewManager(p.ownerEnv, log)
+	return p
+}
+
+// providerCred is the trusted credential used for platform-owned
+// structures (directory skeletons); it owns nothing user-specific.
+func providerCred() store.Cred {
+	return store.Cred{Principal: "provider"}
+}
+
+// CreateUser provisions an account: mints s_u and w_u, builds the home
+// directory skeleton, and stores the salted password hash.
+//
+// Home layout (all write-protected by w_u):
+//
+//	/home/<u>          public names, so apps can navigate
+//	/home/<u>/private  secrecy {s_u}: the boilerplate default
+//	/home/<u>/public   empty secrecy: what u has published
+//	/home/<u>/social   secrecy {s_u}: friend lists, profile
+func (p *Provider) CreateUser(name, password string) (*User, error) {
+	if name == "" || len(name) > 64 {
+		return nil, fmt.Errorf("w5: bad user name %q", name)
+	}
+	p.mu.Lock()
+	if _, dup := p.users[name]; dup {
+		p.mu.Unlock()
+		return nil, ErrUserExists
+	}
+	sTag := p.Kernel.MintTag(nil, "s_"+name)
+	wTag := p.Kernel.MintTag(nil, "w_"+name)
+	salt := make([]byte, 16)
+	rand.Read(salt)
+	h := hashPassword(salt, password)
+	u := &User{Name: name, SecrecyTag: sTag, WriteTag: wTag, passSalt: salt, passHash: h}
+	p.users[name] = u
+	p.tagUser[sTag] = name
+	p.tagUser[wTag] = name
+	p.mu.Unlock()
+
+	cred := p.UserCred(name)
+	wp := difc.NewLabel(wTag)
+	if err := p.FS.MkdirAll(providerCred(), "/home", difc.LabelPair{}); err != nil && !errors.Is(err, store.ErrExists) {
+		return nil, err
+	}
+	dirs := []struct {
+		path  string
+		label difc.LabelPair
+	}{
+		{"/home/" + name, difc.LabelPair{Integrity: wp}},
+		{"/home/" + name + "/private", difc.LabelPair{Secrecy: difc.NewLabel(sTag), Integrity: wp}},
+		{"/home/" + name + "/public", difc.LabelPair{Integrity: wp}},
+		{"/home/" + name + "/social", difc.LabelPair{Secrecy: difc.NewLabel(sTag), Integrity: wp}},
+	}
+	for _, d := range dirs {
+		if err := p.FS.Mkdir(cred, d.path, d.label); err != nil {
+			return nil, fmt.Errorf("w5: provisioning %s: %w", d.path, err)
+		}
+	}
+	p.Log.Appendf(audit.KindLogin, name, "account", "created with tags %s %s", sTag, wTag)
+	return u, nil
+}
+
+func hashPassword(salt []byte, password string) []byte {
+	h := sha256.New()
+	h.Write(salt)
+	h.Write([]byte(password))
+	// Stretch a little; real systems would use a KDF, but the module
+	// must stay stdlib-only and the threat model here is architectural.
+	sum := h.Sum(nil)
+	for i := 0; i < 4096; i++ {
+		s := sha256.Sum256(sum)
+		sum = s[:]
+	}
+	return sum
+}
+
+// Authenticate verifies a password.
+func (p *Provider) Authenticate(name, password string) bool {
+	p.mu.RLock()
+	u, ok := p.users[name]
+	p.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	want := hashPassword(u.passSalt, password)
+	return subtle.ConstantTimeCompare(want, u.passHash) == 1
+}
+
+// GetUser looks up an account.
+func (p *Provider) GetUser(name string) (*User, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	u, ok := p.users[name]
+	if !ok {
+		return nil, ErrNoUser
+	}
+	return u, nil
+}
+
+// Users lists account names, sorted.
+func (p *Provider) Users() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.users))
+	for n := range p.users {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TagOwner resolves a tag to the user who owns it; the gateway uses it
+// to route residual secrecy tags to the right user's declassifiers.
+func (p *Provider) TagOwner(t difc.Tag) (string, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	u, ok := p.tagUser[t]
+	return u, ok
+}
+
+// UserCred is the full-privilege credential of the user's own trusted
+// session: it owns both of u's tags. Only provider code acting directly
+// for the authenticated user (the gateway session, the declassifier
+// Env) uses it; applications never see it.
+func (p *Provider) UserCred(name string) store.Cred {
+	p.mu.RLock()
+	u, ok := p.users[name]
+	p.mu.RUnlock()
+	if !ok {
+		return store.Cred{Principal: "user:" + name}
+	}
+	return store.Cred{
+		Labels:    difc.LabelPair{Integrity: difc.NewLabel(u.WriteTag)},
+		Caps:      difc.CapsFor(u.SecrecyTag, u.WriteTag),
+		Principal: "user:" + name,
+	}
+}
+
+// UserTableCred is UserCred shaped for the tuple store.
+func (p *Provider) UserTableCred(name string) table.Cred {
+	c := p.UserCred(name)
+	return table.Cred{Labels: c.Labels, Caps: c.Caps, Principal: c.Principal}
+}
+
+// ownerEnv builds the declassifier Env for an owner: reads run with the
+// owner's own credential, scoped under the owner's home directory.
+func (p *Provider) ownerEnv(owner string) declass.Env {
+	return &userEnv{p: p, owner: owner}
+}
+
+type userEnv struct {
+	p     *Provider
+	owner string
+}
+
+func (e *userEnv) ReadOwnerFile(path string) ([]byte, error) {
+	if len(path) == 0 || path[0] != '/' {
+		return nil, store.ErrBadPath
+	}
+	full := "/home/" + e.owner + path
+	data, _, err := e.p.FS.Read(e.p.UserCred(e.owner), full)
+	return data, err
+}
+
+// EnableApp is the paper's one-checkbox adoption (§1): it grants the
+// application the right to READ u's data (the s_u+ capability) — and
+// nothing else. Experiment E1 counts the operations this replaces.
+func (p *Provider) EnableApp(user, app string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.users[user]; !ok {
+		return ErrNoUser
+	}
+	if p.enabled[user] == nil {
+		p.enabled[user] = make(map[string]bool)
+	}
+	p.enabled[user][app] = true
+	p.Log.Appendf(audit.KindGrant, user, app, "enabled (read grant)")
+	return nil
+}
+
+// DisableApp withdraws the read grant.
+func (p *Provider) DisableApp(user, app string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.enabled[user] != nil {
+		delete(p.enabled[user], app)
+	}
+	p.Log.Appendf(audit.KindRevoke, user, app, "disabled")
+}
+
+// AppEnabled reports whether user has enabled app.
+func (p *Provider) AppEnabled(user, app string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.enabled[user][app]
+}
+
+// GrantWrite lets app write u's data faithfully (§3.1 "Write
+// Protection"): the app's processes may endorse with w_u.
+func (p *Provider) GrantWrite(user, app string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.users[user]; !ok {
+		return ErrNoUser
+	}
+	if p.writes[user] == nil {
+		p.writes[user] = make(map[string]bool)
+	}
+	p.writes[user][app] = true
+	p.Log.Appendf(audit.KindGrant, user, app, "write grant (w_u+)")
+	return nil
+}
+
+// RevokeWrite withdraws the write grant.
+func (p *Provider) RevokeWrite(user, app string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.writes[user] != nil {
+		delete(p.writes[user], app)
+	}
+	p.Log.Appendf(audit.KindRevoke, user, app, "write grant revoked")
+}
+
+// AuthorizeDeclassifier deposits u's export privilege (s_u−) with a
+// policy — §3.1's "he must grant an appropriate declassifier his data
+// export privileges".
+func (p *Provider) AuthorizeDeclassifier(user string, policy declass.Policy) error {
+	p.mu.RLock()
+	u, ok := p.users[user]
+	p.mu.RUnlock()
+	if !ok {
+		return ErrNoUser
+	}
+	p.Declass.Authorize(user, policy, difc.NewCapSet(difc.Minus(u.SecrecyTag)))
+	return nil
+}
+
+// appCaps assembles the capability set an application process runs
+// with: s_u+ for every user who enabled it, plus w_u+ (and the w_u
+// integrity endorsement) for users who granted write.
+func (p *Provider) appCaps(app string) (difc.CapSet, difc.Label) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	caps := difc.EmptyCaps
+	var endorse []difc.Tag
+	for user, apps := range p.enabled {
+		if apps[app] {
+			if u := p.users[user]; u != nil {
+				caps = caps.Grant(difc.Plus(u.SecrecyTag))
+			}
+		}
+	}
+	for user, apps := range p.writes {
+		if apps[app] {
+			if u := p.users[user]; u != nil {
+				caps = caps.Grant(difc.Plus(u.WriteTag))
+				endorse = append(endorse, u.WriteTag)
+			}
+		}
+	}
+	return caps, difc.NewLabel(endorse...)
+}
+
+// InstallApp registers a native (Go) application implementation under
+// its name. Native apps model the compiled modules of §2; they receive
+// only an AppEnv, never raw subsystem handles, so they are confined
+// exactly like bytecode apps.
+func (p *Provider) InstallApp(app App) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.goApps[app.Name()] = app
+	p.Log.Appendf(audit.KindUpload, "provider", app.Name(), "native app installed")
+}
+
+// AppNames lists installed native apps, sorted.
+func (p *Provider) AppNames() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.goApps))
+	for n := range p.goApps {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (p *Provider) lookupApp(name string) (App, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	a, ok := p.goApps[name]
+	return a, ok
+}

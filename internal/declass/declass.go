@@ -1,0 +1,401 @@
+// Package declass implements the W5 declassifier framework: the small,
+// pluggable, user-authorized agents that may move data across the
+// security perimeter (§3.1 "Privacy Protection").
+//
+// The paper gives declassifiers two defining characteristics, both
+// honored here:
+//
+//  1. "They are agnostic to the structure of the data they are
+//     declassifying" — a Policy sees an opaque payload plus who owns
+//     it, who is asking, and which app is serving; the same friend-list
+//     policy therefore guards photos, blog posts, or anything else.
+//  2. "They are 'pluggable' and factored out of larger applications" —
+//     policies are small values registered with the Manager, not code
+//     inside applications; users pick them independently of apps, and
+//     experiment E4 quantifies how much smaller they are than the
+//     applications they guard.
+//
+// The Manager holds, for each user, the export capability (s_u−) that
+// the user granted alongside each authorized policy. When the gateway
+// needs to export data still tainted by s_u, it asks the Manager; the
+// Manager consults u's policies and, only on an affirmative decision,
+// exercises the stored capability. Every exercise is audited.
+package declass
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"w5/internal/audit"
+	"w5/internal/difc"
+)
+
+// Request describes one export attempt, from the declassifier's point
+// of view. The payload is opaque (property 1 above).
+type Request struct {
+	Owner  string // user whose secrecy tag gates this export
+	Viewer string // authenticated requesting user; "" = anonymous client
+	App    string // application serving the request
+	Path   string // resource identifier (for auditing and policy context)
+	Data   []byte // the payload that would cross the perimeter
+}
+
+// Decision is a policy's verdict.
+type Decision struct {
+	Allow  bool
+	Reason string
+	// Data, if non-nil, replaces the payload on export — how a
+	// "chameleon" policy adjusts output per viewer. Policies that
+	// merely gate leave it nil.
+	Data []byte
+}
+
+// Allow builds an affirmative decision.
+func Allow(reason string) Decision { return Decision{Allow: true, Reason: reason} }
+
+// Deny builds a negative decision.
+func Deny(reason string) Decision { return Decision{Allow: false, Reason: reason} }
+
+// Env gives a policy read access to its authorizing owner's data — the
+// friend list, group rosters, whatever the policy needs. The Manager
+// constructs an Env bound to the owner, using the owner's own read
+// privilege; a policy can never read other users' data through it.
+type Env interface {
+	// ReadOwnerFile reads a file belonging to the authorizing owner.
+	ReadOwnerFile(path string) ([]byte, error)
+}
+
+// Policy decides export requests. Implementations must be safe for
+// concurrent use.
+type Policy interface {
+	// Name identifies the policy for auditing and revocation.
+	Name() string
+	// Decide renders a verdict; it must not mutate req.Data.
+	Decide(req Request, env Env) Decision
+}
+
+// ErrNoPolicy reports that no authorized policy covers an owner.
+var ErrNoPolicy = errors.New("declass: no authorized policy")
+
+// grant pairs an authorized policy with the export capability the owner
+// deposited for it.
+type grant struct {
+	policy Policy
+	caps   difc.CapSet
+}
+
+// Manager tracks which policies each user has authorized and holds the
+// corresponding export privileges. Safe for concurrent use.
+type Manager struct {
+	mu     sync.RWMutex
+	grants map[string][]grant // owner -> authorized policies, in grant order
+	envFor func(owner string) Env
+	log    *audit.Log
+}
+
+// NewManager returns a Manager. envFor builds the owner-scoped data
+// view handed to policies (nil yields an Env whose reads always fail);
+// log may be nil.
+func NewManager(envFor func(owner string) Env, log *audit.Log) *Manager {
+	if envFor == nil {
+		envFor = func(string) Env { return noEnv{} }
+	}
+	return &Manager{grants: make(map[string][]grant), envFor: envFor, log: log}
+}
+
+type noEnv struct{}
+
+func (noEnv) ReadOwnerFile(string) ([]byte, error) {
+	return nil, errors.New("declass: no environment configured")
+}
+
+// Authorize records that owner entrusts policy with the given export
+// capabilities (typically the s_owner− capability). This is the §3.1
+// moment: "If Bob wants to use W5 social networking, he must grant an
+// appropriate declassifier his data export privileges."
+func (m *Manager) Authorize(owner string, policy Policy, caps difc.CapSet) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.grants[owner] = append(m.grants[owner], grant{policy: policy, caps: caps})
+	if m.log != nil {
+		m.log.Appendf(audit.KindPolicyChange, owner, policy.Name(),
+			"authorized declassifier with %s", caps)
+	}
+}
+
+// Revoke removes every authorization of the named policy for owner.
+func (m *Manager) Revoke(owner, policyName string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	kept := m.grants[owner][:0]
+	for _, g := range m.grants[owner] {
+		if g.policy.Name() != policyName {
+			kept = append(kept, g)
+		}
+	}
+	m.grants[owner] = kept
+	if m.log != nil {
+		m.log.Appendf(audit.KindPolicyChange, owner, policyName, "revoked declassifier")
+	}
+}
+
+// Policies lists the names of owner's authorized policies, sorted.
+func (m *Manager) Policies(owner string) []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	for _, g := range m.grants[owner] {
+		out = append(out, g.policy.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Ask consults owner's authorized policies about req, in authorization
+// order, returning the first affirmative decision together with the
+// capabilities deposited for that policy. Returns ErrNoPolicy if owner
+// authorized nothing, and a deny decision if all policies refuse.
+// Every consultation outcome is audited with the policy name and
+// reason — the provider-visible trail that makes declassifiers "easier
+// to audit" operationally as well as statically.
+func (m *Manager) Ask(req Request) (Decision, difc.CapSet, error) {
+	m.mu.RLock()
+	grants := append([]grant(nil), m.grants[req.Owner]...)
+	m.mu.RUnlock()
+	if len(grants) == 0 {
+		return Deny("no policy"), difc.EmptyCaps, ErrNoPolicy
+	}
+	env := m.envFor(req.Owner)
+	var lastReason string
+	for _, g := range grants {
+		d := g.policy.Decide(req, env)
+		if d.Allow {
+			if m.log != nil {
+				m.log.Appendf(audit.KindDeclassify, g.policy.Name(),
+					req.Owner+"→"+displayViewer(req.Viewer),
+					"app=%s path=%s: %s", req.App, req.Path, d.Reason)
+			}
+			return d, g.caps, nil
+		}
+		lastReason = d.Reason
+	}
+	if m.log != nil {
+		m.log.Appendf(audit.KindExportDenied, req.App,
+			req.Owner+"→"+displayViewer(req.Viewer),
+			"all policies refused: %s", lastReason)
+	}
+	return Deny(lastReason), difc.EmptyCaps, nil
+}
+
+func displayViewer(v string) string {
+	if v == "" {
+		return "(anonymous)"
+	}
+	return v
+}
+
+// ---- Standard policy library ------------------------------------------
+
+// OwnerOnly is the boilerplate W5 policy (§3.1): "Bob's data can only
+// leave the security perimeter if destined for Bob's browser."
+type OwnerOnly struct{}
+
+// Name implements Policy.
+func (OwnerOnly) Name() string { return "owner-only" }
+
+// Decide implements Policy.
+func (OwnerOnly) Decide(req Request, _ Env) Decision {
+	if req.Viewer != "" && req.Viewer == req.Owner {
+		return Allow("viewer is owner")
+	}
+	return Deny("viewer is not owner")
+}
+
+// Public always allows — the policy a user attaches to data they have
+// deliberately published.
+type Public struct{}
+
+// Name implements Policy.
+func (Public) Name() string { return "public" }
+
+// Decide implements Policy.
+func (Public) Decide(Request, Env) Decision { return Allow("data is public") }
+
+// FriendList allows the owner and anyone named in the owner's friend
+// file (one username per line, '#' comments). This is the §3.1 example:
+// "A correct declassifier in this context will send Bob's profile to
+// users on Bob's friend list and not to others." Note it is data-
+// structure agnostic: it never inspects the payload.
+type FriendList struct {
+	// FriendsPath is the owner-relative file holding the friend list;
+	// empty means "/social/friends".
+	FriendsPath string
+}
+
+// Name implements Policy.
+func (FriendList) Name() string { return "friend-list" }
+
+// Decide implements Policy.
+func (f FriendList) Decide(req Request, env Env) Decision {
+	if req.Viewer == "" {
+		return Deny("anonymous viewer")
+	}
+	if req.Viewer == req.Owner {
+		return Allow("viewer is owner")
+	}
+	path := f.FriendsPath
+	if path == "" {
+		path = "/social/friends"
+	}
+	data, err := env.ReadOwnerFile(path)
+	if err != nil {
+		return Deny("friend list unreadable")
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == req.Viewer {
+			return Allow("viewer on friend list")
+		}
+	}
+	return Deny("viewer not on friend list")
+}
+
+// Group allows a fixed member set — an "idiosyncratic" policy a user
+// might configure for roommates (§2's example: output "viewed only by
+// his roommates").
+type Group struct {
+	GroupName string
+	Members   []string
+}
+
+// Name implements Policy.
+func (g Group) Name() string { return "group:" + g.GroupName }
+
+// Decide implements Policy.
+func (g Group) Decide(req Request, _ Env) Decision {
+	if req.Viewer == req.Owner && req.Viewer != "" {
+		return Allow("viewer is owner")
+	}
+	for _, m := range g.Members {
+		if m == req.Viewer && req.Viewer != "" {
+			return Allow("viewer in group " + g.GroupName)
+		}
+	}
+	return Deny("viewer not in group " + g.GroupName)
+}
+
+// TimeWindow allows exports only within [FromHour, ToHour) UTC,
+// wrapping past midnight if FromHour > ToHour. Another idiosyncratic
+// policy; composes around an inner policy.
+type TimeWindow struct {
+	Inner    Policy
+	FromHour int
+	ToHour   int
+	Clock    func() time.Time // nil = time.Now
+}
+
+// Name implements Policy.
+func (t TimeWindow) Name() string {
+	return fmt.Sprintf("time-window[%02d-%02d]:%s", t.FromHour, t.ToHour, t.Inner.Name())
+}
+
+// Decide implements Policy.
+func (t TimeWindow) Decide(req Request, env Env) Decision {
+	now := time.Now
+	if t.Clock != nil {
+		now = t.Clock
+	}
+	h := now().UTC().Hour()
+	in := false
+	if t.FromHour <= t.ToHour {
+		in = h >= t.FromHour && h < t.ToHour
+	} else {
+		in = h >= t.FromHour || h < t.ToHour
+	}
+	if !in {
+		return Deny("outside permitted hours")
+	}
+	return t.Inner.Decide(req, env)
+}
+
+// Chameleon adjusts the payload per viewer, implementing §2's
+// "chameleon profile display that adjusts its output based on the
+// viewer (for instance, to hide his penchant for Sci-Fi novels from
+// love interests)". Lines between "[private]" and "[/private]" markers
+// are stripped unless the viewer is the owner or is listed in Trusted.
+type Chameleon struct {
+	Inner   Policy   // gates WHO may see anything at all
+	Trusted []string // viewers who see the unredacted payload
+}
+
+// Name implements Policy.
+func (c Chameleon) Name() string { return "chameleon:" + c.Inner.Name() }
+
+// Decide implements Policy.
+func (c Chameleon) Decide(req Request, env Env) Decision {
+	d := c.Inner.Decide(req, env)
+	if !d.Allow {
+		return d
+	}
+	if req.Viewer == req.Owner && req.Viewer != "" {
+		return d
+	}
+	for _, t := range c.Trusted {
+		if t == req.Viewer && req.Viewer != "" {
+			return d
+		}
+	}
+	var out []string
+	hiding := false
+	for _, line := range strings.Split(string(req.Data), "\n") {
+		switch strings.TrimSpace(line) {
+		case "[private]":
+			hiding = true
+			continue
+		case "[/private]":
+			hiding = false
+			continue
+		}
+		if !hiding {
+			out = append(out, line)
+		}
+	}
+	d.Data = []byte(strings.Join(out, "\n"))
+	d.Reason += " (redacted for viewer)"
+	return d
+}
+
+// Any composes policies disjunctively: the first affirmative inner
+// decision wins. Users combine policies without writing code.
+type Any struct {
+	Policies []Policy
+}
+
+// Name implements Policy.
+func (a Any) Name() string {
+	names := make([]string, len(a.Policies))
+	for i, p := range a.Policies {
+		names[i] = p.Name()
+	}
+	return "any(" + strings.Join(names, ",") + ")"
+}
+
+// Decide implements Policy.
+func (a Any) Decide(req Request, env Env) Decision {
+	last := Deny("no inner policy")
+	for _, p := range a.Policies {
+		if d := p.Decide(req, env); d.Allow {
+			return d
+		} else {
+			last = d
+		}
+	}
+	return last
+}

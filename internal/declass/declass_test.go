@@ -1,0 +1,251 @@
+package declass
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"w5/internal/audit"
+	"w5/internal/difc"
+)
+
+// mapEnv backs Env with an in-memory map, standing in for the labeled
+// store in unit tests.
+type mapEnv map[string]string
+
+func (m mapEnv) ReadOwnerFile(path string) ([]byte, error) {
+	v, ok := m[path]
+	if !ok {
+		return nil, errors.New("not found")
+	}
+	return []byte(v), nil
+}
+
+func req(owner, viewer string, data string) Request {
+	return Request{Owner: owner, Viewer: viewer, App: "app:test", Path: "/p", Data: []byte(data)}
+}
+
+func TestOwnerOnly(t *testing.T) {
+	p := OwnerOnly{}
+	cases := []struct {
+		viewer string
+		want   bool
+	}{
+		{"bob", true},
+		{"alice", false},
+		{"", false}, // anonymous: never the owner
+	}
+	for _, tt := range cases {
+		if got := p.Decide(req("bob", tt.viewer, "x"), nil).Allow; got != tt.want {
+			t.Errorf("OwnerOnly viewer=%q = %v, want %v", tt.viewer, got, tt.want)
+		}
+	}
+}
+
+func TestPublic(t *testing.T) {
+	if !(Public{}).Decide(req("bob", "", "x"), nil).Allow {
+		t.Error("public denied anonymous")
+	}
+}
+
+func TestFriendList(t *testing.T) {
+	env := mapEnv{"/social/friends": "alice\n# a comment\n\ncarol\n"}
+	p := FriendList{}
+	cases := []struct {
+		viewer string
+		want   bool
+	}{
+		{"bob", true},    // owner
+		{"alice", true},  // friend
+		{"carol", true},  // friend after comment/blank
+		{"charlie", false},
+		{"", false},
+		{"# a comment", false}, // comment lines are not names
+	}
+	for _, tt := range cases {
+		if got := p.Decide(req("bob", tt.viewer, "x"), env).Allow; got != tt.want {
+			t.Errorf("FriendList viewer=%q = %v, want %v", tt.viewer, got, tt.want)
+		}
+	}
+	// Unreadable friend list fails closed.
+	if p.Decide(req("bob", "alice", "x"), mapEnv{}).Allow {
+		t.Error("unreadable friend list allowed export")
+	}
+	// Custom path.
+	env2 := mapEnv{"/lists/buddies": "dave"}
+	p2 := FriendList{FriendsPath: "/lists/buddies"}
+	if !p2.Decide(req("bob", "dave", "x"), env2).Allow {
+		t.Error("custom path not consulted")
+	}
+}
+
+func TestGroup(t *testing.T) {
+	p := Group{GroupName: "roommates", Members: []string{"alice", "dave"}}
+	if !p.Decide(req("bob", "alice", "x"), nil).Allow {
+		t.Error("member denied")
+	}
+	if p.Decide(req("bob", "eve", "x"), nil).Allow {
+		t.Error("non-member allowed")
+	}
+	if !p.Decide(req("bob", "bob", "x"), nil).Allow {
+		t.Error("owner denied")
+	}
+	if p.Name() != "group:roommates" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	at := func(h int) func() time.Time {
+		return func() time.Time { return time.Date(2026, 6, 10, h, 30, 0, 0, time.UTC) }
+	}
+	p := TimeWindow{Inner: Public{}, FromHour: 9, ToHour: 17, Clock: at(12)}
+	if !p.Decide(req("bob", "alice", "x"), nil).Allow {
+		t.Error("in-window denied")
+	}
+	p.Clock = at(20)
+	if p.Decide(req("bob", "alice", "x"), nil).Allow {
+		t.Error("out-of-window allowed")
+	}
+	// Wrapping window 22-06.
+	night := TimeWindow{Inner: Public{}, FromHour: 22, ToHour: 6, Clock: at(23)}
+	if !night.Decide(req("bob", "alice", "x"), nil).Allow {
+		t.Error("wrapped window (late) denied")
+	}
+	night.Clock = at(3)
+	if !night.Decide(req("bob", "alice", "x"), nil).Allow {
+		t.Error("wrapped window (early) denied")
+	}
+	night.Clock = at(12)
+	if night.Decide(req("bob", "alice", "x"), nil).Allow {
+		t.Error("wrapped window midday allowed")
+	}
+}
+
+func TestChameleon(t *testing.T) {
+	profile := "name: bob\n[private]\nloves sci-fi\n[/private]\nlikes dogs"
+	p := Chameleon{Inner: Public{}, Trusted: []string{"bestfriend"}}
+
+	// Owner sees everything.
+	d := p.Decide(req("bob", "bob", profile), nil)
+	if !d.Allow || d.Data != nil {
+		t.Errorf("owner view transformed: %+v", d)
+	}
+	// Trusted viewer sees everything.
+	d = p.Decide(req("bob", "bestfriend", profile), nil)
+	if !d.Allow || d.Data != nil {
+		t.Errorf("trusted view transformed: %+v", d)
+	}
+	// Love interest gets the redacted version.
+	d = p.Decide(req("bob", "date", profile), nil)
+	if !d.Allow {
+		t.Fatal("chameleon denied allowed viewer")
+	}
+	got := string(d.Data)
+	if got != "name: bob\nlikes dogs" {
+		t.Errorf("redacted = %q", got)
+	}
+	// Gate still applies.
+	gated := Chameleon{Inner: OwnerOnly{}}
+	if gated.Decide(req("bob", "stranger", profile), nil).Allow {
+		t.Error("chameleon bypassed inner gate")
+	}
+}
+
+func TestAnyCombinator(t *testing.T) {
+	p := Any{Policies: []Policy{OwnerOnly{}, Group{GroupName: "g", Members: []string{"alice"}}}}
+	if !p.Decide(req("bob", "bob", "x"), nil).Allow {
+		t.Error("owner denied")
+	}
+	if !p.Decide(req("bob", "alice", "x"), nil).Allow {
+		t.Error("group member denied")
+	}
+	if p.Decide(req("bob", "eve", "x"), nil).Allow {
+		t.Error("stranger allowed")
+	}
+	if (Any{}).Decide(req("b", "v", "x"), nil).Allow {
+		t.Error("empty Any allowed")
+	}
+}
+
+func TestManagerAskFlow(t *testing.T) {
+	log := audit.New()
+	env := mapEnv{"/social/friends": "alice"}
+	m := NewManager(func(owner string) Env { return env }, log)
+
+	sBob := difc.Tag(1)
+	caps := difc.NewCapSet(difc.Minus(sBob))
+
+	// No policy: ErrNoPolicy.
+	if _, _, err := m.Ask(req("bob", "alice", "x")); !errors.Is(err, ErrNoPolicy) {
+		t.Fatalf("no-policy Ask: %v", err)
+	}
+
+	m.Authorize("bob", FriendList{}, caps)
+
+	// Friend gets the deposited capability.
+	d, got, err := m.Ask(req("bob", "alice", "x"))
+	if err != nil || !d.Allow {
+		t.Fatalf("friend Ask: %+v, %v", d, err)
+	}
+	if !got.HasMinus(sBob) {
+		t.Error("deposited capability not returned")
+	}
+	// Stranger denied, no capability.
+	d, got, err = m.Ask(req("bob", "eve", "x"))
+	if err != nil || d.Allow || !got.IsEmpty() {
+		t.Fatalf("stranger Ask: %+v caps=%v err=%v", d, got, err)
+	}
+	// Audit: one declassify (allow) and one export-denied.
+	if log.CountKind(audit.KindDeclassify) != 1 {
+		t.Errorf("declassify audits = %d", log.CountKind(audit.KindDeclassify))
+	}
+	if log.CountKind(audit.KindExportDenied) != 1 {
+		t.Errorf("export-denied audits = %d", log.CountKind(audit.KindExportDenied))
+	}
+}
+
+func TestManagerMultiplePoliciesFirstAllowWins(t *testing.T) {
+	m := NewManager(nil, nil)
+	capsA := difc.NewCapSet(difc.Minus(difc.Tag(1)))
+	capsB := difc.NewCapSet(difc.Minus(difc.Tag(2)))
+	m.Authorize("bob", OwnerOnly{}, capsA)
+	m.Authorize("bob", Public{}, capsB)
+
+	// Stranger: OwnerOnly denies, Public allows -> capsB.
+	d, caps, err := m.Ask(req("bob", "eve", "x"))
+	if err != nil || !d.Allow || !caps.Equal(capsB) {
+		t.Fatalf("Ask = %+v caps=%v err=%v", d, caps, err)
+	}
+	// Owner: OwnerOnly allows first -> capsA.
+	_, caps, _ = m.Ask(req("bob", "bob", "x"))
+	if !caps.Equal(capsA) {
+		t.Errorf("first-allow caps = %v, want %v", caps, capsA)
+	}
+}
+
+func TestManagerRevoke(t *testing.T) {
+	m := NewManager(nil, nil)
+	m.Authorize("bob", Public{}, difc.EmptyCaps)
+	m.Authorize("bob", OwnerOnly{}, difc.EmptyCaps)
+	if got := m.Policies("bob"); len(got) != 2 {
+		t.Fatalf("Policies = %v", got)
+	}
+	m.Revoke("bob", "public")
+	got := m.Policies("bob")
+	if len(got) != 1 || got[0] != "owner-only" {
+		t.Fatalf("after revoke: %v", got)
+	}
+	// Stranger now denied.
+	if d, _, _ := m.Ask(req("bob", "eve", "x")); d.Allow {
+		t.Error("revoked policy still allowing")
+	}
+}
+
+func TestManagerNilEnvFailsClosed(t *testing.T) {
+	m := NewManager(nil, nil)
+	m.Authorize("bob", FriendList{}, difc.EmptyCaps)
+	if d, _, _ := m.Ask(req("bob", "alice", "x")); d.Allow {
+		t.Error("friend list with no env allowed")
+	}
+}

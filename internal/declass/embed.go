@@ -1,0 +1,42 @@
+package declass
+
+import (
+	"embed"
+	"strings"
+)
+
+// PolicySource embeds the standard policy library so experiment E4 can
+// measure the per-policy audit burden.
+//
+//go:embed declass.go
+var PolicySource embed.FS
+
+// StandardPolicyCount is the number of distinct policies shipped in
+// declass.go (OwnerOnly, Public, FriendList, Group, TimeWindow,
+// Chameleon, Any) — used to average the library's line count.
+const StandardPolicyCount = 7
+
+// PolicyLibraryLines returns the non-blank, non-comment line count of
+// the standard policy library, EXCLUDING the Manager framework (from
+// the file start through the Manager section) so the figure reflects
+// only what a user audits when vetting policies.
+func PolicyLibraryLines() int {
+	data, err := PolicySource.ReadFile("declass.go")
+	if err != nil {
+		return 0
+	}
+	src := string(data)
+	// The policy library starts at the marker comment.
+	if i := strings.Index(src, "---- Standard policy library"); i >= 0 {
+		src = src[i:]
+	}
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}

@@ -1,0 +1,252 @@
+package declass
+
+import (
+	"w5/internal/wvm"
+)
+
+// WVMPolicy runs a user-uploaded W5 Assembly module as a declassifier —
+// the fully general form of §3.1's "idiosyncratic" policies: any
+// developer can publish one, any user can audit its listing and
+// authorize it.
+//
+// Guest ABI (syscall numbers are the SysXxx constants):
+//
+//	sys viewer_len            -> pushes len(viewer)
+//	sys owner_len             -> pushes len(owner)
+//	sys copy_viewer (addr)    -> writes viewer to memory, pushes len
+//	sys copy_owner  (addr)    -> writes owner to memory, pushes len
+//	sys read_owner_file (pathAddr, pathLen, dstAddr, dstCap)
+//	                          -> writes file contents, pushes n or -1
+//
+// The program's exit value decides: nonzero allows, zero denies. A
+// program fault or gas exhaustion denies (fail closed).
+const (
+	SysViewerLen     uint16 = 1
+	SysOwnerLen      uint16 = 2
+	SysCopyViewer    uint16 = 3
+	SysCopyOwner     uint16 = 4
+	SysReadOwnerFile uint16 = 5
+)
+
+// WVMSyscallNames maps assembly names to numbers, for use with
+// wvm.Assemble when building policy modules.
+var WVMSyscallNames = map[string]uint16{
+	"viewer_len":      SysViewerLen,
+	"owner_len":       SysOwnerLen,
+	"copy_viewer":     SysCopyViewer,
+	"copy_owner":      SysCopyOwner,
+	"read_owner_file": SysReadOwnerFile,
+}
+
+// WVMPolicy is a Policy backed by a sandboxed bytecode module.
+type WVMPolicy struct {
+	// PolicyName is reported by Name; conventionally "module@version".
+	PolicyName string
+	// Prog is the verified policy module.
+	Prog *wvm.Program
+	// Gas bounds each decision (default 100_000 instructions).
+	Gas uint64
+	// MemSize bounds guest memory (default 64 KiB).
+	MemSize int
+}
+
+// Name implements Policy.
+func (w WVMPolicy) Name() string { return "wvm:" + w.PolicyName }
+
+// Decide implements Policy by executing the module. The module cannot
+// export anything itself — it has no I/O syscalls beyond reading its
+// own owner's files — so a malicious policy can at worst allow or deny
+// wrongly, exactly the trust the user placed in it by authorizing it.
+func (w WVMPolicy) Decide(req Request, env Env) Decision {
+	gas := w.Gas
+	if gas == 0 {
+		gas = 100_000
+	}
+	table := wvm.SyscallTable{
+		SysViewerLen: {Name: "viewer_len", Arity: 0,
+			Fn: func(*wvm.VM, []int64) ([]int64, error) {
+				return []int64{int64(len(req.Viewer))}, nil
+			}},
+		SysOwnerLen: {Name: "owner_len", Arity: 0,
+			Fn: func(*wvm.VM, []int64) ([]int64, error) {
+				return []int64{int64(len(req.Owner))}, nil
+			}},
+		SysCopyViewer: {Name: "copy_viewer", Arity: 1,
+			Fn: func(vm *wvm.VM, args []int64) ([]int64, error) {
+				if err := vm.WriteMem(args[0], []byte(req.Viewer)); err != nil {
+					return []int64{-1}, nil
+				}
+				return []int64{int64(len(req.Viewer))}, nil
+			}},
+		SysCopyOwner: {Name: "copy_owner", Arity: 1,
+			Fn: func(vm *wvm.VM, args []int64) ([]int64, error) {
+				if err := vm.WriteMem(args[0], []byte(req.Owner)); err != nil {
+					return []int64{-1}, nil
+				}
+				return []int64{int64(len(req.Owner))}, nil
+			}},
+		SysReadOwnerFile: {Name: "read_owner_file", Arity: 4,
+			Fn: func(vm *wvm.VM, args []int64) ([]int64, error) {
+				path, err := vm.ReadMem(args[0], args[1])
+				if err != nil {
+					return []int64{-1}, nil
+				}
+				data, err := env.ReadOwnerFile(string(path))
+				if err != nil {
+					return []int64{-1}, nil
+				}
+				if int64(len(data)) > args[3] {
+					data = data[:args[3]]
+				}
+				if err := vm.WriteMem(args[2], data); err != nil {
+					return []int64{-1}, nil
+				}
+				return []int64{int64(len(data))}, nil
+			}},
+	}
+	vm := wvm.New(w.Prog, wvm.Config{Gas: gas, MemSize: w.MemSize, Syscalls: table})
+	v, err := vm.Run()
+	if err != nil {
+		return Deny("policy module fault: " + err.Error())
+	}
+	if v != 0 {
+		return Allow("policy module allowed")
+	}
+	return Deny("policy module denied")
+}
+
+// FriendListWVMSource is a complete W5 Assembly friend-list declassifier
+// equivalent to the Go FriendList policy: it allows the owner, then
+// scans the owner's "/social/friends" file (one name per line) for the
+// viewer. It exists both as a working example of a bytecode policy and
+// as the declassifier measured by experiment E4.
+//
+// Memory layout: the .data path string occupies low memory; the viewer
+// is copied to 32, the owner to 256, and the friends file to 512.
+const FriendListWVMSource = `
+.data path "/social/friends"
+; copy viewer to mem[32], length in g0
+        push 32
+        sys copy_viewer
+        store 0
+        load 0
+        push 0
+        le
+        jnz deny            ; anonymous or failed copy => deny
+; copy owner to mem[256], length in g1
+        push 256
+        sys copy_owner
+        store 1
+; if lengths equal, compare viewer vs owner byte by byte
+        load 0
+        load 1
+        ne
+        jnz loadfile
+        push 0              ; i = 0 (g2)
+        store 2
+cmpown: load 2
+        load 0
+        ge
+        jnz allow           ; all bytes equal => viewer is owner
+        load 2
+        push 32
+        add
+        mload               ; viewer[i]
+        load 2
+        push 256
+        add
+        mload               ; owner[i]
+        ne
+        jnz loadfile        ; mismatch => not owner, check friends
+        load 2
+        push 1
+        add
+        store 2
+        jmp cmpown
+; read friends file into mem[512], length in g3
+loadfile:
+        push @path
+        push #path
+        push 512
+        push 4096
+        sys read_owner_file
+        store 3
+        load 3
+        push 0
+        le
+        jnz deny            ; unreadable or empty => deny
+; scan lines: g4 = line start, g5 = cursor
+        push 0
+        store 4
+        push 0
+        store 5
+scan:   load 5
+        load 3
+        ge
+        jnz endline         ; end of file terminates final line
+        load 5
+        push 512
+        add
+        mload
+        push 10             ; '\n'
+        eq
+        jnz endline
+        load 5
+        push 1
+        add
+        store 5
+        jmp scan
+endline:
+; line is [g4, g5); compare with viewer length g0
+        load 5
+        load 4
+        sub
+        load 0
+        ne
+        jnz nextline
+; lengths match: byte compare; g6 = i
+        push 0
+        store 6
+cmp:    load 6
+        load 0
+        ge
+        jnz allow           ; full match => friend
+        load 6
+        push 32
+        add
+        mload               ; viewer[i]
+        load 4
+        load 6
+        add
+        push 512
+        add
+        mload               ; line[i]
+        ne
+        jnz nextline
+        load 6
+        push 1
+        add
+        store 6
+        jmp cmp
+nextline:
+        load 5
+        load 3
+        ge
+        jnz deny            ; exhausted file => deny
+        load 5
+        push 1
+        add
+        dup
+        store 4             ; next line starts after '\n'
+        store 5
+        jmp scan
+allow:  push 1
+        halt
+deny:   push 0
+        halt
+`
+
+// CompileFriendListWVM assembles FriendListWVMSource into a Program.
+func CompileFriendListWVM() (*wvm.Program, error) {
+	return wvm.Assemble(FriendListWVMSource, WVMSyscallNames)
+}

@@ -1,0 +1,105 @@
+package declass
+
+import (
+	"testing"
+
+	"w5/internal/wvm"
+)
+
+func compileFriendList(t *testing.T) WVMPolicy {
+	t.Helper()
+	prog, err := CompileFriendListWVM()
+	if err != nil {
+		t.Fatalf("assemble friend-list policy: %v", err)
+	}
+	return WVMPolicy{PolicyName: "friendlist@1.0", Prog: prog}
+}
+
+func TestWVMFriendListMatchesGoPolicy(t *testing.T) {
+	env := mapEnv{"/social/friends": "alice\nbob-the-builder\ncarol"}
+	wvmPol := compileFriendList(t)
+	goPol := FriendList{}
+
+	cases := []struct {
+		owner, viewer string
+	}{
+		{"bob", "bob"},      // owner
+		{"bob", "alice"},    // friend (first line)
+		{"bob", "carol"},    // friend (last line, no trailing newline)
+		{"bob", "bob-the-builder"}, // friend with dashes
+		{"bob", "eve"},      // stranger
+		{"bob", "ali"},      // prefix of a friend: not a friend
+		{"bob", "alicex"},   // superstring: not a friend
+		{"bob", ""},         // anonymous
+		{"alice", "alice"},  // owner with different name
+	}
+	for _, tt := range cases {
+		r := req(tt.owner, tt.viewer, "payload")
+		got := wvmPol.Decide(r, env).Allow
+		want := goPol.Decide(r, env).Allow
+		if got != want {
+			t.Errorf("owner=%q viewer=%q: wvm=%v go=%v", tt.owner, tt.viewer, got, want)
+		}
+	}
+}
+
+func TestWVMFriendListUnreadableFileDenies(t *testing.T) {
+	p := compileFriendList(t)
+	if p.Decide(req("bob", "alice", "x"), mapEnv{}).Allow {
+		t.Error("unreadable friends file allowed")
+	}
+}
+
+func TestWVMPolicyFaultFailsClosed(t *testing.T) {
+	// A policy that divides by zero must deny, not crash the platform.
+	prog, err := wvm.Assemble("push 1\npush 0\ndiv\nhalt", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := WVMPolicy{PolicyName: "buggy", Prog: prog}
+	d := p.Decide(req("bob", "alice", "x"), mapEnv{})
+	if d.Allow {
+		t.Error("faulting policy allowed export")
+	}
+}
+
+func TestWVMPolicyGasLimitFailsClosed(t *testing.T) {
+	prog, err := wvm.Assemble("loop: jmp loop", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := WVMPolicy{PolicyName: "spinner", Prog: prog, Gas: 1000}
+	if p.Decide(req("bob", "alice", "x"), mapEnv{}).Allow {
+		t.Error("spinning policy allowed export")
+	}
+}
+
+func TestWVMPolicyTrivialAllowDeny(t *testing.T) {
+	allow, _ := wvm.Assemble("push 1\nhalt", nil)
+	deny, _ := wvm.Assemble("push 0\nhalt", nil)
+	if !(WVMPolicy{PolicyName: "yes", Prog: allow}).Decide(req("b", "v", "x"), nil).Allow {
+		t.Error("allow-all policy denied")
+	}
+	if (WVMPolicy{PolicyName: "no", Prog: deny}).Decide(req("b", "v", "x"), nil).Allow {
+		t.Error("deny-all policy allowed")
+	}
+}
+
+func TestWVMPolicyName(t *testing.T) {
+	p := compileFriendList(t)
+	if p.Name() != "wvm:friendlist@1.0" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+// TestWVMFriendListSizeIsSmall pins the E4 claim at unit scale: the
+// bytecode friend-list declassifier must be tiny (well under a
+// kilobyte) — "much smaller than entire applications".
+func TestWVMFriendListSizeIsSmall(t *testing.T) {
+	p := compileFriendList(t)
+	size := len(p.Prog.Marshal())
+	if size > 1024 {
+		t.Errorf("friend-list declassifier is %d bytes; expected < 1024", size)
+	}
+	t.Logf("friend-list declassifier: %d bytes of module", size)
+}

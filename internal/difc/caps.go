@@ -1,0 +1,212 @@
+package difc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CapKind distinguishes the two capability flavours of the Flume model.
+type CapKind uint8
+
+const (
+	// CapPlus (t+) confers the right to add tag t to one's own label:
+	// for secrecy, the right to read t-tagged data (and become tainted);
+	// for integrity, the right to endorse data with t.
+	CapPlus CapKind = iota
+	// CapMinus (t-) confers the right to drop tag t from one's own label:
+	// for secrecy, the right to DECLASSIFY t-tagged data; for integrity,
+	// the right to shed an endorsement.
+	CapMinus
+)
+
+func (k CapKind) String() string {
+	if k == CapPlus {
+		return "+"
+	}
+	return "-"
+}
+
+// Cap is a single capability: a tag together with a plus or minus right.
+type Cap struct {
+	Tag  Tag
+	Kind CapKind
+}
+
+// String renders "t7+" or "t7-", the form accepted by ParseCap.
+func (c Cap) String() string { return c.Tag.String() + c.Kind.String() }
+
+// ParseCap parses the form produced by Cap.String.
+func ParseCap(s string) (Cap, error) {
+	if len(s) < 3 {
+		return Cap{}, fmt.Errorf("difc: malformed capability %q", s)
+	}
+	var kind CapKind
+	switch s[len(s)-1] {
+	case '+':
+		kind = CapPlus
+	case '-':
+		kind = CapMinus
+	default:
+		return Cap{}, fmt.Errorf("difc: malformed capability %q", s)
+	}
+	t, err := ParseTag(s[:len(s)-1])
+	if err != nil {
+		return Cap{}, err
+	}
+	return Cap{Tag: t, Kind: kind}, nil
+}
+
+// Plus returns the t+ capability for tag t.
+func Plus(t Tag) Cap { return Cap{Tag: t, Kind: CapPlus} }
+
+// Minus returns the t- capability for tag t.
+func Minus(t Tag) Cap { return Cap{Tag: t, Kind: CapMinus} }
+
+// Both returns the dual-privilege pair {t+, t-}; holding both is Flume's
+// notion of "owning" tag t.
+func Both(t Tag) []Cap { return []Cap{Plus(t), Minus(t)} }
+
+// CapSet is an immutable set of capabilities, stored as two labels: the
+// tags for which a plus right is held and the tags for which a minus
+// right is held. Like Label, all operations return new values.
+type CapSet struct {
+	plus  Label
+	minus Label
+}
+
+// EmptyCaps is the capability set of a process with no privilege at all.
+var EmptyCaps = CapSet{}
+
+// NewCapSet builds a capability set from individual capabilities.
+func NewCapSet(caps ...Cap) CapSet {
+	var p, m []Tag
+	for _, c := range caps {
+		switch c.Kind {
+		case CapPlus:
+			p = append(p, c.Tag)
+		case CapMinus:
+			m = append(m, c.Tag)
+		}
+	}
+	return CapSet{plus: NewLabel(p...), minus: NewLabel(m...)}
+}
+
+// CapsFor returns the capability set granting full ownership (t+ and t-)
+// of every listed tag.
+func CapsFor(tags ...Tag) CapSet {
+	l := NewLabel(tags...)
+	return CapSet{plus: l, minus: l}
+}
+
+// Plus returns the set of tags for which a plus right is held (Flume's
+// D_p+ when applied to a process's capability set).
+func (c CapSet) Plus() Label { return c.plus }
+
+// Minus returns the set of tags for which a minus right is held (D_p-).
+func (c CapSet) Minus() Label { return c.minus }
+
+// HasPlus reports whether the t+ right is held.
+func (c CapSet) HasPlus(t Tag) bool { return c.plus.Has(t) }
+
+// HasMinus reports whether the t- right is held.
+func (c CapSet) HasMinus(t Tag) bool { return c.minus.Has(t) }
+
+// Owns reports whether both t+ and t- are held (dual privilege).
+func (c CapSet) Owns(t Tag) bool { return c.plus.Has(t) && c.minus.Has(t) }
+
+// IsEmpty reports whether no capability is held.
+func (c CapSet) IsEmpty() bool { return c.plus.IsEmpty() && c.minus.IsEmpty() }
+
+// Size reports the number of individual capabilities held.
+func (c CapSet) Size() int { return c.plus.Size() + c.minus.Size() }
+
+// Has reports whether the specific capability is held.
+func (c CapSet) Has(cap Cap) bool {
+	if cap.Kind == CapPlus {
+		return c.HasPlus(cap.Tag)
+	}
+	return c.HasMinus(cap.Tag)
+}
+
+// Union returns the capability set holding every capability of c or d.
+func (c CapSet) Union(d CapSet) CapSet {
+	return CapSet{plus: c.plus.Union(d.plus), minus: c.minus.Union(d.minus)}
+}
+
+// Grant returns c extended with the given capabilities.
+func (c CapSet) Grant(caps ...Cap) CapSet { return c.Union(NewCapSet(caps...)) }
+
+// Revoke returns c with the given capabilities removed.
+func (c CapSet) Revoke(caps ...Cap) CapSet {
+	rm := NewCapSet(caps...)
+	return CapSet{plus: c.plus.Subtract(rm.plus), minus: c.minus.Subtract(rm.minus)}
+}
+
+// SubsetOf reports whether every capability of c is also held by d. A
+// process may delegate only capabilities it holds; the kernel enforces
+// delegation with this check.
+func (c CapSet) SubsetOf(d CapSet) bool {
+	return c.plus.SubsetOf(d.plus) && c.minus.SubsetOf(d.minus)
+}
+
+// Equal reports whether two capability sets hold exactly the same rights.
+func (c CapSet) Equal(d CapSet) bool {
+	return c.plus.Equal(d.plus) && c.minus.Equal(d.minus)
+}
+
+// Caps returns the individual capabilities in deterministic order:
+// all plus rights by ascending tag, then all minus rights.
+func (c CapSet) Caps() []Cap {
+	out := make([]Cap, 0, c.Size())
+	for _, t := range c.plus.Tags() {
+		out = append(out, Plus(t))
+	}
+	for _, t := range c.minus.Tags() {
+		out = append(out, Minus(t))
+	}
+	return out
+}
+
+// String renders the set as "[t1+,t2+,t1-]"; the empty set renders "[]".
+func (c CapSet) String() string {
+	caps := c.Caps()
+	parts := make([]string, len(caps))
+	for i, cp := range caps {
+		parts[i] = cp.String()
+	}
+	return "[" + strings.Join(parts, ",") + "]"
+}
+
+// ParseCapSet parses the form produced by CapSet.String.
+func ParseCapSet(s string) (CapSet, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return CapSet{}, fmt.Errorf("difc: malformed capability set %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	if inner == "" {
+		return CapSet{}, nil
+	}
+	parts := strings.Split(inner, ",")
+	caps := make([]Cap, 0, len(parts))
+	for _, p := range parts {
+		cp, err := ParseCap(strings.TrimSpace(p))
+		if err != nil {
+			return CapSet{}, err
+		}
+		caps = append(caps, cp)
+	}
+	return NewCapSet(caps...), nil
+}
+
+// sortCaps orders capabilities by tag then kind; used by tests to compare
+// capability slices irrespective of construction order.
+func sortCaps(caps []Cap) {
+	sort.Slice(caps, func(i, j int) bool {
+		if caps[i].Tag != caps[j].Tag {
+			return caps[i].Tag < caps[j].Tag
+		}
+		return caps[i].Kind < caps[j].Kind
+	})
+}

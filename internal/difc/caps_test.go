@@ -1,0 +1,143 @@
+package difc
+
+import "testing"
+
+func TestCapSetBasics(t *testing.T) {
+	c := NewCapSet(Plus(1), Minus(2), Plus(3), Plus(1))
+	if !c.HasPlus(1) || !c.HasPlus(3) || !c.HasMinus(2) {
+		t.Fatalf("missing capabilities in %v", c)
+	}
+	if c.HasMinus(1) || c.HasPlus(2) {
+		t.Fatalf("phantom capabilities in %v", c)
+	}
+	if c.Size() != 3 {
+		t.Errorf("Size() = %d, want 3 (duplicate not collapsed?)", c.Size())
+	}
+	if c.Owns(1) {
+		t.Error("Owns(1) true with only t1+")
+	}
+	if EmptyCaps.Size() != 0 || !EmptyCaps.IsEmpty() {
+		t.Error("EmptyCaps not empty")
+	}
+}
+
+func TestCapsForGrantsOwnership(t *testing.T) {
+	c := CapsFor(4, 7)
+	for _, tag := range []Tag{4, 7} {
+		if !c.Owns(tag) {
+			t.Errorf("CapsFor: does not own %v", tag)
+		}
+	}
+	if c.Owns(5) {
+		t.Error("CapsFor: owns unrelated tag")
+	}
+	if c.Size() != 4 {
+		t.Errorf("Size() = %d, want 4", c.Size())
+	}
+}
+
+func TestCapSetGrantRevoke(t *testing.T) {
+	c := EmptyCaps.Grant(Plus(1), Minus(1))
+	if !c.Owns(1) {
+		t.Fatal("grant failed")
+	}
+	d := c.Revoke(Minus(1))
+	if d.Owns(1) || !d.HasPlus(1) {
+		t.Fatalf("revoke wrong: %v", d)
+	}
+	// Immutability of the original.
+	if !c.Owns(1) {
+		t.Error("Revoke mutated receiver")
+	}
+}
+
+func TestCapSetUnionSubset(t *testing.T) {
+	a := NewCapSet(Plus(1), Minus(2))
+	b := NewCapSet(Plus(3))
+	u := a.Union(b)
+	for _, cp := range []Cap{Plus(1), Minus(2), Plus(3)} {
+		if !u.Has(cp) {
+			t.Errorf("union missing %v", cp)
+		}
+	}
+	if !a.SubsetOf(u) || !b.SubsetOf(u) {
+		t.Error("operands not subsets of union")
+	}
+	if u.SubsetOf(a) {
+		t.Error("union subset of operand")
+	}
+	if !EmptyCaps.SubsetOf(a) {
+		t.Error("empty set not subset")
+	}
+}
+
+func TestCapSetCapsOrderingDeterministic(t *testing.T) {
+	a := NewCapSet(Minus(5), Plus(9), Plus(2), Minus(1))
+	b := NewCapSet(Plus(2), Minus(1), Minus(5), Plus(9))
+	ca, cb := a.Caps(), b.Caps()
+	if len(ca) != len(cb) {
+		t.Fatalf("lengths differ: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("orderings differ at %d: %v vs %v", i, ca[i], cb[i])
+		}
+	}
+}
+
+func TestCapStringParse(t *testing.T) {
+	for _, cp := range []Cap{Plus(1), Minus(7), Plus(1 << 30)} {
+		got, err := ParseCap(cp.String())
+		if err != nil || got != cp {
+			t.Errorf("ParseCap(%q) = %v, %v", cp.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "t1", "t1*", "+", "t0+"} {
+		if _, err := ParseCap(bad); err == nil {
+			t.Errorf("ParseCap(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestCapSetStringParse(t *testing.T) {
+	sets := []CapSet{
+		EmptyCaps,
+		NewCapSet(Plus(1)),
+		NewCapSet(Plus(1), Minus(1), Plus(5), Minus(9)),
+		CapsFor(2, 3, 4),
+	}
+	for _, c := range sets {
+		s := c.String()
+		back, err := ParseCapSet(s)
+		if err != nil {
+			t.Fatalf("ParseCapSet(%q): %v", s, err)
+		}
+		if !back.Equal(c) {
+			t.Errorf("round trip %q -> %v, want %v", s, back, c)
+		}
+	}
+	if _, err := ParseCapSet("t1+"); err == nil {
+		t.Error("ParseCapSet accepted unbracketed input")
+	}
+	if _, err := ParseCapSet("[t1%]"); err == nil {
+		t.Error("ParseCapSet accepted bad kind")
+	}
+}
+
+func TestBothReturnsOwnership(t *testing.T) {
+	caps := NewCapSet(Both(11)...)
+	if !caps.Owns(11) {
+		t.Error("Both(11) does not confer ownership")
+	}
+}
+
+func TestSortCaps(t *testing.T) {
+	caps := []Cap{Minus(3), Plus(3), Minus(1), Plus(2)}
+	sortCaps(caps)
+	want := []Cap{Minus(1), Plus(2), Plus(3), Minus(3)}
+	for i := range want {
+		if caps[i] != want[i] {
+			t.Fatalf("sortCaps = %v, want %v", caps, want)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package difc implements the decentralized information flow control
+// (DIFC) label algebra that underpins the W5 platform.
+//
+// The model follows Flume (Krohn et al., SOSP 2007), the DIFC system the
+// W5 paper names as a suitable substrate (§3.1): opaque tags, secrecy and
+// integrity labels that are sets of tags, and per-process capability sets
+// that confer the right to add a tag to a label (t+) or drop it (t-).
+// The two safety judgments — safe label change and safe message — are
+// implemented in rules.go exactly as Flume defines them.
+//
+// Labels are immutable values: every operation returns a new Label and
+// never mutates its receiver, so Labels may be shared freely across
+// goroutines without synchronization.
+package difc
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Tag is an opaque identifier minted by the kernel's tag allocator.
+// A tag by itself carries no meaning; meaning comes from which labels
+// contain it and which processes hold capabilities for it. Tag 0 is
+// reserved and never minted.
+type Tag uint64
+
+// String renders the tag as "t<decimal>", the form accepted by ParseTag.
+func (t Tag) String() string { return "t" + strconv.FormatUint(uint64(t), 10) }
+
+// ParseTag parses the "t<decimal>" form produced by Tag.String.
+func ParseTag(s string) (Tag, error) {
+	if len(s) < 2 || s[0] != 't' {
+		return 0, fmt.Errorf("difc: malformed tag %q", s)
+	}
+	n, err := strconv.ParseUint(s[1:], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("difc: malformed tag %q: %v", s, err)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("difc: tag 0 is reserved")
+	}
+	return Tag(n), nil
+}
+
+// Label is an immutable set of tags. The zero value is the empty label,
+// which is the label of public data and of the world outside the security
+// perimeter. Internally the tags are kept sorted and deduplicated, which
+// makes subset and join operations linear merges.
+type Label struct {
+	tags []Tag // sorted ascending, no duplicates; never mutated after creation
+}
+
+// EmptyLabel is the label of public data: no secrecy, no integrity.
+var EmptyLabel = Label{}
+
+// NewLabel builds a label from the given tags. Duplicates are removed and
+// the zero tag, if present, is rejected.
+func NewLabel(tags ...Tag) Label {
+	if len(tags) == 0 {
+		return Label{}
+	}
+	ts := make([]Tag, 0, len(tags))
+	for _, t := range tags {
+		if t == 0 {
+			panic("difc: tag 0 in label")
+		}
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	out := ts[:1]
+	for _, t := range ts[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return Label{tags: out}
+}
+
+// Size reports the number of tags in the label.
+func (l Label) Size() int { return len(l.tags) }
+
+// IsEmpty reports whether the label contains no tags.
+func (l Label) IsEmpty() bool { return len(l.tags) == 0 }
+
+// Has reports whether tag t is in the label.
+func (l Label) Has(t Tag) bool {
+	i := sort.Search(len(l.tags), func(i int) bool { return l.tags[i] >= t })
+	return i < len(l.tags) && l.tags[i] == t
+}
+
+// Tags returns a copy of the label's tags in ascending order.
+func (l Label) Tags() []Tag {
+	out := make([]Tag, len(l.tags))
+	copy(out, l.tags)
+	return out
+}
+
+// Equal reports whether two labels contain exactly the same tags.
+func (l Label) Equal(m Label) bool {
+	if len(l.tags) != len(m.tags) {
+		return false
+	}
+	for i, t := range l.tags {
+		if m.tags[i] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every tag of l is also in m (l ⊆ m). For
+// secrecy labels this is the "can flow to" order: data labeled l may flow
+// to a container labeled m without any privilege.
+func (l Label) SubsetOf(m Label) bool {
+	if len(l.tags) > len(m.tags) {
+		return false
+	}
+	i := 0
+	for _, t := range l.tags {
+		for i < len(m.tags) && m.tags[i] < t {
+			i++
+		}
+		if i >= len(m.tags) || m.tags[i] != t {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// Union returns l ∪ m. For secrecy labels, the union is the join: the
+// label of data derived from sources labeled l and m.
+func (l Label) Union(m Label) Label {
+	if l.IsEmpty() {
+		return m
+	}
+	if m.IsEmpty() {
+		return l
+	}
+	out := make([]Tag, 0, len(l.tags)+len(m.tags))
+	i, j := 0, 0
+	for i < len(l.tags) && j < len(m.tags) {
+		switch {
+		case l.tags[i] < m.tags[j]:
+			out = append(out, l.tags[i])
+			i++
+		case l.tags[i] > m.tags[j]:
+			out = append(out, m.tags[j])
+			j++
+		default:
+			out = append(out, l.tags[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, l.tags[i:]...)
+	out = append(out, m.tags[j:]...)
+	return Label{tags: out}
+}
+
+// Intersect returns l ∩ m. For integrity labels, the intersection is the
+// meet: data derived from sources with integrity l and m carries only the
+// endorsements common to both.
+func (l Label) Intersect(m Label) Label {
+	if l.IsEmpty() || m.IsEmpty() {
+		return Label{}
+	}
+	out := make([]Tag, 0, min(len(l.tags), len(m.tags)))
+	i, j := 0, 0
+	for i < len(l.tags) && j < len(m.tags) {
+		switch {
+		case l.tags[i] < m.tags[j]:
+			i++
+		case l.tags[i] > m.tags[j]:
+			j++
+		default:
+			out = append(out, l.tags[i])
+			i++
+			j++
+		}
+	}
+	if len(out) == 0 {
+		return Label{}
+	}
+	return Label{tags: out}
+}
+
+// Subtract returns l − m: the tags of l not present in m.
+func (l Label) Subtract(m Label) Label {
+	if l.IsEmpty() || m.IsEmpty() {
+		return l
+	}
+	out := make([]Tag, 0, len(l.tags))
+	j := 0
+	for _, t := range l.tags {
+		for j < len(m.tags) && m.tags[j] < t {
+			j++
+		}
+		if j < len(m.tags) && m.tags[j] == t {
+			continue
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return Label{}
+	}
+	return Label{tags: out}
+}
+
+// Add returns l ∪ {t}.
+func (l Label) Add(t Tag) Label { return l.Union(NewLabel(t)) }
+
+// Remove returns l − {t}.
+func (l Label) Remove(t Tag) Label { return l.Subtract(NewLabel(t)) }
+
+// String renders the label as "{t1,t5,t9}"; the empty label renders "{}".
+func (l Label) String() string {
+	if l.IsEmpty() {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range l.tags {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseLabel parses the form produced by Label.String.
+func ParseLabel(s string) (Label, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '{' || s[len(s)-1] != '}' {
+		return Label{}, fmt.Errorf("difc: malformed label %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	if inner == "" {
+		return Label{}, nil
+	}
+	parts := strings.Split(inner, ",")
+	tags := make([]Tag, 0, len(parts))
+	for _, p := range parts {
+		t, err := ParseTag(strings.TrimSpace(p))
+		if err != nil {
+			return Label{}, err
+		}
+		tags = append(tags, t)
+	}
+	return NewLabel(tags...), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,212 @@
+package difc
+
+import (
+	"testing"
+)
+
+func lbl(tags ...Tag) Label { return NewLabel(tags...) }
+
+func TestNewLabelDeduplicatesAndSorts(t *testing.T) {
+	l := NewLabel(5, 3, 5, 1, 3, 9)
+	want := []Tag{1, 3, 5, 9}
+	got := l.Tags()
+	if len(got) != len(want) {
+		t.Fatalf("Tags() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tags() = %v, want %v", got, want)
+		}
+	}
+	if l.Size() != 4 {
+		t.Errorf("Size() = %d, want 4", l.Size())
+	}
+}
+
+func TestNewLabelRejectsZeroTag(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLabel(0) did not panic")
+		}
+	}()
+	NewLabel(0)
+}
+
+func TestLabelHas(t *testing.T) {
+	l := lbl(2, 4, 6, 8)
+	for _, tt := range []struct {
+		tag  Tag
+		want bool
+	}{
+		{1, false}, {2, true}, {3, false}, {4, true},
+		{6, true}, {7, false}, {8, true}, {9, false},
+	} {
+		if got := l.Has(tt.tag); got != tt.want {
+			t.Errorf("Has(%v) = %v, want %v", tt.tag, got, tt.want)
+		}
+	}
+	if EmptyLabel.Has(1) {
+		t.Error("empty label reports Has(1)")
+	}
+}
+
+func TestLabelEqual(t *testing.T) {
+	cases := []struct {
+		a, b Label
+		want bool
+	}{
+		{lbl(), lbl(), true},
+		{lbl(1), lbl(1), true},
+		{lbl(1, 2), lbl(2, 1), true},
+		{lbl(1), lbl(2), false},
+		{lbl(1, 2), lbl(1), false},
+		{lbl(1), lbl(1, 2), false},
+		{EmptyLabel, lbl(3), false},
+	}
+	for _, tt := range cases {
+		if got := tt.a.Equal(tt.b); got != tt.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Equal(tt.a); got != tt.want {
+			t.Errorf("Equal not symmetric for %v, %v", tt.a, tt.b)
+		}
+	}
+}
+
+func TestLabelSubsetOf(t *testing.T) {
+	cases := []struct {
+		a, b Label
+		want bool
+	}{
+		{lbl(), lbl(), true},
+		{lbl(), lbl(1, 2, 3), true},
+		{lbl(1), lbl(1, 2, 3), true},
+		{lbl(2), lbl(1, 2, 3), true},
+		{lbl(3), lbl(1, 2, 3), true},
+		{lbl(1, 3), lbl(1, 2, 3), true},
+		{lbl(1, 2, 3), lbl(1, 2, 3), true},
+		{lbl(4), lbl(1, 2, 3), false},
+		{lbl(1, 4), lbl(1, 2, 3), false},
+		{lbl(1, 2, 3), lbl(1, 2), false},
+		{lbl(1, 2, 3), lbl(), false},
+	}
+	for _, tt := range cases {
+		if got := tt.a.SubsetOf(tt.b); got != tt.want {
+			t.Errorf("%v.SubsetOf(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLabelUnion(t *testing.T) {
+	cases := []struct {
+		a, b, want Label
+	}{
+		{lbl(), lbl(), lbl()},
+		{lbl(1), lbl(), lbl(1)},
+		{lbl(), lbl(2), lbl(2)},
+		{lbl(1, 3), lbl(2, 4), lbl(1, 2, 3, 4)},
+		{lbl(1, 2), lbl(2, 3), lbl(1, 2, 3)},
+		{lbl(5, 6), lbl(5, 6), lbl(5, 6)},
+		{lbl(9), lbl(1), lbl(1, 9)},
+	}
+	for _, tt := range cases {
+		if got := tt.a.Union(tt.b); !got.Equal(tt.want) {
+			t.Errorf("%v.Union(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLabelIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want Label
+	}{
+		{lbl(), lbl(), lbl()},
+		{lbl(1), lbl(), lbl()},
+		{lbl(1, 2, 3), lbl(2, 3, 4), lbl(2, 3)},
+		{lbl(1, 2), lbl(3, 4), lbl()},
+		{lbl(7), lbl(7), lbl(7)},
+	}
+	for _, tt := range cases {
+		if got := tt.a.Intersect(tt.b); !got.Equal(tt.want) {
+			t.Errorf("%v.Intersect(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLabelSubtract(t *testing.T) {
+	cases := []struct {
+		a, b, want Label
+	}{
+		{lbl(), lbl(), lbl()},
+		{lbl(1, 2, 3), lbl(), lbl(1, 2, 3)},
+		{lbl(1, 2, 3), lbl(2), lbl(1, 3)},
+		{lbl(1, 2, 3), lbl(1, 2, 3), lbl()},
+		{lbl(1, 2, 3), lbl(4, 5), lbl(1, 2, 3)},
+		{lbl(), lbl(1), lbl()},
+	}
+	for _, tt := range cases {
+		if got := tt.a.Subtract(tt.b); !got.Equal(tt.want) {
+			t.Errorf("%v.Subtract(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLabelAddRemove(t *testing.T) {
+	l := lbl(2, 4)
+	if got := l.Add(3); !got.Equal(lbl(2, 3, 4)) {
+		t.Errorf("Add(3) = %v", got)
+	}
+	if got := l.Remove(2); !got.Equal(lbl(4)) {
+		t.Errorf("Remove(2) = %v", got)
+	}
+	// Receiver untouched (immutability).
+	if !l.Equal(lbl(2, 4)) {
+		t.Errorf("receiver mutated: %v", l)
+	}
+}
+
+func TestLabelImmutabilityOfTags(t *testing.T) {
+	l := lbl(1, 2, 3)
+	got := l.Tags()
+	got[0] = 99
+	if !l.Equal(lbl(1, 2, 3)) {
+		t.Error("mutating Tags() result changed the label")
+	}
+}
+
+func TestLabelStringAndParse(t *testing.T) {
+	cases := []Label{lbl(), lbl(1), lbl(1, 2, 3), lbl(1000000)}
+	for _, l := range cases {
+		s := l.String()
+		back, err := ParseLabel(s)
+		if err != nil {
+			t.Fatalf("ParseLabel(%q): %v", s, err)
+		}
+		if !back.Equal(l) {
+			t.Errorf("round trip %q -> %v, want %v", s, back, l)
+		}
+	}
+	if _, err := ParseLabel("nonsense"); err == nil {
+		t.Error("ParseLabel accepted garbage")
+	}
+	if _, err := ParseLabel("{t0}"); err == nil {
+		t.Error("ParseLabel accepted reserved tag 0")
+	}
+	if _, err := ParseLabel("{tx}"); err == nil {
+		t.Error("ParseLabel accepted non-numeric tag")
+	}
+}
+
+func TestTagStringAndParse(t *testing.T) {
+	for _, tag := range []Tag{1, 42, 1 << 40} {
+		got, err := ParseTag(tag.String())
+		if err != nil || got != tag {
+			t.Errorf("ParseTag(%q) = %v, %v", tag.String(), got, err)
+		}
+	}
+	for _, bad := range []string{"", "t", "x5", "t-3", "t0"} {
+		if _, err := ParseTag(bad); err == nil {
+			t.Errorf("ParseTag(%q) succeeded, want error", bad)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package difc
+
+// Property-based tests of the label algebra using testing/quick. These
+// pin down the lattice laws that the kernel's security argument depends
+// on: if any of these fail, flow checks are not sound.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Generate lets quick produce random small labels (0-12 tags drawn from a
+// small universe so that overlaps are common).
+func (Label) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(13)
+	tags := make([]Tag, 0, n)
+	for i := 0; i < n; i++ {
+		tags = append(tags, Tag(r.Intn(24)+1))
+	}
+	return reflect.ValueOf(NewLabel(tags...))
+}
+
+// Generate produces random capability sets over the same tag universe.
+func (CapSet) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := r.Intn(9)
+	caps := make([]Cap, 0, n)
+	for i := 0; i < n; i++ {
+		c := Cap{Tag: Tag(r.Intn(24) + 1)}
+		if r.Intn(2) == 1 {
+			c.Kind = CapMinus
+		}
+		caps = append(caps, c)
+	}
+	return reflect.ValueOf(NewCapSet(caps...))
+}
+
+var quickCfg = &quick.Config{MaxCount: 2000}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(a, b Label) bool { return a.Union(b).Equal(b.Union(a)) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionAssociative(t *testing.T) {
+	f := func(a, b, c Label) bool {
+		return a.Union(b).Union(c).Equal(a.Union(b.Union(c)))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionIdempotent(t *testing.T) {
+	f := func(a Label) bool { return a.Union(a).Equal(a) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIntersectCommutative(t *testing.T) {
+	f := func(a, b Label) bool { return a.Intersect(b).Equal(b.Intersect(a)) }
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAbsorption(t *testing.T) {
+	// a ∪ (a ∩ b) == a and a ∩ (a ∪ b) == a — the lattice absorption laws.
+	f := func(a, b Label) bool {
+		return a.Union(a.Intersect(b)).Equal(a) && a.Intersect(a.Union(b)).Equal(a)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubsetPartialOrder(t *testing.T) {
+	refl := func(a Label) bool { return a.SubsetOf(a) }
+	if err := quick.Check(refl, quickCfg); err != nil {
+		t.Errorf("reflexivity: %v", err)
+	}
+	antisym := func(a, b Label) bool {
+		if a.SubsetOf(b) && b.SubsetOf(a) {
+			return a.Equal(b)
+		}
+		return true
+	}
+	if err := quick.Check(antisym, quickCfg); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+	trans := func(a, b, c Label) bool {
+		if a.SubsetOf(b) && b.SubsetOf(c) {
+			return a.SubsetOf(c)
+		}
+		return true
+	}
+	if err := quick.Check(trans, quickCfg); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+}
+
+func TestQuickUnionIsJoin(t *testing.T) {
+	// a ∪ b is an upper bound of both and below any other upper bound.
+	f := func(a, b, c Label) bool {
+		u := a.Union(b)
+		if !a.SubsetOf(u) || !b.SubsetOf(u) {
+			return false
+		}
+		if a.SubsetOf(c) && b.SubsetOf(c) && !u.SubsetOf(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubtractDisjoint(t *testing.T) {
+	f := func(a, b Label) bool {
+		d := a.Subtract(b)
+		return d.Intersect(b).IsEmpty() && d.SubsetOf(a) &&
+			d.Union(a.Intersect(b)).Equal(a)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(a Label) bool {
+		b, err := a.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Label
+		if back.UnmarshalBinary(b) != nil {
+			return false
+		}
+		return back.Equal(a)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStringRoundTrip(t *testing.T) {
+	f := func(a Label) bool {
+		back, err := ParseLabel(a.String())
+		return err == nil && back.Equal(a)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCapSetRoundTrip(t *testing.T) {
+	f := func(c CapSet) bool {
+		b, err := c.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back CapSet
+		if back.UnmarshalBinary(b) != nil {
+			return false
+		}
+		s, err := ParseCapSet(c.String())
+		return err == nil && back.Equal(c) && s.Equal(c)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoPrivilegeMonotone: with no capabilities anywhere, messages
+// are safe exactly when the flow is monotone in the lattice. This is the
+// "no privilege, no declassification" soundness baseline.
+func TestQuickNoPrivilegeMonotone(t *testing.T) {
+	f := func(s1, s2 Label) bool {
+		return SafeMessage(s1, EmptyCaps, s2, EmptyCaps) == s1.SubsetOf(s2)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPrivilegeMonotonicity: granting MORE capabilities never turns
+// a safe operation unsafe.
+func TestQuickPrivilegeMonotonicity(t *testing.T) {
+	f := func(s1, s2 Label, c1, c2, extra CapSet) bool {
+		if SafeMessage(s1, c1, s2, c2) {
+			if !SafeMessage(s1, c1.Union(extra), s2, c2) {
+				return false
+			}
+			if !SafeMessage(s1, c1, s2, c2.Union(extra)) {
+				return false
+			}
+		}
+		if CanExport(s1, c1) && !CanExport(s1, c1.Union(extra)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSafeLabelChangeSound: any change SafeLabelChange admits is
+// decomposable into adds covered by D+ and drops covered by D-.
+func TestQuickSafeLabelChangeSound(t *testing.T) {
+	f := func(old, new Label, caps CapSet) bool {
+		ok := SafeLabelChange(old, new, caps)
+		adds := new.Subtract(old)
+		drops := old.Subtract(new)
+		manual := adds.SubsetOf(caps.Plus()) && drops.SubsetOf(caps.Minus())
+		return ok == manual
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickExportEquivalence: CanExport must agree with SafeMessage to an
+// empty-labeled, capability-less receiver — the definition of crossing
+// the perimeter.
+func TestQuickExportEquivalence(t *testing.T) {
+	f := func(s Label, caps CapSet) bool {
+		return CanExport(s, caps) == SafeMessage(s, caps, EmptyLabel, EmptyCaps)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCheckFlowAgreement: the diagnostic CheckFlow must agree with
+// the boolean SafeFlow on every input.
+func TestQuickCheckFlowAgreement(t *testing.T) {
+	f := func(s1, i1, s2, i2 Label, c1, c2 CapSet) bool {
+		send := LabelPair{Secrecy: s1, Integrity: i1}
+		recv := LabelPair{Secrecy: s2, Integrity: i2}
+		return SafeFlow(send, c1, recv, c2) == (CheckFlow(send, c1, recv, c2) == nil)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickJoinSafety: data joined from two sources can flow anywhere
+// both sources could flow (no privilege case).
+func TestQuickJoinSafety(t *testing.T) {
+	f := func(a, b, dst Label) bool {
+		if a.SubsetOf(dst) && b.SubsetOf(dst) {
+			return a.Union(b).SubsetOf(dst)
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

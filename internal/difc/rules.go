@@ -1,0 +1,166 @@
+package difc
+
+import "fmt"
+
+// This file implements the two safety judgments of the Flume DIFC model
+// (Krohn et al., SOSP 2007), which the W5 paper adopts as its enforcement
+// substrate (§3.1). Everything the W5 kernel allows or denies — reads,
+// writes, IPC, network export — reduces to these two checks plus the
+// export special case.
+
+// LabelPair bundles a secrecy and an integrity label; processes, files,
+// table rows, endpoints and messages all carry one.
+type LabelPair struct {
+	Secrecy   Label
+	Integrity Label
+}
+
+// String renders "S=… I=…".
+func (lp LabelPair) String() string {
+	return fmt.Sprintf("S=%s I=%s", lp.Secrecy, lp.Integrity)
+}
+
+// Equal reports whether both components are equal.
+func (lp LabelPair) Equal(o LabelPair) bool {
+	return lp.Secrecy.Equal(o.Secrecy) && lp.Integrity.Equal(o.Integrity)
+}
+
+// Join returns the label pair of data derived from both inputs: secrecy
+// accumulates (union), integrity attenuates (intersection).
+func (lp LabelPair) Join(o LabelPair) LabelPair {
+	return LabelPair{
+		Secrecy:   lp.Secrecy.Union(o.Secrecy),
+		Integrity: lp.Integrity.Intersect(o.Integrity),
+	}
+}
+
+// CanFlowTo reports whether data labeled lp may flow into a container
+// labeled o with no privilege applied: secrecy may only grow and
+// integrity may only shrink along a flow.
+func (lp LabelPair) CanFlowTo(o LabelPair) bool {
+	return lp.Secrecy.SubsetOf(o.Secrecy) && o.Integrity.SubsetOf(lp.Integrity)
+}
+
+// SafeLabelChange implements Flume's safe label change rule: a process
+// holding capabilities caps may change a label from old to new iff every
+// added tag is covered by a plus capability and every dropped tag by a
+// minus capability:
+//
+//	new − old ⊆ D+   and   old − new ⊆ D−
+//
+// The rule is identical for secrecy and integrity labels.
+func SafeLabelChange(old, new Label, caps CapSet) bool {
+	return new.Subtract(old).SubsetOf(caps.Plus()) &&
+		old.Subtract(new).SubsetOf(caps.Minus())
+}
+
+// ErrUnsafeLabelChange describes a rejected label transition, naming the
+// exact tags whose addition or removal lacked capability cover. Returning
+// the offending tags (rather than a bare denial) is safe here: the caller
+// already knows both labels; the error names no third party's secrets.
+type ErrUnsafeLabelChange struct {
+	MissingPlus  Label // tags added without t+
+	MissingMinus Label // tags dropped without t-
+}
+
+func (e *ErrUnsafeLabelChange) Error() string {
+	return fmt.Sprintf("difc: unsafe label change: need +%s -%s",
+		e.MissingPlus, e.MissingMinus)
+}
+
+// CheckLabelChange is SafeLabelChange returning a diagnostic error on
+// denial, for kernel call sites that must report the failure.
+func CheckLabelChange(old, new Label, caps CapSet) error {
+	mp := new.Subtract(old).Subtract(caps.Plus())
+	mm := old.Subtract(new).Subtract(caps.Minus())
+	if mp.IsEmpty() && mm.IsEmpty() {
+		return nil
+	}
+	return &ErrUnsafeLabelChange{MissingPlus: mp, MissingMinus: mm}
+}
+
+// SafeMessage implements Flume's safe message rule for a message sent by
+// a process with secrecy sendS and capabilities sendCaps to a receiver
+// with secrecy recvS and capabilities recvCaps:
+//
+//	S_send − D_send− ⊆ S_recv ∪ D_recv+
+//
+// Intuition: the sender may implicitly declassify what it could
+// declassify anyway, and the receiver may implicitly raise its label by
+// tags it could add anyway; after those potential moves the flow must be
+// monotone. Integrity is the dual judgment, checked by SafeMessageI.
+func SafeMessage(sendS Label, sendCaps CapSet, recvS Label, recvCaps CapSet) bool {
+	return sendS.Subtract(sendCaps.Minus()).
+		SubsetOf(recvS.Union(recvCaps.Plus()))
+}
+
+// SafeMessageI is the integrity dual of SafeMessage: the receiver's
+// integrity requirements, less what it could endorse itself, must be met
+// by the sender's integrity plus what the sender could shed:
+//
+//	I_recv − D_recv+ ⊆ I_send ∪ D_send−  (Flume, dual form)
+//
+// In practice W5 uses this to guarantee write-protection: a file whose
+// integrity label contains the owner's write tag w_u only accepts writes
+// from processes that carry (or can endorse with) w_u.
+func SafeMessageI(sendI Label, sendCaps CapSet, recvI Label, recvCaps CapSet) bool {
+	return recvI.Subtract(recvCaps.Plus()).
+		SubsetOf(sendI.Union(sendCaps.Minus()))
+}
+
+// SafeFlow checks both directions of the full message judgment between
+// two labeled endpoints.
+func SafeFlow(send LabelPair, sendCaps CapSet, recv LabelPair, recvCaps CapSet) bool {
+	return SafeMessage(send.Secrecy, sendCaps, recv.Secrecy, recvCaps) &&
+		SafeMessageI(send.Integrity, sendCaps, recv.Integrity, recvCaps)
+}
+
+// ErrFlowDenied describes a rejected flow. Leaked holds the secrecy tags
+// that would escape; Unmet holds the integrity tags the receiver demands
+// but the sender cannot supply. The kernel maps this to an opaque denial
+// at untrusted-code boundaries (see kernel.Monitor) so the error itself
+// does not become a covert channel; the full detail goes to the audit log.
+type ErrFlowDenied struct {
+	Leaked Label
+	Unmet  Label
+}
+
+func (e *ErrFlowDenied) Error() string {
+	return fmt.Sprintf("difc: flow denied: would leak %s, unmet integrity %s",
+		e.Leaked, e.Unmet)
+}
+
+// CheckFlow is SafeFlow with a diagnostic error for the audit log.
+func CheckFlow(send LabelPair, sendCaps CapSet, recv LabelPair, recvCaps CapSet) error {
+	leaked := send.Secrecy.Subtract(sendCaps.Minus()).
+		Subtract(recv.Secrecy.Union(recvCaps.Plus()))
+	unmet := recv.Integrity.Subtract(recvCaps.Plus()).
+		Subtract(send.Integrity.Union(sendCaps.Minus()))
+	if leaked.IsEmpty() && unmet.IsEmpty() {
+		return nil
+	}
+	return &ErrFlowDenied{Leaked: leaked, Unmet: unmet}
+}
+
+// CanExport reports whether a process with secrecy label s and
+// capabilities caps may emit data across the security perimeter. The
+// outside world is modeled as an endpoint with the empty label and no
+// capabilities, so the message rule degenerates to: every secrecy tag the
+// process has accumulated must be covered by a minus capability.
+//
+//	S ⊆ D−
+//
+// This single check is what makes the W5 boilerplate policy (§3.1) work:
+// the gateway holds s_u− only for user u's own authenticated session, so
+// "Bob's data can only leave the security perimeter if destined for
+// Bob's browser" — unless a declassifier that Bob authorized (granted
+// s_u− to) vouches for another destination.
+func CanExport(s Label, caps CapSet) bool {
+	return s.SubsetOf(caps.Minus())
+}
+
+// ExportResidue returns the secrecy tags that block an export: S − D−.
+// Empty means the export is safe.
+func ExportResidue(s Label, caps CapSet) Label {
+	return s.Subtract(caps.Minus())
+}

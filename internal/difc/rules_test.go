@@ -1,0 +1,263 @@
+package difc
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSafeLabelChange(t *testing.T) {
+	cases := []struct {
+		name     string
+		old, new Label
+		caps     CapSet
+		want     bool
+	}{
+		{"no change no caps", lbl(1), lbl(1), EmptyCaps, true},
+		{"add with plus", lbl(), lbl(1), NewCapSet(Plus(1)), true},
+		{"add without plus", lbl(), lbl(1), EmptyCaps, false},
+		{"add with only minus", lbl(), lbl(1), NewCapSet(Minus(1)), false},
+		{"drop with minus", lbl(1), lbl(), NewCapSet(Minus(1)), true},
+		{"drop without minus", lbl(1), lbl(), NewCapSet(Plus(1)), false},
+		{"swap needs both", lbl(1), lbl(2), NewCapSet(Minus(1), Plus(2)), true},
+		{"swap half covered", lbl(1), lbl(2), NewCapSet(Plus(2)), false},
+		{"multi add", lbl(1), lbl(1, 2, 3), NewCapSet(Plus(2), Plus(3)), true},
+		{"multi add partial", lbl(1), lbl(1, 2, 3), NewCapSet(Plus(2)), false},
+		{"ownership allows anything", lbl(1, 2), lbl(3), CapsFor(1, 2, 3), true},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SafeLabelChange(tt.old, tt.new, tt.caps); got != tt.want {
+				t.Errorf("SafeLabelChange(%v -> %v, %v) = %v, want %v",
+					tt.old, tt.new, tt.caps, got, tt.want)
+			}
+			err := CheckLabelChange(tt.old, tt.new, tt.caps)
+			if (err == nil) != tt.want {
+				t.Errorf("CheckLabelChange disagreement: err=%v want ok=%v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestCheckLabelChangeDiagnostics(t *testing.T) {
+	err := CheckLabelChange(lbl(1, 2), lbl(3, 4), NewCapSet(Minus(1), Plus(3)))
+	var ul *ErrUnsafeLabelChange
+	if !errors.As(err, &ul) {
+		t.Fatalf("error type %T, want *ErrUnsafeLabelChange", err)
+	}
+	if !ul.MissingPlus.Equal(lbl(4)) {
+		t.Errorf("MissingPlus = %v, want {t4}", ul.MissingPlus)
+	}
+	if !ul.MissingMinus.Equal(lbl(2)) {
+		t.Errorf("MissingMinus = %v, want {t2}", ul.MissingMinus)
+	}
+	if ul.Error() == "" {
+		t.Error("empty error string")
+	}
+}
+
+func TestSafeMessageSecrecy(t *testing.T) {
+	cases := []struct {
+		name               string
+		sendS              Label
+		sendCaps           CapSet
+		recvS              Label
+		recvCaps           CapSet
+		want               bool
+	}{
+		{"public to public", lbl(), EmptyCaps, lbl(), EmptyCaps, true},
+		{"up the lattice", lbl(1), EmptyCaps, lbl(1, 2), EmptyCaps, true},
+		{"down the lattice", lbl(1, 2), EmptyCaps, lbl(1), EmptyCaps, false},
+		{"down with declassify", lbl(1, 2), NewCapSet(Minus(2)), lbl(1), EmptyCaps, true},
+		{"down recv can raise", lbl(1, 2), EmptyCaps, lbl(1), NewCapSet(Plus(2)), true},
+		{"incomparable", lbl(1), EmptyCaps, lbl(2), EmptyCaps, false},
+		{"incomparable sender minus", lbl(1), NewCapSet(Minus(1)), lbl(2), EmptyCaps, true},
+		{"secret to public blocked", lbl(9), EmptyCaps, lbl(), EmptyCaps, false},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			got := SafeMessage(tt.sendS, tt.sendCaps, tt.recvS, tt.recvCaps)
+			if got != tt.want {
+				t.Errorf("SafeMessage = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSafeMessageIntegrity(t *testing.T) {
+	w := Tag(100) // think: user's write-protect tag
+	cases := []struct {
+		name     string
+		sendI    Label
+		sendCaps CapSet
+		recvI    Label
+		recvCaps CapSet
+		want     bool
+	}{
+		{"no requirement", lbl(), EmptyCaps, lbl(), EmptyCaps, true},
+		{"requirement met", lbl(w), EmptyCaps, lbl(w), EmptyCaps, true},
+		{"requirement unmet", lbl(), EmptyCaps, lbl(w), EmptyCaps, false},
+		{"recv can endorse itself", lbl(), EmptyCaps, lbl(w), NewCapSet(Plus(w)), true},
+		{"sender can shed is irrelevant for unmet", lbl(), NewCapSet(Minus(w)), lbl(w), EmptyCaps, true},
+		{"high integrity to low ok", lbl(w, 101), EmptyCaps, lbl(), EmptyCaps, true},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			got := SafeMessageI(tt.sendI, tt.sendCaps, tt.recvI, tt.recvCaps)
+			if got != tt.want {
+				t.Errorf("SafeMessageI = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSafeFlowCombined(t *testing.T) {
+	s, w := Tag(1), Tag(2)
+	secretHighInt := LabelPair{Secrecy: lbl(s), Integrity: lbl(w)}
+	publicLowInt := LabelPair{Secrecy: lbl(), Integrity: lbl()}
+
+	// Secret, endorsed data flows to a secret, unendorsed container.
+	if !SafeFlow(secretHighInt, EmptyCaps, LabelPair{Secrecy: lbl(s)}, EmptyCaps) {
+		t.Error("flow up-secrecy down-integrity should be safe")
+	}
+	// It must not flow out to public.
+	if SafeFlow(secretHighInt, EmptyCaps, publicLowInt, EmptyCaps) {
+		t.Error("secret flowed to public")
+	}
+	// Public data must not flow into a w-requiring container without w.
+	if SafeFlow(publicLowInt, EmptyCaps, secretHighInt, EmptyCaps) {
+		t.Error("unendorsed write accepted")
+	}
+	// With both privileges, everything goes.
+	priv := NewCapSet(Minus(s), Plus(w))
+	if !SafeFlow(secretHighInt, priv, publicLowInt, EmptyCaps) {
+		t.Error("declassifier flow denied")
+	}
+	if !SafeFlow(publicLowInt, EmptyCaps, secretHighInt, NewCapSet(Plus(s), Plus(w))) {
+		t.Error("receiver with raise privileges denied")
+	}
+}
+
+func TestCheckFlowDiagnostics(t *testing.T) {
+	send := LabelPair{Secrecy: lbl(1, 2), Integrity: lbl()}
+	recv := LabelPair{Secrecy: lbl(1), Integrity: lbl(9)}
+	err := CheckFlow(send, EmptyCaps, recv, EmptyCaps)
+	var fd *ErrFlowDenied
+	if !errors.As(err, &fd) {
+		t.Fatalf("error type %T, want *ErrFlowDenied", err)
+	}
+	if !fd.Leaked.Equal(lbl(2)) {
+		t.Errorf("Leaked = %v, want {t2}", fd.Leaked)
+	}
+	if !fd.Unmet.Equal(lbl(9)) {
+		t.Errorf("Unmet = %v, want {t9}", fd.Unmet)
+	}
+	if fd.Error() == "" {
+		t.Error("empty error string")
+	}
+	if err := CheckFlow(send, CapsFor(1, 2), recv, CapsFor(9)); err != nil {
+		t.Errorf("privileged flow denied: %v", err)
+	}
+}
+
+func TestCanExport(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Label
+		caps CapSet
+		want bool
+	}{
+		{"public always exports", lbl(), EmptyCaps, true},
+		{"tainted blocked", lbl(1), EmptyCaps, false},
+		{"tainted with minus", lbl(1), NewCapSet(Minus(1)), true},
+		{"partially covered", lbl(1, 2), NewCapSet(Minus(1)), false},
+		{"fully covered", lbl(1, 2), NewCapSet(Minus(1), Minus(2)), true},
+		{"plus does not export", lbl(1), NewCapSet(Plus(1)), false},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CanExport(tt.s, tt.caps); got != tt.want {
+				t.Errorf("CanExport(%v, %v) = %v, want %v", tt.s, tt.caps, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExportResidue(t *testing.T) {
+	got := ExportResidue(lbl(1, 2, 3), NewCapSet(Minus(2)))
+	if !got.Equal(lbl(1, 3)) {
+		t.Errorf("ExportResidue = %v, want {t1,t3}", got)
+	}
+	if !ExportResidue(lbl(), EmptyCaps).IsEmpty() {
+		t.Error("residue of empty label not empty")
+	}
+}
+
+func TestLabelPairJoin(t *testing.T) {
+	a := LabelPair{Secrecy: lbl(1), Integrity: lbl(10, 11)}
+	b := LabelPair{Secrecy: lbl(2), Integrity: lbl(11, 12)}
+	j := a.Join(b)
+	if !j.Secrecy.Equal(lbl(1, 2)) {
+		t.Errorf("join secrecy = %v, want {t1,t2}", j.Secrecy)
+	}
+	if !j.Integrity.Equal(lbl(11)) {
+		t.Errorf("join integrity = %v, want {t11}", j.Integrity)
+	}
+}
+
+func TestLabelPairCanFlowTo(t *testing.T) {
+	low := LabelPair{Secrecy: lbl(), Integrity: lbl(5)}
+	high := LabelPair{Secrecy: lbl(1), Integrity: lbl()}
+	if !low.CanFlowTo(high) {
+		t.Error("low should flow to high")
+	}
+	if high.CanFlowTo(low) {
+		t.Error("high flowed to low")
+	}
+	if !low.CanFlowTo(low) || !high.CanFlowTo(high) {
+		t.Error("CanFlowTo not reflexive")
+	}
+}
+
+// TestBoilerplatePolicyScenario walks the exact scenario from paper §3.1:
+// Bob's data is labeled {s_bob}; an untrusted app may read and process it
+// but cannot export it; the gateway exports to Bob's own browser using the
+// s_bob- privilege it holds for Bob's session; a friend-list declassifier
+// granted s_bob- can export to Alice; Charlie's session cannot receive it.
+func TestBoilerplatePolicyScenario(t *testing.T) {
+	sBob := Tag(1)
+	bobData := lbl(sBob)
+
+	// Untrusted app reads Bob's data: app label must rise to include s_bob.
+	appLabel := lbl()
+	if SafeMessage(bobData, EmptyCaps, appLabel, EmptyCaps) {
+		t.Fatal("read allowed without taint or capability")
+	}
+	appCaps := NewCapSet(Plus(sBob)) // everyone may read-and-taint by default
+	if !SafeMessage(bobData, EmptyCaps, appLabel, appCaps) {
+		t.Fatal("read denied despite s_bob+ capability")
+	}
+	appLabel = appLabel.Add(sBob) // app is now tainted
+
+	// Tainted app cannot export.
+	if CanExport(appLabel, appCaps) {
+		t.Fatal("tainted app exported Bob's data")
+	}
+
+	// Gateway session endpoint for Bob holds s_bob- : export to Bob OK.
+	bobSession := NewCapSet(Minus(sBob))
+	if !CanExport(appLabel, appCaps.Union(bobSession)) {
+		t.Fatal("export to Bob's own browser denied")
+	}
+
+	// Charlie's session holds s_charlie-, not s_bob-.
+	charlieSession := NewCapSet(Minus(Tag(3)))
+	if CanExport(appLabel, appCaps.Union(charlieSession)) {
+		t.Fatal("Bob's data exported to Charlie")
+	}
+
+	// Friend-list declassifier granted s_bob- by Bob can export to Alice.
+	declCaps := NewCapSet(Minus(sBob))
+	if !CanExport(appLabel.Subtract(lbl()), declCaps) {
+		t.Fatal("authorized declassifier denied")
+	}
+}

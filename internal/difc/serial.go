@@ -1,0 +1,158 @@
+package difc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire encoding for labels and capability sets, used by the persistent
+// store and the federation sync protocol. The format is deliberately
+// simple and self-delimiting:
+//
+//	label   := uvarint(count) count*uvarint(tag)
+//	capset  := label(plus) label(minus)
+//	pair    := label(secrecy) label(integrity)
+//
+// Tags are delta-encoded (each varint is the difference from the previous
+// tag), exploiting the sorted representation; typical small labels encode
+// in a handful of bytes.
+
+// AppendBinary appends the wire form of the label to b and returns the
+// extended slice.
+func (l Label) AppendBinary(b []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(l.tags)))
+	prev := Tag(0)
+	for _, t := range l.tags {
+		b = binary.AppendUvarint(b, uint64(t-prev))
+		prev = t
+	}
+	return b
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (l Label) MarshalBinary() ([]byte, error) {
+	return l.AppendBinary(nil), nil
+}
+
+// DecodeLabel decodes a label from the front of b, returning the label
+// and the number of bytes consumed.
+func DecodeLabel(b []byte) (Label, int, error) {
+	n, k := binary.Uvarint(b)
+	if k <= 0 {
+		return Label{}, 0, fmt.Errorf("difc: truncated label header")
+	}
+	if n > uint64(len(b)) { // each tag takes >=1 byte; cheap bound check
+		return Label{}, 0, fmt.Errorf("difc: label count %d exceeds input", n)
+	}
+	off := k
+	tags := make([]Tag, 0, n)
+	prev := Tag(0)
+	for i := uint64(0); i < n; i++ {
+		d, k := binary.Uvarint(b[off:])
+		if k <= 0 {
+			return Label{}, 0, fmt.Errorf("difc: truncated label body")
+		}
+		off += k
+		t := prev + Tag(d)
+		if t == 0 || (i > 0 && t <= prev) {
+			return Label{}, 0, fmt.Errorf("difc: non-monotone tag encoding")
+		}
+		tags = append(tags, t)
+		prev = t
+	}
+	if len(tags) == 0 {
+		return Label{}, off, nil
+	}
+	return Label{tags: tags}, off, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. Trailing bytes
+// are rejected so corruption cannot hide behind a valid prefix.
+func (l *Label) UnmarshalBinary(b []byte) error {
+	lab, n, err := DecodeLabel(b)
+	if err != nil {
+		return err
+	}
+	if n != len(b) {
+		return fmt.Errorf("difc: %d trailing bytes after label", len(b)-n)
+	}
+	*l = lab
+	return nil
+}
+
+// AppendBinary appends the wire form of the capability set.
+func (c CapSet) AppendBinary(b []byte) []byte {
+	b = c.plus.AppendBinary(b)
+	b = c.minus.AppendBinary(b)
+	return b
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c CapSet) MarshalBinary() ([]byte, error) {
+	return c.AppendBinary(nil), nil
+}
+
+// DecodeCapSet decodes a capability set from the front of b, returning
+// the set and the number of bytes consumed.
+func DecodeCapSet(b []byte) (CapSet, int, error) {
+	plus, n1, err := DecodeLabel(b)
+	if err != nil {
+		return CapSet{}, 0, fmt.Errorf("difc: capset plus: %w", err)
+	}
+	minus, n2, err := DecodeLabel(b[n1:])
+	if err != nil {
+		return CapSet{}, 0, fmt.Errorf("difc: capset minus: %w", err)
+	}
+	return CapSet{plus: plus, minus: minus}, n1 + n2, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *CapSet) UnmarshalBinary(b []byte) error {
+	cs, n, err := DecodeCapSet(b)
+	if err != nil {
+		return err
+	}
+	if n != len(b) {
+		return fmt.Errorf("difc: %d trailing bytes after capset", len(b)-n)
+	}
+	*c = cs
+	return nil
+}
+
+// AppendBinary appends the wire form of the label pair.
+func (lp LabelPair) AppendBinary(b []byte) []byte {
+	b = lp.Secrecy.AppendBinary(b)
+	b = lp.Integrity.AppendBinary(b)
+	return b
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (lp LabelPair) MarshalBinary() ([]byte, error) {
+	return lp.AppendBinary(nil), nil
+}
+
+// DecodeLabelPair decodes a label pair from the front of b.
+func DecodeLabelPair(b []byte) (LabelPair, int, error) {
+	s, n1, err := DecodeLabel(b)
+	if err != nil {
+		return LabelPair{}, 0, fmt.Errorf("difc: pair secrecy: %w", err)
+	}
+	i, n2, err := DecodeLabel(b[n1:])
+	if err != nil {
+		return LabelPair{}, 0, fmt.Errorf("difc: pair integrity: %w", err)
+	}
+	return LabelPair{Secrecy: s, Integrity: i}, n1 + n2, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (lp *LabelPair) UnmarshalBinary(b []byte) error {
+	p, n, err := DecodeLabelPair(b)
+	if err != nil {
+		return err
+	}
+	if n != len(b) {
+		return fmt.Errorf("difc: %d trailing bytes after label pair", len(b)-n)
+	}
+	*lp = p
+	return nil
+}

@@ -1,0 +1,153 @@
+package difc
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLabelBinaryRoundTrip(t *testing.T) {
+	cases := []Label{
+		lbl(),
+		lbl(1),
+		lbl(1, 2, 3),
+		lbl(1, 1000, 1000000, 1<<40),
+		NewLabel(func() []Tag {
+			ts := make([]Tag, 200)
+			for i := range ts {
+				ts[i] = Tag(i*7 + 1)
+			}
+			return ts
+		}()...),
+	}
+	for _, l := range cases {
+		b, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", l, err)
+		}
+		var back Label
+		if err := back.UnmarshalBinary(b); err != nil {
+			t.Fatalf("unmarshal %v: %v", l, err)
+		}
+		if !back.Equal(l) {
+			t.Errorf("round trip: got %v, want %v", back, l)
+		}
+	}
+}
+
+func TestLabelBinaryCompactness(t *testing.T) {
+	// Delta encoding: 64 consecutive tags should take ~1 byte each.
+	ts := make([]Tag, 64)
+	for i := range ts {
+		ts[i] = Tag(i + 1)
+	}
+	b, _ := NewLabel(ts...).MarshalBinary()
+	if len(b) > 70 {
+		t.Errorf("encoding of 64 dense tags is %d bytes, want <= 70", len(b))
+	}
+}
+
+func TestLabelBinaryRejectsTruncation(t *testing.T) {
+	b, _ := lbl(5, 10, 20).MarshalBinary()
+	for i := 0; i < len(b); i++ {
+		var l Label
+		if err := l.UnmarshalBinary(b[:i]); err == nil {
+			t.Errorf("accepted truncation to %d bytes", i)
+		}
+	}
+}
+
+func TestLabelBinaryRejectsTrailing(t *testing.T) {
+	b, _ := lbl(5).MarshalBinary()
+	var l Label
+	if err := l.UnmarshalBinary(append(b, 0x00)); err == nil {
+		t.Error("accepted trailing byte")
+	}
+}
+
+func TestLabelBinaryRejectsHugeCount(t *testing.T) {
+	// Header claims 2^32 tags with no body.
+	b := []byte{0x80, 0x80, 0x80, 0x80, 0x10}
+	var l Label
+	if err := l.UnmarshalBinary(b); err == nil {
+		t.Error("accepted absurd tag count")
+	}
+}
+
+func TestLabelBinaryRejectsZeroDelta(t *testing.T) {
+	// count=2, tag deltas 5 then 0 (duplicate tag) must be rejected.
+	b := []byte{2, 5, 0}
+	var l Label
+	if err := l.UnmarshalBinary(b); err == nil {
+		t.Error("accepted non-monotone encoding")
+	}
+}
+
+func TestCapSetBinaryRoundTrip(t *testing.T) {
+	cases := []CapSet{
+		EmptyCaps,
+		NewCapSet(Plus(1)),
+		NewCapSet(Minus(9)),
+		NewCapSet(Plus(1), Minus(1), Plus(100), Minus(200)),
+		CapsFor(3, 6, 9),
+	}
+	for _, c := range cases {
+		b, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", c, err)
+		}
+		var back CapSet
+		if err := back.UnmarshalBinary(b); err != nil {
+			t.Fatalf("unmarshal %v: %v", c, err)
+		}
+		if !back.Equal(c) {
+			t.Errorf("round trip: got %v, want %v", back, c)
+		}
+	}
+}
+
+func TestCapSetBinaryRejectsTrailing(t *testing.T) {
+	b, _ := CapsFor(1).MarshalBinary()
+	var c CapSet
+	if err := c.UnmarshalBinary(append(b, 0xFF)); err == nil {
+		t.Error("accepted trailing byte")
+	}
+}
+
+func TestLabelPairBinaryRoundTrip(t *testing.T) {
+	cases := []LabelPair{
+		{},
+		{Secrecy: lbl(1, 2)},
+		{Integrity: lbl(3)},
+		{Secrecy: lbl(1), Integrity: lbl(2, 4)},
+	}
+	for _, p := range cases {
+		b, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back LabelPair
+		if err := back.UnmarshalBinary(b); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !back.Equal(p) {
+			t.Errorf("round trip: got %v, want %v", back, p)
+		}
+	}
+}
+
+func TestDecodeConsumesExactly(t *testing.T) {
+	l1, _ := lbl(7, 8).MarshalBinary()
+	l2, _ := lbl(9).MarshalBinary()
+	joined := append(append([]byte{}, l1...), l2...)
+	a, n, err := DecodeLabel(joined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(lbl(7, 8)) || !bytes.Equal(joined[n:], l2) {
+		t.Error("DecodeLabel consumed wrong amount")
+	}
+	b, n2, err := DecodeLabel(joined[n:])
+	if err != nil || !b.Equal(lbl(9)) || n2 != len(l2) {
+		t.Error("second decode failed")
+	}
+}

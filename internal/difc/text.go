@@ -1,0 +1,45 @@
+package difc
+
+// Text marshaling so labels and capability sets embed naturally in JSON
+// documents (persistent snapshots, federation messages, w5ctl output).
+// The textual forms are the ones produced by String and accepted by the
+// corresponding Parse functions.
+
+// MarshalText implements encoding.TextMarshaler.
+func (t Tag) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (t *Tag) UnmarshalText(b []byte) error {
+	v, err := ParseTag(string(b))
+	if err != nil {
+		return err
+	}
+	*t = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (l Label) MarshalText() ([]byte, error) { return []byte(l.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (l *Label) UnmarshalText(b []byte) error {
+	v, err := ParseLabel(string(b))
+	if err != nil {
+		return err
+	}
+	*l = v
+	return nil
+}
+
+// MarshalText implements encoding.TextMarshaler.
+func (c CapSet) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (c *CapSet) UnmarshalText(b []byte) error {
+	v, err := ParseCapSet(string(b))
+	if err != nil {
+		return err
+	}
+	*c = v
+	return nil
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"w5/internal/attack"
+)
+
+// E2SecurityMatrix runs the full adversary suite against both
+// platforms — §2's claim that the platform protects users' data "from
+// other users, from external attack, and from applications", versus
+// the baseline where "such calamities will not happen is something
+// that a user must trust".
+func E2SecurityMatrix() Table {
+	t := Table{
+		ID:    "E2",
+		Title: "Exfiltration & vandalism vectors: blocked?",
+		Claim: "untrusted code can read private data but neither export it nor enlist another application to do so (§3.1); write protection stops vandalism",
+		Header: []string{"attack vector", "W5 blocked", "baseline blocked", "W5 refusal"},
+	}
+	blockedW5, blockedBL := 0, 0
+	for _, atk := range attack.Suite() {
+		w5s, err := attack.NewW5Surface()
+		if err != nil {
+			panic(err)
+		}
+		outW5 := atk.Run(w5s)
+		bls, err := attack.NewBaselineSurface()
+		if err != nil {
+			panic(err)
+		}
+		outBL := atk.Run(bls)
+		if outW5.Blocked() {
+			blockedW5++
+		}
+		if outBL.Blocked() {
+			blockedBL++
+		}
+		refusal := "(silent containment)"
+		if outW5.Err != nil {
+			refusal = outW5.Err.Error()
+		}
+		t.Rows = append(t.Rows, []string{
+			atk.Name, yesno(outW5.Blocked()), yesno(outBL.Blocked()), refusal,
+		})
+	}
+	t.Notes = append(t.Notes,
+		"W5 blocked "+itoa(blockedW5)+"/"+itoa(len(attack.Suite()))+
+			"; baseline blocked "+itoa(blockedBL)+"/"+itoa(len(attack.Suite())),
+		"every attack runs with the read grant the victim gave the app: W5's protection is confinement, not read denial")
+	return t
+}

@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"w5/internal/apps"
+	"w5/internal/core"
+	"w5/internal/declass"
+	"w5/internal/wvm"
+)
+
+// E4TCBSize quantifies §3.1's auditability claim: "because
+// declassifiers are typically much smaller than entire applications,
+// they are easier to audit." Both sides of the comparison are W5
+// Assembly modules — the unit a user actually audits before pinning a
+// hash — so the metric is honest: module bytes and instruction count.
+func E4TCBSize() Table {
+	type entry struct {
+		name string
+		kind string
+		src  string
+		sys  map[string]uint16
+	}
+	entries := []entry{
+		{"declass/friend-list", "declassifier", declass.FriendListWVMSource, declass.WVMSyscallNames},
+		{"declass/owner-only", "declassifier", ownerOnlyWVMSource, declass.WVMSyscallNames},
+		{"app/greeter", "application", greeterWVMSource, core.AppSyscallNames},
+		{"app/guestbook", "application", guestbookWVMSource, core.AppSyscallNames},
+		{"app/gallery", "application", galleryWVMSource, core.AppSyscallNames},
+	}
+	t := Table{
+		ID:    "E4",
+		Title: "Audit burden: declassifiers vs applications",
+		Claim: "declassifiers are much smaller than entire applications, hence easier to audit (§3.1)",
+		Header: []string{"unit", "kind", "bytes", "instructions", "source lines"},
+	}
+	for _, e := range entries {
+		prog, err := wvm.Assemble(e.src, e.sys)
+		if err != nil {
+			panic(fmt.Sprintf("E4 module %s: %v", e.name, err))
+		}
+		t.Rows = append(t.Rows, []string{
+			e.name, e.kind, itoa(len(prog.Marshal())),
+			itoa(countInstructions(prog)), itoa(countSourceLines(e.src)),
+		})
+	}
+	// The shipped production applications (Go implementations) vs the
+	// shipped policy library, measured by lines a human must read.
+	var appLines, appCount int
+	for file, lines := range apps.SourceLines() {
+		t.Rows = append(t.Rows, []string{
+			"apps/" + file, "application", "-", "-", itoa(lines),
+		})
+		appLines += lines
+		appCount++
+	}
+	perPolicy := float64(declass.PolicyLibraryLines()) / declass.StandardPolicyCount
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("declass stdlib (%d policies, mean)", declass.StandardPolicyCount),
+		"declassifier", "-", "-", f0(perPolicy),
+	})
+	ratio := float64(appLines) / float64(appCount) / perPolicy
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("mean application source = %.0f lines; mean declassifier = %.0f lines; ratio %.1fx",
+			float64(appLines)/float64(appCount), perPolicy, ratio),
+		"the audit burden for a user: read the declassifier listing, pin its hash; applications never need auditing because they are confined")
+	return t
+}
+
+// countInstructions counts executable instructions by disassembling.
+func countInstructions(p *wvm.Program) int {
+	n := 0
+	for _, line := range strings.Split(wvm.Disassemble(p), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasSuffix(trimmed, ":") || strings.HasPrefix(trimmed, ".data") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+func countSourceLines(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" && !strings.HasPrefix(line, ";") {
+			n++
+		}
+	}
+	return n
+}
+
+// ownerOnlyWVMSource is the boilerplate policy as a bytecode module:
+// allow iff viewer == owner (non-empty).
+const ownerOnlyWVMSource = `
+; owner-only declassifier: allow iff viewer == owner
+        push 0
+        sys copy_viewer
+        store 0
+        load 0
+        push 0
+        le
+        jnz deny
+        push 512
+        sys copy_owner
+        store 1
+        load 0
+        load 1
+        ne
+        jnz deny
+        push 0
+        store 2
+loop:   load 2
+        load 0
+        ge
+        jnz allow
+        load 2
+        mload
+        load 2
+        push 512
+        add
+        mload
+        ne
+        jnz deny
+        load 2
+        push 1
+        add
+        store 2
+        jmp loop
+allow:  push 1
+        halt
+deny:   push 0
+        halt
+`
+
+// greeterWVMSource is the minimal application: greet the viewer.
+const greeterWVMSource = `
+.data greet "hello "
+        push @greet
+        push #greet
+        sys emit
+        pop
+        push 1024
+        sys copy_viewer
+        store 0
+        push 1024
+        load 0
+        sys emit
+        pop
+        halt
+`
+
+// guestbookWVMSource is a small but real application: append a message
+// to the owner's guestbook file and render the whole book.
+const guestbookWVMSource = `
+.data path "guestbook"
+.data pfx "/home/"
+.data sl "/private/guestbook"
+.data hdr "<html><body><h1>guestbook</h1><pre>"
+.data ftr "</pre></body></html>"
+.data msgkey "msg"
+.data nl "\n"
+; build file path "/home/<owner>/private/guestbook" at 2048
+        push 0
+        store 10            ; cursor
+        push @pfx
+        push #pfx
+        call append
+        push 1024
+        sys copy_owner
+        store 0
+        push 1024
+        load 0
+        call append
+        push @sl
+        push #sl
+        call append
+; read existing book into 4096 (cap 8192), length g1
+        push 2048
+        load 10
+        push 4096
+        push 8192
+        sys read_file
+        store 1
+        load 1
+        push 0
+        ge
+        jnz haveold
+        push 0
+        store 1
+haveold:
+; append new message (param "msg") at 4096+g1
+        push @msgkey
+        push #msgkey
+        load 1
+        push 4096
+        add
+        push 512
+        sys copy_param
+        store 2
+        load 2
+        push 0
+        ge
+        jnz gotmsg
+        push 0
+        store 2
+gotmsg:
+; append newline after message
+        load 1
+        load 2
+        add
+        push 4096
+        add
+        push 10
+        mstore
+; total book length g3 = g1 + g2 + 1
+        load 1
+        load 2
+        add
+        push 1
+        add
+        store 3
+; write back
+        push 2048
+        load 10
+        push 4096
+        load 3
+        sys write_private
+        pop
+; render
+        push @hdr
+        push #hdr
+        sys emit
+        pop
+        push 4096
+        load 3
+        sys emit
+        pop
+        push @ftr
+        push #ftr
+        sys emit
+        pop
+        halt
+; append(addr, len): copies [addr,addr+len) to 2048+g10, advances g10
+append: store 20            ; len
+        store 21            ; src
+        push 0
+        store 22            ; i
+aploop: load 22
+        load 20
+        ge
+        jnz apdone
+        load 22
+        push 2048
+        add
+        load 10
+        add
+        load 22
+        load 21
+        add
+        mload
+        mstore
+        load 22
+        push 1
+        add
+        store 22
+        jmp aploop
+apdone: load 10
+        load 20
+        add
+        store 10
+        ret
+`
+
+// galleryWVMSource renders an HTML gallery of the owner's photo names
+// passed as a parameter list (the directory listing arrives as a
+// request parameter prepared by the front-end in this demo ABI).
+const galleryWVMSource = `
+.data hdr "<html><body><h1>gallery of "
+.data mid "</h1><ul>"
+.data li1 "<li>"
+.data li2 "</li>"
+.data ftr "</ul></body></html>"
+.data key "names"
+        push @hdr
+        push #hdr
+        sys emit
+        pop
+        push 1024
+        sys copy_owner
+        store 0
+        push 1024
+        load 0
+        sys emit
+        pop
+        push @mid
+        push #mid
+        sys emit
+        pop
+; names param: comma-separated at 2048, len g1
+        push @key
+        push #key
+        push 2048
+        push 4096
+        sys copy_param
+        store 1
+        load 1
+        push 0
+        le
+        jnz done
+        push 0
+        store 2             ; start
+        push 0
+        store 3             ; cursor
+scan:   load 3
+        load 1
+        ge
+        jnz lastone
+        load 3
+        push 2048
+        add
+        mload
+        push 44             ; ','
+        eq
+        jnz emitone
+        load 3
+        push 1
+        add
+        store 3
+        jmp scan
+emitone:
+        call item
+        load 3
+        push 1
+        add
+        dup
+        store 2
+        store 3
+        jmp scan
+lastone:
+        call item
+        jmp done
+; item: emits <li> names[g2:g3] </li>
+item:   push @li1
+        push #li1
+        sys emit
+        pop
+        load 2
+        push 2048
+        add
+        load 3
+        load 2
+        sub
+        sys emit
+        pop
+        push @li2
+        push #li2
+        sys emit
+        pop
+        ret
+done:   push @ftr
+        push #ftr
+        sys emit
+        pop
+        halt
+`

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"w5/internal/core"
+	"w5/internal/difc"
+	"w5/internal/quota"
+	"w5/internal/table"
+	"w5/internal/wvm"
+)
+
+// rogue programs for E8.
+const (
+	spinnerSource = "loop: jmp loop\n" // burns CPU forever
+)
+
+// E8ResourceIsolation pits rogue applications against an honest one,
+// with and without quotas (§3.5: rogues must not "degrade the
+// performance of the W5 cluster" or "lock the database").
+func E8ResourceIsolation() Table {
+	t := Table{
+		ID:    "E8",
+		Title: "Rogue applications: contained resource consumption",
+		Claim: "processes must be limited in disk, network, memory and CPU; malicious queries must not lock the database (§3.5)",
+		Header: []string{"rogue", "quotas", "rogue stopped", "rogue consumed", "honest p50 µs", "honest max µs"},
+	}
+
+	for _, quotasOn := range []bool{true, false} {
+		for _, rogue := range []string{"cpu-spinner", "alloc-bomb", "query-bomb"} {
+			stopped, consumed, p50, max := runE8(rogue, quotasOn)
+			t.Rows = append(t.Rows, []string{
+				rogue, yesno(quotasOn), yesno(stopped), consumed, f2(p50), f2(max),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"without quotas the rogue is capped at a 50M-instruction harness limit so the experiment terminates; on a real cluster it would not",
+		"honest latency measured concurrently with the rogue on GOMAXPROCS CPUs")
+	return t
+}
+
+func runE8(rogue string, quotasOn bool) (stopped bool, consumed string, p50, maxv float64) {
+	cfg := core.Config{Name: "e8", Enforce: true, DisableQuotas: !quotasOn}
+	p := core.NewProvider(cfg)
+	p.InstallApp(e3App{})
+	p.CreateUser("bob", "pw")
+	u, _ := p.GetUser("bob")
+	label := difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}
+	p.FS.Write(p.UserCred("bob"), "/home/bob/private/doc", make([]byte, 512), label)
+	p.EnableApp("bob", "e3app")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		switch rogue {
+		case "cpu-spinner":
+			prog, _ := wvm.Assemble(spinnerSource, nil)
+			var acct *quota.Account
+			if p.Quotas != nil {
+				acct = p.Quotas.Account("app:rogue")
+			}
+			vm := wvm.New(prog, wvm.Config{Gas: 50_000_000, Account: acct})
+			_, err := vm.Run()
+			stopped = errors.Is(err, wvm.ErrGas) && quotasOn
+			consumed = fmt.Sprintf("%d instrs", vm.Steps())
+		case "alloc-bomb":
+			prog, _ := wvm.Assemble("halt", nil)
+			var acct *quota.Account
+			if p.Quotas != nil {
+				acct = p.Quotas.Account("app:rogue")
+			}
+			vm := wvm.New(prog, wvm.Config{MemSize: 512 << 20, Account: acct})
+			_, err := vm.Run()
+			stopped = errors.Is(err, wvm.ErrMemQuota)
+			if stopped {
+				consumed = "0 B (refused)"
+			} else {
+				consumed = "512 MiB"
+			}
+		case "query-bomb":
+			// Hammer the shared table store with full scans.
+			p.Tables.Create(table.Schema{Name: "e8load", Columns: []string{"v"}})
+			loader := table.Cred{Principal: "loader"}
+			for i := 0; i < 2000; i++ {
+				p.Tables.Insert(loader, "e8load", map[string]string{"v": "x"}, difc.LabelPair{})
+			}
+			rogueCred := table.Cred{Principal: "app:rogue"}
+			scans := 0
+			for i := 0; i < 5000; i++ {
+				if _, _, err := p.Tables.Select(rogueCred, "e8load", table.True{}); err != nil {
+					stopped = true
+					break
+				}
+				scans++
+			}
+			consumed = fmt.Sprintf("%d full scans", scans)
+		}
+	}()
+
+	// Honest traffic concurrently.
+	var lat []float64
+	for i := 0; i < 200; i++ {
+		start := time.Now()
+		inv, err := p.Invoke("e3app", core.AppRequest{Viewer: "bob", Owner: "bob"})
+		if err == nil {
+			p.ExportCheck(inv, "bob")
+		}
+		lat = append(lat, float64(time.Since(start).Microseconds()))
+	}
+	wg.Wait()
+	sortF(lat)
+	return stopped, consumed, lat[len(lat)/2], lat[len(lat)-1]
+}
+
+func sortF(a []float64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"time"
+
+	"w5/internal/core"
+	"w5/internal/difc"
+	"w5/internal/gateway"
+)
+
+// E9GatewayThroughput measures the HTTP perimeter under concurrency —
+// §2's requirement that W5 serve today's Web clients — against a plain
+// net/http handler serving identical bytes with no platform behind it.
+func E9GatewayThroughput(concurrencies []int, requestsPerClient int) Table {
+	t := Table{
+		ID:    "E9",
+		Title: "Gateway throughput: W5 perimeter vs plain HTTP",
+		Claim: "DNS/HTTP front-ends let users interact with W5 using today's Web clients (§2)",
+		Header: []string{"server", "clients", "requests", "req/s", "mean µs/req"},
+	}
+
+	// ---- W5 provider behind its gateway.
+	p := core.NewProvider(core.Config{Name: "e9", Enforce: true})
+	p.InstallApp(e3App{})
+	p.CreateUser("bob", "pw")
+	u, _ := p.GetUser("bob")
+	label := difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}
+	p.FS.Write(p.UserCred("bob"), "/home/bob/private/doc", make([]byte, 1024), label)
+	p.EnableApp("bob", "e3app")
+	gw := gateway.New(p, gateway.Options{FilterHTML: true})
+	w5srv := httptest.NewServer(gw)
+	defer w5srv.Close()
+
+	// Authenticate one session, reuse its cookie across clients.
+	resp, err := http.PostForm(w5srv.URL+"/login", url.Values{"user": {"bob"}, "password": {"pw"}})
+	if err != nil {
+		panic(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	var cookie *http.Cookie
+	for _, c := range resp.Cookies() {
+		if c.Name == gateway.SessionCookie {
+			cookie = c
+		}
+	}
+	if cookie == nil {
+		panic("e9: no session cookie")
+	}
+
+	// ---- Plain HTTP comparator serving the same 1 KiB.
+	payload := make([]byte, 1024)
+	plain := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	}))
+	defer plain.Close()
+
+	run := func(name, base, path string, withCookie bool, clients int) {
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				client := &http.Client{}
+				for i := 0; i < requestsPerClient; i++ {
+					req, _ := http.NewRequest("GET", base+path, nil)
+					if withCookie {
+						req.AddCookie(cookie)
+					}
+					resp, err := client.Do(req)
+					if err != nil {
+						panic(err)
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		total := clients * requestsPerClient
+		t.Rows = append(t.Rows, []string{
+			name, itoa(clients), itoa(total),
+			f0(float64(total) / elapsed.Seconds()),
+			f2(float64(elapsed.Microseconds()) / float64(total)),
+		})
+	}
+
+	for _, c := range concurrencies {
+		run("plain net/http", plain.URL, "/", false, c)
+		run("W5 gateway", w5srv.URL, "/app/e3app/?owner=bob", true, c)
+	}
+	t.Notes = append(t.Notes,
+		"each W5 request spawns a confined process, reads a private labeled file, passes the export check, and is HTML-filtered",
+		fmt.Sprintf("%d requests per client per row", requestsPerClient))
+	return t
+}

@@ -1,0 +1,106 @@
+// Package experiments implements the W5 evaluation suite defined in
+// DESIGN.md §3. The paper itself (HotNets 2007) has no evaluation
+// section, so each experiment here validates one of its qualitative
+// claims with a measurement; EXPERIMENTS.md records the outcomes.
+//
+// Every experiment is a pure function returning a Table so that
+// cmd/w5bench can print the suite and bench_test.go can wrap the same
+// code paths in testing.B benchmarks. All workloads come from
+// internal/workload with fixed seeds: runs are reproducible.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result, printable in the style of a paper
+// table.
+type Table struct {
+	ID     string // e.g. "E2"
+	Title  string
+	Claim  string // the paper claim under test, with section
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table for a terminal.
+func (t Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&sb, "claim: %s\n", t.Claim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// timeOp runs fn `iters` times and returns ns/op.
+func timeOp(iters int, fn func()) float64 {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
+func itoa(v int) string    { return fmt.Sprintf("%d", v) }
+func u64(v uint64) string  { return fmt.Sprintf("%d", v) }
+func yesno(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// All runs the full suite with default parameters, in order.
+func All() []Table {
+	return []Table{
+		E1AdoptionCost(20, 10, 5),
+		E2SecurityMatrix(),
+		E3LabelOps(),
+		E3RequestPath(300),
+		E4TCBSize(),
+		E5CodeRank([]int{100, 1000, 5000}),
+		E6Federation(50),
+		E7CovertChannel(200),
+		E8ResourceIsolation(),
+		E9GatewayThroughput([]int{1, 4, 16}, 200),
+		E10JSFilter([]int{4, 64, 512}),
+	}
+}

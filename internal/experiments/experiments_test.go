@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The experiment suite is itself load-bearing (EXPERIMENTS.md is
+// generated from it), so each experiment gets a correctness test with
+// small parameters.
+
+func TestE1W5CheaperThanBaseline(t *testing.T) {
+	tb := E1AdoptionCost(5, 4, 3)
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	blOps, w5Ops := atoiT(t, tb.Rows[0][4]), atoiT(t, tb.Rows[1][4])
+	blBytes, w5Bytes := atoiT(t, tb.Rows[0][5]), atoiT(t, tb.Rows[1][5])
+	if w5Ops >= blOps {
+		t.Errorf("W5 ops %d not cheaper than baseline %d", w5Ops, blOps)
+	}
+	if w5Bytes >= blBytes {
+		t.Errorf("W5 bytes %d not cheaper than baseline %d", w5Bytes, blBytes)
+	}
+	if tb.Rows[1][6] != "1" {
+		t.Errorf("W5 data copies = %s, want 1", tb.Rows[1][6])
+	}
+}
+
+func TestE2AllBlockedOnW5NoneOnBaseline(t *testing.T) {
+	tb := E2SecurityMatrix()
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[1] != "yes" {
+			t.Errorf("W5 did not block %s", row[0])
+		}
+		if row[2] != "no" {
+			t.Errorf("baseline blocked %s (comparator broken)", row[0])
+		}
+	}
+}
+
+func TestE3TablesShape(t *testing.T) {
+	ops := E3LabelOps()
+	if len(ops.Rows) != 4 {
+		t.Fatalf("E3a rows = %d", len(ops.Rows))
+	}
+	req := E3RequestPath(50)
+	if len(req.Rows) != 2 {
+		t.Fatalf("E3b rows = %d", len(req.Rows))
+	}
+	if len(req.Notes) == 0 || !strings.Contains(req.Notes[0], "overhead") {
+		t.Error("E3b missing overhead note")
+	}
+}
+
+func TestE4DeclassifiersSmaller(t *testing.T) {
+	tb := E4TCBSize()
+	var ratioNote string
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "ratio") {
+			ratioNote = n
+		}
+	}
+	if ratioNote == "" {
+		t.Fatal("no ratio note")
+	}
+	// mean application lines must exceed mean declassifier lines
+	// (the §3.1 claim); extract the ratio "...ratio X.Yx".
+	i := strings.Index(ratioNote, "ratio ")
+	var ratio float64
+	if _, err := sscan(ratioNote[i+6:], &ratio); err != nil {
+		t.Fatalf("cannot parse ratio from %q", ratioNote)
+	}
+	if ratio <= 1.5 {
+		t.Errorf("application/declassifier ratio %.1f too small for the claim", ratio)
+	}
+}
+
+func TestE5HighPrecision(t *testing.T) {
+	tb := E5CodeRank([]int{200})
+	var prec float64
+	if _, err := sscan(tb.Rows[0][2], &prec); err != nil {
+		t.Fatal(err)
+	}
+	if prec < 0.9 {
+		t.Errorf("precision@k = %v, want >= 0.9", prec)
+	}
+}
+
+func TestE6SyncCounts(t *testing.T) {
+	tb := E6Federation(8)
+	if got := tb.Rows[0][1]; got != "8" {
+		t.Errorf("initial sync shipped %s files, want 8", got)
+	}
+	if got := tb.Rows[1][1]; got != "0" {
+		t.Errorf("re-sync shipped %s files, want 0", got)
+	}
+	if got := tb.Rows[2][1]; got != "1" {
+		t.Errorf("update sync shipped %s files, want 1", got)
+	}
+}
+
+func TestE7ChannelClosedOnW5(t *testing.T) {
+	tb := E7CovertChannel(100)
+	var naiveAcc, w5Acc float64
+	sscan(tb.Rows[0][2], &naiveAcc)
+	sscan(tb.Rows[1][2], &w5Acc)
+	if naiveAcc != 1.0 {
+		t.Errorf("naive channel accuracy %v, want 1.0", naiveAcc)
+	}
+	if w5Acc > 0.7 {
+		t.Errorf("labeled store channel accuracy %v — channel not closed", w5Acc)
+	}
+	if tb.Rows[1][3] != "0.00" {
+		t.Errorf("labeled store bits/query = %s, want 0.00", tb.Rows[1][3])
+	}
+}
+
+func TestE8RoguesStoppedWithQuotas(t *testing.T) {
+	tb := E8ResourceIsolation()
+	for _, row := range tb.Rows {
+		rogue, quotas, stopped := row[0], row[1], row[2]
+		if quotas == "yes" && rogue != "query-bomb" && stopped != "yes" {
+			t.Errorf("%s not stopped under quotas", rogue)
+		}
+		if quotas == "yes" && rogue == "query-bomb" && stopped != "yes" {
+			t.Errorf("query bomb not stopped under quotas")
+		}
+	}
+}
+
+func TestE10AllBlocked(t *testing.T) {
+	tb := E10JSFilter([]int{4, 16})
+	for _, row := range tb.Rows {
+		if row[3] != "yes" {
+			t.Errorf("page %s KiB not fully filtered", row[0])
+		}
+	}
+}
+
+func TestRenderContainsEverything(t *testing.T) {
+	tb := Table{
+		ID: "EX", Title: "title", Claim: "claim",
+		Header: []string{"a", "bee"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"note text"},
+	}
+	s := tb.Render()
+	for _, want := range []string{"EX", "title", "claim", "bee", "note text"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func atoiT(t *testing.T, s string) int {
+	t.Helper()
+	var v int
+	if _, err := sscan(s, &v); err != nil {
+		t.Fatalf("atoi(%q): %v", s, err)
+	}
+	return v
+}
+
+func sscan(s string, v any) (int, error) {
+	return fmt.Sscan(s, v)
+}

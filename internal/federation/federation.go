@@ -1,0 +1,267 @@
+// Package federation implements multi-provider W5 (§3.3): "create
+// import/export declassifiers that synchronize user data between two
+// W5 providers. If an end-user deemed such applications trustworthy, it
+// would give its privileges to data transfer applications on both
+// platforms."
+//
+// Mechanics:
+//
+//   - A provider exposes an authenticated /fed/export endpoint
+//     (MountExport). Peers present a shared secret; per-user data is
+//     released only after the user's OWN declassifiers approve an
+//     export to the pseudo-viewer "peer:<name>" — the user authorizes
+//     federation exactly like any other declassification, typically
+//     with declass.Group{Members: []string{"peer:B"}}.
+//   - Labels cannot cross providers (tags are provider-local), so the
+//     wire format carries the *meaning* of the label — private? write-
+//     protected? — and the importing side re-labels with its own tags
+//     for the same user. Policy travels with data in semantic form.
+//   - A Link pulls from the remote, applying last-writer-wins by
+//     version number with the provider name as the deterministic tie
+//     breaker. Sync is pull-based and idempotent; running it twice is
+//     harmless. Experiment E6 measures propagation and convergence.
+package federation
+
+import (
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"w5/internal/audit"
+	"w5/internal/core"
+	"w5/internal/declass"
+	"w5/internal/difc"
+	"w5/internal/store"
+)
+
+// PeerHeader carries the peering secret.
+const PeerHeader = "X-W5-Peer-Secret"
+
+// FileRecord is the wire form of one synchronized file. Path is
+// relative to the owner's home directory.
+type FileRecord struct {
+	Path      string `json:"path"`
+	Data      []byte `json:"data"`
+	Version   uint64 `json:"version"`
+	Origin    string `json:"origin"`    // provider that produced this version
+	Private   bool   `json:"private"`   // secrecy includes s_owner
+	Protected bool   `json:"protected"` // integrity includes w_owner
+}
+
+// ExportDoc is the /fed/export response body.
+type ExportDoc struct {
+	Provider string       `json:"provider"`
+	User     string       `json:"user"`
+	Files    []FileRecord `json:"files"`
+}
+
+// MountExport installs the federation export endpoint on a mux. peers
+// maps peer name to shared secret.
+func MountExport(p *core.Provider, mux *http.ServeMux, peers map[string]string) {
+	mux.HandleFunc("/fed/export", func(w http.ResponseWriter, r *http.Request) {
+		peer := r.FormValue("peer")
+		secret, ok := peers[peer]
+		if !ok || subtle.ConstantTimeCompare([]byte(r.Header.Get(PeerHeader)), []byte(secret)) != 1 {
+			http.Error(w, "bad peer credentials", http.StatusForbidden)
+			return
+		}
+		user := r.FormValue("user")
+		u, err := p.GetUser(user)
+		if err != nil {
+			http.Error(w, "no such user", http.StatusNotFound)
+			return
+		}
+		doc := ExportDoc{Provider: p.Name, User: user}
+		home := "/home/" + user
+		infos, datas, err := p.FS.Export(home)
+		if err != nil {
+			http.Error(w, "export failed", http.StatusInternalServerError)
+			return
+		}
+		for i, info := range infos {
+			rel := strings.TrimPrefix(info.Path, home)
+			// The user's own declassifiers decide, file by file,
+			// whether this peer may receive the datum.
+			if info.Label.Secrecy.Has(u.SecrecyTag) {
+				d, _, err := p.Declass.Ask(declass.Request{
+					Owner:  user,
+					Viewer: "peer:" + peer,
+					App:    "federation",
+					Path:   rel,
+					Data:   datas[i],
+				})
+				if err != nil || !d.Allow {
+					continue
+				}
+			}
+			doc.Files = append(doc.Files, FileRecord{
+				Path:      rel,
+				Data:      datas[i],
+				Version:   info.Version,
+				Origin:    originOf(info, p.Name),
+				Private:   info.Label.Secrecy.Has(u.SecrecyTag),
+				Protected: info.Label.Integrity.Has(u.WriteTag),
+			})
+		}
+		p.Log.Appendf(audit.KindFederation, "peer:"+peer, user,
+			"exported %d files", len(doc.Files))
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(doc)
+	})
+}
+
+// originOf reports which provider authored this version. Imported
+// files remember their origin in an owner-file side channel; for
+// locally authored data it is the local provider. (Kept simple: we
+// track origins in Link state; the exporter reports its own name,
+// which is correct for LWW as long as links are pull-based pairs.)
+func originOf(_ store.Info, local string) string { return local }
+
+// Link is one pull-direction of a peering arrangement for one user.
+type Link struct {
+	// Local is the importing provider.
+	Local *core.Provider
+	// PeerName names the remote provider (for tie breaking and audit).
+	PeerName string
+	// BaseURL is the remote gateway root, e.g. the httptest server URL.
+	BaseURL string
+	// Secret is the shared peering secret.
+	Secret string
+	// User is whose data this link mirrors.
+	User string
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+
+	mu      sync.Mutex
+	applied map[string]uint64 // remote path -> highest remote version applied
+}
+
+// ErrConflict is returned (after applying the winner) when both sides
+// changed a file; callers may log it.
+var ErrConflict = errors.New("federation: conflicting update resolved by LWW")
+
+// SyncOnce pulls the remote's view of the user's data and applies
+// every record that wins last-writer-wins. It returns the number of
+// files written locally.
+func (l *Link) SyncOnce() (int, error) {
+	client := l.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequest("GET",
+		l.BaseURL+"/fed/export?user="+l.User+"&peer="+l.Local.Name, nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set(PeerHeader, l.Secret)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("federation: remote returned %s", resp.Status)
+	}
+	var doc ExportDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, fmt.Errorf("federation: corrupt export: %w", err)
+	}
+	if doc.User != l.User {
+		return 0, fmt.Errorf("federation: remote answered for user %q", doc.User)
+	}
+
+	u, err := l.Local.GetUser(l.User)
+	if err != nil {
+		return 0, err
+	}
+	cred := l.Local.UserCred(l.User)
+	home := "/home/" + l.User
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.applied == nil {
+		l.applied = make(map[string]uint64)
+	}
+	written := 0
+	var conflict bool
+	for _, f := range doc.Files {
+		if !strings.HasPrefix(f.Path, "/") || strings.Contains(f.Path, "..") {
+			continue // defensive: never let a peer escape the home dir
+		}
+		if f.Version <= l.applied[f.Path] {
+			continue // already have it
+		}
+		local, statErr := l.Local.FS.Stat(cred, home+f.Path)
+		if statErr == nil {
+			// Both sides have the file. If the bytes already agree this
+			// is just our own write echoing around the mesh, not a
+			// conflict — record it and move on.
+			if cur, _, err := l.Local.FS.Read(cred, home+f.Path); err == nil && string(cur) == string(f.Data) {
+				l.applied[f.Path] = f.Version
+				continue
+			}
+			// True divergence: LWW by version; tie → larger provider name
+			// wins, so both sides converge identically.
+			if local.Version > f.Version ||
+				(local.Version == f.Version && l.Local.Name > doc.Provider) {
+				conflict = true
+				l.applied[f.Path] = f.Version // don't retry forever
+				continue
+			}
+			conflict = true
+		}
+		// Re-label with LOCAL tags: semantic policy travels, tag
+		// identity does not.
+		label := difc.LabelPair{}
+		if f.Private {
+			label.Secrecy = difc.NewLabel(u.SecrecyTag)
+		}
+		if f.Protected {
+			label.Integrity = difc.NewLabel(u.WriteTag)
+		}
+		if err := l.ensureParents(cred, home, f.Path, label); err != nil {
+			return written, err
+		}
+		if err := l.Local.FS.Write(cred, home+f.Path, f.Data, label); err != nil {
+			return written, fmt.Errorf("federation: applying %s: %w", f.Path, err)
+		}
+		l.applied[f.Path] = f.Version
+		written++
+	}
+	l.Local.Log.Appendf(audit.KindFederation, "peer:"+l.PeerName, l.User,
+		"imported %d files", written)
+	if conflict {
+		return written, ErrConflict
+	}
+	return written, nil
+}
+
+// ensureParents creates missing intermediate directories for an
+// imported file, labeled like the file but without write protection
+// inheritance surprises (dirs get the same label).
+func (l *Link) ensureParents(cred store.Cred, home, rel string, label difc.LabelPair) error {
+	parts := strings.Split(strings.TrimPrefix(rel, "/"), "/")
+	dir := home
+	for _, part := range parts[:len(parts)-1] {
+		dir += "/" + part
+		err := l.Local.FS.Mkdir(cred, dir, label)
+		if err != nil && !errors.Is(err, store.ErrExists) {
+			return err
+		}
+	}
+	return nil
+}
+
+// AuthorizePeer is the user-facing grant: it authorizes exports of the
+// user's private data to the named peer provider, implemented as a
+// stock Group declassifier whose sole member is the peer pseudo-viewer.
+func AuthorizePeer(p *core.Provider, user, peerName string) error {
+	return p.AuthorizeDeclassifier(user, declass.Group{
+		GroupName: "federation-" + peerName,
+		Members:   []string{"peer:" + peerName},
+	})
+}

@@ -1,0 +1,249 @@
+package federation
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"w5/internal/core"
+	"w5/internal/difc"
+	"w5/internal/store"
+)
+
+// pair builds two providers A and B with user bob on both, B pulling
+// from A over real HTTP.
+type pair struct {
+	A, B   *core.Provider
+	srvA   *httptest.Server
+	linkBA *Link // B pulls from A
+}
+
+func newPair(t *testing.T, authorize bool) *pair {
+	t.Helper()
+	A := core.NewProvider(core.Config{Name: "providerA", Enforce: true})
+	B := core.NewProvider(core.Config{Name: "providerB", Enforce: true})
+	for _, p := range []*core.Provider{A, B} {
+		if _, err := p.CreateUser("bob", "pw"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if authorize {
+		// Bob trusts the peering on the EXPORTING side.
+		if err := AuthorizePeer(A, "bob", "providerB"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	muxA := http.NewServeMux()
+	MountExport(A, muxA, map[string]string{"providerB": "s3cret"})
+	srvA := httptest.NewServer(muxA)
+	t.Cleanup(srvA.Close)
+
+	return &pair{
+		A: A, B: B, srvA: srvA,
+		linkBA: &Link{
+			Local: B, PeerName: "providerA", BaseURL: srvA.URL,
+			Secret: "s3cret", User: "bob",
+		},
+	}
+}
+
+func writeBob(t *testing.T, p *core.Provider, rel, content string, private bool) {
+	t.Helper()
+	u, _ := p.GetUser("bob")
+	label := difc.LabelPair{Integrity: difc.NewLabel(u.WriteTag)}
+	if private {
+		label.Secrecy = difc.NewLabel(u.SecrecyTag)
+	}
+	if err := p.FS.Write(p.UserCred("bob"), "/home/bob"+rel, []byte(content), label); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readBob(t *testing.T, p *core.Provider, rel string) (string, difc.LabelPair, error) {
+	t.Helper()
+	data, label, err := p.FS.Read(p.UserCred("bob"), "/home/bob"+rel)
+	return string(data), label, err
+}
+
+func TestSyncPropagatesPrivateData(t *testing.T) {
+	pr := newPair(t, true)
+	writeBob(t, pr.A, "/private/diary", "day one", true)
+
+	n, err := pr.linkBA.SyncOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("synced %d files, want 1", n)
+	}
+	got, label, err := readBob(t, pr.B, "/private/diary")
+	if err != nil || got != "day one" {
+		t.Fatalf("B read = %q, %v", got, err)
+	}
+	// Re-labeled with B's OWN tags: still private, still protected.
+	uB, _ := pr.B.GetUser("bob")
+	if !label.Secrecy.Has(uB.SecrecyTag) {
+		t.Error("imported file not private under B's tag")
+	}
+	if !label.Integrity.Has(uB.WriteTag) {
+		t.Error("imported file not write-protected under B's tag")
+	}
+	// And B's enforcement applies: a stranger cred cannot read it.
+	if _, _, err := pr.B.FS.Read(store.Cred{Principal: "anon"}, "/home/bob/private/diary"); !errors.Is(err, store.ErrDenied) {
+		t.Errorf("imported secret readable by anon on B: %v", err)
+	}
+}
+
+func TestSyncIdempotentAndIncremental(t *testing.T) {
+	pr := newPair(t, true)
+	writeBob(t, pr.A, "/private/diary", "v1", true)
+	if n, _ := pr.linkBA.SyncOnce(); n != 1 {
+		t.Fatal("first sync")
+	}
+	if n, _ := pr.linkBA.SyncOnce(); n != 0 {
+		t.Errorf("re-sync wrote %d files, want 0", n)
+	}
+	// Update propagates ("whenever the user updated his data on one
+	// platform, the changes would propagate to the other", §3.3).
+	writeBob(t, pr.A, "/private/diary", "v2", true)
+	if n, _ := pr.linkBA.SyncOnce(); n != 1 {
+		t.Error("update did not propagate")
+	}
+	got, _, _ := readBob(t, pr.B, "/private/diary")
+	if got != "v2" {
+		t.Errorf("B has %q, want v2", got)
+	}
+}
+
+func TestSyncWithoutAuthorizationShipsOnlyPublic(t *testing.T) {
+	pr := newPair(t, false) // bob never authorized the peering
+	writeBob(t, pr.A, "/private/diary", "secret stuff", true)
+	writeBob(t, pr.A, "/public/bio", "hi i am bob", false)
+
+	n, err := pr.linkBA.SyncOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("synced %d files, want only the public one", n)
+	}
+	if _, _, err := readBob(t, pr.B, "/private/diary"); !errors.Is(err, store.ErrNotFound) {
+		t.Errorf("private file crossed without authorization: %v", err)
+	}
+	got, _, _ := readBob(t, pr.B, "/public/bio")
+	if got != "hi i am bob" {
+		t.Errorf("public bio = %q", got)
+	}
+}
+
+func TestPeerSecretRequired(t *testing.T) {
+	pr := newPair(t, true)
+	writeBob(t, pr.A, "/private/diary", "x", true)
+	bad := &Link{Local: pr.B, PeerName: "providerA", BaseURL: pr.srvA.URL,
+		Secret: "wrong", User: "bob"}
+	if _, err := bad.SyncOnce(); err == nil {
+		t.Fatal("sync with wrong secret succeeded")
+	}
+	unknownPeer := &Link{Local: pr.B, PeerName: "providerA", BaseURL: pr.srvA.URL,
+		Secret: "s3cret", User: "bob"}
+	unknownPeer.Local = core.NewProvider(core.Config{Name: "mallory", Enforce: true})
+	unknownPeer.Local.CreateUser("bob", "pw")
+	if _, err := unknownPeer.SyncOnce(); err == nil {
+		t.Fatal("unregistered peer name accepted")
+	}
+}
+
+func TestConflictResolvedDeterministically(t *testing.T) {
+	pr := newPair(t, true)
+	// Both sides write version 1 of the same file independently.
+	writeBob(t, pr.A, "/public/bio", "from A", false)
+	writeBob(t, pr.B, "/public/bio", "from B", false)
+
+	_, err := pr.linkBA.SyncOnce()
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("expected ErrConflict, got %v", err)
+	}
+	got, _, _ := readBob(t, pr.B, "/public/bio")
+	// Tie at version 1: larger provider name wins; "providerB" > "providerA",
+	// so B keeps its own copy.
+	if got != "from B" {
+		t.Errorf("conflict winner = %q, want \"from B\"", got)
+	}
+	// Higher version beats name: A writes twice more (v2, v3).
+	writeBob(t, pr.A, "/public/bio", "A v2", false)
+	writeBob(t, pr.A, "/public/bio", "A v3", false)
+	pr.linkBA.SyncOnce()
+	got, _, _ = readBob(t, pr.B, "/public/bio")
+	if got != "A v3" {
+		t.Errorf("after A advanced: %q, want \"A v3\"", got)
+	}
+}
+
+func TestPathTraversalFromPeerIgnored(t *testing.T) {
+	// A malicious peer response must not write outside bob's home.
+	pr := newPair(t, true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fed/export", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"provider":"evil","user":"bob","files":[
+			{"path":"/../../etc/passwd","data":"cHduZWQ=","version":9,"private":false,"protected":false},
+			{"path":"relative","data":"cHduZWQ=","version":9,"private":false,"protected":false}
+		]}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	link := &Link{Local: pr.B, PeerName: "evil", BaseURL: srv.URL, Secret: "x", User: "bob"}
+	n, err := link.SyncOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("malicious records applied: %d", n)
+	}
+}
+
+func TestWrongUserResponseRejected(t *testing.T) {
+	pr := newPair(t, true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fed/export", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"provider":"evil","user":"mallory","files":[]}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	link := &Link{Local: pr.B, PeerName: "evil", BaseURL: srv.URL, Secret: "x", User: "bob"}
+	if _, err := link.SyncOnce(); err == nil || !strings.Contains(err.Error(), "mallory") {
+		t.Errorf("wrong-user response accepted: %v", err)
+	}
+}
+
+func TestBidirectionalConvergence(t *testing.T) {
+	// Full mesh: A<->B with links both ways; distinct files written on
+	// each side must appear on both after one round each.
+	pr := newPair(t, true)
+	if err := AuthorizePeer(pr.B, "bob", "providerA"); err != nil {
+		t.Fatal(err)
+	}
+	muxB := http.NewServeMux()
+	MountExport(pr.B, muxB, map[string]string{"providerA": "s3cret2"})
+	srvB := httptest.NewServer(muxB)
+	defer srvB.Close()
+	linkAB := &Link{Local: pr.A, PeerName: "providerB", BaseURL: srvB.URL,
+		Secret: "s3cret2", User: "bob"}
+
+	writeBob(t, pr.A, "/private/fromA", "alpha", true)
+	writeBob(t, pr.B, "/private/fromB", "beta", true)
+
+	if _, err := pr.linkBA.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := linkAB.SyncOnce(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, _ := readBob(t, pr.B, "/private/fromA"); got != "alpha" {
+		t.Errorf("B missing fromA: %q", got)
+	}
+	if got, _, _ := readBob(t, pr.A, "/private/fromB"); got != "beta" {
+		t.Errorf("A missing fromB: %q", got)
+	}
+}

@@ -1,0 +1,425 @@
+// Package gateway implements the W5 provider's HTTP front-end and
+// security perimeter.
+//
+// §2 requires that "all of W5 should have DNS and HTTP front-ends so
+// that users can interact with a W5 application with today's Web
+// clients. When an HTTP request arrives at the provider, the provider
+// would read incoming cookies or HTTP data fields to authenticate the
+// user; identify the requested application; and launch the application,
+// perhaps granting it some privileges over the user's data". That is
+// exactly this package's request path:
+//
+//	cookie -> session -> viewer identity
+//	URL    -> /app/<name>/<path> -> Provider.Invoke
+//	export -> Provider.ExportCheck (session privilege + declassifiers)
+//	HTML   -> htmlsafe.Sanitize (the §3.5 JavaScript filter)
+//
+// Nothing reaches the response writer except bytes that passed
+// ExportCheck — the perimeter is a property of this package's code
+// paths, verified by the tests and attacked by internal/attack.
+package gateway
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"w5/internal/audit"
+	"w5/internal/core"
+	"w5/internal/declass"
+	"w5/internal/htmlsafe"
+	"w5/internal/quota"
+)
+
+// SessionCookie is the authentication cookie name.
+const SessionCookie = "w5sess"
+
+// sessionTTL bounds how long a login lasts.
+const sessionTTL = 24 * time.Hour
+
+type session struct {
+	user    string
+	expires time.Time
+}
+
+// Options configures a Gateway.
+type Options struct {
+	// FilterHTML applies the §3.5 JavaScript filter to text/html
+	// responses (default on; disable only for the E9/E10 baselines).
+	FilterHTML bool
+	// ScriptAllowlist holds audited script hashes passed to htmlsafe.
+	ScriptAllowlist map[string]bool
+	// RequestRate and RequestBurst bound per-user request rates; zero
+	// disables rate limiting.
+	RequestRate  float64
+	RequestBurst float64
+}
+
+// Gateway serves one provider over HTTP.
+type Gateway struct {
+	p    *core.Provider
+	opts Options
+	mux  *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]session
+	rates    map[string]*quota.Bucket
+	clock    func() time.Time
+}
+
+// New builds a gateway for the provider.
+func New(p *core.Provider, opts Options) *Gateway {
+	g := &Gateway{
+		p:        p,
+		opts:     opts,
+		mux:      http.NewServeMux(),
+		sessions: make(map[string]session),
+		rates:    make(map[string]*quota.Bucket),
+		clock:    time.Now,
+	}
+	g.mux.HandleFunc("/signup", g.handleSignup)
+	g.mux.HandleFunc("/login", g.handleLogin)
+	g.mux.HandleFunc("/logout", g.handleLogout)
+	g.mux.HandleFunc("/whoami", g.handleWhoami)
+	g.mux.HandleFunc("/app/", g.handleApp)
+	g.mux.HandleFunc("/grants/enable", g.handleEnable)
+	g.mux.HandleFunc("/grants/write", g.handleWriteGrant)
+	g.mux.HandleFunc("/grants/declass", g.handleDeclass)
+	g.mux.HandleFunc("/registry/search", g.handleSearch)
+	g.mux.HandleFunc("/", g.handleIndex)
+	return g
+}
+
+// SetClock injects a time source for tests.
+func (g *Gateway) SetClock(clock func() time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.clock = clock
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// Mux exposes the underlying mux so sibling packages (federation) can
+// mount additional trusted endpoints.
+func (g *Gateway) Mux() *http.ServeMux { return g.mux }
+
+// viewer resolves the authenticated user from the session cookie; ""
+// means anonymous.
+func (g *Gateway) viewer(r *http.Request) string {
+	c, err := r.Cookie(SessionCookie)
+	if err != nil {
+		return ""
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.sessions[c.Value]
+	if !ok || g.clock().After(s.expires) {
+		delete(g.sessions, c.Value)
+		return ""
+	}
+	return s.user
+}
+
+func newToken() string {
+	b := make([]byte, 24)
+	rand.Read(b)
+	return hex.EncodeToString(b)
+}
+
+func (g *Gateway) startSession(w http.ResponseWriter, user string) {
+	tok := newToken()
+	g.mu.Lock()
+	g.sessions[tok] = session{user: user, expires: g.clock().Add(sessionTTL)}
+	g.mu.Unlock()
+	http.SetCookie(w, &http.Cookie{
+		Name: SessionCookie, Value: tok, Path: "/",
+		HttpOnly: true, SameSite: http.SameSiteLaxMode,
+	})
+	g.p.Log.Appendf(audit.KindLogin, user, "session", "established")
+}
+
+func (g *Gateway) handleSignup(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	user, pass := r.FormValue("user"), r.FormValue("password")
+	if user == "" || pass == "" {
+		http.Error(w, "user and password required", http.StatusBadRequest)
+		return
+	}
+	if _, err := g.p.CreateUser(user, pass); err != nil {
+		if errors.Is(err, core.ErrUserExists) {
+			http.Error(w, "user exists", http.StatusConflict)
+			return
+		}
+		http.Error(w, "signup failed", http.StatusBadRequest)
+		return
+	}
+	g.startSession(w, user)
+	fmt.Fprintf(w, "welcome, %s\n", user)
+}
+
+func (g *Gateway) handleLogin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	user, pass := r.FormValue("user"), r.FormValue("password")
+	if !g.p.Authenticate(user, pass) {
+		http.Error(w, "authentication failed", http.StatusUnauthorized)
+		return
+	}
+	g.startSession(w, user)
+	fmt.Fprintf(w, "hello, %s\n", user)
+}
+
+func (g *Gateway) handleLogout(w http.ResponseWriter, r *http.Request) {
+	if c, err := r.Cookie(SessionCookie); err == nil {
+		g.mu.Lock()
+		delete(g.sessions, c.Value)
+		g.mu.Unlock()
+	}
+	http.SetCookie(w, &http.Cookie{Name: SessionCookie, Value: "", Path: "/", MaxAge: -1})
+	fmt.Fprintln(w, "bye")
+}
+
+func (g *Gateway) handleWhoami(w http.ResponseWriter, r *http.Request) {
+	v := g.viewer(r)
+	if v == "" {
+		fmt.Fprintln(w, "(anonymous)")
+		return
+	}
+	fmt.Fprintln(w, v)
+}
+
+// allowRate enforces the per-user request budget.
+func (g *Gateway) allowRate(user string) bool {
+	if g.opts.RequestRate <= 0 || g.opts.RequestBurst <= 0 {
+		return true
+	}
+	key := user
+	if key == "" {
+		key = "(anonymous)"
+	}
+	g.mu.Lock()
+	b, ok := g.rates[key]
+	if !ok {
+		b = quota.NewBucket(g.opts.RequestBurst, g.opts.RequestRate)
+		g.rates[key] = b
+	}
+	g.mu.Unlock()
+	return b.Take(1)
+}
+
+// handleApp is the perimeter's data path: /app/<name>/<subpath>.
+func (g *Gateway) handleApp(w http.ResponseWriter, r *http.Request) {
+	viewer := g.viewer(r)
+	if !g.allowRate(viewer) {
+		http.Error(w, "rate limited", http.StatusTooManyRequests)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/app/")
+	name, sub, _ := strings.Cut(rest, "/")
+	if name == "" {
+		http.Error(w, "no application named", http.StatusNotFound)
+		return
+	}
+	params := map[string]string{}
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, "bad form", http.StatusBadRequest)
+		return
+	}
+	for k, vs := range r.Form {
+		if len(vs) > 0 {
+			params[k] = vs[0]
+		}
+	}
+	owner := params["owner"]
+	delete(params, "owner")
+
+	inv, err := g.p.Invoke(name, core.AppRequest{
+		Viewer: viewer,
+		Owner:  owner,
+		Path:   "/" + sub,
+		Method: r.Method,
+		Params: params,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrNoApp):
+			http.Error(w, "no such application", http.StatusNotFound)
+		default:
+			// App faults reveal nothing beyond their occurrence
+			// (§3.5 "Debugging": no core dumps across the perimeter).
+			http.Error(w, "application error", http.StatusInternalServerError)
+		}
+		return
+	}
+	body, err := g.p.ExportCheck(inv, viewer)
+	if err != nil {
+		http.Error(w, "access denied by data policy", http.StatusForbidden)
+		return
+	}
+	ct := inv.Response.ContentType
+	if g.opts.FilterHTML && strings.HasPrefix(ct, "text/html") {
+		clean, rep := htmlsafe.Sanitize(string(body), htmlsafe.Policy{
+			AllowedHashes: g.opts.ScriptAllowlist,
+		})
+		if !rep.Clean() {
+			g.p.Log.Appendf(audit.KindExport, "gateway", name,
+				"sanitized: %d scripts, %d attrs, %d urls, %d elements",
+				rep.ScriptsRemoved, rep.AttrsRemoved, rep.URLsNeutralized, rep.ElementsRemoved)
+		}
+		body = []byte(clean)
+	}
+	w.Header().Set("Content-Type", ct)
+	w.WriteHeader(inv.Response.Status)
+	w.Write(body)
+}
+
+// requireAuth returns the viewer or writes a 401.
+func (g *Gateway) requireAuth(w http.ResponseWriter, r *http.Request) (string, bool) {
+	v := g.viewer(r)
+	if v == "" {
+		http.Error(w, "login required", http.StatusUnauthorized)
+		return "", false
+	}
+	return v, true
+}
+
+func (g *Gateway) handleEnable(w http.ResponseWriter, r *http.Request) {
+	user, ok := g.requireAuth(w, r)
+	if !ok {
+		return
+	}
+	app := r.FormValue("app")
+	if app == "" {
+		http.Error(w, "app required", http.StatusBadRequest)
+		return
+	}
+	if r.FormValue("revoke") == "1" {
+		g.p.DisableApp(user, app)
+		fmt.Fprintf(w, "disabled %s\n", app)
+		return
+	}
+	// The paper's one-checkbox adoption.
+	if err := g.p.EnableApp(user, app); err != nil {
+		http.Error(w, "enable failed", http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "enabled %s\n", app)
+}
+
+func (g *Gateway) handleWriteGrant(w http.ResponseWriter, r *http.Request) {
+	user, ok := g.requireAuth(w, r)
+	if !ok {
+		return
+	}
+	app := r.FormValue("app")
+	if app == "" {
+		http.Error(w, "app required", http.StatusBadRequest)
+		return
+	}
+	if r.FormValue("revoke") == "1" {
+		g.p.RevokeWrite(user, app)
+		fmt.Fprintf(w, "write revoked for %s\n", app)
+		return
+	}
+	if err := g.p.GrantWrite(user, app); err != nil {
+		http.Error(w, "grant failed", http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "write granted to %s\n", app)
+}
+
+// handleDeclass lets a user authorize one of the stock declassifiers —
+// the Web-form policy configuration of §2 ("providers would allow users
+// to configure their policies via front-ends like Web forms").
+func (g *Gateway) handleDeclass(w http.ResponseWriter, r *http.Request) {
+	user, ok := g.requireAuth(w, r)
+	if !ok {
+		return
+	}
+	if r.FormValue("revoke") != "" {
+		g.p.Declass.Revoke(user, r.FormValue("revoke"))
+		fmt.Fprintf(w, "revoked %s\n", r.FormValue("revoke"))
+		return
+	}
+	var policy declass.Policy
+	switch kind := r.FormValue("policy"); kind {
+	case "owner-only":
+		policy = declass.OwnerOnly{}
+	case "public":
+		policy = declass.Public{}
+	case "friend-list":
+		policy = declass.FriendList{FriendsPath: r.FormValue("friends_path")}
+	case "group":
+		policy = declass.Group{
+			GroupName: r.FormValue("group"),
+			Members:   splitNonEmpty(r.FormValue("members")),
+		}
+	case "chameleon-friends":
+		policy = declass.Chameleon{
+			Inner:   declass.FriendList{},
+			Trusted: splitNonEmpty(r.FormValue("trusted")),
+		}
+	default:
+		http.Error(w, "unknown policy "+kind, http.StatusBadRequest)
+		return
+	}
+	if err := g.p.AuthorizeDeclassifier(user, policy); err != nil {
+		http.Error(w, "authorization failed", http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "authorized %s\n", policy.Name())
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// handleSearch is the user-facing "code search" (§3.2): keyword filter
+// over the registry. Rank ordering is applied by cmd/w5d wiring; the
+// handler reports name, developer, endorsements and provenance.
+func (g *Gateway) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.FormValue("q")
+	for _, v := range g.p.Registry.Search(q) {
+		openness := "closed-source"
+		if v.OpenSource {
+			openness = "open-source"
+		}
+		fork := ""
+		if v.ForkOf != "" {
+			fork = " fork-of=" + v.ForkOf
+		}
+		fmt.Fprintf(w, "%s@%s by %s [%s] %s — %s endorsements=%d%s\n",
+			v.Module, v.Version, v.Developer, v.Kind, openness, v.Summary,
+			len(g.p.Registry.Endorsements(v.Module)), fork)
+	}
+}
+
+func (g *Gateway) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprintf(w, "W5 provider %q\napps:\n", g.p.Name)
+	for _, a := range g.p.AppNames() {
+		fmt.Fprintf(w, "  /app/%s/\n", a)
+	}
+}

@@ -1,0 +1,340 @@
+package gateway
+
+import (
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"w5/internal/core"
+	"w5/internal/difc"
+)
+
+// profileApp serves the owner's profile file; used to drive the
+// perimeter from HTTP level.
+type profileApp struct{}
+
+func (profileApp) Name() string { return "profile" }
+func (profileApp) Handle(env *core.AppEnv, req core.AppRequest) (core.AppResponse, error) {
+	data, err := env.ReadFile("/home/" + req.Owner + "/social/profile")
+	if err != nil {
+		return core.AppResponse{Status: 404, Body: []byte("no profile")}, nil
+	}
+	return core.AppResponse{Body: []byte("<html><body>" + string(data) + "</body></html>")}, nil
+}
+
+// scriptApp returns HTML with an embedded script, for filter tests.
+type scriptApp struct{}
+
+func (scriptApp) Name() string { return "scripty" }
+func (scriptApp) Handle(env *core.AppEnv, req core.AppRequest) (core.AppResponse, error) {
+	return core.AppResponse{
+		Body: []byte(`<p>hi</p><script>steal(document.cookie)</script><a onclick="x()">l</a>`),
+	}, nil
+}
+
+type testClient struct {
+	t      *testing.T
+	c      *http.Client
+	server *httptest.Server
+}
+
+func newTestSetup(t *testing.T, opts Options) (*core.Provider, *testClient) {
+	t.Helper()
+	p := core.NewProvider(core.Config{Name: "gwtest", Enforce: true})
+	p.InstallApp(profileApp{})
+	p.InstallApp(scriptApp{})
+	g := New(p, opts)
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+	jar, _ := cookiejar.New(nil)
+	return p, &testClient{t: t, c: &http.Client{Jar: jar}, server: srv}
+}
+
+func (tc *testClient) post(path string, form url.Values) (int, string) {
+	tc.t.Helper()
+	resp, err := tc.c.PostForm(tc.server.URL+path, form)
+	if err != nil {
+		tc.t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+func (tc *testClient) get(path string) (int, string) {
+	tc.t.Helper()
+	resp, err := tc.c.Get(tc.server.URL + path)
+	if err != nil {
+		tc.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// anon returns a cookie-less client against the same server.
+func (tc *testClient) anon() *testClient {
+	jar, _ := cookiejar.New(nil)
+	return &testClient{t: tc.t, c: &http.Client{Jar: jar}, server: tc.server}
+}
+
+func signup(tc *testClient, user, pass string) {
+	code, _ := tc.post("/signup", url.Values{"user": {user}, "password": {pass}})
+	if code != 200 {
+		tc.t.Fatalf("signup %s: status %d", user, code)
+	}
+}
+
+func writeProfile(t *testing.T, p *core.Provider, user, content string) {
+	t.Helper()
+	u, err := p.GetUser(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}
+	if err := p.FS.Write(p.UserCred(user), "/home/"+user+"/social/profile", []byte(content), label); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSignupLoginWhoami(t *testing.T) {
+	_, tc := newTestSetup(t, Options{FilterHTML: true})
+	signup(tc, "bob", "hunter2")
+	if _, body := tc.get("/whoami"); !strings.Contains(body, "bob") {
+		t.Errorf("whoami after signup = %q", body)
+	}
+	// Logout clears the session.
+	tc.post("/logout", nil)
+	if _, body := tc.get("/whoami"); !strings.Contains(body, "anonymous") {
+		t.Errorf("whoami after logout = %q", body)
+	}
+	// Login with wrong password fails.
+	if code, _ := tc.post("/login", url.Values{"user": {"bob"}, "password": {"nope"}}); code != 401 {
+		t.Errorf("bad login status = %d", code)
+	}
+	// Correct login re-establishes identity.
+	if code, _ := tc.post("/login", url.Values{"user": {"bob"}, "password": {"hunter2"}}); code != 200 {
+		t.Errorf("login status = %d", code)
+	}
+	if _, body := tc.get("/whoami"); !strings.Contains(body, "bob") {
+		t.Errorf("whoami after login = %q", body)
+	}
+}
+
+func TestDuplicateSignupConflict(t *testing.T) {
+	_, tc := newTestSetup(t, Options{})
+	signup(tc, "bob", "pw")
+	if code, _ := tc.anon().post("/signup", url.Values{"user": {"bob"}, "password": {"x"}}); code != 409 {
+		t.Errorf("duplicate signup status = %d", code)
+	}
+}
+
+func TestOwnerSeesOwnDataOverHTTP(t *testing.T) {
+	p, tc := newTestSetup(t, Options{FilterHTML: true})
+	signup(tc, "bob", "pw")
+	writeProfile(t, p, "bob", "bob's profile")
+	tc.post("/grants/enable", url.Values{"app": {"profile"}})
+
+	code, body := tc.get("/app/profile/?owner=bob")
+	if code != 200 || !strings.Contains(body, "bob's profile") {
+		t.Errorf("owner fetch = %d %q", code, body)
+	}
+}
+
+func TestPerimeterBlocksStrangerAndAnonymous(t *testing.T) {
+	p, tc := newTestSetup(t, Options{FilterHTML: true})
+	signup(tc, "bob", "pw")
+	writeProfile(t, p, "bob", "bob's secret profile")
+	tc.post("/grants/enable", url.Values{"app": {"profile"}})
+
+	// Charlie (another authenticated user) gets 403.
+	charlie := tc.anon()
+	signup(charlie, "charlie", "pw")
+	code, body := charlie.get("/app/profile/?owner=bob")
+	if code != 403 {
+		t.Errorf("charlie fetch = %d %q", code, body)
+	}
+	if strings.Contains(body, "secret") {
+		t.Errorf("leak to charlie: %q", body)
+	}
+	// Anonymous gets 403 too.
+	code, body = tc.anon().get("/app/profile/?owner=bob")
+	if code != 403 || strings.Contains(body, "secret") {
+		t.Errorf("anonymous fetch = %d %q", code, body)
+	}
+}
+
+func TestFriendDeclassifierOverHTTP(t *testing.T) {
+	// Bob configures the friend-list policy via the Web form; Alice can
+	// then view his profile, Charlie cannot. (§3.1 end to end over HTTP.)
+	p, tc := newTestSetup(t, Options{FilterHTML: true})
+	signup(tc, "bob", "pw")
+	writeProfile(t, p, "bob", "bob's profile for friends")
+	u, _ := p.GetUser("bob")
+	label := difc.LabelPair{Secrecy: difc.NewLabel(u.SecrecyTag), Integrity: difc.NewLabel(u.WriteTag)}
+	p.FS.Write(p.UserCred("bob"), "/home/bob/social/friends", []byte("alice\n"), label)
+
+	tc.post("/grants/enable", url.Values{"app": {"profile"}})
+	if code, body := tc.post("/grants/declass", url.Values{"policy": {"friend-list"}}); code != 200 {
+		t.Fatalf("declass authorize = %d %q", code, body)
+	}
+
+	alice := tc.anon()
+	signup(alice, "alice", "pw")
+	code, body := alice.get("/app/profile/?owner=bob")
+	if code != 200 || !strings.Contains(body, "bob's profile") {
+		t.Errorf("alice fetch = %d %q", code, body)
+	}
+
+	charlie := tc.anon()
+	signup(charlie, "charlie", "pw")
+	if code, _ := charlie.get("/app/profile/?owner=bob"); code != 403 {
+		t.Errorf("charlie fetch = %d", code)
+	}
+}
+
+func TestJavaScriptFilteredAtPerimeter(t *testing.T) {
+	_, tc := newTestSetup(t, Options{FilterHTML: true})
+	signup(tc, "bob", "pw")
+	code, body := tc.get("/app/scripty/")
+	if code != 200 {
+		t.Fatalf("scripty = %d", code)
+	}
+	if strings.Contains(body, "steal") || strings.Contains(body, "onclick") {
+		t.Errorf("scripts crossed the perimeter: %q", body)
+	}
+	if !strings.Contains(body, "<p>hi</p>") {
+		t.Errorf("content damaged: %q", body)
+	}
+}
+
+func TestFilterDisabledPassesScripts(t *testing.T) {
+	_, tc := newTestSetup(t, Options{FilterHTML: false})
+	signup(tc, "bob", "pw")
+	_, body := tc.get("/app/scripty/")
+	if !strings.Contains(body, "steal") {
+		t.Errorf("unexpected filtering: %q", body)
+	}
+}
+
+func TestForgedCookieRejected(t *testing.T) {
+	p, tc := newTestSetup(t, Options{FilterHTML: true})
+	signup(tc, "bob", "pw")
+	writeProfile(t, p, "bob", "secret")
+	tc.post("/grants/enable", url.Values{"app": {"profile"}})
+
+	req, _ := http.NewRequest("GET", tc.server.URL+"/app/profile/?owner=bob", nil)
+	req.AddCookie(&http.Cookie{Name: SessionCookie, Value: "forged0123456789"})
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 403 || strings.Contains(string(b), "secret") {
+		t.Errorf("forged cookie: %d %q", resp.StatusCode, b)
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	p, tc := newTestSetup(t, Options{})
+	_ = p
+	now := time.Now()
+	// Reach in via the handler: re-create gateway with a fake clock.
+	g := New(p, Options{})
+	g.SetClock(func() time.Time { return now })
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+	jar, _ := cookiejar.New(nil)
+	c := &testClient{t: t, c: &http.Client{Jar: jar}, server: srv}
+	signup(c, "eve", "pw")
+	if _, body := c.get("/whoami"); !strings.Contains(body, "eve") {
+		t.Fatalf("whoami = %q", body)
+	}
+	now = now.Add(25 * time.Hour)
+	if _, body := c.get("/whoami"); !strings.Contains(body, "anonymous") {
+		t.Errorf("session survived expiry: %q", body)
+	}
+	_ = tc
+}
+
+func TestGrantsRequireAuth(t *testing.T) {
+	_, tc := newTestSetup(t, Options{})
+	anon := tc.anon()
+	for _, path := range []string{"/grants/enable", "/grants/write", "/grants/declass"} {
+		if code, _ := anon.post(path, url.Values{"app": {"x"}, "policy": {"public"}}); code != 401 {
+			t.Errorf("%s anonymous status = %d, want 401", path, code)
+		}
+	}
+}
+
+func TestUnknownAppAndPolicy(t *testing.T) {
+	_, tc := newTestSetup(t, Options{})
+	signup(tc, "bob", "pw")
+	if code, _ := tc.get("/app/ghost/"); code != 404 {
+		t.Errorf("unknown app = %d", code)
+	}
+	if code, _ := tc.post("/grants/declass", url.Values{"policy": {"wormhole"}}); code != 400 {
+		t.Errorf("unknown policy = %d", code)
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	_, tc := newTestSetup(t, Options{RequestRate: 0.0001, RequestBurst: 3})
+	signup(tc, "bob", "pw")
+	ok, limited := 0, 0
+	for i := 0; i < 10; i++ {
+		code, _ := tc.get("/app/scripty/")
+		switch code {
+		case 200:
+			ok++
+		case 429:
+			limited++
+		}
+	}
+	if ok != 3 || limited != 7 {
+		t.Errorf("rate limit: ok=%d limited=%d, want 3/7", ok, limited)
+	}
+}
+
+func TestIndexAndSearch(t *testing.T) {
+	_, tc := newTestSetup(t, Options{})
+	_, body := tc.get("/")
+	if !strings.Contains(body, "/app/profile/") || !strings.Contains(body, "/app/scripty/") {
+		t.Errorf("index = %q", body)
+	}
+	if code, _ := tc.get("/registry/search?q=anything"); code != 200 {
+		t.Errorf("search status = %d", code)
+	}
+	if code, _ := tc.get("/nonexistent"); code != 404 {
+		t.Errorf("bad path = %d", code)
+	}
+}
+
+func TestAppErrorIsOpaque(t *testing.T) {
+	p, tc := newTestSetup(t, Options{})
+	p.InstallApp(faultyApp{})
+	signup(tc, "bob", "pw")
+	code, body := tc.get("/app/faulty/")
+	if code != 500 {
+		t.Fatalf("faulty app = %d", code)
+	}
+	if strings.Contains(body, "labels") || strings.Contains(body, "stack") {
+		t.Errorf("error leaked internals: %q", body)
+	}
+}
+
+type faultyApp struct{}
+
+func (faultyApp) Name() string { return "faulty" }
+func (faultyApp) Handle(*core.AppEnv, core.AppRequest) (core.AppResponse, error) {
+	return core.AppResponse{}, io.ErrUnexpectedEOF
+}

@@ -1,0 +1,353 @@
+// Package htmlsafe implements the W5 perimeter HTML filter.
+//
+// §3.5 ("Client-side support") observes that W5 lets developers upload
+// arbitrary JavaScript, exacerbating cross-site-scripting risk, and
+// proposes that "W5 could disable JavaScript entirely by filtering it
+// out at the security perimeter". This package is that filter: a small,
+// standalone HTML tokenizer and sanitizer the gateway applies to every
+// text/html response before it crosses the perimeter.
+//
+// The default policy removes:
+//
+//   - <script> elements and their contents (unless the script's hash is
+//     on the user's audited allowlist — the MashupOS-flavoured
+//     extension point);
+//   - active-content elements (iframe, object, embed, applet) — their
+//     inner fallback content is preserved;
+//   - on* event-handler attributes;
+//   - javascript: URLs in href/src/action/formaction attributes.
+//
+// The sanitizer never parses into a DOM: it is a single linear pass,
+// so its cost is O(bytes) and measured by experiment E10.
+package htmlsafe
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+)
+
+// Policy controls what the filter permits.
+type Policy struct {
+	// AllowScripts passes script elements through untouched. Only a
+	// user who explicitly opted out of filtering gets this.
+	AllowScripts bool
+	// AllowedHashes permits script elements whose body's SHA-256 (hex)
+	// appears in the set — the "audited script" escape hatch.
+	AllowedHashes map[string]bool
+}
+
+// Report counts what the filter did; the gateway logs it and E10
+// aggregates it.
+type Report struct {
+	ScriptsRemoved  int
+	ScriptsAllowed  int
+	ElementsRemoved int // iframe/object/embed/applet tags stripped
+	AttrsRemoved    int // on* handlers dropped
+	URLsNeutralized int // javascript: URLs replaced
+}
+
+// Clean reports whether the filter changed nothing.
+func (r Report) Clean() bool {
+	return r.ScriptsRemoved == 0 && r.ElementsRemoved == 0 &&
+		r.AttrsRemoved == 0 && r.URLsNeutralized == 0
+}
+
+// ScriptHash computes the allowlist key for a script body.
+func ScriptHash(body string) string {
+	h := sha256.Sum256([]byte(body))
+	return hex.EncodeToString(h[:])
+}
+
+// activeElements are stripped (tags only; inner content preserved).
+var activeElements = map[string]bool{
+	"iframe": true, "object": true, "embed": true, "applet": true,
+}
+
+// urlAttrs are checked for javascript: schemes.
+var urlAttrs = map[string]bool{
+	"href": true, "src": true, "action": true, "formaction": true,
+}
+
+// Sanitize filters one HTML document under the policy.
+func Sanitize(html string, pol Policy) (string, Report) {
+	var out strings.Builder
+	out.Grow(len(html))
+	var rep Report
+
+	// Lowered once so script-end scanning stays O(bytes) for the whole
+	// document rather than per-script.
+	lower := strings.ToLower(html)
+
+	i := 0
+	for i < len(html) {
+		lt := strings.IndexByte(html[i:], '<')
+		if lt < 0 {
+			out.WriteString(html[i:])
+			break
+		}
+		out.WriteString(html[i : i+lt])
+		i += lt
+
+		rest := html[i:]
+		switch {
+		case strings.HasPrefix(rest, "<!--"):
+			end := strings.Index(rest[4:], "-->")
+			if end < 0 {
+				// Unterminated comment swallows the remainder; emit
+				// nothing further (a dangling comment can hide markup
+				// from naive filters — fail safe by dropping it).
+				return out.String(), rep
+			}
+			out.WriteString(rest[:4+end+3])
+			i += 4 + end + 3
+
+		case strings.HasPrefix(rest, "<!") || strings.HasPrefix(rest, "<?"):
+			// DOCTYPE or processing instruction: pass through to '>'.
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				out.WriteString(rest)
+				return out.String(), rep
+			}
+			out.WriteString(rest[:end+1])
+			i += end + 1
+
+		default:
+			tag, tagLen, ok := parseTag(rest)
+			if !ok {
+				// A bare '<' that opens no tag: emit as text.
+				out.WriteByte('<')
+				i++
+				continue
+			}
+			name := strings.ToLower(tag.name)
+			switch {
+			case name == "script" && !tag.closing:
+				bodyEnd, closeLen := findScriptEnd(rest[tagLen:], lower[i+tagLen:])
+				body := rest[tagLen : tagLen+bodyEnd]
+				total := tagLen + bodyEnd + closeLen
+				if pol.AllowScripts || pol.AllowedHashes[ScriptHash(body)] {
+					out.WriteString(rest[:total])
+					rep.ScriptsAllowed++
+				} else {
+					rep.ScriptsRemoved++
+				}
+				i += total
+
+			case name == "script" && tag.closing:
+				// Stray close tag; drop it.
+				rep.ScriptsRemoved++
+				i += tagLen
+
+			case activeElements[name]:
+				rep.ElementsRemoved++
+				i += tagLen // tag dropped, content preserved
+
+			default:
+				cleaned, changed := sanitizeTag(rest[:tagLen], tag, &rep)
+				if changed {
+					out.WriteString(cleaned)
+				} else {
+					out.WriteString(rest[:tagLen])
+				}
+				i += tagLen
+			}
+		}
+	}
+	return out.String(), rep
+}
+
+// tagToken is a parsed start or end tag.
+type tagToken struct {
+	name    string
+	closing bool
+	attrs   []attr
+	selfEnd bool // "/>" form
+}
+
+type attr struct {
+	name  string // original case preserved for output
+	value string
+	quote byte // '"', '\'' or 0 for unquoted/valueless
+	hasEq bool
+}
+
+// parseTag parses "<name attr=... >" from the front of s. Returns the
+// token and total byte length including both angle brackets.
+func parseTag(s string) (tagToken, int, bool) {
+	if len(s) < 2 || s[0] != '<' {
+		return tagToken{}, 0, false
+	}
+	j := 1
+	var tok tagToken
+	if s[j] == '/' {
+		tok.closing = true
+		j++
+	}
+	start := j
+	for j < len(s) && isNameChar(s[j]) {
+		j++
+	}
+	if j == start {
+		return tagToken{}, 0, false
+	}
+	tok.name = s[start:j]
+	// Attributes.
+	for j < len(s) {
+		for j < len(s) && isSpace(s[j]) {
+			j++
+		}
+		if j >= len(s) {
+			return tok, j, true // unterminated tag: treat rest as tag
+		}
+		if s[j] == '>' {
+			return tok, j + 1, true
+		}
+		if s[j] == '/' && j+1 < len(s) && s[j+1] == '>' {
+			tok.selfEnd = true
+			return tok, j + 2, true
+		}
+		// Attribute name.
+		nameStart := j
+		for j < len(s) && s[j] != '=' && s[j] != '>' && s[j] != '/' && !isSpace(s[j]) {
+			j++
+		}
+		a := attr{name: s[nameStart:j]}
+		for j < len(s) && isSpace(s[j]) {
+			j++
+		}
+		if j < len(s) && s[j] == '=' {
+			a.hasEq = true
+			j++
+			for j < len(s) && isSpace(s[j]) {
+				j++
+			}
+			if j < len(s) && (s[j] == '"' || s[j] == '\'') {
+				a.quote = s[j]
+				j++
+				valStart := j
+				for j < len(s) && s[j] != a.quote {
+					j++
+				}
+				a.value = s[valStart:j]
+				if j < len(s) {
+					j++ // closing quote
+				}
+			} else {
+				valStart := j
+				for j < len(s) && !isSpace(s[j]) && s[j] != '>' {
+					j++
+				}
+				a.value = s[valStart:j]
+			}
+		}
+		if a.name != "" {
+			tok.attrs = append(tok.attrs, a)
+		}
+	}
+	return tok, len(s), true
+}
+
+// findScriptEnd locates the closing </script> (case-insensitive,
+// optional whitespace before '>'). lower is the pre-lowercased form of
+// s. Returns the body length and the length of the close tag; an
+// unterminated script consumes the rest.
+func findScriptEnd(s, lower string) (bodyLen, closeLen int) {
+	from := 0
+	for {
+		k := strings.Index(lower[from:], "</script")
+		if k < 0 {
+			return len(s), 0
+		}
+		k += from
+		j := k + len("</script")
+		for j < len(s) && isSpace(s[j]) {
+			j++
+		}
+		if j < len(s) && s[j] == '>' {
+			return k, j + 1 - k
+		}
+		from = k + 1
+	}
+}
+
+// sanitizeTag rewrites a tag, dropping on* attributes and neutralizing
+// javascript: URLs. Returns the possibly-rewritten tag text.
+func sanitizeTag(orig string, tok tagToken, rep *Report) (string, bool) {
+	if tok.closing || len(tok.attrs) == 0 {
+		return orig, false
+	}
+	changed := false
+	var kept []attr
+	for _, a := range tok.attrs {
+		ln := strings.ToLower(a.name)
+		if strings.HasPrefix(ln, "on") && len(ln) > 2 {
+			rep.AttrsRemoved++
+			changed = true
+			continue
+		}
+		if urlAttrs[ln] && isJavascriptURL(a.value) {
+			a.value = "#blocked"
+			a.quote = '"'
+			rep.URLsNeutralized++
+			changed = true
+		}
+		kept = append(kept, a)
+	}
+	if !changed {
+		return orig, false
+	}
+	var sb strings.Builder
+	sb.WriteByte('<')
+	sb.WriteString(tok.name)
+	for _, a := range kept {
+		sb.WriteByte(' ')
+		sb.WriteString(a.name)
+		if a.hasEq {
+			sb.WriteByte('=')
+			q := a.quote
+			if q == 0 {
+				q = '"'
+			}
+			sb.WriteByte(q)
+			sb.WriteString(a.value)
+			sb.WriteByte(q)
+		}
+	}
+	if tok.selfEnd {
+		sb.WriteString("/>")
+	} else {
+		sb.WriteByte('>')
+	}
+	return sb.String(), true
+}
+
+// isJavascriptURL detects javascript: (and vbscript:, data:text/html)
+// schemes, ignoring leading whitespace/control bytes and case — the
+// obfuscations real-world filters must handle.
+func isJavascriptURL(v string) bool {
+	var sb strings.Builder
+	for i := 0; i < len(v) && sb.Len() < 16; i++ {
+		c := v[i]
+		if c <= 0x20 { // strip whitespace and control chars anywhere in prefix
+			continue
+		}
+		if c >= 'A' && c <= 'Z' {
+			c += 32
+		}
+		sb.WriteByte(c)
+	}
+	p := sb.String()
+	return strings.HasPrefix(p, "javascript:") ||
+		strings.HasPrefix(p, "vbscript:") ||
+		strings.HasPrefix(p, "data:text/h")
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func isNameChar(c byte) bool {
+	return c == '-' || c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}

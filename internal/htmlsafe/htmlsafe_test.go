@@ -1,0 +1,237 @@
+package htmlsafe
+
+import (
+	"strings"
+	"testing"
+)
+
+func sanitize(t *testing.T, html string) (string, Report) {
+	t.Helper()
+	return Sanitize(html, Policy{})
+}
+
+func TestPlainHTMLUntouched(t *testing.T) {
+	in := `<!DOCTYPE html><html><body><h1>Hi</h1><p class="x">text &amp; more</p></body></html>`
+	out, rep := sanitize(t, in)
+	if out != in {
+		t.Errorf("clean HTML modified:\n in: %s\nout: %s", in, out)
+	}
+	if !rep.Clean() {
+		t.Errorf("report not clean: %+v", rep)
+	}
+}
+
+func TestScriptElementRemoved(t *testing.T) {
+	in := `<p>a</p><script>alert(document.cookie)</script><p>b</p>`
+	out, rep := sanitize(t, in)
+	if strings.Contains(out, "alert") || strings.Contains(out, "script") {
+		t.Errorf("script survived: %s", out)
+	}
+	if out != "<p>a</p><p>b</p>" {
+		t.Errorf("out = %s", out)
+	}
+	if rep.ScriptsRemoved != 1 {
+		t.Errorf("ScriptsRemoved = %d", rep.ScriptsRemoved)
+	}
+}
+
+func TestScriptObfuscations(t *testing.T) {
+	cases := []string{
+		`<ScRiPt>evil()</sCrIpT>`,
+		`<script type="text/javascript">evil()</script>`,
+		`<script
+			src="http://evil.example/x.js"></script>`,
+		`<script>if (a<b) evil()</script>`,     // '<' inside body
+		`<script>s="</scr"+"ipt>"</script >`,   // whitespace before '>'
+	}
+	for _, in := range cases {
+		out, rep := sanitize(t, in)
+		if strings.Contains(strings.ToLower(out), "evil") {
+			t.Errorf("payload survived %q -> %q", in, out)
+		}
+		if rep.ScriptsRemoved == 0 {
+			t.Errorf("no removal reported for %q", in)
+		}
+	}
+}
+
+func TestUnterminatedScriptConsumed(t *testing.T) {
+	out, rep := sanitize(t, `<p>x</p><script>evil()`)
+	if strings.Contains(out, "evil") {
+		t.Errorf("unterminated script leaked: %q", out)
+	}
+	if rep.ScriptsRemoved != 1 {
+		t.Errorf("ScriptsRemoved = %d", rep.ScriptsRemoved)
+	}
+}
+
+func TestEventHandlerAttributesRemoved(t *testing.T) {
+	in := `<img src="cat.jpg" onload="evil()" alt="cat"><div ONCLICK='evil()'>x</div><a onmouseover=evil()>y</a>`
+	out, rep := sanitize(t, in)
+	low := strings.ToLower(out)
+	if strings.Contains(low, "onload") || strings.Contains(low, "onclick") || strings.Contains(low, "onmouseover") {
+		t.Errorf("handler survived: %s", out)
+	}
+	if !strings.Contains(out, `src="cat.jpg"`) || !strings.Contains(out, `alt="cat"`) {
+		t.Errorf("legitimate attributes lost: %s", out)
+	}
+	if rep.AttrsRemoved != 3 {
+		t.Errorf("AttrsRemoved = %d, want 3", rep.AttrsRemoved)
+	}
+}
+
+func TestOnlyRealHandlersRemoved(t *testing.T) {
+	// Attributes that merely start with "on" in value, or are exactly
+	// "on", survive.
+	in := `<input name="once" value="onload"><option on>`
+	out, _ := sanitize(t, in)
+	if !strings.Contains(out, `name="once"`) || !strings.Contains(out, `value="onload"`) {
+		t.Errorf("legitimate attrs removed: %s", out)
+	}
+}
+
+func TestJavascriptURLsNeutralized(t *testing.T) {
+	cases := []string{
+		`<a href="javascript:evil()">x</a>`,
+		`<a href="JaVaScRiPt:evil()">x</a>`,
+		`<a href=" javascript:evil()">x</a>`,
+		"<a href=\"\tjavascript:evil()\">x</a>",
+		`<a href=javascript:evil()>x</a>`,
+		`<form action="javascript:evil()">`,
+		`<img src='vbscript:evil()'>`,
+		`<a href="data:text/html,<script>evil()</script>">x</a>`,
+	}
+	for _, in := range cases {
+		out, rep := Sanitize(in, Policy{})
+		if strings.Contains(strings.ToLower(out), "evil") {
+			t.Errorf("URL survived %q -> %q", in, out)
+		}
+		if rep.URLsNeutralized == 0 {
+			t.Errorf("no neutralization reported for %q", in)
+		}
+		if !strings.Contains(out, "#blocked") {
+			t.Errorf("no placeholder in %q", out)
+		}
+	}
+}
+
+func TestSafeURLsKept(t *testing.T) {
+	in := `<a href="https://example.org/page?q=1">x</a><img src="/img/cat.png">`
+	out, rep := sanitize(t, in)
+	if out != in {
+		t.Errorf("safe URLs rewritten: %s", out)
+	}
+	if rep.URLsNeutralized != 0 {
+		t.Errorf("URLsNeutralized = %d", rep.URLsNeutralized)
+	}
+}
+
+func TestActiveElementsStripped(t *testing.T) {
+	in := `<iframe src="http://evil"></iframe><object data="x">fallback</object><embed src="y"><applet code="z">old</applet>`
+	out, rep := sanitize(t, in)
+	low := strings.ToLower(out)
+	for _, bad := range []string{"<iframe", "<object", "<embed", "<applet"} {
+		if strings.Contains(low, bad) {
+			t.Errorf("%s survived: %s", bad, out)
+		}
+	}
+	// Fallback content preserved.
+	if !strings.Contains(out, "fallback") || !strings.Contains(out, "old") {
+		t.Errorf("fallback content lost: %s", out)
+	}
+	if rep.ElementsRemoved != 7 { // 4 opening tags + 3 closing tags
+		t.Errorf("ElementsRemoved = %d, want 7", rep.ElementsRemoved)
+	}
+}
+
+func TestAllowScriptsPolicy(t *testing.T) {
+	in := `<script>app()</script>`
+	out, rep := Sanitize(in, Policy{AllowScripts: true})
+	if out != in {
+		t.Errorf("AllowScripts modified: %s", out)
+	}
+	if rep.ScriptsAllowed != 1 || rep.ScriptsRemoved != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestHashAllowlist(t *testing.T) {
+	body := `render("profile")`
+	in := `<script>` + body + `</script><script>evil()</script>`
+	pol := Policy{AllowedHashes: map[string]bool{ScriptHash(body): true}}
+	out, rep := Sanitize(in, pol)
+	if !strings.Contains(out, "render") {
+		t.Errorf("audited script removed: %s", out)
+	}
+	if strings.Contains(out, "evil") {
+		t.Errorf("unaudited script kept: %s", out)
+	}
+	if rep.ScriptsAllowed != 1 || rep.ScriptsRemoved != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestCommentsPreserved(t *testing.T) {
+	in := `<p>a</p><!-- a comment with <tags> inside --><p>b</p>`
+	out, _ := sanitize(t, in)
+	if out != in {
+		t.Errorf("comments mangled: %s", out)
+	}
+}
+
+func TestUnterminatedCommentDropped(t *testing.T) {
+	out, _ := sanitize(t, `<p>a</p><!-- hidden <script>evil()</script>`)
+	if strings.Contains(out, "evil") {
+		t.Errorf("unterminated comment leaked: %s", out)
+	}
+	if !strings.Contains(out, "<p>a</p>") {
+		t.Errorf("preceding content lost: %s", out)
+	}
+}
+
+func TestBareAngleBracketsAreText(t *testing.T) {
+	in := `<p>3 < 5 and x <= y</p>`
+	out, _ := sanitize(t, in)
+	if out != in {
+		t.Errorf("text comparison mangled: got %s", out)
+	}
+}
+
+func TestSelfClosingTagPreserved(t *testing.T) {
+	in := `<br/><img src="a.png" onerror="evil()"/>`
+	out, _ := sanitize(t, in)
+	if !strings.Contains(out, "<br/>") {
+		t.Errorf("self-closing lost: %s", out)
+	}
+	if !strings.HasSuffix(out, "/>") || strings.Contains(out, "onerror") {
+		t.Errorf("self-closing img wrong: %s", out)
+	}
+}
+
+func TestEmptyAndEdgeInputs(t *testing.T) {
+	for _, in := range []string{"", "<", "<>", "< >", "plain text", "<p", "<!---->", "<!doctype html>"} {
+		out, _ := sanitize(t, in) // must not panic
+		_ = out
+	}
+}
+
+func TestReportClean(t *testing.T) {
+	if !(Report{}).Clean() {
+		t.Error("zero report not clean")
+	}
+	if (Report{AttrsRemoved: 1}).Clean() {
+		t.Error("dirty report reported clean")
+	}
+}
+
+func TestScriptHashStable(t *testing.T) {
+	if ScriptHash("x") != ScriptHash("x") {
+		t.Error("hash not deterministic")
+	}
+	if ScriptHash("x") == ScriptHash("y") {
+		t.Error("hash collision on different bodies")
+	}
+	if len(ScriptHash("x")) != 64 {
+		t.Error("hash length wrong")
+	}
+}

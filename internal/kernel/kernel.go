@@ -1,0 +1,476 @@
+// Package kernel implements the W5 reference monitor: the trusted
+// component that tracks every process's secrecy label, integrity label
+// and capability set, and that interposes on every IPC message, label
+// change, privilege grant, and perimeter export.
+//
+// This is the "logically separate mechanism" the paper demands in §1
+// ("Separate data security from other functions"): applications never
+// manipulate labels directly — they ask the kernel, and the kernel
+// applies the Flume rules from package difc. The kernel together with
+// the store, gateway and quota packages forms the provider's entire
+// trusted computing base; everything in internal/apps and all WVM
+// bytecode is untrusted.
+//
+// Concurrency: one kernel mutex guards the process table and all label
+// state. Label operations are tiny set operations (see experiment E3),
+// so a single lock keeps the monitor trivially verifiable — the property
+// the paper prizes ("only a small number of components must be correct",
+// §2). Mailboxes use per-process channels so blocked receivers do not
+// hold the kernel lock.
+package kernel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"w5/internal/audit"
+	"w5/internal/difc"
+	"w5/internal/quota"
+)
+
+// ErrDenied is the only error untrusted code sees for a rejected
+// operation. It is deliberately uninformative — a detailed denial
+// ("would leak tag t17") would itself leak which tags exist on other
+// principals' data, the covert-channel concern of §3.5. The specific
+// reason is written to the audit log, which only the provider reads.
+var ErrDenied = errors.New("w5: operation denied")
+
+// Exported errors that carry no cross-principal information.
+var (
+	ErrNoSuchProcess = errors.New("w5: no such process")
+	ErrDead          = errors.New("w5: process has exited")
+	ErrMailboxFull   = errors.New("w5: mailbox full")
+	ErrInterrupted   = errors.New("w5: receive interrupted")
+)
+
+// ProcID identifies a process for the lifetime of a kernel.
+type ProcID uint64
+
+// Message is one IPC datagram. Labels records the sender's label pair at
+// send time; receivers use it to know how tainted the payload is.
+type Message struct {
+	From     ProcID
+	FromName string
+	Labels   difc.LabelPair
+	Data     []byte
+}
+
+// Process is one schedulable principal: an application instance, a
+// declassifier, or a platform service. All fields are guarded by the
+// kernel mutex; use the accessor methods.
+type Process struct {
+	id    ProcID
+	name  string
+	owner string // billing principal, e.g. "app:photo" or "user:bob"
+
+	k         *Kernel
+	secrecy   difc.Label
+	integrity difc.Label
+	caps      difc.CapSet
+	alive     bool
+
+	mailbox chan Message
+	done    chan struct{}
+	account *quota.Account
+	msgRate *quota.Bucket // optional per-process message rate limit
+}
+
+// ID returns the process identifier.
+func (p *Process) ID() ProcID { return p.id }
+
+// Name returns the human-readable process name.
+func (p *Process) Name() string { return p.name }
+
+// Owner returns the billing principal.
+func (p *Process) Owner() string { return p.owner }
+
+// Account returns the process's quota ledger (nil if quotas disabled).
+func (p *Process) Account() *quota.Account { return p.account }
+
+// Labels returns the process's current label pair.
+func (p *Process) Labels() difc.LabelPair {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	return difc.LabelPair{Secrecy: p.secrecy, Integrity: p.integrity}
+}
+
+// Caps returns the process's current capability set.
+func (p *Process) Caps() difc.CapSet {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	return p.caps
+}
+
+// Alive reports whether the process has not exited.
+func (p *Process) Alive() bool {
+	p.k.mu.Lock()
+	defer p.k.mu.Unlock()
+	return p.alive
+}
+
+// Options configures a Kernel.
+type Options struct {
+	// Enforce controls whether DIFC checks are applied. It exists only
+	// for experiment E3 (measuring enforcement overhead against an
+	// unprotected baseline); production providers always enforce.
+	Enforce bool
+	// Log receives audit events; nil disables auditing.
+	Log *audit.Log
+	// Quotas supplies per-principal ledgers; nil disables quotas.
+	Quotas *quota.Manager
+	// MailboxCap is the per-process message queue depth (default 128).
+	MailboxCap int
+	// MsgRate and MsgBurst configure a per-process token bucket on
+	// message sends; zero disables rate limiting.
+	MsgRate  float64
+	MsgBurst float64
+}
+
+// Kernel is the reference monitor. Create one per provider with New.
+type Kernel struct {
+	mu      sync.Mutex
+	opts    Options
+	nextTag difc.Tag
+	nextPID ProcID
+	procs   map[ProcID]*Process
+}
+
+// New returns a kernel with the given options.
+func New(opts Options) *Kernel {
+	if opts.MailboxCap <= 0 {
+		opts.MailboxCap = 128
+	}
+	return &Kernel{opts: opts, procs: make(map[ProcID]*Process)}
+}
+
+// NewEnforcing returns a kernel with enforcement on and the given audit
+// log and quota manager (either may be nil).
+func NewEnforcing(log *audit.Log, quotas *quota.Manager) *Kernel {
+	return New(Options{Enforce: true, Log: log, Quotas: quotas})
+}
+
+// Enforcing reports whether DIFC checks are applied.
+func (k *Kernel) Enforcing() bool { return k.opts.Enforce }
+
+func (k *Kernel) auditf(kind audit.Kind, actor, subject, format string, args ...any) {
+	if k.opts.Log != nil {
+		k.opts.Log.Appendf(kind, actor, subject, format, args...)
+	}
+}
+
+// MintTag allocates a fresh tag. If owner is non-nil the tag's dual
+// privilege {t+, t-} is added to the owner's capability set — Flume's
+// rule that tag creators own their tags. A nil owner mints a tag whose
+// privilege is held only by whoever the caller (trusted code) chooses to
+// grant it to.
+func (k *Kernel) MintTag(owner *Process, note string) difc.Tag {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.nextTag++
+	t := k.nextTag
+	actor := "provider"
+	if owner != nil {
+		owner.caps = owner.caps.Grant(difc.Both(t)...)
+		actor = owner.name
+	}
+	k.auditf(audit.KindTagMint, actor, t.String(), "%s", note)
+	return t
+}
+
+// SpawnSpec describes a process to create.
+type SpawnSpec struct {
+	Name      string
+	Owner     string // billing principal; defaults to Name
+	Secrecy   difc.Label
+	Integrity difc.Label
+	Caps      difc.CapSet
+}
+
+// Spawn creates a process. If parent is non-nil the spawn is subject to
+// delegation rules: the child's capabilities must be a subset of the
+// parent's, and the child's initial labels must be reachable from the
+// parent's labels by a safe label change — a child cannot launder away
+// taint its parent carries. A nil parent is a trusted provider spawn.
+func (k *Kernel) Spawn(parent *Process, spec SpawnSpec) (*Process, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if parent != nil && k.opts.Enforce {
+		if !spec.Caps.SubsetOf(parent.caps) {
+			k.auditf(audit.KindFlowDenied, parent.name, spec.Name,
+				"spawn caps %s exceed parent %s", spec.Caps, parent.caps)
+			return nil, ErrDenied
+		}
+		if !difc.SafeLabelChange(parent.secrecy, spec.Secrecy, parent.caps) ||
+			!difc.SafeLabelChange(parent.integrity, spec.Integrity, parent.caps) {
+			k.auditf(audit.KindFlowDenied, parent.name, spec.Name,
+				"spawn labels unreachable from parent")
+			return nil, ErrDenied
+		}
+	}
+	owner := spec.Owner
+	if owner == "" {
+		owner = spec.Name
+	}
+	k.nextPID++
+	p := &Process{
+		id:        k.nextPID,
+		name:      spec.Name,
+		owner:     owner,
+		k:         k,
+		secrecy:   spec.Secrecy,
+		integrity: spec.Integrity,
+		caps:      spec.Caps,
+		alive:     true,
+		mailbox:   make(chan Message, k.opts.MailboxCap),
+		done:      make(chan struct{}),
+	}
+	if k.opts.Quotas != nil {
+		p.account = k.opts.Quotas.Account(owner)
+	}
+	if k.opts.MsgRate > 0 && k.opts.MsgBurst > 0 {
+		p.msgRate = quota.NewBucket(k.opts.MsgBurst, k.opts.MsgRate)
+	}
+	k.procs[p.id] = p
+	k.auditf(audit.KindSpawn, p.name, fmt.Sprintf("pid=%d", p.id),
+		"owner=%s %s caps=%s", owner,
+		difc.LabelPair{Secrecy: spec.Secrecy, Integrity: spec.Integrity}, spec.Caps)
+	return p, nil
+}
+
+// Exit terminates a process. Pending mailbox messages are discarded;
+// senders racing with exit get ErrDead or a benign drop.
+func (k *Kernel) Exit(p *Process) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if !p.alive {
+		return
+	}
+	p.alive = false
+	close(p.done)
+	delete(k.procs, p.id)
+	k.auditf(audit.KindExit, p.name, fmt.Sprintf("pid=%d", p.id), "")
+}
+
+// Lookup finds a live process by ID.
+func (k *Kernel) Lookup(id ProcID) (*Process, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[id]
+	return p, ok
+}
+
+// Procs returns a snapshot of live processes.
+func (k *Kernel) Procs() []*Process {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Process, 0, len(k.procs))
+	for _, p := range k.procs {
+		out = append(out, p)
+	}
+	return out
+}
+
+// SetLabels applies a safe label change to p, using p's own capability
+// set (Flume: processes change only their own labels).
+func (k *Kernel) SetLabels(p *Process, want difc.LabelPair) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if !p.alive {
+		return ErrDead
+	}
+	if k.opts.Enforce {
+		if err := difc.CheckLabelChange(p.secrecy, want.Secrecy, p.caps); err != nil {
+			k.auditf(audit.KindFlowDenied, p.name, "self", "secrecy change: %v", err)
+			return ErrDenied
+		}
+		if err := difc.CheckLabelChange(p.integrity, want.Integrity, p.caps); err != nil {
+			k.auditf(audit.KindFlowDenied, p.name, "self", "integrity change: %v", err)
+			return ErrDenied
+		}
+	}
+	p.secrecy = want.Secrecy
+	p.integrity = want.Integrity
+	return nil
+}
+
+// RaiseSecrecy adds tags to p's secrecy label. Raising is how a process
+// becomes able to receive data tainted with those tags; it requires the
+// corresponding plus capabilities.
+func (k *Kernel) RaiseSecrecy(p *Process, tags ...difc.Tag) error {
+	cur := p.Labels()
+	return k.SetLabels(p, difc.LabelPair{
+		Secrecy:   cur.Secrecy.Union(difc.NewLabel(tags...)),
+		Integrity: cur.Integrity,
+	})
+}
+
+// Grant delegates capabilities from one process to another. The grantor
+// must itself hold every granted capability; nil from is a trusted
+// provider grant (used when a user authorizes a declassifier via the
+// gateway, which acts with the user's stored privileges).
+func (k *Kernel) Grant(from, to *Process, caps difc.CapSet) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if !to.alive {
+		return ErrDead
+	}
+	actor := "provider"
+	if from != nil {
+		actor = from.name
+		if k.opts.Enforce && !caps.SubsetOf(from.caps) {
+			k.auditf(audit.KindFlowDenied, actor, to.name,
+				"grant %s exceeds holdings %s", caps, from.caps)
+			return ErrDenied
+		}
+	}
+	to.caps = to.caps.Union(caps)
+	k.auditf(audit.KindGrant, actor, to.name, "granted %s", caps)
+	return nil
+}
+
+// Revoke removes capabilities from a process. Only trusted code calls
+// Revoke (users revoke through provider front-ends); there is no
+// untrusted revocation in the Flume model.
+func (k *Kernel) Revoke(p *Process, caps difc.CapSet) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p.caps = p.caps.Revoke(caps.Caps()...)
+	k.auditf(audit.KindRevoke, "provider", p.name, "revoked %s", caps)
+}
+
+// Send delivers data from one process to another, subject to the Flume
+// safe-message judgment in both secrecy and integrity. The message
+// carries the sender's labels so the receiver knows its provenance.
+func (k *Kernel) Send(from *Process, to ProcID, data []byte) error {
+	k.mu.Lock()
+	if !from.alive {
+		k.mu.Unlock()
+		return ErrDead
+	}
+	dst, ok := k.procs[to]
+	if !ok {
+		k.mu.Unlock()
+		return ErrNoSuchProcess
+	}
+	if from.msgRate != nil && !from.msgRate.Take(1) {
+		k.mu.Unlock()
+		k.auditf(audit.KindQuota, from.name, dst.name, "message rate exceeded")
+		return &quota.ErrExceeded{Principal: from.owner, Resource: "msg-rate"}
+	}
+	send := difc.LabelPair{Secrecy: from.secrecy, Integrity: from.integrity}
+	recv := difc.LabelPair{Secrecy: dst.secrecy, Integrity: dst.integrity}
+	if k.opts.Enforce {
+		if err := difc.CheckFlow(send, from.caps, recv, dst.caps); err != nil {
+			k.mu.Unlock()
+			k.auditf(audit.KindFlowDenied, from.name, dst.name, "%v", err)
+			return ErrDenied
+		}
+	}
+	msg := Message{From: from.id, FromName: from.name, Labels: send, Data: data}
+	k.mu.Unlock()
+
+	k.auditf(audit.KindFlowAllowed, from.name, dst.name, "%d bytes %s", len(data), send)
+	select {
+	case dst.mailbox <- msg:
+		return nil
+	case <-dst.done:
+		return ErrDead
+	default:
+		return ErrMailboxFull
+	}
+}
+
+// Receive blocks until a message arrives, the context is canceled, or
+// the process exits. The flow is re-validated against the receiver's
+// labels at delivery time: if the receiver has shed taint since the
+// message was queued, delivering it would be a downward flow, so the
+// message is discarded (audited) and the next one is considered.
+func (k *Kernel) Receive(ctx context.Context, p *Process) (Message, error) {
+	for {
+		select {
+		case m := <-p.mailbox:
+			if k.opts.Enforce {
+				k.mu.Lock()
+				recv := difc.LabelPair{Secrecy: p.secrecy, Integrity: p.integrity}
+				caps := p.caps
+				k.mu.Unlock()
+				if err := difc.CheckFlow(m.Labels, difc.EmptyCaps, recv, caps); err != nil {
+					k.auditf(audit.KindFlowDenied, m.FromName, p.name,
+						"stale delivery: %v", err)
+					continue
+				}
+			}
+			return m, nil
+		case <-p.done:
+			return Message{}, ErrDead
+		case <-ctx.Done():
+			return Message{}, ErrInterrupted
+		}
+	}
+}
+
+// TryReceive is Receive without blocking; ok is false when the mailbox
+// is empty.
+func (k *Kernel) TryReceive(p *Process) (Message, bool) {
+	for {
+		select {
+		case m := <-p.mailbox:
+			if k.opts.Enforce {
+				k.mu.Lock()
+				recv := difc.LabelPair{Secrecy: p.secrecy, Integrity: p.integrity}
+				caps := p.caps
+				k.mu.Unlock()
+				if err := difc.CheckFlow(m.Labels, difc.EmptyCaps, recv, caps); err != nil {
+					k.auditf(audit.KindFlowDenied, m.FromName, p.name,
+						"stale delivery: %v", err)
+					continue
+				}
+			}
+			return m, true
+		default:
+			return Message{}, false
+		}
+	}
+}
+
+// Export checks whether p may emit nbytes across the security perimeter
+// toward a destination whose session holds extra capabilities (the
+// gateway passes the authenticated user's session privileges). On
+// success the network quota is charged. The destination string is used
+// only for auditing.
+func (k *Kernel) Export(p *Process, extra difc.CapSet, dest string, nbytes int) error {
+	k.mu.Lock()
+	if !p.alive {
+		k.mu.Unlock()
+		return ErrDead
+	}
+	s := p.secrecy
+	caps := p.caps.Union(extra)
+	k.mu.Unlock()
+
+	if k.opts.Enforce && !difc.CanExport(s, caps) {
+		k.auditf(audit.KindExportDenied, p.name, dest,
+			"residue %s", difc.ExportResidue(s, caps))
+		return ErrDenied
+	}
+	if p.account != nil {
+		if err := p.account.Charge(quota.Network, uint64(nbytes)); err != nil {
+			k.auditf(audit.KindQuota, p.name, dest, "%v", err)
+			return err
+		}
+	}
+	k.auditf(audit.KindExport, p.name, dest, "%d bytes", nbytes)
+	return nil
+}
+
+// DropPrivileges removes every capability from p, used by declassifier
+// harnesses after setup so the running code holds only what its policy
+// needs (least privilege).
+func (k *Kernel) DropPrivileges(p *Process, keep difc.CapSet) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p.caps = keep
+	k.auditf(audit.KindRevoke, "provider", p.name, "privileges reduced to %s", keep)
+}

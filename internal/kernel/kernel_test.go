@@ -1,0 +1,414 @@
+package kernel
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"w5/internal/audit"
+	"w5/internal/difc"
+	"w5/internal/quota"
+)
+
+func newTestKernel(t *testing.T) (*Kernel, *audit.Log) {
+	t.Helper()
+	log := audit.New()
+	return NewEnforcing(log, nil), log
+}
+
+func mustSpawn(t *testing.T, k *Kernel, spec SpawnSpec) *Process {
+	t.Helper()
+	p, err := k.Spawn(nil, spec)
+	if err != nil {
+		t.Fatalf("Spawn(%s): %v", spec.Name, err)
+	}
+	return p
+}
+
+func TestMintTagGrantsOwnership(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := mustSpawn(t, k, SpawnSpec{Name: "p"})
+	tag := k.MintTag(p, "bob's secrecy")
+	if !p.Caps().Owns(tag) {
+		t.Fatalf("creator does not own minted tag %v", tag)
+	}
+	t2 := k.MintTag(nil, "provider tag")
+	if t2 == tag {
+		t.Fatal("duplicate tag minted")
+	}
+	if p.Caps().Owns(t2) {
+		t.Fatal("unrelated process owns provider tag")
+	}
+}
+
+func TestSpawnDelegationRules(t *testing.T) {
+	k, log := newTestKernel(t)
+	parent := mustSpawn(t, k, SpawnSpec{Name: "parent"})
+	tag := k.MintTag(parent, "")
+
+	// Child caps must be a subset of the parent's.
+	if _, err := k.Spawn(parent, SpawnSpec{Name: "kid", Caps: difc.CapsFor(tag + 1)}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("over-privileged spawn: err = %v, want ErrDenied", err)
+	}
+	if _, err := k.Spawn(parent, SpawnSpec{Name: "kid", Caps: difc.CapsFor(tag)}); err != nil {
+		t.Fatalf("legitimate delegation failed: %v", err)
+	}
+	if log.CountKind(audit.KindFlowDenied) == 0 {
+		t.Error("denied spawn not audited")
+	}
+}
+
+func TestSpawnCannotLaunderTaint(t *testing.T) {
+	k, _ := newTestKernel(t)
+	tag := k.MintTag(nil, "secret")
+	// Parent is tainted with tag and holds no t-.
+	parent := mustSpawn(t, k, SpawnSpec{Name: "tainted", Secrecy: difc.NewLabel(tag)})
+	// Spawning an untainted child would launder the secret.
+	if _, err := k.Spawn(parent, SpawnSpec{Name: "clean"}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("taint laundering via spawn: err = %v, want ErrDenied", err)
+	}
+	// A child carrying the same taint is fine.
+	if _, err := k.Spawn(parent, SpawnSpec{Name: "alsoTainted", Secrecy: difc.NewLabel(tag)}); err != nil {
+		t.Fatalf("tainted child spawn failed: %v", err)
+	}
+}
+
+func TestSetLabelsEnforcesSafety(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := mustSpawn(t, k, SpawnSpec{Name: "p"})
+	tag := k.MintTag(nil, "secret")
+
+	// Raising without t+ is denied.
+	err := k.SetLabels(p, difc.LabelPair{Secrecy: difc.NewLabel(tag)})
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("raise without capability: %v", err)
+	}
+	// With t+ it succeeds.
+	if err := k.Grant(nil, p, difc.NewCapSet(difc.Plus(tag))); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetLabels(p, difc.LabelPair{Secrecy: difc.NewLabel(tag)}); err != nil {
+		t.Fatalf("raise with capability: %v", err)
+	}
+	// Dropping without t- is denied.
+	err = k.SetLabels(p, difc.LabelPair{})
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("drop without capability: %v", err)
+	}
+	if got := p.Labels().Secrecy; !got.Has(tag) {
+		t.Error("denied change mutated label")
+	}
+}
+
+func TestRaiseSecrecyHelper(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := mustSpawn(t, k, SpawnSpec{Name: "p"})
+	tag := k.MintTag(p, "")
+	if err := k.RaiseSecrecy(p, tag); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Labels().Secrecy.Has(tag) {
+		t.Error("RaiseSecrecy did not raise")
+	}
+}
+
+func TestGrantRequiresHolding(t *testing.T) {
+	k, _ := newTestKernel(t)
+	alice := mustSpawn(t, k, SpawnSpec{Name: "alice"})
+	mallory := mustSpawn(t, k, SpawnSpec{Name: "mallory"})
+	tag := k.MintTag(alice, "alice's tag")
+
+	// Mallory cannot grant what she does not hold.
+	if err := k.Grant(mallory, mallory, difc.CapsFor(tag)); !errors.Is(err, ErrDenied) {
+		t.Fatalf("self-grant of unheld caps: %v", err)
+	}
+	// Alice can delegate her own privilege.
+	if err := k.Grant(alice, mallory, difc.NewCapSet(difc.Minus(tag))); err != nil {
+		t.Fatalf("legitimate delegation: %v", err)
+	}
+	if !mallory.Caps().HasMinus(tag) {
+		t.Error("delegated capability missing")
+	}
+}
+
+func TestRevokeAndDropPrivileges(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := mustSpawn(t, k, SpawnSpec{Name: "p"})
+	tag := k.MintTag(p, "")
+	k.Revoke(p, difc.NewCapSet(difc.Minus(tag)))
+	if p.Caps().HasMinus(tag) {
+		t.Error("revoked capability still held")
+	}
+	if !p.Caps().HasPlus(tag) {
+		t.Error("revoke removed too much")
+	}
+	k.DropPrivileges(p, difc.EmptyCaps)
+	if !p.Caps().IsEmpty() {
+		t.Error("DropPrivileges left capabilities")
+	}
+}
+
+func TestSendFlowChecks(t *testing.T) {
+	k, log := newTestKernel(t)
+	secret := k.MintTag(nil, "bob's data")
+
+	tainted := mustSpawn(t, k, SpawnSpec{Name: "tainted", Secrecy: difc.NewLabel(secret)})
+	clean := mustSpawn(t, k, SpawnSpec{Name: "clean"})
+	cleanRaisable := mustSpawn(t, k, SpawnSpec{Name: "raisable",
+		Caps: difc.NewCapSet(difc.Plus(secret))})
+
+	// Tainted -> clean is a leak: denied.
+	if err := k.Send(tainted, clean.ID(), []byte("x")); !errors.Is(err, ErrDenied) {
+		t.Fatalf("leak allowed: %v", err)
+	}
+	// Tainted -> receiver holding secret+ is fine (receiver could raise).
+	if err := k.Send(tainted, cleanRaisable.ID(), []byte("x")); err != nil {
+		t.Fatalf("send to raisable receiver: %v", err)
+	}
+	// Clean -> tainted is an upward flow: fine.
+	if err := k.Send(clean, tainted.ID(), []byte("x")); err != nil {
+		t.Fatalf("upward send: %v", err)
+	}
+	if log.CountKind(audit.KindFlowDenied) != 1 {
+		t.Errorf("flow-denied audit count = %d, want 1", log.CountKind(audit.KindFlowDenied))
+	}
+}
+
+func TestSendIntegrityChecks(t *testing.T) {
+	k, _ := newTestKernel(t)
+	w := k.MintTag(nil, "bob's write tag")
+	// Receiver demands integrity w.
+	guarded := mustSpawn(t, k, SpawnSpec{Name: "guarded", Integrity: difc.NewLabel(w)})
+	unendorsed := mustSpawn(t, k, SpawnSpec{Name: "unendorsed"})
+	endorsed := mustSpawn(t, k, SpawnSpec{Name: "endorsed", Integrity: difc.NewLabel(w)})
+
+	if err := k.Send(unendorsed, guarded.ID(), []byte("x")); !errors.Is(err, ErrDenied) {
+		t.Fatalf("unendorsed write accepted: %v", err)
+	}
+	if err := k.Send(endorsed, guarded.ID(), []byte("x")); err != nil {
+		t.Fatalf("endorsed write denied: %v", err)
+	}
+}
+
+func TestReceiveDeliversInOrder(t *testing.T) {
+	k, _ := newTestKernel(t)
+	a := mustSpawn(t, k, SpawnSpec{Name: "a"})
+	b := mustSpawn(t, k, SpawnSpec{Name: "b"})
+	for _, s := range []string{"one", "two", "three"} {
+		if err := k.Send(a, b.ID(), []byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	for _, want := range []string{"one", "two", "three"} {
+		m, err := k.Receive(ctx, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(m.Data) != want {
+			t.Errorf("got %q, want %q", m.Data, want)
+		}
+		if m.From != a.ID() || m.FromName != "a" {
+			t.Errorf("message provenance wrong: %+v", m)
+		}
+	}
+}
+
+func TestReceiveBlocksUntilSend(t *testing.T) {
+	k, _ := newTestKernel(t)
+	a := mustSpawn(t, k, SpawnSpec{Name: "a"})
+	b := mustSpawn(t, k, SpawnSpec{Name: "b"})
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		k.Send(a, b.ID(), []byte("ping"))
+	}()
+	m, err := k.Receive(context.Background(), b)
+	if err != nil || string(m.Data) != "ping" {
+		t.Fatalf("Receive = %q, %v", m.Data, err)
+	}
+}
+
+func TestReceiveContextCancel(t *testing.T) {
+	k, _ := newTestKernel(t)
+	b := mustSpawn(t, k, SpawnSpec{Name: "b"})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := k.Receive(ctx, b); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+}
+
+func TestTryReceive(t *testing.T) {
+	k, _ := newTestKernel(t)
+	a := mustSpawn(t, k, SpawnSpec{Name: "a"})
+	b := mustSpawn(t, k, SpawnSpec{Name: "b"})
+	if _, ok := k.TryReceive(b); ok {
+		t.Fatal("TryReceive on empty mailbox returned a message")
+	}
+	k.Send(a, b.ID(), []byte("x"))
+	if m, ok := k.TryReceive(b); !ok || string(m.Data) != "x" {
+		t.Fatalf("TryReceive = %q, %v", m.Data, ok)
+	}
+}
+
+func TestStaleDeliveryDiscarded(t *testing.T) {
+	// A message queued while the receiver was tainted must not be
+	// delivered after the receiver sheds the taint.
+	k, log := newTestKernel(t)
+	secret := k.MintTag(nil, "s")
+	sender := mustSpawn(t, k, SpawnSpec{Name: "sender", Secrecy: difc.NewLabel(secret)})
+	recv := mustSpawn(t, k, SpawnSpec{Name: "recv",
+		Secrecy: difc.NewLabel(secret), Caps: difc.CapsFor(secret)})
+
+	if err := k.Send(sender, recv.ID(), []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	// Receiver declassifies itself before reading.
+	if err := k.SetLabels(recv, difc.LabelPair{}); err != nil {
+		t.Fatal(err)
+	}
+	// Remove its own +/- so the re-check cannot re-raise. (Revoke is a
+	// trusted operation; this models privilege expiry.)
+	k.Revoke(recv, difc.CapsFor(secret))
+	if m, ok := k.TryReceive(recv); ok {
+		t.Fatalf("stale tainted message delivered: %q", m.Data)
+	}
+	if log.CountKind(audit.KindFlowDenied) == 0 {
+		t.Error("stale delivery not audited")
+	}
+}
+
+func TestMailboxFull(t *testing.T) {
+	log := audit.New()
+	k := New(Options{Enforce: true, Log: log, MailboxCap: 2})
+	a, _ := k.Spawn(nil, SpawnSpec{Name: "a"})
+	b, _ := k.Spawn(nil, SpawnSpec{Name: "b"})
+	for i := 0; i < 2; i++ {
+		if err := k.Send(a, b.ID(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Send(a, b.ID(), nil); !errors.Is(err, ErrMailboxFull) {
+		t.Fatalf("err = %v, want ErrMailboxFull", err)
+	}
+}
+
+func TestSendToDeadOrMissing(t *testing.T) {
+	k, _ := newTestKernel(t)
+	a := mustSpawn(t, k, SpawnSpec{Name: "a"})
+	b := mustSpawn(t, k, SpawnSpec{Name: "b"})
+	k.Exit(b)
+	if err := k.Send(a, b.ID(), nil); !errors.Is(err, ErrNoSuchProcess) {
+		t.Fatalf("send to exited: %v", err)
+	}
+	if err := k.Send(a, 9999, nil); !errors.Is(err, ErrNoSuchProcess) {
+		t.Fatalf("send to missing: %v", err)
+	}
+	k.Exit(a)
+	if err := k.Send(a, a.ID(), nil); !errors.Is(err, ErrDead) && !errors.Is(err, ErrNoSuchProcess) {
+		t.Fatalf("send from dead: %v", err)
+	}
+}
+
+func TestExitIdempotentAndReceiveAfterExit(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := mustSpawn(t, k, SpawnSpec{Name: "p"})
+	k.Exit(p)
+	k.Exit(p) // must not panic
+	if p.Alive() {
+		t.Error("Alive after Exit")
+	}
+	if _, err := k.Receive(context.Background(), p); !errors.Is(err, ErrDead) {
+		t.Fatalf("Receive on dead proc: %v", err)
+	}
+}
+
+func TestExportRules(t *testing.T) {
+	k, log := newTestKernel(t)
+	sBob := k.MintTag(nil, "s_bob")
+	app := mustSpawn(t, k, SpawnSpec{Name: "app", Secrecy: difc.NewLabel(sBob)})
+
+	// Tainted app cannot export bare.
+	if err := k.Export(app, difc.EmptyCaps, "internet", 10); !errors.Is(err, ErrDenied) {
+		t.Fatalf("tainted export allowed: %v", err)
+	}
+	// With Bob's session privilege (s_bob-) it can: this is "destined
+	// for Bob's browser".
+	session := difc.NewCapSet(difc.Minus(sBob))
+	if err := k.Export(app, session, "bob's browser", 10); err != nil {
+		t.Fatalf("export to owner denied: %v", err)
+	}
+	if log.CountKind(audit.KindExportDenied) != 1 || log.CountKind(audit.KindExport) != 1 {
+		t.Error("export auditing wrong")
+	}
+}
+
+func TestExportChargesNetworkQuota(t *testing.T) {
+	qm := quota.NewManager(quota.Limits{Network: 100})
+	k := New(Options{Enforce: true, Quotas: qm})
+	p, _ := k.Spawn(nil, SpawnSpec{Name: "app", Owner: "app:x"})
+	if err := k.Export(p, difc.EmptyCaps, "out", 80); err != nil {
+		t.Fatal(err)
+	}
+	err := k.Export(p, difc.EmptyCaps, "out", 30)
+	var ex *quota.ErrExceeded
+	if !errors.As(err, &ex) {
+		t.Fatalf("err = %v, want quota.ErrExceeded", err)
+	}
+	if qm.Account("app:x").Used(quota.Network) != 80 {
+		t.Error("failed export charged quota")
+	}
+}
+
+func TestMessageRateLimit(t *testing.T) {
+	k := New(Options{Enforce: true, MsgRate: 0.0001, MsgBurst: 3})
+	a, _ := k.Spawn(nil, SpawnSpec{Name: "a"})
+	b, _ := k.Spawn(nil, SpawnSpec{Name: "b"})
+	sent := 0
+	for i := 0; i < 10; i++ {
+		if k.Send(a, b.ID(), nil) == nil {
+			sent++
+		}
+	}
+	if sent != 3 {
+		t.Errorf("sent %d messages through burst-3 bucket, want 3", sent)
+	}
+}
+
+func TestEnforcementToggle(t *testing.T) {
+	// With Enforce off (the E3 baseline), leaks are permitted — that is
+	// the point of the comparison.
+	k := New(Options{Enforce: false})
+	secret := k.MintTag(nil, "s")
+	tainted, _ := k.Spawn(nil, SpawnSpec{Name: "t", Secrecy: difc.NewLabel(secret)})
+	clean, _ := k.Spawn(nil, SpawnSpec{Name: "c"})
+	if err := k.Send(tainted, clean.ID(), []byte("leak")); err != nil {
+		t.Fatalf("unenforced kernel denied send: %v", err)
+	}
+	if err := k.Export(tainted, difc.EmptyCaps, "out", 1); err != nil {
+		t.Fatalf("unenforced kernel denied export: %v", err)
+	}
+	if k.Enforcing() {
+		t.Error("Enforcing() = true")
+	}
+}
+
+func TestLookupAndProcs(t *testing.T) {
+	k, _ := newTestKernel(t)
+	p := mustSpawn(t, k, SpawnSpec{Name: "p", Owner: "user:bob"})
+	got, ok := k.Lookup(p.ID())
+	if !ok || got != p {
+		t.Fatal("Lookup failed")
+	}
+	if len(k.Procs()) != 1 {
+		t.Errorf("Procs len = %d", len(k.Procs()))
+	}
+	if p.Owner() != "user:bob" || p.Name() != "p" {
+		t.Error("accessors wrong")
+	}
+	k.Exit(p)
+	if _, ok := k.Lookup(p.ID()); ok {
+		t.Error("Lookup finds exited process")
+	}
+}

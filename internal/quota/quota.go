@@ -1,0 +1,303 @@
+// Package quota implements per-principal resource allocation for the W5
+// platform.
+//
+// The paper (§3.5 "Performance and resource allocation") requires that
+// "processes must be limited to reasonable amounts of disk, network,
+// memory and CPU usage, lest rogue applications degrade the performance
+// of the W5 cluster", and that the database "prevent malicious queries
+// from locking the database for all other applications". This package
+// provides:
+//
+//   - Limits: a static budget over five resource dimensions;
+//   - Account: a concurrency-safe usage ledger charged by the kernel, the
+//     WVM (one CPU unit per executed instruction), the store (disk
+//     bytes), the gateway (network bytes), and the table store (query
+//     cost units);
+//   - Bucket: a token-bucket rate limiter used for message and request
+//     rates.
+//
+// Experiment E8 turns quotas off and on around a rogue application to
+// measure the isolation they buy.
+package quota
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Resource identifies one budgeted dimension.
+type Resource string
+
+// The five budgeted dimensions from §3.5.
+const (
+	CPU     Resource = "cpu"     // abstract instructions executed
+	Memory  Resource = "memory"  // peak working-set bytes
+	Disk    Resource = "disk"    // persistent bytes stored
+	Network Resource = "network" // bytes crossing the perimeter
+	Query   Resource = "query"   // table-store cost units (rows scanned)
+)
+
+// Resources lists every dimension in deterministic order.
+var Resources = []Resource{CPU, Memory, Disk, Network, Query}
+
+// Limits is a budget across all dimensions. A zero limit in any
+// dimension means "unlimited" in that dimension; Unlimited() is the
+// all-zero value.
+type Limits struct {
+	CPU     uint64
+	Memory  uint64
+	Disk    uint64
+	Network uint64
+	Query   uint64
+}
+
+// Unlimited returns a Limits with no bound in any dimension.
+func Unlimited() Limits { return Limits{} }
+
+// DefaultAppLimits is the provider's stock budget for an untrusted
+// application process: enough for real work, small enough that a rogue
+// cannot monopolize the cluster. Values are per process lifetime except
+// Memory, which is a high-water mark.
+func DefaultAppLimits() Limits {
+	return Limits{
+		CPU:     5_000_000, // instructions
+		Memory:  16 << 20,  // 16 MiB
+		Disk:    64 << 20,  // 64 MiB
+		Network: 8 << 20,   // 8 MiB
+		Query:   1_000_000, // rows scanned
+	}
+}
+
+// Get returns the limit in one dimension.
+func (l Limits) Get(r Resource) uint64 {
+	switch r {
+	case CPU:
+		return l.CPU
+	case Memory:
+		return l.Memory
+	case Disk:
+		return l.Disk
+	case Network:
+		return l.Network
+	case Query:
+		return l.Query
+	}
+	return 0
+}
+
+// ErrExceeded reports an exhausted budget. It deliberately carries the
+// principal and dimension but not the amounts: the error can surface to
+// untrusted code, and usage values could otherwise carry information
+// about other principals' activity.
+type ErrExceeded struct {
+	Principal string
+	Resource  Resource
+}
+
+func (e *ErrExceeded) Error() string {
+	return fmt.Sprintf("quota: %s exceeded for %s", e.Resource, e.Principal)
+}
+
+// Account is a usage ledger against a Limits budget. The zero value is
+// unusable; create accounts through a Manager or NewAccount.
+type Account struct {
+	principal string
+	mu        sync.Mutex
+	limits    Limits
+	used      map[Resource]uint64
+}
+
+// NewAccount returns a ledger for the given principal and budget.
+func NewAccount(principal string, limits Limits) *Account {
+	return &Account{
+		principal: principal,
+		limits:    limits,
+		used:      make(map[Resource]uint64, len(Resources)),
+	}
+}
+
+// Principal returns the account owner's name.
+func (a *Account) Principal() string { return a.principal }
+
+// Limits returns the account's budget.
+func (a *Account) Limits() Limits {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limits
+}
+
+// SetLimits replaces the budget; existing usage is retained, so lowering
+// a limit below current usage makes further charges fail immediately.
+func (a *Account) SetLimits(l Limits) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.limits = l
+}
+
+// Charge consumes n units of r, failing atomically (no partial charge)
+// if the budget would be exceeded. A zero limit admits any charge.
+func (a *Account) Charge(r Resource, n uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	limit := a.limits.Get(r)
+	if limit > 0 && a.used[r]+n > limit {
+		return &ErrExceeded{Principal: a.principal, Resource: r}
+	}
+	a.used[r] += n
+	return nil
+}
+
+// Refund returns n units of r to the budget (e.g. when a file is
+// deleted, its disk bytes come back). Refunding more than was used
+// clamps to zero.
+func (a *Account) Refund(r Resource, n uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n > a.used[r] {
+		n = a.used[r]
+	}
+	a.used[r] -= n
+}
+
+// Used reports current usage in one dimension.
+func (a *Account) Used(r Resource) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used[r]
+}
+
+// Remaining reports the headroom in one dimension; unlimited dimensions
+// report ^uint64(0).
+func (a *Account) Remaining(r Resource) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	limit := a.limits.Get(r)
+	if limit == 0 {
+		return ^uint64(0)
+	}
+	if a.used[r] >= limit {
+		return 0
+	}
+	return limit - a.used[r]
+}
+
+// Reset zeroes all usage (process restart).
+func (a *Account) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	clear(a.used)
+}
+
+// Manager tracks one Account per principal, creating them on demand with
+// a default budget. Safe for concurrent use.
+type Manager struct {
+	mu       sync.Mutex
+	defaults Limits
+	accounts map[string]*Account
+}
+
+// NewManager returns a Manager whose on-demand accounts get the given
+// default budget.
+func NewManager(defaults Limits) *Manager {
+	return &Manager{defaults: defaults, accounts: make(map[string]*Account)}
+}
+
+// Account returns the ledger for principal, creating it with the default
+// budget on first use.
+func (m *Manager) Account(principal string) *Account {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, ok := m.accounts[principal]
+	if !ok {
+		a = NewAccount(principal, m.defaults)
+		m.accounts[principal] = a
+	}
+	return a
+}
+
+// SetLimits overrides the budget for one principal (creating the account
+// if needed).
+func (m *Manager) SetLimits(principal string, l Limits) {
+	m.Account(principal).SetLimits(l)
+}
+
+// Principals returns the principals with accounts, in no particular order.
+func (m *Manager) Principals() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.accounts))
+	for p := range m.accounts {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Bucket is a token-bucket rate limiter: capacity tokens, refilled at
+// rate tokens/second. Used by the kernel to bound per-process message
+// rates and by the gateway to bound per-user request rates. Safe for
+// concurrent use. Time is injectable for deterministic tests.
+type Bucket struct {
+	mu       sync.Mutex
+	capacity float64
+	rate     float64 // tokens per second
+	tokens   float64
+	last     time.Time
+	now      func() time.Time
+}
+
+// NewBucket returns a full bucket with the given capacity and refill
+// rate per second. Capacity and rate must be positive.
+func NewBucket(capacity, rate float64) *Bucket {
+	if capacity <= 0 || rate <= 0 {
+		panic("quota: bucket capacity and rate must be positive")
+	}
+	b := &Bucket{capacity: capacity, rate: rate, tokens: capacity, now: time.Now}
+	b.last = b.now()
+	return b
+}
+
+// SetClock injects a time source for tests; nil restores time.Now.
+func (b *Bucket) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now == nil {
+		now = time.Now
+	}
+	b.now = now
+	b.last = now()
+}
+
+// Take attempts to remove n tokens; it reports false (consuming
+// nothing) if fewer than n are available.
+func (b *Bucket) Take(n float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}
+
+// Available reports the tokens currently in the bucket.
+func (b *Bucket) Available() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refill()
+	return b.tokens
+}
+
+func (b *Bucket) refill() {
+	now := b.now()
+	dt := now.Sub(b.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	b.last = now
+	b.tokens += dt * b.rate
+	if b.tokens > b.capacity {
+		b.tokens = b.capacity
+	}
+}

@@ -1,0 +1,236 @@
+package quota
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChargeWithinLimit(t *testing.T) {
+	a := NewAccount("app", Limits{CPU: 100})
+	if err := a.Charge(CPU, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Charge(CPU, 40); err != nil {
+		t.Fatal(err)
+	}
+	if a.Used(CPU) != 100 {
+		t.Errorf("Used = %d, want 100", a.Used(CPU))
+	}
+	if a.Remaining(CPU) != 0 {
+		t.Errorf("Remaining = %d, want 0", a.Remaining(CPU))
+	}
+}
+
+func TestChargeOverLimitAtomic(t *testing.T) {
+	a := NewAccount("app", Limits{Disk: 100})
+	if err := a.Charge(Disk, 90); err != nil {
+		t.Fatal(err)
+	}
+	err := a.Charge(Disk, 20)
+	var ex *ErrExceeded
+	if !errors.As(err, &ex) {
+		t.Fatalf("error = %v, want *ErrExceeded", err)
+	}
+	if ex.Resource != Disk || ex.Principal != "app" {
+		t.Errorf("ErrExceeded = %+v", ex)
+	}
+	// The failed charge must not have consumed anything.
+	if a.Used(Disk) != 90 {
+		t.Errorf("Used after failed charge = %d, want 90", a.Used(Disk))
+	}
+	// Exactly-at-limit succeeds.
+	if err := a.Charge(Disk, 10); err != nil {
+		t.Errorf("charge to exact limit failed: %v", err)
+	}
+}
+
+func TestZeroLimitIsUnlimited(t *testing.T) {
+	a := NewAccount("app", Unlimited())
+	if err := a.Charge(Network, 1<<40); err != nil {
+		t.Fatalf("unlimited charge failed: %v", err)
+	}
+	if a.Remaining(Network) != ^uint64(0) {
+		t.Error("Remaining for unlimited dimension should be max")
+	}
+}
+
+func TestRefund(t *testing.T) {
+	a := NewAccount("app", Limits{Disk: 100})
+	a.Charge(Disk, 80)
+	a.Refund(Disk, 30)
+	if a.Used(Disk) != 50 {
+		t.Errorf("Used = %d, want 50", a.Used(Disk))
+	}
+	a.Refund(Disk, 1000) // over-refund clamps
+	if a.Used(Disk) != 0 {
+		t.Errorf("Used after over-refund = %d, want 0", a.Used(Disk))
+	}
+}
+
+func TestResetAndSetLimits(t *testing.T) {
+	a := NewAccount("app", Limits{CPU: 10})
+	a.Charge(CPU, 10)
+	a.Reset()
+	if a.Used(CPU) != 0 {
+		t.Error("Reset did not clear usage")
+	}
+	a.Charge(CPU, 5)
+	a.SetLimits(Limits{CPU: 4}) // below current usage
+	if err := a.Charge(CPU, 1); err == nil {
+		t.Error("charge after lowering limit below usage succeeded")
+	}
+	if got := a.Limits(); got.CPU != 4 {
+		t.Errorf("Limits().CPU = %d, want 4", got.CPU)
+	}
+}
+
+func TestLimitsGetCoversAllResources(t *testing.T) {
+	l := Limits{CPU: 1, Memory: 2, Disk: 3, Network: 4, Query: 5}
+	want := map[Resource]uint64{CPU: 1, Memory: 2, Disk: 3, Network: 4, Query: 5}
+	for _, r := range Resources {
+		if l.Get(r) != want[r] {
+			t.Errorf("Get(%s) = %d, want %d", r, l.Get(r), want[r])
+		}
+	}
+	if l.Get(Resource("bogus")) != 0 {
+		t.Error("unknown resource should report 0")
+	}
+}
+
+func TestDefaultAppLimitsBounded(t *testing.T) {
+	l := DefaultAppLimits()
+	for _, r := range Resources {
+		if l.Get(r) == 0 {
+			t.Errorf("default app budget leaves %s unlimited", r)
+		}
+	}
+}
+
+func TestManagerCreatesOnDemand(t *testing.T) {
+	m := NewManager(Limits{CPU: 7})
+	a := m.Account("app1")
+	if a.Limits().CPU != 7 {
+		t.Error("default limits not applied")
+	}
+	if m.Account("app1") != a {
+		t.Error("Account not idempotent")
+	}
+	m.SetLimits("app2", Limits{CPU: 99})
+	if m.Account("app2").Limits().CPU != 99 {
+		t.Error("SetLimits did not take")
+	}
+	ps := m.Principals()
+	if len(ps) != 2 {
+		t.Errorf("Principals = %v, want 2 entries", ps)
+	}
+}
+
+func TestConcurrentChargesNeverOvershoot(t *testing.T) {
+	a := NewAccount("app", Limits{CPU: 10_000})
+	var wg sync.WaitGroup
+	var granted sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 5000; i++ {
+				if a.Charge(CPU, 1) == nil {
+					n++
+				}
+			}
+			granted.Store(g, n)
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	granted.Range(func(_, v any) bool { total += v.(int); return true })
+	if total != 10_000 {
+		t.Errorf("granted %d charges, want exactly 10000", total)
+	}
+	if a.Used(CPU) != 10_000 {
+		t.Errorf("Used = %d, want 10000", a.Used(CPU))
+	}
+}
+
+func TestBucketBasics(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBucket(10, 5) // cap 10, 5 tokens/s
+	b.SetClock(func() time.Time { return now })
+
+	if !b.Take(10) {
+		t.Fatal("full bucket refused capacity take")
+	}
+	if b.Take(1) {
+		t.Fatal("empty bucket granted take")
+	}
+	now = now.Add(time.Second) // +5 tokens
+	if !b.Take(5) {
+		t.Fatal("refill not applied")
+	}
+	if b.Take(0.5) {
+		t.Fatal("bucket granted more than refilled")
+	}
+}
+
+func TestBucketCapsAtCapacity(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBucket(4, 100)
+	b.SetClock(func() time.Time { return now })
+	b.Take(4)
+	now = now.Add(time.Hour)
+	if got := b.Available(); got != 4 {
+		t.Errorf("Available = %v, want capped 4", got)
+	}
+}
+
+func TestBucketRejectsBadParams(t *testing.T) {
+	for _, tc := range []struct{ c, r float64 }{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBucket(%v,%v) did not panic", tc.c, tc.r)
+				}
+			}()
+			NewBucket(tc.c, tc.r)
+		}()
+	}
+}
+
+func TestBucketConcurrentTakes(t *testing.T) {
+	b := NewBucket(1000, 0.001) // effectively no refill during the test
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 1000; i++ {
+				if b.Take(1) {
+					n++
+				}
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if total > 1000 {
+		t.Errorf("granted %d takes from 1000-token bucket", total)
+	}
+	if total < 1000 {
+		t.Errorf("granted only %d takes, want 1000 (refill negligible)", total)
+	}
+}
+
+func TestErrExceededMessage(t *testing.T) {
+	e := &ErrExceeded{Principal: "app:x", Resource: CPU}
+	if e.Error() == "" {
+		t.Error("empty error")
+	}
+}

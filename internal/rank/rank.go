@@ -1,0 +1,267 @@
+// Package rank implements CodeRank, the W5 "code search" described in
+// §3.2: a PageRank-style computation over the module dependency graph.
+//
+// Where PageRank uses the hyperlink graph to infer a page's suitability,
+// CodeRank uses two kinds of dependency edges among modules — library
+// imports, and HTML-embed references observed by the gateway — to infer
+// which modules (and hence developers) are widely trusted. "Applications
+// written by top-ranked developers would receive top placement in
+// searches by users for new features."
+//
+// The implementation is the standard damped power iteration with
+// dangling-node redistribution; import edges weigh more than embed
+// edges (linking a library into your trusted computing base is a
+// stronger vote than referencing a URL). Editor endorsements (§3.2) can
+// be folded in as a personalization vector.
+package rank
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"w5/internal/registry"
+)
+
+// Weights for the two §3.2 edge kinds.
+const (
+	ImportWeight = 1.0
+	EmbedWeight  = 0.5
+)
+
+// Options tunes the computation.
+type Options struct {
+	// Damping is the probability of following an edge rather than
+	// teleporting (default 0.85, as in the PageRank paper).
+	Damping float64
+	// MaxIters bounds the power iteration (default 250, enough for the
+	// default Epsilon at the default Damping: 0.85^250 ≈ 2e-18).
+	MaxIters int
+	// Epsilon is the L1 convergence threshold (default 1e-9).
+	Epsilon float64
+	// Personalization, if non-nil, biases teleportation toward the
+	// given nodes (e.g. editor-endorsed modules). Values need not be
+	// normalized; missing nodes get zero teleport mass.
+	Personalization map[string]float64
+}
+
+func (o *Options) defaults() {
+	if o.Damping <= 0 || o.Damping >= 1 {
+		o.Damping = 0.85
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 250
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-9
+	}
+}
+
+// Result is the outcome of a CodeRank computation.
+type Result struct {
+	// Scores maps module name to rank; scores sum to 1.
+	Scores map[string]float64
+	// Iterations is how many power-iteration steps ran before
+	// convergence (or MaxIters).
+	Iterations int
+	// Converged reports whether Epsilon was reached within MaxIters.
+	Converged bool
+}
+
+// Compute runs CodeRank over the given nodes and edges. Nodes with no
+// outgoing edges (dangling modules) distribute their mass uniformly,
+// per the standard construction. Unknown edge endpoints are ignored.
+func Compute(nodes []string, edges []registry.Edge, opts Options) Result {
+	opts.defaults()
+	n := len(nodes)
+	if n == 0 {
+		return Result{Scores: map[string]float64{}, Converged: true}
+	}
+	idx := make(map[string]int, n)
+	for i, name := range nodes {
+		idx[name] = i
+	}
+
+	// Build the weighted adjacency: out[i] = list of (target, weight).
+	type arc struct {
+		to int
+		w  float64
+	}
+	out := make([][]arc, n)
+	outSum := make([]float64, n)
+	for _, e := range edges {
+		i, ok1 := idx[e.From]
+		j, ok2 := idx[e.To]
+		if !ok1 || !ok2 || i == j {
+			continue // self-votes don't count
+		}
+		w := ImportWeight
+		if e.Kind == "embed" {
+			w = EmbedWeight
+		}
+		out[i] = append(out[i], arc{to: j, w: w})
+		outSum[i] += w
+	}
+
+	// Teleport vector.
+	tele := make([]float64, n)
+	if opts.Personalization == nil {
+		for i := range tele {
+			tele[i] = 1.0 / float64(n)
+		}
+	} else {
+		var total float64
+		for name, v := range opts.Personalization {
+			if i, ok := idx[name]; ok && v > 0 {
+				tele[i] = v
+				total += v
+			}
+		}
+		if total == 0 {
+			for i := range tele {
+				tele[i] = 1.0 / float64(n)
+			}
+		} else {
+			for i := range tele {
+				tele[i] /= total
+			}
+		}
+	}
+
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1.0 / float64(n)
+	}
+
+	d := opts.Damping
+	iters := 0
+	converged := false
+	for ; iters < opts.MaxIters; iters++ {
+		// Dangling mass redistributes via the teleport vector.
+		var dangling float64
+		for i := 0; i < n; i++ {
+			if outSum[i] == 0 {
+				dangling += rank[i]
+			}
+		}
+		for i := 0; i < n; i++ {
+			next[i] = (1-d)*tele[i] + d*dangling*tele[i]
+		}
+		for i := 0; i < n; i++ {
+			if outSum[i] == 0 {
+				continue
+			}
+			share := d * rank[i] / outSum[i]
+			for _, a := range out[i] {
+				next[a.to] += share * a.w
+			}
+		}
+		var delta float64
+		for i := 0; i < n; i++ {
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+		if delta < opts.Epsilon {
+			iters++
+			converged = true
+			break
+		}
+	}
+
+	scores := make(map[string]float64, n)
+	for i, name := range nodes {
+		scores[name] = rank[i]
+	}
+	return Result{Scores: scores, Iterations: iters, Converged: converged}
+}
+
+// Ranked is a module with its score, for sorted presentation.
+type Ranked struct {
+	Module string
+	Score  float64
+}
+
+// Order sorts modules by descending score (ties broken by name for
+// determinism).
+func Order(scores map[string]float64) []Ranked {
+	out := make([]Ranked, 0, len(scores))
+	for m, s := range scores {
+		out = append(out, Ranked{Module: m, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Module < out[j].Module
+	})
+	return out
+}
+
+// SearchRanked performs the full §3.2 "code search": filter the
+// registry by query, rank all modules by CodeRank (with endorsement
+// personalization), and return matches ordered by rank.
+func SearchRanked(reg *registry.Registry, query string, opts Options) []Ranked {
+	matches := reg.Search(query)
+	if len(matches) == 0 {
+		return nil
+	}
+	nodes := reg.Modules()
+	if opts.Personalization == nil {
+		// Endorsed modules teleport more: editors seed trust.
+		pers := make(map[string]float64)
+		any := false
+		for _, m := range nodes {
+			if n := len(reg.Endorsements(m)); n > 0 {
+				pers[m] = float64(n)
+				any = true
+			}
+		}
+		if any {
+			// Mix: uniform base + endorsement boost, so unendorsed
+			// modules keep nonzero teleport mass.
+			for _, m := range nodes {
+				pers[m] = pers[m] + 1
+			}
+			opts.Personalization = pers
+		}
+	}
+	res := Compute(nodes, reg.DependencyGraph(), opts)
+	matchSet := make(map[string]bool, len(matches))
+	for _, v := range matches {
+		matchSet[v.Module] = true
+	}
+	var out []Ranked
+	for _, r := range Order(res.Scores) {
+		if matchSet[r.Module] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// DeveloperRank aggregates module scores by developer: "which
+// developers are widely trusted" (§3.2). Returns descending order.
+func DeveloperRank(reg *registry.Registry, opts Options) []Ranked {
+	nodes := reg.Modules()
+	res := Compute(nodes, reg.DependencyGraph(), opts)
+	byDev := make(map[string]float64)
+	for _, m := range nodes {
+		v, err := reg.Get(m, "")
+		if err != nil {
+			continue
+		}
+		byDev[v.Developer] += res.Scores[m]
+	}
+	out := make([]Ranked, 0, len(byDev))
+	for dev, s := range byDev {
+		out = append(out, Ranked{Module: dev, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return strings.Compare(out[i].Module, out[j].Module) < 0
+	})
+	return out
+}

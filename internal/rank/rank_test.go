@@ -1,0 +1,253 @@
+package rank
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"w5/internal/registry"
+	"w5/internal/wvm"
+)
+
+func edge(from, to, kind string) registry.Edge {
+	return registry.Edge{From: from, To: to, Kind: kind}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res := Compute(nil, nil, Options{})
+	if len(res.Scores) != 0 || !res.Converged {
+		t.Errorf("empty graph: %+v", res)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	res := Compute([]string{"a"}, nil, Options{})
+	if math.Abs(res.Scores["a"]-1.0) > 1e-9 {
+		t.Errorf("single node score = %v", res.Scores["a"])
+	}
+}
+
+func TestScoresSumToOne(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	edges := []registry.Edge{
+		edge("a", "b", "import"), edge("b", "c", "import"),
+		edge("c", "a", "embed"), edge("d", "a", "import"),
+	}
+	res := Compute(nodes, edges, Options{})
+	var sum float64
+	for _, s := range res.Scores {
+		sum += s
+	}
+	if math.Abs(sum-1.0) > 1e-6 {
+		t.Errorf("scores sum to %v, want 1", sum)
+	}
+	if !res.Converged {
+		t.Error("small graph did not converge")
+	}
+}
+
+func TestUniformCycleIsUniform(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	edges := []registry.Edge{
+		edge("a", "b", "import"), edge("b", "c", "import"), edge("c", "a", "import"),
+	}
+	res := Compute(nodes, edges, Options{})
+	for _, n := range nodes {
+		if math.Abs(res.Scores[n]-1.0/3) > 1e-6 {
+			t.Errorf("score[%s] = %v, want 1/3", n, res.Scores[n])
+		}
+	}
+}
+
+func TestPopularModuleRanksHigher(t *testing.T) {
+	// Every app imports "stdlib"; one app also imports "niche".
+	nodes := []string{"stdlib", "niche", "app1", "app2", "app3"}
+	edges := []registry.Edge{
+		edge("app1", "stdlib", "import"),
+		edge("app2", "stdlib", "import"),
+		edge("app3", "stdlib", "import"),
+		edge("app1", "niche", "import"),
+	}
+	res := Compute(nodes, edges, Options{})
+	if res.Scores["stdlib"] <= res.Scores["niche"] {
+		t.Errorf("stdlib %v <= niche %v", res.Scores["stdlib"], res.Scores["niche"])
+	}
+	if res.Scores["niche"] <= res.Scores["app1"] {
+		t.Errorf("imported module should outrank leaf app")
+	}
+}
+
+func TestImportOutweighsEmbed(t *testing.T) {
+	// Same in-degree, different edge kinds.
+	nodes := []string{"viaImport", "viaEmbed", "src1", "src2"}
+	edges := []registry.Edge{
+		edge("src1", "viaImport", "import"),
+		edge("src1", "viaEmbed", "embed"),
+		edge("src2", "viaImport", "import"),
+		edge("src2", "viaEmbed", "embed"),
+	}
+	res := Compute(nodes, edges, Options{})
+	if res.Scores["viaImport"] <= res.Scores["viaEmbed"] {
+		t.Errorf("import %v <= embed %v", res.Scores["viaImport"], res.Scores["viaEmbed"])
+	}
+}
+
+func TestSelfEdgesIgnored(t *testing.T) {
+	nodes := []string{"a", "b"}
+	edges := []registry.Edge{
+		edge("a", "a", "import"), // self-vote must not inflate a
+		edge("b", "a", "import"),
+	}
+	res := Compute(nodes, edges, Options{})
+	resNoSelf := Compute(nodes, []registry.Edge{edge("b", "a", "import")}, Options{})
+	if math.Abs(res.Scores["a"]-resNoSelf.Scores["a"]) > 1e-9 {
+		t.Error("self-edge changed scores")
+	}
+}
+
+func TestDanglingNodesHandled(t *testing.T) {
+	// "sink" has no outgoing edges; mass must not leak.
+	nodes := []string{"a", "sink"}
+	edges := []registry.Edge{edge("a", "sink", "import")}
+	res := Compute(nodes, edges, Options{})
+	var sum float64
+	for _, s := range res.Scores {
+		sum += s
+	}
+	if math.Abs(sum-1.0) > 1e-6 {
+		t.Errorf("mass leaked: sum = %v", sum)
+	}
+	if res.Scores["sink"] <= res.Scores["a"] {
+		t.Error("sink should accumulate rank")
+	}
+}
+
+func TestPersonalizationBiases(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	edges := []registry.Edge{} // no edges: rank = teleport vector
+	res := Compute(nodes, edges, Options{
+		Personalization: map[string]float64{"b": 3, "a": 1},
+	})
+	if !(res.Scores["b"] > res.Scores["a"] && res.Scores["a"] > res.Scores["c"]) {
+		t.Errorf("personalization ignored: %+v", res.Scores)
+	}
+	if res.Scores["c"] != 0 {
+		t.Errorf("non-personalized node got teleport mass: %v", res.Scores["c"])
+	}
+}
+
+func TestPersonalizationUnknownNodesFallsBack(t *testing.T) {
+	nodes := []string{"a", "b"}
+	res := Compute(nodes, nil, Options{Personalization: map[string]float64{"ghost": 1}})
+	if math.Abs(res.Scores["a"]-0.5) > 1e-6 {
+		t.Errorf("fallback to uniform failed: %+v", res.Scores)
+	}
+}
+
+func TestConvergenceOnRandomGraphs(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 50 + r.Intn(100)
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260))
+		}
+		var edges []registry.Edge
+		for i := 0; i < n*3; i++ {
+			kinds := []string{"import", "embed"}
+			edges = append(edges, edge(nodes[r.Intn(n)], nodes[r.Intn(n)], kinds[r.Intn(2)]))
+		}
+		res := Compute(nodes, edges, Options{})
+		if !res.Converged {
+			t.Fatalf("trial %d: not converged in %d iters", trial, res.Iterations)
+		}
+		var sum float64
+		for _, s := range res.Scores {
+			sum += s
+		}
+		if math.Abs(sum-1.0) > 1e-6 {
+			t.Fatalf("trial %d: sum = %v", trial, sum)
+		}
+		for name, s := range res.Scores {
+			if s < 0 {
+				t.Fatalf("trial %d: negative score for %s", trial, name)
+			}
+		}
+	}
+}
+
+func TestOrderDeterministic(t *testing.T) {
+	scores := map[string]float64{"b": 0.5, "a": 0.5, "c": 0.9}
+	got := Order(scores)
+	if got[0].Module != "c" || got[1].Module != "a" || got[2].Module != "b" {
+		t.Errorf("Order = %+v", got)
+	}
+}
+
+func testRegistry(t *testing.T) *registry.Registry {
+	t.Helper()
+	reg := registry.New(nil)
+	prog, err := wvm.Assemble("push 1\nhalt", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(mod, dev, summary string, deps ...string) {
+		_, err := reg.Put(registry.Upload{
+			Module: mod, Version: "1.0", Developer: dev, Kind: registry.KindApp,
+			Program: prog, Summary: summary, Deps: deps,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("imglib", "devA", "image processing library")
+	put("photocrop", "devA", "photo cropping", "imglib")
+	put("photoshare", "devB", "photo sharing", "imglib", "photocrop")
+	put("blogger", "devC", "blog engine")
+	return reg
+}
+
+func TestSearchRanked(t *testing.T) {
+	reg := testRegistry(t)
+	got := SearchRanked(reg, "photo", Options{})
+	if len(got) != 2 {
+		t.Fatalf("SearchRanked = %+v", got)
+	}
+	// photocrop is imported by photoshare, so it outranks it.
+	if got[0].Module != "photocrop" {
+		t.Errorf("top result = %s, want photocrop", got[0].Module)
+	}
+	if SearchRanked(reg, "zebra", Options{}) != nil {
+		t.Error("no-match query returned results")
+	}
+}
+
+func TestSearchRankedWithEndorsements(t *testing.T) {
+	reg := testRegistry(t)
+	// Heavily endorse blogger; with personalization mixed in, its rank
+	// must rise above an un-endorsed leaf.
+	for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"} {
+		reg.Endorse(e, "blogger")
+	}
+	all := SearchRanked(reg, "", Options{})
+	pos := map[string]int{}
+	for i, r := range all {
+		pos[r.Module] = i
+	}
+	if pos["blogger"] >= pos["photoshare"] {
+		t.Errorf("endorsed blogger (%d) did not outrank leaf photoshare (%d)",
+			pos["blogger"], pos["photoshare"])
+	}
+}
+
+func TestDeveloperRank(t *testing.T) {
+	reg := testRegistry(t)
+	devs := DeveloperRank(reg, Options{})
+	if len(devs) != 3 {
+		t.Fatalf("DeveloperRank = %+v", devs)
+	}
+	// devA owns imglib (imported by two) and photocrop: most trusted.
+	if devs[0].Module != "devA" {
+		t.Errorf("top developer = %s, want devA", devs[0].Module)
+	}
+}

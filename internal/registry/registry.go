@@ -1,0 +1,374 @@
+// Package registry implements the W5 module registry: the catalogue of
+// developer-contributed software that users choose from.
+//
+// The paper's developer story (§2) requires:
+//
+//   - Uploads of closed-source modules, "executable but not readable":
+//     stored as bytecode with no listing; identified by hash.
+//   - Open-source modules, where "the platform itself can guarantee
+//     that the code with which a user is interacting is exactly the
+//     code that the user has audited": the registry recompiles the
+//     submitted listing and refuses the upload unless it reproduces the
+//     submitted bytecode bit-for-bit.
+//   - Forking: "any developer — not just the application owner — can
+//     customize an existing application by simply 'forking' the
+//     existing code" (open-source modules only).
+//   - Version pinning: users can run "version X.Y of that Web
+//     application, not the latest version".
+//   - The §3.2 trust signals: editor endorsements, and the dependency
+//     edges (library imports and HTML-embed references) that feed the
+//     CodeRank computation in package rank.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"w5/internal/audit"
+	"w5/internal/wvm"
+)
+
+// Kind classifies what a module is for.
+type Kind string
+
+// Module kinds.
+const (
+	KindApp          Kind = "app"
+	KindLibrary      Kind = "library"
+	KindDeclassifier Kind = "declassifier"
+)
+
+// Errors.
+var (
+	ErrNotFound      = errors.New("registry: no such module or version")
+	ErrExists        = errors.New("registry: version already exists")
+	ErrClosedSource  = errors.New("registry: module is closed-source")
+	ErrSourceMismatch = errors.New("registry: source does not reproduce bytecode")
+	ErrBadModule     = errors.New("registry: invalid module")
+)
+
+// Version is one immutable uploaded revision of a module.
+type Version struct {
+	Module     string
+	Version    string
+	Developer  string
+	Kind       Kind
+	Hash       string // SHA-256 of the serialized program
+	Blob       []byte // serialized wvm.Program
+	Source     string            // assembly listing; empty for closed-source
+	SysNames   map[string]uint16 // syscall name table the source uses
+	OpenSource bool
+	Deps       []string // module names this version imports
+	Summary    string   // one-line description for search
+	ForkOf     string   // "module@version" this was forked from, if any
+	Uploaded   time.Time
+}
+
+// Program deserializes the version's bytecode.
+func (v *Version) Program() (*wvm.Program, error) {
+	return wvm.Unmarshal(v.Blob)
+}
+
+// module groups the versions of one name.
+type module struct {
+	versions map[string]*Version
+	order    []string // upload order; last is "latest"
+}
+
+// Registry is the module catalogue. Safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	modules map[string]*module
+	embeds  map[string]map[string]bool // from module -> to modules (HTML embed edges)
+	endorse map[string]map[string]bool // module -> editors who endorsed it
+	log     *audit.Log
+	clock   func() time.Time
+}
+
+// New returns an empty registry; log may be nil.
+func New(log *audit.Log) *Registry {
+	return &Registry{
+		modules: make(map[string]*module),
+		embeds:  make(map[string]map[string]bool),
+		endorse: make(map[string]map[string]bool),
+		log:     log,
+		clock:   time.Now,
+	}
+}
+
+// SetClock injects a time source for deterministic tests.
+func (r *Registry) SetClock(clock func() time.Time) { r.clock = clock }
+
+// Upload describes a module submission.
+type Upload struct {
+	Module    string
+	Version   string
+	Developer string
+	Kind      Kind
+	// Program is the compiled module.
+	Program *wvm.Program
+	// Source, if non-empty, publishes the module as open-source. The
+	// registry verifies that assembling Source reproduces Program
+	// exactly; submission fails otherwise.
+	Source string
+	// SysNames is the syscall name table the source was written
+	// against (e.g. core.AppSyscallNames); needed to reproduce sources
+	// that invoke syscalls by name.
+	SysNames map[string]uint16
+	Deps     []string
+	Summary  string
+	forkOf   string
+}
+
+// Put registers a new module version.
+func (r *Registry) Put(u Upload) (*Version, error) {
+	if u.Module == "" || u.Version == "" || u.Developer == "" || u.Program == nil {
+		return nil, ErrBadModule
+	}
+	if strings.ContainsAny(u.Module, "@/ \t") || strings.ContainsAny(u.Version, "@/ \t") {
+		return nil, fmt.Errorf("%w: names may not contain '@', '/', or spaces", ErrBadModule)
+	}
+	if err := u.Program.Verify(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModule, err)
+	}
+	open := u.Source != ""
+	if open {
+		rebuilt, err := wvm.Assemble(u.Source, u.SysNames)
+		if err != nil {
+			return nil, fmt.Errorf("%w: source does not assemble: %v", ErrSourceMismatch, err)
+		}
+		if rebuilt.Hash() != u.Program.Hash() {
+			return nil, ErrSourceMismatch
+		}
+	}
+	v := &Version{
+		Module:     u.Module,
+		Version:    u.Version,
+		Developer:  u.Developer,
+		Kind:       u.Kind,
+		Hash:       u.Program.Hash(),
+		Blob:       u.Program.Marshal(),
+		Source:     u.Source,
+		SysNames:   u.SysNames,
+		OpenSource: open,
+		Deps:       append([]string(nil), u.Deps...),
+		Summary:    u.Summary,
+		ForkOf:     u.forkOf,
+		Uploaded:   r.clock(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.modules[u.Module]
+	if !ok {
+		m = &module{versions: make(map[string]*Version)}
+		r.modules[u.Module] = m
+	}
+	if _, dup := m.versions[u.Version]; dup {
+		return nil, ErrExists
+	}
+	m.versions[u.Version] = v
+	m.order = append(m.order, u.Version)
+	if r.log != nil {
+		r.log.Appendf(audit.KindUpload, u.Developer, u.Module+"@"+u.Version,
+			"kind=%s open=%v hash=%s", u.Kind, open, v.Hash[:12])
+	}
+	return v, nil
+}
+
+// Get fetches a specific version, or the latest when version is "".
+// This is how users pin "version X.Y, not the latest" (§2).
+func (r *Registry) Get(name, version string) (*Version, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.modules[name]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if version == "" {
+		version = m.order[len(m.order)-1]
+	}
+	v, ok := m.versions[version]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return v, nil
+}
+
+// GetByHash finds a version by its program hash — used by the platform
+// to guarantee a user runs exactly the audited code.
+func (r *Registry) GetByHash(hash string) (*Version, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, m := range r.modules {
+		for _, v := range m.versions {
+			if v.Hash == hash {
+				return v, nil
+			}
+		}
+	}
+	return nil, ErrNotFound
+}
+
+// Fork copies the latest (or given) version of an open-source module
+// into a new module owned by dev. The fork records its ancestry so
+// users can see provenance, and the forker instantly has "a pool of
+// users" in the sense that existing users need only switch names.
+func (r *Registry) Fork(dev, srcModule, srcVersion, newModule, newVersion string) (*Version, error) {
+	src, err := r.Get(srcModule, srcVersion)
+	if err != nil {
+		return nil, err
+	}
+	if !src.OpenSource {
+		return nil, ErrClosedSource
+	}
+	prog, err := src.Program()
+	if err != nil {
+		return nil, err
+	}
+	return r.Put(Upload{
+		Module:    newModule,
+		Version:   newVersion,
+		Developer: dev,
+		Kind:      src.Kind,
+		Program:   prog,
+		Source:    src.Source,
+		SysNames:  src.SysNames,
+		Deps:      src.Deps,
+		Summary:   src.Summary + " (fork of " + src.Module + ")",
+		forkOf:    src.Module + "@" + src.Version,
+	})
+}
+
+// Modules lists all module names, sorted.
+func (r *Registry) Modules() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.modules))
+	for n := range r.modules {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Versions lists a module's versions in upload order.
+func (r *Registry) Versions(name string) ([]string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.modules[name]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]string(nil), m.order...), nil
+}
+
+// RecordEmbed records that module from emits HTML that references
+// module to — the first dependency kind of §3.2. The gateway calls this
+// as it serves pages.
+func (r *Registry) RecordEmbed(from, to string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.embeds[from] == nil {
+		r.embeds[from] = make(map[string]bool)
+	}
+	r.embeds[from][to] = true
+}
+
+// Endorse records an editor's endorsement (§3.2 "W5 editors, who
+// collect, audit and vet software collections").
+func (r *Registry) Endorse(editor, moduleName string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.modules[moduleName]; !ok {
+		return ErrNotFound
+	}
+	if r.endorse[moduleName] == nil {
+		r.endorse[moduleName] = make(map[string]bool)
+	}
+	r.endorse[moduleName][editor] = true
+	return nil
+}
+
+// Endorsements returns the editors who endorsed a module, sorted.
+func (r *Registry) Endorsements(moduleName string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.endorse[moduleName]))
+	for e := range r.endorse[moduleName] {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edge is one dependency edge for CodeRank. Import edges come from the
+// latest version's Deps; embed edges from RecordEmbed observations.
+type Edge struct {
+	From, To string
+	Kind     string // "import" or "embed"
+}
+
+// DependencyGraph exports every edge among registered modules. Edges
+// referencing unregistered modules are dropped.
+func (r *Registry) DependencyGraph() []Edge {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var edges []Edge
+	names := make([]string, 0, len(r.modules))
+	for n := range r.modules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, from := range names {
+		m := r.modules[from]
+		latest := m.versions[m.order[len(m.order)-1]]
+		deps := append([]string(nil), latest.Deps...)
+		sort.Strings(deps)
+		for _, to := range deps {
+			if _, ok := r.modules[to]; ok {
+				edges = append(edges, Edge{From: from, To: to, Kind: "import"})
+			}
+		}
+	}
+	for _, from := range names {
+		tos := make([]string, 0, len(r.embeds[from]))
+		for to := range r.embeds[from] {
+			if _, ok := r.modules[to]; ok {
+				tos = append(tos, to)
+			}
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			edges = append(edges, Edge{From: from, To: to, Kind: "embed"})
+		}
+	}
+	return edges
+}
+
+// Search returns the modules whose name or summary contains the query
+// (case-insensitive), sorted by name; package rank re-orders results by
+// CodeRank. An empty query matches everything.
+func (r *Registry) Search(query string) []*Version {
+	q := strings.ToLower(query)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Version
+	names := make([]string, 0, len(r.modules))
+	for n := range r.modules {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m := r.modules[n]
+		latest := m.versions[m.order[len(m.order)-1]]
+		if q == "" || strings.Contains(strings.ToLower(n), q) ||
+			strings.Contains(strings.ToLower(latest.Summary), q) {
+			out = append(out, latest)
+		}
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"w5/internal/audit"
+	"w5/internal/wvm"
+)
+
+const tinySource = "push 1\nhalt\n"
+
+func tinyProgram(t *testing.T) *wvm.Program {
+	t.Helper()
+	p, err := wvm.Assemble(tinySource, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func upload(t *testing.T, r *Registry, module, version, dev string, open bool) *Version {
+	t.Helper()
+	u := Upload{
+		Module: module, Version: version, Developer: dev,
+		Kind: KindApp, Program: tinyProgram(t), Summary: module + " summary",
+	}
+	if open {
+		u.Source = tinySource
+	}
+	v, err := r.Put(u)
+	if err != nil {
+		t.Fatalf("Put(%s@%s): %v", module, version, err)
+	}
+	return v
+}
+
+func TestPutAndGet(t *testing.T) {
+	log := audit.New()
+	r := New(log)
+	v := upload(t, r, "photoshare", "1.0", "devA", true)
+	if v.Hash == "" || !v.OpenSource {
+		t.Fatalf("version = %+v", v)
+	}
+	got, err := r.Get("photoshare", "1.0")
+	if err != nil || got.Hash != v.Hash {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, err := r.Get("photoshare", "9.9"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing version: %v", err)
+	}
+	if _, err := r.Get("nope", ""); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing module: %v", err)
+	}
+	if log.CountKind(audit.KindUpload) != 1 {
+		t.Error("upload not audited")
+	}
+	// Program round-trips.
+	prog, err := got.Program()
+	if err != nil || prog.Hash() != v.Hash {
+		t.Errorf("Program(): %v", err)
+	}
+}
+
+func TestLatestVersionSelection(t *testing.T) {
+	r := New(nil)
+	upload(t, r, "m", "1.0", "dev", false)
+	upload(t, r, "m", "2.0", "dev", false)
+	upload(t, r, "m", "1.5", "dev", false) // upload order defines "latest"
+	got, err := r.Get("m", "")
+	if err != nil || got.Version != "1.5" {
+		t.Fatalf("latest = %v, %v; want 1.5 (last uploaded)", got.Version, err)
+	}
+	vs, err := r.Versions("m")
+	if err != nil || len(vs) != 3 || vs[0] != "1.0" || vs[2] != "1.5" {
+		t.Errorf("Versions = %v, %v", vs, err)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	r := New(nil)
+	prog := tinyProgram(t)
+	cases := []struct {
+		name string
+		u    Upload
+	}{
+		{"no module", Upload{Version: "1", Developer: "d", Program: prog}},
+		{"no version", Upload{Module: "m", Developer: "d", Program: prog}},
+		{"no developer", Upload{Module: "m", Version: "1", Program: prog}},
+		{"no program", Upload{Module: "m", Version: "1", Developer: "d"}},
+		{"at in name", Upload{Module: "m@x", Version: "1", Developer: "d", Program: prog}},
+		{"slash in version", Upload{Module: "m", Version: "1/2", Developer: "d", Program: prog}},
+	}
+	for _, tt := range cases {
+		if _, err := r.Put(tt.u); err == nil {
+			t.Errorf("%s: accepted", tt.name)
+		}
+	}
+	upload(t, r, "m", "1", "d", false)
+	if _, err := r.Put(Upload{Module: "m", Version: "1", Developer: "d", Program: prog}); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate: %v", err)
+	}
+}
+
+func TestOpenSourceMustReproduceBytecode(t *testing.T) {
+	// The §2 audit guarantee: a listing that does not compile to the
+	// submitted bytecode is rejected.
+	r := New(nil)
+	prog := tinyProgram(t)
+	_, err := r.Put(Upload{
+		Module: "m", Version: "1", Developer: "d", Program: prog,
+		Source: "push 2\nhalt\n", // different program!
+	})
+	if !errors.Is(err, ErrSourceMismatch) {
+		t.Fatalf("mismatched source accepted: %v", err)
+	}
+	_, err = r.Put(Upload{
+		Module: "m", Version: "1", Developer: "d", Program: prog,
+		Source: "this is not assembly",
+	})
+	if !errors.Is(err, ErrSourceMismatch) {
+		t.Fatalf("unassemblable source: %v", err)
+	}
+}
+
+func TestClosedSourceHasNoListing(t *testing.T) {
+	r := New(nil)
+	v := upload(t, r, "secretapp", "1.0", "devB", false)
+	if v.OpenSource || v.Source != "" {
+		t.Error("closed-source module leaked a listing")
+	}
+	// But it is executable.
+	if _, err := v.Program(); err != nil {
+		t.Errorf("closed-source module not executable: %v", err)
+	}
+}
+
+func TestFork(t *testing.T) {
+	r := New(nil)
+	upload(t, r, "cropper", "1.0", "devA", true)
+	fork, err := r.Fork("devB", "cropper", "", "bettercropper", "1.0")
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if fork.Developer != "devB" || fork.ForkOf != "cropper@1.0" {
+		t.Errorf("fork = %+v", fork)
+	}
+	orig, _ := r.Get("cropper", "1.0")
+	if fork.Hash != orig.Hash {
+		t.Error("fork changed the program")
+	}
+	// Closed-source cannot be forked.
+	upload(t, r, "closed", "1.0", "devC", false)
+	if _, err := r.Fork("devB", "closed", "", "x", "1"); !errors.Is(err, ErrClosedSource) {
+		t.Errorf("closed fork: %v", err)
+	}
+	if _, err := r.Fork("devB", "ghost", "", "x", "1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing fork: %v", err)
+	}
+}
+
+func TestGetByHash(t *testing.T) {
+	r := New(nil)
+	v := upload(t, r, "m", "1", "d", false)
+	got, err := r.GetByHash(v.Hash)
+	if err != nil || got.Module != "m" {
+		t.Fatalf("GetByHash: %v", err)
+	}
+	if _, err := r.GetByHash("feedface"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("bogus hash: %v", err)
+	}
+}
+
+func TestEndorsements(t *testing.T) {
+	r := New(nil)
+	upload(t, r, "m", "1", "d", false)
+	if err := r.Endorse("editor:linuxmag", "m"); err != nil {
+		t.Fatal(err)
+	}
+	r.Endorse("editor:linuxmag", "m") // idempotent
+	r.Endorse("editor:acm", "m")
+	got := r.Endorsements("m")
+	if len(got) != 2 || got[0] != "editor:acm" {
+		t.Errorf("Endorsements = %v", got)
+	}
+	if err := r.Endorse("e", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("endorse missing module: %v", err)
+	}
+}
+
+func TestDependencyGraph(t *testing.T) {
+	r := New(nil)
+	prog := tinyProgram(t)
+	r.Put(Upload{Module: "lib", Version: "1", Developer: "d", Program: prog})
+	r.Put(Upload{Module: "app1", Version: "1", Developer: "d", Program: prog,
+		Deps: []string{"lib", "unregistered"}})
+	r.Put(Upload{Module: "app2", Version: "1", Developer: "d", Program: prog,
+		Deps: []string{"lib"}})
+	r.RecordEmbed("app1", "app2")
+	r.RecordEmbed("app1", "ghost") // dropped
+
+	edges := r.DependencyGraph()
+	want := map[string]bool{
+		"app1->lib:import":  true,
+		"app2->lib:import":  true,
+		"app1->app2:embed":  true,
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %+v", edges)
+	}
+	for _, e := range edges {
+		key := e.From + "->" + e.To + ":" + e.Kind
+		if !want[key] {
+			t.Errorf("unexpected edge %s", key)
+		}
+	}
+}
+
+func TestSearch(t *testing.T) {
+	r := New(nil)
+	prog := tinyProgram(t)
+	r.Put(Upload{Module: "photocrop", Version: "1", Developer: "a", Program: prog,
+		Summary: "crops photos"})
+	r.Put(Upload{Module: "blogger", Version: "1", Developer: "b", Program: prog,
+		Summary: "writes blogs"})
+
+	if got := r.Search("photo"); len(got) != 1 || got[0].Module != "photocrop" {
+		t.Errorf("Search(photo) = %v", got)
+	}
+	if got := r.Search("CROPS"); len(got) != 1 {
+		t.Errorf("case-insensitive summary search failed: %v", got)
+	}
+	if got := r.Search(""); len(got) != 2 {
+		t.Errorf("empty query = %d results", len(got))
+	}
+	if got := r.Search("zebra"); len(got) != 0 {
+		t.Errorf("no-match query = %v", got)
+	}
+}
+
+func TestClockInjection(t *testing.T) {
+	r := New(nil)
+	fixed := time.Date(2007, 8, 24, 12, 0, 0, 0, time.UTC)
+	r.SetClock(func() time.Time { return fixed })
+	v := upload(t, r, "m", "1", "d", false)
+	if !v.Uploaded.Equal(fixed) {
+		t.Errorf("Uploaded = %v", v.Uploaded)
+	}
+}

@@ -1,0 +1,158 @@
+package store
+
+// Property-based tests of the storage security invariants under random
+// label configurations: whatever the labels, (1) a read succeeds iff
+// the file's secrecy can flow to the reader, (2) a write succeeds iff
+// the writer can produce the file's integrity and not leak its own
+// secrecy, (3) denied operations never mutate state.
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"w5/internal/difc"
+)
+
+// scenario is one random (file label, credential) configuration over a
+// small tag universe so collisions are common.
+type scenario struct {
+	FileSecrecy   difc.Label
+	FileIntegrity difc.Label
+	CredSecrecy   difc.Label
+	CredIntegrity difc.Label
+	Caps          difc.CapSet
+}
+
+func randLabel(r *rand.Rand, n int) difc.Label {
+	tags := make([]difc.Tag, 0, n)
+	for i := 0; i < n; i++ {
+		tags = append(tags, difc.Tag(r.Intn(6)+1))
+	}
+	return difc.NewLabel(tags...)
+}
+
+// Generate implements quick.Generator.
+func (scenario) Generate(r *rand.Rand, _ int) reflect.Value {
+	var caps []difc.Cap
+	for i := 0; i < r.Intn(6); i++ {
+		c := difc.Cap{Tag: difc.Tag(r.Intn(6) + 1)}
+		if r.Intn(2) == 1 {
+			c.Kind = difc.CapMinus
+		}
+		caps = append(caps, c)
+	}
+	return reflect.ValueOf(scenario{
+		FileSecrecy:   randLabel(r, r.Intn(3)),
+		FileIntegrity: randLabel(r, r.Intn(3)),
+		CredSecrecy:   randLabel(r, r.Intn(3)),
+		CredIntegrity: randLabel(r, r.Intn(3)),
+		Caps:          difc.NewCapSet(caps...),
+	})
+}
+
+// setupScenario plants one file with the scenario's label using a
+// root-like credential, returning the fs and the scenario credential.
+func setupScenario(s scenario) (*FS, Cred, difc.LabelPair) {
+	fs := New(Options{})
+	almighty := Cred{
+		Labels: difc.LabelPair{Integrity: s.FileIntegrity},
+		Caps: difc.CapsFor(1, 2, 3, 4, 5, 6).
+			Union(difc.NewCapSet()),
+		Principal: "root",
+	}
+	fileLabel := difc.LabelPair{Secrecy: s.FileSecrecy, Integrity: s.FileIntegrity}
+	if err := fs.Write(almighty, "/f", []byte("payload"), fileLabel); err != nil {
+		panic(err)
+	}
+	cred := Cred{
+		Labels:    difc.LabelPair{Secrecy: s.CredSecrecy, Integrity: s.CredIntegrity},
+		Caps:      s.Caps,
+		Principal: "subject",
+	}
+	return fs, cred, fileLabel
+}
+
+var quickCfg = &quick.Config{MaxCount: 1500}
+
+func TestQuickReadIffFlow(t *testing.T) {
+	f := func(s scenario) bool {
+		fs, cred, fileLabel := setupScenario(s)
+		_, _, err := fs.Read(cred, "/f")
+		want := difc.SafeMessage(fileLabel.Secrecy, difc.EmptyCaps,
+			cred.Labels.Secrecy, cred.Caps)
+		return (err == nil) == want
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWriteIffFlow(t *testing.T) {
+	f := func(s scenario) bool {
+		fs, cred, fileLabel := setupScenario(s)
+		err := fs.Write(cred, "/f", []byte("overwrite"), fileLabel)
+		want := difc.SafeFlow(cred.Labels, cred.Caps, fileLabel, difc.EmptyCaps)
+		return (err == nil) == want
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeniedWriteNeverMutates(t *testing.T) {
+	root := Cred{Caps: difc.CapsFor(1, 2, 3, 4, 5, 6), Principal: "root"}
+	f := func(s scenario) bool {
+		fs, cred, fileLabel := setupScenario(s)
+		if fs.Write(cred, "/f", []byte("overwrite"), fileLabel) == nil {
+			return true // allowed writes may mutate, of course
+		}
+		rootRead := Cred{
+			Labels:    difc.LabelPair{Secrecy: fileLabel.Secrecy},
+			Caps:      root.Caps,
+			Principal: "root",
+		}
+		data, _, err := fs.Read(rootRead, "/f")
+		return err == nil && string(data) == "payload"
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRemoveRequiresWrite(t *testing.T) {
+	f := func(s scenario) bool {
+		fs, cred, fileLabel := setupScenario(s)
+		err := fs.Remove(cred, "/f")
+		// Remove needs write on the file AND on the (public) root dir.
+		wantFile := difc.SafeFlow(cred.Labels, cred.Caps, fileLabel, difc.EmptyCaps)
+		wantDir := difc.SafeFlow(cred.Labels, cred.Caps, difc.LabelPair{}, difc.EmptyCaps)
+		return (err == nil) == (wantFile && wantDir)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSnapshotPreservesEnforcement(t *testing.T) {
+	// Restoring a snapshot must yield byte-identical policy decisions.
+	f := func(s scenario) bool {
+		fs, cred, _ := setupScenario(s)
+		var buf bytes.Buffer
+		if err := fs.Snapshot(&buf); err != nil {
+			return false
+		}
+		fs2 := New(Options{})
+		if err := fs2.Restore(&buf); err != nil {
+			return false
+		}
+		_, _, err1 := fs.Read(cred, "/f")
+		_, _, err2 := fs2.Read(cred, "/f")
+		return (err1 == nil) == (err2 == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

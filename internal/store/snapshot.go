@@ -1,0 +1,159 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"w5/internal/difc"
+)
+
+// Snapshotting is a trusted, provider-level operation: it bypasses
+// credentials because it serializes the store together with its labels,
+// for durability and for federation transfer. The labels travel with
+// the data, so restoring a snapshot restores the policies too — the
+// paper's "users … attach these policies to their data so that the
+// policies applied across applications" (§1) depends on exactly this.
+
+// snapNode is the wire form of one filesystem object.
+type snapNode struct {
+	Name      string              `json:"name"`
+	Dir       bool                `json:"dir,omitempty"`
+	Secrecy   difc.Label          `json:"secrecy"`
+	Integrity difc.Label          `json:"integrity"`
+	Owner     string              `json:"owner"`
+	Version   uint64              `json:"version"`
+	Modified  time.Time           `json:"modified"`
+	Data      []byte              `json:"data,omitempty"` // base64 via encoding/json
+	Children  map[string]snapNode `json:"children,omitempty"`
+}
+
+func toSnap(n *node) snapNode {
+	s := snapNode{
+		Name:      n.name,
+		Dir:       n.isDir(),
+		Secrecy:   n.label.Secrecy,
+		Integrity: n.label.Integrity,
+		Owner:     n.owner,
+		Version:   n.version,
+		Modified:  n.modified,
+	}
+	if n.isDir() {
+		s.Children = make(map[string]snapNode, len(n.children))
+		for name, c := range n.children {
+			s.Children[name] = toSnap(c)
+		}
+	} else {
+		s.Data = append([]byte(nil), n.data...)
+	}
+	return s
+}
+
+func fromSnap(s snapNode) (*node, error) {
+	n := &node{
+		name:     s.Name,
+		label:    difc.LabelPair{Secrecy: s.Secrecy, Integrity: s.Integrity},
+		owner:    s.Owner,
+		version:  s.Version,
+		modified: s.Modified,
+	}
+	if s.Dir {
+		n.children = make(map[string]*node, len(s.Children))
+		for name, c := range s.Children {
+			child, err := fromSnap(c)
+			if err != nil {
+				return nil, err
+			}
+			if child.name != name {
+				return nil, fmt.Errorf("store: snapshot name mismatch %q vs %q", child.name, name)
+			}
+			n.children[name] = child
+		}
+	} else {
+		n.data = append([]byte(nil), s.Data...)
+	}
+	return n, nil
+}
+
+// Snapshot writes a JSON snapshot of the entire filesystem, labels
+// included, to w. Trusted operation.
+func (fs *FS) Snapshot(w io.Writer) error {
+	fs.mu.RLock()
+	snap := toSnap(fs.root)
+	fs.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(snap)
+}
+
+// Restore replaces the filesystem contents from a snapshot produced by
+// Snapshot. Trusted operation.
+func (fs *FS) Restore(r io.Reader) error {
+	var snap snapNode
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("store: corrupt snapshot: %w", err)
+	}
+	if !snap.Dir {
+		return fmt.Errorf("store: snapshot root is not a directory")
+	}
+	root, err := fromSnap(snap)
+	if err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	fs.root = root
+	fs.mu.Unlock()
+	return nil
+}
+
+// Export returns the Info and data of every file under path, without
+// credential checks, for the federation shipper. The caller must hold
+// the privileges appropriate to the destination — the federation
+// declassifier layer enforces that; see internal/federation.
+func (fs *FS) Export(path string) ([]Info, [][]byte, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, nil, ErrBadPath
+	}
+	cur := fs.root
+	for _, p := range parts {
+		next, ok := cur.children[p]
+		if !ok {
+			return nil, nil, ErrNotFound
+		}
+		cur = next
+	}
+	if !cur.isDir() {
+		return nil, nil, ErrNotDir
+	}
+	var infos []Info
+	var datas [][]byte
+	var rec func(dir *node, prefix string)
+	rec = func(dir *node, prefix string) {
+		names := make([]string, 0, len(dir.children))
+		for name := range dir.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := dir.children[name]
+			info := infoOf(prefix+"/", c)
+			info.Path = prefix + "/" + name
+			if c.isDir() {
+				rec(c, prefix+"/"+name)
+			} else {
+				infos = append(infos, info)
+				datas = append(datas, append([]byte(nil), c.data...))
+			}
+		}
+	}
+	prefix := path
+	if prefix == "/" {
+		prefix = ""
+	}
+	rec(cur, prefix)
+	return infos, datas, nil
+}

@@ -1,0 +1,524 @@
+// Package store implements the W5 provider's labeled persistent storage:
+// a hierarchical filesystem in which every file and directory carries a
+// secrecy and an integrity label, enforced on every operation.
+//
+// This is the substrate for the paper's two default policies (§3.1):
+//
+//   - Privacy protection: a file labeled with user u's secrecy tag s_u
+//     can be read only by processes whose labels (plus capabilities)
+//     dominate it, and once read, the taint follows the reader.
+//   - Write protection: "all user data on a W5 cluster is by default
+//     write-protected" — files carry the owner's write tag w_u in their
+//     integrity label, and only processes that can endorse with w_u may
+//     overwrite or delete them.
+//
+// The store is deliberately ignorant of processes: operations take a
+// Cred (label pair + capability set + billing principal), supplied by
+// the kernel or syscall layer on behalf of the calling process. This
+// keeps the trusted storage logic free of process-table concerns.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"w5/internal/audit"
+	"w5/internal/difc"
+	"w5/internal/quota"
+)
+
+// Errors returned to callers. ErrDenied is intentionally opaque (see
+// kernel.ErrDenied for the rationale); details go to the audit log.
+var (
+	ErrDenied   = errors.New("w5: storage operation denied")
+	ErrNotFound = errors.New("w5: no such file or directory")
+	ErrExists   = errors.New("w5: file exists")
+	ErrIsDir    = errors.New("w5: is a directory")
+	ErrNotDir   = errors.New("w5: not a directory")
+	ErrBadPath  = errors.New("w5: malformed path")
+)
+
+// Cred is the security context of a storage operation: the calling
+// process's labels, its capabilities, and the principal billed for disk
+// usage.
+type Cred struct {
+	Labels    difc.LabelPair
+	Caps      difc.CapSet
+	Principal string
+}
+
+// Info describes a file or directory without its contents.
+type Info struct {
+	Path     string
+	Name     string
+	IsDir    bool
+	Size     int
+	Label    difc.LabelPair
+	Owner    string
+	Version  uint64
+	Modified time.Time
+}
+
+type node struct {
+	name     string
+	label    difc.LabelPair
+	owner    string
+	version  uint64
+	modified time.Time
+
+	// exactly one of the following is used
+	data     []byte           // file payload
+	children map[string]*node // directory entries; nil for files
+}
+
+func (n *node) isDir() bool { return n.children != nil }
+
+// FS is a labeled in-memory filesystem. Safe for concurrent use.
+type FS struct {
+	mu     sync.RWMutex
+	root   *node
+	log    *audit.Log
+	quotas *quota.Manager
+	clock  func() time.Time
+}
+
+// Options configures an FS.
+type Options struct {
+	Log    *audit.Log     // optional audit log
+	Quotas *quota.Manager // optional disk accounting
+	Clock  func() time.Time
+}
+
+// New returns an empty filesystem whose root directory is public
+// (empty labels) and owned by the provider.
+func New(opts Options) *FS {
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	return &FS{
+		root: &node{
+			name:     "/",
+			owner:    "provider",
+			children: make(map[string]*node),
+			modified: opts.Clock(),
+		},
+		log:    opts.Log,
+		quotas: opts.Quotas,
+		clock:  opts.Clock,
+	}
+}
+
+func (fs *FS) auditf(kind audit.Kind, actor, subject, format string, args ...any) {
+	if fs.log != nil {
+		fs.log.Appendf(kind, actor, subject, format, args...)
+	}
+}
+
+// splitPath validates and splits "/a/b/c" into ["a","b","c"].
+func splitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, ErrBadPath
+	}
+	if path == "/" {
+		return nil, nil
+	}
+	parts := strings.Split(path[1:], "/")
+	for _, p := range parts {
+		if p == "" || p == "." || p == ".." {
+			return nil, ErrBadPath
+		}
+	}
+	return parts, nil
+}
+
+// canRead reports whether an object labeled l is readable under cred:
+// the object→process flow must be safe (the process may use its plus
+// capabilities to notionally raise itself).
+func canRead(l difc.LabelPair, cred Cred) bool {
+	return difc.SafeMessage(l.Secrecy, difc.EmptyCaps, cred.Labels.Secrecy, cred.Caps)
+}
+
+// canWrite reports whether an object labeled l is writable under cred:
+// the process→object flow must be safe in both secrecy (no leaking the
+// process's taint into a less-secret file) and integrity (the file's
+// endorsements must be producible by the writer).
+func canWrite(l difc.LabelPair, cred Cred) bool {
+	return difc.SafeFlow(cred.Labels, cred.Caps, l, difc.EmptyCaps)
+}
+
+// walk resolves the directory containing the final path element,
+// checking read permission on every directory traversed. Returns the
+// parent node and the final element name. Caller holds fs.mu.
+func (fs *FS) walk(parts []string, cred Cred) (*node, string, error) {
+	if len(parts) == 0 {
+		return nil, "", ErrBadPath
+	}
+	cur := fs.root
+	for i := 0; i < len(parts)-1; i++ {
+		if !canRead(cur.label, cred) {
+			return nil, "", ErrDenied
+		}
+		next, ok := cur.children[parts[i]]
+		if !ok {
+			return nil, "", ErrNotFound
+		}
+		if !next.isDir() {
+			return nil, "", ErrNotDir
+		}
+		cur = next
+	}
+	if !canRead(cur.label, cred) {
+		return nil, "", ErrDenied
+	}
+	return cur, parts[len(parts)-1], nil
+}
+
+// Mkdir creates a directory with the given label. The parent directory
+// must be writable under cred, and the new label must be one cred could
+// write to (otherwise a process could create objects it then could not
+// be accountable for).
+func (fs *FS) Mkdir(cred Cred, path string, label difc.LabelPair) error {
+	parts, err := splitPath(path)
+	if err != nil || len(parts) == 0 {
+		return ErrBadPath
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, err := fs.walk(parts, cred)
+	if err != nil {
+		return err
+	}
+	if _, ok := parent.children[name]; ok {
+		return ErrExists
+	}
+	if !canWrite(parent.label, cred) || !canWrite(label, cred) {
+		fs.auditf(audit.KindFlowDenied, cred.Principal, path, "mkdir denied")
+		return ErrDenied
+	}
+	parent.children[name] = &node{
+		name:     name,
+		label:    label,
+		owner:    cred.Principal,
+		children: make(map[string]*node),
+		modified: fs.clock(),
+	}
+	parent.version++
+	return nil
+}
+
+// MkdirAll creates every missing directory along path with the given
+// label; existing directories are left untouched.
+func (fs *FS) MkdirAll(cred Cred, path string, label difc.LabelPair) error {
+	parts, err := splitPath(path)
+	if err != nil {
+		return ErrBadPath
+	}
+	for i := 1; i <= len(parts); i++ {
+		sub := "/" + strings.Join(parts[:i], "/")
+		if err := fs.Mkdir(cred, sub, label); err != nil && !errors.Is(err, ErrExists) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write creates or replaces the file at path with data, labeling new
+// files with label. Replacing an existing file requires write permission
+// on the current file label; the existing label is retained (relabeling
+// is a separate, explicitly-audited operation — SetLabel).
+func (fs *FS) Write(cred Cred, path string, data []byte, label difc.LabelPair) error {
+	parts, err := splitPath(path)
+	if err != nil || len(parts) == 0 {
+		return ErrBadPath
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, err := fs.walk(parts, cred)
+	if err != nil {
+		return err
+	}
+	existing, ok := parent.children[name]
+	if ok {
+		if existing.isDir() {
+			return ErrIsDir
+		}
+		if !canWrite(existing.label, cred) {
+			fs.auditf(audit.KindFlowDenied, cred.Principal, path, "overwrite denied (%s)", existing.label)
+			return ErrDenied
+		}
+		if err := fs.chargeDelta(cred, existing.owner, len(data)-len(existing.data)); err != nil {
+			return err
+		}
+		existing.data = append([]byte(nil), data...)
+		existing.version++
+		existing.modified = fs.clock()
+		return nil
+	}
+	if !canWrite(parent.label, cred) || !canWrite(label, cred) {
+		fs.auditf(audit.KindFlowDenied, cred.Principal, path, "create denied")
+		return ErrDenied
+	}
+	if err := fs.chargeDelta(cred, cred.Principal, len(data)); err != nil {
+		return err
+	}
+	parent.children[name] = &node{
+		name:     name,
+		label:    label,
+		owner:    cred.Principal,
+		data:     append([]byte(nil), data...),
+		version:  1,
+		modified: fs.clock(),
+	}
+	parent.version++
+	return nil
+}
+
+// chargeDelta adjusts the disk quota of the billed principal by delta
+// bytes (negative deltas refund). Caller holds fs.mu.
+func (fs *FS) chargeDelta(cred Cred, principal string, delta int) error {
+	if fs.quotas == nil || delta == 0 {
+		return nil
+	}
+	acct := fs.quotas.Account(principal)
+	if delta > 0 {
+		if err := acct.Charge(quota.Disk, uint64(delta)); err != nil {
+			fs.auditf(audit.KindQuota, cred.Principal, principal, "%v", err)
+			return err
+		}
+		return nil
+	}
+	acct.Refund(quota.Disk, uint64(-delta))
+	return nil
+}
+
+// Read returns the contents and label of the file at path. The caller
+// is responsible for raising the reading process's label to dominate
+// the returned label (the syscall layer does this automatically) — the
+// read itself is permitted exactly when that raise would be possible.
+func (fs *FS) Read(cred Cred, path string) ([]byte, difc.LabelPair, error) {
+	parts, err := splitPath(path)
+	if err != nil || len(parts) == 0 {
+		return nil, difc.LabelPair{}, ErrBadPath
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	parent, name, err := fs.walkRead(parts, cred)
+	if err != nil {
+		return nil, difc.LabelPair{}, err
+	}
+	f, ok := parent.children[name]
+	if !ok {
+		return nil, difc.LabelPair{}, ErrNotFound
+	}
+	if f.isDir() {
+		return nil, difc.LabelPair{}, ErrIsDir
+	}
+	if !canRead(f.label, cred) {
+		fs.auditf(audit.KindFlowDenied, cred.Principal, path, "read denied (%s)", f.label)
+		return nil, difc.LabelPair{}, ErrDenied
+	}
+	return append([]byte(nil), f.data...), f.label, nil
+}
+
+// walkRead is walk without the lock acquisition differences; it exists
+// so Read/List/Stat can share traversal under the read lock.
+func (fs *FS) walkRead(parts []string, cred Cred) (*node, string, error) {
+	return fs.walk(parts, cred)
+}
+
+// List returns Info for every entry of the directory at path, sorted by
+// name. Reading a directory requires read permission on it; the entry
+// labels are included so callers can decide what they can open.
+func (fs *FS) List(cred Cred, path string) ([]Info, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	dir, err := fs.resolveDir(path, cred)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Info, 0, len(dir.children))
+	for _, c := range dir.children {
+		out = append(out, infoOf(path, c))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func (fs *FS) resolveDir(path string, cred Cred) (*node, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, ErrBadPath
+	}
+	if len(parts) == 0 {
+		if !canRead(fs.root.label, cred) {
+			return nil, ErrDenied
+		}
+		return fs.root, nil
+	}
+	parent, name, err := fs.walk(parts, cred)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := parent.children[name]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if !d.isDir() {
+		return nil, ErrNotDir
+	}
+	if !canRead(d.label, cred) {
+		return nil, ErrDenied
+	}
+	return d, nil
+}
+
+func infoOf(parentPath string, n *node) Info {
+	p := parentPath
+	if p == "/" {
+		p = ""
+	}
+	return Info{
+		Path:     p + "/" + n.name,
+		Name:     n.name,
+		IsDir:    n.isDir(),
+		Size:     len(n.data),
+		Label:    n.label,
+		Owner:    n.owner,
+		Version:  n.version,
+		Modified: n.modified,
+	}
+}
+
+// Stat returns Info for the object at path. Stat requires read
+// permission on the containing directory (existence is directory
+// metadata) but not on the object itself.
+func (fs *FS) Stat(cred Cred, path string) (Info, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return Info{}, ErrBadPath
+	}
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if len(parts) == 0 {
+		return infoOf("", fs.root), nil
+	}
+	parent, name, err := fs.walk(parts, cred)
+	if err != nil {
+		return Info{}, err
+	}
+	n, ok := parent.children[name]
+	if !ok {
+		return Info{}, ErrNotFound
+	}
+	dir := "/" + strings.Join(parts[:len(parts)-1], "/")
+	if len(parts) == 1 {
+		dir = "/"
+	}
+	return infoOf(dir, n), nil
+}
+
+// Remove deletes the object at path. Deleting is a write to both the
+// object (write-protection applies: you cannot vandalize what you
+// cannot write) and its parent directory. Non-empty directories cannot
+// be removed.
+func (fs *FS) Remove(cred Cred, path string) error {
+	parts, err := splitPath(path)
+	if err != nil || len(parts) == 0 {
+		return ErrBadPath
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, err := fs.walk(parts, cred)
+	if err != nil {
+		return err
+	}
+	n, ok := parent.children[name]
+	if !ok {
+		return ErrNotFound
+	}
+	if n.isDir() && len(n.children) > 0 {
+		return fmt.Errorf("w5: directory not empty: %s", path)
+	}
+	if !canWrite(n.label, cred) || !canWrite(parent.label, cred) {
+		fs.auditf(audit.KindFlowDenied, cred.Principal, path, "remove denied")
+		return ErrDenied
+	}
+	fs.chargeDelta(cred, n.owner, -len(n.data))
+	delete(parent.children, name)
+	parent.version++
+	return nil
+}
+
+// SetLabel relabels the object at path. The transition must be a safe
+// label change under cred's capabilities in both components, and cred
+// must currently be able to write the object. Every relabel is audited
+// as a policy change.
+func (fs *FS) SetLabel(cred Cred, path string, label difc.LabelPair) error {
+	parts, err := splitPath(path)
+	if err != nil || len(parts) == 0 {
+		return ErrBadPath
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	parent, name, err := fs.walk(parts, cred)
+	if err != nil {
+		return err
+	}
+	n, ok := parent.children[name]
+	if !ok {
+		return ErrNotFound
+	}
+	if !canWrite(n.label, cred) {
+		fs.auditf(audit.KindFlowDenied, cred.Principal, path, "relabel denied (no write)")
+		return ErrDenied
+	}
+	if !difc.SafeLabelChange(n.label.Secrecy, label.Secrecy, cred.Caps) ||
+		!difc.SafeLabelChange(n.label.Integrity, label.Integrity, cred.Caps) {
+		fs.auditf(audit.KindFlowDenied, cred.Principal, path, "relabel denied (unsafe change)")
+		return ErrDenied
+	}
+	n.label = label
+	n.version++
+	n.modified = fs.clock()
+	fs.auditf(audit.KindPolicyChange, cred.Principal, path, "relabel to %s", label)
+	return nil
+}
+
+// Walk visits every object under path readable by cred, in depth-first
+// name order, calling fn with each Info. Objects in unreadable
+// directories are skipped silently (their existence is not revealed).
+func (fs *FS) Walk(cred Cred, path string, fn func(Info) error) error {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	dir, err := fs.resolveDir(path, cred)
+	if err != nil {
+		return err
+	}
+	return fs.walkRecursive(dir, strings.TrimSuffix(path, "/"), cred, fn)
+}
+
+func (fs *FS) walkRecursive(dir *node, prefix string, cred Cred, fn func(Info) error) error {
+	names := make([]string, 0, len(dir.children))
+	for name := range dir.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := dir.children[name]
+		info := infoOf(prefix+"/", c)
+		info.Path = prefix + "/" + name
+		if err := fn(info); err != nil {
+			return err
+		}
+		if c.isDir() && canRead(c.label, cred) {
+			if err := fs.walkRecursive(c, prefix+"/"+name, cred, fn); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,462 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"w5/internal/audit"
+	"w5/internal/difc"
+	"w5/internal/quota"
+)
+
+// Test fixtures: tag 1 is s_bob (secrecy), tag 2 is w_bob (write
+// protection), tag 3 is s_alice.
+const (
+	sBob   = difc.Tag(1)
+	wBob   = difc.Tag(2)
+	sAlice = difc.Tag(3)
+)
+
+var (
+	// bobCred is Bob's own session: tainted with nothing, owns his tags.
+	bobCred = Cred{
+		Caps:      difc.CapsFor(sBob, wBob),
+		Principal: "user:bob",
+	}
+	// bobPrivate is the boilerplate label for Bob's data: secret to Bob,
+	// write-protected by Bob.
+	bobPrivate = difc.LabelPair{
+		Secrecy:   difc.NewLabel(sBob),
+		Integrity: difc.NewLabel(wBob),
+	}
+	// appCred is an untrusted app that may read Bob's data (s_bob+) but
+	// cannot declassify or endorse.
+	appCred = Cred{
+		Caps:      difc.NewCapSet(difc.Plus(sBob)),
+		Principal: "app:x",
+	}
+	// publicCred has no privileges at all.
+	publicCred = Cred{Principal: "anon"}
+	public     = difc.LabelPair{}
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	return New(Options{})
+}
+
+func setupBobHome(t *testing.T, fs *FS) {
+	t.Helper()
+	if err := fs.Mkdir(bobCred, "/bob", public); err != nil {
+		t.Fatalf("mkdir /bob: %v", err)
+	}
+	if err := fs.Write(bobCred, "/bob/diary.txt", []byte("dear diary"), bobPrivate); err != nil {
+		t.Fatalf("write diary: %v", err)
+	}
+}
+
+func TestWriteAndReadOwnData(t *testing.T) {
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	data, label, err := fs.Read(bobCred, "/bob/diary.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "dear diary" {
+		t.Errorf("data = %q", data)
+	}
+	if !label.Equal(bobPrivate) {
+		t.Errorf("label = %v, want %v", label, bobPrivate)
+	}
+}
+
+func TestReadDeniedWithoutCapability(t *testing.T) {
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	if _, _, err := fs.Read(publicCred, "/bob/diary.txt"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("public read of private file: %v", err)
+	}
+}
+
+func TestReadAllowedWithPlusCapability(t *testing.T) {
+	// The W5 default: apps may read (and become tainted by) user data.
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	data, label, err := fs.Read(appCred, "/bob/diary.txt")
+	if err != nil {
+		t.Fatalf("app read: %v", err)
+	}
+	if string(data) != "dear diary" {
+		t.Errorf("data = %q", data)
+	}
+	if !label.Secrecy.Has(sBob) {
+		t.Error("returned label does not carry taint")
+	}
+}
+
+func TestReadAllowedWhenAlreadyTainted(t *testing.T) {
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	tainted := Cred{
+		Labels:    difc.LabelPair{Secrecy: difc.NewLabel(sBob)},
+		Principal: "app:tainted",
+	}
+	if _, _, err := fs.Read(tainted, "/bob/diary.txt"); err != nil {
+		t.Fatalf("tainted read: %v", err)
+	}
+}
+
+func TestWriteProtectionDefault(t *testing.T) {
+	// Paper §3.1: "applications running without explicit write
+	// privileges cannot overwrite (or delete) user data."
+	fs := newFS(t)
+	setupBobHome(t, fs)
+
+	// The app (read-only privilege) tries to vandalize the diary.
+	err := fs.Write(appCred, "/bob/diary.txt", []byte("VANDALIZED"), bobPrivate)
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("vandalism result: %v, want ErrDenied", err)
+	}
+	// And to delete it.
+	if err := fs.Remove(appCred, "/bob/diary.txt"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("delete result: %v, want ErrDenied", err)
+	}
+	// Content unchanged.
+	data, _, _ := fs.Read(bobCred, "/bob/diary.txt")
+	if string(data) != "dear diary" {
+		t.Error("file was modified despite denial")
+	}
+}
+
+func TestDelegatedWritePrivilege(t *testing.T) {
+	// Bob delegates w_bob+ to an app he trusts to write faithfully.
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	editor := Cred{
+		Caps:      difc.NewCapSet(difc.Plus(sBob), difc.Plus(wBob)),
+		Labels:    difc.LabelPair{Integrity: difc.NewLabel(wBob)},
+		Principal: "app:editor",
+	}
+	if err := fs.Write(editor, "/bob/diary.txt", []byte("updated"), bobPrivate); err != nil {
+		t.Fatalf("delegated write: %v", err)
+	}
+	data, _, _ := fs.Read(bobCred, "/bob/diary.txt")
+	if string(data) != "updated" {
+		t.Error("delegated write did not take")
+	}
+}
+
+func TestTaintedProcessCannotWritePublic(t *testing.T) {
+	// A process that has read Bob's data cannot copy it to a public
+	// file — the storage-relay exfiltration channel.
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	tainted := Cred{
+		Labels:    difc.LabelPair{Secrecy: difc.NewLabel(sBob)},
+		Principal: "app:relay",
+	}
+	err := fs.Write(tainted, "/bob/leak.txt", []byte("dear diary"), public)
+	if !errors.Is(err, ErrDenied) {
+		t.Fatalf("storage relay allowed: %v", err)
+	}
+	// Writing at its own taint level, inside a directory at that level,
+	// is fine. (A public directory would refuse even the entry name —
+	// names are writes to the directory.)
+	taintedLabel := difc.LabelPair{Secrecy: difc.NewLabel(sBob)}
+	if err := fs.Mkdir(bobCred, "/bob/private", taintedLabel); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write(tainted, "/bob/private/notes.txt", []byte("ok"), taintedLabel); err != nil {
+		t.Fatalf("tainted write at level: %v", err)
+	}
+	// And creating the entry in the public directory is refused.
+	if err := fs.Write(tainted, "/bob/notes.txt", []byte("ok"), taintedLabel); !errors.Is(err, ErrDenied) {
+		t.Fatalf("tainted create in public dir: %v", err)
+	}
+}
+
+func TestMkdirChecks(t *testing.T) {
+	fs := newFS(t)
+	if err := fs.Mkdir(bobCred, "/bob", public); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir(bobCred, "/bob", public); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate mkdir: %v", err)
+	}
+	if err := fs.Mkdir(bobCred, "/bob/a/b", public); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("mkdir with missing parent: %v", err)
+	}
+	if err := fs.MkdirAll(bobCred, "/bob/a/b/c", public); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	if _, err := fs.List(bobCred, "/bob/a/b"); err != nil {
+		t.Fatalf("list created dir: %v", err)
+	}
+	// A tainted process cannot create a public directory (leak via name).
+	tainted := Cred{Labels: difc.LabelPair{Secrecy: difc.NewLabel(sBob)}, Principal: "t"}
+	if err := fs.Mkdir(tainted, "/exfil", public); !errors.Is(err, ErrDenied) {
+		t.Fatalf("tainted mkdir public: %v", err)
+	}
+}
+
+func TestListAndStat(t *testing.T) {
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	fs.Write(bobCred, "/bob/a.txt", []byte("a"), bobPrivate)
+
+	infos, err := fs.List(bobCred, "/bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("List = %d entries, want 2", len(infos))
+	}
+	if infos[0].Name != "a.txt" || infos[1].Name != "diary.txt" {
+		t.Errorf("List order wrong: %v, %v", infos[0].Name, infos[1].Name)
+	}
+	st, err := fs.Stat(bobCred, "/bob/diary.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.IsDir || st.Size != len("dear diary") || st.Version != 1 {
+		t.Errorf("Stat = %+v", st)
+	}
+	if st.Path != "/bob/diary.txt" {
+		t.Errorf("Stat path = %q", st.Path)
+	}
+	root, err := fs.Stat(bobCred, "/")
+	if err != nil || !root.IsDir {
+		t.Errorf("Stat root: %+v, %v", root, err)
+	}
+}
+
+func TestListDeniedOnSecretDir(t *testing.T) {
+	fs := newFS(t)
+	secretDir := difc.LabelPair{Secrecy: difc.NewLabel(sBob)}
+	if err := fs.Mkdir(bobCred, "/vault", secretDir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.List(publicCred, "/vault"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("public list of secret dir: %v", err)
+	}
+	// Traversal through a secret dir is also denied.
+	if err := fs.Write(bobCred, "/vault/f", []byte("x"), secretDir); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Read(publicCred, "/vault/f"); !errors.Is(err, ErrDenied) {
+		t.Fatalf("read through secret dir: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	if err := fs.Remove(bobCred, "/bob/diary.txt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fs.Read(bobCred, "/bob/diary.txt"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read removed file: %v", err)
+	}
+	// Non-empty dir refuses removal.
+	fs.Write(bobCred, "/bob/x", []byte("x"), public)
+	if err := fs.Remove(bobCred, "/bob"); err == nil {
+		t.Fatal("removed non-empty directory")
+	}
+	fs.Remove(bobCred, "/bob/x")
+	if err := fs.Remove(bobCred, "/bob"); err != nil {
+		t.Fatalf("remove empty dir: %v", err)
+	}
+}
+
+func TestSetLabel(t *testing.T) {
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	// Bob makes his diary public (he owns s_bob- and can drop w_bob).
+	if err := fs.SetLabel(bobCred, "/bob/diary.txt", public); err != nil {
+		t.Fatalf("owner relabel: %v", err)
+	}
+	if _, _, err := fs.Read(publicCred, "/bob/diary.txt"); err != nil {
+		t.Fatalf("read after publish: %v", err)
+	}
+	// The app cannot relabel Bob's other data (no s_bob-).
+	fs.Write(bobCred, "/bob/secret.txt", []byte("s"), bobPrivate)
+	if err := fs.SetLabel(appCred, "/bob/secret.txt", public); !errors.Is(err, ErrDenied) {
+		t.Fatalf("app relabel: %v", err)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	fs := newFS(t)
+	for _, p := range []string{"", "relative", "//", "/a//b", "/a/../b", "/a/./b"} {
+		if err := fs.Write(bobCred, p, nil, public); !errors.Is(err, ErrBadPath) {
+			t.Errorf("Write(%q) = %v, want ErrBadPath", p, err)
+		}
+	}
+	if err := fs.Write(bobCred, "/", nil, public); !errors.Is(err, ErrBadPath) {
+		t.Errorf("Write(/) = %v", err)
+	}
+}
+
+func TestWriteToDirAndReadDir(t *testing.T) {
+	fs := newFS(t)
+	fs.Mkdir(bobCred, "/d", public)
+	if err := fs.Write(bobCred, "/d", []byte("x"), public); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("write over dir: %v", err)
+	}
+	if _, _, err := fs.Read(bobCred, "/d"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("read dir: %v", err)
+	}
+	fs.Write(bobCred, "/f", []byte("x"), public)
+	if _, err := fs.List(bobCred, "/f"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("list file: %v", err)
+	}
+	if err := fs.Write(bobCred, "/f/sub", []byte("x"), public); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("write under file: %v", err)
+	}
+}
+
+func TestDiskQuotaChargedAndRefunded(t *testing.T) {
+	qm := quota.NewManager(quota.Limits{Disk: 100})
+	fs := New(Options{Quotas: qm})
+	cred := Cred{Principal: "user:bob", Caps: difc.CapsFor(sBob, wBob)}
+
+	if err := fs.Write(cred, "/a", make([]byte, 60), public); err != nil {
+		t.Fatal(err)
+	}
+	if got := qm.Account("user:bob").Used(quota.Disk); got != 60 {
+		t.Errorf("Used = %d, want 60", got)
+	}
+	// Over budget.
+	if err := fs.Write(cred, "/b", make([]byte, 60), public); err == nil {
+		t.Fatal("over-quota write succeeded")
+	}
+	// Shrink refunds.
+	if err := fs.Write(cred, "/a", make([]byte, 10), public); err != nil {
+		t.Fatal(err)
+	}
+	if got := qm.Account("user:bob").Used(quota.Disk); got != 10 {
+		t.Errorf("Used after shrink = %d, want 10", got)
+	}
+	// Remove refunds the rest.
+	fs.Remove(cred, "/a")
+	if got := qm.Account("user:bob").Used(quota.Disk); got != 0 {
+		t.Errorf("Used after remove = %d, want 0", got)
+	}
+}
+
+func TestVersionsIncrement(t *testing.T) {
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	fs.Write(bobCred, "/bob/diary.txt", []byte("v2"), bobPrivate)
+	st, _ := fs.Stat(bobCred, "/bob/diary.txt")
+	if st.Version != 2 {
+		t.Errorf("Version = %d, want 2", st.Version)
+	}
+}
+
+func TestAuditOnDenial(t *testing.T) {
+	log := audit.New()
+	fs := New(Options{Log: log})
+	fs.Mkdir(bobCred, "/bob", public)
+	fs.Write(bobCred, "/bob/f", []byte("x"), bobPrivate)
+	fs.Read(publicCred, "/bob/f")
+	if log.CountKind(audit.KindFlowDenied) == 0 {
+		t.Error("denied read not audited")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	fs.MkdirAll(bobCred, "/bob/photos", public)
+	fs.Write(bobCred, "/bob/photos/cat.jpg", []byte{0xFF, 0xD8, 0x00}, bobPrivate)
+
+	var buf bytes.Buffer
+	if err := fs.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fs2 := newFS(t)
+	if err := fs2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	data, label, err := fs2.Read(bobCred, "/bob/photos/cat.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte{0xFF, 0xD8, 0x00}) {
+		t.Error("restored data differs")
+	}
+	if !label.Equal(bobPrivate) {
+		t.Error("restored label differs — policy did not travel with data")
+	}
+	// Policies still enforced after restore.
+	if _, _, err := fs2.Read(publicCred, "/bob/photos/cat.jpg"); !errors.Is(err, ErrDenied) {
+		t.Errorf("restored file readable publicly: %v", err)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	fs := newFS(t)
+	if err := fs.Restore(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Error("garbage restore succeeded")
+	}
+	if err := fs.Restore(bytes.NewReader([]byte(`{"name":"f","dir":false,"secrecy":"{}","integrity":"{}"}`))); err == nil {
+		t.Error("non-dir root accepted")
+	}
+}
+
+func TestWalk(t *testing.T) {
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	fs.MkdirAll(bobCred, "/bob/photos", public)
+	fs.Write(bobCred, "/bob/photos/cat.jpg", []byte("img"), bobPrivate)
+	secret := difc.LabelPair{Secrecy: difc.NewLabel(sBob)}
+	fs.Mkdir(bobCred, "/bob/vault", secret)
+	fs.Write(bobCred, "/bob/vault/key", []byte("k"), secret)
+
+	var seen []string
+	err := fs.Walk(bobCred, "/", func(i Info) error {
+		seen = append(seen, i.Path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/bob", "/bob/diary.txt", "/bob/photos", "/bob/photos/cat.jpg", "/bob/vault", "/bob/vault/key"}
+	if len(seen) != len(want) {
+		t.Fatalf("Walk saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("Walk order: %v, want %v", seen, want)
+		}
+	}
+
+	// Public cred cannot see inside the vault.
+	seen = nil
+	fs.Walk(publicCred, "/", func(i Info) error { seen = append(seen, i.Path); return nil })
+	for _, p := range seen {
+		if p == "/bob/vault/key" {
+			t.Error("Walk revealed secret-directory contents to public")
+		}
+	}
+}
+
+func TestExportForFederation(t *testing.T) {
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	infos, datas, err := fs.Export("/bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || len(datas) != 1 {
+		t.Fatalf("Export = %d files", len(infos))
+	}
+	if infos[0].Path != "/bob/diary.txt" || string(datas[0]) != "dear diary" {
+		t.Errorf("Export = %+v / %q", infos[0], datas[0])
+	}
+	if _, _, err := fs.Export("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Export missing: %v", err)
+	}
+}

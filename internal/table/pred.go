@@ -1,0 +1,325 @@
+package table
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Pred is a row predicate. Predicates are pure: they see only the row's
+// column values, never labels, so evaluating one cannot depend on
+// another principal's secrets beyond the rows already visible.
+type Pred interface {
+	Match(values map[string]string) bool
+	String() string
+}
+
+// Op is a comparison operator.
+type Op string
+
+// Comparison operators. Lt/Le/Gt/Ge compare numerically when both sides
+// parse as integers, lexicographically otherwise.
+const (
+	Eq       Op = "="
+	Ne       Op = "!="
+	Lt       Op = "<"
+	Le       Op = "<="
+	Gt       Op = ">"
+	Ge       Op = ">="
+	Contains Op = "contains"
+	Prefix   Op = "prefix"
+)
+
+// True matches every row.
+type True struct{}
+
+// Match implements Pred.
+func (True) Match(map[string]string) bool { return true }
+
+// String implements Pred.
+func (True) String() string { return "true" }
+
+// Cmp compares one column against a constant.
+type Cmp struct {
+	Col string
+	Op  Op
+	Val string
+}
+
+// Match implements Pred.
+func (c Cmp) Match(values map[string]string) bool {
+	v, ok := values[c.Col]
+	if !ok {
+		return false
+	}
+	switch c.Op {
+	case Eq:
+		return v == c.Val
+	case Ne:
+		return v != c.Val
+	case Contains:
+		return strings.Contains(v, c.Val)
+	case Prefix:
+		return strings.HasPrefix(v, c.Val)
+	}
+	cmp := compare(v, c.Val)
+	switch c.Op {
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	}
+	return false
+}
+
+// compare orders two values, numerically when both are integers.
+func compare(a, b string) int {
+	ai, errA := strconv.ParseInt(a, 10, 64)
+	bi, errB := strconv.ParseInt(b, 10, 64)
+	if errA == nil && errB == nil {
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		default:
+			return 0
+		}
+	}
+	return strings.Compare(a, b)
+}
+
+// String implements Pred. Values are single-quoted, the form ParsePred
+// accepts, so String output always reparses.
+func (c Cmp) String() string { return fmt.Sprintf("%s %s '%s'", c.Col, c.Op, c.Val) }
+
+// And matches rows matching both operands.
+type And struct{ L, R Pred }
+
+// Match implements Pred.
+func (a And) Match(v map[string]string) bool { return a.L.Match(v) && a.R.Match(v) }
+
+// String implements Pred.
+func (a And) String() string { return "(" + a.L.String() + " AND " + a.R.String() + ")" }
+
+// Or matches rows matching either operand.
+type Or struct{ L, R Pred }
+
+// Match implements Pred.
+func (o Or) Match(v map[string]string) bool { return o.L.Match(v) || o.R.Match(v) }
+
+// String implements Pred.
+func (o Or) String() string { return "(" + o.L.String() + " OR " + o.R.String() + ")" }
+
+// Not matches rows the operand rejects.
+type Not struct{ P Pred }
+
+// Match implements Pred.
+func (n Not) Match(v map[string]string) bool { return !n.P.Match(v) }
+
+// String implements Pred.
+func (n Not) String() string { return "NOT " + n.P.String() }
+
+// eqConjuncts extracts column=constant conjuncts reachable from the root
+// through AND nodes only; the planner uses them for index lookups.
+func eqConjuncts(p Pred) []Cmp {
+	switch q := p.(type) {
+	case Cmp:
+		if q.Op == Eq {
+			return []Cmp{q}
+		}
+	case And:
+		return append(eqConjuncts(q.L), eqConjuncts(q.R)...)
+	}
+	return nil
+}
+
+// ParsePred parses a predicate expression:
+//
+//	expr   := term { OR term }
+//	term   := factor { AND factor }
+//	factor := NOT factor | '(' expr ')' | col op value | TRUE
+//	op     := = | != | < | <= | > | >= | CONTAINS | PREFIX
+//	value  := 'single-quoted' | bareword
+//
+// Keywords are case-insensitive. The empty string parses as True.
+func ParsePred(s string) (Pred, error) {
+	toks, err := lex(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 {
+		return True{}, nil
+	}
+	p := &parser{toks: toks}
+	pred, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("table: trailing input at %q", p.toks[p.pos])
+	}
+	return pred, nil
+}
+
+func lex(s string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')':
+			toks = append(toks, string(c))
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			if j >= len(s) {
+				return nil, fmt.Errorf("table: unterminated string at %d", i)
+			}
+			toks = append(toks, "'"+s[i+1:j]) // marker prefix keeps quoting info
+			i = j + 1
+		case c == '!' || c == '<' || c == '>' || c == '=':
+			j := i + 1
+			if j < len(s) && s[j] == '=' {
+				j++
+			}
+			op := s[i:j]
+			if op == "!" {
+				return nil, fmt.Errorf("table: stray '!' at %d", i)
+			}
+			toks = append(toks, op)
+			i = j
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\n()!<>='", rune(s[j])) {
+				j++
+			}
+			if j == i {
+				return nil, fmt.Errorf("table: unexpected character %q at %d", c, i)
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) parseExpr() (Pred, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "OR") {
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (Pred, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for strings.EqualFold(p.peek(), "AND") {
+		p.next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (Pred, error) {
+	tok := p.peek()
+	switch {
+	case tok == "":
+		return nil, fmt.Errorf("table: unexpected end of predicate")
+	case strings.EqualFold(tok, "NOT"):
+		p.next()
+		inner, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return Not{P: inner}, nil
+	case strings.EqualFold(tok, "TRUE"):
+		p.next()
+		return True{}, nil
+	case tok == "(":
+		p.next()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("table: missing ')'")
+		}
+		return inner, nil
+	}
+	// col op value
+	col := p.next()
+	if strings.HasPrefix(col, "'") {
+		return nil, fmt.Errorf("table: column name cannot be quoted: %q", col[1:])
+	}
+	opTok := p.next()
+	var op Op
+	switch {
+	case opTok == "=", opTok == "==":
+		op = Eq
+	case opTok == "!=":
+		op = Ne
+	case opTok == "<":
+		op = Lt
+	case opTok == "<=":
+		op = Le
+	case opTok == ">":
+		op = Gt
+	case opTok == ">=":
+		op = Ge
+	case strings.EqualFold(opTok, "CONTAINS"):
+		op = Contains
+	case strings.EqualFold(opTok, "PREFIX"):
+		op = Prefix
+	default:
+		return nil, fmt.Errorf("table: bad operator %q", opTok)
+	}
+	val := p.next()
+	if val == "" {
+		return nil, fmt.Errorf("table: missing value after %q %s", col, op)
+	}
+	val = strings.TrimPrefix(val, "'")
+	return Cmp{Col: col, Op: op, Val: val}, nil
+}

@@ -1,0 +1,188 @@
+package table
+
+import (
+	"testing"
+)
+
+func row(kv ...string) map[string]string {
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+func TestCmpOperators(t *testing.T) {
+	r := row("name", "bob", "age", "30", "bio", "hello world")
+	cases := []struct {
+		pred Cmp
+		want bool
+	}{
+		{Cmp{"name", Eq, "bob"}, true},
+		{Cmp{"name", Eq, "alice"}, false},
+		{Cmp{"name", Ne, "alice"}, true},
+		{Cmp{"age", Lt, "40"}, true},
+		{Cmp{"age", Lt, "30"}, false},
+		{Cmp{"age", Le, "30"}, true},
+		{Cmp{"age", Gt, "7"}, true}, // numeric: 30 > 7 though "30" < "7" lexically
+		{Cmp{"age", Ge, "30"}, true},
+		{Cmp{"age", Ge, "31"}, false},
+		{Cmp{"bio", Contains, "world"}, true},
+		{Cmp{"bio", Contains, "mars"}, false},
+		{Cmp{"bio", Prefix, "hello"}, true},
+		{Cmp{"bio", Prefix, "world"}, false},
+		{Cmp{"missing", Eq, "x"}, false},
+	}
+	for _, tt := range cases {
+		if got := tt.pred.Match(r); got != tt.want {
+			t.Errorf("%s on %v = %v, want %v", tt.pred, r, got, tt.want)
+		}
+	}
+}
+
+func TestLexicographicFallback(t *testing.T) {
+	r := row("v", "apple")
+	if !(Cmp{"v", Lt, "banana"}).Match(r) {
+		t.Error("lexicographic < failed")
+	}
+	if (Cmp{"v", Gt, "banana"}).Match(r) {
+		t.Error("lexicographic > wrong")
+	}
+}
+
+func TestBooleanCombinators(t *testing.T) {
+	r := row("a", "1", "b", "2")
+	p := And{L: Cmp{"a", Eq, "1"}, R: Cmp{"b", Eq, "2"}}
+	if !p.Match(r) {
+		t.Error("And failed")
+	}
+	q := Or{L: Cmp{"a", Eq, "9"}, R: Cmp{"b", Eq, "2"}}
+	if !q.Match(r) {
+		t.Error("Or failed")
+	}
+	n := Not{P: Cmp{"a", Eq, "9"}}
+	if !n.Match(r) {
+		t.Error("Not failed")
+	}
+	if !(True{}).Match(nil) {
+		t.Error("True failed")
+	}
+}
+
+func TestParsePredBasic(t *testing.T) {
+	cases := []struct {
+		src   string
+		match map[string]string
+		want  bool
+	}{
+		{"", row("x", "1"), true},
+		{"true", row(), true},
+		{"name = bob", row("name", "bob"), true},
+		{"name = bob", row("name", "eve"), false},
+		{"name = 'bob smith'", row("name", "bob smith"), true},
+		{"age > 21 AND age < 30", row("age", "25"), true},
+		{"age > 21 AND age < 30", row("age", "55"), false},
+		{"a = 1 OR b = 2", row("a", "0", "b", "2"), true},
+		{"NOT a = 1", row("a", "2"), true},
+		{"NOT (a = 1 OR a = 2)", row("a", "3"), true},
+		{"a = 1 AND (b = 2 OR b = 3)", row("a", "1", "b", "3"), true},
+		{"bio contains cats", row("bio", "i like cats a lot"), true},
+		{"bio prefix dr", row("bio", "dr strange"), true},
+		{"a != 1", row("a", "2"), true},
+		{"a >= 10 AND a <= 20", row("a", "15"), true},
+	}
+	for _, tt := range cases {
+		p, err := ParsePred(tt.src)
+		if err != nil {
+			t.Fatalf("ParsePred(%q): %v", tt.src, err)
+		}
+		if got := p.Match(tt.match); got != tt.want {
+			t.Errorf("ParsePred(%q).Match(%v) = %v, want %v", tt.src, tt.match, got, tt.want)
+		}
+	}
+}
+
+func TestParsePredPrecedence(t *testing.T) {
+	// AND binds tighter than OR: a=1 OR b=2 AND c=3  ==  a=1 OR (b=2 AND c=3)
+	p, err := ParsePred("a = 1 OR b = 2 AND c = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Match(row("a", "1", "b", "0", "c", "0")) {
+		t.Error("left OR branch failed")
+	}
+	if !p.Match(row("a", "0", "b", "2", "c", "3")) {
+		t.Error("right AND branch failed")
+	}
+	if p.Match(row("a", "0", "b", "2", "c", "0")) {
+		t.Error("precedence wrong: partial AND matched")
+	}
+}
+
+func TestParsePredErrors(t *testing.T) {
+	for _, src := range []string{
+		"name =",
+		"= bob",
+		"name ~ bob",
+		"(a = 1",
+		"a = 1 )",
+		"a = 'unterminated",
+		"AND a = 1",
+		"a = 1 b = 2",
+		"a ! 1",
+		"'quoted' = x",
+		"NOT",
+	} {
+		if _, err := ParsePred(src); err == nil {
+			t.Errorf("ParsePred(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParsePredRoundTripStrings(t *testing.T) {
+	// String() output of a parsed predicate must parse to an equivalent
+	// predicate (checked by behaviour on sample rows).
+	srcs := []string{
+		"a = 1 AND b = 2",
+		"NOT (x contains y)",
+		"a = 1 OR b = 2 AND c = 3",
+	}
+	samples := []map[string]string{
+		row("a", "1", "b", "2", "c", "3", "x", "wy"),
+		row("a", "0", "b", "2", "c", "0", "x", "zz"),
+		row("a", "1", "b", "0", "c", "0", "x", "y"),
+	}
+	for _, src := range srcs {
+		p1, err := ParsePred(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := ParsePred(p1.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (%q): %v", src, p1.String(), err)
+		}
+		for _, s := range samples {
+			if p1.Match(s) != p2.Match(s) {
+				t.Errorf("%q and its round trip disagree on %v", src, s)
+			}
+		}
+	}
+}
+
+func TestEqConjunctExtraction(t *testing.T) {
+	p, _ := ParsePred("owner = bob AND age > 3")
+	cs := eqConjuncts(p)
+	if len(cs) != 1 || cs[0].Col != "owner" || cs[0].Val != "bob" {
+		t.Errorf("eqConjuncts = %v", cs)
+	}
+	// OR poisons index use: no conjunct is guaranteed.
+	p, _ = ParsePred("owner = bob OR age > 3")
+	if cs := eqConjuncts(p); len(cs) != 0 {
+		t.Errorf("eqConjuncts through OR = %v, want none", cs)
+	}
+	// Nested ANDs accumulate.
+	p, _ = ParsePred("a = 1 AND b = 2 AND c > 3")
+	if cs := eqConjuncts(p); len(cs) != 2 {
+		t.Errorf("eqConjuncts = %v, want 2", cs)
+	}
+}

@@ -1,0 +1,423 @@
+// Package table implements the W5 labeled tuple store — the replacement
+// for the SQL interface that the paper says "can leak information
+// implicitly and thus needs to be replaced under W5" (§3.5, citing the
+// Asbestos Web server experience).
+//
+// Design principles:
+//
+//   - Every row carries a secrecy/integrity label pair, like a file.
+//   - A query executes against exactly the rows whose labels can flow to
+//     the querying credential; invisible rows contribute nothing to
+//     results, counts, aggregates, or errors. A query over data you
+//     cannot see behaves identically to a query over a store where that
+//     data does not exist — that is the covert-channel-freedom property,
+//     demonstrated by experiment E7.
+//   - Uniqueness constraints are scoped to the visible partition
+//     (polyinstantiation): a public process inserting key K learns
+//     nothing about whether some secret process also inserted K. A
+//     global uniqueness constraint is exactly the SQL covert channel.
+//   - Every row scanned charges one query-cost unit against the
+//     caller's quota, so query bombs are contained (§3.5).
+//
+// A Store in naive mode drops the first three properties while keeping
+// the same API; it models the conventional SQL backend and exists only
+// as the comparator for experiment E7 and the baseline platform.
+package table
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"w5/internal/audit"
+	"w5/internal/difc"
+	"w5/internal/quota"
+)
+
+// Errors. ErrDenied is opaque by design; see kernel.ErrDenied.
+var (
+	ErrDenied     = errors.New("w5: table operation denied")
+	ErrNoTable    = errors.New("w5: no such table")
+	ErrBadSchema  = errors.New("w5: schema violation")
+	ErrDuplicate  = errors.New("w5: unique constraint violated")
+	ErrTableExist = errors.New("w5: table already exists")
+)
+
+// Cred is the security context of a table operation.
+type Cred struct {
+	Labels    difc.LabelPair
+	Caps      difc.CapSet
+	Principal string
+}
+
+// Row is one labeled tuple as returned by queries. Values is a copy;
+// mutating it does not affect the store.
+type Row struct {
+	ID     uint64
+	Values map[string]string
+	Label  difc.LabelPair
+}
+
+// Schema describes a table.
+type Schema struct {
+	Name    string
+	Columns []string
+	// Unique, if non-empty, names a column whose values must be unique
+	// — within the visible partition in labeled mode, globally in naive
+	// mode (the covert channel).
+	Unique string
+	// Index names columns to maintain equality indexes on.
+	Index []string
+}
+
+type tbl struct {
+	schema  Schema
+	cols    map[string]bool
+	rows    map[uint64]*Row
+	order   []uint64 // insertion order for deterministic scans
+	nextID  uint64
+	indexes map[string]map[string][]uint64 // col -> value -> row ids
+}
+
+// Store is a collection of labeled tables. Safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*tbl
+	naive  bool
+	log    *audit.Log
+	quotas *quota.Manager
+}
+
+// Options configures a Store.
+type Options struct {
+	// Naive disables label filtering and scopes uniqueness globally;
+	// it exists for the E7 comparator and the baseline platform only.
+	Naive  bool
+	Log    *audit.Log
+	Quotas *quota.Manager
+}
+
+// New returns an empty store.
+func New(opts Options) *Store {
+	return &Store{tables: make(map[string]*tbl), naive: opts.Naive, log: opts.Log, quotas: opts.Quotas}
+}
+
+// Naive reports whether the store is the covert-channel-prone comparator.
+func (s *Store) Naive() bool { return s.naive }
+
+func (s *Store) auditf(kind audit.Kind, actor, subject, format string, args ...any) {
+	if s.log != nil {
+		s.log.Appendf(kind, actor, subject, format, args...)
+	}
+}
+
+// chargeScan bills one query-cost unit per scanned row.
+func (s *Store) chargeScan(cred Cred, rows int) error {
+	if s.quotas == nil || rows == 0 {
+		return nil
+	}
+	return s.quotas.Account(cred.Principal).Charge(quota.Query, uint64(rows))
+}
+
+// visible reports whether a row's label can flow to the credential.
+func visible(r *Row, cred Cred, naive bool) bool {
+	if naive {
+		return true
+	}
+	return difc.SafeMessage(r.Label.Secrecy, difc.EmptyCaps, cred.Labels.Secrecy, cred.Caps)
+}
+
+// writable reports whether the credential can write a row at label l.
+func writable(l difc.LabelPair, cred Cred) bool {
+	return difc.SafeFlow(cred.Labels, cred.Caps, l, difc.EmptyCaps)
+}
+
+// Create adds a table. Schema operations are not label-checked: schemas
+// are public metadata created by application install, not user data.
+func (s *Store) Create(schema Schema) error {
+	if schema.Name == "" || len(schema.Columns) == 0 {
+		return ErrBadSchema
+	}
+	cols := make(map[string]bool, len(schema.Columns))
+	for _, c := range schema.Columns {
+		if c == "" || cols[c] {
+			return ErrBadSchema
+		}
+		cols[c] = true
+	}
+	if schema.Unique != "" && !cols[schema.Unique] {
+		return fmt.Errorf("%w: unique column %q not in schema", ErrBadSchema, schema.Unique)
+	}
+	for _, c := range schema.Index {
+		if !cols[c] {
+			return fmt.Errorf("%w: index column %q not in schema", ErrBadSchema, c)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[schema.Name]; ok {
+		return ErrTableExist
+	}
+	t := &tbl{
+		schema:  schema,
+		cols:    cols,
+		rows:    make(map[uint64]*Row),
+		indexes: make(map[string]map[string][]uint64),
+	}
+	for _, c := range schema.Index {
+		t.indexes[c] = make(map[string][]uint64)
+	}
+	s.tables[schema.Name] = t
+	return nil
+}
+
+// Tables returns the table names in sorted order.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SchemaOf returns the schema for a table.
+func (s *Store) SchemaOf(name string) (Schema, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return Schema{}, ErrNoTable
+	}
+	return t.schema, nil
+}
+
+// Insert adds a row labeled label. The credential must be able to write
+// at that label (no write-down of its taint, no forging of integrity).
+// Uniqueness is checked within the partition visible to cred — never
+// against rows cred cannot see.
+func (s *Store) Insert(cred Cred, table string, values map[string]string, label difc.LabelPair) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return 0, ErrNoTable
+	}
+	for c := range values {
+		if !t.cols[c] {
+			return 0, fmt.Errorf("%w: no column %q", ErrBadSchema, c)
+		}
+	}
+	if !writable(label, cred) {
+		s.auditf(audit.KindFlowDenied, cred.Principal, table, "insert at %s denied", label)
+		return 0, ErrDenied
+	}
+	if t.schema.Unique != "" {
+		key := values[t.schema.Unique]
+		if s.uniqueConflict(t, cred, key) {
+			return 0, ErrDuplicate
+		}
+	}
+	t.nextID++
+	id := t.nextID
+	row := &Row{ID: id, Values: copyValues(values), Label: label}
+	t.rows[id] = row
+	t.order = append(t.order, id)
+	for col, idx := range t.indexes {
+		v := row.Values[col]
+		idx[v] = append(idx[v], id)
+	}
+	return id, nil
+}
+
+// uniqueConflict reports whether key collides with an existing row in
+// the unique column. Labeled mode checks only rows visible to cred; the
+// check charges no query cost (it is bounded by the index-free scan of
+// the unique column, billed to the writer as part of insert cost).
+func (s *Store) uniqueConflict(t *tbl, cred Cred, key string) bool {
+	for _, id := range t.order {
+		r := t.rows[id]
+		if r.Values[t.schema.Unique] != key {
+			continue
+		}
+		if s.naive || visible(r, cred, false) {
+			return true
+		}
+	}
+	return false
+}
+
+// Select returns the rows matching pred that are visible to cred, in
+// insertion order, together with the join of their labels — the label
+// of the result set as a whole. Each row scanned (visible or not)
+// charges one query-cost unit.
+func (s *Store) Select(cred Cred, table string, pred Pred) ([]Row, difc.LabelPair, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return nil, difc.LabelPair{}, ErrNoTable
+	}
+	candidates, scanned := s.plan(t, pred)
+	if err := s.chargeScan(cred, scanned); err != nil {
+		s.auditf(audit.KindQuota, cred.Principal, table, "%v", err)
+		return nil, difc.LabelPair{}, err
+	}
+	var out []Row
+	joined := difc.LabelPair{}
+	first := true
+	for _, id := range candidates {
+		r := t.rows[id]
+		if r == nil || !visible(r, cred, s.naive) || !pred.Match(r.Values) {
+			continue
+		}
+		out = append(out, Row{ID: r.ID, Values: copyValues(r.Values), Label: r.Label})
+		if first {
+			joined = r.Label
+			first = false
+		} else {
+			joined = joined.Join(r.Label)
+		}
+	}
+	return out, joined, nil
+}
+
+// plan chooses the candidate row set: an index lookup when an equality
+// conjunct hits an indexed column, else a full scan. Returns candidates
+// in insertion order plus the number of rows that will be touched (the
+// billing basis).
+func (s *Store) plan(t *tbl, pred Pred) (candidates []uint64, scanned int) {
+	for _, c := range eqConjuncts(pred) {
+		if idx, ok := t.indexes[c.Col]; ok {
+			ids := idx[c.Val]
+			sorted := append([]uint64(nil), ids...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			return sorted, len(sorted)
+		}
+	}
+	return t.order, len(t.order)
+}
+
+// Count returns the number of visible rows matching pred. Like Select,
+// it sees only the caller's partition — COUNT(*) cannot be used to
+// sense other principals' activity.
+func (s *Store) Count(cred Cred, table string, pred Pred) (int, error) {
+	rows, _, err := s.Select(cred, table, pred)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// Update rewrites the values of every visible row matching pred. All
+// matched rows must be writable by cred or the whole update is denied
+// (no partial vandalism); invisible rows are untouched and unreported.
+func (s *Store) Update(cred Cred, table string, pred Pred, set map[string]string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return 0, ErrNoTable
+	}
+	for c := range set {
+		if !t.cols[c] {
+			return 0, fmt.Errorf("%w: no column %q", ErrBadSchema, c)
+		}
+	}
+	candidates, scanned := s.plan(t, pred)
+	if err := s.chargeScan(cred, scanned); err != nil {
+		return 0, err
+	}
+	var matched []*Row
+	for _, id := range candidates {
+		r := t.rows[id]
+		if r == nil || !visible(r, cred, s.naive) || !pred.Match(r.Values) {
+			continue
+		}
+		if !s.naive && !writable(r.Label, cred) {
+			s.auditf(audit.KindFlowDenied, cred.Principal, table, "update row %d denied", r.ID)
+			return 0, ErrDenied
+		}
+		matched = append(matched, r)
+	}
+	for _, r := range matched {
+		for col, idx := range t.indexes {
+			if nv, ok := set[col]; ok && nv != r.Values[col] {
+				idx[r.Values[col]] = removeID(idx[r.Values[col]], r.ID)
+				idx[nv] = append(idx[nv], r.ID)
+			}
+		}
+		for c, v := range set {
+			r.Values[c] = v
+		}
+	}
+	return len(matched), nil
+}
+
+// Delete removes every visible, writable row matching pred; like
+// Update, one unwritable visible match denies the whole operation.
+func (s *Store) Delete(cred Cred, table string, pred Pred) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[table]
+	if !ok {
+		return 0, ErrNoTable
+	}
+	candidates, scanned := s.plan(t, pred)
+	if err := s.chargeScan(cred, scanned); err != nil {
+		return 0, err
+	}
+	var matched []uint64
+	for _, id := range candidates {
+		r := t.rows[id]
+		if r == nil || !visible(r, cred, s.naive) || !pred.Match(r.Values) {
+			continue
+		}
+		if !s.naive && !writable(r.Label, cred) {
+			s.auditf(audit.KindFlowDenied, cred.Principal, table, "delete row %d denied", r.ID)
+			return 0, ErrDenied
+		}
+		matched = append(matched, id)
+	}
+	for _, id := range matched {
+		r := t.rows[id]
+		for col, idx := range t.indexes {
+			idx[r.Values[col]] = removeID(idx[r.Values[col]], id)
+		}
+		delete(t.rows, id)
+	}
+	if len(matched) > 0 {
+		kept := t.order[:0]
+		dead := make(map[uint64]bool, len(matched))
+		for _, id := range matched {
+			dead[id] = true
+		}
+		for _, id := range t.order {
+			if !dead[id] {
+				kept = append(kept, id)
+			}
+		}
+		t.order = kept
+	}
+	return len(matched), nil
+}
+
+func copyValues(v map[string]string) map[string]string {
+	out := make(map[string]string, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+func removeID(ids []uint64, id uint64) []uint64 {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}

@@ -1,0 +1,361 @@
+package table
+
+import (
+	"errors"
+	"testing"
+
+	"w5/internal/difc"
+	"w5/internal/quota"
+)
+
+const (
+	sBob   = difc.Tag(1)
+	sAlice = difc.Tag(2)
+)
+
+var (
+	bobCred    = Cred{Caps: difc.CapsFor(sBob), Principal: "user:bob"}
+	aliceCred  = Cred{Caps: difc.CapsFor(sAlice), Principal: "user:alice"}
+	publicCred = Cred{Principal: "anon"}
+
+	bobSecret   = difc.LabelPair{Secrecy: difc.NewLabel(sBob)}
+	aliceSecret = difc.LabelPair{Secrecy: difc.NewLabel(sAlice)}
+	public      = difc.LabelPair{}
+)
+
+func photoSchema() Schema {
+	return Schema{
+		Name:    "photos",
+		Columns: []string{"owner", "title", "bytes"},
+		Index:   []string{"owner"},
+	}
+}
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s := New(Options{})
+	if err := s.Create(photoSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCreateValidation(t *testing.T) {
+	s := New(Options{})
+	cases := []struct {
+		name   string
+		schema Schema
+	}{
+		{"empty name", Schema{Columns: []string{"a"}}},
+		{"no columns", Schema{Name: "t"}},
+		{"dup column", Schema{Name: "t", Columns: []string{"a", "a"}}},
+		{"empty column", Schema{Name: "t", Columns: []string{""}}},
+		{"unique not in schema", Schema{Name: "t", Columns: []string{"a"}, Unique: "b"}},
+		{"index not in schema", Schema{Name: "t", Columns: []string{"a"}, Index: []string{"b"}}},
+	}
+	for _, tt := range cases {
+		if err := s.Create(tt.schema); err == nil {
+			t.Errorf("%s: accepted", tt.name)
+		}
+	}
+	if err := s.Create(photoSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create(photoSchema()); !errors.Is(err, ErrTableExist) {
+		t.Errorf("duplicate table: %v", err)
+	}
+	if got := s.Tables(); len(got) != 1 || got[0] != "photos" {
+		t.Errorf("Tables = %v", got)
+	}
+	if sc, err := s.SchemaOf("photos"); err != nil || sc.Name != "photos" {
+		t.Errorf("SchemaOf = %+v, %v", sc, err)
+	}
+	if _, err := s.SchemaOf("none"); !errors.Is(err, ErrNoTable) {
+		t.Errorf("SchemaOf missing: %v", err)
+	}
+}
+
+func TestInsertAndSelectOwnRows(t *testing.T) {
+	s := newStore(t)
+	id, err := s.Insert(bobCred, "photos", map[string]string{"owner": "bob", "title": "cat"}, bobSecret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Error("zero row id")
+	}
+	rows, label, err := s.Select(bobCred, "photos", Cmp{Col: "owner", Op: Eq, Val: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Values["title"] != "cat" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if !label.Secrecy.Has(sBob) {
+		t.Error("result label missing taint")
+	}
+}
+
+func TestSelectFiltersInvisibleRows(t *testing.T) {
+	s := newStore(t)
+	s.Insert(bobCred, "photos", map[string]string{"owner": "bob", "title": "secret-cat"}, bobSecret)
+	s.Insert(aliceCred, "photos", map[string]string{"owner": "alice", "title": "public-dog"}, public)
+
+	// Public cred sees only the public row.
+	rows, label, err := s.Select(publicCred, "photos", True{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Values["title"] != "public-dog" {
+		t.Fatalf("public sees %+v", rows)
+	}
+	if !label.Secrecy.IsEmpty() {
+		t.Error("public result carries secrecy")
+	}
+	// Bob sees both (he can raise to his own tag).
+	rows, label, _ = s.Select(bobCred, "photos", True{})
+	if len(rows) != 2 {
+		t.Fatalf("bob sees %d rows", len(rows))
+	}
+	if !label.Secrecy.Has(sBob) {
+		t.Error("joined label lost bob's tag")
+	}
+}
+
+func TestCountSeesOnlyVisiblePartition(t *testing.T) {
+	s := newStore(t)
+	for i := 0; i < 5; i++ {
+		s.Insert(bobCred, "photos", map[string]string{"owner": "bob"}, bobSecret)
+	}
+	s.Insert(aliceCred, "photos", map[string]string{"owner": "alice"}, public)
+
+	n, err := s.Count(publicCred, "photos", True{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("public count = %d, want 1 — COUNT leaks secret activity", n)
+	}
+	n, _ = s.Count(bobCred, "photos", True{})
+	if n != 6 {
+		t.Errorf("bob count = %d, want 6", n)
+	}
+}
+
+func TestInsertWriteChecks(t *testing.T) {
+	s := newStore(t)
+	// A tainted credential cannot write a public row (write-down).
+	tainted := Cred{Labels: bobSecret, Principal: "app:t"}
+	if _, err := s.Insert(tainted, "photos", map[string]string{"owner": "x"}, public); !errors.Is(err, ErrDenied) {
+		t.Fatalf("write-down allowed: %v", err)
+	}
+	// Nobody can forge an integrity tag they cannot endorse.
+	wTag := difc.Tag(9)
+	endorsed := difc.LabelPair{Integrity: difc.NewLabel(wTag)}
+	if _, err := s.Insert(publicCred, "photos", map[string]string{"owner": "x"}, endorsed); !errors.Is(err, ErrDenied) {
+		t.Fatalf("integrity forgery allowed: %v", err)
+	}
+	// Unknown column rejected.
+	if _, err := s.Insert(bobCred, "photos", map[string]string{"bogus": "x"}, public); !errors.Is(err, ErrBadSchema) {
+		t.Fatalf("bad column: %v", err)
+	}
+	// Unknown table.
+	if _, err := s.Insert(bobCred, "none", nil, public); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("missing table: %v", err)
+	}
+}
+
+func TestUpdateRespectsLabels(t *testing.T) {
+	// Rows carry write-protection (integrity) tags, the table analogue
+	// of the store's default write protection.
+	s := newStore(t)
+	wBob, wAlice := difc.Tag(10), difc.Tag(11)
+	bobProt := difc.LabelPair{Secrecy: difc.NewLabel(sBob), Integrity: difc.NewLabel(wBob)}
+	aliceProt := difc.LabelPair{Secrecy: difc.NewLabel(sAlice), Integrity: difc.NewLabel(wAlice)}
+	bobOwner := Cred{Caps: difc.CapsFor(sBob, wBob), Principal: "user:bob"}
+	aliceOwner := Cred{Caps: difc.CapsFor(sAlice, wAlice), Principal: "user:alice"}
+	s.Insert(bobOwner, "photos", map[string]string{"owner": "bob", "title": "old"}, bobProt)
+	s.Insert(aliceOwner, "photos", map[string]string{"owner": "alice", "title": "old"}, aliceProt)
+
+	// Bob updates his row; Alice's is invisible to him, untouched, and
+	// unreported.
+	n, err := s.Update(bobOwner, "photos", Cmp{Col: "title", Op: Eq, Val: "old"}, map[string]string{"title": "new"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("updated %d rows, want 1", n)
+	}
+	rows, _, _ := s.Select(aliceOwner, "photos", Cmp{Col: "owner", Op: Eq, Val: "alice"})
+	if rows[0].Values["title"] != "old" {
+		t.Error("alice's row modified by bob's update")
+	}
+	// A read-only credential sees Bob's row but cannot endorse w_bob:
+	// the whole update is denied, nothing is vandalized.
+	reader := Cred{Caps: difc.NewCapSet(difc.Plus(sBob)), Principal: "app:reader"}
+	if _, err := s.Update(reader, "photos", True{}, map[string]string{"title": "vandal"}); !errors.Is(err, ErrDenied) {
+		t.Fatalf("reader vandalized rows: %v", err)
+	}
+	rows, _, _ = s.Select(bobOwner, "photos", Cmp{Col: "owner", Op: Eq, Val: "bob"})
+	if rows[0].Values["title"] != "new" {
+		t.Error("denied update modified the row anyway")
+	}
+}
+
+func TestDeleteRespectsLabels(t *testing.T) {
+	s := newStore(t)
+	s.Insert(bobCred, "photos", map[string]string{"owner": "bob"}, bobSecret)
+	s.Insert(aliceCred, "photos", map[string]string{"owner": "alice"}, aliceSecret)
+
+	bobWriter := Cred{Labels: bobSecret, Caps: difc.CapsFor(sBob), Principal: "user:bob"}
+	n, err := s.Delete(bobWriter, "photos", True{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("deleted %d, want 1", n)
+	}
+	if n, _ := s.Count(aliceCred, "photos", True{}); n != 1 {
+		t.Error("alice's row deleted")
+	}
+}
+
+func TestPolyinstantiation(t *testing.T) {
+	// The E7 property at unit scale: a unique key inserted under a
+	// secret label does not block (or reveal itself to) a public
+	// insert of the same key.
+	s := New(Options{})
+	s.Create(Schema{Name: "accounts", Columns: []string{"handle"}, Unique: "handle"})
+
+	if _, err := s.Insert(bobCred, "accounts", map[string]string{"handle": "neo"}, bobSecret); err != nil {
+		t.Fatal(err)
+	}
+	// Public insert of the same handle succeeds: no covert channel.
+	if _, err := s.Insert(publicCred, "accounts", map[string]string{"handle": "neo"}, public); err != nil {
+		t.Fatalf("labeled store leaked via unique constraint: %v", err)
+	}
+	// Within a partition the constraint still holds.
+	if _, err := s.Insert(publicCred, "accounts", map[string]string{"handle": "neo"}, public); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate in same partition: %v", err)
+	}
+	// Bob, who sees both, is blocked from duplicating his own.
+	if _, err := s.Insert(bobCred, "accounts", map[string]string{"handle": "neo"}, bobSecret); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("bob duplicate: %v", err)
+	}
+}
+
+func TestNaiveModeLeaksUniqueness(t *testing.T) {
+	// The SQL behaviour the paper says must be replaced: global unique
+	// constraints turn secret inserts into a 1-bit public signal.
+	s := New(Options{Naive: true})
+	s.Create(Schema{Name: "accounts", Columns: []string{"handle"}, Unique: "handle"})
+
+	s.Insert(bobCred, "accounts", map[string]string{"handle": "neo"}, bobSecret)
+	_, err := s.Insert(publicCred, "accounts", map[string]string{"handle": "neo"}, public)
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("naive store did not exhibit the covert channel: %v", err)
+	}
+	// And COUNT sees everything.
+	n, _ := s.Count(publicCred, "accounts", True{})
+	if n != 1 {
+		t.Errorf("naive count = %d, want 1 (the secret row)", n)
+	}
+	if !s.Naive() {
+		t.Error("Naive() = false")
+	}
+}
+
+func TestIndexedSelectUsesIndex(t *testing.T) {
+	qm := quota.NewManager(quota.Limits{Query: 1000})
+	s := New(Options{Quotas: qm})
+	s.Create(photoSchema())
+	for i := 0; i < 100; i++ {
+		owner := "bob"
+		if i%2 == 0 {
+			owner = "alice"
+		}
+		s.Insert(publicCred, "photos", map[string]string{"owner": owner}, public)
+	}
+	cred := Cred{Principal: "app:q"}
+	rows, _, err := s.Select(cred, "photos", Cmp{Col: "owner", Op: Eq, Val: "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 50 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Index hit: only 50 rows billed, not 100.
+	if used := qm.Account("app:q").Used(quota.Query); used != 50 {
+		t.Errorf("billed %d scan units, want 50 (index not used?)", used)
+	}
+	// Unindexed predicate scans everything.
+	s.Select(cred, "photos", Cmp{Col: "title", Op: Eq, Val: "x"})
+	if used := qm.Account("app:q").Used(quota.Query); used != 150 {
+		t.Errorf("billed %d total, want 150", used)
+	}
+}
+
+func TestIndexMaintainedAcrossUpdateDelete(t *testing.T) {
+	s := newStore(t)
+	id, _ := s.Insert(publicCred, "photos", map[string]string{"owner": "bob", "title": "x"}, public)
+	s.Insert(publicCred, "photos", map[string]string{"owner": "bob", "title": "y"}, public)
+
+	// Move one row to a new owner; index must follow.
+	n, err := s.Update(publicCred, "photos", Cmp{Col: "title", Op: Eq, Val: "x"}, map[string]string{"owner": "carol"})
+	if err != nil || n != 1 {
+		t.Fatalf("update: %d, %v", n, err)
+	}
+	rows, _, _ := s.Select(publicCred, "photos", Cmp{Col: "owner", Op: Eq, Val: "carol"})
+	if len(rows) != 1 || rows[0].ID != id {
+		t.Fatalf("index lookup after update: %+v", rows)
+	}
+	rows, _, _ = s.Select(publicCred, "photos", Cmp{Col: "owner", Op: Eq, Val: "bob"})
+	if len(rows) != 1 {
+		t.Fatalf("stale index entry: %+v", rows)
+	}
+	// Delete and verify index cleanup.
+	s.Delete(publicCred, "photos", Cmp{Col: "owner", Op: Eq, Val: "carol"})
+	rows, _, _ = s.Select(publicCred, "photos", Cmp{Col: "owner", Op: Eq, Val: "carol"})
+	if len(rows) != 0 {
+		t.Fatalf("deleted row still indexed: %+v", rows)
+	}
+}
+
+func TestQueryQuotaExhaustion(t *testing.T) {
+	qm := quota.NewManager(quota.Limits{Query: 10})
+	s := New(Options{Quotas: qm})
+	s.Create(photoSchema())
+	for i := 0; i < 20; i++ {
+		s.Insert(publicCred, "photos", map[string]string{"title": "t"}, public)
+	}
+	cred := Cred{Principal: "app:bomb"}
+	_, _, err := s.Select(cred, "photos", True{}) // full scan of 20 > 10
+	var ex *quota.ErrExceeded
+	if !errors.As(err, &ex) {
+		t.Fatalf("query bomb not stopped: %v", err)
+	}
+}
+
+func TestRowCopiesAreIsolated(t *testing.T) {
+	s := newStore(t)
+	s.Insert(publicCred, "photos", map[string]string{"title": "orig"}, public)
+	rows, _, _ := s.Select(publicCred, "photos", True{})
+	rows[0].Values["title"] = "mutated"
+	rows2, _, _ := s.Select(publicCred, "photos", True{})
+	if rows2[0].Values["title"] != "orig" {
+		t.Error("returned rows alias store memory")
+	}
+}
+
+func TestSelectInsertionOrder(t *testing.T) {
+	s := newStore(t)
+	for _, title := range []string{"a", "b", "c"} {
+		s.Insert(publicCred, "photos", map[string]string{"title": title}, public)
+	}
+	rows, _, _ := s.Select(publicCred, "photos", True{})
+	for i, want := range []string{"a", "b", "c"} {
+		if rows[i].Values["title"] != want {
+			t.Fatalf("order: got %v", rows)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package workload generates deterministic synthetic workloads for the
+// experiment suite — the stand-in for real Web-scale user data (DESIGN
+// substitution S4). All generators take an explicit seed; the same seed
+// always yields the same population, so every experiment is exactly
+// reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Users returns n distinct user names, u0000..u<n-1>.
+func Users(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("u%04d", i)
+	}
+	return out
+}
+
+// FriendGraph builds a Watts–Strogatz-style small-world friendship
+// graph over n users: a ring lattice with k neighbors per side,
+// rewired with probability beta. The result maps each user index to a
+// sorted list of distinct friend indexes (directed edges; callers add
+// reciprocal edges if they want mutual friendship).
+func FriendGraph(n, k int, beta float64, seed int64) [][]int {
+	if n <= 0 {
+		return nil
+	}
+	if k >= n/2 {
+		k = n/2 - 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	adj := make([]map[int]bool, n)
+	for i := range adj {
+		adj[i] = make(map[int]bool, 2*k)
+	}
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k; j++ {
+			t := (i + j) % n
+			// Rewire with probability beta.
+			if r.Float64() < beta {
+				for tries := 0; tries < 8; tries++ {
+					cand := r.Intn(n)
+					if cand != i && !adj[i][cand] {
+						t = cand
+						break
+					}
+				}
+			}
+			if t != i {
+				adj[i][t] = true
+			}
+		}
+	}
+	out := make([][]int, n)
+	for i, set := range adj {
+		for f := range set {
+			out[i] = append(out[i], f)
+		}
+		sortInts(out[i])
+	}
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Item is one synthetic user datum (a "photo" or "post").
+type Item struct {
+	Name string
+	Data []byte
+}
+
+// Items generates count data items for a user with Zipf-distributed
+// sizes between minSize and roughly maxSize — a few large objects, many
+// small ones, like real photo collections.
+func Items(user string, count, minSize, maxSize int, seed int64) []Item {
+	r := rand.New(rand.NewSource(seed ^ int64(len(user))*31))
+	if minSize < 1 {
+		minSize = 1
+	}
+	if maxSize <= minSize {
+		maxSize = minSize + 1
+	}
+	z := rand.NewZipf(r, 1.3, 1.0, uint64(maxSize-minSize))
+	out := make([]Item, count)
+	for i := range out {
+		size := minSize + int(z.Uint64())
+		data := make([]byte, size)
+		r.Read(data)
+		out[i] = Item{Name: fmt.Sprintf("%s-item-%03d", user, i), Data: data}
+	}
+	return out
+}
+
+// Words returns a deterministic pseudo-text of n words drawn from a
+// small vocabulary — blog-post bodies for the recommender workload.
+func Words(n int, seed int64) string {
+	vocab := []string{
+		"jazz", "hiking", "photography", "cooking", "golf", "scifi",
+		"travel", "cats", "dogs", "music", "code", "coffee", "tea",
+		"painting", "cycling", "sailing", "poetry", "games", "wine",
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n*6)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, vocab[r.Intn(len(vocab))]...)
+	}
+	return string(out)
+}
+
+// PlantedGraph builds the E5 CodeRank fixture: nModules modules of
+// which the first nTrusted form a "reputable core" that the rest import
+// heavily, plus sparse random imports elsewhere. Returns edges as
+// [from][to] index pairs. A good ranking puts the core on top;
+// precision@k against the planted set is the E5 metric.
+func PlantedGraph(nModules, nTrusted, importsPer int, seed int64) [][2]int {
+	r := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	for i := nTrusted; i < nModules; i++ {
+		for j := 0; j < importsPer; j++ {
+			var to int
+			if r.Float64() < 0.8 { // mostly into the trusted core
+				to = r.Intn(nTrusted)
+			} else {
+				to = r.Intn(nModules)
+			}
+			if to != i {
+				edges = append(edges, [2]int{i, to})
+			}
+		}
+	}
+	// The core also references itself a little.
+	for i := 0; i < nTrusted; i++ {
+		to := r.Intn(nTrusted)
+		if to != i {
+			edges = append(edges, [2]int{i, to})
+		}
+	}
+	return edges
+}
+
+// HTMLPage fabricates an HTML document of roughly n bytes with the
+// given number of embedded scripts and event handlers — the E10 filter
+// corpus.
+func HTMLPage(n, scripts, handlers int, seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	var sb []byte
+	sb = append(sb, "<html><body>"...)
+	para := 0
+	for len(sb) < n {
+		para++
+		switch {
+		case scripts > 0 && para%7 == 0:
+			scripts--
+			sb = append(sb, fmt.Sprintf("<script>var x%d=%d;steal()</script>", para, r.Intn(1000))...)
+		case handlers > 0 && para%5 == 0:
+			handlers--
+			sb = append(sb, fmt.Sprintf(`<div onclick="evil(%d)">item</div>`, para)...)
+		default:
+			sb = append(sb, fmt.Sprintf("<p>paragraph %d %s</p>", para, Words(8, seed+int64(para)))...)
+		}
+	}
+	sb = append(sb, "</body></html>"...)
+	return string(sb)
+}

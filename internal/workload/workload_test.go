@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUsersDistinct(t *testing.T) {
+	us := Users(100)
+	seen := make(map[string]bool)
+	for _, u := range us {
+		if seen[u] {
+			t.Fatalf("duplicate user %s", u)
+		}
+		seen[u] = true
+	}
+	if len(us) != 100 {
+		t.Errorf("len = %d", len(us))
+	}
+}
+
+func TestFriendGraphDeterministicAndSane(t *testing.T) {
+	a := FriendGraph(50, 4, 0.1, 42)
+	b := FriendGraph(50, 4, 0.1, 42)
+	if len(a) != 50 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatal("not deterministic")
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("not deterministic")
+			}
+			if a[i][j] == i {
+				t.Fatalf("self-friendship at %d", i)
+			}
+			if a[i][j] < 0 || a[i][j] >= 50 {
+				t.Fatalf("friend index out of range: %d", a[i][j])
+			}
+		}
+		// Sorted, distinct.
+		for j := 1; j < len(a[i]); j++ {
+			if a[i][j] <= a[i][j-1] {
+				t.Fatalf("unsorted or duplicate friends for %d: %v", i, a[i])
+			}
+		}
+		if len(a[i]) == 0 {
+			t.Errorf("user %d has no friends", i)
+		}
+	}
+	// Different seed differs somewhere.
+	c := FriendGraph(50, 4, 0.5, 43)
+	same := true
+	for i := range a {
+		if len(a[i]) != len(c[i]) {
+			same = false
+			break
+		}
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestFriendGraphEdgeCases(t *testing.T) {
+	if FriendGraph(0, 4, 0.1, 1) != nil {
+		t.Error("n=0 should return nil")
+	}
+	g := FriendGraph(3, 10, 0, 1) // k clamped
+	if len(g) != 3 {
+		t.Errorf("len = %d", len(g))
+	}
+}
+
+func TestItemsSizesAndDeterminism(t *testing.T) {
+	a := Items("bob", 50, 10, 10000, 7)
+	b := Items("bob", 50, 10, 10000, 7)
+	if len(a) != 50 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if len(a[i].Data) < 10 || len(a[i].Data) > 10010 {
+			t.Errorf("item %d size %d out of range", i, len(a[i].Data))
+		}
+		if a[i].Name != b[i].Name || string(a[i].Data) != string(b[i].Data) {
+			t.Fatal("not deterministic")
+		}
+	}
+	// Zipf shape: more small than large.
+	small, large := 0, 0
+	for _, it := range a {
+		if len(it.Data) < 100 {
+			small++
+		}
+		if len(it.Data) > 5000 {
+			large++
+		}
+	}
+	if small <= large {
+		t.Errorf("size distribution not skewed: %d small vs %d large", small, large)
+	}
+}
+
+func TestWords(t *testing.T) {
+	w := Words(10, 3)
+	if len(strings.Fields(w)) != 10 {
+		t.Errorf("Words(10) = %q", w)
+	}
+	if Words(10, 3) != w {
+		t.Error("not deterministic")
+	}
+}
+
+func TestPlantedGraph(t *testing.T) {
+	edges := PlantedGraph(100, 10, 3, 5)
+	if len(edges) == 0 {
+		t.Fatal("no edges")
+	}
+	intoCore := 0
+	for _, e := range edges {
+		if e[0] == e[1] {
+			t.Fatalf("self edge %v", e)
+		}
+		if e[0] < 0 || e[0] >= 100 || e[1] < 0 || e[1] >= 100 {
+			t.Fatalf("edge out of range %v", e)
+		}
+		if e[1] < 10 {
+			intoCore++
+		}
+	}
+	if float64(intoCore)/float64(len(edges)) < 0.5 {
+		t.Errorf("only %d/%d edges into planted core", intoCore, len(edges))
+	}
+}
+
+func TestHTMLPage(t *testing.T) {
+	page := HTMLPage(5000, 3, 4, 9)
+	if len(page) < 5000 {
+		t.Errorf("page too small: %d", len(page))
+	}
+	if got := strings.Count(page, "<script>"); got != 3 {
+		t.Errorf("scripts = %d, want 3", got)
+	}
+	if got := strings.Count(page, "onclick"); got != 4 {
+		t.Errorf("handlers = %d, want 4", got)
+	}
+	if HTMLPage(5000, 3, 4, 9) != page {
+		t.Error("not deterministic")
+	}
+}

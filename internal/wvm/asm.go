@@ -1,0 +1,331 @@
+package wvm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the W5 Assembly text format: the form in which
+// open-source developers publish modules for audit (§3.2), and which
+// cmd/w5asm compiles for upload.
+//
+// Syntax, one statement per line:
+//
+//	; comment (also #)
+//	.data name "string with \n \t \\ \" \xNN escapes"
+//	label:
+//	    push 42          ; decimal or 0x hex immediate
+//	    push @name       ; address of a .data item
+//	    push #name       ; length of a .data item
+//	    jmp  label       ; likewise jz, jnz, call
+//	    load 3           ; global slot index
+//	    sys  7           ; syscall by number...
+//	    sys  fs_read     ; ...or by name, given a syscall name table
+//	    halt
+//
+// Labels may appear on the same line as an instruction ("loop: dup").
+
+// Assemble compiles source text into a Program. sysNames optionally
+// maps syscall names to numbers for "sys name" forms; pass nil to
+// require numeric syscalls.
+func Assemble(src string, sysNames map[string]uint16) (*Program, error) {
+	b := NewBuilder()
+	dataLens := make(map[string]int64)
+
+	lines := strings.Split(src, "\n")
+	// First pass: data directives only (so @name resolves regardless of
+	// where .data appears).
+	for ln, raw := range lines {
+		line := stripComment(raw)
+		fields := strings.Fields(line)
+		if len(fields) == 0 || fields[0] != ".data" {
+			continue
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line, ".data"))
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return nil, fmt.Errorf("wvm: line %d: .data needs a name and a value", ln+1)
+		}
+		name := rest[:sp]
+		valSrc := strings.TrimSpace(rest[sp:])
+		val, err := parseStringLit(valSrc)
+		if err != nil {
+			return nil, fmt.Errorf("wvm: line %d: %v", ln+1, err)
+		}
+		b.DataString(name, val)
+		dataLens[name] = int64(len(val))
+	}
+
+	// Second pass: code.
+	for ln, raw := range lines {
+		line := strings.TrimSpace(stripComment(raw))
+		if line == "" || strings.HasPrefix(line, ".data") {
+			continue
+		}
+		// Leading "label:" (possibly followed by an instruction).
+		for {
+			ci := strings.Index(line, ":")
+			if ci < 0 || strings.ContainsAny(line[:ci], " \t\"") {
+				break
+			}
+			b.Label(line[:ci])
+			line = strings.TrimSpace(line[ci+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		mnemonic := strings.ToLower(fields[0])
+		op, ok := opByName[mnemonic]
+		if !ok {
+			return nil, fmt.Errorf("wvm: line %d: unknown instruction %q", ln+1, mnemonic)
+		}
+		arg := ""
+		if len(fields) > 1 {
+			arg = fields[1]
+		}
+		if len(fields) > 2 {
+			return nil, fmt.Errorf("wvm: line %d: too many operands", ln+1)
+		}
+		if err := emit(b, op, arg, sysNames, dataLens); err != nil {
+			return nil, fmt.Errorf("wvm: line %d: %v", ln+1, err)
+		}
+	}
+	return b.Build()
+}
+
+func emit(b *Builder, op Opcode, arg string, sysNames map[string]uint16, dataLens map[string]int64) error {
+	w := operandWidth(op)
+	if w == 0 {
+		if arg != "" {
+			return fmt.Errorf("%s takes no operand", op)
+		}
+		b.Op(op)
+		return nil
+	}
+	if arg == "" {
+		return fmt.Errorf("%s requires an operand", op)
+	}
+	switch op {
+	case OpPush:
+		switch arg[0] {
+		case '@':
+			b.PushData(arg[1:])
+		case '#':
+			n, ok := dataLens[arg[1:]]
+			if !ok {
+				return fmt.Errorf("unknown data label %q", arg[1:])
+			}
+			b.Push(n)
+		default:
+			v, err := parseInt(arg)
+			if err != nil {
+				return err
+			}
+			b.Push(v)
+		}
+	case OpJmp, OpJz, OpJnz, OpCall:
+		b.Jump(op, arg)
+	case OpLoad, OpStore:
+		v, err := parseInt(arg)
+		if err != nil {
+			return err
+		}
+		if v < 0 || v >= globalSlots {
+			return fmt.Errorf("global index %d out of range", v)
+		}
+		b.Global(op, uint16(v))
+	case OpSys:
+		if v, err := parseInt(arg); err == nil {
+			if v < 0 || v > 0xFFFF {
+				return fmt.Errorf("syscall number %d out of range", v)
+			}
+			b.Sys(uint16(v))
+			return nil
+		}
+		num, ok := sysNames[arg]
+		if !ok {
+			return fmt.Errorf("unknown syscall %q", arg)
+		}
+		b.Sys(num)
+	}
+	return nil
+}
+
+// stripComment removes trailing comments. ';' always starts a comment
+// outside string literals. '#' starts one only when not immediately
+// followed by an identifier character, so the length reference in
+// "push #greeting" survives while "push 1 # one" is trimmed.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if i == 0 || line[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case ';':
+			if !inStr {
+				return line[:i]
+			}
+		case '#':
+			if !inStr && !(i+1 < len(line) && isIdentChar(line[i+1])) {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+		(c >= '0' && c <= '9')
+}
+
+func parseInt(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+func parseStringLit(s string) (string, error) {
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("malformed string literal %s", s)
+	}
+	body := s[1 : len(s)-1]
+	var out strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("dangling escape")
+		}
+		switch body[i] {
+		case 'n':
+			out.WriteByte('\n')
+		case 't':
+			out.WriteByte('\t')
+		case 'r':
+			out.WriteByte('\r')
+		case '\\':
+			out.WriteByte('\\')
+		case '"':
+			out.WriteByte('"')
+		case '0':
+			out.WriteByte(0)
+		case 'x':
+			if i+2 >= len(body) {
+				return "", fmt.Errorf("truncated \\x escape")
+			}
+			v, err := strconv.ParseUint(body[i+1:i+3], 16, 8)
+			if err != nil {
+				return "", fmt.Errorf("bad \\x escape")
+			}
+			out.WriteByte(byte(v))
+			i += 2
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return out.String(), nil
+}
+
+// Disassemble renders a program as auditable W5 Assembly. Jump targets
+// get synthetic labels L<offset>; the data segment is emitted as one
+// .data directive. Disassembling then reassembling yields byte-identical
+// code and data segments — the property that makes "audit the listing,
+// pin the hash" sound.
+func Disassemble(p *Program) string {
+	var sb strings.Builder
+	targets := make(map[int]bool)
+	for i := 0; i < len(p.Code); {
+		op := Opcode(p.Code[i])
+		switch op {
+		case OpJmp, OpJz, OpJnz, OpCall:
+			targets[int(binary.LittleEndian.Uint32(p.Code[i+1:]))] = true
+		}
+		i += 1 + operandWidth(op)
+	}
+	if len(p.Data) > 0 {
+		sb.WriteString(".data d0 \"")
+		sb.WriteString(escapeString(string(p.Data)))
+		sb.WriteString("\"\n")
+	}
+	var offs []int
+	for t := range targets {
+		offs = append(offs, t)
+	}
+	sort.Ints(offs)
+
+	for i := 0; i < len(p.Code); {
+		if targets[i] {
+			fmt.Fprintf(&sb, "L%d:\n", i)
+		}
+		op := Opcode(p.Code[i])
+		switch op {
+		case OpPush:
+			fmt.Fprintf(&sb, "    push %d\n", int64(binary.LittleEndian.Uint64(p.Code[i+1:])))
+		case OpJmp, OpJz, OpJnz, OpCall:
+			fmt.Fprintf(&sb, "    %s L%d\n", op, binary.LittleEndian.Uint32(p.Code[i+1:]))
+		case OpLoad, OpStore:
+			fmt.Fprintf(&sb, "    %s %d\n", op, binary.LittleEndian.Uint16(p.Code[i+1:]))
+		case OpSys:
+			fmt.Fprintf(&sb, "    sys %d\n", binary.LittleEndian.Uint16(p.Code[i+1:]))
+		default:
+			fmt.Fprintf(&sb, "    %s\n", op)
+		}
+		i += 1 + operandWidth(op)
+	}
+	// A label exactly at the end of code (halt-by-falloff target).
+	if targets[len(p.Code)] {
+		fmt.Fprintf(&sb, "L%d:\n", len(p.Code))
+	}
+	return sb.String()
+}
+
+func escapeString(s string) string {
+	var out strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\\':
+			out.WriteString(`\\`)
+		case c == '"':
+			out.WriteString(`\"`)
+		case c == '\n':
+			out.WriteString(`\n`)
+		case c == '\t':
+			out.WriteString(`\t`)
+		case c == '\r':
+			out.WriteString(`\r`)
+		case c < 0x20 || c >= 0x7F:
+			fmt.Fprintf(&out, `\x%02x`, c)
+		default:
+			out.WriteByte(c)
+		}
+	}
+	return out.String()
+}

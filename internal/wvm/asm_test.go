@@ -1,0 +1,319 @@
+package wvm
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown mnemonic", "frobnicate"},
+		{"push no operand", "push"},
+		{"halt with operand", "halt 3"},
+		{"bad integer", "push 12abc"},
+		{"undefined jump", "jmp nowhere"},
+		{"duplicate label", "a:\na:\nhalt"},
+		{"unknown data ref", "push @nope"},
+		{"unknown data len", "push #nope"},
+		{"global out of range", "load 70000"},
+		{"syscall out of range", "sys 70000"},
+		{"unknown sys name", "sys frob"},
+		{"data without value", ".data x"},
+		{"data bad literal", `.data x hello`},
+		{"data bad escape", `.data x "\q"`},
+		{"data dangling escape", `.data x "abc\`},
+		{"duplicate data label", ".data x \"a\"\n.data x \"b\""},
+		{"too many operands", "push 1 2"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Assemble(tt.src, nil); err == nil {
+				t.Errorf("Assemble(%q) succeeded", tt.src)
+			}
+		})
+	}
+}
+
+func TestAssembleCommentsAndLabels(t *testing.T) {
+	src := `
+; full line comment
+# another full line comment
+start:  push 1      ; trailing comment
+        push 2      # trailing hash comment
+        add
+        jmp end     ; forward reference
+        push 99
+end:    halt
+`
+	p, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(p, Config{}).Run()
+	if err != nil || v != 3 {
+		t.Errorf("run = %d, %v; want 3", v, err)
+	}
+}
+
+func TestLabelOnOwnLineAndInline(t *testing.T) {
+	src := "a:\nb: push 1\njmp c\nc: halt"
+	if _, err := Assemble(src, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	src := `.data s "a\nb\tc\\d\"e\x41\0"
+push @s
+halt`
+	p, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\nb\tc\\d\"eA\x00"
+	if string(p.Data) != want {
+		t.Errorf("data = %q, want %q", p.Data, want)
+	}
+}
+
+func TestVerifyRejectsBadPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		code []byte
+	}{
+		{"invalid opcode", []byte{255}},
+		{"truncated push", []byte{byte(OpPush), 1, 2}},
+		{"truncated jmp", []byte{byte(OpJmp), 0}},
+		{"jump mid-instruction", func() []byte {
+			b := NewBuilder()
+			b.Push(1)
+			p, _ := b.Build()
+			code := append(p.Code, byte(OpJmp), 4, 0, 0, 0) // target 4 is inside the push
+			return code
+		}()},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			p := &Program{Code: tt.code}
+			if err := p.Verify(); err == nil {
+				t.Error("Verify accepted bad code")
+			}
+		})
+	}
+}
+
+func TestVerifyAcceptsJumpToEnd(t *testing.T) {
+	b := NewBuilder()
+	b.Jump(OpJmp, "end")
+	b.Label("end")
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("jump-to-end rejected: %v", err)
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	src := `.data msg "hello world"
+start: push @msg
+       push #msg
+       sys 1
+       jz start
+       halt`
+	table := map[string]uint16{"x": 1}
+	_ = table
+	p, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := p.Marshal()
+	q, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.Code, q.Code) || !bytes.Equal(p.Data, q.Data) {
+		t.Error("round trip changed program")
+	}
+	if p.Hash() != q.Hash() {
+		t.Error("hash not stable across round trip")
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	p, _ := Assemble("push 1\nhalt", nil)
+	blob := p.Marshal()
+
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil blob accepted")
+	}
+	if _, err := Unmarshal([]byte("XXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[4] = 9 // version
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := Unmarshal(blob[:len(blob)-1]); err == nil {
+		t.Error("truncated blob accepted")
+	}
+	if _, err := Unmarshal(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Corrupt an opcode: verification at unmarshal must catch it.
+	bad2 := append([]byte(nil), blob...)
+	bad2[5+1] = 255 // inside code segment (after magic + codeLen varint)
+	if _, err := Unmarshal(bad2); err == nil {
+		t.Error("corrupt code accepted")
+	}
+}
+
+func TestDisassembleReassembleRoundTrip(t *testing.T) {
+	srcs := []string{
+		"push 1\nhalt",
+		`.data s "bytes\x00\xff"
+loop: push @s
+      mload
+      jz end
+      push 1
+      add
+      jnz loop
+end:  halt`,
+		`push -42
+     dup
+     call f
+     halt
+f:   push 2
+     mul
+     ret`,
+		"load 3\nstore 4\nsys 17\nmsize\nhalt",
+	}
+	for _, src := range srcs {
+		p, err := Assemble(src, nil)
+		if err != nil {
+			t.Fatalf("assemble %q: %v", src, err)
+		}
+		listing := Disassemble(p)
+		q, err := Assemble(listing, nil)
+		if err != nil {
+			t.Fatalf("reassemble listing:\n%s\nerror: %v", listing, err)
+		}
+		if !bytes.Equal(p.Code, q.Code) {
+			t.Errorf("code changed after disasm round trip:\n%s", listing)
+		}
+		if !bytes.Equal(p.Data, q.Data) {
+			t.Errorf("data changed after disasm round trip: %q vs %q", p.Data, q.Data)
+		}
+	}
+}
+
+// randomProgram builds a random but verifiable program for property
+// tests: straight-line arithmetic with a final halt.
+type randomProgram struct{ p *Program }
+
+func (randomProgram) Generate(r *rand.Rand, _ int) reflect.Value {
+	b := NewBuilder()
+	straight := []Opcode{OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpEq, OpNe, OpLt, OpGt, OpDup, OpSwap, OpPop, OpNeg, OpNot, OpMsize}
+	if r.Intn(2) == 0 {
+		b.DataString("d", string(randBytes(r, r.Intn(32))))
+	}
+	// Seed enough stack that random ops rarely underflow (underflow is
+	// fine at run time; these tests only exercise encode/decode).
+	for i := 0; i < 8; i++ {
+		b.Push(r.Int63() - (1 << 62))
+	}
+	for i := 0; i < r.Intn(40); i++ {
+		switch r.Intn(4) {
+		case 0:
+			b.Push(r.Int63())
+		case 1:
+			b.Global(OpLoad, uint16(r.Intn(globalSlots)))
+		case 2:
+			b.Global(OpStore, uint16(r.Intn(globalSlots)))
+		default:
+			b.Op(straight[r.Intn(len(straight))])
+		}
+	}
+	b.Op(OpHalt)
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return reflect.ValueOf(randomProgram{p})
+}
+
+func randBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(rp randomProgram) bool {
+		q, err := Unmarshal(rp.p.Marshal())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(q.Code, rp.p.Code) && bytes.Equal(q.Data, rp.p.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDisasmRoundTrip(t *testing.T) {
+	f := func(rp randomProgram) bool {
+		listing := Disassemble(rp.p)
+		q, err := Assemble(listing, nil)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(q.Code, rp.p.Code) && bytes.Equal(q.Data, rp.p.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRandomProgramsTerminate(t *testing.T) {
+	// Any verified straight-line program must terminate within gas and
+	// never panic, whatever its stack behaviour.
+	f := func(rp randomProgram) bool {
+		vm := New(rp.p, Config{Gas: 10_000})
+		_, _ = vm.Run() // errors (underflow etc.) are acceptable; panics are not
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassembleShowsDataAndLabels(t *testing.T) {
+	src := `.data s "hi"
+loop: push 1
+      jnz loop
+      halt`
+	p, _ := Assemble(src, nil)
+	listing := Disassemble(p)
+	for _, want := range []string{".data d0 \"hi\"", "L0:", "jnz L0", "halt"} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("listing missing %q:\n%s", want, listing)
+		}
+	}
+}
+
+func TestHashDistinguishesPrograms(t *testing.T) {
+	p1, _ := Assemble("push 1\nhalt", nil)
+	p2, _ := Assemble("push 2\nhalt", nil)
+	if p1.Hash() == p2.Hash() {
+		t.Error("different programs share a hash")
+	}
+	if len(p1.Hash()) != 64 {
+		t.Errorf("hash length = %d, want 64 hex chars", len(p1.Hash()))
+	}
+}

@@ -1,0 +1,145 @@
+// Package wvm implements the W5 virtual machine: the sandbox in which
+// developer-uploaded code runs on the platform.
+//
+// The paper (§2 "Developers") envisions developers uploading binaries
+// that are "executable but not readable", coding against a syscall API
+// ("The Unix system call API, for instance, fits the bill"). Running
+// native binaries safely in-process is not possible, so the platform
+// substitutes a small stack-based bytecode machine — W5 Assembly — with
+// these properties preserved:
+//
+//   - Uploaded modules are opaque byte blobs; closed-source modules are
+//     stored hash-only, open-source ones with their assembly listing so
+//     users can audit exactly what runs (§3.2 "code audit").
+//   - All interaction with the outside world goes through numbered
+//     syscalls registered by the platform; the VM itself has no I/O.
+//     The syscall layer consults the DIFC kernel, so uploaded code is
+//     confined exactly like any other process.
+//   - Every instruction executed burns one gas unit, charged against
+//     the process's CPU quota in chunks — a spinning rogue app is cut
+//     off (§3.5, experiment E8).
+//   - Memory is a fixed linear buffer charged to the memory quota.
+//
+// The instruction set is deliberately small (see opcode.go) but
+// complete: integers, a byte-addressable memory, structured control
+// flow via explicit jumps, subroutine calls, and syscalls.
+package wvm
+
+import "fmt"
+
+// Opcode is a single-byte W5 Assembly operation code.
+type Opcode byte
+
+// The W5 Assembly instruction set.
+const (
+	// OpHalt stops execution; the exit value is the top of stack (0 if
+	// empty).
+	OpHalt Opcode = iota
+	// OpPush pushes an 8-byte little-endian immediate.
+	OpPush
+	// OpPop discards the top of stack.
+	OpPop
+	// OpDup duplicates the top of stack.
+	OpDup
+	// OpSwap exchanges the top two stack slots.
+	OpSwap
+	// OpOver pushes a copy of the second-from-top slot.
+	OpOver
+
+	// Arithmetic: pop b, pop a, push a OP b.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // traps on division by zero
+	OpMod // traps on division by zero
+	OpNeg // pop a, push -a
+
+	// Bitwise.
+	OpAnd
+	OpOr
+	OpXor
+	OpNot // bitwise complement
+	OpShl
+	OpShr // logical shift right
+
+	// Comparisons: pop b, pop a, push 1 if a OP b else 0.
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+
+	// Control flow. Jump targets are 4-byte little-endian code offsets.
+	OpJmp
+	OpJz  // pop v; jump if v == 0
+	OpJnz // pop v; jump if v != 0
+	OpCall
+	OpRet
+
+	// Globals: 2-byte index into the global slot array.
+	OpLoad
+	OpStore
+
+	// Memory: byte-addressable linear memory.
+	OpMload  // pop addr, push mem[addr] (one byte, zero-extended)
+	OpMstore // pop value, pop addr, mem[addr] = low byte of value
+	OpMsize  // push memory size in bytes
+
+	// OpSys invokes syscall n (2-byte immediate). Arguments are popped
+	// (count fixed per syscall registration), results are pushed.
+	OpSys
+
+	opMax // sentinel; keep last
+)
+
+// operandWidth returns the number of immediate operand bytes following
+// each opcode.
+func operandWidth(op Opcode) int {
+	switch op {
+	case OpPush:
+		return 8
+	case OpJmp, OpJz, OpJnz, OpCall:
+		return 4
+	case OpLoad, OpStore, OpSys:
+		return 2
+	default:
+		return 0
+	}
+}
+
+var opNames = map[Opcode]string{
+	OpHalt: "halt", OpPush: "push", OpPop: "pop", OpDup: "dup",
+	OpSwap: "swap", OpOver: "over",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpNeg: "neg",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpNot: "not",
+	OpShl: "shl", OpShr: "shr",
+	OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge",
+	OpJmp: "jmp", OpJz: "jz", OpJnz: "jnz", OpCall: "call", OpRet: "ret",
+	OpLoad: "load", OpStore: "store",
+	OpMload: "mload", OpMstore: "mstore", OpMsize: "msize",
+	OpSys: "sys",
+}
+
+var opByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+// String returns the assembly mnemonic.
+func (op Opcode) String() string {
+	if n, ok := opNames[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", byte(op))
+}
+
+// Valid reports whether op is a defined instruction.
+func (op Opcode) Valid() bool {
+	_, ok := opNames[op]
+	return ok
+}

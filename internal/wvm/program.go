@@ -1,0 +1,236 @@
+package wvm
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Program is an executable W5 Assembly module: a verified code segment
+// plus an initial data segment that is copied to the low end of linear
+// memory at startup.
+type Program struct {
+	Code []byte
+	Data []byte
+}
+
+// programMagic identifies serialized modules ("W5VM" followed by a
+// format version byte).
+var programMagic = []byte{'W', '5', 'V', 'M', 1}
+
+// Hash returns the SHA-256 of the serialized module, the identity used
+// by the registry: users who audit a listing pin this hash, and the
+// platform guarantees the code that runs is "exactly the code that the
+// user has audited" (§2) by refusing to run anything else under it.
+func (p *Program) Hash() string {
+	h := sha256.Sum256(p.Marshal())
+	return hex.EncodeToString(h[:])
+}
+
+// Marshal serializes the module:
+//
+//	magic(5) | codeLen uvarint | code | dataLen uvarint | data
+func (p *Program) Marshal() []byte {
+	out := make([]byte, 0, len(programMagic)+len(p.Code)+len(p.Data)+10)
+	out = append(out, programMagic...)
+	out = binary.AppendUvarint(out, uint64(len(p.Code)))
+	out = append(out, p.Code...)
+	out = binary.AppendUvarint(out, uint64(len(p.Data)))
+	out = append(out, p.Data...)
+	return out
+}
+
+// Unmarshal parses and verifies a serialized module. The code segment
+// is statically verified (see Verify); a module that fails verification
+// is rejected at upload time, never at run time.
+func Unmarshal(b []byte) (*Program, error) {
+	if len(b) < len(programMagic) || string(b[:4]) != "W5VM" {
+		return nil, fmt.Errorf("wvm: bad magic")
+	}
+	if b[4] != programMagic[4] {
+		return nil, fmt.Errorf("wvm: unsupported module version %d", b[4])
+	}
+	rest := b[len(programMagic):]
+	codeLen, n := binary.Uvarint(rest)
+	if n <= 0 || codeLen > uint64(len(rest)) {
+		return nil, fmt.Errorf("wvm: corrupt code length")
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) < codeLen {
+		return nil, fmt.Errorf("wvm: truncated code segment")
+	}
+	code := append([]byte(nil), rest[:codeLen]...)
+	rest = rest[codeLen:]
+	dataLen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("wvm: corrupt data length")
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) != dataLen {
+		return nil, fmt.Errorf("wvm: data segment length mismatch")
+	}
+	p := &Program{Code: code, Data: append([]byte(nil), rest...)}
+	if err := p.Verify(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Verify statically checks the code segment: every byte position
+// reachable as an instruction must hold a valid opcode with its full
+// operand in bounds, and every jump/call target must land on an
+// instruction boundary. Verification makes the interpreter's fetch
+// loop panic-free without per-step bounds branching on operands.
+func (p *Program) Verify() error {
+	boundaries := make(map[int]bool)
+	i := 0
+	for i < len(p.Code) {
+		boundaries[i] = true
+		op := Opcode(p.Code[i])
+		if !op.Valid() {
+			return fmt.Errorf("wvm: invalid opcode %d at offset %d", p.Code[i], i)
+		}
+		w := operandWidth(op)
+		if i+1+w > len(p.Code) {
+			return fmt.Errorf("wvm: truncated operand for %s at offset %d", op, i)
+		}
+		i += 1 + w
+	}
+	// Second pass: jump targets must be instruction boundaries (or
+	// exactly len(code), which halts).
+	i = 0
+	for i < len(p.Code) {
+		op := Opcode(p.Code[i])
+		w := operandWidth(op)
+		switch op {
+		case OpJmp, OpJz, OpJnz, OpCall:
+			t := int(binary.LittleEndian.Uint32(p.Code[i+1 : i+5]))
+			if t != len(p.Code) && !boundaries[t] {
+				return fmt.Errorf("wvm: %s at %d targets mid-instruction offset %d", op, i, t)
+			}
+		}
+		i += 1 + w
+	}
+	return nil
+}
+
+// Builder assembles programs programmatically; the text assembler in
+// asm.go is a thin layer over it. The zero value is ready to use.
+type Builder struct {
+	code   []byte
+	data   []byte
+	labels map[string]int   // name -> code offset
+	fixups map[int]string   // operand offset -> label
+	dataLa map[string]int64 // data label -> memory address
+	errs   []error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+		dataLa: make(map[string]int64),
+	}
+}
+
+// Label defines a code label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("wvm: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+// Op emits a no-operand instruction.
+func (b *Builder) Op(op Opcode) *Builder {
+	b.code = append(b.code, byte(op))
+	return b
+}
+
+// Push emits push imm.
+func (b *Builder) Push(v int64) *Builder {
+	b.code = append(b.code, byte(OpPush))
+	b.code = binary.LittleEndian.AppendUint64(b.code, uint64(v))
+	return b
+}
+
+// PushData emits push of a data label's memory address.
+func (b *Builder) PushData(label string) *Builder {
+	addr, ok := b.dataLa[label]
+	if !ok {
+		b.errs = append(b.errs, fmt.Errorf("wvm: unknown data label %q", label))
+		addr = 0
+	}
+	return b.Push(addr)
+}
+
+// Jump emits a control transfer to a code label (resolved at Build).
+func (b *Builder) Jump(op Opcode, label string) *Builder {
+	switch op {
+	case OpJmp, OpJz, OpJnz, OpCall:
+	default:
+		b.errs = append(b.errs, fmt.Errorf("wvm: %s is not a jump", op))
+		return b
+	}
+	b.code = append(b.code, byte(op))
+	b.fixups[len(b.code)] = label
+	b.code = append(b.code, 0, 0, 0, 0)
+	return b
+}
+
+// Global emits load/store of global slot idx.
+func (b *Builder) Global(op Opcode, idx uint16) *Builder {
+	if op != OpLoad && op != OpStore {
+		b.errs = append(b.errs, fmt.Errorf("wvm: %s is not a global op", op))
+		return b
+	}
+	b.code = append(b.code, byte(op))
+	b.code = binary.LittleEndian.AppendUint16(b.code, idx)
+	return b
+}
+
+// Sys emits a syscall.
+func (b *Builder) Sys(num uint16) *Builder {
+	b.code = append(b.code, byte(OpSys))
+	b.code = binary.LittleEndian.AppendUint16(b.code, num)
+	return b
+}
+
+// DataString appends a string to the data segment under a label and
+// returns its address; programs reference it with PushData. The length
+// is available to the program by convention (store it separately or use
+// DataStringZ for NUL-terminated).
+func (b *Builder) DataString(label, s string) int64 {
+	addr := int64(len(b.data))
+	if _, dup := b.dataLa[label]; dup {
+		b.errs = append(b.errs, fmt.Errorf("wvm: duplicate data label %q", label))
+	}
+	b.dataLa[label] = addr
+	b.data = append(b.data, s...)
+	return addr
+}
+
+// DataLen returns the address just past the current data segment.
+func (b *Builder) DataLen() int64 { return int64(len(b.data)) }
+
+// Build resolves fixups and verifies the program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for off, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("wvm: undefined label %q", label)
+		}
+		binary.LittleEndian.PutUint32(b.code[off:], uint32(target))
+	}
+	p := &Program{Code: append([]byte(nil), b.code...), Data: append([]byte(nil), b.data...)}
+	if err := p.Verify(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

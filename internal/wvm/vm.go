@@ -1,0 +1,405 @@
+package wvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"w5/internal/quota"
+)
+
+// Execution errors. ErrGas and ErrMemQuota are quota exhaustion;
+// the rest are program faults. All of them terminate the run.
+var (
+	ErrGas        = errors.New("wvm: out of gas (CPU quota exhausted)")
+	ErrMemQuota   = errors.New("wvm: memory quota exhausted")
+	ErrStack      = errors.New("wvm: stack underflow")
+	ErrStackLimit = errors.New("wvm: stack overflow")
+	ErrCallDepth  = errors.New("wvm: call depth exceeded")
+	ErrDivZero    = errors.New("wvm: division by zero")
+	ErrMemBounds  = errors.New("wvm: memory access out of bounds")
+	ErrGlobal     = errors.New("wvm: global index out of range")
+	ErrBadSys     = errors.New("wvm: unknown syscall")
+)
+
+// Syscall is a platform-provided host function. It receives the VM (for
+// memory access) and its popped arguments, and returns values to push.
+// Returning an error aborts the program; syscalls that merely fail
+// should return a status code instead, so untrusted code can handle it.
+type Syscall struct {
+	Name  string
+	Arity int // values popped from the stack, passed in push order
+	Fn    func(vm *VM, args []int64) ([]int64, error)
+}
+
+// SyscallTable maps syscall numbers to implementations. The platform
+// builds one per process (closing over the process's kernel identity)
+// and hands it to the VM.
+type SyscallTable map[uint16]Syscall
+
+// Config bounds a VM run.
+type Config struct {
+	// MemSize is the linear memory size in bytes (default 64 KiB).
+	MemSize int
+	// MaxStack is the operand stack depth limit (default 1024).
+	MaxStack int
+	// MaxCalls is the call stack depth limit (default 256).
+	MaxCalls int
+	// Gas is the instruction budget for this run; 0 means unlimited.
+	Gas uint64
+	// Account, if non-nil, is charged quota.CPU per instruction (in
+	// chunks of GasChunk) and quota.Memory once for MemSize. Charges
+	// failing => run aborts with ErrGas / ErrMemQuota.
+	Account *quota.Account
+	// Syscalls is the host interface; nil means no syscalls available.
+	Syscalls SyscallTable
+}
+
+// GasChunk is how many instructions execute between quota charges; the
+// tail is charged at exit. Chunking keeps the mutex off the hot path
+// while bounding overshoot to one chunk.
+const GasChunk = 1024
+
+// VM executes one Program under one Config. A VM is single-use and not
+// safe for concurrent use; run each program in its own VM.
+type VM struct {
+	prog    *Program
+	cfg     Config
+	mem     []byte
+	stack   []int64
+	calls   []int
+	globals [globalSlots]int64
+	pc      int
+	steps   uint64 // total instructions executed
+	halted  bool
+}
+
+const globalSlots = 256
+
+// New prepares a VM for prog. Memory is allocated immediately (and
+// charged, if an account is configured, when Run starts).
+func New(prog *Program, cfg Config) *VM {
+	if cfg.MemSize <= 0 {
+		cfg.MemSize = 64 << 10
+	}
+	if cfg.MaxStack <= 0 {
+		cfg.MaxStack = 1024
+	}
+	if cfg.MaxCalls <= 0 {
+		cfg.MaxCalls = 256
+	}
+	return &VM{prog: prog, cfg: cfg}
+}
+
+// Steps reports how many instructions have executed.
+func (vm *VM) Steps() uint64 { return vm.steps }
+
+// ReadMem copies n bytes of linear memory at addr; syscall helpers use
+// it to fetch strings and buffers from guest memory.
+func (vm *VM) ReadMem(addr, n int64) ([]byte, error) {
+	if addr < 0 || n < 0 || addr+n > int64(len(vm.mem)) {
+		return nil, ErrMemBounds
+	}
+	out := make([]byte, n)
+	copy(out, vm.mem[addr:addr+n])
+	return out, nil
+}
+
+// WriteMem copies b into linear memory at addr.
+func (vm *VM) WriteMem(addr int64, b []byte) error {
+	if addr < 0 || addr+int64(len(b)) > int64(len(vm.mem)) {
+		return ErrMemBounds
+	}
+	copy(vm.mem[addr:], b)
+	return nil
+}
+
+// Run executes the program to completion and returns its exit value
+// (top of stack at halt, 0 if the stack is empty).
+func (vm *VM) Run() (int64, error) {
+	if vm.halted {
+		return 0, fmt.Errorf("wvm: VM already ran")
+	}
+	vm.halted = true
+
+	if vm.cfg.Account != nil {
+		if err := vm.cfg.Account.Charge(quota.Memory, uint64(vm.cfg.MemSize)); err != nil {
+			return 0, ErrMemQuota
+		}
+	}
+	vm.mem = make([]byte, vm.cfg.MemSize)
+	if len(vm.prog.Data) > len(vm.mem) {
+		return 0, ErrMemBounds
+	}
+	copy(vm.mem, vm.prog.Data)
+
+	var chunkUsed uint64 // instructions since last quota flush
+	flush := func() error {
+		if vm.cfg.Account != nil && chunkUsed > 0 {
+			if err := vm.cfg.Account.Charge(quota.CPU, chunkUsed); err != nil {
+				chunkUsed = 0
+				return ErrGas
+			}
+		}
+		chunkUsed = 0
+		return nil
+	}
+
+	code := vm.prog.Code
+	for vm.pc < len(code) {
+		if vm.cfg.Gas > 0 && vm.steps >= vm.cfg.Gas {
+			flush()
+			return 0, ErrGas
+		}
+		vm.steps++
+		chunkUsed++
+		if chunkUsed >= GasChunk {
+			if err := flush(); err != nil {
+				return 0, err
+			}
+		}
+
+		op := Opcode(code[vm.pc])
+		pc := vm.pc
+		vm.pc += 1 + operandWidth(op)
+
+		var err error
+		switch op {
+		case OpHalt:
+			flush()
+			if len(vm.stack) == 0 {
+				return 0, nil
+			}
+			return vm.stack[len(vm.stack)-1], nil
+
+		case OpPush:
+			err = vm.push(int64(binary.LittleEndian.Uint64(code[pc+1:])))
+		case OpPop:
+			_, err = vm.pop()
+		case OpDup:
+			var v int64
+			if v, err = vm.peek(); err == nil {
+				err = vm.push(v)
+			}
+		case OpSwap:
+			if len(vm.stack) < 2 {
+				err = ErrStack
+			} else {
+				n := len(vm.stack)
+				vm.stack[n-1], vm.stack[n-2] = vm.stack[n-2], vm.stack[n-1]
+			}
+		case OpOver:
+			if len(vm.stack) < 2 {
+				err = ErrStack
+			} else {
+				err = vm.push(vm.stack[len(vm.stack)-2])
+			}
+
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
+			OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			err = vm.binop(op)
+		case OpNeg:
+			var v int64
+			if v, err = vm.pop(); err == nil {
+				err = vm.push(-v)
+			}
+		case OpNot:
+			var v int64
+			if v, err = vm.pop(); err == nil {
+				err = vm.push(^v)
+			}
+
+		case OpJmp:
+			vm.pc = int(binary.LittleEndian.Uint32(code[pc+1:]))
+		case OpJz, OpJnz:
+			var v int64
+			if v, err = vm.pop(); err == nil {
+				if (op == OpJz) == (v == 0) {
+					vm.pc = int(binary.LittleEndian.Uint32(code[pc+1:]))
+				}
+			}
+		case OpCall:
+			if len(vm.calls) >= vm.cfg.MaxCalls {
+				err = ErrCallDepth
+			} else {
+				vm.calls = append(vm.calls, vm.pc)
+				vm.pc = int(binary.LittleEndian.Uint32(code[pc+1:]))
+			}
+		case OpRet:
+			if len(vm.calls) == 0 {
+				// Returning from top level halts cleanly.
+				flush()
+				if len(vm.stack) == 0 {
+					return 0, nil
+				}
+				return vm.stack[len(vm.stack)-1], nil
+			}
+			vm.pc = vm.calls[len(vm.calls)-1]
+			vm.calls = vm.calls[:len(vm.calls)-1]
+
+		case OpLoad:
+			idx := binary.LittleEndian.Uint16(code[pc+1:])
+			if int(idx) >= globalSlots {
+				err = ErrGlobal
+			} else {
+				err = vm.push(vm.globals[idx])
+			}
+		case OpStore:
+			idx := binary.LittleEndian.Uint16(code[pc+1:])
+			var v int64
+			if v, err = vm.pop(); err == nil {
+				if int(idx) >= globalSlots {
+					err = ErrGlobal
+				} else {
+					vm.globals[idx] = v
+				}
+			}
+
+		case OpMload:
+			var addr int64
+			if addr, err = vm.pop(); err == nil {
+				if addr < 0 || addr >= int64(len(vm.mem)) {
+					err = ErrMemBounds
+				} else {
+					err = vm.push(int64(vm.mem[addr]))
+				}
+			}
+		case OpMstore:
+			var v, addr int64
+			if v, err = vm.pop(); err == nil {
+				if addr, err = vm.pop(); err == nil {
+					if addr < 0 || addr >= int64(len(vm.mem)) {
+						err = ErrMemBounds
+					} else {
+						vm.mem[addr] = byte(v)
+					}
+				}
+			}
+		case OpMsize:
+			err = vm.push(int64(len(vm.mem)))
+
+		case OpSys:
+			num := binary.LittleEndian.Uint16(code[pc+1:])
+			sc, ok := vm.cfg.Syscalls[num]
+			if !ok {
+				err = ErrBadSys
+				break
+			}
+			args := make([]int64, sc.Arity)
+			for i := sc.Arity - 1; i >= 0; i-- {
+				if args[i], err = vm.pop(); err != nil {
+					break
+				}
+			}
+			if err != nil {
+				break
+			}
+			var rets []int64
+			rets, err = sc.Fn(vm, args)
+			for _, r := range rets {
+				if err != nil {
+					break
+				}
+				err = vm.push(r)
+			}
+
+		default:
+			err = fmt.Errorf("wvm: invalid opcode %d (verifier bypassed?)", op)
+		}
+
+		if err != nil {
+			flush()
+			return 0, fmt.Errorf("wvm: at offset %d (%s): %w", pc, op, err)
+		}
+	}
+	// Fell off the end of the code segment: clean halt.
+	flush()
+	if len(vm.stack) == 0 {
+		return 0, nil
+	}
+	return vm.stack[len(vm.stack)-1], nil
+}
+
+func (vm *VM) push(v int64) error {
+	if len(vm.stack) >= vm.cfg.MaxStack {
+		return ErrStackLimit
+	}
+	vm.stack = append(vm.stack, v)
+	return nil
+}
+
+func (vm *VM) pop() (int64, error) {
+	if len(vm.stack) == 0 {
+		return 0, ErrStack
+	}
+	v := vm.stack[len(vm.stack)-1]
+	vm.stack = vm.stack[:len(vm.stack)-1]
+	return v, nil
+}
+
+func (vm *VM) peek() (int64, error) {
+	if len(vm.stack) == 0 {
+		return 0, ErrStack
+	}
+	return vm.stack[len(vm.stack)-1], nil
+}
+
+func (vm *VM) binop(op Opcode) error {
+	b, err := vm.pop()
+	if err != nil {
+		return err
+	}
+	a, err := vm.pop()
+	if err != nil {
+		return err
+	}
+	var r int64
+	switch op {
+	case OpAdd:
+		r = a + b
+	case OpSub:
+		r = a - b
+	case OpMul:
+		r = a * b
+	case OpDiv:
+		if b == 0 {
+			return ErrDivZero
+		}
+		r = a / b
+	case OpMod:
+		if b == 0 {
+			return ErrDivZero
+		}
+		r = a % b
+	case OpAnd:
+		r = a & b
+	case OpOr:
+		r = a | b
+	case OpXor:
+		r = a ^ b
+	case OpShl:
+		r = a << (uint64(b) & 63)
+	case OpShr:
+		r = int64(uint64(a) >> (uint64(b) & 63))
+	case OpEq:
+		r = btoi(a == b)
+	case OpNe:
+		r = btoi(a != b)
+	case OpLt:
+		r = btoi(a < b)
+	case OpLe:
+		r = btoi(a <= b)
+	case OpGt:
+		r = btoi(a > b)
+	case OpGe:
+		r = btoi(a >= b)
+	}
+	return vm.push(r)
+}
+
+func btoi(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,420 @@
+package wvm
+
+import (
+	"errors"
+	"testing"
+
+	"w5/internal/quota"
+)
+
+// run assembles src and executes it with cfg, failing the test on
+// assembly errors.
+func run(t *testing.T, src string, cfg Config) (int64, error) {
+	t.Helper()
+	p, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return New(p, cfg).Run()
+}
+
+func mustRun(t *testing.T, src string) int64 {
+	t.Helper()
+	v, err := run(t, src, Config{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"push 2\npush 3\nadd\nhalt", 5},
+		{"push 10\npush 3\nsub\nhalt", 7},
+		{"push 6\npush 7\nmul\nhalt", 42},
+		{"push 17\npush 5\ndiv\nhalt", 3},
+		{"push 17\npush 5\nmod\nhalt", 2},
+		{"push 9\nneg\nhalt", -9},
+		{"push -5\npush 5\nadd\nhalt", 0},
+		{"push 0xff\npush 0x0f\nand\nhalt", 0x0f},
+		{"push 0xf0\npush 0x0f\nor\nhalt", 0xff},
+		{"push 0xff\npush 0x0f\nxor\nhalt", 0xf0},
+		{"push 0\nnot\nhalt", -1},
+		{"push 1\npush 4\nshl\nhalt", 16},
+		{"push 16\npush 4\nshr\nhalt", 1},
+		{"push -1\npush 1\nshr\nhalt", int64(^uint64(0) >> 1)},
+	}
+	for _, tt := range cases {
+		if got := mustRun(t, tt.src); got != tt.want {
+			t.Errorf("%q = %d, want %d", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"push 1\npush 1\neq\nhalt", 1},
+		{"push 1\npush 2\neq\nhalt", 0},
+		{"push 1\npush 2\nne\nhalt", 1},
+		{"push 1\npush 2\nlt\nhalt", 1},
+		{"push 2\npush 2\nlt\nhalt", 0},
+		{"push 2\npush 2\nle\nhalt", 1},
+		{"push 3\npush 2\ngt\nhalt", 1},
+		{"push 2\npush 3\nge\nhalt", 0},
+		{"push -1\npush 1\nlt\nhalt", 1}, // signed comparison
+	}
+	for _, tt := range cases {
+		if got := mustRun(t, tt.src); got != tt.want {
+			t.Errorf("%q = %d, want %d", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	if got := mustRun(t, "push 1\npush 2\npop\nhalt"); got != 1 {
+		t.Errorf("pop: %d", got)
+	}
+	if got := mustRun(t, "push 7\ndup\nadd\nhalt"); got != 14 {
+		t.Errorf("dup: %d", got)
+	}
+	if got := mustRun(t, "push 1\npush 2\nswap\nsub\nhalt"); got != 1 {
+		t.Errorf("swap: %d (want 2-1=1)", got)
+	}
+	if got := mustRun(t, "push 5\npush 9\nover\nhalt"); got != 5 {
+		t.Errorf("over: %d", got)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	// Sum 1..10 with a loop.
+	src := `
+        push 0      ; acc (global 0)
+        store 0
+        push 1      ; i (global 1)
+        store 1
+loop:   load 1
+        push 10
+        gt
+        jnz done
+        load 0
+        load 1
+        add
+        store 0
+        load 1
+        push 1
+        add
+        store 1
+        jmp loop
+done:   load 0
+        halt
+`
+	if got := mustRun(t, src); got != 55 {
+		t.Errorf("loop sum = %d, want 55", got)
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	// double(x) via subroutine; call it twice.
+	src := `
+        push 21
+        call double
+        halt
+double: push 2
+        mul
+        ret
+`
+	if got := mustRun(t, src); got != 42 {
+		t.Errorf("call/ret = %d, want 42", got)
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	src := `
+        push 3
+        call f
+        halt
+f:      call g
+        push 1
+        add
+        ret
+g:      push 10
+        mul
+        ret
+`
+	if got := mustRun(t, src); got != 31 {
+		t.Errorf("nested calls = %d, want 31", got)
+	}
+}
+
+func TestRetAtTopLevelHalts(t *testing.T) {
+	if got := mustRun(t, "push 9\nret"); got != 9 {
+		t.Errorf("top-level ret = %d, want 9", got)
+	}
+}
+
+func TestFallOffEndHalts(t *testing.T) {
+	if got := mustRun(t, "push 4"); got != 4 {
+		t.Errorf("fall off end = %d, want 4", got)
+	}
+	if got := mustRun(t, ""); got != 0 {
+		t.Errorf("empty program = %d, want 0", got)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	src := `
+        push 100   ; addr
+        push 65    ; 'A'
+        mstore
+        push 100
+        mload
+        halt
+`
+	if got := mustRun(t, src); got != 65 {
+		t.Errorf("mstore/mload = %d, want 65", got)
+	}
+	p, _ := Assemble("msize\nhalt", nil)
+	v, err := New(p, Config{MemSize: 4096}).Run()
+	if err != nil || v != 4096 {
+		t.Errorf("msize = %d, %v", v, err)
+	}
+}
+
+func TestDataSegmentLoaded(t *testing.T) {
+	src := `
+.data greeting "Hi"
+        push @greeting
+        mload           ; 'H' = 72
+        halt
+`
+	if got := mustRun(t, src); got != 72 {
+		t.Errorf("data segment byte = %d, want 72", got)
+	}
+	src2 := `
+.data greeting "Hello"
+        push #greeting
+        halt
+`
+	if got := mustRun(t, src2); got != 5 {
+		t.Errorf("data length ref = %d, want 5", got)
+	}
+}
+
+func TestRuntimeFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want error
+	}{
+		{"div zero", "push 1\npush 0\ndiv\nhalt", ErrDivZero},
+		{"mod zero", "push 1\npush 0\nmod\nhalt", ErrDivZero},
+		{"underflow pop", "pop\nhalt", ErrStack},
+		{"underflow add", "push 1\nadd\nhalt", ErrStack},
+		{"underflow swap", "push 1\nswap\nhalt", ErrStack},
+		{"mem oob load", "push -1\nmload\nhalt", ErrMemBounds},
+		{"mem oob store", "push 99999999\npush 1\nmstore\nhalt", ErrMemBounds},
+		{"bad syscall", "sys 999", ErrBadSys},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := run(t, tt.src, Config{})
+			if !errors.Is(err, tt.want) {
+				t.Errorf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	_, err := run(t, "loop: push 1\njmp loop", Config{MaxStack: 64, Gas: 10000})
+	if !errors.Is(err, ErrStackLimit) {
+		t.Errorf("err = %v, want ErrStackLimit", err)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	_, err := run(t, "f: call f", Config{MaxCalls: 32})
+	if !errors.Is(err, ErrCallDepth) {
+		t.Errorf("err = %v, want ErrCallDepth", err)
+	}
+}
+
+func TestGasLimitStopsSpinner(t *testing.T) {
+	// The E8 rogue: an infinite loop. Gas cuts it off.
+	_, err := run(t, "loop: jmp loop", Config{Gas: 5000})
+	if !errors.Is(err, ErrGas) {
+		t.Fatalf("err = %v, want ErrGas", err)
+	}
+}
+
+func TestCPUQuotaCharged(t *testing.T) {
+	acct := quota.NewAccount("app:x", quota.Limits{CPU: 100_000})
+	p, _ := Assemble("loop: jmp loop", nil)
+	vm := New(p, Config{Account: acct})
+	_, err := vm.Run()
+	if !errors.Is(err, ErrGas) {
+		t.Fatalf("err = %v, want ErrGas", err)
+	}
+	used := acct.Used(quota.CPU)
+	// Chunked charging: everything the account had must be consumed,
+	// and the VM must not have overshot by more than one chunk.
+	if used < 100_000-GasChunk || used > 100_000 {
+		t.Errorf("CPU charged = %d, want within one chunk of 100000", used)
+	}
+	if vm.Steps() > 100_000+GasChunk {
+		t.Errorf("VM executed %d steps, far past its budget", vm.Steps())
+	}
+}
+
+func TestMemoryQuotaCharged(t *testing.T) {
+	acct := quota.NewAccount("app:x", quota.Limits{Memory: 1024})
+	p, _ := Assemble("halt", nil)
+	_, err := New(p, Config{MemSize: 4096, Account: acct}).Run()
+	if !errors.Is(err, ErrMemQuota) {
+		t.Fatalf("err = %v, want ErrMemQuota", err)
+	}
+	// Within budget runs fine.
+	acct2 := quota.NewAccount("app:y", quota.Limits{Memory: 8192})
+	if _, err := New(p, Config{MemSize: 4096, Account: acct2}).Run(); err != nil {
+		t.Fatalf("in-budget run: %v", err)
+	}
+	if acct2.Used(quota.Memory) != 4096 {
+		t.Errorf("memory charged = %d", acct2.Used(quota.Memory))
+	}
+}
+
+func TestSyscallDispatch(t *testing.T) {
+	var gotArgs []int64
+	table := SyscallTable{
+		7: {Name: "add3", Arity: 3, Fn: func(vm *VM, args []int64) ([]int64, error) {
+			gotArgs = append([]int64(nil), args...)
+			return []int64{args[0] + args[1] + args[2]}, nil
+		}},
+	}
+	p, err := Assemble("push 1\npush 2\npush 3\nsys 7\nhalt", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(p, Config{Syscalls: table}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 6 {
+		t.Errorf("syscall result = %d, want 6", v)
+	}
+	// Args arrive in push order.
+	if len(gotArgs) != 3 || gotArgs[0] != 1 || gotArgs[1] != 2 || gotArgs[2] != 3 {
+		t.Errorf("args = %v, want [1 2 3]", gotArgs)
+	}
+}
+
+func TestSyscallByName(t *testing.T) {
+	names := map[string]uint16{"ping": 3}
+	table := SyscallTable{
+		3: {Name: "ping", Arity: 0, Fn: func(*VM, []int64) ([]int64, error) {
+			return []int64{99}, nil
+		}},
+	}
+	p, err := Assemble("sys ping\nhalt", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(p, Config{Syscalls: table}).Run()
+	if err != nil || v != 99 {
+		t.Errorf("named syscall = %d, %v", v, err)
+	}
+}
+
+func TestSyscallMemoryAccess(t *testing.T) {
+	table := SyscallTable{
+		1: {Name: "upper", Arity: 2, Fn: func(vm *VM, args []int64) ([]int64, error) {
+			buf, err := vm.ReadMem(args[0], args[1])
+			if err != nil {
+				return nil, err
+			}
+			for i, c := range buf {
+				if c >= 'a' && c <= 'z' {
+					buf[i] = c - 32
+				}
+			}
+			if err := vm.WriteMem(args[0], buf); err != nil {
+				return nil, err
+			}
+			return []int64{int64(len(buf))}, nil
+		}},
+	}
+	src := `
+.data msg "hello"
+        push @msg
+        push #msg
+        sys 1
+        pop
+        push @msg
+        mload
+        halt
+`
+	p, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := New(p, Config{Syscalls: table}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 'H' {
+		t.Errorf("after syscall, mem[0] = %c, want H", rune(v))
+	}
+}
+
+func TestSyscallErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	table := SyscallTable{
+		1: {Name: "boom", Arity: 0, Fn: func(*VM, []int64) ([]int64, error) {
+			return nil, boom
+		}},
+	}
+	p, _ := Assemble("sys 1\nhalt", nil)
+	_, err := New(p, Config{Syscalls: table}).Run()
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestVMSingleUse(t *testing.T) {
+	p, _ := Assemble("halt", nil)
+	vm := New(p, Config{})
+	if _, err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.Run(); err == nil {
+		t.Error("second Run succeeded")
+	}
+}
+
+func TestGlobalsIsolatedPerVM(t *testing.T) {
+	p, _ := Assemble("push 42\nstore 0\nload 0\nhalt", nil)
+	v1, err1 := New(p, Config{}).Run()
+	v2, err2 := New(p, Config{}).Run()
+	if err1 != nil || err2 != nil || v1 != 42 || v2 != 42 {
+		t.Errorf("runs: %d/%v, %d/%v", v1, err1, v2, err2)
+	}
+}
+
+func TestDataLargerThanMemoryRejected(t *testing.T) {
+	b := NewBuilder()
+	b.DataString("big", string(make([]byte, 128)))
+	b.Op(OpHalt)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(p, Config{MemSize: 64}).Run(); !errors.Is(err, ErrMemBounds) {
+		t.Errorf("oversized data: %v", err)
+	}
+}
