@@ -12,6 +12,7 @@ import (
 
 	"w5/internal/attack"
 	"w5/internal/baseline"
+	"w5/internal/benchutil"
 	"w5/internal/core"
 	"w5/internal/declass"
 	"w5/internal/difc"
@@ -147,6 +148,51 @@ func BenchmarkE3_RequestPath(b *testing.B) {
 					b.Fatal(err)
 				}
 				if _, err := p.ExportCheck(inv, "bob"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// invokeProviders caches fully provisioned providers per population size
+// so the expensive setup (password KDF + home provisioning per user) runs
+// once, not once per b.N calibration round.
+var invokeProviders = map[int]*core.Provider{}
+
+func invokeProvider(b *testing.B, users int) *core.Provider {
+	b.Helper()
+	if p, ok := invokeProviders[users]; ok {
+		return p
+	}
+	p, err := benchutil.BuildScaleProvider(users, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	invokeProviders[users] = p
+	return p
+}
+
+// BenchmarkInvoke pins the central scaling claim of this PR: the cost of
+// one invoke→export request must be O(request), independent of how many
+// users the platform has registered (the paper's monitor must not slow
+// down as the platform grows, §2/E3). Before the per-app capability
+// cache, each Invoke rescanned every registered user: users=10k ran
+// ~200× slower than users=100. Now the three populations must be within
+// noise of each other (acceptance: 10k within 2× of 100).
+func BenchmarkInvoke(b *testing.B) {
+	for _, n := range []int{100, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("users=%d", n), func(b *testing.B) {
+			p := invokeProvider(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inv, err := p.Invoke(benchutil.AppName, core.AppRequest{
+					Viewer: benchutil.MeasuredUser, Owner: benchutil.MeasuredUser})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := p.ExportCheck(inv, benchutil.MeasuredUser); err != nil {
 					b.Fatal(err)
 				}
 			}

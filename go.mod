@@ -1,0 +1,3 @@
+module w5
+
+go 1.22

@@ -29,6 +29,7 @@ const (
 	KindExit         Kind = "exit"          // process destroyed
 	KindFlowAllowed  Kind = "flow-allowed"  // IPC or storage flow permitted
 	KindFlowDenied   Kind = "flow-denied"   // IPC or storage flow denied
+	KindDrop         Kind = "msg-drop"      // policy-allowed IPC dropped (mailbox full / receiver dead)
 	KindExport       Kind = "export"        // data crossed the perimeter
 	KindExportDenied Kind = "export-denied" // perimeter crossing denied
 	KindDeclassify   Kind = "declassify"    // a declassifier exercised s_u-
@@ -55,12 +56,37 @@ func (e Event) String() string {
 		e.Seq, e.Time.UTC().Format(time.RFC3339), e.Kind, e.Actor, e.Subject, e.Detail)
 }
 
+// record is the internal storage form of an event. Hot-path appends
+// (flow-allowed, export, spawn/exit — one or more per request) defer the
+// fmt.Sprintf of the detail string: format and args are stored raw and
+// rendered only when the event is actually read. Arguments must therefore
+// be immutable or by-value (labels, capability sets, strings, numbers) —
+// every call site in the platform passes exactly those.
+type record struct {
+	seq     uint64
+	time    time.Time
+	kind    Kind
+	actor   string
+	subject string
+	detail  string // rendered form; authoritative when args == nil
+	format  string
+	args    []any // non-nil => detail is lazily fmt.Sprintf(format, args...)
+}
+
+func (r *record) event() Event {
+	d := r.detail
+	if r.args != nil {
+		d = fmt.Sprintf(r.format, r.args...)
+	}
+	return Event{Seq: r.seq, Time: r.time, Kind: r.kind, Actor: r.actor, Subject: r.subject, Detail: d}
+}
+
 // Log is a concurrency-safe append-only event log. The zero value is
 // ready to use. An optional Clock may be injected for deterministic
 // tests; it defaults to time.Now.
 type Log struct {
 	mu     sync.RWMutex
-	events []Event
+	events []record
 	seq    uint64
 	clock  func() time.Time
 	sink   io.Writer // optional mirror for every event line
@@ -87,6 +113,22 @@ func (l *Log) SetSink(w io.Writer) {
 
 // Append records an event and returns its sequence number.
 func (l *Log) Append(kind Kind, actor, subject, detail string) uint64 {
+	return l.append(record{kind: kind, actor: actor, subject: subject, detail: detail})
+}
+
+// Appendf is Append with a formatted detail string. The formatting is
+// deferred until the event is read (Snapshot, Filter, the sink): the
+// mandatory per-request records (flow-allowed, export) thus cost an
+// append, not a fmt.Sprintf. Arguments are retained; pass only immutable
+// values (labels, capability sets, strings, numbers).
+func (l *Log) Appendf(kind Kind, actor, subject, format string, args ...any) uint64 {
+	if len(args) == 0 {
+		return l.append(record{kind: kind, actor: actor, subject: subject, detail: format})
+	}
+	return l.append(record{kind: kind, actor: actor, subject: subject, format: format, args: args})
+}
+
+func (l *Log) append(r record) uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	now := time.Now
@@ -94,17 +136,17 @@ func (l *Log) Append(kind Kind, actor, subject, detail string) uint64 {
 		now = l.clock
 	}
 	l.seq++
-	e := Event{Seq: l.seq, Time: now(), Kind: kind, Actor: actor, Subject: subject, Detail: detail}
-	l.events = append(l.events, e)
+	r.seq = l.seq
+	r.time = now()
 	if l.sink != nil {
+		// The sink needs the rendered line anyway; render once and store
+		// the result so the work is never repeated.
+		e := r.event()
+		r.detail, r.format, r.args = e.Detail, "", nil
 		fmt.Fprintln(l.sink, e.String())
 	}
-	return e.Seq
-}
-
-// Appendf is Append with a formatted detail string.
-func (l *Log) Appendf(kind Kind, actor, subject, format string, args ...any) uint64 {
-	return l.Append(kind, actor, subject, fmt.Sprintf(format, args...))
+	l.events = append(l.events, r)
+	return r.seq
 }
 
 // Len reports the number of events recorded.
@@ -119,7 +161,9 @@ func (l *Log) Snapshot() []Event {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	out := make([]Event, len(l.events))
-	copy(out, l.events)
+	for i := range l.events {
+		out[i] = l.events[i].event()
+	}
 	return out
 }
 
@@ -134,7 +178,9 @@ func (l *Log) Since(seq uint64) []Event {
 		start = len(l.events)
 	}
 	out := make([]Event, len(l.events)-start)
-	copy(out, l.events[start:])
+	for i := range out {
+		out[i] = l.events[start+i].event()
+	}
 	return out
 }
 
@@ -143,22 +189,41 @@ func (l *Log) Filter(keep func(Event) bool) []Event {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	var out []Event
-	for _, e := range l.events {
-		if keep(e) {
+	for i := range l.events {
+		if e := l.events[i].event(); keep(e) {
 			out = append(out, e)
 		}
 	}
 	return out
 }
 
-// ByKind returns all events of the given kind, in order.
+// ByKind returns all events of the given kind, in order. The kind test
+// runs on the raw records, so only matching events pay lazy-detail
+// rendering — a kind query over a large hot-path log stays cheap.
 func (l *Log) ByKind(kind Kind) []Event {
-	return l.Filter(func(e Event) bool { return e.Kind == kind })
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Event
+	for i := range l.events {
+		if l.events[i].kind == kind {
+			out = append(out, l.events[i].event())
+		}
+	}
+	return out
 }
 
-// ByActor returns all events with the given actor, in order.
+// ByActor returns all events with the given actor, in order. Like
+// ByKind, non-matching records are skipped before rendering.
 func (l *Log) ByActor(actor string) []Event {
-	return l.Filter(func(e Event) bool { return e.Actor == actor })
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Event
+	for i := range l.events {
+		if l.events[i].actor == actor {
+			out = append(out, l.events[i].event())
+		}
+	}
+	return out
 }
 
 // CountKind reports how many events of the given kind were recorded.
@@ -166,8 +231,8 @@ func (l *Log) CountKind(kind Kind) int {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	n := 0
-	for _, e := range l.events {
-		if e.Kind == kind {
+	for i := range l.events {
+		if l.events[i].kind == kind {
 			n++
 		}
 	}

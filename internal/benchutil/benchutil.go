@@ -1,0 +1,89 @@
+// Package benchutil provisions the shared fixture for the request-path
+// scaling benchmarks. Both the root `go test -bench` suite
+// (BenchmarkInvoke) and `cmd/w5bench -requestpath` must measure the
+// same setup — a single harness here keeps them from drifting apart.
+package benchutil
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"w5/internal/core"
+	"w5/internal/difc"
+)
+
+// AppName is the registry name of the canonical benchmark application.
+const AppName = "benchapp"
+
+// MeasuredUser is the account whose document every benchmark request
+// reads and exports.
+const MeasuredUser = "u000000"
+
+// App is the canonical request: read the owner's private document and
+// return it (the E3 workload).
+type App struct{}
+
+// Name implements core.App.
+func (App) Name() string { return AppName }
+
+// Handle implements core.App.
+func (App) Handle(env *core.AppEnv, req core.AppRequest) (core.AppResponse, error) {
+	data, err := env.ReadFile("/home/" + req.Owner + "/private/doc")
+	if err != nil {
+		return core.AppResponse{Status: 404}, nil
+	}
+	return core.AppResponse{Body: data}, nil
+}
+
+// BuildScaleProvider provisions a provider with the given registered
+// user population, all of whom have enabled the benchmark app, and a
+// 1 KiB private document for MeasuredUser. Quotas are disabled: these
+// benches measure IFC cost, and the default network budget would
+// (correctly!) cut the app off after ~8k exported responses.
+//
+// Provisioning runs in parallel: CreateUser is dominated by the
+// password KDF, which is embarrassingly parallel and irrelevant to
+// what the benchmarks measure.
+func BuildScaleProvider(users int, enforce bool) (*core.Provider, error) {
+	p := core.NewProvider(core.Config{Name: "bench", Enforce: enforce, DisableQuotas: true})
+	p.InstallApp(App{})
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < users; i += workers {
+				name := fmt.Sprintf("u%06d", i)
+				if _, err := p.CreateUser(name, "pw"); err != nil {
+					errs <- err
+					return
+				}
+				if err := p.EnableApp(name, AppName); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	u, err := p.GetUser(MeasuredUser)
+	if err != nil {
+		return nil, err
+	}
+	label := difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}
+	if err := p.FS.Write(p.UserCred(MeasuredUser), "/home/"+MeasuredUser+"/private/doc",
+		make([]byte, 1024), label); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

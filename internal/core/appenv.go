@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"w5/internal/audit"
 	"w5/internal/declass"
@@ -52,6 +53,8 @@ type Invocation struct {
 	Response AppResponse
 	Proc     *kernel.Process
 	provider *Provider
+	procName string      // captured at Invoke: Proc may be recycled after release
+	released atomic.Bool // set by ExportCheck: the process has been exited
 }
 
 // AppEnv is the only interface applications have to the platform. Every
@@ -143,10 +146,7 @@ func (e *AppEnv) UserLabel(user string) (difc.LabelPair, error) {
 	if err != nil {
 		return difc.LabelPair{}, err
 	}
-	return difc.LabelPair{
-		Secrecy:   difc.NewLabel(u.SecrecyTag),
-		Integrity: difc.NewLabel(u.WriteTag),
-	}, nil
+	return u.labels, nil
 }
 
 // PublicLabel returns the label of published, write-protected data:
@@ -156,7 +156,7 @@ func (e *AppEnv) PublicLabel(user string) (difc.LabelPair, error) {
 	if err != nil {
 		return difc.LabelPair{}, err
 	}
-	return difc.LabelPair{Integrity: difc.NewLabel(u.WriteTag)}, nil
+	return difc.LabelPair{Integrity: u.labels.Integrity}, nil
 }
 
 // Insert adds a labeled row.
@@ -204,7 +204,7 @@ func (e *AppEnv) Labels() difc.LabelPair { return e.proc.Labels() }
 // caller (gateway or test) must route the result through ExportCheck
 // before any byte leaves the platform.
 func (p *Provider) Invoke(appName string, req AppRequest) (*Invocation, error) {
-	app, ok := p.lookupApp(appName)
+	ia, ok := p.lookupApp(appName)
 	if !ok {
 		return nil, ErrNoApp
 	}
@@ -219,16 +219,17 @@ func (p *Provider) Invoke(appName string, req AppRequest) (*Invocation, error) {
 	}
 	caps, endorse := p.appCaps(appName)
 	proc, err := p.Kernel.Spawn(nil, kernel.SpawnSpec{
-		Name:      "app:" + appName,
-		Owner:     "app:" + appName,
+		Name:      ia.procName,
+		Owner:     ia.procName,
 		Integrity: endorse,
 		Caps:      caps,
+		Ephemeral: true, // request-scoped: exited exactly once via ExportCheck or the error path
 	})
 	if err != nil {
 		return nil, err
 	}
 	env := &AppEnv{p: p, proc: proc, appName: appName}
-	resp, err := app.Handle(env, req)
+	resp, err := ia.app.Handle(env, req)
 	if err != nil {
 		p.Kernel.Exit(proc)
 		return nil, fmt.Errorf("w5: app %s: %w", appName, err)
@@ -239,7 +240,7 @@ func (p *Provider) Invoke(appName string, req AppRequest) (*Invocation, error) {
 	if resp.ContentType == "" {
 		resp.ContentType = "text/html; charset=utf-8"
 	}
-	return &Invocation{Response: resp, Proc: proc, provider: p}, nil
+	return &Invocation{Response: resp, Proc: proc, provider: p, procName: ia.procName}, nil
 }
 
 // ExportCheck decides whether an invocation's response may cross the
@@ -253,14 +254,34 @@ func (p *Provider) Invoke(appName string, req AppRequest) (*Invocation, error) {
 //  3. If residue remains, the export is denied and audited.
 //
 // On success it returns the (possibly transformed) body; the invocation
-// process is exited either way.
+// process is exited either way. ExportCheck consumes the invocation:
+// a second call is refused without touching the (already recycled)
+// process.
 func (p *Provider) ExportCheck(inv *Invocation, viewer string) ([]byte, error) {
+	if !inv.released.CompareAndSwap(false, true) {
+		// Every denied export is audited; a consumed invocation must be
+		// distinguishable in the log from a policy refusal. inv.procName,
+		// not inv.Proc.Name(): the shell may already be serving another
+		// request.
+		p.Log.Appendf(audit.KindExportDenied, inv.procName,
+			"viewer:"+viewer, "invocation already exported (caller bug)")
+		return nil, ErrExportDenied
+	}
 	defer p.Kernel.Exit(inv.Proc)
 	body := inv.Response.Body
 
+	// The audit destination string and the viewer's session privilege are
+	// both cached on the User at CreateUser; the common export allocates
+	// neither.
+	dest := "viewer:(anonymous)"
 	sessionCaps := difc.EmptyCaps
-	if u, err := p.GetUser(viewer); err == nil {
-		sessionCaps = difc.NewCapSet(difc.Minus(u.SecrecyTag))
+	if viewer != "" {
+		if u, err := p.GetUser(viewer); err == nil {
+			sessionCaps = u.sessionCaps
+			dest = u.exportDest
+		} else {
+			dest = "viewer:" + viewer
+		}
 	}
 
 	labels := inv.Proc.Labels()
@@ -270,7 +291,7 @@ func (p *Provider) ExportCheck(inv *Invocation, viewer string) ([]byte, error) {
 		owner, ok := p.TagOwner(tag)
 		if !ok {
 			p.Log.Appendf(audit.KindExportDenied, inv.Proc.Name(),
-				"viewer:"+displayName(viewer), "unattributable taint %s", tag)
+				dest, "unattributable taint %s", tag)
 			return nil, ErrExportDenied // unattributable taint never leaves
 		}
 		d, caps, err := p.Declass.Ask(declass.Request{
@@ -282,7 +303,7 @@ func (p *Provider) ExportCheck(inv *Invocation, viewer string) ([]byte, error) {
 		})
 		if err != nil || !d.Allow {
 			p.Log.Appendf(audit.KindExportDenied, inv.Proc.Name(),
-				"viewer:"+displayName(viewer), "owner %s policy refused (%v)", owner, err)
+				dest, "owner %s policy refused (%v)", owner, err)
 			return nil, ErrExportDenied
 		}
 		if d.Data != nil {
@@ -290,15 +311,8 @@ func (p *Provider) ExportCheck(inv *Invocation, viewer string) ([]byte, error) {
 		}
 		extra = extra.Union(caps)
 	}
-	if err := p.Kernel.Export(inv.Proc, extra, "viewer:"+displayName(viewer), len(body)); err != nil {
+	if err := p.Kernel.Export(inv.Proc, extra, dest, len(body)); err != nil {
 		return nil, ErrExportDenied
 	}
 	return body, nil
-}
-
-func displayName(v string) string {
-	if v == "" {
-		return "(anonymous)"
-	}
-	return v
 }

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"w5/internal/difc"
+)
+
+// These tests pin the request-path scaling contract: the per-app
+// capability cache must (a) serve cached lookups without allocating,
+// (b) stay exactly equivalent to a from-scratch rescan of the grant
+// tables after any sequence of grants and revocations, and (c) never
+// serve stale or torn state under concurrent invokes and grant churn.
+
+// recomputeAppCaps is the pre-cache O(users) scan, kept here as the
+// executable specification the incremental cache is checked against.
+func recomputeAppCaps(p *Provider, app string) (difc.CapSet, difc.Label) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	caps := difc.EmptyCaps
+	var endorse []difc.Tag
+	for user, apps := range p.enabled {
+		if apps[app] {
+			if u := p.users[user]; u != nil {
+				caps = caps.Grant(difc.Plus(u.SecrecyTag))
+			}
+		}
+	}
+	for user, apps := range p.writes {
+		if apps[app] {
+			if u := p.users[user]; u != nil {
+				caps = caps.Grant(difc.Plus(u.WriteTag))
+				endorse = append(endorse, u.WriteTag)
+			}
+		}
+	}
+	return caps, difc.NewLabel(endorse...)
+}
+
+func capsEqual(t *testing.T, p *Provider, app string) {
+	t.Helper()
+	gotCaps, gotEndorse := p.appCaps(app)
+	wantCaps, wantEndorse := recomputeAppCaps(p, app)
+	if !gotCaps.Equal(wantCaps) {
+		t.Fatalf("appCaps(%s) caps = %s, want %s", app, gotCaps, wantCaps)
+	}
+	if !gotEndorse.Equal(wantEndorse) {
+		t.Fatalf("appCaps(%s) endorse = %s, want %s", app, gotEndorse, wantEndorse)
+	}
+}
+
+func TestAppCapsCacheMatchesRescan(t *testing.T) {
+	p := NewProvider(Config{Name: "cache", Enforce: true})
+	const app = "photo"
+	users := make([]string, 6)
+	for i := range users {
+		users[i] = fmt.Sprintf("u%d", i)
+		if _, err := p.CreateUser(users[i], "pw"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	capsEqual(t, p, app) // empty: no grants yet
+
+	for _, u := range users {
+		if err := p.EnableApp(u, app); err != nil {
+			t.Fatal(err)
+		}
+	}
+	capsEqual(t, p, app)
+
+	p.GrantWrite(users[0], app)
+	p.GrantWrite(users[1], app)
+	capsEqual(t, p, app)
+
+	p.DisableApp(users[2], app)
+	p.RevokeWrite(users[1], app)
+	capsEqual(t, p, app)
+
+	// Re-enable after disable, revoke-without-grant, unknown users.
+	if err := p.EnableApp(users[2], app); err != nil {
+		t.Fatal(err)
+	}
+	p.RevokeWrite(users[3], app)
+	p.DisableApp("ghost", app)
+	if err := p.EnableApp("ghost", app); !errors.Is(err, ErrNoUser) {
+		t.Fatalf("enable for unknown user: %v", err)
+	}
+	capsEqual(t, p, app)
+
+	// A second app's grants must not bleed into the first.
+	p.EnableApp(users[4], "otherapp")
+	p.GrantWrite(users[4], "otherapp")
+	capsEqual(t, p, app)
+	capsEqual(t, p, "otherapp")
+}
+
+func TestAppCapsCachedLookupDoesNotAllocate(t *testing.T) {
+	p := NewProvider(Config{Name: "alloc", Enforce: true})
+	const app = "photo"
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("u%d", i)
+		if _, err := p.CreateUser(name, "pw"); err != nil {
+			t.Fatal(err)
+		}
+		p.EnableApp(name, app)
+	}
+	p.GrantWrite("u0", app)
+	p.appCaps(app) // pay the one-time rebuild
+
+	var caps difc.CapSet
+	var endorse difc.Label
+	if avg := testing.AllocsPerRun(200, func() { caps, endorse = p.appCaps(app) }); avg != 0 {
+		t.Errorf("cached appCaps allocates %.1f times per op, want 0", avg)
+	}
+	u0, _ := p.GetUser("u0")
+	if !caps.HasPlus(u0.SecrecyTag) || !endorse.Has(u0.WriteTag) {
+		t.Error("cached appCaps returned wrong grants")
+	}
+
+	if avg := testing.AllocsPerRun(200, func() { _ = p.UserCred("u0") }); avg != 0 {
+		t.Errorf("UserCred allocates %.1f times per op, want 0", avg)
+	}
+}
+
+// TestExportCheckConsumesInvocation pins that a second ExportCheck on
+// the same invocation is refused outright: the first call exited the
+// (recycled) request process, so touching it again could read another
+// request's state.
+func TestExportCheckConsumesInvocation(t *testing.T) {
+	p := NewProvider(Config{Name: "consume", Enforce: true})
+	setupBobWithDiary(t, p)
+	p.InstallApp(echoApp{})
+	p.EnableApp("bob", "echo")
+	inv, err := p.Invoke("echo", AppRequest{Viewer: "bob", Owner: "bob",
+		Params: map[string]string{"path": "/private/diary"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ExportCheck(inv, "bob"); err != nil {
+		t.Fatalf("first export: %v", err)
+	}
+	if _, err := p.ExportCheck(inv, "bob"); !errors.Is(err, ErrExportDenied) {
+		t.Fatalf("second export = %v, want ErrExportDenied", err)
+	}
+}
+
+// TestConcurrentInvokeAndGrantMutation drives parallel Invoke against
+// concurrent EnableApp/DisableApp/GrantWrite/RevokeWrite churn. Run
+// under -race this pins the cache-invalidation locking; the end-state
+// check pins that no update was lost. A stable user's requests must
+// succeed throughout regardless of the churn on the victim's grants.
+func TestConcurrentInvokeAndGrantMutation(t *testing.T) {
+	p := NewProvider(Config{Name: "churn", Enforce: true, DisableQuotas: true})
+	p.InstallApp(echoApp{})
+
+	for _, n := range []string{"stable", "victim"} {
+		if _, err := p.CreateUser(n, "pw"); err != nil {
+			t.Fatal(err)
+		}
+		u, _ := p.GetUser(n)
+		label := difc.LabelPair{
+			Secrecy:   difc.NewLabel(u.SecrecyTag),
+			Integrity: difc.NewLabel(u.WriteTag),
+		}
+		if err := p.FS.Write(p.UserCred(n), "/home/"+n+"/private/diary",
+			[]byte("secret of "+n), label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.EnableApp("stable", "echo"); err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 300
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4*iters)
+
+	// Invokers: the stable user's own request must always work.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				inv, err := p.Invoke("echo", AppRequest{
+					Viewer: "stable", Owner: "stable",
+					Params: map[string]string{"path": "/private/diary"},
+				})
+				if err != nil {
+					errCh <- err
+					continue
+				}
+				body, err := p.ExportCheck(inv, "stable")
+				if err != nil {
+					errCh <- fmt.Errorf("stable export: %w", err)
+					continue
+				}
+				if string(body) != "secret of stable" {
+					errCh <- fmt.Errorf("stable got %q", body)
+				}
+			}
+		}()
+	}
+	// Churner: flips the victim's grants as fast as it can.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if err := p.EnableApp("victim", "echo"); err != nil {
+				errCh <- err
+			}
+			p.GrantWrite("victim", "echo")
+			p.RevokeWrite("victim", "echo")
+			p.DisableApp("victim", "echo")
+		}
+		// Leave the victim enabled so the end state is deterministic.
+		if err := p.EnableApp("victim", "echo"); err != nil {
+			errCh <- err
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	capsEqual(t, p, "echo")
+}

@@ -49,12 +49,22 @@ var (
 // User is one end-user account. The two tags implement the paper's two
 // default policies: data labeled {s_u} is private to u (boilerplate
 // privacy), data with w_u in its integrity label is write-protected.
+//
+// The boilerplate label pair, the full-privilege session credential and
+// the session declassification capability ({s_u−}) are minted once at
+// CreateUser and cached: the request path hands out copies instead of
+// re-deriving them per call. All cached values are immutable.
 type User struct {
 	Name       string
 	SecrecyTag difc.Tag // s_u
 	WriteTag   difc.Tag // w_u
 	passSalt   []byte
 	passHash   []byte
+
+	labels      difc.LabelPair // {s_u} / {w_u}: the boilerplate default
+	cred        store.Cred     // trusted session credential (owns both tags)
+	sessionCaps difc.CapSet    // {s_u−}: "destined for u's browser"
+	exportDest  string         // "viewer:<name>": audit destination string
 }
 
 // Config configures a Provider.
@@ -85,12 +95,45 @@ type Provider struct {
 	Quotas   *quota.Manager
 	Log      *audit.Log
 
-	mu       sync.RWMutex
-	users    map[string]*User
-	tagUser  map[difc.Tag]string          // s_u or w_u -> user name
-	enabled  map[string]map[string]bool   // user -> app -> enabled ("checked the box")
-	writes   map[string]map[string]bool   // user -> app -> write granted
-	goApps   map[string]App               // installed native (Go) applications
+	mu      sync.RWMutex
+	users   map[string]*User
+	tagUser map[difc.Tag]string        // s_u or w_u -> user name
+	enabled map[string]map[string]bool // user -> app -> enabled ("checked the box")
+	writes  map[string]map[string]bool // user -> app -> write granted
+	goApps  map[string]installedApp    // installed native (Go) applications
+
+	// appGrants is the incrementally maintained per-app capability cache:
+	// the alternative — rescanning every registered user on every Invoke —
+	// makes per-request cost O(platform population). Each grant/revoke
+	// updates the tag sets in O(1) and marks the entry dirty; the
+	// immutable CapSet/Label pair is rebuilt at most once per change, on
+	// the next lookup, and then served lock-cheap and allocation-free.
+	appGrants map[string]*appGrant
+}
+
+// appGrant tracks which user tags an application has been granted.
+type appGrant struct {
+	readers map[difc.Tag]struct{} // s_u of users who enabled the app
+	writers map[difc.Tag]struct{} // w_u of users who granted write
+	dirty   bool
+	caps    difc.CapSet // cached: s_u+ for readers, w_u+ for writers
+	endorse difc.Label  // cached: {w_u...} integrity endorsement
+}
+
+// rebuild rematerializes the immutable cached views from the tag sets.
+// Called with the provider mutex held exclusively.
+func (g *appGrant) rebuild() {
+	plus := make([]difc.Tag, 0, len(g.readers)+len(g.writers))
+	for t := range g.readers {
+		plus = append(plus, t)
+	}
+	wr := make([]difc.Tag, 0, len(g.writers))
+	for t := range g.writers {
+		wr = append(wr, t)
+	}
+	g.endorse = difc.NewLabel(wr...)
+	g.caps = difc.CapSetFromLabels(difc.NewLabel(append(plus, wr...)...), difc.EmptyLabel)
+	g.dirty = false
 }
 
 // NewProvider builds a fully wired provider.
@@ -120,11 +163,12 @@ func NewProvider(cfg Config) *Provider {
 		Registry: reg,
 		Quotas:   qm,
 		Log:      log,
-		users:    make(map[string]*User),
-		tagUser:  make(map[difc.Tag]string),
-		enabled:  make(map[string]map[string]bool),
-		writes:   make(map[string]map[string]bool),
-		goApps:   make(map[string]App),
+		users:     make(map[string]*User),
+		tagUser:   make(map[difc.Tag]string),
+		enabled:   make(map[string]map[string]bool),
+		writes:    make(map[string]map[string]bool),
+		goApps:    make(map[string]installedApp),
+		appGrants: make(map[string]*appGrant),
 	}
 	p.Declass = declass.NewManager(p.ownerEnv, log)
 	return p
@@ -149,6 +193,14 @@ func (p *Provider) CreateUser(name, password string) (*User, error) {
 	if name == "" || len(name) > 64 {
 		return nil, fmt.Errorf("w5: bad user name %q", name)
 	}
+	salt := make([]byte, 16)
+	if _, err := rand.Read(salt); err != nil {
+		// Never fall through to an all-zero salt: a failed entropy read
+		// must fail account creation, not silently weaken every hash.
+		return nil, fmt.Errorf("w5: minting password salt: %w", err)
+	}
+	h := hashPassword(salt, password)
+
 	p.mu.Lock()
 	if _, dup := p.users[name]; dup {
 		p.mu.Unlock()
@@ -156,17 +208,25 @@ func (p *Provider) CreateUser(name, password string) (*User, error) {
 	}
 	sTag := p.Kernel.MintTag(nil, "s_"+name)
 	wTag := p.Kernel.MintTag(nil, "w_"+name)
-	salt := make([]byte, 16)
-	rand.Read(salt)
-	h := hashPassword(salt, password)
-	u := &User{Name: name, SecrecyTag: sTag, WriteTag: wTag, passSalt: salt, passHash: h}
+	wp := difc.NewLabel(wTag)
+	u := &User{
+		Name: name, SecrecyTag: sTag, WriteTag: wTag,
+		passSalt: salt, passHash: h,
+		labels: difc.LabelPair{Secrecy: difc.NewLabel(sTag), Integrity: wp},
+		cred: store.Cred{
+			Labels:    difc.LabelPair{Integrity: wp},
+			Caps:      difc.CapsFor(sTag, wTag),
+			Principal: "user:" + name,
+		},
+		sessionCaps: difc.NewCapSet(difc.Minus(sTag)),
+		exportDest:  "viewer:" + name,
+	}
 	p.users[name] = u
 	p.tagUser[sTag] = name
 	p.tagUser[wTag] = name
 	p.mu.Unlock()
 
-	cred := p.UserCred(name)
-	wp := difc.NewLabel(wTag)
+	cred := u.cred
 	if err := p.FS.MkdirAll(providerCred(), "/home", difc.LabelPair{}); err != nil && !errors.Is(err, store.ErrExists) {
 		return nil, err
 	}
@@ -257,11 +317,7 @@ func (p *Provider) UserCred(name string) store.Cred {
 	if !ok {
 		return store.Cred{Principal: "user:" + name}
 	}
-	return store.Cred{
-		Labels:    difc.LabelPair{Integrity: difc.NewLabel(u.WriteTag)},
-		Caps:      difc.CapsFor(u.SecrecyTag, u.WriteTag),
-		Principal: "user:" + name,
-	}
+	return u.cred // minted once at CreateUser; immutable
 }
 
 // UserTableCred is UserCred shaped for the tuple store.
@@ -296,13 +352,17 @@ func (e *userEnv) ReadOwnerFile(path string) ([]byte, error) {
 func (p *Provider) EnableApp(user, app string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if _, ok := p.users[user]; !ok {
+	u, ok := p.users[user]
+	if !ok {
 		return ErrNoUser
 	}
 	if p.enabled[user] == nil {
 		p.enabled[user] = make(map[string]bool)
 	}
 	p.enabled[user][app] = true
+	g := p.grantEntry(app)
+	g.readers[u.SecrecyTag] = struct{}{}
+	g.dirty = true
 	p.Log.Appendf(audit.KindGrant, user, app, "enabled (read grant)")
 	return nil
 }
@@ -314,7 +374,27 @@ func (p *Provider) DisableApp(user, app string) {
 	if p.enabled[user] != nil {
 		delete(p.enabled[user], app)
 	}
+	if u, ok := p.users[user]; ok {
+		if g := p.appGrants[app]; g != nil {
+			delete(g.readers, u.SecrecyTag)
+			g.dirty = true
+		}
+	}
 	p.Log.Appendf(audit.KindRevoke, user, app, "disabled")
+}
+
+// grantEntry returns app's capability-cache entry, creating it if needed.
+// Called with the provider mutex held exclusively.
+func (p *Provider) grantEntry(app string) *appGrant {
+	g := p.appGrants[app]
+	if g == nil {
+		g = &appGrant{
+			readers: make(map[difc.Tag]struct{}),
+			writers: make(map[difc.Tag]struct{}),
+		}
+		p.appGrants[app] = g
+	}
+	return g
 }
 
 // AppEnabled reports whether user has enabled app.
@@ -329,13 +409,17 @@ func (p *Provider) AppEnabled(user, app string) bool {
 func (p *Provider) GrantWrite(user, app string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if _, ok := p.users[user]; !ok {
+	u, ok := p.users[user]
+	if !ok {
 		return ErrNoUser
 	}
 	if p.writes[user] == nil {
 		p.writes[user] = make(map[string]bool)
 	}
 	p.writes[user][app] = true
+	g := p.grantEntry(app)
+	g.writers[u.WriteTag] = struct{}{}
+	g.dirty = true
 	p.Log.Appendf(audit.KindGrant, user, app, "write grant (w_u+)")
 	return nil
 }
@@ -346,6 +430,12 @@ func (p *Provider) RevokeWrite(user, app string) {
 	defer p.mu.Unlock()
 	if p.writes[user] != nil {
 		delete(p.writes[user], app)
+	}
+	if u, ok := p.users[user]; ok {
+		if g := p.appGrants[app]; g != nil {
+			delete(g.writers, u.WriteTag)
+			g.dirty = true
+		}
 	}
 	p.Log.Appendf(audit.KindRevoke, user, app, "write grant revoked")
 }
@@ -360,34 +450,50 @@ func (p *Provider) AuthorizeDeclassifier(user string, policy declass.Policy) err
 	if !ok {
 		return ErrNoUser
 	}
-	p.Declass.Authorize(user, policy, difc.NewCapSet(difc.Minus(u.SecrecyTag)))
+	p.Declass.Authorize(user, policy, u.sessionCaps)
 	return nil
 }
 
-// appCaps assembles the capability set an application process runs
-// with: s_u+ for every user who enabled it, plus w_u+ (and the w_u
-// integrity endorsement) for users who granted write.
+// appCaps returns the capability set an application process runs with:
+// s_u+ for every user who enabled it, plus w_u+ (and the w_u integrity
+// endorsement) for users who granted write.
+//
+// The values come from the incrementally maintained per-app cache, so a
+// lookup is O(1) in the user population and allocation-free; only the
+// first lookup after a grant/revoke pays the O(grants-to-this-app)
+// rebuild. Invalidation is safe under p.mu: every mutation marks the
+// entry dirty inside the same critical section that changes the grant.
 func (p *Provider) appCaps(app string) (difc.CapSet, difc.Label) {
 	p.mu.RLock()
-	defer p.mu.RUnlock()
-	caps := difc.EmptyCaps
-	var endorse []difc.Tag
-	for user, apps := range p.enabled {
-		if apps[app] {
-			if u := p.users[user]; u != nil {
-				caps = caps.Grant(difc.Plus(u.SecrecyTag))
-			}
-		}
+	g := p.appGrants[app]
+	if g == nil {
+		p.mu.RUnlock()
+		return difc.EmptyCaps, difc.EmptyLabel
 	}
-	for user, apps := range p.writes {
-		if apps[app] {
-			if u := p.users[user]; u != nil {
-				caps = caps.Grant(difc.Plus(u.WriteTag))
-				endorse = append(endorse, u.WriteTag)
-			}
-		}
+	if !g.dirty {
+		caps, endorse := g.caps, g.endorse
+		p.mu.RUnlock()
+		return caps, endorse
 	}
-	return caps, difc.NewLabel(endorse...)
+	p.mu.RUnlock()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g = p.appGrants[app]
+	if g == nil {
+		return difc.EmptyCaps, difc.EmptyLabel
+	}
+	if g.dirty {
+		g.rebuild()
+	}
+	return g.caps, g.endorse
+}
+
+// installedApp pairs an App with its precomputed process/billing name so
+// Invoke does not rebuild the "app:<name>" string per request.
+type installedApp struct {
+	app      App
+	procName string
 }
 
 // InstallApp registers a native (Go) application implementation under
@@ -397,7 +503,7 @@ func (p *Provider) appCaps(app string) (difc.CapSet, difc.Label) {
 func (p *Provider) InstallApp(app App) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.goApps[app.Name()] = app
+	p.goApps[app.Name()] = installedApp{app: app, procName: "app:" + app.Name()}
 	p.Log.Appendf(audit.KindUpload, "provider", app.Name(), "native app installed")
 }
 
@@ -413,7 +519,7 @@ func (p *Provider) AppNames() []string {
 	return out
 }
 
-func (p *Provider) lookupApp(name string) (App, bool) {
+func (p *Provider) lookupApp(name string) (installedApp, bool) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	a, ok := p.goApps[name]

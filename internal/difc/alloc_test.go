@@ -1,0 +1,103 @@
+package difc
+
+import "testing"
+
+// The request path of the platform performs label algebra on 1–2-tag
+// labels for every invoke/export. These guards pin the inline-storage
+// fast path: none of the dominant operations may allocate. A regression
+// here silently reintroduces O(requests) garbage on the hot path, so the
+// guards fail hard rather than warn.
+
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(200, f); avg != 0 {
+		t.Errorf("%s allocates %.1f times per op, want 0", name, avg)
+	}
+}
+
+func TestSmallLabelOpsDoNotAllocate(t *testing.T) {
+	a := NewLabel(7)
+	b := NewLabel(7, 9)
+	c := NewLabel(9, 11)
+	var sink Label
+	var sinkBool bool
+
+	assertZeroAllocs(t, "NewLabel/1", func() { sink = NewLabel(7) })
+	assertZeroAllocs(t, "NewLabel/2", func() { sink = NewLabel(9, 7) })
+	assertZeroAllocs(t, "Union/1+2-absorbed", func() { sink = a.Union(b) })
+	assertZeroAllocs(t, "Union/1+1-merge", func() { sink = a.Union(NewLabel(11)) })
+	assertZeroAllocs(t, "Union/empty", func() { sink = a.Union(EmptyLabel) })
+	assertZeroAllocs(t, "Intersect/2x2", func() { sink = b.Intersect(c) })
+	assertZeroAllocs(t, "Subtract/2-2", func() { sink = b.Subtract(c) })
+	assertZeroAllocs(t, "SubsetOf", func() { sinkBool = a.SubsetOf(b) })
+	assertZeroAllocs(t, "Has", func() { sinkBool = b.Has(9) })
+	assertZeroAllocs(t, "Equal", func() { sinkBool = b.Equal(c) })
+	_ = sink
+	_ = sinkBool
+
+	// Union spilling to 3 tags allocates exactly once (the spill slice).
+	if avg := testing.AllocsPerRun(200, func() { sink = b.Union(NewLabel(1)) }); avg > 1 {
+		t.Errorf("3-tag Union allocates %.1f times per op, want <= 1", avg)
+	}
+}
+
+func TestSmallJudgmentsDoNotAllocate(t *testing.T) {
+	s := NewLabel(3)
+	sw := NewLabel(3, 4)
+	caps := CapsFor(3, 4)
+	send := LabelPair{Secrecy: s, Integrity: NewLabel(4)}
+	recv := LabelPair{Secrecy: sw}
+	var sinkBool bool
+
+	assertZeroAllocs(t, "SafeLabelChange", func() { sinkBool = SafeLabelChange(s, sw, caps) })
+	assertZeroAllocs(t, "SafeFlow", func() { sinkBool = SafeFlow(send, caps, recv, caps) })
+	assertZeroAllocs(t, "CanExport", func() { sinkBool = CanExport(sw, caps) })
+	assertZeroAllocs(t, "CapSet.SubsetOf", func() { sinkBool = caps.SubsetOf(caps) })
+	assertZeroAllocs(t, "CapSet.Union", func() { _ = caps.Union(NewCapSet(Minus(3))) })
+	_ = sinkBool
+}
+
+// TestCanonicalRepresentation pins the invariant that every constructor
+// produces the inline form for sets of at most two tags, so Equal and
+// the serializers may rely on one representation per set.
+func TestCanonicalRepresentation(t *testing.T) {
+	cases := []Label{
+		NewLabel(),
+		NewLabel(5),
+		NewLabel(5, 2),
+		NewLabel(2, 2, 5, 5),
+		NewLabel(9, 5, 7).Subtract(NewLabel(7)),
+		NewLabel(9, 5, 7).Intersect(NewLabel(5, 9)),
+		NewLabel(1, 2, 3).Remove(3).Remove(1),
+	}
+	for _, l := range cases {
+		if l.Size() <= 2 && l.tags != nil {
+			t.Errorf("label %s: %d tags stored in spill slice", l, l.Size())
+		}
+		if l.tags != nil && len(l.tags) < 3 {
+			t.Errorf("label %s: spill slice of %d", l, len(l.tags))
+		}
+	}
+	// Mixed-representation equality must still hold.
+	big := NewLabel(1, 2, 3)
+	small := big.Remove(3)
+	if !small.Equal(NewLabel(1, 2)) {
+		t.Error("inline/spill equality broken")
+	}
+	var round Label
+	if err := round.UnmarshalBinary(mustMarshal(t, small)); err != nil {
+		t.Fatal(err)
+	}
+	if !round.Equal(small) || round.tags != nil {
+		t.Errorf("decoded 2-tag label not canonical: %s", round)
+	}
+}
+
+func mustMarshal(t *testing.T, l Label) []byte {
+	t.Helper()
+	b, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

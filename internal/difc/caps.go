@@ -78,8 +78,24 @@ type CapSet struct {
 // EmptyCaps is the capability set of a process with no privilege at all.
 var EmptyCaps = CapSet{}
 
-// NewCapSet builds a capability set from individual capabilities.
+// NewCapSet builds a capability set from individual capabilities. Sets of
+// up to two capabilities (a session's s_u−, a user's {s_u+, w_u+}) are
+// built without heap allocation.
 func NewCapSet(caps ...Cap) CapSet {
+	if len(caps) <= 2 {
+		var pa, ma [2]Tag
+		np, nm := 0, 0
+		for _, c := range caps {
+			if c.Kind == CapPlus {
+				pa[np] = c.Tag
+				np++
+			} else {
+				ma[nm] = c.Tag
+				nm++
+			}
+		}
+		return CapSet{plus: NewLabel(pa[:np]...), minus: NewLabel(ma[:nm]...)}
+	}
 	var p, m []Tag
 	for _, c := range caps {
 		switch c.Kind {
@@ -90,6 +106,14 @@ func NewCapSet(caps ...Cap) CapSet {
 		}
 	}
 	return CapSet{plus: NewLabel(p...), minus: NewLabel(m...)}
+}
+
+// CapSetFromLabels builds a capability set directly from the label of
+// plus rights and the label of minus rights. Bulk constructors (the
+// provider's per-app capability cache) use it to avoid materializing an
+// intermediate []Cap.
+func CapSetFromLabels(plus, minus Label) CapSet {
+	return CapSet{plus: plus, minus: minus}
 }
 
 // CapsFor returns the capability set granting full ownership (t+ and t-)

@@ -11,6 +11,13 @@
 // Labels are immutable values: every operation returns a new Label and
 // never mutates its receiver, so Labels may be shared freely across
 // goroutines without synchronization.
+//
+// Representation: the request path of the platform is dominated by labels
+// of one or two tags (a user's secrecy tag, or secrecy + write tag), so
+// Label stores up to two tags inline and only spills to a heap slice for
+// three or more. NewLabel, Union, Intersect, Subtract, SubsetOf and the
+// safety judgments are all allocation-free in the inline regime — the
+// property the request-path benchmarks pin with AllocsPerRun guards.
 package difc
 
 import (
@@ -46,20 +53,62 @@ func ParseTag(s string) (Tag, error) {
 
 // Label is an immutable set of tags. The zero value is the empty label,
 // which is the label of public data and of the world outside the security
-// perimeter. Internally the tags are kept sorted and deduplicated, which
-// makes subset and join operations linear merges.
+// perimeter.
+//
+// Canonical forms (maintained by every constructor in this package):
+//
+//	size 0: t0 == 0, t1 == 0, tags == nil
+//	size 1: t0 != 0, t1 == 0, tags == nil
+//	size 2: 0 < t0 < t1,      tags == nil
+//	size ≥3: tags sorted ascending, deduplicated; t0, t1 unused
 type Label struct {
-	tags []Tag // sorted ascending, no duplicates; never mutated after creation
+	t0, t1 Tag   // inline storage for the dominant 1–2-tag case
+	tags   []Tag // spill storage; never mutated after creation
 }
 
 // EmptyLabel is the label of public data: no secrecy, no integrity.
 var EmptyLabel = Label{}
 
-// NewLabel builds a label from the given tags. Duplicates are removed and
-// the zero tag, if present, is rejected.
-func NewLabel(tags ...Tag) Label {
-	if len(tags) == 0 {
+// labelFromSorted wraps an already-sorted, deduplicated tag slice in the
+// canonical representation. It retains ts only when len(ts) >= 3.
+func labelFromSorted(ts []Tag) Label {
+	switch len(ts) {
+	case 0:
 		return Label{}
+	case 1:
+		return Label{t0: ts[0]}
+	case 2:
+		return Label{t0: ts[0], t1: ts[1]}
+	default:
+		return Label{tags: ts}
+	}
+}
+
+// NewLabel builds a label from the given tags. Duplicates are removed and
+// the zero tag, if present, is rejected. Labels of up to two tags are
+// built without heap allocation.
+func NewLabel(tags ...Tag) Label {
+	switch len(tags) {
+	case 0:
+		return Label{}
+	case 1:
+		if tags[0] == 0 {
+			panic("difc: tag 0 in label")
+		}
+		return Label{t0: tags[0]}
+	case 2:
+		a, b := tags[0], tags[1]
+		if a == 0 || b == 0 {
+			panic("difc: tag 0 in label")
+		}
+		switch {
+		case a == b:
+			return Label{t0: a}
+		case a < b:
+			return Label{t0: a, t1: b}
+		default:
+			return Label{t0: b, t1: a}
+		}
 	}
 	ts := make([]Tag, 0, len(tags))
 	for _, t := range tags {
@@ -75,35 +124,70 @@ func NewLabel(tags ...Tag) Label {
 			out = append(out, t)
 		}
 	}
-	return Label{tags: out}
+	return labelFromSorted(out)
 }
 
 // Size reports the number of tags in the label.
-func (l Label) Size() int { return len(l.tags) }
+func (l Label) Size() int {
+	if l.tags != nil {
+		return len(l.tags)
+	}
+	if l.t1 != 0 {
+		return 2
+	}
+	if l.t0 != 0 {
+		return 1
+	}
+	return 0
+}
+
+// at returns the i-th smallest tag; i must be < Size().
+func (l Label) at(i int) Tag {
+	if l.tags != nil {
+		return l.tags[i]
+	}
+	if i == 0 {
+		return l.t0
+	}
+	return l.t1
+}
 
 // IsEmpty reports whether the label contains no tags.
-func (l Label) IsEmpty() bool { return len(l.tags) == 0 }
+func (l Label) IsEmpty() bool { return l.t0 == 0 && l.tags == nil }
 
 // Has reports whether tag t is in the label.
 func (l Label) Has(t Tag) bool {
+	if l.tags == nil {
+		return t != 0 && (l.t0 == t || l.t1 == t)
+	}
 	i := sort.Search(len(l.tags), func(i int) bool { return l.tags[i] >= t })
 	return i < len(l.tags) && l.tags[i] == t
 }
 
 // Tags returns a copy of the label's tags in ascending order.
 func (l Label) Tags() []Tag {
-	out := make([]Tag, len(l.tags))
-	copy(out, l.tags)
+	n := l.Size()
+	if n == 0 {
+		return nil
+	}
+	out := make([]Tag, n)
+	for i := range out {
+		out[i] = l.at(i)
+	}
 	return out
 }
 
 // Equal reports whether two labels contain exactly the same tags.
 func (l Label) Equal(m Label) bool {
-	if len(l.tags) != len(m.tags) {
+	if l.tags == nil && m.tags == nil {
+		return l.t0 == m.t0 && l.t1 == m.t1
+	}
+	n := l.Size()
+	if n != m.Size() {
 		return false
 	}
-	for i, t := range l.tags {
-		if m.tags[i] != t {
+	for i := 0; i < n; i++ {
+		if l.at(i) != m.at(i) {
 			return false
 		}
 	}
@@ -114,20 +198,107 @@ func (l Label) Equal(m Label) bool {
 // secrecy labels this is the "can flow to" order: data labeled l may flow
 // to a container labeled m without any privilege.
 func (l Label) SubsetOf(m Label) bool {
-	if len(l.tags) > len(m.tags) {
-		return false
-	}
-	i := 0
-	for _, t := range l.tags {
-		for i < len(m.tags) && m.tags[i] < t {
-			i++
+	if l.tags == nil && m.tags == nil {
+		if l.t0 == 0 {
+			return true
 		}
-		if i >= len(m.tags) || m.tags[i] != t {
+		if l.t0 != m.t0 && l.t0 != m.t1 {
 			return false
 		}
-		i++
+		return l.t1 == 0 || l.t1 == m.t0 || l.t1 == m.t1
+	}
+	ln, mn := l.Size(), m.Size()
+	if ln > mn {
+		return false
+	}
+	j := 0
+	for i := 0; i < ln; i++ {
+		t := l.at(i)
+		for j < mn && m.at(j) < t {
+			j++
+		}
+		if j >= mn || m.at(j) != t {
+			return false
+		}
+		j++
 	}
 	return true
+}
+
+// merge is the shared linear-merge core of Union, Intersect and Subtract.
+// mode selects which elements survive: union keeps everything, intersect
+// keeps only common tags, subtract keeps tags of l absent from m. Results
+// of up to two tags are returned inline without allocating; larger
+// results spill to a heap slice sized by capHint.
+const (
+	mergeUnion = iota
+	mergeIntersect
+	mergeSubtract
+)
+
+func (l Label) merge(m Label, mode int) Label {
+	ln, mn := l.Size(), m.Size()
+	var b0, b1 Tag // inline accumulator
+	var out []Tag  // nil while the result fits inline
+	n := 0
+	i, j := 0, 0
+	emit := func(t Tag) {
+		switch {
+		case out != nil:
+			out = append(out, t)
+		case n == 0:
+			b0 = t
+			n = 1
+		case n == 1:
+			b1 = t
+			n = 2
+		default:
+			out = make([]Tag, 0, ln+mn)
+			out = append(out, b0, b1, t)
+		}
+	}
+	for i < ln && j < mn {
+		a, b := l.at(i), m.at(j)
+		switch {
+		case a < b:
+			if mode != mergeIntersect {
+				emit(a)
+			}
+			i++
+		case a > b:
+			if mode == mergeUnion {
+				emit(b)
+			}
+			j++
+		default:
+			if mode != mergeSubtract {
+				emit(a)
+			}
+			i++
+			j++
+		}
+	}
+	if mode != mergeIntersect {
+		for ; i < ln; i++ {
+			emit(l.at(i))
+		}
+	}
+	if mode == mergeUnion {
+		for ; j < mn; j++ {
+			emit(m.at(j))
+		}
+	}
+	if out != nil {
+		return Label{tags: out}
+	}
+	switch n {
+	case 0:
+		return Label{}
+	case 1:
+		return Label{t0: b0}
+	default:
+		return Label{t0: b0, t1: b1}
+	}
 }
 
 // Union returns l ∪ m. For secrecy labels, the union is the join: the
@@ -139,24 +310,86 @@ func (l Label) Union(m Label) Label {
 	if m.IsEmpty() {
 		return l
 	}
-	out := make([]Tag, 0, len(l.tags)+len(m.tags))
-	i, j := 0, 0
-	for i < len(l.tags) && j < len(m.tags) {
+	if l.tags == nil && m.tags == nil {
+		if m.t1 == 0 {
+			return l.addOne(m.t0)
+		}
+		if l.t1 == 0 {
+			return m.addOne(l.t0)
+		}
+		if l.t0 == m.t0 && l.t1 == m.t1 {
+			return l
+		}
+		return union22(l.t0, l.t1, m.t0, m.t1)
+	}
+	// Absorption fast paths: raising an already-dominating label is the
+	// common case on the read/taint path.
+	if m.SubsetOf(l) {
+		return l
+	}
+	if l.SubsetOf(m) {
+		return m
+	}
+	return l.merge(m, mergeUnion)
+}
+
+// addOne returns l ∪ {t} for an inline-form l (size ≤ 2).
+func (l Label) addOne(t Tag) Label {
+	if l.t0 == t || l.t1 == t {
+		return l
+	}
+	if l.t1 == 0 {
+		if t < l.t0 {
+			return Label{t0: t, t1: l.t0}
+		}
+		return Label{t0: l.t0, t1: t}
+	}
+	out := make([]Tag, 3)
+	switch {
+	case t < l.t0:
+		out[0], out[1], out[2] = t, l.t0, l.t1
+	case t < l.t1:
+		out[0], out[1], out[2] = l.t0, t, l.t1
+	default:
+		out[0], out[1], out[2] = l.t0, l.t1, t
+	}
+	return Label{tags: out}
+}
+
+// union22 merges two distinct sorted pairs; the result has 2–4 tags.
+func union22(a0, a1, b0, b1 Tag) Label {
+	as := [2]Tag{a0, a1}
+	bs := [2]Tag{b0, b1}
+	var buf [4]Tag
+	n, i, j := 0, 0, 0
+	for i < 2 && j < 2 {
 		switch {
-		case l.tags[i] < m.tags[j]:
-			out = append(out, l.tags[i])
+		case as[i] < bs[j]:
+			buf[n] = as[i]
 			i++
-		case l.tags[i] > m.tags[j]:
-			out = append(out, m.tags[j])
+		case as[i] > bs[j]:
+			buf[n] = bs[j]
 			j++
 		default:
-			out = append(out, l.tags[i])
+			buf[n] = as[i]
 			i++
 			j++
 		}
+		n++
 	}
-	out = append(out, l.tags[i:]...)
-	out = append(out, m.tags[j:]...)
+	for ; i < 2; i++ {
+		buf[n] = as[i]
+		n++
+	}
+	for ; j < 2; j++ {
+		buf[n] = bs[j]
+		n++
+	}
+	if n == 2 {
+		return Label{t0: buf[0], t1: buf[1]}
+	}
+	out := make([]Tag, n)
+	copy(out, buf[:n])
 	return Label{tags: out}
 }
 
@@ -167,24 +400,21 @@ func (l Label) Intersect(m Label) Label {
 	if l.IsEmpty() || m.IsEmpty() {
 		return Label{}
 	}
-	out := make([]Tag, 0, min(len(l.tags), len(m.tags)))
-	i, j := 0, 0
-	for i < len(l.tags) && j < len(m.tags) {
+	if l.tags == nil && m.tags == nil {
+		in0 := l.t0 == m.t0 || l.t0 == m.t1
+		in1 := l.t1 != 0 && (l.t1 == m.t0 || l.t1 == m.t1)
 		switch {
-		case l.tags[i] < m.tags[j]:
-			i++
-		case l.tags[i] > m.tags[j]:
-			j++
+		case in0 && in1:
+			return l
+		case in0:
+			return Label{t0: l.t0}
+		case in1:
+			return Label{t0: l.t1}
 		default:
-			out = append(out, l.tags[i])
-			i++
-			j++
+			return Label{}
 		}
 	}
-	if len(out) == 0 {
-		return Label{}
-	}
-	return Label{tags: out}
+	return l.merge(m, mergeIntersect)
 }
 
 // Subtract returns l − m: the tags of l not present in m.
@@ -192,21 +422,21 @@ func (l Label) Subtract(m Label) Label {
 	if l.IsEmpty() || m.IsEmpty() {
 		return l
 	}
-	out := make([]Tag, 0, len(l.tags))
-	j := 0
-	for _, t := range l.tags {
-		for j < len(m.tags) && m.tags[j] < t {
-			j++
+	if l.tags == nil && m.tags == nil {
+		keep0 := l.t0 != m.t0 && l.t0 != m.t1
+		keep1 := l.t1 != 0 && l.t1 != m.t0 && l.t1 != m.t1
+		switch {
+		case keep0 && keep1:
+			return l
+		case keep0:
+			return Label{t0: l.t0}
+		case keep1:
+			return Label{t0: l.t1}
+		default:
+			return Label{}
 		}
-		if j < len(m.tags) && m.tags[j] == t {
-			continue
-		}
-		out = append(out, t)
 	}
-	if len(out) == 0 {
-		return Label{}
-	}
-	return Label{tags: out}
+	return l.merge(m, mergeSubtract)
 }
 
 // Add returns l ∪ {t}.
@@ -222,11 +452,12 @@ func (l Label) String() string {
 	}
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, t := range l.tags {
+	n := l.Size()
+	for i := 0; i < n; i++ {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteString(t.String())
+		b.WriteString(l.at(i).String())
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -252,11 +483,4 @@ func ParseLabel(s string) (Label, error) {
 		tags = append(tags, t)
 	}
 	return NewLabel(tags...), nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

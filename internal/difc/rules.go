@@ -49,9 +49,36 @@ func (lp LabelPair) CanFlowTo(o LabelPair) bool {
 //	new − old ⊆ D+   and   old − new ⊆ D−
 //
 // The rule is identical for secrecy and integrity labels.
+//
+// The implementation tests tag coverage directly instead of materializing
+// the difference labels, so the judgment never allocates — it runs on
+// every read-taint raise of the request path.
 func SafeLabelChange(old, new Label, caps CapSet) bool {
-	return new.Subtract(old).SubsetOf(caps.Plus()) &&
-		old.Subtract(new).SubsetOf(caps.Minus())
+	return coveredBy2(new, old, caps.plus) && coveredBy2(old, new, caps.minus)
+}
+
+// coveredBy2 reports l ⊆ a ∪ b without building the union.
+func coveredBy2(l, a, b Label) bool {
+	n := l.Size()
+	for i := 0; i < n; i++ {
+		t := l.at(i)
+		if !a.Has(t) && !b.Has(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// coveredBy3 reports l ⊆ a ∪ b ∪ c without building the union.
+func coveredBy3(l, a, b, c Label) bool {
+	n := l.Size()
+	for i := 0; i < n; i++ {
+		t := l.at(i)
+		if !a.Has(t) && !b.Has(t) && !c.Has(t) {
+			return false
+		}
+	}
+	return true
 }
 
 // ErrUnsafeLabelChange describes a rejected label transition, naming the
@@ -69,14 +96,17 @@ func (e *ErrUnsafeLabelChange) Error() string {
 }
 
 // CheckLabelChange is SafeLabelChange returning a diagnostic error on
-// denial, for kernel call sites that must report the failure.
+// denial, for kernel call sites that must report the failure. The allowed
+// path allocates nothing; the difference labels are materialized only to
+// describe a denial.
 func CheckLabelChange(old, new Label, caps CapSet) error {
-	mp := new.Subtract(old).Subtract(caps.Plus())
-	mm := old.Subtract(new).Subtract(caps.Minus())
-	if mp.IsEmpty() && mm.IsEmpty() {
+	if SafeLabelChange(old, new, caps) {
 		return nil
 	}
-	return &ErrUnsafeLabelChange{MissingPlus: mp, MissingMinus: mm}
+	return &ErrUnsafeLabelChange{
+		MissingPlus:  new.Subtract(old).Subtract(caps.Plus()),
+		MissingMinus: old.Subtract(new).Subtract(caps.Minus()),
+	}
 }
 
 // SafeMessage implements Flume's safe message rule for a message sent by
@@ -90,8 +120,9 @@ func CheckLabelChange(old, new Label, caps CapSet) error {
 // tags it could add anyway; after those potential moves the flow must be
 // monotone. Integrity is the dual judgment, checked by SafeMessageI.
 func SafeMessage(sendS Label, sendCaps CapSet, recvS Label, recvCaps CapSet) bool {
-	return sendS.Subtract(sendCaps.Minus()).
-		SubsetOf(recvS.Union(recvCaps.Plus()))
+	// S_send ⊆ D_send− ∪ S_recv ∪ D_recv+, tag by tag: no intermediate
+	// labels, no allocation.
+	return coveredBy3(sendS, sendCaps.minus, recvS, recvCaps.plus)
 }
 
 // SafeMessageI is the integrity dual of SafeMessage: the receiver's
@@ -104,8 +135,7 @@ func SafeMessage(sendS Label, sendCaps CapSet, recvS Label, recvCaps CapSet) boo
 // integrity label contains the owner's write tag w_u only accepts writes
 // from processes that carry (or can endorse with) w_u.
 func SafeMessageI(sendI Label, sendCaps CapSet, recvI Label, recvCaps CapSet) bool {
-	return recvI.Subtract(recvCaps.Plus()).
-		SubsetOf(sendI.Union(sendCaps.Minus()))
+	return coveredBy3(recvI, recvCaps.plus, sendI, sendCaps.minus)
 }
 
 // SafeFlow checks both directions of the full message judgment between
@@ -130,15 +160,17 @@ func (e *ErrFlowDenied) Error() string {
 		e.Leaked, e.Unmet)
 }
 
-// CheckFlow is SafeFlow with a diagnostic error for the audit log.
+// CheckFlow is SafeFlow with a diagnostic error for the audit log. The
+// allowed path (every request) allocates nothing; denial details are
+// materialized only when the flow is rejected.
 func CheckFlow(send LabelPair, sendCaps CapSet, recv LabelPair, recvCaps CapSet) error {
+	if SafeFlow(send, sendCaps, recv, recvCaps) {
+		return nil
+	}
 	leaked := send.Secrecy.Subtract(sendCaps.Minus()).
 		Subtract(recv.Secrecy.Union(recvCaps.Plus()))
 	unmet := recv.Integrity.Subtract(recvCaps.Plus()).
 		Subtract(send.Integrity.Union(sendCaps.Minus()))
-	if leaked.IsEmpty() && unmet.IsEmpty() {
-		return nil
-	}
 	return &ErrFlowDenied{Leaked: leaked, Unmet: unmet}
 }
 

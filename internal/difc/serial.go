@@ -20,9 +20,11 @@ import (
 // AppendBinary appends the wire form of the label to b and returns the
 // extended slice.
 func (l Label) AppendBinary(b []byte) []byte {
-	b = binary.AppendUvarint(b, uint64(len(l.tags)))
+	n := l.Size()
+	b = binary.AppendUvarint(b, uint64(n))
 	prev := Tag(0)
-	for _, t := range l.tags {
+	for i := 0; i < n; i++ {
+		t := l.at(i)
 		b = binary.AppendUvarint(b, uint64(t-prev))
 		prev = t
 	}
@@ -60,10 +62,7 @@ func DecodeLabel(b []byte) (Label, int, error) {
 		tags = append(tags, t)
 		prev = t
 	}
-	if len(tags) == 0 {
-		return Label{}, off, nil
-	}
-	return Label{tags: tags}, off, nil
+	return labelFromSorted(tags), off, nil
 }
 
 // UnmarshalBinary implements encoding.BinaryUnmarshaler. Trailing bytes

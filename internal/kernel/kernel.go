@@ -11,19 +11,24 @@
 // trusted computing base; everything in internal/apps and all WVM
 // bytecode is untrusted.
 //
-// Concurrency: one kernel mutex guards the process table and all label
-// state. Label operations are tiny set operations (see experiment E3),
-// so a single lock keeps the monitor trivially verifiable — the property
-// the paper prizes ("only a small number of components must be correct",
-// §2). Mailboxes use per-process channels so blocked receivers do not
-// hold the kernel lock.
+// Concurrency: each process's security state (labels + capabilities) is
+// an immutable snapshot behind an atomic pointer. Reads — the dominant
+// operation: every storage access and every flow check consults labels —
+// are lock-free loads; writes (label changes, grants, revocations) are
+// serialized per process by a small mutex and publish a fresh snapshot.
+// The single kernel mutex now guards only the process table, which
+// request-scoped (ephemeral) processes never enter, so the monitor stays
+// small and verifiable (the property the paper prizes, §2) without a
+// global lock on the request path. Mailboxes are per-process channels,
+// created lazily on first use — request processes never receive IPC and
+// therefore never pay for one.
 package kernel
 
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"w5/internal/audit"
 	"w5/internal/difc"
@@ -57,22 +62,33 @@ type Message struct {
 	Data     []byte
 }
 
-// Process is one schedulable principal: an application instance, a
-// declassifier, or a platform service. All fields are guarded by the
-// kernel mutex; use the accessor methods.
-type Process struct {
-	id    ProcID
-	name  string
-	owner string // billing principal, e.g. "app:photo" or "user:bob"
-
-	k         *Kernel
+// procState is one immutable snapshot of a process's security context.
+// A snapshot is never mutated after publication; readers that load the
+// pointer see a consistent (secrecy, integrity, caps) triple.
+type procState struct {
 	secrecy   difc.Label
 	integrity difc.Label
 	caps      difc.CapSet
-	alive     bool
+}
 
-	mailbox chan Message
-	done    chan struct{}
+// Process is one schedulable principal: an application instance, a
+// declassifier, or a platform service.
+type Process struct {
+	id        ProcID
+	name      string
+	owner     string // billing principal, e.g. "app:photo" or "user:bob"
+	ephemeral bool   // request-scoped: not in the process table, recycled on exit
+
+	k     *Kernel
+	state atomic.Pointer[procState]
+	alive atomic.Bool
+
+	// mu serializes state transitions (read-modify-write of the snapshot
+	// pointer), lifecycle changes, and lazy channel creation. It is never
+	// held while blocking.
+	mu      sync.Mutex
+	mailbox atomic.Pointer[chan Message]  // created on first Send/Receive
+	done    atomic.Pointer[chan struct{}] // created on first blocking Receive
 	account *quota.Account
 	msgRate *quota.Bucket // optional per-process message rate limit
 }
@@ -89,25 +105,56 @@ func (p *Process) Owner() string { return p.owner }
 // Account returns the process's quota ledger (nil if quotas disabled).
 func (p *Process) Account() *quota.Account { return p.account }
 
-// Labels returns the process's current label pair.
+// Labels returns the process's current label pair. Lock-free.
 func (p *Process) Labels() difc.LabelPair {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
-	return difc.LabelPair{Secrecy: p.secrecy, Integrity: p.integrity}
+	st := p.state.Load()
+	return difc.LabelPair{Secrecy: st.secrecy, Integrity: st.integrity}
 }
 
-// Caps returns the process's current capability set.
-func (p *Process) Caps() difc.CapSet {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
-	return p.caps
-}
+// Caps returns the process's current capability set. Lock-free.
+func (p *Process) Caps() difc.CapSet { return p.state.Load().caps }
 
 // Alive reports whether the process has not exited.
-func (p *Process) Alive() bool {
-	p.k.mu.Lock()
-	defer p.k.mu.Unlock()
-	return p.alive
+func (p *Process) Alive() bool { return p.alive.Load() }
+
+// mailboxCh returns the process's mailbox, creating it on first use.
+func (p *Process) mailboxCh() chan Message {
+	if ch := p.mailbox.Load(); ch != nil {
+		return *ch
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mailboxLocked()
+}
+
+// mailboxLocked is mailboxCh for callers already holding p.mu.
+func (p *Process) mailboxLocked() chan Message {
+	if ch := p.mailbox.Load(); ch != nil {
+		return *ch
+	}
+	ch := make(chan Message, p.k.opts.MailboxCap)
+	p.mailbox.Store(&ch)
+	return ch
+}
+
+// doneCh returns the process's exit-notification channel, creating it on
+// first use. If the process already exited, the returned channel is
+// closed.
+func (p *Process) doneCh() chan struct{} {
+	if ch := p.done.Load(); ch != nil {
+		return *ch
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if ch := p.done.Load(); ch != nil {
+		return *ch
+	}
+	ch := make(chan struct{})
+	if !p.alive.Load() {
+		close(ch)
+	}
+	p.done.Store(&ch)
+	return ch
 }
 
 // Options configures a Kernel.
@@ -130,11 +177,17 @@ type Options struct {
 
 // Kernel is the reference monitor. Create one per provider with New.
 type Kernel struct {
-	mu      sync.Mutex
+	mu      sync.Mutex // guards procs only
 	opts    Options
-	nextTag difc.Tag
-	nextPID ProcID
+	nextTag atomic.Uint64
+	nextPID atomic.Uint64
 	procs   map[ProcID]*Process
+
+	// pool recycles ephemeral (request-scoped) Process shells so that a
+	// Spawn/Exit pair per request stops allocating channels and hitting
+	// the shared process table. Only the core Invoke path creates
+	// ephemeral processes, and it exits each exactly once.
+	pool sync.Pool
 }
 
 // New returns a kernel with the given options.
@@ -142,7 +195,9 @@ func New(opts Options) *Kernel {
 	if opts.MailboxCap <= 0 {
 		opts.MailboxCap = 128
 	}
-	return &Kernel{opts: opts, procs: make(map[ProcID]*Process)}
+	k := &Kernel{opts: opts, procs: make(map[ProcID]*Process)}
+	k.pool.New = func() any { return new(Process) }
+	return k
 }
 
 // NewEnforcing returns a kernel with enforcement on and the given audit
@@ -166,13 +221,17 @@ func (k *Kernel) auditf(kind audit.Kind, actor, subject, format string, args ...
 // privilege is held only by whoever the caller (trusted code) chooses to
 // grant it to.
 func (k *Kernel) MintTag(owner *Process, note string) difc.Tag {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	k.nextTag++
-	t := k.nextTag
+	t := difc.Tag(k.nextTag.Add(1))
 	actor := "provider"
 	if owner != nil {
-		owner.caps = owner.caps.Grant(difc.Both(t)...)
+		owner.mu.Lock()
+		st := owner.state.Load()
+		owner.state.Store(&procState{
+			secrecy:   st.secrecy,
+			integrity: st.integrity,
+			caps:      st.caps.Grant(difc.Both(t)...),
+		})
+		owner.mu.Unlock()
 		actor = owner.name
 	}
 	k.auditf(audit.KindTagMint, actor, t.String(), "%s", note)
@@ -186,6 +245,12 @@ type SpawnSpec struct {
 	Secrecy   difc.Label
 	Integrity difc.Label
 	Caps      difc.CapSet
+	// Ephemeral marks a request-scoped process: it is not entered into
+	// the process table (it can send IPC but never receive it, and
+	// Lookup will not find it), and its shell is recycled after Exit.
+	// Callers of ephemeral spawns must call Exit exactly once and must
+	// not touch the Process after that.
+	Ephemeral bool
 }
 
 // Spawn creates a process. If parent is non-nil the spawn is subject to
@@ -194,16 +259,22 @@ type SpawnSpec struct {
 // parent's labels by a safe label change — a child cannot launder away
 // taint its parent carries. A nil parent is a trusted provider spawn.
 func (k *Kernel) Spawn(parent *Process, spec SpawnSpec) (*Process, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
 	if parent != nil && k.opts.Enforce {
-		if !spec.Caps.SubsetOf(parent.caps) {
+		// Hold the parent's mutex from the delegation check through the
+		// child's publication: once a Revoke of the parent returns, no
+		// child carrying the revoked capabilities can appear afterwards
+		// (the same guarantee Grant provides by committing under the
+		// grantor's mutex).
+		parent.mu.Lock()
+		defer parent.mu.Unlock()
+		pst := parent.state.Load()
+		if !spec.Caps.SubsetOf(pst.caps) {
 			k.auditf(audit.KindFlowDenied, parent.name, spec.Name,
-				"spawn caps %s exceed parent %s", spec.Caps, parent.caps)
+				"spawn caps %s exceed parent %s", spec.Caps, pst.caps)
 			return nil, ErrDenied
 		}
-		if !difc.SafeLabelChange(parent.secrecy, spec.Secrecy, parent.caps) ||
-			!difc.SafeLabelChange(parent.integrity, spec.Integrity, parent.caps) {
+		if !difc.SafeLabelChange(pst.secrecy, spec.Secrecy, pst.caps) ||
+			!difc.SafeLabelChange(pst.integrity, spec.Integrity, pst.caps) {
 			k.auditf(audit.KindFlowDenied, parent.name, spec.Name,
 				"spawn labels unreachable from parent")
 			return nil, ErrDenied
@@ -213,47 +284,68 @@ func (k *Kernel) Spawn(parent *Process, spec SpawnSpec) (*Process, error) {
 	if owner == "" {
 		owner = spec.Name
 	}
-	k.nextPID++
-	p := &Process{
-		id:        k.nextPID,
-		name:      spec.Name,
-		owner:     owner,
-		k:         k,
-		secrecy:   spec.Secrecy,
-		integrity: spec.Integrity,
-		caps:      spec.Caps,
-		alive:     true,
-		mailbox:   make(chan Message, k.opts.MailboxCap),
-		done:      make(chan struct{}),
+	var p *Process
+	if spec.Ephemeral {
+		p = k.pool.Get().(*Process)
+		p.mailbox.Store(nil)
+		p.done.Store(nil)
+	} else {
+		p = new(Process)
 	}
+	p.id = ProcID(k.nextPID.Add(1))
+	p.name = spec.Name
+	p.owner = owner
+	p.ephemeral = spec.Ephemeral
+	p.k = k
+	p.state.Store(&procState{secrecy: spec.Secrecy, integrity: spec.Integrity, caps: spec.Caps})
+	p.account = nil
 	if k.opts.Quotas != nil {
 		p.account = k.opts.Quotas.Account(owner)
 	}
+	p.msgRate = nil
 	if k.opts.MsgRate > 0 && k.opts.MsgBurst > 0 {
 		p.msgRate = quota.NewBucket(k.opts.MsgBurst, k.opts.MsgRate)
 	}
-	k.procs[p.id] = p
-	k.auditf(audit.KindSpawn, p.name, fmt.Sprintf("pid=%d", p.id),
-		"owner=%s %s caps=%s", owner,
+	p.alive.Store(true)
+	if !spec.Ephemeral {
+		k.mu.Lock()
+		k.procs[p.id] = p
+		k.mu.Unlock()
+	}
+	// pid lives in the lazily formatted detail, not the subject: subject
+	// formatting would cost an allocation per spawn on the request path.
+	k.auditf(audit.KindSpawn, p.name, p.name,
+		"pid=%d owner=%s %s caps=%s", uint64(p.id), owner,
 		difc.LabelPair{Secrecy: spec.Secrecy, Integrity: spec.Integrity}, spec.Caps)
 	return p, nil
 }
 
 // Exit terminates a process. Pending mailbox messages are discarded;
-// senders racing with exit get ErrDead or a benign drop.
+// senders racing with exit get ErrDead or a benign drop. Exit is
+// idempotent for resident processes; an ephemeral process must be exited
+// exactly once (its shell is recycled for a future spawn).
 func (k *Kernel) Exit(p *Process) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	if !p.alive {
+	p.mu.Lock()
+	if !p.alive.CompareAndSwap(true, false) {
+		p.mu.Unlock()
 		return
 	}
-	p.alive = false
-	close(p.done)
+	if ch := p.done.Load(); ch != nil {
+		close(*ch)
+	}
+	p.mu.Unlock()
+	k.auditf(audit.KindExit, p.name, p.name, "pid=%d", uint64(p.id))
+	if p.ephemeral {
+		k.pool.Put(p)
+		return
+	}
+	k.mu.Lock()
 	delete(k.procs, p.id)
-	k.auditf(audit.KindExit, p.name, fmt.Sprintf("pid=%d", p.id), "")
+	k.mu.Unlock()
 }
 
-// Lookup finds a live process by ID.
+// Lookup finds a live resident process by ID. Ephemeral (request-scoped)
+// processes are not in the table.
 func (k *Kernel) Lookup(id ProcID) (*Process, bool) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
@@ -261,7 +353,7 @@ func (k *Kernel) Lookup(id ProcID) (*Process, bool) {
 	return p, ok
 }
 
-// Procs returns a snapshot of live processes.
+// Procs returns a snapshot of live resident processes.
 func (k *Kernel) Procs() []*Process {
 	k.mu.Lock()
 	defer k.mu.Unlock()
@@ -275,23 +367,23 @@ func (k *Kernel) Procs() []*Process {
 // SetLabels applies a safe label change to p, using p's own capability
 // set (Flume: processes change only their own labels).
 func (k *Kernel) SetLabels(p *Process, want difc.LabelPair) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	if !p.alive {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.alive.Load() {
 		return ErrDead
 	}
+	st := p.state.Load()
 	if k.opts.Enforce {
-		if err := difc.CheckLabelChange(p.secrecy, want.Secrecy, p.caps); err != nil {
+		if err := difc.CheckLabelChange(st.secrecy, want.Secrecy, st.caps); err != nil {
 			k.auditf(audit.KindFlowDenied, p.name, "self", "secrecy change: %v", err)
 			return ErrDenied
 		}
-		if err := difc.CheckLabelChange(p.integrity, want.Integrity, p.caps); err != nil {
+		if err := difc.CheckLabelChange(st.integrity, want.Integrity, st.caps); err != nil {
 			k.auditf(audit.KindFlowDenied, p.name, "self", "integrity change: %v", err)
 			return ErrDenied
 		}
 	}
-	p.secrecy = want.Secrecy
-	p.integrity = want.Integrity
+	p.state.Store(&procState{secrecy: want.Secrecy, integrity: want.Integrity, caps: st.caps})
 	return nil
 }
 
@@ -306,26 +398,54 @@ func (k *Kernel) RaiseSecrecy(p *Process, tags ...difc.Tag) error {
 	})
 }
 
+// lockPair acquires both process mutexes in pid order (a deterministic
+// total order, so concurrent Grants cannot deadlock) and returns the
+// matching unlock. Handles a == b.
+func lockPair(a, b *Process) func() {
+	if a == b {
+		a.mu.Lock()
+		return a.mu.Unlock
+	}
+	if a.id > b.id {
+		a, b = b, a
+	}
+	a.mu.Lock()
+	b.mu.Lock()
+	return func() { b.mu.Unlock(); a.mu.Unlock() }
+}
+
 // Grant delegates capabilities from one process to another. The grantor
 // must itself hold every granted capability; nil from is a trusted
 // provider grant (used when a user authorizes a declassifier via the
 // gateway, which acts with the user's stored privileges).
+//
+// The holdings check and the grant commit happen under both processes'
+// mutexes, so a concurrent Revoke of the grantor serializes with the
+// grant: once Revoke returns, no delegation of the revoked capability
+// can succeed.
 func (k *Kernel) Grant(from, to *Process, caps difc.CapSet) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	if !to.alive {
-		return ErrDead
-	}
 	actor := "provider"
+	var unlock func()
 	if from != nil {
 		actor = from.name
-		if k.opts.Enforce && !caps.SubsetOf(from.caps) {
+		unlock = lockPair(from, to)
+		if fcaps := from.state.Load().caps; k.opts.Enforce && !caps.SubsetOf(fcaps) {
+			unlock()
 			k.auditf(audit.KindFlowDenied, actor, to.name,
-				"grant %s exceeds holdings %s", caps, from.caps)
+				"grant %s exceeds holdings %s", caps, fcaps)
 			return ErrDenied
 		}
+	} else {
+		to.mu.Lock()
+		unlock = to.mu.Unlock
 	}
-	to.caps = to.caps.Union(caps)
+	if !to.alive.Load() {
+		unlock()
+		return ErrDead
+	}
+	st := to.state.Load()
+	to.state.Store(&procState{secrecy: st.secrecy, integrity: st.integrity, caps: st.caps.Union(caps)})
+	unlock()
 	k.auditf(audit.KindGrant, actor, to.name, "granted %s", caps)
 	return nil
 }
@@ -334,50 +454,64 @@ func (k *Kernel) Grant(from, to *Process, caps difc.CapSet) error {
 // Revoke (users revoke through provider front-ends); there is no
 // untrusted revocation in the Flume model.
 func (k *Kernel) Revoke(p *Process, caps difc.CapSet) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	p.caps = p.caps.Revoke(caps.Caps()...)
+	p.mu.Lock()
+	st := p.state.Load()
+	p.state.Store(&procState{secrecy: st.secrecy, integrity: st.integrity, caps: st.caps.Revoke(caps.Caps()...)})
+	p.mu.Unlock()
 	k.auditf(audit.KindRevoke, "provider", p.name, "revoked %s", caps)
 }
 
 // Send delivers data from one process to another, subject to the Flume
 // safe-message judgment in both secrecy and integrity. The message
 // carries the sender's labels so the receiver knows its provenance.
+//
+// The flow-allowed audit record is written only after the message is
+// actually queued at the receiver; a delivery that fails (mailbox full,
+// receiver exited) is recorded as a drop, never as a successful flow.
 func (k *Kernel) Send(from *Process, to ProcID, data []byte) error {
-	k.mu.Lock()
-	if !from.alive {
-		k.mu.Unlock()
+	if !from.alive.Load() {
 		return ErrDead
 	}
-	dst, ok := k.procs[to]
+	dst, ok := k.Lookup(to)
 	if !ok {
-		k.mu.Unlock()
 		return ErrNoSuchProcess
 	}
 	if from.msgRate != nil && !from.msgRate.Take(1) {
-		k.mu.Unlock()
 		k.auditf(audit.KindQuota, from.name, dst.name, "message rate exceeded")
 		return &quota.ErrExceeded{Principal: from.owner, Resource: "msg-rate"}
 	}
-	send := difc.LabelPair{Secrecy: from.secrecy, Integrity: from.integrity}
-	recv := difc.LabelPair{Secrecy: dst.secrecy, Integrity: dst.integrity}
+	fst := from.state.Load()
+	dstSt := dst.state.Load()
+	send := difc.LabelPair{Secrecy: fst.secrecy, Integrity: fst.integrity}
 	if k.opts.Enforce {
-		if err := difc.CheckFlow(send, from.caps, recv, dst.caps); err != nil {
-			k.mu.Unlock()
+		recv := difc.LabelPair{Secrecy: dstSt.secrecy, Integrity: dstSt.integrity}
+		if err := difc.CheckFlow(send, fst.caps, recv, dstSt.caps); err != nil {
 			k.auditf(audit.KindFlowDenied, from.name, dst.name, "%v", err)
 			return ErrDenied
 		}
 	}
 	msg := Message{From: from.id, FromName: from.name, Labels: send, Data: data}
-	k.mu.Unlock()
 
-	k.auditf(audit.KindFlowAllowed, from.name, dst.name, "%d bytes %s", len(data), send)
-	select {
-	case dst.mailbox <- msg:
-		return nil
-	case <-dst.done:
+	// Queue under the receiver's mutex: Exit flips alive under the same
+	// mutex, so a message can never be queued to an already-exited
+	// process, and a successful queue strictly happens-before any exit
+	// (whose pending messages are discarded by contract). The send case
+	// never blocks — the mailbox is buffered and a full buffer falls
+	// through to default.
+	dst.mu.Lock()
+	if !dst.alive.Load() {
+		dst.mu.Unlock()
+		k.auditf(audit.KindDrop, from.name, dst.name, "receiver exited, %d bytes dropped", len(data))
 		return ErrDead
+	}
+	select {
+	case dst.mailboxLocked() <- msg:
+		dst.mu.Unlock()
+		k.auditf(audit.KindFlowAllowed, from.name, dst.name, "%d bytes %s", len(data), send)
+		return nil
 	default:
+		dst.mu.Unlock()
+		k.auditf(audit.KindDrop, from.name, dst.name, "mailbox full, %d bytes dropped", len(data))
 		return ErrMailboxFull
 	}
 }
@@ -388,22 +522,24 @@ func (k *Kernel) Send(from *Process, to ProcID, data []byte) error {
 // message was queued, delivering it would be a downward flow, so the
 // message is discarded (audited) and the next one is considered.
 func (k *Kernel) Receive(ctx context.Context, p *Process) (Message, error) {
+	if !p.alive.Load() {
+		return Message{}, ErrDead
+	}
+	mailbox, done := p.mailboxCh(), p.doneCh()
 	for {
 		select {
-		case m := <-p.mailbox:
+		case m := <-mailbox:
 			if k.opts.Enforce {
-				k.mu.Lock()
-				recv := difc.LabelPair{Secrecy: p.secrecy, Integrity: p.integrity}
-				caps := p.caps
-				k.mu.Unlock()
-				if err := difc.CheckFlow(m.Labels, difc.EmptyCaps, recv, caps); err != nil {
+				st := p.state.Load()
+				recv := difc.LabelPair{Secrecy: st.secrecy, Integrity: st.integrity}
+				if err := difc.CheckFlow(m.Labels, difc.EmptyCaps, recv, st.caps); err != nil {
 					k.auditf(audit.KindFlowDenied, m.FromName, p.name,
 						"stale delivery: %v", err)
 					continue
 				}
 			}
 			return m, nil
-		case <-p.done:
+		case <-done:
 			return Message{}, ErrDead
 		case <-ctx.Done():
 			return Message{}, ErrInterrupted
@@ -414,15 +550,17 @@ func (k *Kernel) Receive(ctx context.Context, p *Process) (Message, error) {
 // TryReceive is Receive without blocking; ok is false when the mailbox
 // is empty.
 func (k *Kernel) TryReceive(p *Process) (Message, bool) {
+	ch := p.mailbox.Load()
+	if ch == nil {
+		return Message{}, false // nothing was ever sent here
+	}
 	for {
 		select {
-		case m := <-p.mailbox:
+		case m := <-*ch:
 			if k.opts.Enforce {
-				k.mu.Lock()
-				recv := difc.LabelPair{Secrecy: p.secrecy, Integrity: p.integrity}
-				caps := p.caps
-				k.mu.Unlock()
-				if err := difc.CheckFlow(m.Labels, difc.EmptyCaps, recv, caps); err != nil {
+				st := p.state.Load()
+				recv := difc.LabelPair{Secrecy: st.secrecy, Integrity: st.integrity}
+				if err := difc.CheckFlow(m.Labels, difc.EmptyCaps, recv, st.caps); err != nil {
 					k.auditf(audit.KindFlowDenied, m.FromName, p.name,
 						"stale delivery: %v", err)
 					continue
@@ -441,18 +579,14 @@ func (k *Kernel) TryReceive(p *Process) (Message, bool) {
 // success the network quota is charged. The destination string is used
 // only for auditing.
 func (k *Kernel) Export(p *Process, extra difc.CapSet, dest string, nbytes int) error {
-	k.mu.Lock()
-	if !p.alive {
-		k.mu.Unlock()
+	if !p.alive.Load() {
 		return ErrDead
 	}
-	s := p.secrecy
-	caps := p.caps.Union(extra)
-	k.mu.Unlock()
-
-	if k.opts.Enforce && !difc.CanExport(s, caps) {
+	st := p.state.Load()
+	caps := st.caps.Union(extra)
+	if k.opts.Enforce && !difc.CanExport(st.secrecy, caps) {
 		k.auditf(audit.KindExportDenied, p.name, dest,
-			"residue %s", difc.ExportResidue(s, caps))
+			"residue %s", difc.ExportResidue(st.secrecy, caps))
 		return ErrDenied
 	}
 	if p.account != nil {
@@ -469,8 +603,9 @@ func (k *Kernel) Export(p *Process, extra difc.CapSet, dest string, nbytes int) 
 // harnesses after setup so the running code holds only what its policy
 // needs (least privilege).
 func (k *Kernel) DropPrivileges(p *Process, keep difc.CapSet) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	p.caps = keep
+	p.mu.Lock()
+	st := p.state.Load()
+	p.state.Store(&procState{secrecy: st.secrecy, integrity: st.integrity, caps: keep})
+	p.mu.Unlock()
 	k.auditf(audit.KindRevoke, "provider", p.name, "privileges reduced to %s", keep)
 }

@@ -1,0 +1,161 @@
+package kernel
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"w5/internal/audit"
+	"w5/internal/difc"
+)
+
+// TestSendDropAuditedNotFlowAllowed pins the audit ordering fix: a
+// mailbox-full drop must be recorded as a drop, never as a successful
+// flow (the old code wrote flow-allowed before attempting delivery).
+func TestSendDropAuditedNotFlowAllowed(t *testing.T) {
+	log := audit.New()
+	k := New(Options{Enforce: true, Log: log, MailboxCap: 1})
+	a, _ := k.Spawn(nil, SpawnSpec{Name: "a"})
+	b, _ := k.Spawn(nil, SpawnSpec{Name: "b"})
+
+	if err := k.Send(a, b.ID(), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	allowed := log.CountKind(audit.KindFlowAllowed)
+	if allowed != 1 {
+		t.Fatalf("flow-allowed count = %d, want 1", allowed)
+	}
+	if err := k.Send(a, b.ID(), []byte("two")); !errors.Is(err, ErrMailboxFull) {
+		t.Fatalf("err = %v, want ErrMailboxFull", err)
+	}
+	if got := log.CountKind(audit.KindFlowAllowed); got != allowed {
+		t.Errorf("dropped message audited as flow-allowed (count %d -> %d)", allowed, got)
+	}
+	if got := log.CountKind(audit.KindDrop); got != 1 {
+		t.Errorf("drop audit count = %d, want 1", got)
+	}
+}
+
+// TestEphemeralProcessLifecycle pins the request-scoped spawn contract:
+// ephemeral processes work as IPC senders and exporters but are not in
+// the process table, and their shells are recycled after Exit.
+func TestEphemeralProcessLifecycle(t *testing.T) {
+	log := audit.New()
+	k := NewEnforcing(log, nil)
+	resident, _ := k.Spawn(nil, SpawnSpec{Name: "resident"})
+
+	e, err := k.Spawn(nil, SpawnSpec{Name: "req", Ephemeral: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := k.Lookup(e.ID()); ok {
+		t.Error("ephemeral process present in process table")
+	}
+	if got := len(k.Procs()); got != 1 {
+		t.Errorf("Procs() = %d entries, want 1 (the resident)", got)
+	}
+	// It can still send (it is a first-class principal for flow checks).
+	if err := k.Send(e, resident.ID(), []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	// And nobody can send to it: request processes never receive IPC.
+	if err := k.Send(resident, e.ID(), nil); !errors.Is(err, ErrNoSuchProcess) {
+		t.Fatalf("send to ephemeral: %v, want ErrNoSuchProcess", err)
+	}
+	if log.CountKind(audit.KindSpawn) != 2 || log.CountKind(audit.KindExit) != 0 {
+		t.Error("spawn/exit auditing wrong before exit")
+	}
+	oldPID := e.ID()
+	k.Exit(e)
+	if e.Alive() {
+		t.Error("Alive after Exit")
+	}
+	if log.CountKind(audit.KindExit) != 1 {
+		t.Error("ephemeral exit not audited")
+	}
+
+	// The shell is recycled: a fresh ephemeral spawn reuses it with a new
+	// identity and clean state.
+	e2, err := k.Spawn(nil, SpawnSpec{Name: "req2", Ephemeral: true,
+		Secrecy: difc.NewLabel(99)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.ID() == oldPID {
+		t.Error("recycled process kept its old pid")
+	}
+	if !e2.Alive() || e2.Name() != "req2" || !e2.Labels().Secrecy.Has(99) {
+		t.Error("recycled process state not reset")
+	}
+	if _, ok := k.TryReceive(e2); ok {
+		t.Error("recycled process has a non-empty mailbox")
+	}
+}
+
+// TestLabelReadsDoNotAllocate pins the lock-free snapshot reads: every
+// storage access consults Labels()/Caps(), so they must stay free.
+func TestLabelReadsDoNotAllocate(t *testing.T) {
+	k := NewEnforcing(nil, nil)
+	p, _ := k.Spawn(nil, SpawnSpec{Name: "p",
+		Secrecy: difc.NewLabel(1), Caps: difc.CapsFor(1, 2)})
+	var lp difc.LabelPair
+	var cs difc.CapSet
+	if avg := testing.AllocsPerRun(200, func() { lp = p.Labels() }); avg != 0 {
+		t.Errorf("Labels() allocates %.1f times per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { cs = p.Caps() }); avg != 0 {
+		t.Errorf("Caps() allocates %.1f times per op, want 0", avg)
+	}
+	if !lp.Secrecy.Has(1) || !cs.Owns(2) {
+		t.Error("snapshot reads returned wrong state")
+	}
+}
+
+// TestConcurrentLabelReadsAndWrites drives lock-free readers against
+// serialized writers; under -race this pins the snapshot-pointer scheme.
+// A reader must always observe a consistent (label, caps) snapshot: the
+// secrecy label never contains a tag whose plus-capability is missing
+// from the same snapshot, because every raise goes through SetLabels
+// with the capability already held.
+func TestConcurrentLabelReadsAndWrites(t *testing.T) {
+	k := NewEnforcing(nil, nil)
+	const tag = difc.Tag(7)
+	p, _ := k.Spawn(nil, SpawnSpec{Name: "p", Caps: difc.CapsFor(tag)})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 4)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lp := p.Labels()
+				cs := p.Caps()
+				if lp.Secrecy.Has(tag) && !cs.HasPlus(tag) {
+					errCh <- errors.New("torn snapshot: tainted without capability")
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 500; i++ {
+		if err := k.SetLabels(p, difc.LabelPair{Secrecy: difc.NewLabel(tag)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SetLabels(p, difc.LabelPair{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
