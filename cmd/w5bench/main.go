@@ -10,36 +10,77 @@
 //	                                         # measure the invoke→export
 //	                                         # hot path and write a JSON
 //	                                         # record for trend tracking
+//	w5bench -requestpath /tmp/new.json -compare BENCH_requestpath.json
+//	                                         # the CI regression gate:
+//	                                         # measure, then fail (exit 1)
+//	                                         # if ns/op, allocs/op, or the
+//	                                         # population-scaling ratio
+//	                                         # regressed >25% vs baseline
 //
 // The -requestpath mode exists so successive PRs can compare the
-// request-path cost (ns/op, allocs/op, and the population-scaling ratio)
-// against a committed machine-readable baseline instead of eyeballing
-// benchmark logs.
+// request-path cost (ns/op, allocs/op, and the population-scaling
+// ratio) against a committed machine-readable baseline instead of
+// eyeballing benchmark logs; -compare turns that comparison into a
+// hard gate CI can enforce.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
-	"testing"
 
 	"w5/internal/benchutil"
-	"w5/internal/core"
 	"w5/internal/experiments"
 )
+
+// compareTolerance is the allowed relative regression before the gate
+// fails: generous enough to absorb runner-to-runner noise, tight enough
+// that losing an optimization (O(users) rescans, per-access path
+// splitting, lock contention) cannot slip through.
+const compareTolerance = 0.25
 
 func main() {
 	requestPath := flag.String("requestpath", "",
 		"measure the invoke→export request path and write JSON results to this file")
+	compare := flag.String("compare", "",
+		"baseline JSON to gate against; with -requestpath, exits 1 on >25% regression")
 	flag.Parse()
 
+	if *compare != "" && *requestPath == "" {
+		fmt.Fprintln(os.Stderr, "w5bench: -compare requires -requestpath (nothing was measured)")
+		os.Exit(2)
+	}
+
 	if *requestPath != "" {
-		if err := writeRequestPathJSON(*requestPath); err != nil {
+		report, err := benchutil.MeasureRequestPath(func(r benchutil.Result) {
+			fmt.Printf("%-40s %10.0f ns/op %6d B/op %4d allocs/op\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "w5bench:", err)
 			os.Exit(1)
+		}
+		fmt.Printf("scaling ratio (10k/100 users): %.2f\n", report.ScalingRatio10k)
+		if err := report.Write(*requestPath); err != nil {
+			fmt.Fprintln(os.Stderr, "w5bench:", err)
+			os.Exit(1)
+		}
+		if *compare != "" {
+			baseline, err := benchutil.LoadReport(*compare)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "w5bench: loading baseline:", err)
+				os.Exit(1)
+			}
+			violations := benchutil.Compare(baseline, report, compareTolerance)
+			if len(violations) > 0 {
+				fmt.Fprintf(os.Stderr, "w5bench: request path regressed vs %s:\n", *compare)
+				for _, v := range violations {
+					fmt.Fprintln(os.Stderr, "  -", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("no regression vs %s (tolerance %.0f%%)\n", *compare, compareTolerance*100)
 		}
 		return
 	}
@@ -58,100 +99,4 @@ func main() {
 		fmt.Println()
 		fmt.Println(t.Render())
 	}
-}
-
-type benchResult struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-}
-
-type benchReport struct {
-	Benchmark string        `json:"benchmark"`
-	GoVersion string        `json:"go_version"`
-	GOARCH    string        `json:"goarch"`
-	Results   []benchResult `json:"results"`
-	// ScalingRatio10k is users=10000 ns/op divided by users=100 ns/op for
-	// the enforcing path; the O(request) contract requires it near 1.0
-	// (acceptance: <= 2.0).
-	ScalingRatio10k float64 `json:"scaling_ratio_10k"`
-}
-
-func measure(name string, p *core.Provider) (benchResult, error) {
-	var runErr error
-	r := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			inv, err := p.Invoke(benchutil.AppName, core.AppRequest{
-				Viewer: benchutil.MeasuredUser, Owner: benchutil.MeasuredUser})
-			if err != nil {
-				runErr = err
-				b.FailNow()
-			}
-			if _, err := p.ExportCheck(inv, benchutil.MeasuredUser); err != nil {
-				runErr = err
-				b.FailNow()
-			}
-		}
-	})
-	if runErr != nil {
-		return benchResult{}, fmt.Errorf("%s: %w", name, runErr)
-	}
-	if r.N == 0 {
-		// testing.Benchmark swallows failures into a zero result; never
-		// report 0/0 as a measurement.
-		return benchResult{}, fmt.Errorf("%s: benchmark produced no iterations", name)
-	}
-	return benchResult{
-		Name:        name,
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-	}, nil
-}
-
-func writeRequestPathJSON(path string) error {
-	report := benchReport{
-		Benchmark: "requestpath",
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
-	}
-	var ns100, ns10k float64
-	for _, cfg := range []struct {
-		name    string
-		users   int
-		enforce bool
-	}{
-		{"invoke-export/enforcing/users=100", 100, true},
-		{"invoke-export/no-checks/users=100", 100, false},
-		{"invoke-export/enforcing/users=10000", 10_000, true},
-	} {
-		p, err := benchutil.BuildScaleProvider(cfg.users, cfg.enforce)
-		if err != nil {
-			return err
-		}
-		res, err := measure(cfg.name, p)
-		if err != nil {
-			return err
-		}
-		report.Results = append(report.Results, res)
-		fmt.Printf("%-40s %10.0f ns/op %6d B/op %4d allocs/op\n",
-			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
-		if cfg.enforce && cfg.users == 100 {
-			ns100 = res.NsPerOp
-		}
-		if cfg.enforce && cfg.users == 10_000 {
-			ns10k = res.NsPerOp
-		}
-	}
-	if ns100 > 0 {
-		report.ScalingRatio10k = ns10k / ns100
-	}
-	fmt.Printf("scaling ratio (10k/100 users): %.2f\n", report.ScalingRatio10k)
-	data, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -43,11 +43,13 @@ func main() {
 	addr := flag.String("addr", ":8055", "listen address")
 	name := flag.String("name", "w5", "provider name")
 	auditStderr := flag.Bool("audit", false, "mirror the audit log to stderr")
+	storeShards := flag.Int("store-shards", 0,
+		"labeled-store lock stripes (0 = default; 1 = single-lock baseline)")
 	peers := peerList{}
 	flag.Var(peers, "peer", "federation peer as name=secret (repeatable)")
 	flag.Parse()
 
-	p := core.NewProvider(core.Config{Name: *name, Enforce: true})
+	p := core.NewProvider(core.Config{Name: *name, Enforce: true, StoreShards: *storeShards})
 	if *auditStderr {
 		p.Log.SetSink(os.Stderr)
 	}

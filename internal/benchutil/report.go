@@ -1,0 +1,344 @@
+package benchutil
+
+// Machine-readable request-path benchmark records and the regression
+// gate that compares two of them. `cmd/w5bench -requestpath` writes a
+// Report; the committed BENCH_requestpath.json is the baseline the CI
+// gate (`w5bench -requestpath ... -compare BENCH_requestpath.json`)
+// holds the line against, so the wins from the scaling PRs cannot
+// silently regress.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"w5/internal/core"
+	"w5/internal/difc"
+	"w5/internal/store"
+)
+
+// Result is one measured benchmark configuration.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the full request-path record for one build.
+type Report struct {
+	Benchmark string   `json:"benchmark"`
+	GoVersion string   `json:"go_version"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+	// ScalingRatio10k is users=10000 ns/op divided by users=100 ns/op for
+	// the enforcing path; the O(request) contract requires it near 1.0
+	// (acceptance: <= 2.0).
+	ScalingRatio10k float64 `json:"scaling_ratio_10k"`
+}
+
+// LoadReport reads a Report from a JSON file.
+func LoadReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// WriteReport writes a Report as indented JSON.
+func (r Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Compare checks current against baseline and returns a list of
+// regressions (empty = gate passes). tolerance is the allowed relative
+// slowdown, e.g. 0.25 for 25%; it applies to ns/op, allocs/op,
+// bytes/op, and the
+// population-scaling ratio (which additionally never fails below the
+// scalingRatioGrace absolute line). Baselines at zero allocations are
+// held to exactly zero — allocation-freeness is a binary contract, not
+// a percentage. Results present only in current (newly added benchmarks)
+// are ignored; results missing from current fail the gate, so coverage
+// cannot silently shrink.
+func Compare(baseline, current Report, tolerance float64) []string {
+	var violations []string
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	for _, base := range baseline.Results {
+		now, ok := cur[base.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline but not measured by this build", base.Name))
+			continue
+		}
+		if limit := base.NsPerOp * (1 + tolerance); now.NsPerOp > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f by more than %.0f%% (limit %.0f)",
+					base.Name, now.NsPerOp, base.NsPerOp, tolerance*100, limit))
+		}
+		switch {
+		case base.AllocsPerOp == 0 && now.AllocsPerOp > 0:
+			violations = append(violations,
+				fmt.Sprintf("%s: %d allocs/op on a path pinned allocation-free", base.Name, now.AllocsPerOp))
+		case float64(now.AllocsPerOp) > float64(base.AllocsPerOp)*(1+tolerance):
+			violations = append(violations,
+				fmt.Sprintf("%s: %d allocs/op exceeds baseline %d by more than %.0f%%",
+					base.Name, now.AllocsPerOp, base.AllocsPerOp, tolerance*100))
+		}
+		switch {
+		case base.BytesPerOp == 0 && now.BytesPerOp > 0:
+			violations = append(violations,
+				fmt.Sprintf("%s: %d B/op on a path pinned allocation-free", base.Name, now.BytesPerOp))
+		case float64(now.BytesPerOp) > float64(base.BytesPerOp)*(1+tolerance):
+			violations = append(violations,
+				fmt.Sprintf("%s: %d B/op exceeds baseline %d by more than %.0f%%",
+					base.Name, now.BytesPerOp, base.BytesPerOp, tolerance*100))
+		}
+	}
+	if baseline.ScalingRatio10k > 0 &&
+		current.ScalingRatio10k > baseline.ScalingRatio10k*(1+tolerance) &&
+		current.ScalingRatio10k > scalingRatioGrace {
+		violations = append(violations,
+			fmt.Sprintf("scaling_ratio_10k: %.2f exceeds baseline %.2f by more than %.0f%% and the %.1f grace line",
+				current.ScalingRatio10k, baseline.ScalingRatio10k, tolerance*100, scalingRatioGrace))
+	}
+	return violations
+}
+
+// scalingRatioGrace is the absolute floor under which the
+// population-scaling ratio never fails the gate. The O(request)
+// contract allows up to 2.0; a baseline measured at, say, 0.8 must not
+// turn ordinary GC jitter (0.8 → 1.05) into a red build, but anything
+// above 1.5 that also regressed >tolerance is a real O(users) leak.
+const scalingRatioGrace = 1.5
+
+// measureReps is how many times each fixed-iteration loop runs; the
+// fastest rep is reported, the standard defense against scheduler and
+// GC noise.
+const measureReps = 5
+
+// runFixed times iters calls of fn, repeated measureReps times, and
+// reports the fastest rep. Fixed iteration counts — instead of
+// testing.Benchmark's "whatever fits in a second" — matter twice over
+// for a regression GATE: the amount of work is identical on every
+// machine and every run (a 1-second target does ~100× more iterations
+// on fast hardware, growing the audit log and the heap by ~100× and
+// skewing late configs), and min-of-reps makes the number reproducible
+// enough to hold a 25% line against.
+func runFixed(name string, iters int, fn func() error) (Result, error) {
+	res := Result{Name: name, NsPerOp: float64(1<<63 - 1)}
+	var m0, m1 runtime.MemStats
+	for rep := 0; rep < measureReps; rep++ {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := fn(); err != nil {
+				return Result{}, fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if ns := float64(elapsed.Nanoseconds()) / float64(iters); ns < res.NsPerOp {
+			res.NsPerOp = ns
+			res.AllocsPerOp = int64(m1.Mallocs-m0.Mallocs) / int64(iters)
+			res.BytesPerOp = int64(m1.TotalAlloc-m0.TotalAlloc) / int64(iters)
+		}
+	}
+	return res, nil
+}
+
+// Iteration budgets: enough work that the timer resolution and loop
+// overhead vanish, little enough that the run stays fast and the
+// audit log (which grows per operation) stays small.
+const (
+	invokeIters   = 20_000
+	storeOpIters  = 200_000
+	parallelIters = 100_000
+)
+
+// measureInvokeExport times the invoke→export hot path on p.
+func measureInvokeExport(name string, p *core.Provider) (Result, error) {
+	return runFixed(name, invokeIters, func() error {
+		inv, err := p.Invoke(AppName, core.AppRequest{
+			Viewer: MeasuredUser, Owner: MeasuredUser})
+		if err != nil {
+			return err
+		}
+		_, err = p.ExportCheck(inv, MeasuredUser)
+		return err
+	})
+}
+
+// measureStoreHotPath times raw labeled-store Read/Stat on an interned
+// path — the allocation-free contract the sharded store pins.
+func measureStoreHotPath(p *core.Provider) ([]Result, error) {
+	cred := p.UserCred(MeasuredUser)
+	path := "/home/" + MeasuredUser + "/private/doc"
+	if _, _, err := p.FS.Read(cred, path); err != nil {
+		return nil, fmt.Errorf("store hot path warmup: %w", err)
+	}
+	read, err := runFixed("store/read/cached-path", storeOpIters, func() error {
+		_, _, err := p.FS.Read(cred, path)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	stat, err := runFixed("store/stat/cached-path", storeOpIters, func() error {
+		_, err := p.FS.Stat(cred, path)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []Result{read, stat}, nil
+}
+
+// measureStoreParallel times concurrent per-user reads against a
+// standalone sharded store — the BenchmarkStoreParallel workload in
+// a machine-readable form. Regressions here mean cross-user contention
+// came back.
+func measureStoreParallel(goroutines int) (Result, error) {
+	const users = 64
+	fs := store.New(store.Options{})
+	prov := store.Cred{Principal: "provider"}
+	if err := fs.MkdirAll(prov, "/home", difc.LabelPair{}); err != nil {
+		return Result{}, err
+	}
+	creds := make([]store.Cred, users)
+	paths := make([]string, users)
+	for i := 0; i < users; i++ {
+		s, w := difc.Tag(2*i+1), difc.Tag(2*i+2)
+		name := fmt.Sprintf("u%03d", i)
+		creds[i] = store.Cred{
+			Labels:    difc.LabelPair{Integrity: difc.NewLabel(w)},
+			Caps:      difc.CapsFor(s, w),
+			Principal: "user:" + name,
+		}
+		private := difc.LabelPair{Secrecy: difc.NewLabel(s), Integrity: difc.NewLabel(w)}
+		wp := difc.LabelPair{Integrity: difc.NewLabel(w)}
+		if err := fs.Mkdir(creds[i], "/home/"+name, wp); err != nil {
+			return Result{}, err
+		}
+		if err := fs.Mkdir(creds[i], "/home/"+name+"/private", private); err != nil {
+			return Result{}, err
+		}
+		paths[i] = "/home/" + name + "/private/doc"
+		if err := fs.Write(creds[i], paths[i], make([]byte, 1024), private); err != nil {
+			return Result{}, err
+		}
+		if _, _, err := fs.Read(creds[i], paths[i]); err != nil {
+			return Result{}, err
+		}
+	}
+	name := fmt.Sprintf("store/read-parallel/goroutines=%d", goroutines)
+	per := (parallelIters + goroutines - 1) / goroutines
+	// One "iteration" is a whole batch of per×goroutines reads; the
+	// per-read figures are divided out below.
+	res, err := runFixed(name, 1, func() error {
+		errs := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func(g int) {
+				cred, path := creds[g%users], paths[g%users]
+				for i := 0; i < per; i++ {
+					if _, _, err := fs.Read(cred, path); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}(g)
+		}
+		for g := 0; g < goroutines; g++ {
+			if err := <-errs; err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	total := int64(per) * int64(goroutines)
+	res.NsPerOp /= float64(total)
+	res.AllocsPerOp /= total
+	res.BytesPerOp /= total
+	return res, nil
+}
+
+// MeasureRequestPath runs the full request-path suite — invoke→export
+// at two population scales, the raw store hot path, and parallel store
+// reads — and assembles the Report.
+func MeasureRequestPath(progress func(Result)) (Report, error) {
+	report := Report{
+		Benchmark: "requestpath",
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+	}
+	add := func(r Result) {
+		report.Results = append(report.Results, r)
+		if progress != nil {
+			progress(r)
+		}
+	}
+	var ns100, ns10k float64
+	for _, cfg := range []struct {
+		name    string
+		users   int
+		enforce bool
+	}{
+		{"invoke-export/enforcing/users=100", 100, true},
+		{"invoke-export/no-checks/users=100", 100, false},
+		{"invoke-export/enforcing/users=10000", 10_000, true},
+	} {
+		p, err := BuildScaleProvider(cfg.users, cfg.enforce)
+		if err != nil {
+			return report, err
+		}
+		res, err := measureInvokeExport(cfg.name, p)
+		if err != nil {
+			return report, err
+		}
+		add(res)
+		if cfg.enforce && cfg.users == 100 {
+			ns100 = res.NsPerOp
+		}
+		if cfg.enforce && cfg.users == 10_000 {
+			ns10k = res.NsPerOp
+		}
+		if cfg.enforce && cfg.users == 100 {
+			hot, err := measureStoreHotPath(p)
+			if err != nil {
+				return report, err
+			}
+			for _, r := range hot {
+				add(r)
+			}
+		}
+	}
+	for _, g := range []int{1, 8} {
+		res, err := measureStoreParallel(g)
+		if err != nil {
+			return report, err
+		}
+		add(res)
+	}
+	if ns100 > 0 {
+		report.ScalingRatio10k = ns10k / ns100
+	}
+	return report, nil
+}

@@ -1,0 +1,157 @@
+package benchutil
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineReport() Report {
+	return Report{
+		Benchmark: "requestpath",
+		Results: []Result{
+			{Name: "invoke-export/enforcing/users=100", NsPerOp: 5000, AllocsPerOp: 18, BytesPerOp: 4000},
+			{Name: "store/read/cached-path", NsPerOp: 150, AllocsPerOp: 0, BytesPerOp: 0},
+		},
+		ScalingRatio10k: 1.1,
+	}
+}
+
+func TestCompareAccepts(t *testing.T) {
+	base := baselineReport()
+	for _, cur := range []Report{
+		base, // identical
+		{ // faster everywhere, ratio improved, plus a new benchmark
+			Results: []Result{
+				{Name: "invoke-export/enforcing/users=100", NsPerOp: 3000, AllocsPerOp: 12},
+				{Name: "store/read/cached-path", NsPerOp: 100, AllocsPerOp: 0},
+				{Name: "store/read-parallel/goroutines=8", NsPerOp: 50, AllocsPerOp: 0},
+			},
+			ScalingRatio10k: 1.0,
+		},
+		{ // slower, but within the 25% tolerance
+			Results: []Result{
+				{Name: "invoke-export/enforcing/users=100", NsPerOp: 6200, AllocsPerOp: 21},
+				{Name: "store/read/cached-path", NsPerOp: 180, AllocsPerOp: 0},
+			},
+			ScalingRatio10k: 1.3,
+		},
+		{ // ratio over 25% relative but under the 1.5 grace line
+			Results: []Result{
+				{Name: "invoke-export/enforcing/users=100", NsPerOp: 5000, AllocsPerOp: 18},
+				{Name: "store/read/cached-path", NsPerOp: 150, AllocsPerOp: 0},
+			},
+			ScalingRatio10k: 1.45,
+		},
+	} {
+		if v := Compare(base, cur, 0.25); len(v) != 0 {
+			t.Errorf("Compare flagged an acceptable run: %v", v)
+		}
+	}
+}
+
+func TestCompareRejects(t *testing.T) {
+	base := baselineReport()
+	cases := []struct {
+		name string
+		cur  Report
+		want string // substring of the expected violation
+	}{
+		{
+			"ns regression",
+			Report{Results: []Result{
+				{Name: "invoke-export/enforcing/users=100", NsPerOp: 7000, AllocsPerOp: 18},
+				{Name: "store/read/cached-path", NsPerOp: 150},
+			}, ScalingRatio10k: 1.1},
+			"ns/op exceeds baseline",
+		},
+		{
+			"alloc regression",
+			Report{Results: []Result{
+				{Name: "invoke-export/enforcing/users=100", NsPerOp: 5000, AllocsPerOp: 40},
+				{Name: "store/read/cached-path", NsPerOp: 150},
+			}, ScalingRatio10k: 1.1},
+			"allocs/op exceeds baseline",
+		},
+		{
+			"bytes regression",
+			Report{Results: []Result{
+				{Name: "invoke-export/enforcing/users=100", NsPerOp: 5000, AllocsPerOp: 18, BytesPerOp: 9000},
+				{Name: "store/read/cached-path", NsPerOp: 150},
+			}, ScalingRatio10k: 1.1},
+			"B/op exceeds baseline",
+		},
+		{
+			"alloc-free path regresses to allocating",
+			Report{Results: []Result{
+				{Name: "invoke-export/enforcing/users=100", NsPerOp: 5000, AllocsPerOp: 18},
+				{Name: "store/read/cached-path", NsPerOp: 150, AllocsPerOp: 1},
+			}, ScalingRatio10k: 1.1},
+			"pinned allocation-free",
+		},
+		{
+			"scaling ratio regression",
+			Report{Results: []Result{
+				{Name: "invoke-export/enforcing/users=100", NsPerOp: 5000, AllocsPerOp: 18},
+				{Name: "store/read/cached-path", NsPerOp: 150},
+			}, ScalingRatio10k: 2.5},
+			"scaling_ratio_10k",
+		},
+		{
+			"coverage shrank",
+			Report{Results: []Result{
+				{Name: "invoke-export/enforcing/users=100", NsPerOp: 5000, AllocsPerOp: 18},
+			}, ScalingRatio10k: 1.1},
+			"not measured",
+		},
+	}
+	for _, tc := range cases {
+		v := Compare(base, tc.cur, 0.25)
+		if len(v) == 0 {
+			t.Errorf("%s: Compare accepted a regressed run", tc.name)
+			continue
+		}
+		found := false
+		for _, s := range v {
+			if strings.Contains(s, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: violations %v missing %q", tc.name, v, tc.want)
+		}
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	base := baselineReport()
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := base.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(base.Results) || got.ScalingRatio10k != base.ScalingRatio10k {
+		t.Errorf("round trip mangled report: %+v", got)
+	}
+	if _, err := LoadReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("LoadReport on a missing file succeeded")
+	}
+}
+
+// TestCompareAgainstCommittedBaseline loads the real committed baseline
+// to guarantee the file the CI gate consumes stays parseable.
+func TestCommittedBaselineParses(t *testing.T) {
+	r, err := LoadReport("../../BENCH_requestpath.json")
+	if err != nil {
+		t.Fatalf("committed BENCH_requestpath.json unreadable: %v", err)
+	}
+	if r.Benchmark != "requestpath" || len(r.Results) == 0 {
+		t.Errorf("committed baseline malformed: %+v", r)
+	}
+	if r.ScalingRatio10k <= 0 || r.ScalingRatio10k > 2.0 {
+		t.Errorf("committed scaling ratio %.2f outside the O(request) contract (0, 2.0]", r.ScalingRatio10k)
+	}
+}

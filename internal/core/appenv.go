@@ -101,6 +101,13 @@ func (e *AppEnv) raiseFor(read difc.LabelPair) error {
 }
 
 // ReadFile reads a file, tainting the process with the file's secrecy.
+//
+// The store's Read returns its internal immutable payload slice
+// (zero-copy); that is safe for trusted callers, but AppEnv is the
+// boundary to UNTRUSTED application code, and handing an app an alias
+// of the stored bytes would let a read-only app mutate write-protected
+// data in place. The copy here is what keeps the store's
+// write-protection a property of the system rather than a convention.
 func (e *AppEnv) ReadFile(path string) ([]byte, error) {
 	data, label, err := e.p.FS.Read(e.cred(), path)
 	if err != nil {
@@ -109,7 +116,9 @@ func (e *AppEnv) ReadFile(path string) ([]byte, error) {
 	if err := e.raiseFor(label); err != nil {
 		return nil, kernel.ErrDenied
 	}
-	return data, nil
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
 }
 
 // WriteFile writes a file at the given label; the kernel-side checks

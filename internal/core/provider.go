@@ -82,6 +82,10 @@ type Config struct {
 	NaiveTables bool
 	// DisableQuotas removes all resource limits (E8 baseline).
 	DisableQuotas bool
+	// StoreShards sets the labeled filesystem's lock-stripe count
+	// (0 = store default). 1 selects the historical single-lock store;
+	// benchmarks use it as the contention baseline.
+	StoreShards int
 }
 
 // Provider is one W5 deployment.
@@ -151,18 +155,18 @@ func NewProvider(cfg Config) *Provider {
 		qm = quota.NewManager(limits)
 	}
 	k := kernel.New(kernel.Options{Enforce: cfg.Enforce, Log: log, Quotas: qm})
-	fs := store.New(store.Options{Log: log, Quotas: qm})
+	fs := store.New(store.Options{Log: log, Quotas: qm, Shards: cfg.StoreShards})
 	tbl := table.New(table.Options{Log: log, Quotas: qm, Naive: cfg.NaiveTables})
 	reg := registry.New(log)
 
 	p := &Provider{
-		Name:     cfg.Name,
-		Kernel:   k,
-		FS:       fs,
-		Tables:   tbl,
-		Registry: reg,
-		Quotas:   qm,
-		Log:      log,
+		Name:      cfg.Name,
+		Kernel:    k,
+		FS:        fs,
+		Tables:    tbl,
+		Registry:  reg,
+		Quotas:    qm,
+		Log:       log,
 		users:     make(map[string]*User),
 		tagUser:   make(map[difc.Tag]string),
 		enabled:   make(map[string]map[string]bool),
@@ -342,6 +346,8 @@ func (e *userEnv) ReadOwnerFile(path string) ([]byte, error) {
 		return nil, store.ErrBadPath
 	}
 	full := "/home/" + e.owner + path
+	// Zero-copy read: declassifier policies are provider-trusted code
+	// and must treat the slice as read-only (store payload contract).
 	data, _, err := e.p.FS.Read(e.p.UserCred(e.owner), full)
 	return data, err
 }

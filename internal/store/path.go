@@ -1,0 +1,149 @@
+package store
+
+import (
+	"strings"
+	"sync"
+)
+
+// Path handling for the labeled filesystem.
+//
+// Every public FS method funnels its path through exactly one
+// canonicalizer, appendSegments, so the rules are enforced uniformly
+// instead of ad hoc per method:
+//
+//   - the path must be absolute ("" and "relative/x" are rejected),
+//   - no empty segments ("//", trailing "/"),
+//   - no "." or ".." segments (the store has no notion of a working
+//     directory, and ".." would let a caller escape a label check on an
+//     enclosing directory),
+//   - "/" canonicalizes to zero segments.
+//
+// Splitting a path allocates, and the request path resolves the same
+// few canonical paths over and over (every app request reads
+// /home/<u>/private/...). pathIntern caches the canonical split —
+// an immutable []string of segments keyed by the path string — behind
+// small sharded read-write locks, so the hot path costs one map lookup
+// and zero allocations. The cache is capacity-bounded per shard; once a
+// shard is full, novel paths fall back to the zero-alloc splitter with
+// a caller-provided stack buffer and simply are not cached.
+
+const (
+	// internShardCount shards the intern cache so concurrent request
+	// goroutines do not serialize on one lock. Power of two.
+	internShardCount = 16
+	// internShardCap bounds the cached paths per shard (~64k paths
+	// total). Beyond that, resolution still works — it just splits.
+	internShardCap = 4096
+	// pathBufLen is the stack-buffer segment capacity public methods
+	// hand to resolve; deeper (rare) paths spill to the heap.
+	pathBufLen = 12
+)
+
+// appendSegments validates path and appends its segments to dst,
+// returning the extended slice. It performs no allocation beyond
+// growing dst: segments are substrings of path. "/" yields dst
+// unchanged.
+func appendSegments(dst []string, path string) ([]string, error) {
+	if len(path) == 0 || path[0] != '/' {
+		return nil, ErrBadPath
+	}
+	if path == "/" {
+		return dst, nil
+	}
+	rest := path[1:]
+	for {
+		i := strings.IndexByte(rest, '/')
+		if i < 0 {
+			// Final segment; empty means the path had a trailing slash.
+			if rest == "" || rest == "." || rest == ".." {
+				return nil, ErrBadPath
+			}
+			return append(dst, rest), nil
+		}
+		seg := rest[:i]
+		if seg == "" || seg == "." || seg == ".." {
+			return nil, ErrBadPath
+		}
+		dst = append(dst, seg)
+		rest = rest[i+1:]
+	}
+}
+
+// pathIntern is the bounded path → segments cache.
+type pathIntern struct {
+	shards [internShardCount]internShard
+}
+
+type internShard struct {
+	mu sync.RWMutex
+	m  map[string][]string
+}
+
+func (pi *pathIntern) init() {
+	for i := range pi.shards {
+		pi.shards[i].m = make(map[string][]string)
+	}
+}
+
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func internIndex(path string) uint32 {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint32(path[i])) * fnvPrime32
+	}
+	return h & (internShardCount - 1)
+}
+
+// resolve returns the canonical segments of path, serving interned
+// slices for known paths without allocating, plus whether the path was
+// already interned. On a miss it splits into buf (normally a stack
+// buffer supplied by the caller) WITHOUT caching: callers intern via
+// put only after the operation succeeds, so a stream of probes for
+// nonexistent or denied paths cannot poison the cache. Returned slices
+// are shared and must never be mutated.
+func (pi *pathIntern) resolve(path string, buf []string) ([]string, bool, error) {
+	if path == "/" {
+		return nil, true, nil
+	}
+	if len(path) == 0 || path[0] != '/' {
+		return nil, false, ErrBadPath
+	}
+	sh := &pi.shards[internIndex(path)]
+	sh.mu.RLock()
+	parts, ok := sh.m[path]
+	sh.mu.RUnlock()
+	if ok {
+		return parts, true, nil
+	}
+	parts, err := appendSegments(buf, path)
+	if err != nil {
+		return nil, false, err
+	}
+	return parts, false, nil
+}
+
+// put interns the canonical segments of a path that just served a
+// successful operation. A full shard evicts one arbitrary entry
+// (map iteration order) rather than refusing, so the cache tracks the
+// live working set: a burst of one-off paths causes churn, never a
+// permanently disabled fast path.
+func (pi *pathIntern) put(path string, parts []string) {
+	sh := &pi.shards[internIndex(path)]
+	sh.mu.Lock()
+	if _, dup := sh.m[path]; !dup {
+		if len(sh.m) >= internShardCap {
+			for k := range sh.m {
+				delete(sh.m, k)
+				break
+			}
+		}
+		interned := make([]string, len(parts))
+		copy(interned, parts)
+		sh.m[path] = interned
+	}
+	sh.mu.Unlock()
+}

@@ -1,0 +1,591 @@
+package store
+
+// Tests for the sharded store: the locking protocol under -race, the
+// equivalence of sharded and single-lock (Shards: 1) semantics on a
+// recorded operation trace, the canonicalizer's edge cases, and the
+// allocation-free + scaling guarantees the request path depends on.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"w5/internal/difc"
+)
+
+// userFixture mints per-user tags/creds/labels the way the provider
+// does, without importing core (which would cycle).
+type userFixture struct {
+	name    string
+	cred    Cred
+	private difc.LabelPair
+}
+
+func makeUsers(n int) []userFixture {
+	out := make([]userFixture, n)
+	for i := range out {
+		s, w := difc.Tag(2*i+1), difc.Tag(2*i+2)
+		out[i] = userFixture{
+			name: fmt.Sprintf("u%03d", i),
+			cred: Cred{
+				Labels:    difc.LabelPair{Integrity: difc.NewLabel(w)},
+				Caps:      difc.CapsFor(s, w),
+				Principal: "user:" + fmt.Sprintf("u%03d", i),
+			},
+			private: difc.LabelPair{
+				Secrecy:   difc.NewLabel(s),
+				Integrity: difc.NewLabel(w),
+			},
+		}
+	}
+	return out
+}
+
+// provisionHomes builds the provider-shaped namespace /home/<u>/private
+// for every user.
+func provisionHomes(tb testing.TB, fs *FS, users []userFixture) {
+	tb.Helper()
+	if err := fs.MkdirAll(Cred{Principal: "provider"}, "/home", difc.LabelPair{}); err != nil && !errors.Is(err, ErrExists) {
+		tb.Fatalf("mkdir /home: %v", err)
+	}
+	for _, u := range users {
+		home := "/home/" + u.name
+		wp := difc.LabelPair{Integrity: u.private.Integrity}
+		if err := fs.Mkdir(u.cred, home, wp); err != nil {
+			tb.Fatalf("mkdir %s: %v", home, err)
+		}
+		if err := fs.Mkdir(u.cred, home+"/private", u.private); err != nil {
+			tb.Fatalf("mkdir %s/private: %v", home, err)
+		}
+		if err := fs.Write(u.cred, home+"/private/doc", []byte("doc of "+u.name), u.private); err != nil {
+			tb.Fatalf("write %s doc: %v", home, err)
+		}
+	}
+}
+
+func TestCanonicalizerEdgeCases(t *testing.T) {
+	bad := []string{
+		"", "relative", "relative/x", "//", "///", "/a//b", "/a/../b",
+		"/a/./b", "/.", "/..", "/a/", "/a/b/", "/a/..", "/./a",
+	}
+	for _, p := range bad {
+		if _, err := appendSegments(nil, p); !errors.Is(err, ErrBadPath) {
+			t.Errorf("appendSegments(%q) = %v, want ErrBadPath", p, err)
+		}
+	}
+	good := map[string][]string{
+		"/":           {},
+		"/a":          {"a"},
+		"/a/b/c":      {"a", "b", "c"},
+		"/...":        {"..."}, // three dots is a legal name
+		"/a/.b":       {"a", ".b"},
+		"/home/u/..x": {"home", "u", "..x"},
+	}
+	for p, want := range good {
+		got, err := appendSegments(nil, p)
+		if err != nil {
+			t.Errorf("appendSegments(%q) = %v", p, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("appendSegments(%q) = %v, want %v", p, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("appendSegments(%q) = %v, want %v", p, got, want)
+			}
+		}
+	}
+
+	// The same rules hold through every public method, not just one.
+	fs := New(Options{})
+	cred := Cred{Principal: "x"}
+	for _, p := range bad {
+		if _, _, err := fs.Read(cred, p); !errors.Is(err, ErrBadPath) {
+			t.Errorf("Read(%q) = %v, want ErrBadPath", p, err)
+		}
+		if _, err := fs.Stat(cred, p); !errors.Is(err, ErrBadPath) {
+			t.Errorf("Stat(%q) = %v, want ErrBadPath", p, err)
+		}
+		if _, err := fs.List(cred, p); !errors.Is(err, ErrBadPath) {
+			t.Errorf("List(%q) = %v, want ErrBadPath", p, err)
+		}
+		if err := fs.Walk(cred, p, func(Info) error { return nil }); !errors.Is(err, ErrBadPath) {
+			t.Errorf("Walk(%q) = %v, want ErrBadPath", p, err)
+		}
+		if err := fs.Remove(cred, p); !errors.Is(err, ErrBadPath) {
+			t.Errorf("Remove(%q) = %v, want ErrBadPath", p, err)
+		}
+		if err := fs.SetLabel(cred, p, difc.LabelPair{}); !errors.Is(err, ErrBadPath) {
+			t.Errorf("SetLabel(%q) = %v, want ErrBadPath", p, err)
+		}
+		if _, _, err := fs.Export(p); !errors.Is(err, ErrBadPath) {
+			t.Errorf("Export(%q) = %v, want ErrBadPath", p, err)
+		}
+	}
+}
+
+func TestStatRootPathCanonical(t *testing.T) {
+	fs := New(Options{})
+	info, err := fs.Stat(Cred{Principal: "x"}, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Path != "/" || !info.IsDir {
+		t.Errorf("Stat(/) = %+v, want Path=/ IsDir", info)
+	}
+}
+
+func TestShardCountRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, defaultShardCount}, {1, 1}, {2, 2}, {3, 4}, {16, 16},
+		{17, 32}, {1 << 20, maxShardCount},
+	} {
+		fs := New(Options{Shards: tc.in})
+		if len(fs.shards) != tc.want {
+			t.Errorf("Shards=%d -> %d stripes, want %d", tc.in, len(fs.shards), tc.want)
+		}
+	}
+}
+
+// TestHotPathAllocationFree pins the tentpole's allocation contract:
+// once a path is interned, Read and Stat allocate nothing.
+func TestHotPathAllocationFree(t *testing.T) {
+	users := makeUsers(4)
+	fs := New(Options{})
+	provisionHomes(t, fs, users)
+	u := users[1]
+	path := "/home/" + u.name + "/private/doc"
+	if _, _, err := fs.Read(u.cred, path); err != nil { // warm the intern cache
+		t.Fatal(err)
+	}
+	var sinkData []byte
+	var sinkInfo Info
+	if a := testing.AllocsPerRun(200, func() {
+		sinkData, _, _ = fs.Read(u.cred, path)
+	}); a != 0 {
+		t.Errorf("Read allocates %.1f per op on a cached path, want 0", a)
+	}
+	if a := testing.AllocsPerRun(200, func() {
+		sinkInfo, _ = fs.Stat(u.cred, path)
+	}); a != 0 {
+		t.Errorf("Stat allocates %.1f per op on a cached path, want 0", a)
+	}
+	_, _ = sinkData, sinkInfo
+}
+
+// TestReadIsStableAcrossOverwrite pins the payload-immutability
+// contract that makes zero-copy Read sound: a slice returned by Read
+// keeps its bytes even if the file is overwritten or removed afterward.
+func TestReadIsStableAcrossOverwrite(t *testing.T) {
+	users := makeUsers(1)
+	fs := New(Options{})
+	provisionHomes(t, fs, users)
+	u := users[0]
+	path := "/home/" + u.name + "/private/doc"
+	before, _, err := fs.Read(u.cred, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := string(before)
+	if err := fs.Write(u.cred, path, []byte("completely new contents"), u.private); err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != snapshot {
+		t.Error("overwrite mutated a previously returned payload slice")
+	}
+	if err := fs.Remove(u.cred, path); err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != snapshot {
+		t.Error("remove mutated a previously returned payload slice")
+	}
+}
+
+// TestInternCachePoisonResistant: only successful operations intern
+// their path, so a stream of probes for nonexistent paths cannot fill
+// the cache and disable the allocation-free fast path for everyone.
+func TestInternCachePoisonResistant(t *testing.T) {
+	fs := New(Options{})
+	cred := Cred{Principal: "x"}
+	if err := fs.Mkdir(cred, "/d", difc.LabelPair{}); err != nil {
+		t.Fatal(err)
+	}
+	size := func() int {
+		n := 0
+		for i := range fs.intern.shards {
+			n += len(fs.intern.shards[i].m)
+		}
+		return n
+	}
+	before := size()
+	for i := 0; i < 10_000; i++ {
+		p := fmt.Sprintf("/d/f%07d", i)
+		if _, err := fs.Stat(cred, p); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Stat(%s) = %v, want ErrNotFound", p, err)
+		}
+	}
+	if after := size(); after != before {
+		t.Errorf("probing nonexistent paths grew the intern cache %d -> %d", before, after)
+	}
+	// A successful operation does intern, and its repeat is then served
+	// allocation-free.
+	if err := fs.Write(cred, "/d/real", []byte("ok"), difc.LabelPair{}); err != nil {
+		t.Fatal(err)
+	}
+	if size() <= before {
+		t.Error("successful write did not intern its path")
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		if _, _, err := fs.Read(cred, "/d/real"); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Errorf("Read after successful intern allocates %.1f per op", a)
+	}
+}
+
+// TestInternCacheBoundedWithEviction drives pathIntern directly past
+// capacity: the per-shard maps never exceed internShardCap, and new
+// paths keep getting interned (evict-one) instead of being locked out.
+func TestInternCacheBoundedWithEviction(t *testing.T) {
+	var pi pathIntern
+	pi.init()
+	total := internShardCount*internShardCap + 4096
+	for i := 0; i < total; i++ {
+		p := fmt.Sprintf("/home/u%06d/doc", i)
+		parts, cached, err := pi.resolve(p, nil)
+		if err != nil || cached {
+			t.Fatalf("resolve(%s) = cached=%v err=%v on first sight", p, cached, err)
+		}
+		pi.put(p, parts)
+	}
+	for i := range pi.shards {
+		if n := len(pi.shards[i].m); n > internShardCap {
+			t.Errorf("intern shard %d grew to %d entries, cap %d", i, n, internShardCap)
+		}
+	}
+	// The most recent path must have made it in despite saturation.
+	last := fmt.Sprintf("/home/u%06d/doc", total-1)
+	if _, cached, _ := pi.resolve(last, nil); !cached {
+		t.Error("saturated cache refused a fresh working-set path (no eviction)")
+	}
+}
+
+// --- equivalence: sharded vs single-lock on a recorded trace ---------
+
+// traceOp is one recorded operation; op outcomes and final state must
+// not depend on the shard count.
+type traceOp struct {
+	op    string
+	user  int
+	path  string
+	data  string
+	label difc.LabelPair
+}
+
+// recordTrace builds a deterministic random operation trace over a
+// namespace that exercises every locking regime: root-level entries
+// (wide mutations), /home/<u> trees (per-shard), deep nesting, denials
+// (cross-user access), removes, relabels, and whole-tree reads.
+func recordTrace(users []userFixture, n int) []traceOp {
+	rng := rand.New(rand.NewSource(7))
+	public := difc.LabelPair{}
+	segs := []string{"a", "b", "c", "docs"}
+	ops := make([]traceOp, 0, n)
+	randPath := func(u userFixture) string {
+		switch rng.Intn(4) {
+		case 0: // top-level (spine) path
+			return "/top" + fmt.Sprint(rng.Intn(4))
+		case 1: // home dir itself
+			return "/home/" + u.name
+		case 2: // file in the private tree
+			return "/home/" + u.name + "/private/" + segs[rng.Intn(len(segs))]
+		default: // deep path
+			return "/home/" + u.name + "/private/" + segs[rng.Intn(len(segs))] + "/" + segs[rng.Intn(len(segs))]
+		}
+	}
+	kinds := []string{"write", "read", "mkdir", "mkdirall", "remove", "setlabel", "stat", "list", "walk", "export"}
+	for i := 0; i < n; i++ {
+		ui := rng.Intn(len(users))
+		u := users[ui]
+		op := traceOp{op: kinds[rng.Intn(len(kinds))], user: ui, path: randPath(u)}
+		switch rng.Intn(3) {
+		case 0:
+			op.label = public
+		case 1:
+			op.label = u.private
+		default:
+			op.label = difc.LabelPair{Integrity: u.private.Integrity}
+		}
+		op.data = fmt.Sprintf("payload-%d", rng.Intn(8))
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// applyTrace runs the trace and returns a deterministic digest of every
+// operation's outcome.
+func applyTrace(tb testing.TB, fs *FS, users []userFixture, ops []traceOp) []string {
+	tb.Helper()
+	out := make([]string, 0, len(ops))
+	emit := func(i int, format string, args ...any) {
+		out = append(out, fmt.Sprintf("%04d ", i)+fmt.Sprintf(format, args...))
+	}
+	for i, op := range ops {
+		u := users[op.user]
+		switch op.op {
+		case "write":
+			err := fs.Write(u.cred, op.path, []byte(op.data), op.label)
+			emit(i, "write %s: %v", op.path, err)
+		case "read":
+			data, label, err := fs.Read(u.cred, op.path)
+			emit(i, "read %s: %q %s %v", op.path, data, label, err)
+		case "mkdir":
+			emit(i, "mkdir %s: %v", op.path, fs.Mkdir(u.cred, op.path, op.label))
+		case "mkdirall":
+			emit(i, "mkdirall %s: %v", op.path, fs.MkdirAll(u.cred, op.path, op.label))
+		case "remove":
+			emit(i, "remove %s: %v", op.path, fs.Remove(u.cred, op.path))
+		case "setlabel":
+			emit(i, "setlabel %s: %v", op.path, fs.SetLabel(u.cred, op.path, op.label))
+		case "stat":
+			info, err := fs.Stat(u.cred, op.path)
+			emit(i, "stat %s: %s dir=%v v=%d %v", op.path, info.Path, info.IsDir, info.Version, err)
+		case "list":
+			infos, err := fs.List(u.cred, op.path)
+			names := make([]string, 0, len(infos))
+			for _, in := range infos {
+				names = append(names, in.Name)
+			}
+			emit(i, "list %s: %v %v", op.path, names, err)
+		case "walk":
+			var paths []string
+			err := fs.Walk(u.cred, "/", func(in Info) error {
+				paths = append(paths, in.Path)
+				return nil
+			})
+			emit(i, "walk: %v %v", paths, err)
+		case "export":
+			infos, datas, err := fs.Export("/home/" + u.name)
+			emit(i, "export %s: %d files %d blobs %v", u.name, len(infos), len(datas), err)
+		default:
+			tb.Fatalf("unknown trace op %q", op.op)
+		}
+	}
+	return out
+}
+
+// fixedClock returns a deterministic monotonic clock so two stores
+// replaying the same trace produce byte-identical snapshots.
+func fixedClock() func() time.Time {
+	var mu sync.Mutex
+	t0 := time.Unix(1_000_000, 0).UTC()
+	n := 0
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return t0.Add(time.Duration(n) * time.Second)
+	}
+}
+
+func TestShardedMatchesSingleLockOnTrace(t *testing.T) {
+	users := makeUsers(6)
+	ops := recordTrace(users, 4000)
+	run := func(shards int) ([]string, []byte) {
+		fs := New(Options{Shards: shards, Clock: fixedClock()})
+		provisionHomes(t, fs, users)
+		digest := applyTrace(t, fs, users, ops)
+		var buf bytes.Buffer
+		if err := fs.Snapshot(&buf); err != nil {
+			t.Fatalf("snapshot (shards=%d): %v", shards, err)
+		}
+		return digest, buf.Bytes()
+	}
+	refDigest, refSnap := run(1) // the historical single-RWMutex store
+	for _, shards := range []int{2, 16, 64} {
+		digest, snap := run(shards)
+		if !reflect.DeepEqual(refDigest, digest) {
+			for i := range refDigest {
+				if i < len(digest) && refDigest[i] != digest[i] {
+					t.Fatalf("shards=%d diverges from single-lock at op %d:\n  single: %s\n  sharded: %s",
+						shards, i, refDigest[i], digest[i])
+				}
+			}
+			t.Fatalf("shards=%d digest length differs: %d vs %d", shards, len(refDigest), len(digest))
+		}
+		if !bytes.Equal(refSnap, snap) {
+			t.Errorf("shards=%d final snapshot differs from single-lock store", shards)
+		}
+	}
+}
+
+// --- race stress -----------------------------------------------------
+
+// TestConcurrentShardStress drives parallel Read/Write/Remove/SetLabel
+// traffic across many user trees while other goroutines run cross-shard
+// operations (Walk from the root, List /home, Snapshot, top-level
+// create/remove). Run under -race this exercises the whole locking
+// protocol: narrow vs wide, spine mutation, and snapshot isolation.
+func TestConcurrentShardStress(t *testing.T) {
+	users := makeUsers(8)
+	fs := New(Options{})
+	provisionHomes(t, fs, users)
+	public := difc.LabelPair{}
+
+	const iters = 400
+	var wg sync.WaitGroup
+	// Per-user mutators: in-shard traffic.
+	for i, u := range users {
+		wg.Add(1)
+		go func(i int, u userFixture) {
+			defer wg.Done()
+			base := "/home/" + u.name + "/private"
+			for k := 0; k < iters; k++ {
+				f := fmt.Sprintf("%s/f%d", base, k%7)
+				switch k % 5 {
+				case 0:
+					_ = fs.Write(u.cred, f, []byte("x"), u.private)
+				case 1:
+					if data, _, err := fs.Read(u.cred, base+"/doc"); err == nil {
+						_ = data[0] // reading a zero-copy payload must be safe mid-churn
+					}
+				case 2:
+					_ = fs.Remove(u.cred, f)
+				case 3:
+					_ = fs.SetLabel(u.cred, base+"/doc", u.private)
+				case 4:
+					_, _ = fs.List(u.cred, base)
+				}
+			}
+		}(i, u)
+	}
+	// Cross-shard walker: Walk and Snapshot during mutation.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		anon := Cred{Principal: "walker"}
+		for k := 0; k < iters/4; k++ {
+			_ = fs.Walk(anon, "/", func(Info) error { return nil })
+			_, _ = fs.List(anon, "/home")
+			var buf bytes.Buffer
+			_ = fs.Snapshot(&buf)
+		}
+	}()
+	// Spine churn: top-level creates/removes take every shard lock.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		prov := Cred{Principal: "provider"}
+		for k := 0; k < iters/4; k++ {
+			d := fmt.Sprintf("/scratch%d", k%3)
+			_ = fs.Mkdir(prov, d, public)
+			_ = fs.Remove(prov, d)
+		}
+	}()
+	wg.Wait()
+
+	// The store must still be coherent: every user's doc readable.
+	for _, u := range users {
+		if _, _, err := fs.Read(u.cred, "/home/"+u.name+"/private/doc"); err != nil {
+			t.Errorf("%s doc unreadable after stress: %v", u.name, err)
+		}
+	}
+}
+
+// --- benchmarks ------------------------------------------------------
+
+// BenchmarkStoreParallel measures read throughput as goroutines scale,
+// comparing the sharded store against the single-lock baseline
+// (Shards: 1 — the pre-sharding design). Each goroutine reads its own
+// user's private document, the provider's request-path shape.
+func BenchmarkStoreParallel(b *testing.B) {
+	users := makeUsers(64)
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{
+		{"single-lock", 1},
+		{"sharded", 0},
+	} {
+		for _, g := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", cfg.name, g), func(b *testing.B) {
+				fs := New(Options{Shards: cfg.shards})
+				provisionHomes(b, fs, users)
+				paths := make([]string, len(users))
+				for i, u := range users {
+					paths[i] = "/home/" + u.name + "/private/doc"
+					if _, _, err := fs.Read(u.cred, paths[i]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				per := (b.N + g - 1) / g
+				var wg sync.WaitGroup
+				for w := 0; w < g; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						u := users[w%len(users)]
+						p := paths[w%len(paths)]
+						for i := 0; i < per; i++ {
+							if _, _, err := fs.Read(u.cred, p); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkStoreParallelWrite is the write-path analogue: per-user
+// overwrites land in distinct shards and should not serialize.
+func BenchmarkStoreParallelWrite(b *testing.B) {
+	users := makeUsers(64)
+	payload := make([]byte, 256)
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{
+		{"single-lock", 1},
+		{"sharded", 0},
+	} {
+		for _, g := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", cfg.name, g), func(b *testing.B) {
+				fs := New(Options{Shards: cfg.shards})
+				provisionHomes(b, fs, users)
+				b.ReportAllocs()
+				b.ResetTimer()
+				per := (b.N + g - 1) / g
+				var wg sync.WaitGroup
+				for w := 0; w < g; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						u := users[w%len(users)]
+						p := "/home/" + u.name + "/private/doc"
+						for i := 0; i < per; i++ {
+							if err := fs.Write(u.cred, p, payload, u.private); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}

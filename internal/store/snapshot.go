@@ -72,17 +72,18 @@ func fromSnap(s snapNode) (*node, error) {
 			n.children[name] = child
 		}
 	} else {
-		n.data = append([]byte(nil), s.Data...)
+		n.data = copyPayload(s.Data) // fresh exact-capacity buffer: see payload immutability
 	}
 	return n, nil
 }
 
 // Snapshot writes a JSON snapshot of the entire filesystem, labels
-// included, to w. Trusted operation.
+// included, to w. Trusted operation. The snapshot spans every shard,
+// so it holds all shard locks (in index order) while copying the tree.
 func (fs *FS) Snapshot(w io.Writer) error {
-	fs.mu.RLock()
+	fs.rlockAll()
 	snap := toSnap(fs.root)
-	fs.mu.RUnlock()
+	fs.runlockAll()
 	enc := json.NewEncoder(w)
 	return enc.Encode(snap)
 }
@@ -101,9 +102,9 @@ func (fs *FS) Restore(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	fs.mu.Lock()
+	fs.lockAll()
 	fs.root = root
-	fs.mu.Unlock()
+	fs.unlockAll()
 	return nil
 }
 
@@ -112,12 +113,13 @@ func (fs *FS) Restore(r io.Reader) error {
 // the privileges appropriate to the destination — the federation
 // declassifier layer enforces that; see internal/federation.
 func (fs *FS) Export(path string) ([]Info, [][]byte, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	parts, err := splitPath(path)
+	var buf [pathBufLen]string
+	parts, _, err := fs.intern.resolve(path, buf[:0])
 	if err != nil {
 		return nil, nil, ErrBadPath
 	}
+	unlock := fs.lockSubtreeRead(parts)
+	defer unlock()
 	cur := fs.root
 	for _, p := range parts {
 		next, ok := cur.children[p]

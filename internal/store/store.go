@@ -16,13 +16,30 @@
 // Cred (label pair + capability set + billing principal), supplied by
 // the kernel or syscall layer on behalf of the calling process. This
 // keeps the trusted storage logic free of process-table concerns.
+//
+// # Concurrency
+//
+// One provider hosts every user's data, so the store is on every
+// request path. Instead of one global RWMutex, the namespace is guarded
+// by an array of lock shards striped over the first shardDepth (= 2)
+// path segments: operations under /home/alice and /home/bob hash to
+// different shards and never contend. Structural levels shallower than
+// shardDepth (the root's children and the children of top-level
+// directories — the "spine") are mutated only while holding EVERY shard
+// lock in index order, so any single-shard reader sees them stable.
+// See README.md in this package for the full protocol and its
+// correctness argument.
+//
+// File payloads are immutable once installed: Write and Restore always
+// install a freshly copied buffer and never modify one in place, which
+// lets Read return the internal slice without copying. Callers must
+// treat slices returned by Read as read-only.
 package store
 
 import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -71,15 +88,41 @@ type node struct {
 	modified time.Time
 
 	// exactly one of the following is used
-	data     []byte           // file payload
+	data     []byte           // file payload; immutable once installed
 	children map[string]*node // directory entries; nil for files
 }
 
 func (n *node) isDir() bool { return n.children != nil }
 
+// Sharding parameters.
+const (
+	// shardDepth is how many leading path segments select a lock shard.
+	// Depth 2 matches the provider's namespace shape: /home/<user>
+	// subtrees — where all request traffic lands — get independent
+	// locks, while sharding only the root's children would serialize
+	// every user on the single /home shard.
+	shardDepth = 2
+	// defaultShardCount is the lock-stripe width when Options.Shards is
+	// zero. Power of two.
+	defaultShardCount = 16
+	// maxShardCount caps Options.Shards; beyond this, all-shard
+	// operations pay more than fine-grained ones save.
+	maxShardCount = 256
+)
+
+// lockShard is one stripe of the namespace lock, padded to a cache line
+// so reader counters on neighboring shards do not false-share.
+type lockShard struct {
+	mu sync.RWMutex
+	_  [40]byte // RWMutex is 24 bytes on 64-bit; pad to a 64-byte line
+}
+
 // FS is a labeled in-memory filesystem. Safe for concurrent use.
 type FS struct {
-	mu     sync.RWMutex
+	shards []lockShard
+	mask   uint32
+	intern pathIntern
+
 	root   *node
 	log    *audit.Log
 	quotas *quota.Manager
@@ -91,6 +134,11 @@ type Options struct {
 	Log    *audit.Log     // optional audit log
 	Quotas *quota.Manager // optional disk accounting
 	Clock  func() time.Time
+	// Shards is the number of namespace lock stripes, rounded up to a
+	// power of two and capped at 256. Zero selects the default (16).
+	// Shards == 1 degenerates to the historical single-RWMutex store
+	// and exists as the benchmark / equivalence baseline.
+	Shards int
 }
 
 // New returns an empty filesystem whose root directory is public
@@ -99,7 +147,20 @@ func New(opts Options) *FS {
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
-	return &FS{
+	n := opts.Shards
+	if n <= 0 {
+		n = defaultShardCount
+	}
+	if n > maxShardCount {
+		n = maxShardCount
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	fs := &FS{
+		shards: make([]lockShard, pow),
+		mask:   uint32(pow - 1),
 		root: &node{
 			name:     "/",
 			owner:    "provider",
@@ -110,29 +171,85 @@ func New(opts Options) *FS {
 		quotas: opts.Quotas,
 		clock:  opts.Clock,
 	}
+	fs.intern.init()
+	return fs
+}
+
+// shardFor maps a canonical path to its lock shard: an FNV-1a hash of
+// the first shardDepth segments. Paths shorter than shardDepth still
+// hash deterministically over what they have.
+func (fs *FS) shardFor(parts []string) *lockShard {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(parts) && i < shardDepth; i++ {
+		s := parts[i]
+		for j := 0; j < len(s); j++ {
+			h = (h ^ uint32(s[j])) * fnvPrime32
+		}
+		h = (h ^ '/') * fnvPrime32
+	}
+	return &fs.shards[h&fs.mask]
+}
+
+// wide reports whether an operation on a path with np segments touches
+// spine structures (depth < shardDepth) in a way that requires holding
+// every shard lock. Mutations with np <= shardDepth create, remove, or
+// modify entries visible to other shards' traversals; subtree reads
+// (List/Walk/Export) rooted above shardDepth span shards.
+func wide(np int) bool { return np <= shardDepth }
+
+func (fs *FS) lockAll() {
+	for i := range fs.shards {
+		fs.shards[i].mu.Lock()
+	}
+}
+
+func (fs *FS) unlockAll() {
+	for i := range fs.shards {
+		fs.shards[i].mu.Unlock()
+	}
+}
+
+func (fs *FS) rlockAll() {
+	for i := range fs.shards {
+		fs.shards[i].mu.RLock()
+	}
+}
+
+func (fs *FS) runlockAll() {
+	for i := range fs.shards {
+		fs.shards[i].mu.RUnlock()
+	}
+}
+
+// lockMutate acquires the write locks an op mutating a path with
+// len(parts) segments needs, returning the matching unlock.
+func (fs *FS) lockMutate(parts []string) func() {
+	if wide(len(parts)) {
+		fs.lockAll()
+		return fs.unlockAll
+	}
+	sh := fs.shardFor(parts)
+	sh.mu.Lock()
+	return sh.mu.Unlock
+}
+
+// lockSubtreeRead acquires the read locks a whole-subtree read rooted
+// at parts needs: one shard when the subtree lies inside a shard, all
+// shards when it spans them.
+func (fs *FS) lockSubtreeRead(parts []string) func() {
+	if len(parts) < shardDepth {
+		fs.rlockAll()
+		return fs.runlockAll
+	}
+	sh := fs.shardFor(parts)
+	sh.mu.RLock()
+	return sh.mu.RUnlock
 }
 
 func (fs *FS) auditf(kind audit.Kind, actor, subject, format string, args ...any) {
 	if fs.log != nil {
 		fs.log.Appendf(kind, actor, subject, format, args...)
 	}
-}
-
-// splitPath validates and splits "/a/b/c" into ["a","b","c"].
-func splitPath(path string) ([]string, error) {
-	if path == "" || path[0] != '/' {
-		return nil, ErrBadPath
-	}
-	if path == "/" {
-		return nil, nil
-	}
-	parts := strings.Split(path[1:], "/")
-	for _, p := range parts {
-		if p == "" || p == "." || p == ".." {
-			return nil, ErrBadPath
-		}
-	}
-	return parts, nil
 }
 
 // canRead reports whether an object labeled l is readable under cred:
@@ -152,7 +269,8 @@ func canWrite(l difc.LabelPair, cred Cred) bool {
 
 // walk resolves the directory containing the final path element,
 // checking read permission on every directory traversed. Returns the
-// parent node and the final element name. Caller holds fs.mu.
+// parent node and the final element name. Caller holds the locks
+// covering the path.
 func (fs *FS) walk(parts []string, cred Cred) (*node, string, error) {
 	if len(parts) == 0 {
 		return nil, "", ErrBadPath
@@ -182,12 +300,13 @@ func (fs *FS) walk(parts []string, cred Cred) (*node, string, error) {
 // write to (otherwise a process could create objects it then could not
 // be accountable for).
 func (fs *FS) Mkdir(cred Cred, path string, label difc.LabelPair) error {
-	parts, err := splitPath(path)
+	var buf [pathBufLen]string
+	parts, cached, err := fs.intern.resolve(path, buf[:0])
 	if err != nil || len(parts) == 0 {
 		return ErrBadPath
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	unlock := fs.lockMutate(parts)
+	defer unlock()
 	parent, name, err := fs.walk(parts, cred)
 	if err != nil {
 		return err
@@ -207,18 +326,23 @@ func (fs *FS) Mkdir(cred Cred, path string, label difc.LabelPair) error {
 		modified: fs.clock(),
 	}
 	parent.version++
+	if !cached {
+		fs.intern.put(path, parts)
+	}
 	return nil
 }
 
 // MkdirAll creates every missing directory along path with the given
-// label; existing directories are left untouched.
+// label; existing directories are left untouched. Each level is created
+// under its own lock acquisition, exactly like repeated Mkdir calls.
 func (fs *FS) MkdirAll(cred Cred, path string, label difc.LabelPair) error {
-	parts, err := splitPath(path)
+	var buf [pathBufLen]string
+	parts, _, err := fs.intern.resolve(path, buf[:0])
 	if err != nil {
 		return ErrBadPath
 	}
 	for i := 1; i <= len(parts); i++ {
-		sub := "/" + strings.Join(parts[:i], "/")
+		sub := "/" + joinSegments(parts[:i])
 		if err := fs.Mkdir(cred, sub, label); err != nil && !errors.Is(err, ErrExists) {
 			return err
 		}
@@ -226,17 +350,42 @@ func (fs *FS) MkdirAll(cred Cred, path string, label difc.LabelPair) error {
 	return nil
 }
 
+func joinSegments(parts []string) string {
+	switch len(parts) {
+	case 0:
+		return ""
+	case 1:
+		return parts[0]
+	}
+	n := len(parts) - 1
+	for _, p := range parts {
+		n += len(p)
+	}
+	b := make([]byte, 0, n)
+	b = append(b, parts[0]...)
+	for _, p := range parts[1:] {
+		b = append(b, '/')
+		b = append(b, p...)
+	}
+	return string(b)
+}
+
 // Write creates or replaces the file at path with data, labeling new
 // files with label. Replacing an existing file requires write permission
 // on the current file label; the existing label is retained (relabeling
 // is a separate, explicitly-audited operation — SetLabel).
+//
+// The payload is copied in, and the previous payload slice is left
+// untouched (readers may still hold it); see the package comment on
+// payload immutability.
 func (fs *FS) Write(cred Cred, path string, data []byte, label difc.LabelPair) error {
-	parts, err := splitPath(path)
+	var buf [pathBufLen]string
+	parts, cached, err := fs.intern.resolve(path, buf[:0])
 	if err != nil || len(parts) == 0 {
 		return ErrBadPath
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	unlock := fs.lockMutate(parts)
+	defer unlock()
 	parent, name, err := fs.walk(parts, cred)
 	if err != nil {
 		return err
@@ -253,9 +402,12 @@ func (fs *FS) Write(cred Cred, path string, data []byte, label difc.LabelPair) e
 		if err := fs.chargeDelta(cred, existing.owner, len(data)-len(existing.data)); err != nil {
 			return err
 		}
-		existing.data = append([]byte(nil), data...)
+		existing.data = copyPayload(data)
 		existing.version++
 		existing.modified = fs.clock()
+		if !cached {
+			fs.intern.put(path, parts)
+		}
 		return nil
 	}
 	if !canWrite(parent.label, cred) || !canWrite(label, cred) {
@@ -269,16 +421,29 @@ func (fs *FS) Write(cred Cred, path string, data []byte, label difc.LabelPair) e
 		name:     name,
 		label:    label,
 		owner:    cred.Principal,
-		data:     append([]byte(nil), data...),
+		data:     copyPayload(data),
 		version:  1,
 		modified: fs.clock(),
 	}
 	parent.version++
+	if !cached {
+		fs.intern.put(path, parts)
+	}
 	return nil
 }
 
+// copyPayload installs a file payload: an exact-capacity copy, so a
+// caller appending to a slice returned by Read can never scribble into
+// stored bytes through spare capacity.
+func copyPayload(data []byte) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out
+}
+
 // chargeDelta adjusts the disk quota of the billed principal by delta
-// bytes (negative deltas refund). Caller holds fs.mu.
+// bytes (negative deltas refund). The quota manager is internally
+// synchronized, so concurrent shard writers may charge in parallel.
 func (fs *FS) chargeDelta(cred Cred, principal string, delta int) error {
 	if fs.quotas == nil || delta == 0 {
 		return nil
@@ -299,14 +464,20 @@ func (fs *FS) chargeDelta(cred Cred, principal string, delta int) error {
 // is responsible for raising the reading process's label to dominate
 // the returned label (the syscall layer does this automatically) — the
 // read itself is permitted exactly when that raise would be possible.
+//
+// The returned slice aliases the stored payload and MUST be treated as
+// read-only. It is safe to retain: overwrites install a fresh buffer
+// rather than mutating the old one.
 func (fs *FS) Read(cred Cred, path string) ([]byte, difc.LabelPair, error) {
-	parts, err := splitPath(path)
+	var buf [pathBufLen]string
+	parts, cached, err := fs.intern.resolve(path, buf[:0])
 	if err != nil || len(parts) == 0 {
 		return nil, difc.LabelPair{}, ErrBadPath
 	}
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	parent, name, err := fs.walkRead(parts, cred)
+	sh := fs.shardFor(parts)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	parent, name, err := fs.walk(parts, cred)
 	if err != nil {
 		return nil, difc.LabelPair{}, err
 	}
@@ -321,24 +492,29 @@ func (fs *FS) Read(cred Cred, path string) ([]byte, difc.LabelPair, error) {
 		fs.auditf(audit.KindFlowDenied, cred.Principal, path, "read denied (%s)", f.label)
 		return nil, difc.LabelPair{}, ErrDenied
 	}
-	return append([]byte(nil), f.data...), f.label, nil
-}
-
-// walkRead is walk without the lock acquisition differences; it exists
-// so Read/List/Stat can share traversal under the read lock.
-func (fs *FS) walkRead(parts []string, cred Cred) (*node, string, error) {
-	return fs.walk(parts, cred)
+	if !cached {
+		fs.intern.put(path, parts)
+	}
+	return f.data, f.label, nil
 }
 
 // List returns Info for every entry of the directory at path, sorted by
 // name. Reading a directory requires read permission on it; the entry
 // labels are included so callers can decide what they can open.
 func (fs *FS) List(cred Cred, path string) ([]Info, error) {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	dir, err := fs.resolveDir(path, cred)
+	var buf [pathBufLen]string
+	parts, cached, err := fs.intern.resolve(path, buf[:0])
+	if err != nil {
+		return nil, ErrBadPath
+	}
+	unlock := fs.lockSubtreeRead(parts)
+	defer unlock()
+	dir, err := fs.lookupDir(parts, cred)
 	if err != nil {
 		return nil, err
+	}
+	if !cached {
+		fs.intern.put(path, parts)
 	}
 	out := make([]Info, 0, len(dir.children))
 	for _, c := range dir.children {
@@ -348,11 +524,10 @@ func (fs *FS) List(cred Cred, path string) ([]Info, error) {
 	return out, nil
 }
 
-func (fs *FS) resolveDir(path string, cred Cred) (*node, error) {
-	parts, err := splitPath(path)
-	if err != nil {
-		return nil, ErrBadPath
-	}
+// lookupDir resolves parts to a directory node, checking read
+// permission on it and everything traversed. Caller holds the covering
+// locks.
+func (fs *FS) lookupDir(parts []string, cred Cred) (*node, error) {
 	if len(parts) == 0 {
 		if !canRead(fs.root.label, cred) {
 			return nil, ErrDenied
@@ -393,18 +568,36 @@ func infoOf(parentPath string, n *node) Info {
 	}
 }
 
+// statInfo is infoOf for a node whose full canonical path the caller
+// already has — it reuses that string instead of rebuilding it, keeping
+// Stat allocation-free on interned paths.
+func statInfo(path string, n *node) Info {
+	return Info{
+		Path:     path,
+		Name:     n.name,
+		IsDir:    n.isDir(),
+		Size:     len(n.data),
+		Label:    n.label,
+		Owner:    n.owner,
+		Version:  n.version,
+		Modified: n.modified,
+	}
+}
+
 // Stat returns Info for the object at path. Stat requires read
 // permission on the containing directory (existence is directory
 // metadata) but not on the object itself.
 func (fs *FS) Stat(cred Cred, path string) (Info, error) {
-	parts, err := splitPath(path)
+	var buf [pathBufLen]string
+	parts, cached, err := fs.intern.resolve(path, buf[:0])
 	if err != nil {
 		return Info{}, ErrBadPath
 	}
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
+	sh := fs.shardFor(parts)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	if len(parts) == 0 {
-		return infoOf("", fs.root), nil
+		return statInfo("/", fs.root), nil
 	}
 	parent, name, err := fs.walk(parts, cred)
 	if err != nil {
@@ -414,11 +607,10 @@ func (fs *FS) Stat(cred Cred, path string) (Info, error) {
 	if !ok {
 		return Info{}, ErrNotFound
 	}
-	dir := "/" + strings.Join(parts[:len(parts)-1], "/")
-	if len(parts) == 1 {
-		dir = "/"
+	if !cached {
+		fs.intern.put(path, parts)
 	}
-	return infoOf(dir, n), nil
+	return statInfo(path, n), nil
 }
 
 // Remove deletes the object at path. Deleting is a write to both the
@@ -426,12 +618,13 @@ func (fs *FS) Stat(cred Cred, path string) (Info, error) {
 // cannot write) and its parent directory. Non-empty directories cannot
 // be removed.
 func (fs *FS) Remove(cred Cred, path string) error {
-	parts, err := splitPath(path)
+	var buf [pathBufLen]string
+	parts, _, err := fs.intern.resolve(path, buf[:0])
 	if err != nil || len(parts) == 0 {
 		return ErrBadPath
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	unlock := fs.lockMutate(parts)
+	defer unlock()
 	parent, name, err := fs.walk(parts, cred)
 	if err != nil {
 		return err
@@ -458,12 +651,13 @@ func (fs *FS) Remove(cred Cred, path string) error {
 // must currently be able to write the object. Every relabel is audited
 // as a policy change.
 func (fs *FS) SetLabel(cred Cred, path string, label difc.LabelPair) error {
-	parts, err := splitPath(path)
+	var buf [pathBufLen]string
+	parts, cached, err := fs.intern.resolve(path, buf[:0])
 	if err != nil || len(parts) == 0 {
 		return ErrBadPath
 	}
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	unlock := fs.lockMutate(parts)
+	defer unlock()
 	parent, name, err := fs.walk(parts, cred)
 	if err != nil {
 		return err
@@ -485,6 +679,9 @@ func (fs *FS) SetLabel(cred Cred, path string, label difc.LabelPair) error {
 	n.version++
 	n.modified = fs.clock()
 	fs.auditf(audit.KindPolicyChange, cred.Principal, path, "relabel to %s", label)
+	if !cached {
+		fs.intern.put(path, parts)
+	}
 	return nil
 }
 
@@ -492,13 +689,25 @@ func (fs *FS) SetLabel(cred Cred, path string, label difc.LabelPair) error {
 // name order, calling fn with each Info. Objects in unreadable
 // directories are skipped silently (their existence is not revealed).
 func (fs *FS) Walk(cred Cred, path string, fn func(Info) error) error {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	dir, err := fs.resolveDir(path, cred)
+	var buf [pathBufLen]string
+	parts, cached, err := fs.intern.resolve(path, buf[:0])
+	if err != nil {
+		return ErrBadPath
+	}
+	unlock := fs.lockSubtreeRead(parts)
+	defer unlock()
+	dir, err := fs.lookupDir(parts, cred)
 	if err != nil {
 		return err
 	}
-	return fs.walkRecursive(dir, strings.TrimSuffix(path, "/"), cred, fn)
+	if !cached {
+		fs.intern.put(path, parts)
+	}
+	prefix := path
+	if prefix == "/" {
+		prefix = ""
+	}
+	return fs.walkRecursive(dir, prefix, cred, fn)
 }
 
 func (fs *FS) walkRecursive(dir *node, prefix string, cred Cred, fn func(Info) error) error {
