@@ -8,6 +8,8 @@ package w5bench
 
 import (
 	"fmt"
+	"net/http"
+	"sync"
 	"testing"
 
 	"w5/internal/attack"
@@ -195,6 +197,76 @@ func BenchmarkInvoke(b *testing.B) {
 				if _, err := p.ExportCheck(inv, benchutil.MeasuredUser); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkGatewayRequest measures the full HTTP request path over real
+// keep-alive loopback connections — cookie -> cached session -> Invoke
+// -> ExportCheck -> §3.5 filter — with enforcement on (production) and
+// off (baseline), at 1..8 concurrent connections. The delta against
+// BenchmarkInvoke is the gateway's own overhead. It drives the same
+// benchutil.GatewayBench harness as the CI-gated gateway/request*
+// entries in BENCH_requestpath.json, so the two cannot drift apart.
+func BenchmarkGatewayRequest(b *testing.B) {
+	for _, enforce := range []bool{true, false} {
+		mode := "enforcing"
+		if !enforce {
+			mode = "baseline"
+		}
+		b.Run(mode, func(b *testing.B) {
+			p, err := benchutil.BuildScaleProvider(100, enforce)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gb, err := benchutil.StartGatewayBench(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer gb.Close()
+			for _, gn := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("goroutines=%d", gn), func(b *testing.B) {
+					clients := make([]*http.Client, gn)
+					for i := range clients {
+						// Own transport per goroutine = own keep-alive
+						// connection = own warm session cache.
+						clients[i] = &http.Client{Transport: &http.Transport{}}
+						if err := gb.Do(clients[i]); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					errs := make(chan error, gn)
+					var wg sync.WaitGroup
+					for gi := 0; gi < gn; gi++ {
+						n := b.N / gn
+						if gi < b.N%gn {
+							n++
+						}
+						wg.Add(1)
+						go func(c *http.Client, n int) {
+							defer wg.Done()
+							for i := 0; i < n; i++ {
+								if err := gb.Do(c); err != nil {
+									errs <- err
+									return
+								}
+							}
+						}(clients[gi], n)
+					}
+					wg.Wait()
+					b.StopTimer()
+					select {
+					case err := <-errs:
+						b.Fatal(err)
+					default:
+					}
+					for _, c := range clients {
+						c.CloseIdleConnections()
+					}
+				})
 			}
 		})
 	}

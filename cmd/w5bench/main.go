@@ -8,8 +8,11 @@
 //	w5bench E2 E7                            # run selected experiments
 //	w5bench -requestpath BENCH_requestpath.json
 //	                                         # measure the invoke→export
-//	                                         # hot path and write a JSON
-//	                                         # record for trend tracking
+//	                                         # hot path, the store hot
+//	                                         # path, and the HTTP-level
+//	                                         # gateway request path, and
+//	                                         # write a JSON record for
+//	                                         # trend tracking
 //	w5bench -requestpath /tmp/new.json -compare BENCH_requestpath.json
 //	                                         # the CI regression gate:
 //	                                         # measure, then fail (exit 1)

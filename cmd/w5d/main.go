@@ -45,6 +45,8 @@ func main() {
 	auditStderr := flag.Bool("audit", false, "mirror the audit log to stderr")
 	storeShards := flag.Int("store-shards", 0,
 		"labeled-store lock stripes (0 = default; 1 = single-lock baseline)")
+	sessionTTL := flag.Duration("session-ttl", 0,
+		"login lifetime (0 = gateway default, 24h)")
 	peers := peerList{}
 	flag.Var(peers, "peer", "federation peer as name=secret (repeatable)")
 	flag.Parse()
@@ -59,14 +61,17 @@ func main() {
 	} {
 		p.InstallApp(app)
 	}
-	gw := gateway.New(p, gateway.Options{FilterHTML: true})
+	gw := gateway.New(p, gateway.Options{FilterHTML: true, SessionTTL: *sessionTTL})
 	if len(peers) > 0 {
 		federation.MountExport(p, gw.Mux(), peers)
 		log.Printf("federation export enabled for peers: %s", peers)
 	}
 	log.Printf("W5 provider %q serving on %s (apps: %s)",
 		*name, *addr, strings.Join(p.AppNames(), ", "))
-	if err := http.ListenAndServe(*addr, gw); err != nil {
+	// ConnContext plants the gateway's per-connection session cache, so
+	// keep-alive requests skip cookie->session map resolution entirely.
+	srv := &http.Server{Addr: *addr, Handler: gw, ConnContext: gw.ConnContext}
+	if err := srv.ListenAndServe(); err != nil {
 		log.Fatal(err)
 	}
 }

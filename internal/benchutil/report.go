@@ -10,12 +10,17 @@ package benchutil
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"os"
 	"runtime"
 	"time"
 
 	"w5/internal/core"
 	"w5/internal/difc"
+	"w5/internal/gateway"
 	"w5/internal/store"
 )
 
@@ -25,6 +30,15 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// NsTolMult widens the ns/op gate for this entry by multiplying the
+	// comparison tolerance (0 or 1 = standard). Entries that cross the
+	// kernel scheduler and loopback TCP (gateway/request*) see
+	// run-to-run latency noise far beyond the in-process entries', so
+	// their ns/op line only catches catastrophic regressions; their
+	// allocs/op and bytes/op — the per-request derivation contract —
+	// still gate at the standard tolerance. The baseline's value is
+	// what Compare honors, so the widening is committed and reviewable.
+	NsTolMult float64 `json:"ns_tol_mult,omitempty"`
 }
 
 // Report is the full request-path record for one build.
@@ -84,10 +98,14 @@ func Compare(baseline, current Report, tolerance float64) []string {
 				fmt.Sprintf("%s: present in baseline but not measured by this build", base.Name))
 			continue
 		}
-		if limit := base.NsPerOp * (1 + tolerance); now.NsPerOp > limit {
+		nsTol := tolerance
+		if base.NsTolMult > 1 {
+			nsTol = tolerance * base.NsTolMult
+		}
+		if limit := base.NsPerOp * (1 + nsTol); now.NsPerOp > limit {
 			violations = append(violations,
 				fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f by more than %.0f%% (limit %.0f)",
-					base.Name, now.NsPerOp, base.NsPerOp, tolerance*100, limit))
+					base.Name, now.NsPerOp, base.NsPerOp, nsTol*100, limit))
 		}
 		switch {
 		case base.AllocsPerOp == 0 && now.AllocsPerOp > 0:
@@ -163,11 +181,14 @@ func runFixed(name string, iters int, fn func() error) (Result, error) {
 
 // Iteration budgets: enough work that the timer resolution and loop
 // overhead vanish, little enough that the run stays fast and the
-// audit log (which grows per operation) stays small.
+// audit log (which grows per operation) stays small. Gateway requests
+// cross a real loopback TCP connection and the whole net/http stack,
+// so their budget is smaller.
 const (
 	invokeIters   = 20_000
 	storeOpIters  = 200_000
 	parallelIters = 100_000
+	gatewayIters  = 3_000
 )
 
 // measureInvokeExport times the invoke→export hot path on p.
@@ -280,9 +301,160 @@ func measureStoreParallel(goroutines int) (Result, error) {
 	return res, nil
 }
 
+// GatewayBench is a logged-in keep-alive HTTP harness against a
+// gateway serving a scale provider — the end-to-end request the
+// paper's §2 front-end performs, measured at the socket. It is shared
+// by the w5bench gateway/request* entries and the root
+// BenchmarkGatewayRequest so the CI-gated measurement and the
+// testing.B twin cannot drift apart.
+type GatewayBench struct {
+	srv    *httptest.Server
+	cookie *http.Cookie
+	reqURL string
+}
+
+// StartGatewayBench serves p through a gateway (per-connection session
+// cache wired in, as cmd/w5d serves it) and logs MeasuredUser in once;
+// Close must be called when done.
+func StartGatewayBench(p *core.Provider) (*GatewayBench, error) {
+	g := gateway.New(p, gateway.Options{FilterHTML: true})
+	srv := httptest.NewUnstartedServer(g)
+	srv.Config.ConnContext = g.ConnContext // enable the per-connection warm cache
+	srv.Start()
+	resp, err := http.PostForm(srv.URL+"/login",
+		url.Values{"user": {MeasuredUser}, "password": {"pw"}})
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		srv.Close()
+		return nil, fmt.Errorf("gateway bench login: status %d", resp.StatusCode)
+	}
+	var cookie *http.Cookie
+	for _, c := range resp.Cookies() {
+		if c.Name == gateway.SessionCookie {
+			cookie = c
+		}
+	}
+	if cookie == nil {
+		srv.Close()
+		return nil, fmt.Errorf("gateway bench login: no session cookie")
+	}
+	return &GatewayBench{
+		srv:    srv,
+		cookie: cookie,
+		reqURL: srv.URL + "/app/" + AppName + "/?owner=" + MeasuredUser,
+	}, nil
+}
+
+func (gb *GatewayBench) Close() { gb.srv.Close() }
+
+// do issues one authenticated request on the client's keep-alive pool.
+func (gb *GatewayBench) Do(client *http.Client) error {
+	req, err := http.NewRequest("GET", gb.reqURL, nil)
+	if err != nil {
+		return err
+	}
+	req.AddCookie(gb.cookie)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("gateway request: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// measureGatewayRequest times the sequential keep-alive request path:
+// cookie -> cached session -> Invoke -> ExportCheck -> sanitize, over
+// a real loopback connection. The difference between this entry and
+// invoke-export/* is the measured HTTP overhead.
+func measureGatewayRequest(name string, p *core.Provider) (Result, error) {
+	gb, err := StartGatewayBench(p)
+	if err != nil {
+		return Result{}, err
+	}
+	defer gb.Close()
+	client := &http.Client{Transport: &http.Transport{}}
+	if err := gb.Do(client); err != nil { // warm the connection + session cache
+		return Result{}, err
+	}
+	res, err := runFixed(name, gatewayIters, func() error {
+		return gb.Do(client)
+	})
+	res.NsTolMult = gatewayNsTolMult
+	return res, err
+}
+
+// gatewayNsTolMult: loopback HTTP latency is dominated by scheduler
+// wakeups, not gateway code, and swings ~1.5× between otherwise
+// identical runs. 8 × the 25% base tolerance puts the ns/op line at
+// 3×, which still fails a serializing lock or an O(population) leak
+// while the tight allocs/bytes gate holds the derivation contract.
+const gatewayNsTolMult = 8
+
+// measureGatewayParallel times concurrent keep-alive clients, each with
+// its own connection (and therefore its own warm per-connection session
+// cache), sharing one login. Regressions here mean the session path
+// reacquired a serializing lock.
+func measureGatewayParallel(p *core.Provider, goroutines int) (Result, error) {
+	gb, err := StartGatewayBench(p)
+	if err != nil {
+		return Result{}, err
+	}
+	defer gb.Close()
+	clients := make([]*http.Client, goroutines)
+	for i := range clients {
+		clients[i] = &http.Client{Transport: &http.Transport{}}
+		if err := gb.Do(clients[i]); err != nil {
+			return Result{}, err
+		}
+	}
+	name := fmt.Sprintf("gateway/request-parallel/goroutines=%d", goroutines)
+	per := (gatewayIters + goroutines - 1) / goroutines
+	// One "iteration" is a whole batch of per×goroutines requests; the
+	// per-request figures are divided out below.
+	res, err := runFixed(name, 1, func() error {
+		errs := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func(g int) {
+				for i := 0; i < per; i++ {
+					if err := gb.Do(clients[g]); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}(g)
+		}
+		for g := 0; g < goroutines; g++ {
+			if err := <-errs; err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	total := int64(per) * int64(goroutines)
+	res.NsPerOp /= float64(total)
+	res.AllocsPerOp /= total
+	res.BytesPerOp /= total
+	res.NsTolMult = gatewayNsTolMult
+	return res, nil
+}
+
 // MeasureRequestPath runs the full request-path suite — invoke→export
-// at two population scales, the raw store hot path, and parallel store
-// reads — and assembles the Report.
+// at two population scales, the raw store hot path, parallel store
+// reads, and the HTTP-level gateway request path — and assembles the
+// Report.
 func MeasureRequestPath(progress func(Result)) (Report, error) {
 	report := Report{
 		Benchmark: "requestpath",
@@ -298,12 +470,13 @@ func MeasureRequestPath(progress func(Result)) (Report, error) {
 	var ns100, ns10k float64
 	for _, cfg := range []struct {
 		name    string
+		gateway string
 		users   int
 		enforce bool
 	}{
-		{"invoke-export/enforcing/users=100", 100, true},
-		{"invoke-export/no-checks/users=100", 100, false},
-		{"invoke-export/enforcing/users=10000", 10_000, true},
+		{"invoke-export/enforcing/users=100", "gateway/request/enforcing/users=100", 100, true},
+		{"invoke-export/no-checks/users=100", "gateway/request/no-checks/users=100", 100, false},
+		{"invoke-export/enforcing/users=10000", "", 10_000, true},
 	} {
 		p, err := BuildScaleProvider(cfg.users, cfg.enforce)
 		if err != nil {
@@ -327,6 +500,22 @@ func MeasureRequestPath(progress func(Result)) (Report, error) {
 			}
 			for _, r := range hot {
 				add(r)
+			}
+		}
+		if cfg.gateway != "" {
+			res, err := measureGatewayRequest(cfg.gateway, p)
+			if err != nil {
+				return report, err
+			}
+			add(res)
+		}
+		if cfg.enforce && cfg.users == 100 {
+			for _, goroutines := range []int{1, 8} {
+				res, err := measureGatewayParallel(p, goroutines)
+				if err != nil {
+					return report, err
+				}
+				add(res)
 			}
 		}
 	}

@@ -17,6 +17,35 @@ func baselineReport() Report {
 	}
 }
 
+// TestCompareNsToleranceMultiplier: an entry carrying NsTolMult widens
+// only its own ns/op line; allocs and bytes stay at the base tolerance.
+func TestCompareNsToleranceMultiplier(t *testing.T) {
+	base := Report{Results: []Result{
+		{Name: "gateway/request/enforcing/users=100", NsPerOp: 30_000, AllocsPerOp: 100, BytesPerOp: 12_000, NsTolMult: 8},
+	}}
+	// 2x slower: within the widened 8*25% = 200% line.
+	ok := Report{Results: []Result{
+		{Name: "gateway/request/enforcing/users=100", NsPerOp: 60_000, AllocsPerOp: 100, BytesPerOp: 12_000},
+	}}
+	if v := Compare(base, ok, 0.25); len(v) != 0 {
+		t.Errorf("widened ns line flagged 2x noise: %v", v)
+	}
+	// 4x slower: past even the widened line.
+	slow := Report{Results: []Result{
+		{Name: "gateway/request/enforcing/users=100", NsPerOp: 120_000, AllocsPerOp: 100, BytesPerOp: 12_000},
+	}}
+	if v := Compare(base, slow, 0.25); len(v) != 1 || !strings.Contains(v[0], "ns/op") {
+		t.Errorf("catastrophic ns regression not flagged: %v", v)
+	}
+	// Alloc regression is NOT widened: +50% allocs fails at the base line.
+	allocs := Report{Results: []Result{
+		{Name: "gateway/request/enforcing/users=100", NsPerOp: 30_000, AllocsPerOp: 150, BytesPerOp: 12_000},
+	}}
+	if v := Compare(base, allocs, 0.25); len(v) != 1 || !strings.Contains(v[0], "allocs/op") {
+		t.Errorf("alloc regression slipped through the widened entry: %v", v)
+	}
+}
+
 func TestCompareAccepts(t *testing.T) {
 	base := baselineReport()
 	for _, cur := range []Report{

@@ -267,6 +267,29 @@ func (p *Provider) Invoke(appName string, req AppRequest) (*Invocation, error) {
 // a second call is refused without touching the (already recycled)
 // process.
 func (p *Provider) ExportCheck(inv *Invocation, viewer string) ([]byte, error) {
+	var u *User
+	if viewer != "" {
+		u, _ = p.GetUser(viewer) // nil u: unknown viewer exports with no session privilege
+	}
+	return p.exportCheck(inv, viewer, u)
+}
+
+// ExportCheckFor is ExportCheck with the viewer's account already
+// resolved. The gateway's warm-session path passes the *User cached on
+// its session record, so a keep-alive request pays no user-map lookup
+// at export time — the session privilege and audit destination come off
+// the immutable User minted at CreateUser.
+func (p *Provider) ExportCheckFor(inv *Invocation, u *User) ([]byte, error) {
+	if u == nil {
+		// Tolerate a misuse like forwarding a failed GetUser result:
+		// treat it as an anonymous export instead of panicking past the
+		// release-CAS and the denial audit.
+		return p.exportCheck(inv, "", nil)
+	}
+	return p.exportCheck(inv, u.Name, u)
+}
+
+func (p *Provider) exportCheck(inv *Invocation, viewer string, u *User) ([]byte, error) {
 	if !inv.released.CompareAndSwap(false, true) {
 		// Every denied export is audited; a consumed invocation must be
 		// distinguishable in the log from a policy refusal. inv.procName,
@@ -284,13 +307,12 @@ func (p *Provider) ExportCheck(inv *Invocation, viewer string) ([]byte, error) {
 	// neither.
 	dest := "viewer:(anonymous)"
 	sessionCaps := difc.EmptyCaps
-	if viewer != "" {
-		if u, err := p.GetUser(viewer); err == nil {
-			sessionCaps = u.sessionCaps
-			dest = u.exportDest
-		} else {
-			dest = "viewer:" + viewer
-		}
+	switch {
+	case u != nil:
+		sessionCaps = u.sessionCaps
+		dest = u.exportDest
+	case viewer != "":
+		dest = "viewer:" + viewer
 	}
 
 	labels := inv.Proc.Labels()

@@ -17,16 +17,26 @@
 // Nothing reaches the response writer except bytes that passed
 // ExportCheck — the perimeter is a property of this package's code
 // paths, verified by the tests and attacked by internal/attack.
+//
+// The request path is session-cached: a login mints one immutable
+// snapshot of everything authentication would otherwise re-derive per
+// request (resolved *core.User with its cached label/credential
+// boilerplate, expiry, rate-limiter handle) behind an atomic pointer,
+// and keep-alive connections park the session record in a
+// per-connection cache so warm requests do no map-level auth work at
+// all. Expired logins are evicted by a bounded janitor amortized over
+// logins and cold resolutions. See session.go and README.md for the
+// snapshot/revocation protocol and the measured HTTP-vs-Invoke
+// overhead.
 package gateway
 
 import (
-	"crypto/rand"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"w5/internal/audit"
@@ -39,13 +49,9 @@ import (
 // SessionCookie is the authentication cookie name.
 const SessionCookie = "w5sess"
 
-// sessionTTL bounds how long a login lasts.
-const sessionTTL = 24 * time.Hour
-
-type session struct {
-	user    string
-	expires time.Time
-}
+// DefaultSessionTTL bounds how long a login lasts unless Options
+// overrides it.
+const DefaultSessionTTL = 24 * time.Hour
 
 // Options configures a Gateway.
 type Options struct {
@@ -58,6 +64,8 @@ type Options struct {
 	// disables rate limiting.
 	RequestRate  float64
 	RequestBurst float64
+	// SessionTTL bounds how long a login lasts (0 = DefaultSessionTTL).
+	SessionTTL time.Duration
 }
 
 // Gateway serves one provider over HTTP.
@@ -65,22 +73,50 @@ type Gateway struct {
 	p    *core.Provider
 	opts Options
 	mux  *http.ServeMux
+	ttl  time.Duration
 
-	mu       sync.Mutex
-	sessions map[string]session
-	rates    map[string]*quota.Bucket
-	clock    func() time.Time
+	// clock holds a func() time.Time (injectable for tests).
+	clock atomic.Value
+
+	// sessions maps token -> *session. Reads are lock-free; the warm
+	// per-connection path (session.go) does not touch it at all.
+	sessions sync.Map
+	// rates maps user -> *quota.Bucket; sessions cache the handle.
+	rates    sync.Map
+	anonRate *quota.Bucket
+
+	// janitor queue (session.go): FIFO of (token, expiry).
+	janMu   sync.Mutex
+	expiry  []expiryEntry
+	janHead int
+	// deadQueued counts sessions dropped before their nominal expiry
+	// whose queue slots are now tombstones (compaction trigger).
+	// Guarded by janMu — dropSession updates it in the same critical
+	// section as the map removal, so the rebuild's reset cannot race a
+	// concurrent drop into permanent drift.
+	deadQueued int
+
+	live         atomic.Int64
+	warmHits     atomic.Uint64
+	coldResolves atomic.Uint64
+	swept        atomic.Uint64
 }
 
 // New builds a gateway for the provider.
 func New(p *core.Provider, opts Options) *Gateway {
+	ttl := opts.SessionTTL
+	if ttl <= 0 {
+		ttl = DefaultSessionTTL
+	}
 	g := &Gateway{
-		p:        p,
-		opts:     opts,
-		mux:      http.NewServeMux(),
-		sessions: make(map[string]session),
-		rates:    make(map[string]*quota.Bucket),
-		clock:    time.Now,
+		p:    p,
+		opts: opts,
+		mux:  http.NewServeMux(),
+		ttl:  ttl,
+	}
+	g.clock.Store(time.Now)
+	if opts.RequestRate > 0 && opts.RequestBurst > 0 {
+		g.anonRate = quota.NewBucket(opts.RequestBurst, opts.RequestRate)
 	}
 	g.mux.HandleFunc("/signup", g.handleSignup)
 	g.mux.HandleFunc("/login", g.handleLogin)
@@ -97,9 +133,7 @@ func New(p *core.Provider, opts Options) *Gateway {
 
 // SetClock injects a time source for tests.
 func (g *Gateway) SetClock(clock func() time.Time) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.clock = clock
+	g.clock.Store(clock)
 }
 
 // ServeHTTP implements http.Handler.
@@ -110,41 +144,6 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Mux exposes the underlying mux so sibling packages (federation) can
 // mount additional trusted endpoints.
 func (g *Gateway) Mux() *http.ServeMux { return g.mux }
-
-// viewer resolves the authenticated user from the session cookie; ""
-// means anonymous.
-func (g *Gateway) viewer(r *http.Request) string {
-	c, err := r.Cookie(SessionCookie)
-	if err != nil {
-		return ""
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	s, ok := g.sessions[c.Value]
-	if !ok || g.clock().After(s.expires) {
-		delete(g.sessions, c.Value)
-		return ""
-	}
-	return s.user
-}
-
-func newToken() string {
-	b := make([]byte, 24)
-	rand.Read(b)
-	return hex.EncodeToString(b)
-}
-
-func (g *Gateway) startSession(w http.ResponseWriter, user string) {
-	tok := newToken()
-	g.mu.Lock()
-	g.sessions[tok] = session{user: user, expires: g.clock().Add(sessionTTL)}
-	g.mu.Unlock()
-	http.SetCookie(w, &http.Cookie{
-		Name: SessionCookie, Value: tok, Path: "/",
-		HttpOnly: true, SameSite: http.SameSiteLaxMode,
-	})
-	g.p.Log.Appendf(audit.KindLogin, user, "session", "established")
-}
 
 func (g *Gateway) handleSignup(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -164,7 +163,10 @@ func (g *Gateway) handleSignup(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "signup failed", http.StatusBadRequest)
 		return
 	}
-	g.startSession(w, user)
+	if err := g.startSession(w, user); err != nil {
+		http.Error(w, "session setup failed", http.StatusInternalServerError)
+		return
+	}
 	fmt.Fprintf(w, "welcome, %s\n", user)
 }
 
@@ -178,15 +180,20 @@ func (g *Gateway) handleLogin(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "authentication failed", http.StatusUnauthorized)
 		return
 	}
-	g.startSession(w, user)
+	if err := g.startSession(w, user); err != nil {
+		http.Error(w, "session setup failed", http.StatusInternalServerError)
+		return
+	}
 	fmt.Fprintf(w, "hello, %s\n", user)
 }
 
 func (g *Gateway) handleLogout(w http.ResponseWriter, r *http.Request) {
 	if c, err := r.Cookie(SessionCookie); err == nil {
-		g.mu.Lock()
-		delete(g.sessions, c.Value)
-		g.mu.Unlock()
+		if v, ok := g.sessions.Load(c.Value); ok {
+			// Revoking the state is what invalidates per-connection
+			// caches (theirs and ours) — the map delete alone would not.
+			g.dropSession(c.Value, v.(*session))
+		}
 	}
 	http.SetCookie(w, &http.Cookie{Name: SessionCookie, Value: "", Path: "/", MaxAge: -1})
 	fmt.Fprintln(w, "bye")
@@ -201,29 +208,14 @@ func (g *Gateway) handleWhoami(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, v)
 }
 
-// allowRate enforces the per-user request budget.
-func (g *Gateway) allowRate(user string) bool {
-	if g.opts.RequestRate <= 0 || g.opts.RequestBurst <= 0 {
-		return true
-	}
-	key := user
-	if key == "" {
-		key = "(anonymous)"
-	}
-	g.mu.Lock()
-	b, ok := g.rates[key]
-	if !ok {
-		b = quota.NewBucket(g.opts.RequestBurst, g.opts.RequestRate)
-		g.rates[key] = b
-	}
-	g.mu.Unlock()
-	return b.Take(1)
-}
-
 // handleApp is the perimeter's data path: /app/<name>/<subpath>.
 func (g *Gateway) handleApp(w http.ResponseWriter, r *http.Request) {
-	viewer := g.viewer(r)
-	if !g.allowRate(viewer) {
+	st := g.session(r)
+	viewer := ""
+	if st != nil {
+		viewer = st.user.Name
+	}
+	if !g.allowSession(st) {
 		http.Error(w, "rate limited", http.StatusTooManyRequests)
 		return
 	}
@@ -264,7 +256,14 @@ func (g *Gateway) handleApp(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	body, err := g.p.ExportCheck(inv, viewer)
+	var body []byte
+	if st != nil {
+		// Warm path: the session snapshot already holds the resolved
+		// *User, so the export does no user-map lookup either.
+		body, err = g.p.ExportCheckFor(inv, st.user)
+	} else {
+		body, err = g.p.ExportCheck(inv, "")
+	}
 	if err != nil {
 		http.Error(w, "access denied by data policy", http.StatusForbidden)
 		return

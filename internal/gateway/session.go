@@ -1,0 +1,349 @@
+package gateway
+
+// Session-cached request path.
+//
+// A login mints one immutable sessionState snapshot carrying everything
+// the request path would otherwise re-derive per request: the resolved
+// *core.User (which itself caches the boilerplate LabelPair, the
+// trusted store.Cred, the session declassification privilege, and the
+// audit destination — all minted once at CreateUser), the absolute
+// expiry instant, and the per-user rate-limiter handle. The snapshot
+// hangs off a session record behind an atomic.Pointer:
+//
+//	token ──sync.Map──▶ *session ──atomic.Pointer──▶ *sessionState
+//
+// Readers (every request) do at most one lock-free sync.Map load and
+// one atomic pointer load; writers (logout, janitor) revoke by storing
+// nil, which every holder of the *session — including per-connection
+// caches on other goroutines — observes on its next load. States are
+// never mutated after publication, so there is nothing to lock on the
+// read side.
+//
+// Keep-alive connections go further: ConnContext (wired into the
+// http.Server by cmd/w5d and the benchmarks) plants a connCache in each
+// connection's base context. The first request on a connection resolves
+// its cookie through the session map and parks the *session on the
+// connection; subsequent requests bearing the same token skip the map
+// entirely — zero map-level auth work — and still observe logout and
+// expiry through the per-request atomic load + expiry check.
+//
+// Expired sessions used to linger in the map until the same token was
+// presented again (i.e. usually forever — clients drop cookies). The
+// janitor fixes that: because the TTL is uniform, login order equals
+// expiry order, so a FIFO queue of (token, expiry) pairs is enough.
+// Logins, cold resolutions, and every warmSweepEvery-th warm hit pop a
+// bounded batch of expired entries off the queue front, and logout
+// tombstones are compacted once they dominate the queue — the map and
+// the queue both stay O(live sessions) under any traffic mix, with no
+// sweeper goroutine and ~0 amortized cost on the warm path.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"w5/internal/audit"
+	"w5/internal/core"
+	"w5/internal/quota"
+)
+
+// sessionState is the immutable per-login snapshot. It is published
+// once by startSession and never mutated; revocation replaces the
+// session record's pointer with nil.
+type sessionState struct {
+	user    *core.User // resolved at login; caches labels/cred/caps/dest
+	expires time.Time
+	rate    *quota.Bucket // per-user handle (shared across the user's sessions); nil = unlimited
+}
+
+// session is one login's record in the session map. Its current state
+// is behind an atomic pointer so per-connection caches can keep the
+// record across requests and still observe logout/expiry immediately.
+type session struct {
+	state atomic.Pointer[sessionState]
+}
+
+// revoked reports (and effects) the record's revocation.
+func (s *session) revoke() bool {
+	return s.state.Swap(nil) != nil
+}
+
+// connCache is the per-connection warm cache, planted into the
+// connection's base context by ConnContext. net/http serves HTTP/1.x
+// requests on one connection sequentially, but the entry is an atomic
+// pointer anyway so an HTTP/2-style concurrent server cannot race it.
+type connCache struct {
+	e atomic.Pointer[connEntry]
+}
+
+type connEntry struct {
+	token string
+	sess  *session
+}
+
+// connKey keys the connCache in the connection context.
+type connKey struct{}
+
+// ConnContext plants the per-connection session cache; wire it into the
+// http.Server serving this gateway:
+//
+//	srv := &http.Server{Handler: gw, ConnContext: gw.ConnContext}
+//
+// Without it the gateway still works — every request just takes the
+// cold (session-map) path.
+func (g *Gateway) ConnContext(ctx context.Context, _ net.Conn) context.Context {
+	return context.WithValue(ctx, connKey{}, &connCache{})
+}
+
+// Stats are the gateway's session-path counters (test hooks and
+// operational visibility).
+type Stats struct {
+	// LiveSessions is the number of session records currently in the map.
+	LiveSessions int64
+	// WarmHits counts requests served entirely from the per-connection
+	// cache: no session-map load, no user-map lookup, no derivation.
+	WarmHits uint64
+	// ColdResolves counts requests that resolved their cookie through
+	// the session map (first request on a connection, cache misses, and
+	// servers without ConnContext wiring).
+	ColdResolves uint64
+	// Swept counts sessions the janitor evicted after expiry.
+	Swept uint64
+	// QueuedExpiries is the janitor queue's current length (live
+	// sessions + not-yet-compacted tombstones).
+	QueuedExpiries int
+}
+
+// Stats snapshots the counters.
+func (g *Gateway) Stats() Stats {
+	g.janMu.Lock()
+	queued := len(g.expiry) - g.janHead
+	g.janMu.Unlock()
+	return Stats{
+		LiveSessions:   g.live.Load(),
+		WarmHits:       g.warmHits.Load(),
+		ColdResolves:   g.coldResolves.Load(),
+		Swept:          g.swept.Load(),
+		QueuedExpiries: queued,
+	}
+}
+
+// now reads the gateway clock (injectable for tests).
+func (g *Gateway) now() time.Time {
+	return g.clock.Load().(func() time.Time)()
+}
+
+// newToken mints a 192-bit session token.
+func newToken() (string, error) {
+	b := make([]byte, 24)
+	if _, err := rand.Read(b); err != nil {
+		// Never hand out a guessable session: a failed entropy read must
+		// fail the login, not weaken the token space.
+		return "", err
+	}
+	return hex.EncodeToString(b), nil
+}
+
+// session resolves the request's session snapshot; nil means anonymous.
+//
+// Warm path (per-connection cache hit): one atomic load + expiry check.
+// Cold path: one lock-free session-map load, then the record is parked
+// on the connection for the rest of the keep-alive stream.
+func (g *Gateway) session(r *http.Request) *sessionState {
+	c, err := r.Cookie(SessionCookie)
+	if err != nil || c.Value == "" {
+		return nil
+	}
+	now := g.now()
+	cache, _ := r.Context().Value(connKey{}).(*connCache)
+	if cache != nil {
+		if e := cache.e.Load(); e != nil && e.token == c.Value {
+			if st := e.sess.state.Load(); st != nil && now.Before(st.expires) {
+				// Every warmSweepEvery-th warm hit pays one bounded sweep,
+				// so warm-only keep-alive traffic still reclaims expired
+				// logins (otherwise only logins and cold resolves would).
+				if g.warmHits.Add(1)%warmSweepEvery == 0 {
+					g.sweep(now)
+				}
+				return st
+			}
+			// Revoked or expired: drop the entry so the connection stops
+			// pinning the dead session record. CompareAndSwap so a
+			// concurrent refresh of the cache is not clobbered.
+			cache.e.CompareAndSwap(e, nil)
+		}
+	}
+	g.coldResolves.Add(1)
+	g.sweep(now)
+	v, ok := g.sessions.Load(c.Value)
+	if !ok {
+		return nil
+	}
+	s := v.(*session)
+	st := s.state.Load()
+	if st == nil {
+		return nil
+	}
+	if !now.Before(st.expires) {
+		g.dropSession(c.Value, s)
+		return nil
+	}
+	if cache != nil {
+		cache.e.Store(&connEntry{token: c.Value, sess: s})
+	}
+	return st
+}
+
+// viewer resolves the authenticated user name; "" means anonymous.
+func (g *Gateway) viewer(r *http.Request) string {
+	if st := g.session(r); st != nil {
+		return st.user.Name
+	}
+	return ""
+}
+
+// startSession mints a session for an authenticated user and sets the
+// cookie. The single login-time GetUser is the last user-map lookup the
+// session's requests will ever do.
+func (g *Gateway) startSession(w http.ResponseWriter, user string) error {
+	u, err := g.p.GetUser(user)
+	if err != nil {
+		return err
+	}
+	tok, err := newToken()
+	if err != nil {
+		return err
+	}
+	now := g.now()
+	st := &sessionState{user: u, expires: now.Add(g.ttl), rate: g.userRate(user)}
+	s := &session{}
+	s.state.Store(st)
+	g.sessions.Store(tok, s)
+	g.live.Add(1)
+
+	g.janMu.Lock()
+	g.expiry = append(g.expiry, expiryEntry{token: tok, expires: st.expires})
+	g.janMu.Unlock()
+	g.sweep(now)
+
+	http.SetCookie(w, &http.Cookie{
+		Name: SessionCookie, Value: tok, Path: "/",
+		HttpOnly: true, SameSite: http.SameSiteLaxMode,
+	})
+	g.p.Log.Appendf(audit.KindLogin, user, "session", "established")
+	return nil
+}
+
+// dropSession removes a record from the map and revokes its state so
+// connection caches holding the record observe the removal. The
+// janitor-queue entry stays behind as a tombstone until sweep compacts
+// it (deadQueued is the compaction trigger).
+func (g *Gateway) dropSession(token string, s *session) {
+	g.janMu.Lock()
+	if _, ok := g.sessions.LoadAndDelete(token); ok {
+		g.live.Add(-1)
+		g.deadQueued++
+	}
+	g.janMu.Unlock()
+	s.revoke()
+}
+
+// expiryEntry is one janitor queue slot. The TTL is uniform, so the
+// queue is appended in expiry order and only ever popped at the front.
+type expiryEntry struct {
+	token   string
+	expires time.Time
+}
+
+// sweepBatch bounds how many queue entries one sweep examines, so no
+// single request absorbs an unbounded backlog.
+const sweepBatch = 16
+
+// warmSweepEvery spaces the warm path's sweep triggers: one bounded
+// sweep per this many warm hits keeps expired-session reclamation
+// going under pure keep-alive traffic at ~0 amortized cost.
+const warmSweepEvery = 256
+
+// sweep pops up to sweepBatch expired sessions off the janitor queue,
+// then compacts it if logout tombstones dominate. Runs on logins, cold
+// resolutions, and every warmSweepEvery-th warm hit. When the queue
+// front has not expired and tombstones are few it costs one mutex and
+// two compares.
+func (g *Gateway) sweep(now time.Time) {
+	g.janMu.Lock()
+	defer g.janMu.Unlock()
+	for n := 0; n < sweepBatch && g.janHead < len(g.expiry); n++ {
+		e := g.expiry[g.janHead]
+		if now.Before(e.expires) {
+			break
+		}
+		g.janHead++
+		if v, ok := g.sessions.LoadAndDelete(e.token); ok {
+			// Logout already removed its own entry; only count sessions
+			// the janitor itself evicted.
+			g.live.Add(-1)
+			g.swept.Add(1)
+			v.(*session).revoke()
+		} else {
+			// The slot was a tombstone (dropped before its nominal
+			// expiry) and the pop just consumed it; keep the compaction
+			// trigger honest or stale counts fire spurious rebuilds.
+			g.deadQueued--
+		}
+	}
+	// Compact the consumed prefix once it dominates the queue.
+	if g.janHead > 64 && g.janHead*2 >= len(g.expiry) {
+		g.expiry = append(g.expiry[:0], g.expiry[g.janHead:]...)
+		g.janHead = 0
+	}
+	// Logout leaves its queue slot behind until the nominal expiry;
+	// under login/logout churn those tombstones would make the queue
+	// O(login rate × TTL) while the map is near-empty. Once tombstones
+	// dominate, rebuild the queue keeping only tokens still in the map —
+	// O(queue) at halving trigger points, so amortized O(1) per drop.
+	if d := g.deadQueued; d > 64 && 2*d >= len(g.expiry)-g.janHead {
+		kept := make([]expiryEntry, 0, (len(g.expiry)-g.janHead)/2)
+		for _, e := range g.expiry[g.janHead:] {
+			if _, ok := g.sessions.Load(e.token); ok {
+				kept = append(kept, e)
+			}
+		}
+		g.expiry = kept
+		g.janHead = 0
+		// The rebuild removed every tombstone, and drops serialize on
+		// janMu, so zero is exact here, not a heuristic reset.
+		g.deadQueued = 0
+	}
+}
+
+// userRate returns the user's shared rate-limiter handle (nil when rate
+// limiting is disabled). The bucket is per user, not per session, so
+// re-logging in cannot reset a drained budget; sessions cache the
+// handle so requests skip this map.
+func (g *Gateway) userRate(user string) *quota.Bucket {
+	if g.opts.RequestRate <= 0 || g.opts.RequestBurst <= 0 {
+		return nil
+	}
+	if v, ok := g.rates.Load(user); ok {
+		return v.(*quota.Bucket)
+	}
+	v, _ := g.rates.LoadOrStore(user, quota.NewBucket(g.opts.RequestBurst, g.opts.RequestRate))
+	return v.(*quota.Bucket)
+}
+
+// allowSession enforces the request budget for a resolved session (or
+// the shared anonymous bucket when st is nil).
+func (g *Gateway) allowSession(st *sessionState) bool {
+	b := g.anonRate
+	if st != nil {
+		b = st.rate
+	}
+	if b == nil {
+		return true
+	}
+	return b.Take(1)
+}

@@ -1,0 +1,403 @@
+package gateway
+
+// Session-cache lifecycle tests: the warm-path contract (no map-level
+// auth work on keep-alive requests), revocation visibility through
+// per-connection caches, janitor eviction of expired logins, response
+// equivalence between the cached and cold paths, and the whole
+// machinery under the race detector.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"w5/internal/core"
+)
+
+// tryLogin drives the login handler directly (no server) and returns
+// the session cookie.
+func tryLogin(g *Gateway, user, pass string) (*http.Cookie, error) {
+	form := url.Values{"user": {user}, "password": {pass}}
+	req := httptest.NewRequest("POST", "/login", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil, fmt.Errorf("login %s: status %d", user, rec.Code)
+	}
+	for _, c := range rec.Result().Cookies() {
+		if c.Name == SessionCookie {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("login %s: no session cookie", user)
+}
+
+func directLogin(t *testing.T, g *Gateway, user, pass string) *http.Cookie {
+	t.Helper()
+	c, err := tryLogin(g, user, pass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// whoami serves /whoami with the given connection context and cookie.
+func whoami(g *Gateway, ctx context.Context, cookie *http.Cookie) string {
+	req := httptest.NewRequest("GET", "/whoami", nil).WithContext(ctx)
+	req.AddCookie(cookie)
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, req)
+	return strings.TrimSpace(rec.Body.String())
+}
+
+// TestWarmSessionSkipsResolution pins the tentpole contract: after the
+// first request on a connection, keep-alive requests resolve their
+// session from the per-connection cache — zero session-map loads — and
+// allocate no more than the cold path that re-resolves every time.
+func TestWarmSessionSkipsResolution(t *testing.T) {
+	p := core.NewProvider(core.Config{Name: "warm", Enforce: true})
+	if _, err := p.CreateUser("bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	g := New(p, Options{})
+	cookie := directLogin(t, g, "bob", "pw")
+	warmCtx := g.ConnContext(context.Background(), nil)
+
+	// First request on the "connection" is the one allowed cold resolve.
+	if got := whoami(g, warmCtx, cookie); got != "bob" {
+		t.Fatalf("whoami = %q", got)
+	}
+	s0 := g.Stats()
+	const n = 64
+	for i := 0; i < n; i++ {
+		if got := whoami(g, warmCtx, cookie); got != "bob" {
+			t.Fatalf("warm whoami #%d = %q", i, got)
+		}
+	}
+	s1 := g.Stats()
+	if cold := s1.ColdResolves - s0.ColdResolves; cold != 0 {
+		t.Errorf("warm requests did %d session-map resolves, want 0", cold)
+	}
+	if hits := s1.WarmHits - s0.WarmHits; hits != n {
+		t.Errorf("warm hits = %d, want %d", hits, n)
+	}
+
+	// Allocation guard: the cached path must not allocate more than the
+	// per-request (cold) derivation it replaces.
+	warm := testing.AllocsPerRun(200, func() {
+		whoami(g, warmCtx, cookie)
+	})
+	cold := testing.AllocsPerRun(200, func() {
+		whoami(g, context.Background(), cookie)
+	})
+	if warm > cold {
+		t.Errorf("warm-session request allocates more than cold resolution: %.1f > %.1f allocs/op", warm, cold)
+	}
+}
+
+// TestLogoutRevokesConnCachedSession: revocation must be visible
+// through per-connection caches immediately — the atomic nil-state
+// store, not the map delete, is what they observe.
+func TestLogoutRevokesConnCachedSession(t *testing.T) {
+	p := core.NewProvider(core.Config{Name: "revoke", Enforce: true})
+	if _, err := p.CreateUser("bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	g := New(p, Options{})
+	cookie := directLogin(t, g, "bob", "pw")
+	warmCtx := g.ConnContext(context.Background(), nil)
+	if got := whoami(g, warmCtx, cookie); got != "bob" {
+		t.Fatalf("whoami = %q", got)
+	}
+
+	req := httptest.NewRequest("POST", "/logout", nil).WithContext(warmCtx)
+	req.AddCookie(cookie)
+	g.ServeHTTP(httptest.NewRecorder(), req)
+
+	if got := whoami(g, warmCtx, cookie); got != "(anonymous)" {
+		t.Errorf("conn-cached session survived logout: whoami = %q", got)
+	}
+	if live := g.Stats().LiveSessions; live != 0 {
+		t.Errorf("live sessions after logout = %d, want 0", live)
+	}
+}
+
+// TestJanitorEvictsExpiredSessions pins the unbounded-growth fix: under
+// login churn, expired sessions leave the map without ever being
+// presented again, and each sweep does bounded work.
+func TestJanitorEvictsExpiredSessions(t *testing.T) {
+	p := core.NewProvider(core.Config{Name: "janitor", Enforce: true})
+	if _, err := p.CreateUser("bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	g := New(p, Options{SessionTTL: time.Minute})
+	var nowNs atomic.Int64
+	nowNs.Store(time.Unix(1_000_000, 0).UnixNano())
+	g.SetClock(func() time.Time { return time.Unix(0, nowNs.Load()) })
+
+	const old = 100
+	for i := 0; i < old; i++ {
+		directLogin(t, g, "bob", "pw")
+	}
+	if live := g.Stats().LiveSessions; live != old {
+		t.Fatalf("live sessions = %d, want %d", live, old)
+	}
+
+	// All 100 expire; fresh logins amortize the sweep, <= sweepBatch
+	// evictions each.
+	nowNs.Add(int64(2 * time.Minute))
+	const churn = 7
+	for i := 0; i < churn; i++ {
+		directLogin(t, g, "bob", "pw")
+	}
+	st := g.Stats()
+	if st.LiveSessions != churn {
+		t.Errorf("live sessions after churn = %d, want %d (expired sessions not evicted)",
+			st.LiveSessions, churn)
+	}
+	if st.Swept != old {
+		t.Errorf("janitor swept %d sessions, want %d", st.Swept, old)
+	}
+}
+
+// TestWarmTrafficStillSweeps: expired sessions must be reclaimed even
+// when all traffic is warm keep-alive hits (no logins, no cold
+// resolves) — the warm path's periodic sweep trigger.
+func TestWarmTrafficStillSweeps(t *testing.T) {
+	p := core.NewProvider(core.Config{Name: "warmsweep", Enforce: true})
+	if _, err := p.CreateUser("bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	g := New(p, Options{SessionTTL: time.Minute})
+	var nowNs atomic.Int64
+	nowNs.Store(time.Unix(1_000_000, 0).UnixNano())
+	g.SetClock(func() time.Time { return time.Unix(0, nowNs.Load()) })
+
+	const old = 40
+	for i := 0; i < old; i++ {
+		directLogin(t, g, "bob", "pw")
+	}
+	nowNs.Add(int64(2 * time.Minute)) // all 40 expire
+	cookie := directLogin(t, g, "bob", "pw")
+	warmCtx := g.ConnContext(context.Background(), nil)
+	whoami(g, warmCtx, cookie) // prime the connection (one cold resolve)
+
+	// Pure warm traffic: enough hits for ceil(40/sweepBatch) periodic
+	// sweeps, with margin.
+	for i := 0; i < 4*warmSweepEvery; i++ {
+		if got := whoami(g, warmCtx, cookie); got != "bob" {
+			t.Fatalf("warm whoami = %q", got)
+		}
+	}
+	st := g.Stats()
+	if st.LiveSessions != 1 {
+		t.Errorf("live sessions under warm-only traffic = %d, want 1 (expired logins not reclaimed)",
+			st.LiveSessions)
+	}
+	if st.Swept < old-sweepBatch { // the priming login/resolve swept some too
+		t.Errorf("swept = %d, want >= %d", st.Swept, old-sweepBatch)
+	}
+}
+
+// TestLogoutTombstonesCompacted: under login/logout churn the janitor
+// queue must stay O(live sessions), not O(logins × TTL) — logged-out
+// sessions' queue slots are compacted long before their nominal expiry.
+func TestLogoutTombstonesCompacted(t *testing.T) {
+	p := core.NewProvider(core.Config{Name: "tombstone", Enforce: true})
+	if _, err := p.CreateUser("bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	g := New(p, Options{}) // default 24h TTL: nothing expires in-test
+	const churn = 300
+	maxQueued := 0
+	for i := 0; i < churn; i++ {
+		cookie := directLogin(t, g, "bob", "pw")
+		req := httptest.NewRequest("POST", "/logout", nil)
+		req.AddCookie(cookie)
+		g.ServeHTTP(httptest.NewRecorder(), req)
+		if q := g.Stats().QueuedExpiries; q > maxQueued {
+			maxQueued = q
+		}
+	}
+	st := g.Stats()
+	if st.LiveSessions != 0 {
+		t.Fatalf("live sessions = %d, want 0", st.LiveSessions)
+	}
+	// Compaction triggers once tombstones pass 64 and half the queue;
+	// the high-water mark must stay near that trigger line, far below
+	// the churn volume.
+	if maxQueued > 160 {
+		t.Errorf("janitor queue high-water mark = %d entries for %d login/logout cycles (tombstones not compacted)",
+			maxQueued, churn)
+	}
+	if st.QueuedExpiries > 160 {
+		t.Errorf("janitor queue after churn = %d entries, want compacted", st.QueuedExpiries)
+	}
+}
+
+// TestCachedSessionEquivalence: the cached-session HTTP path must
+// return byte-identical responses to (a) cold per-request resolution
+// and (b) the core-level derivation the gateway wraps.
+func TestCachedSessionEquivalence(t *testing.T) {
+	p := core.NewProvider(core.Config{Name: "equiv", Enforce: true})
+	p.InstallApp(profileApp{})
+	g := New(p, Options{FilterHTML: false})
+	srv := httptest.NewUnstartedServer(g)
+	srv.Config.ConnContext = g.ConnContext
+	srv.Start()
+	defer srv.Close()
+
+	jar, _ := cookiejar.New(nil)
+	warm := &testClient{t: t, c: &http.Client{Jar: jar}, server: srv}
+	signup(warm, "bob", "pw")
+	writeProfile(t, p, "bob", "<b>bob's equivalence data</b>")
+	warm.post("/grants/enable", url.Values{"app": {"profile"}})
+	// Cold client: same cookies, but a fresh connection per request, so
+	// every request takes the map-resolution path.
+	cold := &testClient{t: t, c: &http.Client{
+		Jar:       jar,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}, server: srv}
+
+	for _, path := range []string{"/app/profile/?owner=bob", "/whoami"} {
+		type resp struct {
+			code int
+			body string
+		}
+		var got []resp
+		for i := 0; i < 2; i++ { // second warm request is the cache hit
+			c, b := warm.get(path)
+			got = append(got, resp{c, b})
+		}
+		for i := 0; i < 2; i++ {
+			c, b := cold.get(path)
+			got = append(got, resp{c, b})
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] != got[0] {
+				t.Errorf("%s: response %d = %+v, want %+v (warm/cold divergence)",
+					path, i, got[i], got[0])
+			}
+		}
+		// The HTTP path must agree with the core derivation it fronts.
+		if strings.HasPrefix(path, "/app/") {
+			inv, err := p.Invoke("profile", core.AppRequest{
+				Viewer: "bob", Owner: "bob", Path: "/", Method: "GET",
+				Params: map[string]string{},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := p.ExportCheck(inv, "bob")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0].code != 200 || got[0].body != string(body) {
+				t.Errorf("HTTP response %+v != core derivation %q", got[0], body)
+			}
+		}
+	}
+
+	// Denials must be equivalent too: a stranger is refused on both
+	// paths, with no body leak on either.
+	stranger := warm.anon()
+	signup(stranger, "charlie", "pw")
+	code, body := stranger.get("/app/profile/?owner=bob")
+	inv, err := p.Invoke("profile", core.AppRequest{
+		Viewer: "charlie", Owner: "bob", Path: "/", Method: "GET",
+		Params: map[string]string{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ExportCheck(inv, "charlie"); err == nil {
+		t.Fatal("core derivation allowed stranger export")
+	}
+	if code != 403 || strings.Contains(body, "equivalence data") {
+		t.Errorf("stranger over HTTP = %d %q, want 403 with no data", code, body)
+	}
+}
+
+// TestConcurrentSessionLifecycle exercises login, warm and cold
+// requests, logout, expiry, and janitor sweeps from concurrent
+// goroutines — the protocol the race detector audits in CI.
+func TestConcurrentSessionLifecycle(t *testing.T) {
+	p := core.NewProvider(core.Config{Name: "race", Enforce: true})
+	const users = 4
+	for i := 0; i < users; i++ {
+		if _, err := p.CreateUser(fmt.Sprintf("u%d", i), "pw"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := New(p, Options{SessionTTL: 50 * time.Millisecond})
+	var nowNs atomic.Int64
+	nowNs.Store(time.Unix(1_000_000, 0).UnixNano())
+	g.SetClock(func() time.Time { return time.Unix(0, nowNs.Load()) })
+
+	// One context shared by all goroutines (an HTTP/2-style connection
+	// with concurrent streams) plus a private one per goroutine.
+	shared := g.ConnContext(context.Background(), nil)
+	errs := make(chan error, users)
+	var wg sync.WaitGroup
+	for w := 0; w < users; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			user := fmt.Sprintf("u%d", w)
+			own := g.ConnContext(context.Background(), nil)
+			for i := 0; i < 8; i++ {
+				cookie, err := tryLogin(g, user, "pw")
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := 0; j < 10; j++ {
+					ctx := own
+					if j%3 == 0 {
+						ctx = shared
+					}
+					got := whoami(g, ctx, cookie)
+					if got != user && got != "(anonymous)" {
+						errs <- fmt.Errorf("whoami as %s = %q", user, got)
+						return
+					}
+				}
+				switch i % 3 {
+				case 0: // explicit logout
+					req := httptest.NewRequest("POST", "/logout", nil).WithContext(own)
+					req.AddCookie(cookie)
+					g.ServeHTTP(httptest.NewRecorder(), req)
+				case 1: // let it expire; janitor reaps it later
+					nowNs.Add(int64(20 * time.Millisecond))
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < users; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Drain: everything expires, churn sweeps the map empty.
+	nowNs.Add(int64(time.Minute))
+	for i := 0; i < 16; i++ {
+		directLogin(t, g, "u0", "pw")
+	}
+	nowNs.Add(int64(time.Minute))
+	directLogin(t, g, "u0", "pw")
+	if live := g.Stats().LiveSessions; live > 17 {
+		t.Errorf("live sessions after drain = %d, want bounded by recent logins", live)
+	}
+}
