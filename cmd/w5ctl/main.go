@@ -11,6 +11,7 @@
 //	w5ctl declass friend-list
 //	w5ctl app social /profile owner=bob
 //	w5ctl post social /profile owner=bob body='hello world'
+//	w5ctl audit kind=export since=100
 //	w5ctl search photo
 //	w5ctl whoami
 package main
@@ -81,6 +82,22 @@ func main() {
 		} else {
 			fmt.Print(post(target, v, false))
 		}
+	case "audit":
+		// Inspect your slice of the provider's audit trail; the server
+		// reads transparently across its in-memory and spilled segments.
+		v := url.Values{}
+		for _, kv := range rest {
+			k, val, ok := strings.Cut(kv, "=")
+			if !ok || (k != "kind" && k != "since" && k != "limit") {
+				usage()
+			}
+			v.Set(k, val)
+		}
+		target := "/audit"
+		if enc := v.Encode(); enc != "" {
+			target += "?" + enc
+		}
+		fmt.Print(get(target))
 	case "search":
 		q := ""
 		if len(rest) > 0 {
@@ -110,6 +127,8 @@ commands:
                                (owner-only|public|friend-list|group|chameleon-friends)
   app  <app> <path> [k=v...]   GET an app route
   post <app> <path> [k=v...]   POST to an app route
+  audit [kind=K] [since=N] [limit=N]
+                               inspect your audit trail
   search [query]               code search`)
 	os.Exit(2)
 }

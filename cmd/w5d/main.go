@@ -5,6 +5,9 @@
 // Usage:
 //
 //	w5d [-addr :8055] [-name w5] [-peer name=secret ...]
+//	    [-audit-spill-dir /var/w5/audit] [-audit-ring-segments 64]
+//	    [-audit-retain-segments N] [-audit-retain-age 720h]
+//	    [-login-rate 1] [-login-burst 10]
 //
 // Then, with any HTTP client:
 //
@@ -14,14 +17,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"w5/internal/apps"
+	"w5/internal/audit"
 	"w5/internal/core"
 	"w5/internal/federation"
 	"w5/internal/gateway"
@@ -43,15 +51,63 @@ func main() {
 	addr := flag.String("addr", ":8055", "listen address")
 	name := flag.String("name", "w5", "provider name")
 	auditStderr := flag.Bool("audit", false, "mirror the audit log to stderr")
+	auditSpillDir := flag.String("audit-spill-dir", "",
+		"spill sealed audit segments to this directory (empty = in-memory only)")
+	auditSegment := flag.Int("audit-segment-events", 0,
+		"audit events per segment (0 = default, 1024)")
+	auditRing := flag.Int("audit-ring-segments", -1,
+		"sealed audit segments kept in memory (0 = unbounded; -1 = auto: 64 with a spill dir, else unbounded)")
+	auditRetainSegs := flag.Int("audit-retain-segments", 0,
+		"spilled audit segments kept on disk (0 = unlimited)")
+	auditRetainAge := flag.Duration("audit-retain-age", 0,
+		"maximum age of spilled audit segments (0 = unlimited)")
 	storeShards := flag.Int("store-shards", 0,
 		"labeled-store lock stripes (0 = default; 1 = single-lock baseline)")
 	sessionTTL := flag.Duration("session-ttl", 0,
 		"login lifetime (0 = gateway default, 24h)")
+	loginRate := flag.Float64("login-rate", 1,
+		"per-source login/signup attempts per second (0 = unlimited)")
+	loginBurst := flag.Float64("login-burst", 10,
+		"per-source login/signup attempt burst (0 = unlimited)")
 	peers := peerList{}
 	flag.Var(peers, "peer", "federation peer as name=secret (repeatable)")
 	flag.Parse()
 
-	p := core.NewProvider(core.Config{Name: *name, Enforce: true, StoreShards: *storeShards})
+	// Ring "auto": the trail must never be silently incomplete, so the
+	// ring is only bounded when evicted segments have somewhere to go.
+	// An explicit bound without a spill dir is honored but warned
+	// about — it is a deliberate trade of history for memory.
+	ring := *auditRing
+	if ring < 0 {
+		ring = 0
+		if *auditSpillDir != "" {
+			ring = 64
+		}
+	} else if ring > 0 && *auditSpillDir == "" {
+		segSize := *auditSegment
+		if segSize <= 0 {
+			segSize = audit.DefaultSegmentSize
+		}
+		log.Printf("warning: -audit-ring-segments %d without -audit-spill-dir: "+
+			"audit events beyond the newest ~%d will be dropped", ring, (ring+1)*segSize)
+	}
+
+	// Open the audit log explicitly so a misconfigured spill directory
+	// fails startup loudly instead of silently degrading to memory-only.
+	alog, err := audit.Open(audit.Options{
+		SegmentSize:    *auditSegment,
+		RingSegments:   ring,
+		SpillDir:       *auditSpillDir,
+		RetainSegments: *auditRetainSegs,
+		RetainAge:      *auditRetainAge,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	p := core.NewProvider(core.Config{
+		Name: *name, Enforce: true, StoreShards: *storeShards, AuditLog: alog,
+	})
 	if *auditStderr {
 		p.Log.SetSink(os.Stderr)
 	}
@@ -61,7 +117,12 @@ func main() {
 	} {
 		p.InstallApp(app)
 	}
-	gw := gateway.New(p, gateway.Options{FilterHTML: true, SessionTTL: *sessionTTL})
+	gw := gateway.New(p, gateway.Options{
+		FilterHTML: true,
+		SessionTTL: *sessionTTL,
+		LoginRate:  *loginRate,
+		LoginBurst: *loginBurst,
+	})
 	if len(peers) > 0 {
 		federation.MountExport(p, gw.Mux(), peers)
 		log.Printf("federation export enabled for peers: %s", peers)
@@ -71,7 +132,26 @@ func main() {
 	// ConnContext plants the gateway's per-connection session cache, so
 	// keep-alive requests skip cookie->session map resolution entirely.
 	srv := &http.Server{Addr: *addr, Handler: gw, ConnContext: gw.ConnContext}
-	if err := srv.ListenAndServe(); err != nil {
+
+	// The audit log's flush-on-exit must actually run: log.Fatal and
+	// unhandled signals both skip defers, so shutdown is explicit —
+	// on SIGINT/SIGTERM (or a listener error) seal and spill whatever
+	// is outstanding before the process goes away.
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		alog.Close()
 		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("%v: flushing audit log and shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+		if err := alog.Close(); err != nil {
+			log.Printf("audit close: %v", err)
+		}
 	}
 }

@@ -1,0 +1,69 @@
+package w5bench
+
+// The docs satellite of PR 4: every intra-repo markdown link must
+// resolve. Docs that point at moved or renamed files rot silently —
+// this test makes `go test ./...` (and therefore CI) the link checker.
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target); targets with spaces are not used in
+// this repo, which keeps the pattern honest about code spans.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestMarkdownIntraRepoLinksResolve(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found (test running outside the repo root?)")
+	}
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			link := m[1]
+			switch {
+			case strings.HasPrefix(link, "http://"),
+				strings.HasPrefix(link, "https://"),
+				strings.HasPrefix(link, "mailto:"):
+				continue // external: not this test's business
+			case strings.HasPrefix(link, "#"):
+				continue // same-file anchor
+			case strings.Trim(link, ".") == "":
+				continue // "[...](...)" prose, not a link
+			}
+			if i := strings.IndexByte(link, '#'); i >= 0 {
+				link = link[:i] // drop the fragment, check the file
+			}
+			target := filepath.Join(filepath.Dir(md), link)
+			if _, err := os.Stat(target); err != nil {
+				t.Errorf("%s: link (%s) does not resolve (%s)", md, m[1], target)
+			}
+		}
+	}
+}

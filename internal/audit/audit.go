@@ -8,12 +8,38 @@
 // immutable once appended; the log can be filtered for display (w5ctl
 // audit) and is consulted by the security experiments to verify that
 // denials happened for the right reason.
+//
+// # Segmented storage
+//
+// Audit volume grows with traffic, not with configuration, so retention
+// is an architectural feature of this package rather than an operator
+// hope. Events append into a fixed-size ACTIVE segment; a full segment
+// is SEALED into a bounded in-memory ring, and a background writer
+// SPILLS sealed segments to disk in a length-prefixed binary format
+// with a per-segment index (spill.go). Steady-state heap is therefore
+// O(ring × segment), not O(events ever appended). Sealed segments are
+// immutable, which is what makes the read side lock-cheap and the
+// spill crash-consistent (a segment file is written once, fsynced, and
+// atomically renamed into place — it is either fully there or absent).
+//
+// Queries (Events, Snapshot, Since, Filter, ByKind, ByActor,
+// CountKind) read transparently across the spilled segments, the ring,
+// and the active segment via one merged iterator (query.go); callers
+// never see the storage tiers.
+//
+// The zero configuration — audit.New() — keeps the historical
+// semantics: an unbounded in-memory log (segments are sealed but never
+// evicted), so small tools and tests need no setup and lose nothing.
+// Bounding the ring without a spill directory trades completeness for
+// memory: the oldest segments are dropped (and counted). Bounding the
+// ring WITH a spill directory is the production configuration.
 package audit
 
 import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -59,9 +85,10 @@ func (e Event) String() string {
 // record is the internal storage form of an event. Hot-path appends
 // (flow-allowed, export, spawn/exit — one or more per request) defer the
 // fmt.Sprintf of the detail string: format and args are stored raw and
-// rendered only when the event is actually read. Arguments must therefore
-// be immutable or by-value (labels, capability sets, strings, numbers) —
-// every call site in the platform passes exactly those.
+// rendered only when the event is actually read (a query, the sink, or
+// the background spiller). Arguments must therefore be immutable or
+// by-value (labels, capability sets, strings, numbers) — every call
+// site in the platform passes exactly those.
 type record struct {
 	seq     uint64
 	time    time.Time
@@ -81,25 +108,127 @@ func (r *record) event() Event {
 	return Event{Seq: r.seq, Time: r.time, Kind: r.kind, Actor: r.actor, Subject: r.subject, Detail: d}
 }
 
-// Log is a concurrency-safe append-only event log. The zero value is
-// ready to use. An optional Clock may be injected for deterministic
-// tests; it defaults to time.Now.
-type Log struct {
-	mu     sync.RWMutex
-	events []record
-	seq    uint64
-	clock  func() time.Time
-	sink   io.Writer // optional mirror for every event line
+// DefaultSegmentSize is the events-per-segment used when Options leaves
+// SegmentSize zero.
+const DefaultSegmentSize = 1024
+
+// Options configures a Log's segmented retention. The zero value is an
+// unbounded in-memory log — the historical audit.New() semantics.
+type Options struct {
+	// SegmentSize is the number of events per segment (0 =
+	// DefaultSegmentSize). Larger segments amortize sealing and produce
+	// fewer, bigger spill files.
+	SegmentSize int
+	// RingSegments bounds how many sealed segments stay in memory.
+	// 0 = unbounded: segments are never evicted (and, with a SpillDir,
+	// the disk copies exist purely for durability). With a bound, the
+	// steady-state heap is (RingSegments+1) × SegmentSize records; the
+	// oldest segment is evicted as each new one seals, and an evicted
+	// segment that was never spilled is DROPPED (counted in Stats).
+	RingSegments int
+	// SpillDir, when non-empty, enables the background writer: sealed
+	// segments are encoded to length-prefixed binary files (one per
+	// segment, atomically renamed into place) under this directory, and
+	// queries read evicted segments back from disk transparently.
+	// Opening a directory that already holds segment files resumes from
+	// them: their events are queryable and sequence numbers continue
+	// after the highest spilled sequence.
+	SpillDir string
+	// RetainSegments bounds how many spilled segment files are kept
+	// (0 = unlimited). The oldest files beyond the bound are deleted
+	// after each spill; their events are gone (counted in Stats).
+	RetainSegments int
+	// RetainAge bounds how long a spilled segment is kept, measured
+	// against the newest event time in the segment (0 = unlimited).
+	RetainAge time.Duration
 }
 
-// New returns an empty log.
-func New() *Log { return &Log{} }
+// Log is a concurrency-safe append-only event log. The zero value is
+// ready to use (as an unbounded in-memory log). An optional Clock may
+// be injected for deterministic tests; it defaults to time.Now.
+type Log struct {
+	mu      sync.RWMutex
+	opts    Options
+	segSize int
+	seq     uint64
+	active  []record   // < segSize records; seqs (seq-len(active), seq]
+	ring    []*segment // sealed segments, oldest first, contiguous
+	clock   func() time.Time
+	sink    io.Writer // optional mirror for every event line
+	sp      *spiller  // nil = no disk spill
+
+	sealedSegs uint64 // segments sealed over the log's lifetime (under mu)
+
+	// Updated by the spiller goroutine without holding mu (the append
+	// path holds mu while handing segments over, so the spiller taking
+	// mu would be a lock-order inversion).
+	dropped     atomic.Uint64 // events evicted from the ring before reaching disk
+	spilledSegs atomic.Uint64 // segments written to disk over the log's lifetime
+	spillErrors atomic.Uint64 // failed spill attempts (segment kept droppable)
+	retained    atomic.Uint64 // events deleted from disk by retention
+}
+
+// segment is one sealed, immutable run of records. base is the sequence
+// number of recs[0]; records within a segment are seq-contiguous.
+type segment struct {
+	base uint64
+	recs []record
+	// spillState is one of segSealed/segSpilling/segSpilled/segDropped;
+	// see spill.go. Only the spiller and the evictor touch it, via
+	// atomic CAS, so a segment racing eviction against an in-flight
+	// disk write resolves deterministically.
+	spillState atomic.Int32
+}
+
+func (s *segment) last() uint64 { return s.base + uint64(len(s.recs)) - 1 }
+
+// New returns an empty, unbounded in-memory log.
+func New() *Log {
+	l, _ := Open(Options{})
+	return l
+}
+
+// Open builds a log with the given retention options. It only returns
+// an error when a SpillDir cannot be created or its existing segment
+// files cannot be scanned; without a SpillDir it cannot fail.
+func Open(opts Options) (*Log, error) {
+	segSize := opts.SegmentSize
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	l := &Log{
+		opts:    opts,
+		segSize: segSize,
+		active:  make([]record, 0, segSize),
+	}
+	if opts.SpillDir != "" {
+		sp, maxSeq, err := newSpiller(l, opts)
+		if err != nil {
+			return nil, err
+		}
+		l.sp = sp
+		l.seq = maxSeq // resume numbering after the spilled history
+	}
+	return l, nil
+}
 
 // SetClock injects a time source; nil restores time.Now. For tests.
 func (l *Log) SetClock(clock func() time.Time) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.clock = clock
+}
+
+// now reads the clock outside the append path (the spiller's retention
+// check uses it; append reads the field under its own lock).
+func (l *Log) now() time.Time {
+	l.mu.RLock()
+	c := l.clock
+	l.mu.RUnlock()
+	if c == nil {
+		return time.Now()
+	}
+	return c()
 }
 
 // SetSink mirrors every appended event, rendered by Event.String plus a
@@ -117,8 +246,8 @@ func (l *Log) Append(kind Kind, actor, subject, detail string) uint64 {
 }
 
 // Appendf is Append with a formatted detail string. The formatting is
-// deferred until the event is read (Snapshot, Filter, the sink): the
-// mandatory per-request records (flow-allowed, export) thus cost an
+// deferred until the event is read (a query, the sink, the spiller):
+// the mandatory per-request records (flow-allowed, export) thus cost an
 // append, not a fmt.Sprintf. Arguments are retained; pass only immutable
 // values (labels, capability sets, strings, numbers).
 func (l *Log) Appendf(kind Kind, actor, subject, format string, args ...any) uint64 {
@@ -145,96 +274,147 @@ func (l *Log) append(r record) uint64 {
 		r.detail, r.format, r.args = e.Detail, "", nil
 		fmt.Fprintln(l.sink, e.String())
 	}
-	l.events = append(l.events, r)
+	l.active = append(l.active, r)
+	if len(l.active) >= l.segSize {
+		l.seal()
+	}
 	return r.seq
 }
 
-// Len reports the number of events recorded.
+// seal moves the active segment into the ring (and hands it to the
+// spiller), then evicts past the ring bound. Called with l.mu held.
+func (l *Log) seal() {
+	if len(l.active) == 0 {
+		return
+	}
+	seg := &segment{base: l.seq - uint64(len(l.active)) + 1, recs: l.active}
+	l.active = make([]record, 0, l.segSize)
+	l.ring = append(l.ring, seg)
+	l.sealedSegs++
+	if l.sp != nil {
+		l.sp.enqueue(seg)
+	}
+	if n := l.opts.RingSegments; n > 0 {
+		for len(l.ring) > n {
+			idx := 0
+			old := l.ring[0]
+			st := old.spillState.Load()
+			if st != segSpilled && !old.spillState.CompareAndSwap(segSealed, segDropped) {
+				// The head is mid-write (segSpilling): it stays in the
+				// ring until the write resolves, so queries never lose
+				// sight of events that are about to be durable — and a
+				// FAILED write returns it to the sealed state, still in
+				// the ring, where the next eviction counts it as dropped
+				// instead of losing it silently. The bound must hold
+				// even if that write STALLS (hung NFS, throttled disk),
+				// so overflow past the one-segment grace evicts the
+				// segment behind the head instead — necessarily
+				// unspilled, since the single writer is busy.
+				if len(l.ring) <= n+1 {
+					break // within the in-flight grace
+				}
+				idx, old = 1, l.ring[1]
+				if !old.spillState.CompareAndSwap(segSealed, segDropped) {
+					break // defensive; one writer => ring[1] is sealed
+				}
+				st = segSealed
+			}
+			// Copy down instead of re-slicing so the backing array does
+			// not pin evicted segments until the next growth.
+			l.ring = append(l.ring[:idx], l.ring[idx+1:]...)
+			if st != segSpilled {
+				// The writer never reached it (no spill configured, or
+				// the disk is behind): the CAS above claimed it as
+				// dropped, telling the spiller to skip it when dequeued.
+				l.dropped.Add(uint64(len(old.recs)))
+			}
+		}
+	}
+}
+
+// Rotate seals the partial active segment immediately, making its
+// events eligible for spill. Operational use (w5d shutdown, tests);
+// the data path never needs it.
+func (l *Log) Rotate() {
+	l.mu.Lock()
+	l.seal()
+	l.mu.Unlock()
+}
+
+// Flush blocks until every segment sealed so far has been written to
+// disk (or skipped as dropped). It is a no-op without a spill
+// directory. The active segment is not sealed; call Rotate first to
+// force partial data out.
+func (l *Log) Flush() {
+	l.mu.RLock()
+	sp := l.sp
+	l.mu.RUnlock()
+	if sp != nil {
+		sp.wait()
+	}
+}
+
+// Close seals and spills everything outstanding, stops the background
+// writer, and detaches the spill directory (subsequent appends keep
+// working, in memory only). Safe to call more than once.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	l.seal()
+	sp := l.sp
+	l.sp = nil
+	l.mu.Unlock()
+	if sp != nil {
+		sp.shutdown()
+	}
+	return nil
+}
+
+// Stats is a point-in-time summary of the log's storage tiers.
+type Stats struct {
+	Appended       uint64 // events ever appended (== the last sequence number)
+	ActiveEvents   int    // events in the not-yet-sealed active segment
+	RingSegments   int    // sealed segments currently in memory
+	RingEvents     int    // events across the in-memory ring
+	SealedSegments uint64 // segments sealed over the log's lifetime
+	SpilledSegs    uint64 // segments written to disk over the log's lifetime
+	DiskSegments   int    // segment files currently on disk
+	DiskEvents     int    // events across the current disk segments
+	DroppedEvents  uint64 // events evicted from the ring before reaching disk
+	RetainedOut    uint64 // events deleted from disk by retention
+	SpillErrors    uint64 // failed segment writes
+}
+
+// Stats snapshots the counters.
+func (l *Log) Stats() Stats {
+	l.mu.RLock()
+	st := Stats{
+		Appended:       l.seq,
+		ActiveEvents:   len(l.active),
+		RingSegments:   len(l.ring),
+		SealedSegments: l.sealedSegs,
+		SpilledSegs:    l.spilledSegs.Load(),
+		DroppedEvents:  l.dropped.Load(),
+		RetainedOut:    l.retained.Load(),
+		SpillErrors:    l.spillErrors.Load(),
+	}
+	for _, s := range l.ring {
+		st.RingEvents += len(s.recs)
+	}
+	sp := l.sp
+	l.mu.RUnlock()
+	if sp != nil {
+		for _, ds := range sp.diskSnapshot() {
+			st.DiskSegments++
+			st.DiskEvents += ds.count
+		}
+	}
+	return st
+}
+
+// Len reports the number of events ever recorded (the last sequence
+// number); retention and ring eviction do not shrink it.
 func (l *Log) Len() int {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	return len(l.events)
-}
-
-// Snapshot returns a copy of all events in sequence order.
-func (l *Log) Snapshot() []Event {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	out := make([]Event, len(l.events))
-	for i := range l.events {
-		out[i] = l.events[i].event()
-	}
-	return out
-}
-
-// Since returns a copy of all events with Seq > seq, for incremental
-// consumers (the federation log shipper uses this).
-func (l *Log) Since(seq uint64) []Event {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	// Seq i is stored at index i-1; binary search unnecessary.
-	start := int(seq)
-	if start > len(l.events) {
-		start = len(l.events)
-	}
-	out := make([]Event, len(l.events)-start)
-	for i := range out {
-		out[i] = l.events[start+i].event()
-	}
-	return out
-}
-
-// Filter returns the events for which keep returns true, in order.
-func (l *Log) Filter(keep func(Event) bool) []Event {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	var out []Event
-	for i := range l.events {
-		if e := l.events[i].event(); keep(e) {
-			out = append(out, e)
-		}
-	}
-	return out
-}
-
-// ByKind returns all events of the given kind, in order. The kind test
-// runs on the raw records, so only matching events pay lazy-detail
-// rendering — a kind query over a large hot-path log stays cheap.
-func (l *Log) ByKind(kind Kind) []Event {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	var out []Event
-	for i := range l.events {
-		if l.events[i].kind == kind {
-			out = append(out, l.events[i].event())
-		}
-	}
-	return out
-}
-
-// ByActor returns all events with the given actor, in order. Like
-// ByKind, non-matching records are skipped before rendering.
-func (l *Log) ByActor(actor string) []Event {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	var out []Event
-	for i := range l.events {
-		if l.events[i].actor == actor {
-			out = append(out, l.events[i].event())
-		}
-	}
-	return out
-}
-
-// CountKind reports how many events of the given kind were recorded.
-func (l *Log) CountKind(kind Kind) int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	n := 0
-	for i := range l.events {
-		if l.events[i].kind == kind {
-			n++
-		}
-	}
-	return n
+	return int(l.seq)
 }

@@ -54,6 +54,9 @@ func TestSince(t *testing.T) {
 	if len(l.Since(99)) != 0 {
 		t.Error("Since(beyond) not empty")
 	}
+	if len(l.Since(^uint64(0))) != 0 {
+		t.Error("Since(MaxUint64) must not wrap around to the start")
+	}
 	if len(l.Since(0)) != 10 {
 		t.Error("Since(0) should return everything")
 	}

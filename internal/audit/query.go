@@ -1,0 +1,186 @@
+package audit
+
+// Queries over the segmented log. Every public query funnels through
+// iterate, which merges the three storage tiers in sequence order:
+//
+//	spilled segment files  (oldest; only those already evicted from
+//	                        the ring, so nothing is yielded twice)
+//	the in-memory ring     (sealed, immutable segments)
+//	the active segment     (a stable prefix captured under the lock)
+//
+// Sealed segments are immutable and the active segment is append-only,
+// so a query holds the lock just long enough to capture slice headers;
+// the actual scanning — including any deferred detail rendering and all
+// disk reads — happens lock-free.
+
+// rawFilter pre-filters records before their detail string is rendered
+// (memory tier) or their event is yielded (disk tier): a kind or actor
+// query over a large hot-path log never pays lazy fmt.Sprintf for
+// non-matching events. Zero fields match everything.
+type rawFilter struct {
+	kind  Kind
+	actor string
+}
+
+func (f rawFilter) match(kind Kind, actor string) bool {
+	return (f.kind == "" || kind == f.kind) && (f.actor == "" || actor == f.actor)
+}
+
+// iterate yields every retained event with Seq >= from that passes f,
+// in ascending sequence order. Returns false if the consumer stopped
+// early. An unreadable spilled segment is skipped — the readable tiers
+// are still served — and reported as the (first) returned error, so a
+// damaged spill directory degrades queries instead of breaking them.
+func (l *Log) iterate(from uint64, f rawFilter, yield func(Event) bool) (bool, error) {
+	// Capture the memory tiers. Ring segments are immutable once
+	// sealed; the active slice's populated prefix is immutable (appends
+	// only grow it, and sealing swaps in a fresh array), so a
+	// full-slice-expression header is a stable snapshot.
+	l.mu.RLock()
+	ring := append([]*segment(nil), l.ring...)
+	act := l.active[:len(l.active):len(l.active)]
+	actBase := l.seq - uint64(len(act)) + 1
+	sp := l.sp
+	l.mu.RUnlock()
+
+	// memFirst is the lowest sequence number the memory tiers cover;
+	// every disk segment below it has been evicted (eviction is
+	// whole-segment and in order), every disk segment at or above it is
+	// still in the ring and must not be read twice.
+	memFirst := actBase
+	if len(ring) > 0 {
+		memFirst = ring[0].base
+	}
+	var firstErr error
+	if sp != nil {
+		for _, ds := range sp.diskSnapshot() {
+			if ds.base >= memFirst {
+				break
+			}
+			if ds.base+uint64(ds.count) <= from {
+				continue
+			}
+			more, err := readDiskSegment(ds, from, f, yield)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if !more {
+				return false, firstErr
+			}
+		}
+	}
+	for _, seg := range ring {
+		if seg.last() < from {
+			continue
+		}
+		if !scanRecords(seg.recs, from, f, yield) {
+			return false, firstErr
+		}
+	}
+	if len(act) > 0 && actBase+uint64(len(act)) > from {
+		if !scanRecords(act, from, f, yield) {
+			return false, firstErr
+		}
+	}
+	return true, firstErr
+}
+
+// scanRecords yields the matching events of one in-memory record run.
+func scanRecords(recs []record, from uint64, f rawFilter, yield func(Event) bool) bool {
+	for i := range recs {
+		r := &recs[i]
+		if r.seq < from || !f.match(r.kind, r.actor) {
+			continue
+		}
+		if !yield(r.event()) {
+			return false
+		}
+	}
+	return true
+}
+
+// Events streams every retained event with Seq >= from in sequence
+// order, merging spilled segments, the in-memory ring, and the active
+// segment transparently. Return false from yield to stop early. The
+// error reports an unreadable spilled segment; events already yielded
+// remain valid.
+func (l *Log) Events(from uint64, yield func(Event) bool) error {
+	_, err := l.iterate(from, rawFilter{}, yield)
+	return err
+}
+
+// EventsByKind is Events restricted to one kind. The filter is applied
+// below the rendering layer — in-memory records are tested before their
+// deferred fmt.Sprintf, disk records before their Event is built — so a
+// rare-kind query over a long history costs decoding, not rendering.
+func (l *Log) EventsByKind(kind Kind, from uint64, yield func(Event) bool) error {
+	_, err := l.iterate(from, rawFilter{kind: kind}, yield)
+	return err
+}
+
+// collect gathers matching events, ignoring disk errors: the unreadable
+// tail of a damaged spill directory degrades a diagnostic query, it
+// does not break it. Events exposes the error for callers who care.
+func (l *Log) collect(from uint64, f rawFilter) []Event {
+	var out []Event
+	l.iterate(from, f, func(e Event) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// Snapshot returns a copy of all retained events in sequence order.
+func (l *Log) Snapshot() []Event {
+	return l.collect(0, rawFilter{})
+}
+
+// Since returns all retained events with Seq > seq, for incremental
+// consumers (the federation log shipper uses this). A seq at or past
+// the top of the sequence space yields nothing (no wraparound).
+func (l *Log) Since(seq uint64) []Event {
+	from := seq + 1
+	if from == 0 {
+		return nil
+	}
+	return l.collect(from, rawFilter{})
+}
+
+// Filter returns the events for which keep returns true, in order.
+func (l *Log) Filter(keep func(Event) bool) []Event {
+	var out []Event
+	l.iterate(0, rawFilter{}, func(e Event) bool {
+		if keep(e) {
+			out = append(out, e)
+		}
+		return true
+	})
+	return out
+}
+
+// ByKind returns all retained events of the given kind, in order. The
+// kind test runs before detail rendering, so only matching events pay
+// the lazy fmt.Sprintf.
+func (l *Log) ByKind(kind Kind) []Event {
+	return l.collect(0, rawFilter{kind: kind})
+}
+
+// ByActor returns all retained events with the given actor, in order.
+// Like ByKind, non-matching records are skipped before rendering.
+func (l *Log) ByActor(actor string) []Event {
+	return l.collect(0, rawFilter{actor: actor})
+}
+
+// CountKind reports how many retained events of the given kind there
+// are.
+func (l *Log) CountKind(kind Kind) int {
+	n := 0
+	l.iterate(0, rawFilter{kind: kind}, func(Event) bool {
+		n++
+		return true
+	})
+	return n
+}

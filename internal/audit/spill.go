@@ -1,0 +1,545 @@
+package audit
+
+// On-disk spill: sealed segments are encoded to one file each in a
+// length-prefixed binary format with a per-segment offset index, by a
+// single background goroutine, so the append path never touches the
+// filesystem.
+//
+// # File format (version 1)
+//
+//	header (40 bytes):
+//	  [0:4)   magic "w5al"
+//	  [4:8)   format version (u32 le) = 1
+//	  [8:16)  base sequence number (u64 le)
+//	  [16:20) record count (u32 le)
+//	  [20:24) reserved (zero)
+//	  [24:32) first event time, unix nanos (i64 le)
+//	  [32:40) last event time, unix nanos (i64 le)
+//	records (count times, seq implicit = base + ordinal):
+//	  u32 le: payload length (bytes after this field)
+//	  i64 le: event time, unix nanos
+//	  u16 le + bytes: kind
+//	  u16 le + bytes: actor
+//	  u16 le + bytes: subject
+//	  u32 le + bytes: detail (rendered — lazy Sprintf is paid here,
+//	                  off the data path, at most once per event)
+//	index (count × u32 le): file offset of each record, so a query
+//	  starting mid-segment (Since, Events(from)) seeks straight to its
+//	  first record instead of skipping over the prefix
+//	footer (16 bytes): index offset (u64 le), count (u32 le),
+//	  magic "w5ix"
+//
+// # Crash consistency
+//
+// A segment is encoded into a temp file in the spill directory, fsynced,
+// and renamed to its final name ("seg-<base>.w5log", base zero-padded
+// decimal so lexical order is sequence order). Rename is atomic on
+// POSIX, so after a crash every segment file is either complete and
+// valid or still a *.tmp (ignored and deleted on reopen). Events in the
+// active segment and sealed-but-unspilled ring at crash time are lost —
+// the log trades them for a data path that never blocks on disk.
+// Reopening a spill directory resumes sequence numbering after the
+// highest spilled sequence, so surviving events keep unique seqs.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Segment spill states (segment.spillState).
+const (
+	segSealed   = int32(iota) // in the ring, not yet written
+	segSpilling               // the writer is encoding it now
+	segSpilled                // safely on disk
+	segDropped                // evicted before the writer reached it
+)
+
+const (
+	segMagic   = "w5al"
+	idxMagic   = "w5ix"
+	segVersion = 1
+	headerSize = 40
+	footerSize = 16
+	segPrefix  = "seg-"
+	segSuffix  = ".w5log"
+)
+
+// diskSeg is the in-memory metadata for one spilled segment file.
+type diskSeg struct {
+	path  string
+	base  uint64
+	count int
+	last  int64 // newest event time (unix nanos) — retention key
+}
+
+// spiller owns the spill directory: the work queue, the background
+// writer, and the metadata list of segments currently on disk.
+type spiller struct {
+	l   *Log
+	dir string
+
+	mu      sync.Mutex
+	queue   []*segment // sealed segments awaiting the writer
+	segs    []diskSeg  // on disk, ascending base
+	pending int        // sealed-not-yet-processed count (Flush waits on it)
+	done    *sync.Cond // signalled when pending reaches zero
+
+	notify chan struct{} // kicked on enqueue (capacity 1)
+	stop   chan struct{}
+	exited chan struct{}
+}
+
+// newSpiller creates the directory if needed, scans any existing
+// segment files (removing stale *.tmp leftovers), prunes them per the
+// retention options, starts the writer, and reports the highest
+// sequence number found so the log can resume numbering after it.
+func newSpiller(l *Log, opts Options) (*spiller, uint64, error) {
+	if err := os.MkdirAll(opts.SpillDir, 0o755); err != nil {
+		return nil, 0, fmt.Errorf("audit: spill dir: %w", err)
+	}
+	sp := &spiller{
+		l:      l,
+		dir:    opts.SpillDir,
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	sp.done = sync.NewCond(&sp.mu)
+	maxSeq, err := sp.load()
+	if err != nil {
+		return nil, 0, err
+	}
+	now := l.now()
+	sp.mu.Lock()
+	sp.prune(now)
+	sp.mu.Unlock()
+	go sp.run()
+	return sp, maxSeq, nil
+}
+
+// load scans the directory for valid segment files.
+func (sp *spiller) load() (uint64, error) {
+	entries, err := os.ReadDir(sp.dir)
+	if err != nil {
+		return 0, fmt.Errorf("audit: scanning spill dir: %w", err)
+	}
+	var maxSeq uint64
+	for _, ent := range entries {
+		name := ent.Name()
+		full := filepath.Join(sp.dir, name)
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(full) // interrupted spill; the rename never happened
+			continue
+		}
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		ds, err := readSegMeta(full)
+		if err != nil {
+			// A file that fails validation is not one of ours (or is
+			// damaged past use); leave it alone but do not index it.
+			continue
+		}
+		sp.segs = append(sp.segs, ds)
+		if last := ds.base + uint64(ds.count) - 1; last > maxSeq {
+			maxSeq = last
+		}
+	}
+	sort.Slice(sp.segs, func(i, j int) bool { return sp.segs[i].base < sp.segs[j].base })
+	return maxSeq, nil
+}
+
+// enqueue hands a freshly sealed segment to the writer. Called with
+// l.mu held; must never block (the audit contract: appending cannot
+// stall the data path, no matter how far behind the disk is).
+func (sp *spiller) enqueue(seg *segment) {
+	sp.mu.Lock()
+	if bound := sp.l.opts.RingSegments; bound > 0 && len(sp.queue) > bound {
+		// The writer is more than a full ring behind (a stalled disk):
+		// queueing more would pin ring-evicted segments' records in
+		// memory without bound — the exact failure this package
+		// removes. Leave the segment un-queued; it stays queryable in
+		// the ring and, if evicted before the disk recovers, is
+		// counted dropped like any other unspilled eviction.
+		sp.mu.Unlock()
+		return
+	}
+	sp.queue = append(sp.queue, seg)
+	sp.pending++
+	sp.mu.Unlock()
+	select {
+	case sp.notify <- struct{}{}:
+	default:
+	}
+}
+
+// dequeue pops the oldest queued segment, or nil.
+func (sp *spiller) dequeue() *segment {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if len(sp.queue) == 0 {
+		return nil
+	}
+	seg := sp.queue[0]
+	sp.queue = append(sp.queue[:0], sp.queue[1:]...)
+	return seg
+}
+
+// run is the background writer loop.
+func (sp *spiller) run() {
+	defer close(sp.exited)
+	for {
+		seg := sp.dequeue()
+		if seg == nil {
+			select {
+			case <-sp.notify:
+				continue
+			case <-sp.stop:
+				sp.drain()
+				return
+			}
+		}
+		sp.process(seg)
+	}
+}
+
+// drain spills whatever is still queued (shutdown path).
+func (sp *spiller) drain() {
+	for seg := sp.dequeue(); seg != nil; seg = sp.dequeue() {
+		sp.process(seg)
+	}
+}
+
+// process writes one segment (unless eviction already dropped it),
+// applies retention, and releases Flush waiters.
+func (sp *spiller) process(seg *segment) {
+	if seg.spillState.CompareAndSwap(segSealed, segSpilling) {
+		if err := sp.write(seg); err != nil {
+			// The segment stays evictable-as-dropped; the failure is
+			// counted, never propagated into the data path.
+			seg.spillState.Store(segSealed)
+			sp.l.spillErrors.Add(1)
+		} else {
+			seg.spillState.Store(segSpilled)
+			sp.l.spilledSegs.Add(1)
+		}
+	}
+	now := sp.l.now()
+	sp.mu.Lock()
+	sp.prune(now)
+	sp.pending--
+	if sp.pending == 0 {
+		sp.done.Broadcast()
+	}
+	sp.mu.Unlock()
+}
+
+// write encodes seg and renames it into place.
+func (sp *spiller) write(seg *segment) error {
+	buf := encodeSegment(seg)
+	f, err := os.CreateTemp(sp.dir, segPrefix+"*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	final := filepath.Join(sp.dir, fmt.Sprintf("%s%020d%s", segPrefix, seg.base, segSuffix))
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	var last int64
+	if n := len(seg.recs); n > 0 {
+		last = seg.recs[n-1].time.UnixNano()
+	}
+	sp.mu.Lock()
+	sp.segs = append(sp.segs, diskSeg{path: final, base: seg.base, count: len(seg.recs), last: last})
+	// Appends are in base order except across a reopen boundary, where
+	// a resumed log's first spill can interleave with nothing — keep
+	// the invariant explicit anyway.
+	sort.Slice(sp.segs, func(i, j int) bool { return sp.segs[i].base < sp.segs[j].base })
+	sp.mu.Unlock()
+	return nil
+}
+
+// prune applies the retention bounds, oldest segment first. Called with
+// sp.mu held.
+func (sp *spiller) prune(now time.Time) {
+	maxSegs := sp.l.opts.RetainSegments
+	maxAge := sp.l.opts.RetainAge
+	cut := 0
+	for i, ds := range sp.segs {
+		over := maxSegs > 0 && len(sp.segs)-i > maxSegs
+		old := maxAge > 0 && now.Sub(time.Unix(0, ds.last)) > maxAge
+		if !over && !old {
+			break // segs are in base order; newer segments are newer data
+		}
+		cut = i + 1
+	}
+	if cut == 0 {
+		return
+	}
+	var gone uint64
+	for _, ds := range sp.segs[:cut] {
+		os.Remove(ds.path)
+		gone += uint64(ds.count)
+	}
+	sp.segs = append(sp.segs[:0], sp.segs[cut:]...)
+	sp.l.retained.Add(gone)
+}
+
+// wait blocks until the writer has processed everything sealed so far.
+func (sp *spiller) wait() {
+	sp.mu.Lock()
+	for sp.pending > 0 {
+		sp.done.Wait()
+	}
+	sp.mu.Unlock()
+}
+
+// shutdown stops the writer after draining the queue.
+func (sp *spiller) shutdown() {
+	close(sp.stop)
+	<-sp.exited
+	// run() exits only after drain(), but a segment handed to process()
+	// just before stop may still be mid-flight — wait() covers it.
+	sp.wait()
+}
+
+// diskSnapshot copies the current on-disk metadata (for queries/Stats).
+func (sp *spiller) diskSnapshot() []diskSeg {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return append([]diskSeg(nil), sp.segs...)
+}
+
+// --- encoding ---
+
+func appendU16Str(buf []byte, s string) []byte {
+	if len(s) > 0xffff {
+		s = s[:0xffff] // kinds/actors/subjects are short by construction
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// encodeSegment renders every record (paying any deferred Sprintf here,
+// in the background) and produces the full file image.
+func encodeSegment(seg *segment) []byte {
+	n := len(seg.recs)
+	// Rough size guess: header + 64 bytes/record + index + footer.
+	buf := make([]byte, headerSize, headerSize+n*64+n*4+footerSize)
+	offsets := make([]uint32, n)
+	for i := range seg.recs {
+		e := seg.recs[i].event()
+		offsets[i] = uint32(len(buf))
+		lenAt := len(buf)
+		buf = binary.LittleEndian.AppendUint32(buf, 0) // payload length, patched below
+		start := len(buf)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Time.UnixNano()))
+		buf = appendU16Str(buf, string(e.Kind))
+		buf = appendU16Str(buf, e.Actor)
+		buf = appendU16Str(buf, e.Subject)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Detail)))
+		buf = append(buf, e.Detail...)
+		binary.LittleEndian.PutUint32(buf[lenAt:], uint32(len(buf)-start))
+	}
+	idxOff := uint64(len(buf))
+	for _, off := range offsets {
+		buf = binary.LittleEndian.AppendUint32(buf, off)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, idxOff)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	buf = append(buf, idxMagic...)
+
+	copy(buf[0:4], segMagic)
+	binary.LittleEndian.PutUint32(buf[4:8], segVersion)
+	binary.LittleEndian.PutUint64(buf[8:16], seg.base)
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(n))
+	var first, last int64
+	if n > 0 {
+		first = seg.recs[0].time.UnixNano()
+		last = seg.recs[n-1].time.UnixNano()
+	}
+	binary.LittleEndian.PutUint64(buf[24:32], uint64(first))
+	binary.LittleEndian.PutUint64(buf[32:40], uint64(last))
+	return buf
+}
+
+var errBadSegment = errors.New("audit: segment file failed validation")
+
+// validateSegImage checks the structural invariants of a segment image.
+func validateSegImage(buf []byte) (base uint64, count int, idxOff uint64, err error) {
+	if len(buf) < headerSize+footerSize ||
+		string(buf[0:4]) != segMagic ||
+		binary.LittleEndian.Uint32(buf[4:8]) != segVersion ||
+		string(buf[len(buf)-4:]) != idxMagic {
+		return 0, 0, 0, errBadSegment
+	}
+	base = binary.LittleEndian.Uint64(buf[8:16])
+	count = int(binary.LittleEndian.Uint32(buf[16:20]))
+	foot := buf[len(buf)-footerSize:]
+	idxOff = binary.LittleEndian.Uint64(foot[0:8])
+	if int(binary.LittleEndian.Uint32(foot[8:12])) != count ||
+		idxOff < headerSize || idxOff+uint64(count)*4+footerSize != uint64(len(buf)) {
+		return 0, 0, 0, errBadSegment
+	}
+	return base, count, idxOff, nil
+}
+
+// readSegMeta validates a file's framing and extracts its metadata
+// (reopen path). It reads only the fixed header and footer — reopening
+// a directory of spilled history costs O(files), not O(bytes);
+// record-level validation happens lazily when a query reads the
+// segment (readDiskSegment).
+func readSegMeta(path string) (diskSeg, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return diskSeg{}, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return diskSeg{}, err
+	}
+	size := fi.Size()
+	if size < headerSize+footerSize {
+		return diskSeg{}, errBadSegment
+	}
+	var hdr [headerSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return diskSeg{}, err
+	}
+	var foot [footerSize]byte
+	if _, err := f.ReadAt(foot[:], size-footerSize); err != nil {
+		return diskSeg{}, err
+	}
+	if string(hdr[0:4]) != segMagic ||
+		binary.LittleEndian.Uint32(hdr[4:8]) != segVersion ||
+		string(foot[12:16]) != idxMagic {
+		return diskSeg{}, errBadSegment
+	}
+	base := binary.LittleEndian.Uint64(hdr[8:16])
+	count := int(binary.LittleEndian.Uint32(hdr[16:20]))
+	idxOff := binary.LittleEndian.Uint64(foot[0:8])
+	if int(binary.LittleEndian.Uint32(foot[8:12])) != count ||
+		idxOff < headerSize || idxOff+uint64(count)*4+footerSize != uint64(size) {
+		return diskSeg{}, errBadSegment
+	}
+	return diskSeg{
+		path:  path,
+		base:  base,
+		count: count,
+		last:  int64(binary.LittleEndian.Uint64(hdr[32:40])),
+	}, nil
+}
+
+// readDiskSegment streams the events of one spilled segment, starting
+// at sequence number from (using the per-segment index to skip the
+// prefix), through the yield of iterate (query.go). A file deleted by
+// retention between snapshot and read is treated as empty. Returns
+// false when the consumer stopped the iteration.
+func readDiskSegment(ds diskSeg, from uint64, f rawFilter, yield func(Event) bool) (bool, error) {
+	buf, err := os.ReadFile(ds.path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return true, nil
+		}
+		return false, err
+	}
+	base, count, idxOff, err := validateSegImage(buf)
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", ds.path, err)
+	}
+	start := 0
+	if from > base {
+		start = int(from - base)
+		if start >= count {
+			return true, nil
+		}
+	}
+	// The index maps ordinal -> record offset: one seek instead of
+	// skipping start length-prefixed records.
+	idx := buf[idxOff : idxOff+uint64(count)*4]
+	off := int(binary.LittleEndian.Uint32(idx[start*4:]))
+	for i := start; i < count; i++ {
+		if off+4 > len(buf) {
+			return false, fmt.Errorf("%s: %w", ds.path, errBadSegment)
+		}
+		plen := int(binary.LittleEndian.Uint32(buf[off:]))
+		body := off + 4
+		if body+plen > int(idxOff) {
+			return false, fmt.Errorf("%s: %w", ds.path, errBadSegment)
+		}
+		e, err := decodeRecord(buf[body:body+plen], base+uint64(i))
+		if err != nil {
+			return false, fmt.Errorf("%s: %w", ds.path, err)
+		}
+		off = body + plen
+		if !f.match(e.Kind, e.Actor) {
+			continue
+		}
+		if !yield(e) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// decodeRecord decodes one record payload (everything after its length
+// prefix).
+func decodeRecord(b []byte, seq uint64) (Event, error) {
+	var e Event
+	e.Seq = seq
+	if len(b) < 8 {
+		return e, errBadSegment
+	}
+	e.Time = time.Unix(0, int64(binary.LittleEndian.Uint64(b)))
+	b = b[8:]
+	str16 := func() (string, bool) {
+		if len(b) < 2 {
+			return "", false
+		}
+		n := int(binary.LittleEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < n {
+			return "", false
+		}
+		s := string(b[:n])
+		b = b[n:]
+		return s, true
+	}
+	kind, ok1 := str16()
+	actor, ok2 := str16()
+	subject, ok3 := str16()
+	if !ok1 || !ok2 || !ok3 || len(b) < 4 {
+		return e, errBadSegment
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if len(b) < n {
+		return e, errBadSegment
+	}
+	e.Kind, e.Actor, e.Subject, e.Detail = Kind(kind), actor, subject, string(b[:n])
+	return e, nil
+}

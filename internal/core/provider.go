@@ -86,6 +86,17 @@ type Config struct {
 	// (0 = store default). 1 selects the historical single-lock store;
 	// benchmarks use it as the contention baseline.
 	StoreShards int
+	// Audit configures the audit log's segmented retention (segment
+	// size, in-memory ring depth, spill directory, retention). The zero
+	// value is the historical unbounded in-memory log. Ignored when
+	// AuditLog is set.
+	Audit audit.Options
+	// AuditLog injects a pre-built audit log. cmd/w5d uses it so a spill
+	// directory that cannot be opened fails startup loudly; when nil,
+	// NewProvider opens one from Audit (degrading to memory-only — with
+	// an audit event recording the degradation — if the spill directory
+	// is unusable, since NewProvider cannot return an error).
+	AuditLog *audit.Log
 }
 
 // Provider is one W5 deployment.
@@ -145,7 +156,18 @@ func NewProvider(cfg Config) *Provider {
 	if cfg.Name == "" {
 		cfg.Name = "w5"
 	}
-	log := audit.New()
+	log := cfg.AuditLog
+	if log == nil {
+		var err error
+		log, err = audit.Open(cfg.Audit)
+		if err != nil {
+			o := cfg.Audit
+			o.SpillDir = ""
+			log, _ = audit.Open(o) // memory-only cannot fail
+			log.Appendf(audit.KindPolicyChange, "provider", "audit",
+				"spill disabled: %v", err)
+		}
+	}
 	limits := cfg.AppLimits
 	if limits == (quota.Limits{}) {
 		limits = quota.DefaultAppLimits()
@@ -194,7 +216,7 @@ func providerCred() store.Cred {
 //	/home/<u>/public   empty secrecy: what u has published
 //	/home/<u>/social   secrecy {s_u}: friend lists, profile
 func (p *Provider) CreateUser(name, password string) (*User, error) {
-	if name == "" || len(name) > 64 {
+	if !userNameOK(name) {
 		return nil, fmt.Errorf("w5: bad user name %q", name)
 	}
 	salt := make([]byte, 16)
@@ -250,6 +272,37 @@ func (p *Provider) CreateUser(name, password string) (*User, error) {
 	}
 	p.Log.Appendf(audit.KindLogin, name, "account", "created with tags %s %s", sTag, wTag)
 	return u, nil
+}
+
+// reservedNames are system actors that appear in the audit trail (and
+// in federation peer/provider identities); an account with one of
+// these names could impersonate them to the gateway's per-user audit
+// view.
+var reservedNames = map[string]bool{
+	"provider": true, "gateway": true, "kernel": true, "audit": true,
+}
+
+// userNameOK restricts account names to [a-zA-Z0-9_-], 1..64 bytes,
+// excluding reserved system actors. The charset matters for security,
+// not taste: ':' would let a name collide with the platform's
+// namespaced principals ("user:bob", "app:social", "viewer:bob",
+// "peer:x") and '/' would let it embed path structure under /home/ —
+// both of which would fool string-matched audit filtering
+// (gateway.auditConcerns) into showing one user another's events.
+func userNameOK(name string) bool {
+	if name == "" || len(name) > 64 || reservedNames[name] {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z',
+			'0' <= c && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func hashPassword(salt []byte, password string) []byte {

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,13 @@ type Options struct {
 	// disables rate limiting.
 	RequestRate  float64
 	RequestBurst float64
+	// LoginRate and LoginBurst bound per-SOURCE login/signup attempts
+	// (tokens/sec and bucket size); zero disables the limiter. Each
+	// attempt costs ~0.5 ms of password stretching before it can fail,
+	// so without this bound a login flood is a CPU DoS (see
+	// loginlimit.go); cmd/w5d enables it by default.
+	LoginRate  float64
+	LoginBurst float64
 	// SessionTTL bounds how long a login lasts (0 = DefaultSessionTTL).
 	SessionTTL time.Duration
 }
@@ -84,6 +92,10 @@ type Gateway struct {
 	// rates maps user -> *quota.Bucket; sessions cache the handle.
 	rates    sync.Map
 	anonRate *quota.Bucket
+	// loginLimit meters login/signup attempts per source address
+	// (loginlimit.go); nil = disabled.
+	loginLimit     *loginLimiter
+	loginThrottled atomic.Uint64
 
 	// janitor queue (session.go): FIFO of (token, expiry).
 	janMu   sync.Mutex
@@ -118,10 +130,14 @@ func New(p *core.Provider, opts Options) *Gateway {
 	if opts.RequestRate > 0 && opts.RequestBurst > 0 {
 		g.anonRate = quota.NewBucket(opts.RequestBurst, opts.RequestRate)
 	}
+	if opts.LoginRate > 0 && opts.LoginBurst > 0 {
+		g.loginLimit = newLoginLimiter(opts.LoginRate, opts.LoginBurst)
+	}
 	g.mux.HandleFunc("/signup", g.handleSignup)
 	g.mux.HandleFunc("/login", g.handleLogin)
 	g.mux.HandleFunc("/logout", g.handleLogout)
 	g.mux.HandleFunc("/whoami", g.handleWhoami)
+	g.mux.HandleFunc("/audit", g.handleAudit)
 	g.mux.HandleFunc("/app/", g.handleApp)
 	g.mux.HandleFunc("/grants/enable", g.handleEnable)
 	g.mux.HandleFunc("/grants/write", g.handleWriteGrant)
@@ -150,6 +166,10 @@ func (g *Gateway) handleSignup(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	if !g.allowLogin(r.RemoteAddr) {
+		http.Error(w, "too many attempts", http.StatusTooManyRequests)
+		return
+	}
 	user, pass := r.FormValue("user"), r.FormValue("password")
 	if user == "" || pass == "" {
 		http.Error(w, "user and password required", http.StatusBadRequest)
@@ -173,6 +193,12 @@ func (g *Gateway) handleSignup(w http.ResponseWriter, r *http.Request) {
 func (g *Gateway) handleLogin(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	// Charge the attempt BEFORE the KDF: refusing must stay ~free while
+	// the work being defended costs ~0.5 ms.
+	if !g.allowLogin(r.RemoteAddr) {
+		http.Error(w, "too many attempts", http.StatusTooManyRequests)
 		return
 	}
 	user, pass := r.FormValue("user"), r.FormValue("password")
@@ -206,6 +232,90 @@ func (g *Gateway) handleWhoami(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, v)
+}
+
+// handleAudit is the log-inspection endpoint behind `w5ctl audit`: the
+// provider's trusted audit trail, filtered to the events that concern
+// the authenticated viewer (their actions, their data, their grants).
+// The query reads transparently across the audit log's storage tiers —
+// active segment, in-memory ring, and on-disk spill — via the merged
+// iterator; this handler neither knows nor cares where an event lives.
+// Parameters: kind=<event kind>, since=<seq> (exclusive), limit=<n>.
+func (g *Gateway) handleAudit(w http.ResponseWriter, r *http.Request) {
+	st := g.session(r)
+	if st == nil {
+		http.Error(w, "login required", http.StatusUnauthorized)
+		return
+	}
+	// A no-since query walks history back to the oldest retained
+	// segment — disk reads included — so it spends the same per-user
+	// request budget as the app data path.
+	if !g.allowSession(st) {
+		http.Error(w, "rate limited", http.StatusTooManyRequests)
+		return
+	}
+	user := st.user.Name
+	kind := audit.Kind(r.FormValue("kind"))
+	var since uint64
+	if v := r.FormValue("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	limit := 100
+	if v := r.FormValue("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 || n > 10000 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	from := since + 1
+	if from == 0 {
+		return // since == MaxUint64: nothing can follow it
+	}
+	n := 0
+	show := func(e audit.Event) bool {
+		if !auditConcerns(e, user) {
+			return true
+		}
+		fmt.Fprintln(w, e.String())
+		n++
+		return n < limit
+	}
+	var err error
+	if kind != "" {
+		// Filtered below the rendering layer: non-matching events cost
+		// no deferred Sprintf on any tier.
+		err = g.p.Log.EventsByKind(kind, from, show)
+	} else {
+		err = g.p.Log.Events(from, show)
+	}
+	if err != nil {
+		// Partial output may already be on the wire, so the status
+		// cannot change; an audit trail must never LOOK complete when
+		// it is not, so say what is missing.
+		fmt.Fprintf(w, "! warning: part of the spilled history was unreadable: %v\n", err)
+	}
+}
+
+// auditConcerns reports whether the viewer may see an event: the trail
+// each user inspects is their own slice of the platform's history, not
+// a cross-user surveillance feed. Actor and subject strings follow the
+// platform's conventions (bare user name, "user:<name>" credential
+// principals, "viewer:<name>" export destinations, home-tree paths).
+// The string matching is sound only because core.CreateUser rejects
+// names containing ':' or '/' and the reserved system actors
+// ("provider", "gateway", ...) — an account named "gateway" would
+// otherwise read every sanitizer event verbatim.
+func auditConcerns(e audit.Event, user string) bool {
+	return e.Actor == user || e.Subject == user ||
+		e.Actor == "user:"+user || e.Subject == "viewer:"+user ||
+		strings.HasPrefix(e.Subject, "/home/"+user+"/")
 }
 
 // handleApp is the perimeter's data path: /app/<name>/<subpath>.

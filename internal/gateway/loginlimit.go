@@ -1,0 +1,83 @@
+package gateway
+
+// Per-source login rate limiting.
+//
+// Authenticating a login costs a deliberate ~0.5 ms of password
+// stretching (core.hashPassword): fine for humans, but an attacker who
+// POSTs /login in a loop rents the provider's CPU at no cost to
+// themselves — a KDF-amplified DoS the ROADMAP flagged. The limiter
+// charges each login/signup ATTEMPT (before any hashing) against a
+// token bucket chosen by the request's source address.
+//
+// The source address is attacker-controlled, so the bucket table must
+// not grow with it: a fixed power-of-two array of buckets indexed by an
+// FNV-1a hash of the source host gives O(1) memory forever. Collisions
+// make the limit slightly conservative (two hosts sharing a bucket
+// share a budget) and are harmless at the default table size: the
+// table exists to stop tight loops from one source, not to meter
+// well-behaved users, who consume a token a day.
+
+import (
+	"net"
+
+	"w5/internal/quota"
+)
+
+// loginBuckets is the fixed bucket-table size (power of two).
+const loginBuckets = 1024
+
+// globalLoginFactor scales the aggregate budget shared by ALL sources.
+// Per-source buckets stop single-source loops, but an attacker who
+// rotates source addresses (one IPv6 /64 is plenty) touches a fresh
+// bucket each time; the global bucket bounds the total KDF spend no
+// matter how many sources participate: 64 × the per-source rate at
+// the w5d defaults admits ≤64 hashes/sec ≈ 3% of one core.
+const globalLoginFactor = 64
+
+// loginLimiter is the fixed-memory per-source attempt limiter.
+type loginLimiter struct {
+	buckets [loginBuckets]*quota.Bucket
+	global  *quota.Bucket
+}
+
+func newLoginLimiter(rate, burst float64) *loginLimiter {
+	ll := &loginLimiter{
+		global: quota.NewBucket(burst*globalLoginFactor, rate*globalLoginFactor),
+	}
+	for i := range ll.buckets {
+		ll.buckets[i] = quota.NewBucket(burst, rate)
+	}
+	return ll
+}
+
+// allow charges one attempt from remoteAddr's bucket.
+func (ll *loginLimiter) allow(remoteAddr string) bool {
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		host = remoteAddr
+	}
+	// Inline FNV-1a over the host string: no allocation on a path whose
+	// whole point is refusing work cheaply.
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(host); i++ {
+		h ^= uint32(host[i])
+		h *= prime32
+	}
+	// Per-source first, so a single-source loop drains its own bucket
+	// and never touches the shared budget well-behaved sources use.
+	return ll.buckets[h&(loginBuckets-1)].Take(1) && ll.global.Take(1)
+}
+
+// allowLogin gates the KDF-bound handlers (login, signup). Returns true
+// when no limiter is configured or the source still has budget.
+func (g *Gateway) allowLogin(remoteAddr string) bool {
+	if g.loginLimit == nil {
+		return true
+	}
+	if g.loginLimit.allow(remoteAddr) {
+		return true
+	}
+	g.loginThrottled.Add(1)
+	return false
+}

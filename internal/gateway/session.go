@@ -116,6 +116,9 @@ type Stats struct {
 	// QueuedExpiries is the janitor queue's current length (live
 	// sessions + not-yet-compacted tombstones).
 	QueuedExpiries int
+	// LoginThrottled counts login/signup attempts refused by the
+	// per-source limiter (loginlimit.go) before any password hashing.
+	LoginThrottled uint64
 }
 
 // Stats snapshots the counters.
@@ -129,6 +132,7 @@ func (g *Gateway) Stats() Stats {
 		ColdResolves:   g.coldResolves.Load(),
 		Swept:          g.swept.Load(),
 		QueuedExpiries: queued,
+		LoginThrottled: g.loginThrottled.Load(),
 	}
 }
 
