@@ -81,6 +81,59 @@ func BenchmarkAblation_TableIndex(b *testing.B) {
 	}
 }
 
+// BenchmarkAblation_LabeledTableOverhead measures the full cost of
+// label enforcement on an indexed point query at the E7 scale point:
+// the same 10k-row table and query against the labeled store (100
+// per-owner secrecy labels, visibility cached per interned label) and
+// the naive comparator (no labels checked at all). The PR 5 acceptance
+// line is labeled within ~2x of naive.
+func BenchmarkAblation_LabeledTableOverhead(b *testing.B) {
+	build := func(naive bool) (*table.Store, []table.Cred) {
+		s := table.New(table.Options{Naive: naive})
+		if err := s.Create(table.Schema{
+			Name:    "t",
+			Columns: []string{"owner", "v"},
+			Index:   []string{"owner"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		creds := make([]table.Cred, 100)
+		for i := range creds {
+			creds[i] = table.Cred{
+				Caps:      difc.CapsFor(difc.Tag(i + 1)),
+				Principal: fmt.Sprintf("u%04d", i),
+			}
+		}
+		for i := 0; i < 10_000; i++ {
+			c := creds[i%100]
+			if _, err := s.Insert(c, "t", map[string]string{
+				"owner": c.Principal, "v": "x",
+			}, difc.LabelPair{Secrecy: difc.NewLabel(difc.Tag(i%100 + 1))}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return s, creds
+	}
+	for _, naive := range []bool{false, true} {
+		name := "labeled"
+		if naive {
+			name = "naive"
+		}
+		b.Run(name, func(b *testing.B) {
+			s, creds := build(naive)
+			cred := creds[42]
+			pred := table.Cmp{Col: "owner", Op: table.Eq, Val: cred.Principal}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rows, _, err := s.Select(cred, "t", pred)
+				if err != nil || len(rows) != 100 {
+					b.Fatalf("rows=%d err=%v", len(rows), err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblation_LabelRepresentation compares the sorted-slice Label
 // against a map[Tag]struct{} set for the union-and-subset pattern the
 // kernel executes per flow check, at the 2-tag size real labels have.

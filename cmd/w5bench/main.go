@@ -9,10 +9,11 @@
 //	w5bench -requestpath BENCH_requestpath.json
 //	                                         # measure the invoke→export
 //	                                         # hot path, the store hot
-//	                                         # path, and the HTTP-level
+//	                                         # path, the HTTP-level
 //	                                         # gateway request path, and
-//	                                         # write a JSON record for
-//	                                         # trend tracking
+//	                                         # the labeled tuple store,
+//	                                         # and write a JSON record
+//	                                         # for trend tracking
 //	w5bench -requestpath /tmp/new.json -compare BENCH_requestpath.json
 //	                                         # the CI regression gate:
 //	                                         # measure, then fail (exit 1)

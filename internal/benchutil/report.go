@@ -517,8 +517,10 @@ func measureGatewayParallel(p *core.Provider, goroutines int) (Result, error) {
 
 // MeasureRequestPath runs the full request-path suite — invoke→export
 // at two population scales, the raw store hot path, parallel store
-// reads, the HTTP-level gateway request path, and the audit append
-// path (inline + 1M-event sustained spill) — and assembles the Report.
+// reads, the HTTP-level gateway request path, the audit append path
+// (inline + 1M-event sustained spill), and the labeled tuple store
+// (scan, indexed point query, unique-indexed insert, per-table
+// parallel selects) — and assembles the Report.
 func MeasureRequestPath(progress func(Result)) (Report, error) {
 	report := Report{
 		Benchmark: "requestpath",
@@ -595,6 +597,13 @@ func MeasureRequestPath(progress func(Result)) (Report, error) {
 		return report, err
 	}
 	for _, r := range auditRes {
+		add(r)
+	}
+	tableRes, err := measureTableOps()
+	if err != nil {
+		return report, err
+	}
+	for _, r := range tableRes {
 		add(r)
 	}
 	if ns100 > 0 {

@@ -1,0 +1,201 @@
+package benchutil
+
+// Labeled tuple-store entries for the request-path report. The store
+// is exercised in its production shape — labels enforced, quotas
+// charged — over the E7 scale point (10k rows): a full-scan Select, an
+// indexed point Select, Insert through the index-routed unique
+// constraint, and concurrent indexed Selects spread over independent
+// tables (the per-table-locking contract: different apps' tables never
+// contend).
+
+import (
+	"fmt"
+
+	"w5/internal/difc"
+	"w5/internal/quota"
+	"w5/internal/table"
+)
+
+const (
+	// tableRows × tableOwners shape: 10k rows over 100 owners, 100
+	// rows each, every owner's rows under their own secrecy label — so
+	// a scan's label algebra sees 100 distinct labels, the repetition
+	// the per-table visibility cache exists for.
+	tableRows   = 10_000
+	tableOwners = 100
+
+	tableScanIters     = 2_000
+	tablePointIters    = 20_000
+	tableInsertIters   = 20_000
+	tableParallelIters = 40_000
+	tableParallelGos   = 8
+)
+
+// tableCred returns owner i's credential (full ownership of tag i+1).
+func tableCred(i int) table.Cred {
+	return table.Cred{
+		Caps:      difc.CapsFor(difc.Tag(i + 1)),
+		Principal: fmt.Sprintf("user:t%03d", i),
+	}
+}
+
+// fillPhotos seeds tbl with rows rows over tableOwners owners.
+func fillPhotos(s *table.Store, tbl string, rows int) error {
+	for i := 0; i < rows; i++ {
+		u := i % tableOwners
+		cred := tableCred(u)
+		if _, err := s.Insert(cred, tbl, map[string]string{
+			"owner": cred.Principal, "title": "x", "bytes": "1024",
+		}, difc.LabelPair{Secrecy: difc.NewLabel(difc.Tag(u + 1))}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// measureTableOps assembles the table/* entries.
+func measureTableOps() ([]Result, error) {
+	newStore := func() *table.Store {
+		// Unlimited budget, but a live manager: the per-row Charge is
+		// part of what every production query pays.
+		return table.New(table.Options{Quotas: quota.NewManager(quota.Limits{})})
+	}
+	photos := table.Schema{
+		Name:    "photos",
+		Columns: []string{"owner", "title", "bytes"},
+		Index:   []string{"owner"},
+	}
+
+	s := newStore()
+	if err := s.Create(photos); err != nil {
+		return nil, err
+	}
+	if err := fillPhotos(s, "photos", tableRows); err != nil {
+		return nil, err
+	}
+	cred := tableCred(42)
+
+	// Full scan: 10k rows touched and label-checked (100 distinct
+	// labels through the visibility cache), 100 visible matches copied
+	// out.
+	scanPred := table.Cmp{Col: "title", Op: table.Eq, Val: "x"} // unindexed column
+	scan, err := runFixed("table/select", tableScanIters, func() error {
+		rows, _, err := s.Select(cred, "photos", scanPred)
+		if err == nil && len(rows) != 100 {
+			err = fmt.Errorf("table/select: %d rows", len(rows))
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	scan.NsTolMult = tableNsTolMult
+
+	// Indexed point query: the acceptance line — the labeled store
+	// within ~2x of naive mode over the same 10k rows.
+	pointPred := table.Cmp{Col: "owner", Op: table.Eq, Val: cred.Principal}
+	point, err := runFixed("table/select-indexed", tablePointIters, func() error {
+		rows, _, err := s.Select(cred, "photos", pointPred)
+		if err == nil && len(rows) != 100 {
+			err = fmt.Errorf("table/select-indexed: %d rows", len(rows))
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Insert with a unique constraint: the conflict probe routes
+	// through the unique column's index, so the op stays flat while
+	// the table grows from 10k to 110k rows across the reps.
+	accounts := table.Schema{
+		Name: "accounts", Columns: []string{"handle", "owner"}, Unique: "handle",
+	}
+	us := newStore()
+	if err := us.Create(accounts); err != nil {
+		return nil, err
+	}
+	n := 0
+	seed := func() error {
+		n++
+		u := n % tableOwners
+		c := tableCred(u)
+		_, err := us.Insert(c, "accounts", map[string]string{
+			"handle": fmt.Sprintf("h%07d", n), "owner": c.Principal,
+		}, difc.LabelPair{Secrecy: difc.NewLabel(difc.Tag(u + 1))})
+		return err
+	}
+	for i := 0; i < tableRows; i++ {
+		if err := seed(); err != nil {
+			return nil, err
+		}
+	}
+	insert, err := runFixed("table/insert-unique", tableInsertIters, seed)
+	if err != nil {
+		return nil, err
+	}
+	insert.NsTolMult = tableNsTolMult
+
+	// Concurrent indexed point queries, one goroutine per table in the
+	// same store: the per-table locking protocol means none of them
+	// share a lock (the old store-wide RWMutex serialized its writers
+	// and bounced its read counter between every core).
+	ps := newStore()
+	pcreds := make([]table.Cred, tableParallelGos)
+	ppreds := make([]table.Pred, tableParallelGos)
+	names := make([]string, tableParallelGos)
+	for g := 0; g < tableParallelGos; g++ {
+		names[g] = fmt.Sprintf("photos%d", g)
+		sc := photos
+		sc.Name = names[g]
+		if err := ps.Create(sc); err != nil {
+			return nil, err
+		}
+		if err := fillPhotos(ps, names[g], tableRows/tableParallelGos); err != nil {
+			return nil, err
+		}
+		pcreds[g] = tableCred(g)
+		ppreds[g] = table.Cmp{Col: "owner", Op: table.Eq, Val: pcreds[g].Principal}
+	}
+	per := tableParallelIters / tableParallelGos
+	parallel, err := runFixed("table/select-parallel", 1, func() error {
+		errs := make(chan error, tableParallelGos)
+		for g := 0; g < tableParallelGos; g++ {
+			go func(g int) {
+				for i := 0; i < per; i++ {
+					if _, _, err := ps.Select(pcreds[g], names[g], ppreds[g]); err != nil {
+						errs <- err
+						return
+					}
+				}
+				errs <- nil
+			}(g)
+		}
+		for g := 0; g < tableParallelGos; g++ {
+			if err := <-errs; err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := int64(per) * int64(tableParallelGos)
+	parallel.NsPerOp /= float64(total)
+	parallel.AllocsPerOp /= total
+	parallel.BytesPerOp /= total
+	parallel.NsTolMult = tableNsTolMult
+
+	return []Result{scan, point, insert, parallel}, nil
+}
+
+// tableNsTolMult: 2 × the 25% base tolerance = a 50% ns/op line.
+// table/select's ~0.3 ms ops cross GC cycles seeded by earlier suite
+// configs (observed swinging ~26% run to run), insert-unique's reps
+// measure a growing table (amortized map/slice doublings land on
+// different reps), and select-parallel is scheduler-paced. The wide
+// line still catches losing the visibility cache — that regression
+// measures +58% on the scan — and every entry's allocs/op and
+// bytes/op, the derivation contract, gate at the standard tolerance.
+const tableNsTolMult = 2

@@ -177,6 +177,27 @@ func (l Label) Tags() []Tag {
 	return out
 }
 
+// Hash64 returns an FNV-1a hash over the label's tags in ascending
+// order. Equal labels hash identically regardless of construction
+// order, and the computation allocates nothing — the table store's
+// per-table label interner buckets on it.
+func (l Label) Hash64() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	n := l.Size()
+	for i := 0; i < n; i++ {
+		t := uint64(l.at(i))
+		for s := 0; s < 64; s += 8 {
+			h ^= (t >> s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
 // Equal reports whether two labels contain exactly the same tags.
 func (l Label) Equal(m Label) bool {
 	if l.tags == nil && m.tags == nil {

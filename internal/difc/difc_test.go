@@ -73,6 +73,33 @@ func TestLabelEqual(t *testing.T) {
 	}
 }
 
+func TestLabelHash64(t *testing.T) {
+	// Equal labels hash equal regardless of construction order or
+	// representation (inline vs spilled).
+	pairs := [][2]Label{
+		{lbl(1, 2), lbl(2, 1)},
+		{lbl(1, 2, 3), lbl(3, 2, 1)},
+		{lbl(5), lbl(5, 5)},
+	}
+	for _, p := range pairs {
+		if p[0].Hash64() != p[1].Hash64() {
+			t.Errorf("equal labels %v, %v hash differently", p[0], p[1])
+		}
+	}
+	// Distinct small labels should not trivially collide.
+	seen := map[uint64]Label{}
+	for _, l := range []Label{lbl(), lbl(1), lbl(2), lbl(1, 2), lbl(1, 3), lbl(1, 2, 3)} {
+		h := l.Hash64()
+		if prev, ok := seen[h]; ok {
+			t.Errorf("labels %v and %v collide at %x", prev, l, h)
+		}
+		seen[h] = l
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = lbl(1, 2).Hash64() }); n != 0 {
+		t.Errorf("Hash64 allocates %v times", n)
+	}
+}
+
 func TestLabelSubsetOf(t *testing.T) {
 	cases := []struct {
 		a, b Label

@@ -1,0 +1,155 @@
+package table
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"w5/internal/difc"
+	"w5/internal/quota"
+)
+
+// TestConcurrentTableStress drives the per-table locking protocol under
+// the race detector: per-table writers and readers running fully in
+// parallel across independent tables (the no-contention contract),
+// readers and writers colliding on shared tables, and Create/Tables/
+// SchemaOf churn on the store-wide map — all at once. Assertions are
+// deliberately weak (no panics, no impossible results); the point is
+// that -race audits every lock edge.
+func TestConcurrentTableStress(t *testing.T) {
+	s := New(Options{Quotas: quota.NewManager(quota.Limits{})})
+	const (
+		tables = 8
+		opsPer = 400
+	)
+	creds := make([]Cred, tables)
+	labels := make([]difc.LabelPair, tables)
+	for i := 0; i < tables; i++ {
+		tag := difc.Tag(i + 1)
+		creds[i] = Cred{Caps: difc.CapsFor(tag), Principal: fmt.Sprintf("user:u%d", i)}
+		labels[i] = difc.LabelPair{Secrecy: difc.NewLabel(tag)}
+		if err := s.Create(Schema{
+			Name:    fmt.Sprintf("t%d", i),
+			Columns: []string{"owner", "n", "handle"},
+			Index:   []string{"owner"},
+			Ordered: []string{"n"},
+			Unique:  "handle",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	fail := make(chan error, tables*3+1)
+
+	// One writer per table: insert / update / delete churn, including
+	// unique-key traffic through the index-routed conflict check.
+	for i := 0; i < tables; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			name := fmt.Sprintf("t%d", i)
+			for op := 0; op < opsPer; op++ {
+				n := fmt.Sprintf("%03d", rng.Intn(50))
+				switch rng.Intn(4) {
+				case 0, 1:
+					_, err := s.Insert(creds[i], name, map[string]string{
+						"owner": creds[i].Principal, "n": n,
+						"handle": fmt.Sprintf("h%d-%d", i, op),
+					}, labels[i])
+					if err != nil {
+						fail <- fmt.Errorf("insert: %w", err)
+						return
+					}
+				case 2:
+					if _, err := s.Update(creds[i], name,
+						Cmp{Col: "n", Op: Eq, Val: n},
+						map[string]string{"n": fmt.Sprintf("%03d", rng.Intn(50))}); err != nil {
+						fail <- fmt.Errorf("update: %w", err)
+						return
+					}
+				case 3:
+					if _, err := s.Delete(creds[i], name,
+						Cmp{Col: "n", Op: Lt, Val: "005"}); err != nil {
+						fail <- fmt.Errorf("delete: %w", err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	// Two readers per table: one with the owner's credential, one
+	// public — both exercise the epoch registry and the per-class
+	// verdict rings concurrently with inserts interning new labels.
+	for i := 0; i < tables; i++ {
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func(i, r int) {
+				defer wg.Done()
+				cred := creds[i]
+				if r == 1 {
+					cred = Cred{Principal: "anon"}
+				}
+				rng := rand.New(rand.NewSource(int64(100 + i*2 + r)))
+				name := fmt.Sprintf("t%d", i)
+				for op := 0; op < opsPer; op++ {
+					var pred Pred
+					switch rng.Intn(3) {
+					case 0:
+						pred = Cmp{Col: "owner", Op: Eq, Val: creds[i].Principal}
+					case 1:
+						pred = Cmp{Col: "n", Op: Ge, Val: "025"}
+					default:
+						pred = True{}
+					}
+					rows, _, err := s.Select(cred, name, pred)
+					if err != nil {
+						fail <- fmt.Errorf("select: %w", err)
+						return
+					}
+					if r == 1 && len(rows) != 0 {
+						fail <- fmt.Errorf("public reader saw %d secret rows", len(rows))
+						return
+					}
+				}
+			}(i, r)
+		}
+	}
+	// Store-map churn: Create against the same and fresh names, plus
+	// Tables/SchemaOf, racing every per-table operation above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for op := 0; op < opsPer; op++ {
+			err := s.Create(Schema{Name: fmt.Sprintf("churn%d", op%17), Columns: []string{"v"}})
+			if err != nil && !errors.Is(err, ErrTableExist) {
+				fail <- fmt.Errorf("create churn: %w", err)
+				return
+			}
+			s.Tables()
+			if _, err := s.SchemaOf("t0"); err != nil {
+				fail <- fmt.Errorf("schemaof: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(fail)
+	if err := <-fail; err != nil {
+		t.Fatal(err)
+	}
+	// Post-churn sanity: every owner still sees only their partition.
+	for i := 0; i < tables; i++ {
+		rows, _, err := s.Select(creds[i], fmt.Sprintf("t%d", i), True{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Values["owner"] != creds[i].Principal {
+				t.Fatalf("cross-partition row in t%d: %+v", i, r)
+			}
+		}
+	}
+}

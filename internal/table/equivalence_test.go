@@ -1,0 +1,126 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"w5/internal/difc"
+	"w5/internal/quota"
+)
+
+// TestPlanEquivalence pins the planner's one invariant that matters
+// for E7: plan choice is invisible in results. The same E7-style
+// sharded workload — ten users' labeled partitions plus a public
+// partition — is loaded into a scan-only store, an equality-indexed
+// store, and an ordered-indexed store; every (credential, predicate)
+// pair must return byte-identical rows and joined labels from all
+// three. Billing must follow "one unit per row the plan touches",
+// must never exceed the scan plan's bill, and must be identical for
+// every credential asking the same question — a bill that depended on
+// the asker's visibility would itself be an observable.
+func TestPlanEquivalence(t *testing.T) {
+	const users = 10
+	schemas := map[string]Schema{
+		"scan":    {Name: "rv", Columns: []string{"owner", "n", "title"}},
+		"indexed": {Name: "rv", Columns: []string{"owner", "n", "title"}, Index: []string{"owner"}},
+		"ordered": {Name: "rv", Columns: []string{"owner", "n", "title"}, Index: []string{"owner"}, Ordered: []string{"n"}},
+	}
+	stores := map[string]*Store{}
+	managers := map[string]*quota.Manager{}
+	creds := make([]Cred, users)
+	for i := range creds {
+		creds[i] = Cred{Caps: difc.CapsFor(difc.Tag(i + 1)), Principal: fmt.Sprintf("user:u%02d", i)}
+	}
+	for name, schema := range schemas {
+		qm := quota.NewManager(quota.Limits{})
+		s := New(Options{Quotas: qm})
+		if err := s.Create(schema); err != nil {
+			t.Fatal(err)
+		}
+		// Identical insertion sequence everywhere → identical row ids.
+		for i := 0; i < 40*users; i++ {
+			u := i % users
+			label := difc.LabelPair{Secrecy: difc.NewLabel(difc.Tag(u + 1))}
+			cred := creds[u]
+			if i%4 == 3 { // every 4th row is public
+				label = difc.LabelPair{}
+			}
+			if _, err := s.Insert(cred, "rv", map[string]string{
+				"owner": cred.Principal,
+				"n":     fmt.Sprintf("%03d", i/users),
+				"title": fmt.Sprintf("t%d", i%7),
+			}, label); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stores[name], managers[name] = s, qm
+	}
+	preds := []Pred{
+		True{},
+		Cmp{Col: "owner", Op: Eq, Val: "user:u03"},
+		Cmp{Col: "owner", Op: Eq, Val: "user:u99"}, // index miss
+		Cmp{Col: "n", Op: Ge, Val: "030"},
+		Cmp{Col: "n", Op: Prefix, Val: "01"},
+		And{L: Cmp{Col: "owner", Op: Eq, Val: "user:u03"}, R: Cmp{Col: "n", Op: Lt, Val: "010"}},
+		Or{L: Cmp{Col: "n", Op: Eq, Val: "001"}, R: Cmp{Col: "title", Op: Eq, Val: "t3"}},
+		Not{P: Cmp{Col: "title", Op: Contains, Val: "3"}},
+	}
+	queriers := append(append([]Cred{}, creds...), Cred{Principal: "anon"})
+	golden := map[string]string{} // (pred, querier) -> scan store's result
+	for pi, pred := range preds {
+		var scanBill uint64
+		for _, name := range []string{"scan", "indexed", "ordered"} {
+			s, qm := stores[name], managers[name]
+			for qi, cred := range queriers {
+				rows, joined, err := s.Select(cred, "rv", pred)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", name, cred.Principal, pred, err)
+				}
+				got := renderResult(rows, joined)
+				key := fmt.Sprintf("p%d/q%d", pi, qi)
+				if want, ok := golden[key]; !ok {
+					golden[key] = got // scan store defines the reference
+				} else if got != want {
+					t.Errorf("%s %s %s:\n got %s\nwant %s", name, cred.Principal, pred, got, want)
+				}
+			}
+			// Billing is a pure function of the question, never of the
+			// asker: the cumulative ledgers stay in lockstep across
+			// every credential, visible partition or not.
+			base := qm.Account(queriers[0].Principal).Used(quota.Query)
+			for _, cred := range queriers {
+				if got := qm.Account(cred.Principal).Used(quota.Query); got != base {
+					t.Fatalf("%s: bill for %s = %d, for %s = %d — billing depends on the asker",
+						name, cred.Principal, got, queriers[0].Principal, base)
+				}
+			}
+			if name == "scan" {
+				scanBill = base
+			} else if base > scanBill {
+				t.Errorf("%s billed %d > scan's %d for %s", name, base, scanBill, pred)
+			}
+		}
+	}
+}
+
+// renderResult serializes a result set byte-stably: id, sorted
+// columns, row label, then the joined label.
+func renderResult(rows []Row, joined difc.LabelPair) string {
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d[", r.ID)
+		cols := make([]string, 0, len(r.Values))
+		for c := range r.Values {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		for _, c := range cols {
+			fmt.Fprintf(&b, "%s=%s;", c, r.Values[c])
+		}
+		fmt.Fprintf(&b, "]%s|", r.Label)
+	}
+	fmt.Fprintf(&b, " join=%s", joined)
+	return b.String()
+}

@@ -1,0 +1,168 @@
+package table
+
+// Secondary indexes and the query planner.
+//
+// A colIndex maps column values to postings — row-id lists kept sorted
+// ascending at insert time. Row ids are minted monotonically, so
+// ascending id order IS insertion order, and a postings list (or a
+// merge of several) can be returned as Select candidates directly,
+// with no per-query copy+sort.
+//
+// Ordered indexes additionally maintain the distinct values of the
+// column as a lexicographically sorted key slice, which the planner
+// uses to serve Lt/Le/Gt/Ge/Prefix range conjuncts in O(distinct
+// values) instead of O(rows). Prefix runs are contiguous in the key
+// slice and found by binary search; the numeric-aware order of the
+// other comparisons (see compare in pred.go) is not a single total
+// order over mixed values, so those filter the key slice linearly with
+// exactly the comparison Match uses — the index can never disagree
+// with a scan.
+//
+// Index candidate sets are supersets of the matching rows (Select
+// re-checks Match per row), so planning is a pure optimization with
+// one observable: the number of candidate rows is the query's billed
+// cost. See README.md for why that stays covert-channel-free.
+
+import (
+	"sort"
+	"strings"
+)
+
+// colIndex is one column's secondary index.
+type colIndex struct {
+	postings map[string][]uint64 // value -> ascending row ids
+	keys     []string            // distinct values, sorted; only when ordered
+	ordered  bool
+	// plannable marks indexes the query planner may serve candidates
+	// (and therefore bills) from: the columns the schema author
+	// declared in Index/Ordered. The automatic index on Schema.Unique
+	// is NOT plannable unless also declared — it exists to accelerate
+	// the uniqueConflict probe, which is visibility-filtered and
+	// charges nothing. Letting it silently drive billing would turn
+	// the bill for a point query on the polyinstantiated column into a
+	// per-key row count that includes invisible rows — a sharper
+	// observable than the per-table scan bill, on exactly the column
+	// E7's covert channel rendezvouses on. See README.md.
+	plannable bool
+}
+
+func newColIndex(ordered, plannable bool) *colIndex {
+	return &colIndex{postings: make(map[string][]uint64), ordered: ordered, plannable: plannable}
+}
+
+// add indexes id under val, keeping postings sorted. The insert path
+// always appends (fresh ids are the largest yet); only Update moving a
+// row to a new value splices into the middle.
+func (ix *colIndex) add(val string, id uint64) {
+	ids := ix.postings[val]
+	if len(ids) == 0 && ix.ordered {
+		i := sort.SearchStrings(ix.keys, val)
+		if i == len(ix.keys) || ix.keys[i] != val {
+			ix.keys = append(ix.keys, "")
+			copy(ix.keys[i+1:], ix.keys[i:])
+			ix.keys[i] = val
+		}
+	}
+	if n := len(ids); n == 0 || ids[n-1] < id {
+		ix.postings[val] = append(ids, id)
+		return
+	}
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	ix.postings[val] = ids
+}
+
+// remove drops id from val's postings, retiring the key when its last
+// row goes.
+func (ix *colIndex) remove(val string, id uint64) {
+	ids := removeID(ix.postings[val], id)
+	if len(ids) > 0 {
+		ix.postings[val] = ids
+		return
+	}
+	delete(ix.postings, val)
+	if ix.ordered {
+		if i := sort.SearchStrings(ix.keys, val); i < len(ix.keys) && ix.keys[i] == val {
+			ix.keys = append(ix.keys[:i], ix.keys[i+1:]...)
+		}
+	}
+}
+
+// rangeKeys returns the distinct indexed values satisfying the range
+// conjunct c, and the total number of rows they post. Prefix is a
+// contiguous run of the sorted key slice (binary search, no
+// allocation); the numeric-aware comparisons filter linearly.
+func (ix *colIndex) rangeKeys(c Cmp) (keys []string, rows int) {
+	switch c.Op {
+	case Prefix:
+		lo := sort.SearchStrings(ix.keys, c.Val)
+		hi := lo + sort.Search(len(ix.keys)-lo, func(i int) bool {
+			return !strings.HasPrefix(ix.keys[lo+i], c.Val)
+		})
+		keys = ix.keys[lo:hi]
+	case Lt, Le, Gt, Ge:
+		for _, k := range ix.keys {
+			if cmpMatches(c.Op, compare(k, c.Val)) {
+				keys = append(keys, k)
+			}
+		}
+	}
+	for _, k := range keys {
+		rows += len(ix.postings[k])
+	}
+	return keys, rows
+}
+
+// gather materializes the candidate ids for a set of keys in ascending
+// (= insertion) order. A single key's postings are returned directly —
+// callers treat candidates as read-only.
+func (ix *colIndex) gather(keys []string, rows int) []uint64 {
+	if len(keys) == 1 {
+		return ix.postings[keys[0]]
+	}
+	out := make([]uint64, 0, rows)
+	for _, k := range keys {
+		out = append(out, ix.postings[k]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// plan chooses the candidate row set for pred: the smallest candidate
+// set offered by any equality conjunct over an indexed column or any
+// range conjunct over an ordered column, else a full scan. Candidates
+// are in insertion order; scanned is the number of rows the plan
+// touches — the billing basis. Callers must treat candidates as
+// read-only (it may alias index postings or t.order).
+func (t *tbl) plan(pred Pred) (candidates []uint64, scanned int) {
+	bestEq := -1
+	var bestEqIDs []uint64
+	for _, c := range eqConjuncts(pred) {
+		if ix, ok := t.indexes[c.Col]; ok && ix.plannable {
+			ids := ix.postings[c.Val]
+			if bestEq < 0 || len(ids) < bestEq {
+				bestEq, bestEqIDs = len(ids), ids
+			}
+		}
+	}
+	bestRange := -1
+	var bestRangeKeys []string
+	var bestRangeIx *colIndex
+	for _, c := range rangeConjuncts(pred) {
+		if ix, ok := t.indexes[c.Col]; ok && ix.ordered {
+			keys, rows := ix.rangeKeys(c)
+			if bestRange < 0 || rows < bestRange {
+				bestRange, bestRangeKeys, bestRangeIx = rows, keys, ix
+			}
+		}
+	}
+	switch {
+	case bestEq >= 0 && (bestRange < 0 || bestEq <= bestRange):
+		return bestEqIDs, bestEq
+	case bestRange >= 0:
+		return bestRangeIx.gather(bestRangeKeys, bestRange), bestRange
+	}
+	return t.order, len(t.order)
+}

@@ -1,0 +1,236 @@
+package table
+
+// Label interning and the visibility-verdict cache.
+//
+// Row labels in a real table are heavily repeated: every row a user
+// writes under their boilerplate policy carries the same {s_u} pair.
+// Recomputing difc.SafeMessage per row per query is therefore almost
+// entirely redundant work — a 10k-row scan over 100 users' rows asks
+// the same 100 questions 100 times each. This file makes the label
+// algebra cost of a query O(distinct labels), not O(rows):
+//
+//   - every row label is interned per table into a *labelClass; rows
+//     whose labels are equal share one class (pointer identity);
+//   - each class caches recent visibility verdicts keyed by a
+//     *credential epoch* — a number that identifies one exact
+//     (Labels, Caps) credential state. A cached verdict is a pure
+//     function of (class label, epoch), so it can never go stale: a
+//     credential with different labels or capabilities is a different
+//     state, resolves to a different epoch, and every verdict cached
+//     under the old one is unreachable from it. A revoked capability
+//     therefore cannot keep a row visible through the cache — the
+//     invariant the design note (README.md) pins.
+//
+// Locking: the class bucket map is only written by Insert and Delete,
+// which hold the table lock exclusively. Classes are refcounted by the
+// rows pointing at them and retired when the last such row is deleted;
+// a reader under the shared lock can only reach a class through a live
+// row, and retirement cannot run concurrently with shared holders, so
+// readers need no extra synchronization to follow r.class. The epoch
+// registry and each class's verdict ring have their own small mutexes
+// because Select mutates them under the table *read* lock.
+
+import (
+	"sync"
+
+	"w5/internal/difc"
+)
+
+// visCacheSize bounds the per-class verdict ring. Requests interleave
+// a handful of distinct credentials per table in steady state (the
+// row owner, the app, the public viewer); a small ring keeps the
+// common case hitting while bounding memory at O(classes).
+const visCacheSize = 4
+
+// labelClass is one interned row label and its verdict cache.
+type labelClass struct {
+	label difc.LabelPair
+	hash  uint64 // bucket key, kept for retirement
+	refs  int    // rows pointing here; guarded by the exclusive table lock
+
+	mu   sync.Mutex
+	vis  [visCacheSize]visEntry
+	next int // ring cursor
+}
+
+// visEntry caches one visibility judgment. epoch 0 is never minted,
+// so the zero value is an empty slot.
+type visEntry struct {
+	epoch uint64
+	ok    bool
+}
+
+// visible reports whether rows of this class can flow to the
+// credential identified by epoch, computing the Flume judgment at most
+// once per (class, epoch) while the entry stays in the ring.
+func (c *labelClass) visible(cred Cred, epoch uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.vis {
+		if c.vis[i].epoch == epoch {
+			return c.vis[i].ok
+		}
+	}
+	ok := difc.SafeMessage(c.label.Secrecy, difc.EmptyCaps, cred.Labels.Secrecy, cred.Caps)
+	c.vis[c.next] = visEntry{epoch: epoch, ok: ok}
+	c.next = (c.next + 1) % visCacheSize
+	return ok
+}
+
+// credEntry records one credential *state* — an exact (Labels, Caps)
+// pair — and the epoch minted for it. Identity is the state, not the
+// principal: visibility is a pure function of the state, so every
+// credential presenting the same labels and capabilities shares one
+// epoch (all public queriers share the empty state's), and concurrent
+// processes of one app at different taint levels each keep their own
+// stable epoch instead of thrashing a per-principal slot.
+type credEntry struct {
+	labels difc.LabelPair
+	caps   difc.CapSet
+	epoch  uint64
+}
+
+// credEpochs is the per-table credential-state registry,
+// hash-bucketed like the label interner.
+type credEpochs struct {
+	mu   sync.Mutex
+	next uint64
+	m    map[uint64][]*credEntry
+	size int
+}
+
+// maxCredEntries bounds the registry. When full it evicts an
+// arbitrary entry rather than refusing (the PR 2 intern-cache
+// policy): a credential-state flood cannot grow the table, and a
+// re-presented state simply mints a fresh epoch — always safe, since
+// epochs are never reused and stale ones just miss every cache.
+const maxCredEntries = 1024
+
+// resolve returns the epoch for cred's state, minting a new one on
+// first sight. Epochs are never reused, so a credential that loses a
+// capability resolves to a different state and therefore a different
+// epoch — every verdict cached under the old state is unreachable
+// from it by construction.
+func (ce *credEpochs) resolve(cred Cred) uint64 {
+	h := cred.Labels.Secrecy.Hash64() ^
+		cred.Labels.Integrity.Hash64()*0x9e3779b97f4a7c15 ^
+		cred.Caps.Plus().Hash64()*0xc2b2ae3d27d4eb4f ^
+		cred.Caps.Minus().Hash64()*0x165667b19e3779f9
+	ce.mu.Lock()
+	defer ce.mu.Unlock()
+	for _, e := range ce.m[h] {
+		if e.labels.Equal(cred.Labels) && e.caps.Equal(cred.Caps) {
+			return e.epoch
+		}
+	}
+	if ce.m == nil {
+		ce.m = make(map[uint64][]*credEntry)
+	}
+	if ce.size >= maxCredEntries {
+		for bh, bucket := range ce.m {
+			if len(bucket) > 1 {
+				ce.m[bh] = bucket[:len(bucket)-1]
+			} else {
+				delete(ce.m, bh)
+			}
+			ce.size--
+			break
+		}
+	}
+	ce.next++
+	ce.m[h] = append(ce.m[h], &credEntry{labels: cred.Labels, caps: cred.Caps, epoch: ce.next})
+	ce.size++
+	return ce.next
+}
+
+// visMemo scopes visibility to one query: it consults the shared
+// per-class verdict ring (and its mutex) at most once per distinct
+// class, so a 10k-row scan does ~100 synchronized lookups instead of
+// 10k — concurrent queries over the same hot table do not bounce the
+// class mutexes between cores. The first distinct class is memoized
+// inline, so the common single-class candidate set (an indexed point
+// query) allocates nothing.
+type visMemo struct {
+	naive   bool
+	cred    Cred
+	epoch   uint64
+	first   *labelClass
+	firstOK bool
+	m       map[*labelClass]bool
+}
+
+// visMemo builds the query-scoped memo, resolving the caller's
+// credential epoch once (naive mode never consults visibility).
+func (t *tbl) visMemo(cred Cred, naive bool) visMemo {
+	vm := visMemo{naive: naive, cred: cred}
+	if !naive {
+		vm.epoch = t.epochs.resolve(cred)
+	}
+	return vm
+}
+
+// visible reports whether rows of class c can flow to the query's
+// credential.
+func (v *visMemo) visible(c *labelClass) bool {
+	switch {
+	case v.naive:
+		return true
+	case c == v.first:
+		return v.firstOK
+	case v.first == nil:
+		v.first, v.firstOK = c, c.visible(v.cred, v.epoch)
+		return v.firstOK
+	}
+	ok, hit := v.m[c]
+	if !hit {
+		ok = c.visible(v.cred, v.epoch)
+		if v.m == nil {
+			v.m = make(map[*labelClass]bool, 4)
+		}
+		v.m[c] = ok
+	}
+	return ok
+}
+
+// intern returns the table's class for label — counting one row
+// reference — creating it on first sight. Must be called with the
+// table lock held exclusively (Insert).
+func (t *tbl) intern(label difc.LabelPair) *labelClass {
+	h := label.Secrecy.Hash64() ^ label.Integrity.Hash64()*0x9e3779b97f4a7c15
+	for _, c := range t.classes[h] {
+		if c.label.Equal(label) {
+			c.refs++
+			return c
+		}
+	}
+	c := &labelClass{label: label, hash: h, refs: 1}
+	if t.classes == nil {
+		t.classes = make(map[uint64][]*labelClass)
+	}
+	t.classes[h] = append(t.classes[h], c)
+	return c
+}
+
+// release drops one row reference, retiring the class when its last
+// row goes — so a table's interner is bounded by the distinct labels
+// of its *live* rows, not of every label ever inserted. Must be called
+// with the table lock held exclusively (Delete).
+func (t *tbl) release(c *labelClass) {
+	c.refs--
+	if c.refs > 0 {
+		return
+	}
+	bucket := t.classes[c.hash]
+	for i, x := range bucket {
+		if x == c {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(t.classes, c.hash)
+	} else {
+		t.classes[c.hash] = bucket
+	}
+}

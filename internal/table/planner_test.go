@@ -1,0 +1,288 @@
+package table
+
+import (
+	"fmt"
+	"testing"
+
+	"w5/internal/difc"
+	"w5/internal/quota"
+)
+
+// billingStore returns a store with a quota manager so tests can read
+// the billed plan-touch counts off the ledger.
+func billingStore(schema Schema) (*Store, *quota.Manager) {
+	qm := quota.NewManager(quota.Limits{})
+	s := New(Options{Quotas: qm})
+	if err := s.Create(schema); err != nil {
+		panic(err)
+	}
+	return s, qm
+}
+
+// The planner must choose the smallest postings list across all
+// indexed equality conjuncts, not the first one that hits.
+func TestPlanPicksSmallestIndex(t *testing.T) {
+	s, qm := billingStore(Schema{
+		Name: "t", Columns: []string{"a", "b"}, Index: []string{"a", "b"},
+	})
+	for i := 0; i < 100; i++ {
+		s.Insert(publicCred, "t", map[string]string{
+			"a": "common",                 // 100 rows post under a=common
+			"b": fmt.Sprintf("v%d", i%10), // 10 rows per b value
+		}, public)
+	}
+	cred := Cred{Principal: "app:planner"}
+	// a=common AND b=v3: the b index (10 rows) must win over a (100).
+	rows, _, err := s.Select(cred, "t", And{
+		L: Cmp{Col: "a", Op: Eq, Val: "common"},
+		R: Cmp{Col: "b", Op: Eq, Val: "v3"},
+	})
+	if err != nil || len(rows) != 10 {
+		t.Fatalf("rows=%d err=%v", len(rows), err)
+	}
+	if used := qm.Account("app:planner").Used(quota.Query); used != 10 {
+		t.Errorf("billed %d, want 10 (planner took the larger index?)", used)
+	}
+	// Order of conjuncts must not matter.
+	s.Select(cred, "t", And{
+		L: Cmp{Col: "b", Op: Eq, Val: "v3"},
+		R: Cmp{Col: "a", Op: Eq, Val: "common"},
+	})
+	if used := qm.Account("app:planner").Used(quota.Query); used != 20 {
+		t.Errorf("billed %d total, want 20", used)
+	}
+}
+
+// An equality miss on an indexed column is a definitive empty result:
+// zero rows touched, zero billed.
+func TestPlanIndexMissBillsNothing(t *testing.T) {
+	s, qm := billingStore(Schema{Name: "t", Columns: []string{"a"}, Index: []string{"a"}})
+	for i := 0; i < 50; i++ {
+		s.Insert(publicCred, "t", map[string]string{"a": "x"}, public)
+	}
+	cred := Cred{Principal: "app:miss"}
+	rows, _, err := s.Select(cred, "t", Cmp{Col: "a", Op: Eq, Val: "absent"})
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("rows=%d err=%v", len(rows), err)
+	}
+	if used := qm.Account("app:miss").Used(quota.Query); used != 0 {
+		t.Errorf("billed %d for a definitive miss, want 0", used)
+	}
+}
+
+// Range conjuncts over an ordered index touch only the rows whose keys
+// satisfy the bound, and return exactly what a scan returns.
+func TestOrderedIndexServesRanges(t *testing.T) {
+	s, qm := billingStore(Schema{
+		Name: "t", Columns: []string{"n", "tag"}, Ordered: []string{"n"},
+	})
+	for i := 0; i < 100; i++ {
+		s.Insert(publicCred, "t", map[string]string{
+			"n": fmt.Sprintf("%03d", i), "tag": "r",
+		}, public)
+	}
+	cred := Cred{Principal: "app:range"}
+	cases := []struct {
+		pred       Pred
+		want, bill int
+	}{
+		{Cmp{Col: "n", Op: Lt, Val: "010"}, 10, 10},
+		{Cmp{Col: "n", Op: Ge, Val: "090"}, 10, 10},
+		{Cmp{Col: "n", Op: Prefix, Val: "04"}, 10, 10},
+		// The planner takes the cheaper bound: Lt '025' touches 25
+		// rows, Ge '020' would touch 80.
+		{And{L: Cmp{Col: "n", Op: Ge, Val: "020"}, R: Cmp{Col: "n", Op: Lt, Val: "025"}}, 5, 25},
+	}
+	var billed uint64
+	for _, tc := range cases {
+		rows, _, err := s.Select(cred, "t", tc.pred)
+		if err != nil || len(rows) != tc.want {
+			t.Fatalf("%s: rows=%d err=%v, want %d", tc.pred, len(rows), err, tc.want)
+		}
+		used := qm.Account("app:range").Used(quota.Query)
+		if got := used - billed; got != uint64(tc.bill) {
+			t.Errorf("%s: billed %d rows, want %d", tc.pred, got, tc.bill)
+		}
+		billed = used
+	}
+	// Numeric-aware comparison: values that parse as integers order
+	// numerically even though the key slice is lexicographic.
+	s.Create(Schema{Name: "num", Columns: []string{"n"}, Ordered: []string{"n"}})
+	for _, v := range []string{"2", "10", "9", "100"} {
+		s.Insert(publicCred, "num", map[string]string{"n": v}, public)
+	}
+	rows, _, _ := s.Select(cred, "num", Cmp{Col: "n", Op: Lt, Val: "10"})
+	if len(rows) != 2 { // 2 and 9 — not the lexicographic {10, 100}
+		t.Errorf("numeric range via ordered index: got %d rows", len(rows))
+	}
+}
+
+// The ordered index must stay consistent across Update and Delete:
+// retired keys leave the key slice, moved rows re-post.
+func TestOrderedIndexMaintainedAcrossMutation(t *testing.T) {
+	s, _ := billingStore(Schema{Name: "t", Columns: []string{"n"}, Ordered: []string{"n"}})
+	for _, v := range []string{"a", "b", "c"} {
+		s.Insert(publicCred, "t", map[string]string{"n": v}, public)
+	}
+	s.Update(publicCred, "t", Cmp{Col: "n", Op: Eq, Val: "b"}, map[string]string{"n": "z"})
+	s.Delete(publicCred, "t", Cmp{Col: "n", Op: Eq, Val: "c"})
+	rows, _, err := s.Select(publicCred, "t", Cmp{Col: "n", Op: Ge, Val: "b"})
+	if err != nil || len(rows) != 1 || rows[0].Values["n"] != "z" {
+		t.Fatalf("rows=%+v err=%v", rows, err)
+	}
+	ix := mustTable(t, s, "t").indexes["n"]
+	if len(ix.keys) != 2 { // a, z
+		t.Errorf("ordered keys = %v, want [a z]", ix.keys)
+	}
+}
+
+// The automatic index on Schema.Unique serves only the conflict
+// probe: a point query on an undeclared unique column must bill the
+// full scan, not the per-key candidate count — a per-key bill on the
+// polyinstantiated column would tell a budget-watching attacker
+// whether an invisible partition inserted the key (0 vs 1 rows
+// touched), the E7 bit through the ledger.
+func TestUniqueIndexNotPlannable(t *testing.T) {
+	qm := quota.NewManager(quota.Limits{})
+	s := New(Options{Quotas: qm})
+	s.Create(Schema{Name: "accounts", Columns: []string{"handle"}, Unique: "handle"})
+	s.Insert(bobCred, "accounts", map[string]string{"handle": "neo"}, bobSecret)
+	for i := 0; i < 9; i++ {
+		s.Insert(publicCred, "accounts", map[string]string{"handle": fmt.Sprintf("h%d", i)}, public)
+	}
+	probe := Cred{Principal: "app:probe"}
+	// Whether the probed key exists in a secret partition ("neo") or
+	// nowhere ("zion"), the bill is the same full scan.
+	s.Select(probe, "accounts", Cmp{Col: "handle", Op: Eq, Val: "neo"})
+	if used := qm.Account("app:probe").Used(quota.Query); used != 10 {
+		t.Errorf("billed %d for unique-column point query, want full scan 10", used)
+	}
+	s.Select(probe, "accounts", Cmp{Col: "handle", Op: Eq, Val: "zion"})
+	if used := qm.Account("app:probe").Used(quota.Query); used != 20 {
+		t.Errorf("billed %d total, want 20 — bill depends on invisible insertions", used)
+	}
+	// Declaring the column in Index is the explicit opt-in to per-key
+	// billing.
+	s.Create(Schema{Name: "opted", Columns: []string{"handle"}, Unique: "handle", Index: []string{"handle"}})
+	s.Insert(publicCred, "opted", map[string]string{"handle": "a"}, public)
+	s.Select(probe, "opted", Cmp{Col: "handle", Op: Eq, Val: "a"})
+	if used := qm.Account("app:probe").Used(quota.Query); used != 21 {
+		t.Errorf("declared index not planned: billed %d, want 21", used)
+	}
+}
+
+// Credential epochs key on the (Labels, Caps) state, not the
+// principal: one app's concurrent processes at different taint levels
+// must each keep a stable epoch (a per-principal slot would mint a
+// fresh epoch on every alternation, silently defeating the cache),
+// and equal states share one epoch across principals.
+func TestCredEpochsStableAcrossStateAlternation(t *testing.T) {
+	s := New(Options{})
+	s.Create(Schema{Name: "t", Columns: []string{"v"}})
+	s.Insert(publicCred, "t", map[string]string{"v": "x"}, public)
+
+	tb := mustTable(t, s, "t")
+	untainted := Cred{Principal: "app:blog", Caps: difc.CapsFor(sBob)}
+	tainted := Cred{Principal: "app:blog", Labels: bobSecret, Caps: difc.CapsFor(sBob)}
+	e1 := tb.epochs.resolve(untainted)
+	e2 := tb.epochs.resolve(tainted)
+	if e1 == e2 {
+		t.Fatal("distinct states share an epoch")
+	}
+	for i := 0; i < 10; i++ {
+		if got := tb.epochs.resolve(untainted); got != e1 {
+			t.Fatalf("untainted state's epoch drifted: %d -> %d", e1, got)
+		}
+		if got := tb.epochs.resolve(tainted); got != e2 {
+			t.Fatalf("tainted state's epoch drifted: %d -> %d", e2, got)
+		}
+	}
+	// Same state, different principal: shared epoch (visibility is a
+	// function of the state alone).
+	other := Cred{Principal: "app:photos", Caps: difc.CapsFor(sBob)}
+	if got := tb.epochs.resolve(other); got != e1 {
+		t.Errorf("equal state minted a second epoch: %d vs %d", got, e1)
+	}
+}
+
+// Visibility verdicts are cached per (interned label, credential
+// epoch); a credential that loses a capability must get fresh verdicts
+// — a stale cached positive would leak the row.
+func TestVisibilityCacheInvalidatedOnCredentialChange(t *testing.T) {
+	s := New(Options{})
+	s.Create(Schema{Name: "t", Columns: []string{"v"}})
+	s.Insert(bobCred, "t", map[string]string{"v": "secret"}, bobSecret)
+
+	reader := Cred{Caps: difc.NewCapSet(difc.Plus(sBob)), Principal: "app:r"}
+	if rows, _, _ := s.Select(reader, "t", True{}); len(rows) != 1 {
+		t.Fatal("privileged reader blind")
+	}
+	// Warm the cache, then present the same principal without the cap.
+	s.Select(reader, "t", True{})
+	revoked := Cred{Principal: "app:r"}
+	if rows, _, _ := s.Select(revoked, "t", True{}); len(rows) != 0 {
+		t.Fatal("stale cached verdict leaked a row after capability revocation")
+	}
+	// And the grant direction: a fresh capability is honored immediately.
+	if rows, _, _ := s.Select(reader, "t", True{}); len(rows) != 1 {
+		t.Fatal("regrant not honored")
+	}
+}
+
+// Interned label classes are refcounted and retired when their last
+// row is deleted: a long-running table's interner must be bounded by
+// the labels of its live rows, not every label ever inserted (user
+// churn under per-user boilerplate labels would otherwise grow it
+// forever).
+func TestLabelClassesRetiredOnDelete(t *testing.T) {
+	s := New(Options{})
+	s.Create(Schema{Name: "t", Columns: []string{"owner"}})
+	classCount := func() int {
+		tb := mustTable(t, s, "t")
+		n := 0
+		for _, b := range tb.classes {
+			n += len(b)
+		}
+		return n
+	}
+	creds := make([]Cred, 50)
+	for i := range creds {
+		tag := difc.Tag(i + 1)
+		creds[i] = Cred{Caps: difc.CapsFor(tag), Principal: fmt.Sprintf("u%d", i)}
+		for j := 0; j < 3; j++ {
+			s.Insert(creds[i], "t", map[string]string{"owner": creds[i].Principal},
+				difc.LabelPair{Secrecy: difc.NewLabel(tag)})
+		}
+	}
+	if got := classCount(); got != 50 {
+		t.Fatalf("%d classes, want 50", got)
+	}
+	// Account closure: each user deletes their rows; their label's
+	// class goes with the last row.
+	for i := 0; i < 40; i++ {
+		w := Cred{Labels: difc.LabelPair{Secrecy: difc.NewLabel(difc.Tag(i + 1))},
+			Caps: difc.CapsFor(difc.Tag(i + 1)), Principal: creds[i].Principal}
+		if n, err := s.Delete(w, "t", True{}); err != nil || n != 3 {
+			t.Fatalf("delete u%d: n=%d err=%v", i, n, err)
+		}
+	}
+	if got := classCount(); got != 10 {
+		t.Fatalf("%d classes after churn, want 10 (retired classes leaked)", got)
+	}
+	// Survivors still resolve correctly.
+	if rows, _, _ := s.Select(creds[45], "t", True{}); len(rows) != 3 {
+		t.Fatalf("survivor sees %d rows", len(rows))
+	}
+}
+
+// mustTable reaches into the store for white-box index assertions.
+func mustTable(t *testing.T, s *Store, name string) *tbl {
+	t.Helper()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tb, ok := s.tables[name]
+	if !ok {
+		t.Fatalf("no table %s", name)
+	}
+	return tb
+}

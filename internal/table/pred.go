@@ -62,18 +62,7 @@ func (c Cmp) Match(values map[string]string) bool {
 	case Prefix:
 		return strings.HasPrefix(v, c.Val)
 	}
-	cmp := compare(v, c.Val)
-	switch c.Op {
-	case Lt:
-		return cmp < 0
-	case Le:
-		return cmp <= 0
-	case Gt:
-		return cmp > 0
-	case Ge:
-		return cmp >= 0
-	}
-	return false
+	return cmpMatches(c.Op, compare(v, c.Val))
 }
 
 // compare orders two values, numerically when both are integers.
@@ -136,6 +125,39 @@ func eqConjuncts(p Pred) []Cmp {
 		return append(eqConjuncts(q.L), eqConjuncts(q.R)...)
 	}
 	return nil
+}
+
+// rangeConjuncts extracts the Lt/Le/Gt/Ge/Prefix conjuncts reachable
+// from the root through AND nodes only; the planner serves them from
+// ordered indexes.
+func rangeConjuncts(p Pred) []Cmp {
+	switch q := p.(type) {
+	case Cmp:
+		switch q.Op {
+		case Lt, Le, Gt, Ge, Prefix:
+			return []Cmp{q}
+		}
+	case And:
+		return append(rangeConjuncts(q.L), rangeConjuncts(q.R)...)
+	}
+	return nil
+}
+
+// cmpMatches reports whether a compare() result satisfies an ordering
+// operator — the single definition Match and the ordered index share,
+// so an index range can never disagree with a scan.
+func cmpMatches(op Op, cmp int) bool {
+	switch op {
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	}
+	return false
 }
 
 // ParsePred parses a predicate expression:

@@ -16,12 +16,24 @@
 //     (polyinstantiation): a public process inserting key K learns
 //     nothing about whether some secret process also inserted K. A
 //     global uniqueness constraint is exactly the SQL covert channel.
-//   - Every row scanned charges one query-cost unit against the
-//     caller's quota, so query bombs are contained (§3.5).
+//   - Every row the query plan touches charges one query-cost unit
+//     against the caller's quota, so query bombs are contained (§3.5)
+//     and index savings show up in users' bills.
 //
-// A Store in naive mode drops the first three properties while keeping
-// the same API; it models the conventional SQL backend and exists only
-// as the comparator for experiment E7 and the baseline platform.
+// The store serves production traffic concurrently: tables lock
+// independently (the store-wide lock guards only the table map),
+// secondary indexes keep their postings sorted at insert time, ordered
+// indexes serve range and prefix conjuncts, uniqueness checks route
+// through the unique column's index, and per-query label algebra is
+// O(distinct labels) via interned labels with an epoch-keyed
+// visibility cache. README.md in this directory is the design note:
+// the locking protocol, the predicate grammar, and the argument for
+// why none of the index paths reopens the SQL covert channel.
+//
+// A Store in naive mode drops the label-enforcement properties while
+// keeping the same API; it models the conventional SQL backend and
+// exists only as the comparator for experiment E7 and the baseline
+// platform.
 package table
 
 import (
@@ -65,24 +77,54 @@ type Schema struct {
 	Columns []string
 	// Unique, if non-empty, names a column whose values must be unique
 	// — within the visible partition in labeled mode, globally in naive
-	// mode (the covert channel).
+	// mode (the covert channel). A row that omits the column takes the
+	// empty-string key, so two rows without a value collide like any
+	// other duplicate (there is no NULL). The column is always
+	// equality-indexed so the constraint check is O(rows with that
+	// value), not O(table); the planner only serves queries (and
+	// bills) from that index when the column is also listed in Index
+	// or Ordered.
 	Unique string
 	// Index names columns to maintain equality indexes on.
 	Index []string
+	// Ordered names columns to maintain ordered indexes on: equality
+	// conjuncts plan through them like Index columns, and range
+	// conjuncts (<, <=, >, >=, PREFIX) plan through the sorted distinct
+	// values in O(distinct values) instead of scanning the table.
+	Ordered []string
 }
 
+// irow is a stored tuple. The label lives on the interned class, shared
+// by every row carrying an equal label.
+type irow struct {
+	id     uint64
+	values map[string]string
+	class  *labelClass
+}
+
+// tbl is one table and everything queried or mutated through it. Each
+// table has its own lock, so traffic on different tables never
+// contends; see README.md for the protocol.
 type tbl struct {
+	mu      sync.RWMutex
 	schema  Schema
 	cols    map[string]bool
-	rows    map[uint64]*Row
+	rows    map[uint64]*irow
 	order   []uint64 // insertion order for deterministic scans
 	nextID  uint64
-	indexes map[string]map[string][]uint64 // col -> value -> row ids
+	indexes map[string]*colIndex
+
+	// Label interning + visibility cache (labelcache.go). classes is
+	// written only under mu held exclusively (Insert interns, Delete
+	// retires); epochs and the per-class verdict rings carry their own
+	// mutexes because Select updates them under mu held shared.
+	classes map[uint64][]*labelClass
+	epochs  credEpochs
 }
 
 // Store is a collection of labeled tables. Safe for concurrent use.
 type Store struct {
-	mu     sync.RWMutex
+	mu     sync.RWMutex // guards the tables map only; rows lock per table
 	tables map[string]*tbl
 	naive  bool
 	log    *audit.Log
@@ -112,7 +154,7 @@ func (s *Store) auditf(kind audit.Kind, actor, subject, format string, args ...a
 	}
 }
 
-// chargeScan bills one query-cost unit per scanned row.
+// chargeScan bills one query-cost unit per row the plan touches.
 func (s *Store) chargeScan(cred Cred, rows int) error {
 	if s.quotas == nil || rows == 0 {
 		return nil
@@ -120,12 +162,17 @@ func (s *Store) chargeScan(cred Cred, rows int) error {
 	return s.quotas.Account(cred.Principal).Charge(quota.Query, uint64(rows))
 }
 
-// visible reports whether a row's label can flow to the credential.
-func visible(r *Row, cred Cred, naive bool) bool {
-	if naive {
-		return true
+// table resolves a table name under the store lock. The returned *tbl
+// is immortal (tables are never dropped), so the store lock is released
+// before the per-table lock is taken.
+func (s *Store) table(name string) (*tbl, error) {
+	s.mu.RLock()
+	t, ok := s.tables[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrNoTable
 	}
-	return difc.SafeMessage(r.Label.Secrecy, difc.EmptyCaps, cred.Labels.Secrecy, cred.Caps)
+	return t, nil
 }
 
 // writable reports whether the credential can write a row at label l.
@@ -154,19 +201,35 @@ func (s *Store) Create(schema Schema) error {
 			return fmt.Errorf("%w: index column %q not in schema", ErrBadSchema, c)
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tables[schema.Name]; ok {
-		return ErrTableExist
+	for _, c := range schema.Ordered {
+		if !cols[c] {
+			return fmt.Errorf("%w: ordered index column %q not in schema", ErrBadSchema, c)
+		}
 	}
 	t := &tbl{
 		schema:  schema,
 		cols:    cols,
-		rows:    make(map[uint64]*Row),
-		indexes: make(map[string]map[string][]uint64),
+		rows:    make(map[uint64]*irow),
+		indexes: make(map[string]*colIndex),
+	}
+	for _, c := range schema.Ordered {
+		t.indexes[c] = newColIndex(true, true)
 	}
 	for _, c := range schema.Index {
-		t.indexes[c] = make(map[string][]uint64)
+		if t.indexes[c] == nil {
+			t.indexes[c] = newColIndex(false, true)
+		}
+	}
+	// The unique column's automatic index serves only the conflict
+	// probe, never query planning — an opt-in matter of billing
+	// observables, not correctness (see colIndex.plannable).
+	if u := schema.Unique; u != "" && t.indexes[u] == nil {
+		t.indexes[u] = newColIndex(false, false)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[schema.Name]; ok {
+		return ErrTableExist
 	}
 	s.tables[schema.Name] = t
 	return nil
@@ -186,26 +249,24 @@ func (s *Store) Tables() []string {
 
 // SchemaOf returns the schema for a table.
 func (s *Store) SchemaOf(name string) (Schema, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[name]
-	if !ok {
-		return Schema{}, ErrNoTable
+	t, err := s.table(name)
+	if err != nil {
+		return Schema{}, err
 	}
-	return t.schema, nil
+	return t.schema, nil // immutable after Create; no table lock needed
 }
 
 // Insert adds a row labeled label. The credential must be able to write
 // at that label (no write-down of its taint, no forging of integrity).
 // Uniqueness is checked within the partition visible to cred — never
-// against rows cred cannot see.
+// against rows cred cannot see — through the unique column's index.
 func (s *Store) Insert(cred Cred, table string, values map[string]string, label difc.LabelPair) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.tables[table]
-	if !ok {
-		return 0, ErrNoTable
+	t, err := s.table(table)
+	if err != nil {
+		return 0, err
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for c := range values {
 		if !t.cols[c] {
 			return 0, fmt.Errorf("%w: no column %q", ErrBadSchema, c)
@@ -216,34 +277,35 @@ func (s *Store) Insert(cred Cred, table string, values map[string]string, label 
 		return 0, ErrDenied
 	}
 	if t.schema.Unique != "" {
-		key := values[t.schema.Unique]
-		if s.uniqueConflict(t, cred, key) {
+		vm := t.visMemo(cred, s.naive)
+		if t.uniqueConflict(&vm, values[t.schema.Unique], 0) {
 			return 0, ErrDuplicate
 		}
 	}
 	t.nextID++
 	id := t.nextID
-	row := &Row{ID: id, Values: copyValues(values), Label: label}
+	row := &irow{id: id, values: copyValues(values), class: t.intern(label)}
 	t.rows[id] = row
 	t.order = append(t.order, id)
-	for col, idx := range t.indexes {
-		v := row.Values[col]
-		idx[v] = append(idx[v], id)
+	for col, ix := range t.indexes {
+		ix.add(row.values[col], id)
 	}
 	return id, nil
 }
 
 // uniqueConflict reports whether key collides with an existing row in
-// the unique column. Labeled mode checks only rows visible to cred; the
-// check charges no query cost (it is bounded by the index-free scan of
-// the unique column, billed to the writer as part of insert cost).
-func (s *Store) uniqueConflict(t *tbl, cred Cred, key string) bool {
-	for _, id := range t.order {
-		r := t.rows[id]
-		if r.Values[t.schema.Unique] != key {
+// the unique column, consulting only the postings of the unique
+// column's index (always present; see Create). Labeled mode counts
+// only rows visible to cred; exclude names a row id to ignore (the row
+// being updated). The check charges no query cost — its work is
+// bounded by the rows already carrying the key, part of the write's
+// own cost.
+func (t *tbl) uniqueConflict(vm *visMemo, key string, exclude uint64) bool {
+	for _, id := range t.indexes[t.schema.Unique].postings[key] {
+		if id == exclude {
 			continue
 		}
-		if s.naive || visible(r, cred, false) {
+		if vm.visible(t.rows[id].class) {
 			return true
 		}
 	}
@@ -252,53 +314,48 @@ func (s *Store) uniqueConflict(t *tbl, cred Cred, key string) bool {
 
 // Select returns the rows matching pred that are visible to cred, in
 // insertion order, together with the join of their labels — the label
-// of the result set as a whole. Each row scanned (visible or not)
-// charges one query-cost unit.
+// of the result set as a whole. Each row the plan touches (visible or
+// not) charges one query-cost unit.
 func (s *Store) Select(cred Cred, table string, pred Pred) ([]Row, difc.LabelPair, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[table]
-	if !ok {
-		return nil, difc.LabelPair{}, ErrNoTable
+	t, err := s.table(table)
+	if err != nil {
+		return nil, difc.LabelPair{}, err
 	}
-	candidates, scanned := s.plan(t, pred)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	candidates, scanned := t.plan(pred)
 	if err := s.chargeScan(cred, scanned); err != nil {
 		s.auditf(audit.KindQuota, cred.Principal, table, "%v", err)
 		return nil, difc.LabelPair{}, err
 	}
+	vm := t.visMemo(cred, s.naive)
 	var out []Row
+	// Distinct classes are joined once, not per row; like visMemo, the
+	// first class is tracked inline so single-class results (indexed
+	// point queries) allocate nothing for the dedup.
+	var firstJoined *labelClass
+	var alsoJoined map[*labelClass]bool
 	joined := difc.LabelPair{}
-	first := true
 	for _, id := range candidates {
 		r := t.rows[id]
-		if r == nil || !visible(r, cred, s.naive) || !pred.Match(r.Values) {
+		if r == nil || !vm.visible(r.class) || !pred.Match(r.values) {
 			continue
 		}
-		out = append(out, Row{ID: r.ID, Values: copyValues(r.Values), Label: r.Label})
-		if first {
-			joined = r.Label
-			first = false
-		} else {
-			joined = joined.Join(r.Label)
+		out = append(out, Row{ID: r.id, Values: copyValues(r.values), Label: r.class.label})
+		switch {
+		case r.class == firstJoined || alsoJoined[r.class]:
+			// already in the join
+		case firstJoined == nil:
+			firstJoined, joined = r.class, r.class.label
+		default:
+			if alsoJoined == nil {
+				alsoJoined = make(map[*labelClass]bool, 4)
+			}
+			alsoJoined[r.class] = true
+			joined = joined.Join(r.class.label)
 		}
 	}
 	return out, joined, nil
-}
-
-// plan chooses the candidate row set: an index lookup when an equality
-// conjunct hits an indexed column, else a full scan. Returns candidates
-// in insertion order plus the number of rows that will be touched (the
-// billing basis).
-func (s *Store) plan(t *tbl, pred Pred) (candidates []uint64, scanned int) {
-	for _, c := range eqConjuncts(pred) {
-		if idx, ok := t.indexes[c.Col]; ok {
-			ids := idx[c.Val]
-			sorted := append([]uint64(nil), ids...)
-			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-			return sorted, len(sorted)
-		}
-	}
-	return t.order, len(t.order)
 }
 
 // Count returns the number of visible rows matching pred. Like Select,
@@ -315,43 +372,60 @@ func (s *Store) Count(cred Cred, table string, pred Pred) (int, error) {
 // Update rewrites the values of every visible row matching pred. All
 // matched rows must be writable by cred or the whole update is denied
 // (no partial vandalism); invisible rows are untouched and unreported.
+// Setting the unique column is checked against the caller's visible
+// partition exactly like Insert: a collision with another visible row
+// — or an update that would converge two matched rows onto one value —
+// denies the whole update with ErrDuplicate.
 func (s *Store) Update(cred Cred, table string, pred Pred, set map[string]string) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.tables[table]
-	if !ok {
-		return 0, ErrNoTable
+	t, err := s.table(table)
+	if err != nil {
+		return 0, err
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for c := range set {
 		if !t.cols[c] {
 			return 0, fmt.Errorf("%w: no column %q", ErrBadSchema, c)
 		}
 	}
-	candidates, scanned := s.plan(t, pred)
+	candidates, scanned := t.plan(pred)
 	if err := s.chargeScan(cred, scanned); err != nil {
 		return 0, err
 	}
-	var matched []*Row
+	vm := t.visMemo(cred, s.naive)
+	var matched []*irow
 	for _, id := range candidates {
 		r := t.rows[id]
-		if r == nil || !visible(r, cred, s.naive) || !pred.Match(r.Values) {
+		if r == nil || !vm.visible(r.class) || !pred.Match(r.values) {
 			continue
 		}
-		if !s.naive && !writable(r.Label, cred) {
-			s.auditf(audit.KindFlowDenied, cred.Principal, table, "update row %d denied", r.ID)
+		if !s.naive && !writable(r.class.label, cred) {
+			s.auditf(audit.KindFlowDenied, cred.Principal, table, "update row %d denied", r.id)
 			return 0, ErrDenied
 		}
 		matched = append(matched, r)
 	}
+	if u := t.schema.Unique; u != "" && len(matched) > 0 {
+		if nv, ok := set[u]; ok {
+			if len(matched) > 1 {
+				// Every matched row would end up carrying nv.
+				return 0, ErrDuplicate
+			}
+			r := matched[0]
+			if r.values[u] != nv && t.uniqueConflict(&vm, nv, r.id) {
+				return 0, ErrDuplicate
+			}
+		}
+	}
 	for _, r := range matched {
-		for col, idx := range t.indexes {
-			if nv, ok := set[col]; ok && nv != r.Values[col] {
-				idx[r.Values[col]] = removeID(idx[r.Values[col]], r.ID)
-				idx[nv] = append(idx[nv], r.ID)
+		for col, ix := range t.indexes {
+			if nv, ok := set[col]; ok && nv != r.values[col] {
+				ix.remove(r.values[col], r.id)
+				ix.add(nv, r.id)
 			}
 		}
 		for c, v := range set {
-			r.Values[c] = v
+			r.values[c] = v
 		}
 	}
 	return len(matched), nil
@@ -360,41 +434,44 @@ func (s *Store) Update(cred Cred, table string, pred Pred, set map[string]string
 // Delete removes every visible, writable row matching pred; like
 // Update, one unwritable visible match denies the whole operation.
 func (s *Store) Delete(cred Cred, table string, pred Pred) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.tables[table]
-	if !ok {
-		return 0, ErrNoTable
+	t, err := s.table(table)
+	if err != nil {
+		return 0, err
 	}
-	candidates, scanned := s.plan(t, pred)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	candidates, scanned := t.plan(pred)
 	if err := s.chargeScan(cred, scanned); err != nil {
 		return 0, err
 	}
-	var matched []uint64
+	vm := t.visMemo(cred, s.naive)
+	var matched []*irow
 	for _, id := range candidates {
 		r := t.rows[id]
-		if r == nil || !visible(r, cred, s.naive) || !pred.Match(r.Values) {
+		if r == nil || !vm.visible(r.class) || !pred.Match(r.values) {
 			continue
 		}
-		if !s.naive && !writable(r.Label, cred) {
-			s.auditf(audit.KindFlowDenied, cred.Principal, table, "delete row %d denied", r.ID)
+		if !s.naive && !writable(r.class.label, cred) {
+			s.auditf(audit.KindFlowDenied, cred.Principal, table, "delete row %d denied", r.id)
 			return 0, ErrDenied
 		}
-		matched = append(matched, id)
+		matched = append(matched, r)
 	}
-	for _, id := range matched {
-		r := t.rows[id]
-		for col, idx := range t.indexes {
-			idx[r.Values[col]] = removeID(idx[r.Values[col]], id)
+	// candidates may alias index postings; all mutation happens after
+	// the iteration above completes.
+	for _, r := range matched {
+		for col, ix := range t.indexes {
+			ix.remove(r.values[col], r.id)
 		}
-		delete(t.rows, id)
+		delete(t.rows, r.id)
+		t.release(r.class)
 	}
 	if len(matched) > 0 {
-		kept := t.order[:0]
 		dead := make(map[uint64]bool, len(matched))
-		for _, id := range matched {
-			dead[id] = true
+		for _, r := range matched {
+			dead[r.id] = true
 		}
+		kept := t.order[:0]
 		for _, id := range t.order {
 			if !dead[id] {
 				kept = append(kept, id)

@@ -1,0 +1,101 @@
+package table
+
+import (
+	"errors"
+	"testing"
+)
+
+func accountsStore(naive bool) *Store {
+	s := New(Options{Naive: naive})
+	s.Create(Schema{Name: "accounts", Columns: []string{"handle", "note"}, Unique: "handle"})
+	return s
+}
+
+// Regression test: before PR 5, Update did not enforce Schema.Unique at
+// all — setting the unique column to a value another visible row
+// already carried succeeded, silently violating the constraint Insert
+// enforces.
+func TestUpdateCannotViolateUnique(t *testing.T) {
+	s := accountsStore(false)
+	s.Insert(publicCred, "accounts", map[string]string{"handle": "neo", "note": "a"}, public)
+	s.Insert(publicCred, "accounts", map[string]string{"handle": "trinity", "note": "b"}, public)
+
+	// Renaming trinity to neo collides with a visible row: denied whole.
+	n, err := s.Update(publicCred, "accounts",
+		Cmp{Col: "handle", Op: Eq, Val: "trinity"}, map[string]string{"handle": "neo"})
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("update violated unique constraint: n=%d err=%v", n, err)
+	}
+	rows, _, _ := s.Select(publicCred, "accounts", Cmp{Col: "handle", Op: Eq, Val: "trinity"})
+	if len(rows) != 1 || rows[0].Values["note"] != "b" {
+		t.Fatalf("denied update modified the row: %+v", rows)
+	}
+
+	// A self-rename (key unchanged) is not a conflict.
+	if n, err := s.Update(publicCred, "accounts",
+		Cmp{Col: "handle", Op: Eq, Val: "trinity"}, map[string]string{"handle": "trinity", "note": "b2"}); err != nil || n != 1 {
+		t.Fatalf("self-keyed update: n=%d err=%v", n, err)
+	}
+
+	// A rename to a fresh key succeeds and the index follows.
+	if n, err := s.Update(publicCred, "accounts",
+		Cmp{Col: "handle", Op: Eq, Val: "trinity"}, map[string]string{"handle": "morpheus"}); err != nil || n != 1 {
+		t.Fatalf("rename: n=%d err=%v", n, err)
+	}
+	if _, err := s.Insert(publicCred, "accounts", map[string]string{"handle": "morpheus"}, public); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("index missed renamed key: %v", err)
+	}
+	if _, err := s.Insert(publicCred, "accounts", map[string]string{"handle": "trinity"}, public); err != nil {
+		t.Fatalf("old key not released: %v", err)
+	}
+}
+
+// A multi-row update that sets the unique column converges every
+// matched row onto one value — always a violation when more than one
+// row matches.
+func TestUpdateUniqueMultiRowConvergence(t *testing.T) {
+	s := accountsStore(false)
+	s.Insert(publicCred, "accounts", map[string]string{"handle": "a", "note": "x"}, public)
+	s.Insert(publicCred, "accounts", map[string]string{"handle": "b", "note": "x"}, public)
+	n, err := s.Update(publicCred, "accounts",
+		Cmp{Col: "note", Op: Eq, Val: "x"}, map[string]string{"handle": "c"})
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("convergent update allowed: n=%d err=%v", n, err)
+	}
+	if rows, _, _ := s.Select(publicCred, "accounts", Cmp{Col: "handle", Op: Eq, Val: "c"}); len(rows) != 0 {
+		t.Fatalf("denied update left rows behind: %+v", rows)
+	}
+}
+
+// Uniqueness on update is partition-scoped, exactly like Insert: a
+// public rename onto a key that exists only in a secret partition must
+// succeed — blocking it would be the E7 covert channel through Update.
+func TestUpdateUniquePartitionScoped(t *testing.T) {
+	s := accountsStore(false)
+	s.Insert(bobCred, "accounts", map[string]string{"handle": "neo"}, bobSecret)
+	s.Insert(publicCred, "accounts", map[string]string{"handle": "smith"}, public)
+
+	if n, err := s.Update(publicCred, "accounts",
+		Cmp{Col: "handle", Op: Eq, Val: "smith"}, map[string]string{"handle": "neo"}); err != nil || n != 1 {
+		t.Fatalf("labeled store leaked via unique-on-update: n=%d err=%v", n, err)
+	}
+	// Bob, who sees both copies of "neo", cannot create a third within
+	// his partition by renaming his own row onto it.
+	s.Insert(bobCred, "accounts", map[string]string{"handle": "cypher"}, bobSecret)
+	if _, err := s.Update(bobCred, "accounts",
+		Cmp{Col: "handle", Op: Eq, Val: "cypher"}, map[string]string{"handle": "neo"}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("bob duplicated within his partition: %v", err)
+	}
+}
+
+// In naive mode the constraint is global on update too — the covert
+// channel the comparator exists to exhibit.
+func TestUpdateUniqueNaiveGlobal(t *testing.T) {
+	s := accountsStore(true)
+	s.Insert(bobCred, "accounts", map[string]string{"handle": "neo"}, bobSecret)
+	s.Insert(publicCred, "accounts", map[string]string{"handle": "smith"}, public)
+	if _, err := s.Update(publicCred, "accounts",
+		Cmp{Col: "handle", Op: Eq, Val: "smith"}, map[string]string{"handle": "neo"}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("naive store did not exhibit the global constraint: %v", err)
+	}
+}
