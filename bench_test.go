@@ -337,6 +337,45 @@ func BenchmarkE6_FederationSync(b *testing.B) {
 	})
 }
 
+// BenchmarkFederationSync measures the resilient federation pull over
+// a real loopback HTTP connection in its three steady shapes:
+// incremental with nothing changed (the O(changed files) contract),
+// one-update propagation, and a full healing pull over an
+// already-converged corpus. It drives the same benchutil harness as
+// the CI-gated entries in BENCH_federation.json, so the testing.B view
+// and the gate cannot drift apart.
+func BenchmarkFederationSync(b *testing.B) {
+	fb, err := benchutil.StartFederationBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fb.Close()
+	b.Run("steady", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := fb.SyncSteady(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("update", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := fb.SyncUpdate(i + 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-stale", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := fb.SyncFullStale(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkE7_CovertChannel measures the probe cycle on both stores.
 func BenchmarkE7_CovertChannel(b *testing.B) {
 	for _, naive := range []bool{true, false} {

@@ -20,6 +20,17 @@
 //	                                         # if ns/op, allocs/op, or the
 //	                                         # population-scaling ratio
 //	                                         # regressed >25% vs baseline
+//	w5bench -federation BENCH_federation.json
+//	                                         # measure the federation
+//	                                         # sync path (steady-state
+//	                                         # incremental, single-update
+//	                                         # propagation, full healing
+//	                                         # pull) over loopback HTTP
+//	w5bench -federation /tmp/new.json -compare BENCH_federation.json
+//	                                         # the federation regression
+//	                                         # gate: same rules, pinning
+//	                                         # the O(changed files)
+//	                                         # incremental-sync contract
 //
 // The -requestpath mode exists so successive PRs can compare the
 // request-path cost (ns/op, allocs/op, and the population-scaling
@@ -47,13 +58,51 @@ const compareTolerance = 0.25
 func main() {
 	requestPath := flag.String("requestpath", "",
 		"measure the invoke→export request path and write JSON results to this file")
+	federation := flag.String("federation", "",
+		"measure the federation sync path and write JSON results to this file")
 	compare := flag.String("compare", "",
-		"baseline JSON to gate against; with -requestpath, exits 1 on >25% regression")
+		"baseline JSON to gate against; with -requestpath or -federation, exits 1 on >25% regression")
 	flag.Parse()
 
-	if *compare != "" && *requestPath == "" {
-		fmt.Fprintln(os.Stderr, "w5bench: -compare requires -requestpath (nothing was measured)")
+	if *requestPath != "" && *federation != "" {
+		fmt.Fprintln(os.Stderr, "w5bench: -requestpath and -federation are separate runs; pick one")
 		os.Exit(2)
+	}
+	if *compare != "" && *requestPath == "" && *federation == "" {
+		fmt.Fprintln(os.Stderr, "w5bench: -compare requires -requestpath or -federation (nothing was measured)")
+		os.Exit(2)
+	}
+
+	if *federation != "" {
+		report, err := benchutil.MeasureFederation(func(r benchutil.Result) {
+			fmt.Printf("%-40s %10.0f ns/op %6d B/op %4d allocs/op\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "w5bench:", err)
+			os.Exit(1)
+		}
+		if err := report.Write(*federation); err != nil {
+			fmt.Fprintln(os.Stderr, "w5bench:", err)
+			os.Exit(1)
+		}
+		if *compare != "" {
+			baseline, err := benchutil.LoadReport(*compare)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "w5bench: loading baseline:", err)
+				os.Exit(1)
+			}
+			violations := benchutil.Compare(baseline, report, compareTolerance)
+			if len(violations) > 0 {
+				fmt.Fprintf(os.Stderr, "w5bench: federation sync regressed vs %s:\n", *compare)
+				for _, v := range violations {
+					fmt.Fprintln(os.Stderr, "  -", v)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("no regression vs %s (tolerance %.0f%%)\n", *compare, compareTolerance*100)
+		}
+		return
 	}
 
 	if *requestPath != "" {

@@ -13,10 +13,12 @@
 //	w5ctl post social /profile owner=bob body='hello world'
 //	w5ctl audit kind=export since=100
 //	w5ctl search photo
+//	w5ctl fed status
 //	w5ctl whoami
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -24,7 +26,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"w5/internal/federation"
 	"w5/internal/gateway"
 )
 
@@ -104,6 +108,12 @@ func main() {
 			q = rest[0]
 		}
 		fmt.Print(get("/registry/search?q=" + url.QueryEscape(q)))
+	case "fed":
+		need(rest, 1)
+		if rest[0] != "status" {
+			usage()
+		}
+		fedStatus()
 	default:
 		usage()
 	}
@@ -129,7 +139,8 @@ commands:
   post <app> <path> [k=v...]   POST to an app route
   audit [kind=K] [since=N] [limit=N]
                                inspect your audit trail
-  search [query]               code search`)
+  search [query]               code search
+  fed status                   per-peer federation sync health`)
 	os.Exit(2)
 }
 
@@ -187,6 +198,33 @@ func post(path string, form url.Values, save bool) string {
 		fmt.Fprintf(os.Stderr, "w5ctl: HTTP %d\n", resp.StatusCode)
 	}
 	return string(b)
+}
+
+// fedStatus renders /fed/status: one line per peer with breaker state
+// and staleness, so an operator can see at a glance whether local data
+// is current or how far behind an unreachable peer has left it.
+func fedStatus() {
+	body := get("/fed/status")
+	var health []federation.PeerHealth
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		fmt.Print(body) // non-JSON: the server's error text says why
+		return
+	}
+	if len(health) == 0 {
+		fmt.Println("no federation peers configured")
+		return
+	}
+	for _, h := range health {
+		fresh := "never synced"
+		if !h.LastSuccess.IsZero() {
+			fresh = fmt.Sprintf("synced %s ago", time.Since(h.LastSuccess).Round(time.Second))
+		}
+		fmt.Printf("%s  breaker=%s  failures=%d  rounds=%d  applied=%d  %s\n",
+			h.Peer, h.Breaker, h.ConsecutiveFailures, h.Rounds, h.TotalApplied, fresh)
+		if h.LastError != "" {
+			fmt.Printf("  last error: %s\n", h.LastError)
+		}
+	}
 }
 
 func check(err error) {

@@ -1,0 +1,74 @@
+package main
+
+// Smoke test for the built binary: `w5ctl fed status` against a live
+// gateway renders per-peer health, and the cookie round-trips through
+// $HOME/.w5ctl-cookie.
+
+import (
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"w5/internal/core"
+	"w5/internal/federation"
+	"w5/internal/gateway"
+)
+
+func buildW5ctl(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "w5ctl")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestFedStatusSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildW5ctl(t)
+
+	p := core.NewProvider(core.Config{Name: "ctltest", Enforce: true})
+	g := gateway.New(p, gateway.Options{})
+	g.SetFedStats(func() any {
+		return []federation.PeerHealth{{
+			Peer: "providerB", Breaker: "open",
+			ConsecutiveFailures: 4, Rounds: 9,
+			LastError:   "federation: peer providerB: conn: dial refused",
+			LastSuccess: time.Now().Add(-time.Minute),
+		}}
+	})
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+
+	home := t.TempDir() // isolates the cookie file
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin, append([]string{"-server", srv.URL}, args...)...)
+		cmd.Env = append(os.Environ(), "HOME="+home)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("w5ctl %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	// Unauthenticated: the endpoint refuses, and the CLI passes the
+	// server's words through.
+	if out := run("fed", "status"); !strings.Contains(out, "login required") {
+		t.Fatalf("anonymous fed status = %q", out)
+	}
+	run("signup", "op", "hunter2")
+	out := run("fed", "status")
+	for _, want := range []string{"providerB", "breaker=open", "failures=4", "dial refused"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fed status output missing %q:\n%s", want, out)
+		}
+	}
+}

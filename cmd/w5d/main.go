@@ -1,13 +1,21 @@
 // Command w5d runs a W5 provider: the meta-application platform with
 // its HTTP front-end, all stock applications installed, and (optionally)
-// a federation export endpoint.
+// federation — both the export endpoint and the supervised sync daemon.
 //
 // Usage:
 //
-//	w5d [-addr :8055] [-name w5] [-peer name=secret ...]
+//	w5d [-addr :8055] [-name w5]
+//	    [-peer name=secret | -peer name=url=secretfile ...]
+//	    [-fed-state-dir /var/w5/fed] [-fed-interval 1s]
 //	    [-audit-spill-dir /var/w5/audit] [-audit-ring-segments 64]
 //	    [-audit-retain-segments N] [-audit-retain-age 720h]
 //	    [-login-rate 1] [-login-burst 10]
+//
+// A two-field -peer (name=secret) only serves /fed/export to that peer.
+// A three-field -peer (name=url=secretfile) additionally PULLS from the
+// peer's gateway at url, presenting the secret read from secretfile —
+// one shared secret per pairing, used in both directions. Sync health
+// is served at /fed/status (see `w5ctl fed status`).
 //
 // Then, with any HTTP client:
 //
@@ -21,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,15 +44,46 @@ import (
 	"w5/internal/gateway"
 )
 
-type peerList map[string]string
+// peerSpec is one -peer flag: always an export grant, and when URL is
+// set, also a sync source.
+type peerSpec struct {
+	name, url, secret string
+}
 
-func (p peerList) String() string { return fmt.Sprint(map[string]string(p)) }
-func (p peerList) Set(v string) error {
-	name, secret, ok := strings.Cut(v, "=")
-	if !ok || name == "" || secret == "" {
-		return fmt.Errorf("peer must be name=secret")
+type peerList struct{ specs []peerSpec }
+
+func (p *peerList) String() string {
+	names := make([]string, len(p.specs))
+	for i, s := range p.specs {
+		names[i] = s.name
 	}
-	p[name] = secret
+	return strings.Join(names, ",")
+}
+
+func (p *peerList) Set(v string) error {
+	parts := strings.SplitN(v, "=", 3)
+	switch len(parts) {
+	case 2: // legacy export-only form: name=secret
+		if parts[0] == "" || parts[1] == "" {
+			return fmt.Errorf("peer must be name=secret or name=url=secretfile")
+		}
+		p.specs = append(p.specs, peerSpec{name: parts[0], secret: parts[1]})
+	case 3: // federated form: name=url=secretfile (secret kept out of argv)
+		if parts[0] == "" || parts[1] == "" || parts[2] == "" {
+			return fmt.Errorf("peer must be name=secret or name=url=secretfile")
+		}
+		raw, err := os.ReadFile(parts[2])
+		if err != nil {
+			return fmt.Errorf("peer %s: reading secret: %w", parts[0], err)
+		}
+		secret := strings.TrimSpace(string(raw))
+		if secret == "" {
+			return fmt.Errorf("peer %s: secret file %s is empty", parts[0], parts[2])
+		}
+		p.specs = append(p.specs, peerSpec{name: parts[0], url: parts[1], secret: secret})
+	default:
+		return fmt.Errorf("peer must be name=secret or name=url=secretfile")
+	}
 	return nil
 }
 
@@ -69,8 +109,13 @@ func main() {
 		"per-source login/signup attempts per second (0 = unlimited)")
 	loginBurst := flag.Float64("login-burst", 10,
 		"per-source login/signup attempt burst (0 = unlimited)")
-	peers := peerList{}
-	flag.Var(peers, "peer", "federation peer as name=secret (repeatable)")
+	fedStateDir := flag.String("fed-state-dir", "",
+		"persist federation sync cursors here (empty = in-memory only)")
+	fedInterval := flag.Duration("fed-interval", time.Second,
+		"pause between federation sync rounds per peer")
+	peers := &peerList{}
+	flag.Var(peers, "peer",
+		"federation peer as name=secret (export only) or name=url=secretfile (export + sync); repeatable")
 	flag.Parse()
 
 	// Ring "auto": the trail must never be silently incomplete, so the
@@ -123,35 +168,72 @@ func main() {
 		LoginRate:  *loginRate,
 		LoginBurst: *loginBurst,
 	})
-	if len(peers) > 0 {
-		federation.MountExport(p, gw.Mux(), peers)
+	exportPeers := make(map[string]string)
+	var syncPeers []federation.PeerConfig
+	for _, ps := range peers.specs {
+		exportPeers[ps.name] = ps.secret
+		if ps.url != "" {
+			syncPeers = append(syncPeers, federation.PeerConfig{
+				Name: ps.name, BaseURL: ps.url, Secret: ps.secret,
+			})
+		}
+	}
+	if len(exportPeers) > 0 {
+		federation.MountExport(p, gw.Mux(), exportPeers)
 		log.Printf("federation export enabled for peers: %s", peers)
 	}
+	var syncer *federation.Syncer
+	if len(syncPeers) > 0 {
+		syncer = federation.NewSyncer(federation.SyncerConfig{
+			Local:    p,
+			Peers:    syncPeers,
+			Interval: *fedInterval,
+			StateDir: *fedStateDir,
+		})
+		syncer.Start()
+		gw.SetFedStats(func() any { return syncer.Stats() })
+		log.Printf("federation sync pulling from %d peers every %s", len(syncPeers), *fedInterval)
+	}
+
+	// Listen explicitly so ":0" resolves before the "serving on" line —
+	// the multi-process tests parse the actual address from it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		alog.Close()
+		log.Fatal(err)
+	}
 	log.Printf("W5 provider %q serving on %s (apps: %s)",
-		*name, *addr, strings.Join(p.AppNames(), ", "))
+		*name, ln.Addr(), strings.Join(p.AppNames(), ", "))
 	// ConnContext plants the gateway's per-connection session cache, so
 	// keep-alive requests skip cookie->session map resolution entirely.
-	srv := &http.Server{Addr: *addr, Handler: gw, ConnContext: gw.ConnContext}
+	srv := &http.Server{Handler: gw, ConnContext: gw.ConnContext}
 
 	// The audit log's flush-on-exit must actually run: log.Fatal and
 	// unhandled signals both skip defers, so shutdown is explicit —
-	// on SIGINT/SIGTERM (or a listener error) seal and spill whatever
-	// is outstanding before the process goes away.
+	// on SIGINT/SIGTERM (or a listener error) stop the sync loops, then
+	// seal and spill whatever is outstanding before the process goes
+	// away.
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
+	go func() { errCh <- srv.Serve(ln) }()
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	shutdown := func() {
+		if syncer != nil {
+			syncer.Close()
+		}
+		if err := alog.Close(); err != nil {
+			log.Printf("audit close: %v", err)
+		}
+	}
 	select {
 	case err := <-errCh:
-		alog.Close()
+		shutdown()
 		log.Fatal(err)
 	case sig := <-sigCh:
 		log.Printf("%v: flushing audit log and shutting down", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		srv.Shutdown(ctx)
 		cancel()
-		if err := alog.Close(); err != nil {
-			log.Printf("audit close: %v", err)
-		}
+		shutdown()
 	}
 }

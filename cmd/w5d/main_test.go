@@ -1,0 +1,298 @@
+package main
+
+// Multi-process federation test: two real w5d daemons on loopback,
+// pulling from each other through fault-injecting proxies. Asserts
+// convergence through injected faults, observable degradation (breaker
+// opens, stale local reads keep working), recovery, and a
+// kill-and-restart cycle that self-heals from the durable sync state.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"w5/internal/faultnet"
+	"w5/internal/federation"
+)
+
+// raceEnabled is set by race_on_test.go when this test binary is
+// race-instrumented; the spawned daemons are then built with -race too.
+var raceEnabled bool
+
+func buildW5d(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "w5d")
+	args := []string{"build"}
+	if raceEnabled {
+		args = append(args, "-race")
+	}
+	args = append(args, "-o", bin, ".")
+	cmd := exec.Command("go", args...)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePort reserves an ephemeral port and releases it for the daemon.
+// The tiny reuse race is acceptable in a test; it lets the fault
+// proxies know each daemon's URL before the daemon starts.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
+// daemon is one spawned w5d process plus an authenticated HTTP client.
+type daemon struct {
+	t      *testing.T
+	name   string
+	url    string
+	cmd    *exec.Cmd
+	stderr *bytes.Buffer
+	client *http.Client
+}
+
+func startDaemon(t *testing.T, bin, name string, port int, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{
+		"-addr", "127.0.0.1:" + strconv.Itoa(port),
+		"-name", name,
+		"-fed-interval", "50ms",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	jar, _ := cookiejar.New(nil)
+	d := &daemon{
+		t: t, name: name, cmd: cmd, stderr: &stderr,
+		url:    "http://127.0.0.1:" + strconv.Itoa(port),
+		client: &http.Client{Jar: jar, Timeout: 5 * time.Second},
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("--- %s stderr ---\n%s", name, stderr.String())
+		}
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if resp, err := d.client.Get(d.url + "/"); err == nil {
+			resp.Body.Close()
+			return d
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%s did not become ready\n%s", name, stderr.String())
+	return nil
+}
+
+// stop sends SIGTERM and requires a clean (code 0) exit — the daemon's
+// explicit shutdown path must stop the sync loops and flush the audit
+// log without panicking or hanging.
+func (d *daemon) stop() {
+	d.t.Helper()
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			d.t.Fatalf("%s exited uncleanly: %v\n%s", d.name, err, d.stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		d.cmd.Process.Kill()
+		d.t.Fatalf("%s did not exit on SIGTERM", d.name)
+	}
+}
+
+func (d *daemon) post(path string, form url.Values) (int, string) {
+	d.t.Helper()
+	resp, err := d.client.PostForm(d.url+path, form)
+	if err != nil {
+		d.t.Fatalf("%s POST %s: %v", d.name, path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+func (d *daemon) get(path string) (int, string) {
+	d.t.Helper()
+	resp, err := d.client.Get(d.url + path)
+	if err != nil {
+		d.t.Fatalf("%s GET %s: %v", d.name, path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// setupBob creates bob, enables the social app, grants it write
+// access, and authorizes federation export to the named peer.
+func (d *daemon) setupBob(peer string) {
+	d.t.Helper()
+	if code, body := d.post("/signup", url.Values{"user": {"bob"}, "password": {"pw"}}); code != 200 {
+		d.t.Fatalf("%s signup: %d %s", d.name, code, body)
+	}
+	if code, body := d.post("/grants/enable", url.Values{"app": {"social"}}); code != 200 {
+		d.t.Fatalf("%s enable: %d %s", d.name, code, body)
+	}
+	if code, body := d.post("/grants/write", url.Values{"app": {"social"}}); code != 200 {
+		d.t.Fatalf("%s grant-write: %d %s", d.name, code, body)
+	}
+	if code, body := d.post("/grants/declass", url.Values{
+		"policy":  {"group"},
+		"group":   {"federation-" + peer},
+		"members": {"peer:" + peer},
+	}); code != 200 {
+		d.t.Fatalf("%s declass: %d %s", d.name, code, body)
+	}
+}
+
+func (d *daemon) writeProfile(body string) {
+	d.t.Helper()
+	if code, resp := d.post("/app/social/profile", url.Values{
+		"owner": {"bob"}, "body": {body},
+	}); code != 200 {
+		d.t.Fatalf("%s write profile: %d %s", d.name, code, resp)
+	}
+}
+
+func (d *daemon) profile() (string, bool) {
+	code, body := d.get("/app/social/profile?owner=bob")
+	return body, code == 200
+}
+
+func (d *daemon) fedStatus() []federation.PeerHealth {
+	d.t.Helper()
+	code, body := d.get("/fed/status")
+	if code != 200 {
+		d.t.Fatalf("%s /fed/status: %d %s", d.name, code, body)
+	}
+	var health []federation.PeerHealth
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		d.t.Fatalf("%s /fed/status: %v (%q)", d.name, err, body)
+	}
+	return health
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestTwoDaemonsConvergeThroughFaultsAndRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemons")
+	}
+	bin := buildW5d(t)
+
+	secretFile := filepath.Join(t.TempDir(), "pair.secret")
+	if err := os.WriteFile(secretFile, []byte("s3cret-pair\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	stateA, stateB := t.TempDir(), t.TempDir()
+	portA, portB := freePort(t), freePort(t)
+
+	// Each daemon pulls from the other THROUGH a fault proxy owned by
+	// the test, so the test can stage an outage on either direction.
+	planA, planB := &faultnet.Plan{}, &faultnet.Plan{}
+	proxyA, err := faultnet.NewProxy(fmt.Sprintf("http://127.0.0.1:%d", portA), planA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxyA.Close()
+	proxyB, err := faultnet.NewProxy(fmt.Sprintf("http://127.0.0.1:%d", portB), planB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxyB.Close()
+
+	argsA := []string{"-fed-state-dir", stateA, "-peer", "providerB=" + proxyB.URL() + "=" + secretFile}
+	argsB := []string{"-fed-state-dir", stateB, "-peer", "providerA=" + proxyA.URL() + "=" + secretFile}
+	A := startDaemon(t, bin, "providerA", portA, argsA...)
+	B := startDaemon(t, bin, "providerB", portB, argsB...)
+
+	A.setupBob("providerB")
+	B.setupBob("providerA")
+
+	// Phase 1: clean convergence A -> B.
+	A.writeProfile("hello from A")
+	waitUntil(t, 20*time.Second, "initial convergence", func() bool {
+		body, ok := B.profile()
+		return ok && strings.Contains(body, "hello from A")
+	})
+
+	// Phase 2: outage. The next 12 pull requests from B to A fail with
+	// 503s: B's retries burn out, its breaker opens (observable via
+	// /fed/status), and B keeps serving the stale profile locally.
+	planA.Extend(12, faultnet.Status)
+	A.writeProfile("written during outage")
+	waitUntil(t, 30*time.Second, "breaker to open on B", func() bool {
+		st := B.fedStatus()
+		return len(st) == 1 && st[0].Breaker == "open" && st[0].ConsecutiveFailures >= 3
+	})
+	if body, ok := B.profile(); !ok || !strings.Contains(body, "hello from A") {
+		t.Fatalf("stale read during outage failed: %q", body)
+	}
+
+	// Phase 3: recovery. The script runs dry, a half-open probe
+	// succeeds, and the update written during the outage converges.
+	waitUntil(t, 30*time.Second, "recovery on B", func() bool {
+		st := B.fedStatus()
+		body, ok := B.profile()
+		return len(st) == 1 && st[0].Breaker == "closed" &&
+			st[0].ConsecutiveFailures == 0 &&
+			ok && strings.Contains(body, "written during outage")
+	})
+
+	// Phase 4: kill and restart B. Its store is in-memory (gone), but
+	// the durable sync state survives; the state loader must notice the
+	// applied files are missing and re-pull in full rather than
+	// trusting the cursor into silent data loss.
+	B.stop()
+	B = startDaemon(t, bin, "providerB", portB, argsB...)
+	B.setupBob("providerA")
+	waitUntil(t, 30*time.Second, "post-restart re-convergence", func() bool {
+		body, ok := B.profile()
+		return ok && strings.Contains(body, "written during outage")
+	})
+	st := B.fedStatus()
+	if len(st) != 1 || st[0].LastSuccess.IsZero() || st[0].Breaker != "closed" {
+		t.Errorf("post-restart health: %+v", st)
+	}
+
+	// Clean shutdown, both daemons.
+	B.stop()
+	A.stop()
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// When the test binary itself is race-instrumented, build the spawned
+// daemons with -race too, so the multi-process test exercises the
+// daemon's concurrency under the detector.
+func init() { raceEnabled = true }

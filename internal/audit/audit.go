@@ -64,6 +64,8 @@ const (
 	KindLogin        Kind = "login"         // session established
 	KindUpload       Kind = "upload"        // module uploaded to registry
 	KindFederation   Kind = "federation"    // cross-provider sync event
+	KindPeerFail     Kind = "peer-fail"     // a federation peer became unreachable
+	KindPeerRecover  Kind = "peer-recover"  // a failed federation peer answered again
 )
 
 // Event is one immutable audit record.

@@ -1,0 +1,232 @@
+package benchutil
+
+// Federation sync benchmarks and their machine-readable record.
+// `cmd/w5bench -federation` writes a Report; the committed
+// BENCH_federation.json is the baseline the CI gate holds the line
+// against, pinning the incremental-sync contract: a steady-state pull
+// over an unchanged corpus must stay O(changed files) — near the cost
+// of one empty HTTP round trip — no matter how many files the user
+// has, and must not regrow toward the full-transfer cost.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"w5/internal/core"
+	"w5/internal/difc"
+	"w5/internal/federation"
+)
+
+// fedFiles is the corpus size for the federation entries: large enough
+// that an accidental O(corpus) transfer in the steady-state entry is
+// unmissable, small enough that the full-pull entry stays fast.
+const fedFiles = 64
+
+// Iteration budgets. Every entry crosses a real loopback HTTP
+// connection, so these sit near gatewayIters territory; the update
+// entry additionally pays a store write and a full apply per iteration.
+const (
+	fedSteadyIters = 2_000
+	fedUpdateIters = 500
+	fedFullIters   = 500
+)
+
+// FederationBench is a provisioned A->B pull pair: provider A
+// exporting fedFiles private files for bob over a real HTTP server,
+// provider B holding the link that pulls them. It is shared by the
+// w5bench federation/* entries and the root BenchmarkFederationSync so
+// the CI-gated measurement and the testing.B twin cannot drift apart.
+type FederationBench struct {
+	A, B *core.Provider
+	srv  *httptest.Server
+	link *federation.Link
+}
+
+// Close shuts the exporting HTTP server down.
+func (fb *FederationBench) Close() { fb.srv.Close() }
+
+// writeBobFile writes (or overwrites) one of bob's private files on A.
+func (fb *FederationBench) writeBobFile(i int, rev int) error {
+	u, err := fb.A.GetUser("bob")
+	if err != nil {
+		return err
+	}
+	label := difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}
+	path := fmt.Sprintf("/home/bob/docs/f%03d", i)
+	body := []byte(fmt.Sprintf("file %d rev %d padding padding padding", i, rev))
+	return fb.A.FS.Write(fb.A.UserCred("bob"), path, body, label)
+}
+
+// StartFederationBench provisions the pair and completes one initial
+// full sync, so the measured loops start from the converged steady
+// state.
+func StartFederationBench() (*FederationBench, error) {
+	A := core.NewProvider(core.Config{Name: "providerA", Enforce: true, DisableQuotas: true})
+	B := core.NewProvider(core.Config{Name: "providerB", Enforce: true, DisableQuotas: true})
+	for _, p := range []*core.Provider{A, B} {
+		if _, err := p.CreateUser("bob", "pw"); err != nil {
+			return nil, err
+		}
+	}
+	if err := federation.AuthorizePeer(A, "bob", "providerB"); err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	federation.MountExport(A, mux, map[string]string{"providerB": "s3cret"})
+	srv := httptest.NewServer(mux)
+
+	fb := &FederationBench{
+		A: A, B: B, srv: srv,
+		link: &federation.Link{
+			Local: B, PeerName: "providerA", BaseURL: srv.URL,
+			Secret: "s3cret", User: "bob",
+			// Benchmarks measure the happy path; a real fault here should
+			// fail fast, not hide behind retries.
+			Options: federation.Options{Retries: -1, Timeout: 30 * time.Second},
+		},
+	}
+	u, err := A.GetUser("bob")
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	dirLabel := difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}
+	if err := A.FS.MkdirAll(A.UserCred("bob"), "/home/bob/docs", dirLabel); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	for i := 0; i < fedFiles; i++ {
+		if err := fb.writeBobFile(i, 0); err != nil {
+			srv.Close()
+			return nil, err
+		}
+	}
+	res, err := fb.link.SyncFull()
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	if res.Applied != fedFiles {
+		srv.Close()
+		return nil, fmt.Errorf("initial full sync applied %d files, want %d", res.Applied, fedFiles)
+	}
+	return fb, nil
+}
+
+// SyncSteady runs one incremental pull over the converged corpus and
+// fails if anything was transferred and applied — the O(changed files)
+// contract.
+func (fb *FederationBench) SyncSteady() error {
+	res, err := fb.link.Sync()
+	if err != nil {
+		return err
+	}
+	if res.Applied != 0 {
+		return fmt.Errorf("steady-state sync applied %d files", res.Applied)
+	}
+	return nil
+}
+
+// SyncUpdate overwrites one file on A (rev disambiguates the bytes)
+// and runs one incremental pull, which must apply exactly that file.
+func (fb *FederationBench) SyncUpdate(rev int) error {
+	if err := fb.writeBobFile(rev%fedFiles, rev); err != nil {
+		return err
+	}
+	res, err := fb.link.Sync()
+	if err != nil {
+		return err
+	}
+	if res.Applied != 1 {
+		return fmt.Errorf("update sync applied %d files, want 1", res.Applied)
+	}
+	return nil
+}
+
+// SyncFullStale runs one full pull (the periodic FullEvery healing
+// pass) over the converged corpus: everything transfers, nothing
+// applies.
+func (fb *FederationBench) SyncFullStale() error {
+	res, err := fb.link.SyncFull()
+	if err != nil {
+		return err
+	}
+	if res.Applied != 0 || res.Stale != fedFiles {
+		return fmt.Errorf("full sync over converged corpus: applied=%d stale=%d",
+			res.Applied, res.Stale)
+	}
+	return nil
+}
+
+// fedNsTolMult widens the federation ns/op lines the same way the
+// gateway entries are widened: every iteration is loopback HTTP, so
+// run-to-run latency is scheduler-dominated. allocs/op and bytes/op
+// still gate at the standard tolerance.
+const fedNsTolMult = 8
+
+// MeasureFederation runs the federation sync suite and assembles the
+// Report. Entries:
+//
+//   - sync-steady: incremental pull with nothing changed. The O(changed
+//     files) contract — cost must track one empty round trip, not the
+//     corpus.
+//   - sync-update: one file overwritten per pull; steady-state
+//     propagation of a single change.
+//   - sync-full-stale: a full pull (the periodic FullEvery healing
+//     pass) over an already-converged corpus — transfers everything,
+//     applies nothing.
+func MeasureFederation(progress func(Result)) (Report, error) {
+	report := Report{
+		Benchmark: "federation",
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+	}
+	fb, err := StartFederationBench()
+	if err != nil {
+		return report, err
+	}
+	defer fb.Close()
+	add := func(r Result) {
+		r.NsTolMult = fedNsTolMult
+		report.Results = append(report.Results, r)
+		if progress != nil {
+			progress(r)
+		}
+	}
+
+	steady, err := runFixed(fmt.Sprintf("federation/sync-steady/files=%d", fedFiles),
+		fedSteadyIters, fb.SyncSteady)
+	if err != nil {
+		return report, err
+	}
+	add(steady)
+
+	rev := 0
+	update, err := runFixed(fmt.Sprintf("federation/sync-update/files=%d", fedFiles),
+		fedUpdateIters, func() error {
+			rev++
+			return fb.SyncUpdate(rev)
+		})
+	if err != nil {
+		return report, err
+	}
+	add(update)
+
+	full, err := runFixed(fmt.Sprintf("federation/sync-full-stale/files=%d", fedFiles),
+		fedFullIters, fb.SyncFullStale)
+	if err != nil {
+		return report, err
+	}
+	add(full)
+
+	return report, nil
+}

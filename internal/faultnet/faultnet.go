@@ -1,0 +1,288 @@
+// Package faultnet injects deterministic, seedable network faults into
+// HTTP paths, for testing how the federation subsystem (and anything
+// else that talks over a socket) degrades and recovers.
+//
+// Two injection points cover the two test shapes:
+//
+//   - Transport wraps an http.RoundTripper, for in-process tests: the
+//     client under test keeps its real URL and the faults happen
+//     between it and the wire.
+//   - Proxy is an HTTP forwarder on its own net.Listener, for
+//     multi-process tests: point a real daemon's peer URL at the proxy
+//     and the faults happen between two live processes on loopback.
+//
+// Faults are decided per request by a Plan. A Plan is deterministic: a
+// scripted prefix fires exactly in order, and anything after the script
+// is driven by a seeded math/rand source plus an optional flap cycle —
+// the same plan against the same request sequence always injects the
+// same faults, so a failing run reproduces.
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault is one kind of injected failure.
+type Fault int
+
+const (
+	// None forwards the request untouched.
+	None Fault = iota
+	// Drop fails the request at the connection level (refused/reset):
+	// the client sees a transport error, never an HTTP response.
+	Drop
+	// Delay holds the request for Plan.Latency before forwarding it —
+	// long enough plans turn this into a client-side timeout.
+	Delay
+	// Status answers Plan.StatusCode (default 502) without forwarding.
+	Status
+	// Truncate forwards the request but cuts the response body short,
+	// declaring the full Content-Length — the client sees an
+	// unexpected EOF mid-body.
+	Truncate
+	// Corrupt forwards the request but flips bytes in the response
+	// body, so structured payloads (JSON) fail to parse.
+	Corrupt
+)
+
+// String names the fault for logs and counters.
+func (f Fault) String() string {
+	switch f {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Status:
+		return "status"
+	case Truncate:
+		return "truncate"
+	case Corrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Plan decides which fault each request suffers. The zero value
+// forwards everything. Configure before use; the deciding state is
+// internally synchronized, so one Plan may serve concurrent requests
+// (decisions are then deterministic per arrival order).
+type Plan struct {
+	// Script is consumed first: request i < len(Script) suffers
+	// Script[i] exactly.
+	Script []Fault
+
+	// After the script, FlapUp/FlapDown alternate windows of healthy
+	// and faulty requests (FlapUp clean, then FlapDown × FlapFault,
+	// repeating) — the "link that works in bursts" shape.
+	FlapUp, FlapDown int
+	// FlapFault is the fault injected during down windows (default Drop).
+	FlapFault Fault
+
+	// Prob injects ProbFault on each post-script request with this
+	// probability, drawn from a rand source seeded with Seed — layered
+	// on top of the flap cycle (flap wins when both would fire).
+	Prob      float64
+	ProbFault Fault
+	Seed      int64
+
+	// Latency is the hold time for Delay faults (default 50ms).
+	Latency time.Duration
+	// StatusCode is the response code for Status faults (default 502).
+	StatusCode int
+
+	mu       sync.Mutex
+	requests uint64
+	injected map[Fault]uint64
+	rng      *rand.Rand
+}
+
+// next decides the fault for the next request and updates counters.
+func (p *Plan) next() Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i := p.requests
+	p.requests++
+	f := None
+	switch {
+	case i < uint64(len(p.Script)):
+		f = p.Script[i]
+	default:
+		j := i - uint64(len(p.Script))
+		if p.FlapDown > 0 {
+			cycle := uint64(p.FlapUp + p.FlapDown)
+			if j%cycle >= uint64(p.FlapUp) {
+				f = p.FlapFault
+				if f == None {
+					f = Drop
+				}
+			}
+		}
+		if f == None && p.Prob > 0 {
+			if p.rng == nil {
+				p.rng = rand.New(rand.NewSource(p.Seed))
+			}
+			if p.rng.Float64() < p.Prob {
+				f = p.ProbFault
+				if f == None {
+					f = Drop
+				}
+			}
+		}
+	}
+	if f != None {
+		if p.injected == nil {
+			p.injected = make(map[Fault]uint64)
+		}
+		p.injected[f]++
+	}
+	return f
+}
+
+// Extend schedules n copies of f for the NEXT n requests, regardless
+// of how many requests have already passed: the script is padded with
+// None up to the current request count first. This is how a test
+// injects a bounded outage mid-run — "the next 12 requests fail" —
+// after clean traffic has already flowed.
+func (p *Plan) Extend(n int, f Fault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for uint64(len(p.Script)) < p.requests {
+		p.Script = append(p.Script, None)
+	}
+	for i := 0; i < n; i++ {
+		p.Script = append(p.Script, f)
+	}
+}
+
+// latency returns the configured Delay hold time.
+func (p *Plan) latency() time.Duration {
+	if p.Latency > 0 {
+		return p.Latency
+	}
+	return 50 * time.Millisecond
+}
+
+// statusCode returns the configured Status response code.
+func (p *Plan) statusCode() int {
+	if p.StatusCode > 0 {
+		return p.StatusCode
+	}
+	return http.StatusBadGateway
+}
+
+// Stats reports how many requests the plan has seen and how many
+// faults it injected, by kind.
+func (p *Plan) Stats() (requests uint64, injected map[Fault]uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[Fault]uint64, len(p.injected))
+	for k, v := range p.injected {
+		out[k] = v
+	}
+	return p.requests, out
+}
+
+// errDropped is the transport-level error a Drop fault surfaces.
+type errDropped struct{}
+
+func (errDropped) Error() string   { return "faultnet: connection dropped" }
+func (errDropped) Timeout() bool   { return false }
+func (errDropped) Temporary() bool { return true }
+
+var _ net.Error = errDropped{}
+
+// Transport wraps an http.RoundTripper with a fault plan. The zero
+// Base means http.DefaultTransport.
+type Transport struct {
+	Base http.RoundTripper
+	Plan *Plan
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	f := None
+	if t.Plan != nil {
+		f = t.Plan.next()
+	}
+	switch f {
+	case Drop:
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: errDropped{}}
+	case Delay:
+		select {
+		case <-time.After(t.Plan.latency()):
+		case <-req.Context().Done():
+			// The client's deadline fired during the hold — surface it
+			// exactly like a dial that timed out.
+			return nil, req.Context().Err()
+		}
+	case Status:
+		code := t.Plan.statusCode()
+		return &http.Response{
+			Status:     fmt.Sprintf("%d %s", code, http.StatusText(code)),
+			StatusCode: code,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(strings.NewReader("injected fault\n")),
+			ContentLength: int64(len("injected fault\n")),
+			Request:       req,
+		}, nil
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	switch f {
+	case Truncate:
+		resp.Body = truncateBody(resp.Body)
+	case Corrupt:
+		resp.Body = corruptBody(resp.Body)
+	}
+	return resp, nil
+}
+
+// truncateBody reads the upstream body and returns roughly the first
+// half, closing the original; the declared Content-Length (if any) is
+// left alone so the client sees a short read.
+func truncateBody(body io.ReadCloser) io.ReadCloser {
+	data, _ := io.ReadAll(body)
+	body.Close()
+	return io.NopCloser(&shortReader{data: data[:len(data)/2]})
+}
+
+// shortReader serves its bytes then returns ErrUnexpectedEOF, which is
+// what a connection cut mid-body looks like to net/http clients.
+type shortReader struct{ data []byte }
+
+func (r *shortReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// corruptBody stomps a NUL over the middle of the payload, keeping the
+// length intact. A control byte is illegal anywhere in JSON — even
+// inside strings, where a mere bit-flip would survive decoding.
+func corruptBody(body io.ReadCloser) io.ReadCloser {
+	data, _ := io.ReadAll(body)
+	body.Close()
+	if len(data) > 0 {
+		data[len(data)/2] = 0x00
+	}
+	return io.NopCloser(strings.NewReader(string(data)))
+}

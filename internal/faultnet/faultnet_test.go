@@ -1,0 +1,207 @@
+package faultnet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestPlanScriptIsExactAndDeterministic(t *testing.T) {
+	script := []Fault{Drop, None, Status, Truncate, Corrupt, Delay}
+	p := &Plan{Script: script}
+	for i, want := range script {
+		if got := p.next(); got != want {
+			t.Fatalf("request %d: fault %v, want %v", i, got, want)
+		}
+	}
+	// Past the script with no flap/prob: clean forever.
+	for i := 0; i < 10; i++ {
+		if got := p.next(); got != None {
+			t.Fatalf("post-script request %d faulted: %v", i, got)
+		}
+	}
+	reqs, inj := p.Stats()
+	if reqs != uint64(len(script))+10 {
+		t.Errorf("requests = %d", reqs)
+	}
+	for _, f := range []Fault{Drop, Status, Truncate, Corrupt, Delay} {
+		if inj[f] != 1 {
+			t.Errorf("injected[%v] = %d, want 1", f, inj[f])
+		}
+	}
+}
+
+func TestPlanFlapCycle(t *testing.T) {
+	p := &Plan{FlapUp: 2, FlapDown: 3, FlapFault: Status}
+	var got []Fault
+	for i := 0; i < 10; i++ {
+		got = append(got, p.next())
+	}
+	want := []Fault{None, None, Status, Status, Status, None, None, Status, Status, Status}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flap sequence %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPlanSeededProbabilityIsReproducible(t *testing.T) {
+	run := func() []Fault {
+		p := &Plan{Prob: 0.5, ProbFault: Drop, Seed: 42}
+		var out []Fault
+		for i := 0; i < 32; i++ {
+			out = append(out, p.next())
+		}
+		return out
+	}
+	a, b := run(), run()
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at request %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] == Drop {
+			faults++
+		}
+	}
+	if faults == 0 || faults == 32 {
+		t.Fatalf("p=0.5 over 32 requests injected %d faults", faults)
+	}
+}
+
+func TestPlanExtendSchedulesFutureFaults(t *testing.T) {
+	p := &Plan{}
+	for i := 0; i < 5; i++ {
+		if got := p.next(); got != None {
+			t.Fatalf("pre-extend request %d faulted: %v", i, got)
+		}
+	}
+	p.Extend(2, Status)
+	seq := []Fault{p.next(), p.next(), p.next()}
+	want := []Fault{Status, Status, None}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("post-extend sequence %v, want %v", seq, want)
+		}
+	}
+}
+
+// upstream returns a server that answers a fixed JSON document.
+func upstream(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true,"payload":"0123456789abcdef0123456789abcdef"}`))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestTransportInjectsEachFault(t *testing.T) {
+	srv := upstream(t)
+	plan := &Plan{Script: []Fault{None, Drop, Status, Truncate, Corrupt}}
+	client := &http.Client{Transport: &Transport{Plan: plan}}
+
+	decode := func() (map[string]any, int, error) {
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer resp.Body.Close()
+		var doc map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			return nil, resp.StatusCode, err
+		}
+		return doc, resp.StatusCode, nil
+	}
+
+	if doc, _, err := decode(); err != nil || doc["ok"] != true {
+		t.Fatalf("clean request: %v %v", doc, err)
+	}
+	if _, _, err := decode(); err == nil {
+		t.Fatal("Drop did not surface a transport error")
+	}
+	if _, code, _ := decode(); code != http.StatusBadGateway {
+		t.Fatalf("Status fault: code %d, want 502", code)
+	}
+	if _, _, err := decode(); err == nil {
+		t.Fatal("Truncate did not break the body")
+	}
+	if _, _, err := decode(); err == nil {
+		t.Fatal("Corrupt did not break the JSON")
+	}
+	// The plan is exhausted: traffic is clean again (recovery).
+	if doc, _, err := decode(); err != nil || doc["ok"] != true {
+		t.Fatalf("post-plan request: %v %v", doc, err)
+	}
+}
+
+func TestTransportDelayRespectsContextDeadline(t *testing.T) {
+	srv := upstream(t)
+	plan := &Plan{Script: []Fault{Delay}, Latency: 5 * time.Second}
+	client := &http.Client{
+		Transport: &Transport{Plan: plan},
+		Timeout:   50 * time.Millisecond,
+	}
+	start := time.Now()
+	_, err := client.Get(srv.URL)
+	if err == nil {
+		t.Fatal("delayed request did not time out")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("timeout took %v; the delay ignored the deadline", d)
+	}
+}
+
+func TestProxyForwardsAndInjects(t *testing.T) {
+	srv := upstream(t)
+	plan := &Plan{Script: []Fault{None, Drop, Status, Truncate, Corrupt}}
+	proxy, err := NewProxy(srv.URL, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	// Fresh connection per request: net/http transparently retries an
+	// idempotent request whose REUSED connection died, which would let
+	// a Drop consume two plan slots and hide the error.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+	fetch := func() (map[string]any, int, error) {
+		resp, err := client.Get(proxy.URL() + "/whatever?x=1")
+		if err != nil {
+			return nil, 0, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, resp.StatusCode, err
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(body, &doc); err != nil {
+			return nil, resp.StatusCode, err
+		}
+		return doc, resp.StatusCode, nil
+	}
+
+	if doc, code, err := fetch(); err != nil || code != 200 || doc["ok"] != true {
+		t.Fatalf("clean proxy request: %v %d %v", doc, code, err)
+	}
+	if _, _, err := fetch(); err == nil {
+		t.Fatal("proxy Drop did not kill the connection")
+	}
+	if _, code, _ := fetch(); code != http.StatusBadGateway {
+		t.Fatalf("proxy Status: code %d, want 502", code)
+	}
+	if _, _, err := fetch(); err == nil {
+		t.Fatal("proxy Truncate did not break the body")
+	}
+	if _, _, err := fetch(); err == nil {
+		t.Fatal("proxy Corrupt did not break the JSON")
+	}
+	if doc, _, err := fetch(); err != nil || doc["ok"] != true {
+		t.Fatalf("post-plan proxy request: %v %v", doc, err)
+	}
+}

@@ -1,0 +1,126 @@
+package faultnet
+
+// Proxy: the multi-process injection point. It owns a real
+// net.Listener on loopback and forwards each HTTP request to a fixed
+// upstream, consulting its Plan first — so two live daemons can talk
+// through it and suffer exactly the faults the test scripted.
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Proxy is a fault-injecting HTTP forwarder.
+type Proxy struct {
+	plan     *Plan
+	upstream string // base URL, e.g. http://127.0.0.1:8055
+	ln       net.Listener
+	srv      *http.Server
+	client   *http.Client
+}
+
+// NewProxy listens on 127.0.0.1:0 and forwards to the upstream base
+// URL through plan. Close releases the listener.
+func NewProxy(upstream string, plan *Plan) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		plan:     plan,
+		upstream: upstream,
+		ln:       ln,
+		// The proxy's own client must not recycle a connection the
+		// upstream half-closed during a fault, so keep-alives stay on
+		// but with a short idle timeout.
+		client: &http.Client{Transport: &http.Transport{IdleConnTimeout: 5 * time.Second}},
+	}
+	p.srv = &http.Server{Handler: http.HandlerFunc(p.serve)}
+	go p.srv.Serve(ln)
+	return p, nil
+}
+
+// URL is the proxy's base URL — hand it to the peer configuration
+// under test in place of the upstream's.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// Close stops accepting and closes the listener.
+func (p *Proxy) Close() error { return p.srv.Close() }
+
+func (p *Proxy) serve(w http.ResponseWriter, r *http.Request) {
+	f := None
+	if p.plan != nil {
+		f = p.plan.next()
+	}
+	switch f {
+	case Drop:
+		// Kill the TCP connection without an HTTP response: the client
+		// sees a reset/EOF, the connection-failure class.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		// No hijacking support (shouldn't happen on HTTP/1.1): degrade
+		// to an empty 502.
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	case Delay:
+		select {
+		case <-time.After(p.plan.latency()):
+		case <-r.Context().Done():
+			return
+		}
+	case Status:
+		http.Error(w, "injected fault", p.plan.statusCode())
+		return
+	}
+
+	req, err := http.NewRequestWithContext(r.Context(), r.Method,
+		p.upstream+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, "proxy: bad request", http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, "proxy: upstream unreachable", http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, "proxy: upstream read failed", http.StatusBadGateway)
+		return
+	}
+	switch f {
+	case Truncate:
+		// Declare the full length, send half, and close: the client
+		// observes a connection cut mid-body.
+		for k, vs := range resp.Header {
+			w.Header()[k] = vs
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body[:len(body)/2])
+		// Returning with fewer bytes than declared makes net/http
+		// terminate the connection, surfacing ErrUnexpectedEOF.
+		return
+	case Corrupt:
+		// NUL, not a bit-flip: control bytes are illegal anywhere in
+		// JSON, including inside strings (see corruptBody).
+		if len(body) > 0 {
+			body[len(body)/2] = 0x00
+		}
+	}
+	for k, vs := range resp.Header {
+		w.Header()[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}

@@ -1,0 +1,115 @@
+package federation
+
+// Circuit breaker for peer calls. The failure mode it targets is the
+// slow one: a dead peer that eats a full timeout per attempt would
+// otherwise stall every sync round for every user sharing that peer.
+// Once the breaker opens, a dead peer costs one atomic load per round
+// instead of Options.Timeout.
+//
+// State machine:
+//
+//	closed ──(Threshold consecutive failures)──▶ open
+//	open ──(Cooldown elapses)──▶ half-open
+//	half-open: exactly one probe call is let through;
+//	  probe succeeds ──▶ closed, probe fails ──▶ open (fresh Cooldown)
+//
+// Failure here means a whole sync attempt failed AFTER its internal
+// retries — the breaker sits above the retry loop, so one flaky packet
+// does not open it, but a peer that defeats every retry budget does.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Breaker is a per-peer circuit breaker. The zero value is usable and
+// applies the defaults. One Breaker is shared by every link to the same
+// peer, so the failure evidence pools across users.
+type Breaker struct {
+	// Threshold is how many consecutive failures open the breaker
+	// (default 3).
+	Threshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe (default 2s).
+	Cooldown time.Duration
+
+	// openUntil holds the unix-nano deadline of the open state; 0 means
+	// closed. It is the lock-free fast path: Allow on an open breaker
+	// is a single atomic load and a clock read.
+	openUntil atomic.Int64
+
+	mu       sync.Mutex
+	failures int
+	probing  bool // a half-open probe is in flight
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return 3
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return 2 * time.Second
+}
+
+// Allow reports whether a call may proceed. false means the breaker is
+// open (or a half-open probe is already in flight) and the caller
+// should fail fast without touching the network.
+func (b *Breaker) Allow() bool {
+	u := b.openUntil.Load()
+	if u == 0 {
+		return true // closed
+	}
+	if time.Now().UnixNano() < u {
+		return false // open; this is the one-atomic-load path
+	}
+	// Cooldown elapsed: admit exactly one probe.
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// Success records a successful call: the breaker closes and the
+// failure count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+	b.openUntil.Store(0)
+}
+
+// Failure records a failed call. A failed probe re-opens immediately;
+// in the closed state, Threshold consecutive failures open the breaker.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.probing || b.failures >= b.threshold() {
+		b.probing = false
+		b.openUntil.Store(time.Now().Add(b.cooldown()).UnixNano())
+	}
+}
+
+// State names the current breaker state: "closed", "open", or
+// "half-open" (cooldown elapsed, probe pending or in flight).
+func (b *Breaker) State() string {
+	u := b.openUntil.Load()
+	if u == 0 {
+		return "closed"
+	}
+	if time.Now().UnixNano() < u {
+		return "open"
+	}
+	return "half-open"
+}

@@ -1,0 +1,220 @@
+package federation
+
+// The resilient half of the peer client: every call to a peer carries a
+// deadline and a response-size cap, every failure is classified, and
+// transient classes are retried under capped exponential backoff with
+// jitter. The circuit breaker (breaker.go) sits ABOVE this layer — it
+// counts whole fetches that failed after their retry budget.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Options tunes the resilient transport. The zero value means
+// defaults; fields are independent.
+type Options struct {
+	// Timeout is the per-attempt deadline (default 5s). It covers the
+	// whole attempt: dial, request, and reading the body.
+	Timeout time.Duration
+	// MaxBody caps the response size in bytes (default 32 MiB). A peer
+	// that streams forever is cut off with a corrupt-body error instead
+	// of exhausting memory.
+	MaxBody int64
+	// Retries is how many additional attempts follow a transient
+	// failure (default 2, so 3 attempts total). Negative disables
+	// retries.
+	Retries int
+	// Backoff is the base delay before the first retry (default
+	// 100ms); attempt n waits Backoff·2ⁿ, capped at MaxBackoff, with
+	// ±50% jitter so a fleet of links does not retry in lockstep.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2s).
+	MaxBackoff time.Duration
+}
+
+func (o Options) timeout() time.Duration {
+	if o.Timeout > 0 {
+		return o.Timeout
+	}
+	return 5 * time.Second
+}
+
+func (o Options) maxBody() int64 {
+	if o.MaxBody > 0 {
+		return o.MaxBody
+	}
+	return 32 << 20
+}
+
+func (o Options) retries() int {
+	if o.Retries < 0 {
+		return 0
+	}
+	if o.Retries == 0 {
+		return 2
+	}
+	return o.Retries
+}
+
+func (o Options) backoff(attempt int) time.Duration {
+	base := o.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := o.MaxBackoff
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	// ±50% jitter: uniform in [d/2, 3d/2).
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// Class classifies a peer-call failure; the class decides whether the
+// failure is worth retrying and shows up in health reports.
+type Class string
+
+const (
+	// ClassTimeout: the attempt's deadline fired (dial or body read).
+	ClassTimeout Class = "timeout"
+	// ClassConn: connection-level failure — refused, reset, DNS.
+	ClassConn Class = "conn"
+	// ClassStatus: the peer answered with a non-200 HTTP status.
+	ClassStatus Class = "status"
+	// ClassCorrupt: the body was truncated, over the size cap, or not
+	// valid JSON.
+	ClassCorrupt Class = "corrupt"
+	// ClassBreaker: the call was refused locally by an open breaker;
+	// the network was never touched.
+	ClassBreaker Class = "breaker"
+)
+
+// PeerError is a classified failure talking to a peer.
+type PeerError struct {
+	Peer   string
+	Class  Class
+	Status int // HTTP status for ClassStatus, else 0
+	Err    error
+}
+
+func (e *PeerError) Error() string {
+	if e.Class == ClassStatus {
+		return fmt.Sprintf("federation: peer %s: HTTP %d", e.Peer, e.Status)
+	}
+	return fmt.Sprintf("federation: peer %s: %s: %v", e.Peer, e.Class, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// Transient reports whether retrying could plausibly help: timeouts,
+// connection failures, corrupt bodies, and 5xx statuses are transient;
+// a 4xx is the peer telling us the request itself is wrong (bad secret,
+// unknown peer) and retrying it verbatim cannot succeed.
+func (e *PeerError) Transient() bool {
+	switch e.Class {
+	case ClassTimeout, ClassConn, ClassCorrupt:
+		return true
+	case ClassStatus:
+		return e.Status >= 500
+	}
+	return false
+}
+
+// classify wraps a transport/decoding error with its failure class.
+func (l *Link) classify(err error) *PeerError {
+	class := ClassConn
+	var ne net.Error
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		class = ClassTimeout
+	case errors.As(err, &ne) && ne.Timeout():
+		class = ClassTimeout
+	case errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, io.EOF):
+		class = ClassCorrupt
+	}
+	var je *json.SyntaxError
+	var ue *json.UnmarshalTypeError
+	var mbe *http.MaxBytesError
+	if errors.As(err, &je) || errors.As(err, &ue) || errors.As(err, &mbe) {
+		class = ClassCorrupt
+	}
+	return &PeerError{Peer: l.PeerName, Class: class, Err: err}
+}
+
+// fetch pulls the peer's export document for the link's user, records
+// changed since the given cursor, retrying transient failures under
+// backoff. It never consults the breaker — Sync does, once, around the
+// whole fetch.
+func (l *Link) fetch(since uint64) (*ExportDoc, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		doc, err := l.fetchOnce(since)
+		if err == nil {
+			return doc, nil
+		}
+		lastErr = err
+		var pe *PeerError
+		if !errors.As(err, &pe) || !pe.Transient() {
+			return nil, err // permanent: don't burn the retry budget
+		}
+		if attempt >= l.Options.retries() {
+			return nil, lastErr
+		}
+		time.Sleep(l.Options.backoff(attempt))
+	}
+}
+
+// fetchOnce is a single deadline-bounded, size-capped attempt.
+func (l *Link) fetchOnce(since uint64) (*ExportDoc, error) {
+	client := l.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), l.Options.timeout())
+	defer cancel()
+
+	q := url.Values{}
+	q.Set("user", l.User)
+	q.Set("peer", l.Local.Name)
+	if since > 0 {
+		q.Set("since", strconv.FormatUint(since, 10))
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", l.BaseURL+"/fed/export?"+q.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(PeerHeader, l.Secret)
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, l.classify(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain a little so the connection can be reused, then classify.
+		io.CopyN(io.Discard, resp.Body, 4096)
+		return nil, &PeerError{Peer: l.PeerName, Class: ClassStatus, Status: resp.StatusCode}
+	}
+	body := http.MaxBytesReader(nil, resp.Body, l.Options.maxBody())
+	var doc ExportDoc
+	if err := json.NewDecoder(body).Decode(&doc); err != nil {
+		return nil, l.classify(err)
+	}
+	if doc.User != l.User {
+		// Protocol violation, not a network fault: permanent.
+		return nil, fmt.Errorf("federation: remote answered for user %q", doc.User)
+	}
+	return &doc, nil
+}

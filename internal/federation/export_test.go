@@ -1,0 +1,178 @@
+package federation
+
+// Export-endpoint contract tests: the uniform failure path (an
+// attacker cannot distinguish unknown-peer from wrong-secret), the
+// empty document for unknown users, the per-segment path rules, the
+// incremental horizon protocol, and the declassifier veto.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"w5/internal/audit"
+	"w5/internal/declass"
+)
+
+// rawExport fetches /fed/export directly, bypassing Link.
+func rawExport(t *testing.T, base, peer, secret, user string, since uint64) (*http.Response, []byte) {
+	t.Helper()
+	url := fmt.Sprintf("%s/fed/export?peer=%s&user=%s", base, peer, user)
+	if since > 0 {
+		url += fmt.Sprintf("&since=%d", since)
+	}
+	req, _ := http.NewRequest("GET", url, nil)
+	req.Header.Set(PeerHeader, secret)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp, body
+}
+
+func TestUnknownPeerAndWrongSecretIndistinguishable(t *testing.T) {
+	pr := newPair(t, true)
+	// Unknown peer name, and a registered peer with the wrong secret:
+	// both must fail with exactly the same status and body, so a prober
+	// cannot map which peer names are configured.
+	r1, b1 := rawExport(t, pr.srvA.URL, "nosuchpeer", "whatever", "bob", 0)
+	r2, b2 := rawExport(t, pr.srvA.URL, "providerB", "wrong", "bob", 0)
+	if r1.StatusCode != http.StatusForbidden || r2.StatusCode != http.StatusForbidden {
+		t.Fatalf("statuses %d, %d; want 403, 403", r1.StatusCode, r2.StatusCode)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("failure bodies differ: %q vs %q", b1, b2)
+	}
+}
+
+func TestUnknownUserYieldsEmptyDoc(t *testing.T) {
+	pr := newPair(t, true)
+	writeBob(t, pr.A, "/public/bio", "hi", false)
+	resp, body := rawExport(t, pr.srvA.URL, "providerB", "s3cret", "mallory", 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unknown user: status %d, want 200 with empty doc", resp.StatusCode)
+	}
+	var doc ExportDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Files) != 0 || doc.User != "mallory" {
+		t.Errorf("unknown user leaked data: %+v", doc)
+	}
+}
+
+func TestIncrementalExportHonorsHorizon(t *testing.T) {
+	pr := newPair(t, true)
+	writeBob(t, pr.A, "/public/one", "1", false)
+	writeBob(t, pr.A, "/public/two", "2", false)
+
+	_, body := rawExport(t, pr.srvA.URL, "providerB", "s3cret", "bob", 0)
+	var full ExportDoc
+	if err := json.Unmarshal(body, &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Files) != 2 || full.Horizon == 0 {
+		t.Fatalf("full export: %d files, horizon %d", len(full.Files), full.Horizon)
+	}
+	// Nothing changed: a pull from the horizon is empty — the
+	// steady-state O(changed files) contract.
+	_, body = rawExport(t, pr.srvA.URL, "providerB", "s3cret", "bob", full.Horizon)
+	var inc ExportDoc
+	json.Unmarshal(body, &inc)
+	if len(inc.Files) != 0 {
+		t.Fatalf("steady-state pull returned %d files, want 0", len(inc.Files))
+	}
+	// One update: the next pull carries exactly that file.
+	writeBob(t, pr.A, "/public/two", "2b", false)
+	_, body = rawExport(t, pr.srvA.URL, "providerB", "s3cret", "bob", full.Horizon)
+	json.Unmarshal(body, &inc)
+	if len(inc.Files) != 1 || inc.Files[0].Path != "/public/two" {
+		t.Fatalf("incremental pull = %+v, want only /public/two", inc.Files)
+	}
+}
+
+// pathGate allows export only under one subtree — the test double for
+// a user policy that shares some private data but not all of it.
+type pathGate struct{ prefix string }
+
+func (pathGate) Name() string { return "path-gate" }
+func (g pathGate) Decide(req declass.Request, _ declass.Env) declass.Decision {
+	if strings.HasPrefix(req.Path, g.prefix) {
+		return declass.Allow("inside the shared subtree")
+	}
+	return declass.Deny("outside the shared subtree")
+}
+
+func TestDeclassifierDeniedFileStaysHome(t *testing.T) {
+	pr := newPair(t, false)
+	if err := pr.A.AuthorizeDeclassifier("bob", pathGate{prefix: "/shared/"}); err != nil {
+		t.Fatal(err)
+	}
+	writeBob(t, pr.A, "/shared/album", "vacation pics", true)
+	writeBob(t, pr.A, "/private/diary", "do not export", true)
+
+	denials := pr.A.Log.CountKind(audit.KindExportDenied)
+	_, body := rawExport(t, pr.srvA.URL, "providerB", "s3cret", "bob", 0)
+	var doc ExportDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	// The denied file is absent from the document entirely — not
+	// present-but-empty, absent.
+	for _, f := range doc.Files {
+		if f.Path == "/private/diary" {
+			t.Fatal("denied file crossed the perimeter")
+		}
+	}
+	if len(doc.Files) != 1 || doc.Files[0].Path != "/shared/album" {
+		t.Fatalf("export = %+v, want only /shared/album", doc.Files)
+	}
+	// The sibling still flows end to end through a real sync.
+	if n, err := pr.linkBA.SyncOnce(); err != nil || n != 1 {
+		t.Fatalf("sync: n=%d err=%v", n, err)
+	}
+	if got, _, err := readBob(t, pr.B, "/shared/album"); err != nil || got != "vacation pics" {
+		t.Fatalf("B read shared album: %q %v", got, err)
+	}
+	// And the denial was audited.
+	if after := pr.A.Log.CountKind(audit.KindExportDenied); after <= denials {
+		t.Errorf("export denial not audited: %d -> %d", denials, after)
+	}
+}
+
+func TestPathValidationIsPerSegment(t *testing.T) {
+	cases := map[string]bool{
+		"/notes..txt":    true, // dots inside a name are legal
+		"/a/b..c/d":      true,
+		"/../etc/passwd": false,
+		"/a/../../etc":   false,
+		"/./x":           false,
+		"/a//b":          false,
+		"relative":       false,
+		"/":              false,
+		"/trailing/":     false,
+		"/.hidden/ok":    true, // dotfiles are names, not traversal
+	}
+	for p, want := range cases {
+		if got := validRelPath(p); got != want {
+			t.Errorf("validRelPath(%q) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestDottedFilenameSyncs(t *testing.T) {
+	// The old substring check ("..") would silently drop this file.
+	pr := newPair(t, true)
+	writeBob(t, pr.A, "/docs/report..final.txt", "v1", true)
+	if n, err := pr.linkBA.SyncOnce(); err != nil || n != 1 {
+		t.Fatalf("sync: n=%d err=%v", n, err)
+	}
+	if got, _, err := readBob(t, pr.B, "/docs/report..final.txt"); err != nil || got != "v1" {
+		t.Fatalf("dotted filename did not sync: %q %v", got, err)
+	}
+}

@@ -20,14 +20,24 @@
 //     version number with the provider name as the deterministic tie
 //     breaker. Sync is pull-based and idempotent; running it twice is
 //     harmless. Experiment E6 measures propagation and convergence.
+//
+// Federation is the one subsystem whose failure domain is somebody
+// else's machine, so the pull path is built to degrade instead of
+// stall: every peer call has a deadline and a size cap, failures are
+// classified and transient ones retried under jittered backoff
+// (client.go), a per-peer circuit breaker makes a dead peer cost one
+// atomic load instead of a timeout (breaker.go), the applied-version
+// cursor is durable across restarts (state.go), and a supervised
+// daemon drives the loops and exposes per-peer health (syncer.go).
+// See README.md in this package for the full design note.
 package federation
 
 import (
 	"crypto/subtle"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -52,32 +62,62 @@ type FileRecord struct {
 	Protected bool   `json:"protected"` // integrity includes w_owner
 }
 
-// ExportDoc is the /fed/export response body.
+// ExportDoc is the /fed/export response body. Horizon is the
+// exporter's change sequence captured BEFORE the export walk: a later
+// pull with since=Horizon returns every file changed after this
+// document was assembled (files mutated mid-walk are re-sent — the
+// cursor protocol is idempotent, never lossy; see store.ChangeSeq).
 type ExportDoc struct {
 	Provider string       `json:"provider"`
 	User     string       `json:"user"`
+	Horizon  uint64       `json:"horizon,omitempty"`
 	Files    []FileRecord `json:"files"`
 }
 
+// dummySecret absorbs the constant-time compare for unknown peer
+// names, so the failure path costs the same whether the peer name or
+// the secret was wrong.
+var dummySecret = []byte("w5-federation-dummy-secret-for-unknown-peers")
+
 // MountExport installs the federation export endpoint on a mux. peers
 // maps peer name to shared secret.
+//
+// The failure path is deliberately uniform: an unknown peer name and a
+// wrong secret both perform one constant-time compare and both return
+// the same 403, so a probing client cannot distinguish "no such peer"
+// from "bad secret" by timing or by body. An unknown user yields an
+// empty document rather than a 404 for the same reason — the endpoint
+// confirms nothing it does not have to.
 func MountExport(p *core.Provider, mux *http.ServeMux, peers map[string]string) {
 	mux.HandleFunc("/fed/export", func(w http.ResponseWriter, r *http.Request) {
 		peer := r.FormValue("peer")
-		secret, ok := peers[peer]
-		if !ok || subtle.ConstantTimeCompare([]byte(r.Header.Get(PeerHeader)), []byte(secret)) != 1 {
+		presented := []byte(r.Header.Get(PeerHeader))
+		secret, known := peers[peer]
+		want := dummySecret
+		if known {
+			want = []byte(secret)
+		}
+		if subtle.ConstantTimeCompare(presented, want) != 1 || !known {
 			http.Error(w, "bad peer credentials", http.StatusForbidden)
 			return
 		}
+		since, _ := strconv.ParseUint(r.FormValue("since"), 10, 64)
 		user := r.FormValue("user")
+		// Capture the horizon BEFORE walking: anything written during
+		// the walk stamps above it and is re-sent on the next pull.
+		horizon := p.FS.ChangeSeq()
+		doc := ExportDoc{Provider: p.Name, User: user, Horizon: horizon}
 		u, err := p.GetUser(user)
 		if err != nil {
-			http.Error(w, "no such user", http.StatusNotFound)
+			// Unknown user: an empty document, not a 404. The peer is
+			// authenticated, but the export surface still should not
+			// enumerate which users exist here.
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(doc)
 			return
 		}
-		doc := ExportDoc{Provider: p.Name, User: user}
 		home := "/home/" + user
-		infos, datas, err := p.FS.Export(home)
+		infos, datas, err := p.FS.ExportSince(home, since)
 		if err != nil {
 			http.Error(w, "export failed", http.StatusInternalServerError)
 			return
@@ -102,24 +142,34 @@ func MountExport(p *core.Provider, mux *http.ServeMux, peers map[string]string) 
 				Path:      rel,
 				Data:      datas[i],
 				Version:   info.Version,
-				Origin:    originOf(info, p.Name),
+				Origin:    p.Name,
 				Private:   info.Label.Secrecy.Has(u.SecrecyTag),
 				Protected: info.Label.Integrity.Has(u.WriteTag),
 			})
 		}
 		p.Log.Appendf(audit.KindFederation, "peer:"+peer, user,
-			"exported %d files", len(doc.Files))
+			"exported %d files (since=%d)", len(doc.Files), since)
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(doc)
 	})
 }
 
-// originOf reports which provider authored this version. Imported
-// files remember their origin in an owner-file side channel; for
-// locally authored data it is the local provider. (Kept simple: we
-// track origins in Link state; the exporter reports its own name,
-// which is correct for LWW as long as links are pull-based pairs.)
-func originOf(_ store.Info, local string) string { return local }
+// validRelPath accepts exactly the paths a well-formed peer produces:
+// absolute (home-relative), with every segment a plain name. Checking
+// per segment — not by substring — means a legitimate file called
+// "notes..txt" syncs while "/../etc/passwd", "/./x", and "a//b" are
+// all rejected.
+func validRelPath(p string) bool {
+	if !strings.HasPrefix(p, "/") {
+		return false
+	}
+	for _, seg := range strings.Split(p[1:], "/") {
+		if seg == "" || seg == "." || seg == ".." {
+			return false
+		}
+	}
+	return true
+}
 
 // Link is one pull-direction of a peering arrangement for one user.
 type Link struct {
@@ -135,9 +185,42 @@ type Link struct {
 	User string
 	// Client is the HTTP client (default http.DefaultClient).
 	Client *http.Client
+	// Options tunes deadlines, size caps, and retries (zero = defaults).
+	Options Options
+	// Breaker, if set, gates every sync; share one Breaker across all
+	// links to the same peer so failure evidence pools.
+	Breaker *Breaker
+	// StatePath, if set, persists the applied-version map and the
+	// remote cursor across restarts (tmp+fsync+rename; see state.go).
+	StatePath string
 
 	mu      sync.Mutex
 	applied map[string]uint64 // remote path -> highest remote version applied
+	// appliedLocal records the LOCAL store version right after each
+	// apply; a local file whose version still matches is an untouched
+	// mirror, so a newer remote copy is an ordinary update — only a
+	// local version drift makes a true conflict.
+	appliedLocal map[string]uint64
+	since        uint64 // remote change-sequence cursor
+	loaded       bool   // durable state loaded (or absent)
+}
+
+// SyncResult summarizes one pull.
+type SyncResult struct {
+	// Applied counts files written locally.
+	Applied int
+	// SkippedInvalid counts records dropped for malformed paths —
+	// nonzero means the peer is buggy or malicious.
+	SkippedInvalid int
+	// Stale counts records skipped because this version was already
+	// applied.
+	Stale int
+	// Conflicts counts records where both sides had diverged and
+	// last-writer-wins picked a side.
+	Conflicts int
+	// Horizon is the remote change cursor after this sync; the next
+	// incremental pull starts there.
+	Horizon uint64
 }
 
 // ErrConflict is returned (after applying the winner) when both sides
@@ -146,37 +229,48 @@ var ErrConflict = errors.New("federation: conflicting update resolved by LWW")
 
 // SyncOnce pulls the remote's view of the user's data and applies
 // every record that wins last-writer-wins. It returns the number of
-// files written locally.
+// files written locally. It is Sync for callers that only want the
+// applied count.
 func (l *Link) SyncOnce() (int, error) {
-	client := l.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
-	req, err := http.NewRequest("GET",
-		l.BaseURL+"/fed/export?user="+l.User+"&peer="+l.Local.Name, nil)
-	if err != nil {
-		return 0, err
-	}
-	req.Header.Set(PeerHeader, l.Secret)
-	resp, err := client.Do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("federation: remote returned %s", resp.Status)
-	}
-	var doc ExportDoc
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return 0, fmt.Errorf("federation: corrupt export: %w", err)
-	}
-	if doc.User != l.User {
-		return 0, fmt.Errorf("federation: remote answered for user %q", doc.User)
-	}
+	res, err := l.Sync()
+	return res.Applied, err
+}
 
+// Sync performs one incremental pull: only files the remote changed
+// since the link's cursor are fetched, the cursor advancing on every
+// fully applied round. Use SyncFull to bypass the cursor.
+func (l *Link) Sync() (SyncResult, error) { return l.sync(false) }
+
+// SyncFull performs one full pull (since=0), re-examining every file
+// the remote will export. Periodic full pulls heal blind spots the
+// cursor cannot see — chiefly a declassifier policy change that newly
+// authorizes old, unmodified files.
+func (l *Link) SyncFull() (SyncResult, error) { return l.sync(true) }
+
+func (l *Link) sync(full bool) (SyncResult, error) {
+	var res SyncResult
+	if l.Breaker != nil && !l.Breaker.Allow() {
+		return res, &PeerError{Peer: l.PeerName, Class: ClassBreaker,
+			Err: errors.New("circuit breaker open")}
+	}
+	res, err := l.syncLocked(full)
+	if l.Breaker != nil {
+		// A resolved conflict is a successful sync; only transport and
+		// apply failures count against the peer.
+		if err == nil || errors.Is(err, ErrConflict) {
+			l.Breaker.Success()
+		} else {
+			l.Breaker.Failure()
+		}
+	}
+	return res, err
+}
+
+func (l *Link) syncLocked(full bool) (SyncResult, error) {
+	var res SyncResult
 	u, err := l.Local.GetUser(l.User)
 	if err != nil {
-		return 0, err
+		return res, err
 	}
 	cred := l.Local.UserCred(l.User)
 	home := "/home/" + l.User
@@ -186,14 +280,36 @@ func (l *Link) SyncOnce() (int, error) {
 	if l.applied == nil {
 		l.applied = make(map[string]uint64)
 	}
+	if l.appliedLocal == nil {
+		l.appliedLocal = make(map[string]uint64)
+	}
+	l.loadStateLocked(cred, home)
+
+	since := l.since
+	if full {
+		since = 0
+	}
+	doc, err := l.fetch(since)
+	if err != nil {
+		return res, err
+	}
+
 	written := 0
 	var conflict bool
 	for _, f := range doc.Files {
-		if !strings.HasPrefix(f.Path, "/") || strings.Contains(f.Path, "..") {
+		if !validRelPath(f.Path) {
+			res.SkippedInvalid++
 			continue // defensive: never let a peer escape the home dir
 		}
 		if f.Version <= l.applied[f.Path] {
-			continue // already have it
+			// Already applied — but trust the map only if the file is
+			// really present locally (the store may have been wiped or
+			// restored from an older snapshot since the map was saved).
+			if _, statErr := l.Local.FS.Stat(cred, home+f.Path); statErr == nil {
+				res.Stale++
+				continue
+			}
+			delete(l.applied, f.Path)
 		}
 		local, statErr := l.Local.FS.Stat(cred, home+f.Path)
 		if statErr == nil {
@@ -202,17 +318,26 @@ func (l *Link) SyncOnce() (int, error) {
 			// conflict — record it and move on.
 			if cur, _, err := l.Local.FS.Read(cred, home+f.Path); err == nil && string(cur) == string(f.Data) {
 				l.applied[f.Path] = f.Version
+				l.appliedLocal[f.Path] = local.Version
 				continue
 			}
-			// True divergence: LWW by version; tie → larger provider name
-			// wins, so both sides converge identically.
-			if local.Version > f.Version ||
-				(local.Version == f.Version && l.Local.Name > doc.Provider) {
+			// An untouched mirror (local version still what the last
+			// apply left) just receives the remote update; only local
+			// drift since then is a true divergence.
+			if lastLocal, tracked := l.appliedLocal[f.Path]; !tracked || local.Version != lastLocal {
+				// True divergence: LWW by version; tie → larger provider
+				// name wins, so both sides converge identically.
+				if local.Version > f.Version ||
+					(local.Version == f.Version && l.Local.Name > doc.Provider) {
+					conflict = true
+					res.Conflicts++
+					l.applied[f.Path] = f.Version // don't retry forever
+					l.appliedLocal[f.Path] = local.Version
+					continue
+				}
 				conflict = true
-				l.applied[f.Path] = f.Version // don't retry forever
-				continue
+				res.Conflicts++
 			}
-			conflict = true
 		}
 		// Re-label with LOCAL tags: semantic policy travels, tag
 		// identity does not.
@@ -224,20 +349,91 @@ func (l *Link) SyncOnce() (int, error) {
 			label.Integrity = difc.NewLabel(u.WriteTag)
 		}
 		if err := l.ensureParents(cred, home, f.Path, label); err != nil {
-			return written, err
+			res.Applied = written
+			return res, err
 		}
 		if err := l.Local.FS.Write(cred, home+f.Path, f.Data, label); err != nil {
-			return written, fmt.Errorf("federation: applying %s: %w", f.Path, err)
+			res.Applied = written
+			return res, &PeerError{Peer: l.PeerName, Class: ClassCorrupt,
+				Err: err}
 		}
 		l.applied[f.Path] = f.Version
+		if st, err := l.Local.FS.Stat(cred, home+f.Path); err == nil {
+			l.appliedLocal[f.Path] = st.Version
+		}
 		written++
 	}
+	res.Applied = written
+	res.Horizon = doc.Horizon
+	// The round applied fully: advance the cursor to the document's
+	// horizon and persist. (On a partial failure above we return early
+	// and the cursor stays put, so the next round re-pulls.)
+	l.since = doc.Horizon
+	l.persistStateLocked()
 	l.Local.Log.Appendf(audit.KindFederation, "peer:"+l.PeerName, l.User,
-		"imported %d files", written)
+		"imported %d files (stale=%d invalid=%d since=%d)",
+		written, res.Stale, res.SkippedInvalid, since)
 	if conflict {
-		return written, ErrConflict
+		return res, ErrConflict
 	}
-	return written, nil
+	return res, nil
+}
+
+// loadStateLocked restores durable state on first use, self-healing
+// against local data loss: applied entries whose file no longer exists
+// locally are dropped, and if any were dropped the cursor resets to 0
+// so the next pull is full. Caller holds l.mu.
+func (l *Link) loadStateLocked(cred store.Cred, home string) {
+	if l.loaded || l.StatePath == "" {
+		l.loaded = true
+		return
+	}
+	l.loaded = true
+	st, err := loadState(l.StatePath)
+	if err != nil || st == nil {
+		return // corrupt or absent: start fresh (since=0 full pull)
+	}
+	if st.Peer != l.PeerName || st.User != l.User {
+		return // a foreign state file; ignore it
+	}
+	if st.AppliedLocal == nil {
+		st.AppliedLocal = make(map[string]uint64)
+	}
+	healed := false
+	for p := range st.Applied {
+		if _, statErr := l.Local.FS.Stat(cred, home+p); statErr != nil {
+			delete(st.Applied, p)
+			delete(st.AppliedLocal, p)
+			healed = true
+		}
+	}
+	if healed {
+		st.Since = 0
+	}
+	l.applied = st.Applied
+	l.appliedLocal = st.AppliedLocal
+	l.since = st.Since
+}
+
+// persistStateLocked writes the durable state if configured. Caller
+// holds l.mu. Persistence failure is deliberately non-fatal: the state
+// is an optimization (it avoids re-pulls), never the source of truth.
+func (l *Link) persistStateLocked() {
+	if l.StatePath == "" {
+		return
+	}
+	applied := make(map[string]uint64, len(l.applied))
+	for k, v := range l.applied {
+		applied[k] = v
+	}
+	appliedLocal := make(map[string]uint64, len(l.appliedLocal))
+	for k, v := range l.appliedLocal {
+		appliedLocal[k] = v
+	}
+	saveState(l.StatePath, &syncState{
+		Peer: l.PeerName, User: l.User, Since: l.since,
+		Applied: applied, AppliedLocal: appliedLocal,
+	})
 }
 
 // ensureParents creates missing intermediate directories for an

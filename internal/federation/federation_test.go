@@ -56,7 +56,13 @@ func writeBob(t *testing.T, p *core.Provider, rel, content string, private bool)
 	if private {
 		label.Secrecy = difc.NewLabel(u.SecrecyTag)
 	}
-	if err := p.FS.Write(p.UserCred("bob"), "/home/bob"+rel, []byte(content), label); err != nil {
+	cred := p.UserCred("bob")
+	if i := strings.LastIndex(rel, "/"); i > 0 {
+		if err := p.FS.MkdirAll(cred, "/home/bob"+rel[:i], label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.FS.Write(cred, "/home/bob"+rel, []byte(content), label); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,179 @@
+package federation
+
+// Resilient-transport tests: every failure mode a peer can produce —
+// hang, refuse, 5xx, oversized body, corrupt JSON — is classified,
+// transient ones are retried, and the circuit breaker turns a dead
+// peer into a constant-time local refusal.
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"w5/internal/faultnet"
+)
+
+// fastOpts keeps retry tests quick without changing semantics.
+var fastOpts = Options{Timeout: 2 * time.Second, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+
+// faultyLink wires the standard A→B pair through a faultnet plan.
+func faultyLink(t *testing.T, plan *faultnet.Plan) (*pair, *Link) {
+	t.Helper()
+	pr := newPair(t, true)
+	l := pr.linkBA
+	l.Client = &http.Client{Transport: &faultnet.Transport{Plan: plan}}
+	l.Options = fastOpts
+	return pr, l
+}
+
+func TestRetryRecoversFromTransientFaults(t *testing.T) {
+	// Attempt 1 dies at the connection, attempt 2 gets a 502, attempt 3
+	// succeeds — all within one Sync, thanks to the retry budget.
+	plan := &faultnet.Plan{Script: []faultnet.Fault{faultnet.Drop, faultnet.Status}}
+	pr, l := faultyLink(t, plan)
+	writeBob(t, pr.A, "/private/diary", "survived", true)
+
+	n, err := l.SyncOnce()
+	if err != nil || n != 1 {
+		t.Fatalf("sync through transient faults: n=%d err=%v", n, err)
+	}
+	if got, _, _ := readBob(t, pr.B, "/private/diary"); got != "survived" {
+		t.Fatalf("B read %q", got)
+	}
+	if reqs, _ := plan.Stats(); reqs != 3 {
+		t.Errorf("took %d attempts, want 3 (drop, 502, ok)", reqs)
+	}
+}
+
+func TestPermanentFailureIsNotRetried(t *testing.T) {
+	// A 403 means OUR credentials are wrong; retrying it verbatim is
+	// noise the remote has to absorb. Exactly one request goes out.
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad peer credentials", http.StatusForbidden)
+	}))
+	defer srv.Close()
+	pr := newPair(t, true)
+	l := &Link{Local: pr.B, PeerName: "providerA", BaseURL: srv.URL,
+		Secret: "wrong", User: "bob", Options: fastOpts}
+	_, err := l.Sync()
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Class != ClassStatus || pe.Status != 403 {
+		t.Fatalf("err = %v, want ClassStatus 403", err)
+	}
+	if pe.Transient() {
+		t.Error("4xx classified transient")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("permanent failure retried: %d requests", got)
+	}
+}
+
+func TestTimeoutIsClassified(t *testing.T) {
+	plan := &faultnet.Plan{Script: []faultnet.Fault{faultnet.Delay}, Latency: 5 * time.Second}
+	pr, l := faultyLink(t, plan)
+	l.Options = Options{Timeout: 50 * time.Millisecond, Retries: -1}
+	writeBob(t, pr.A, "/public/x", "x", false)
+
+	start := time.Now()
+	_, err := l.Sync()
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Class != ClassTimeout {
+		t.Fatalf("err = %v, want ClassTimeout", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("deadline ignored: sync took %v", d)
+	}
+}
+
+func TestCorruptBodyIsClassified(t *testing.T) {
+	for _, f := range []faultnet.Fault{faultnet.Truncate, faultnet.Corrupt} {
+		plan := &faultnet.Plan{Script: []faultnet.Fault{f}}
+		pr, l := faultyLink(t, plan)
+		l.Options.Retries = -1
+		writeBob(t, pr.A, "/public/x", "x", false)
+		_, err := l.Sync()
+		var pe *PeerError
+		if !errors.As(err, &pe) || pe.Class != ClassCorrupt {
+			t.Fatalf("%v fault: err = %v, want ClassCorrupt", f, err)
+		}
+	}
+}
+
+func TestResponseSizeCapEnforced(t *testing.T) {
+	pr := newPair(t, true)
+	writeBob(t, pr.A, "/public/big", string(make([]byte, 64<<10)), false)
+	l := pr.linkBA
+	l.Options = Options{MaxBody: 1024, Retries: -1}
+	_, err := l.Sync()
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Class != ClassCorrupt {
+		t.Fatalf("oversized body: err = %v, want ClassCorrupt", err)
+	}
+}
+
+func TestBreakerOpensThenRecovers(t *testing.T) {
+	// Two failed syncs open the breaker; while open, a sync costs zero
+	// network requests; after the cooldown one probe goes through and
+	// closes it again.
+	plan := &faultnet.Plan{Script: []faultnet.Fault{faultnet.Drop, faultnet.Drop}}
+	pr, l := faultyLink(t, plan)
+	l.Options.Retries = -1
+	l.Breaker = &Breaker{Threshold: 2, Cooldown: 50 * time.Millisecond}
+	writeBob(t, pr.A, "/private/diary", "eventually", true)
+
+	for i := 0; i < 2; i++ {
+		if _, err := l.Sync(); err == nil {
+			t.Fatalf("sync %d succeeded through a dropped connection", i)
+		}
+	}
+	if st := l.Breaker.State(); st != "open" {
+		t.Fatalf("breaker %s after %d failures, want open", st, 2)
+	}
+	reqsBefore, _ := plan.Stats()
+	_, err := l.Sync()
+	var pe *PeerError
+	if !errors.As(err, &pe) || pe.Class != ClassBreaker {
+		t.Fatalf("open breaker: err = %v, want ClassBreaker", err)
+	}
+	if reqs, _ := plan.Stats(); reqs != reqsBefore {
+		t.Error("open breaker still touched the network")
+	}
+
+	time.Sleep(60 * time.Millisecond)
+	if st := l.Breaker.State(); st != "half-open" {
+		t.Fatalf("breaker %s after cooldown, want half-open", st)
+	}
+	// The probe goes through (plan exhausted → healthy) and closes it.
+	n, err := l.SyncOnce()
+	if err != nil || n != 1 {
+		t.Fatalf("probe sync: n=%d err=%v", n, err)
+	}
+	if st := l.Breaker.State(); st != "closed" {
+		t.Fatalf("breaker %s after successful probe, want closed", st)
+	}
+	if got, _, _ := readBob(t, pr.B, "/private/diary"); got != "eventually" {
+		t.Fatalf("B read %q after recovery", got)
+	}
+}
+
+func TestFailedProbeReopensBreaker(t *testing.T) {
+	pr, l := faultyLink(t, &faultnet.Plan{Prob: 1, ProbFault: faultnet.Drop, Seed: 1})
+	l.Options.Retries = -1
+	l.Breaker = &Breaker{Threshold: 1, Cooldown: 20 * time.Millisecond}
+	writeBob(t, pr.A, "/public/x", "x", false)
+
+	l.Sync() // opens (threshold 1)
+	if st := l.Breaker.State(); st != "open" {
+		t.Fatalf("breaker %s, want open", st)
+	}
+	time.Sleep(30 * time.Millisecond)
+	l.Sync() // the probe also fails
+	if st := l.Breaker.State(); st != "open" {
+		t.Fatalf("breaker %s after failed probe, want open again", st)
+	}
+}

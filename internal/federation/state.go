@@ -1,0 +1,110 @@
+package federation
+
+// Durable sync-state: the applied-version map and the remote change
+// cursor survive restarts, so a restarted importer resumes incremental
+// pulls instead of re-applying the whole corpus. Files are written with
+// the same tmp + fsync + rename discipline as the audit spill
+// (internal/audit/spill.go): a state file is either the previous
+// complete version or the new complete version, never a torn write.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// syncState is the on-disk form, one file per (peer, user) link.
+type syncState struct {
+	Peer string `json:"peer"`
+	User string `json:"user"`
+	// Since is the remote change-sequence horizon of the last fully
+	// applied pull; the next pull asks only for files changed after it.
+	Since uint64 `json:"since"`
+	// Applied maps remote path -> highest remote version applied, the
+	// last-writer-wins memory.
+	Applied map[string]uint64 `json:"applied"`
+	// AppliedLocal maps remote path -> the LOCAL store version the
+	// apply produced; it tells an untouched mirror (plain update) apart
+	// from local drift (true conflict) across restarts.
+	AppliedLocal map[string]uint64 `json:"applied_local,omitempty"`
+}
+
+// statePath names the state file for a (peer, user) link under dir.
+// Peer and user names are flattened defensively — they come from
+// configuration, but a path separator in either must not escape dir.
+func statePath(dir, peer, user string) string {
+	clean := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch r {
+			case '/', '\\', '.', ':':
+				return '_'
+			}
+			return r
+		}, s)
+	}
+	return filepath.Join(dir, "fed-"+clean(peer)+"-"+clean(user)+".json")
+}
+
+// saveState atomically persists st to path.
+func saveState(path string, st *syncState) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(dir, filepath.Base(path)+"*.tmp")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// fsync the directory so the rename itself is durable.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// loadState reads a state file. A missing file is a fresh start (nil
+// state, nil error); a corrupt file is an error so the caller can
+// decide to discard it loudly rather than silently.
+func loadState(path string) (*syncState, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var st syncState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("federation: corrupt state %s: %w", path, err)
+	}
+	if st.Applied == nil {
+		st.Applied = make(map[string]uint64)
+	}
+	return &st, nil
+}

@@ -1,0 +1,277 @@
+package federation
+
+// Syncer is the supervised federation daemon: one goroutine per peer,
+// each looping sync rounds for every local user, under a supervisor
+// that survives panics, tracks per-peer health, and audits
+// unreachable/recovered transitions. A peer outage degrades service —
+// reads keep answering from the (observably stale) local mirror — and
+// never stalls the provider.
+
+import (
+	"errors"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"w5/internal/audit"
+	"w5/internal/core"
+)
+
+// PeerConfig names one remote provider to pull from.
+type PeerConfig struct {
+	// Name is the remote provider's name (must match what it calls
+	// itself: LWW tie-breaking and state files key on it).
+	Name string
+	// BaseURL is the remote gateway root, e.g. "http://10.0.0.2:8055".
+	BaseURL string
+	// Secret is the shared peering secret this side presents.
+	Secret string
+}
+
+// SyncerConfig configures a Syncer. Zero-valued fields take defaults.
+type SyncerConfig struct {
+	// Local is the importing provider.
+	Local *core.Provider
+	// Peers are the remotes to pull from, one supervised loop each.
+	Peers []PeerConfig
+	// Users restricts syncing to these users; nil means every local
+	// user, re-enumerated each round so new signups are picked up.
+	Users []string
+	// Interval is the pause between sync rounds per peer (default 1s).
+	Interval time.Duration
+	// FullEvery makes every Nth round a full (since=0) pull, healing
+	// cursor blind spots such as policy changes over old files
+	// (default 32; negative disables full rounds).
+	FullEvery int
+	// StateDir, if set, persists each link's cursor and applied-version
+	// map so a restarted daemon resumes incrementally.
+	StateDir string
+	// Options tunes the resilient transport for every link.
+	Options Options
+	// BreakerThreshold and BreakerCooldown configure each peer's
+	// circuit breaker (zero = Breaker defaults).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Client overrides the HTTP client for every link (tests inject
+	// fault transports here).
+	Client *http.Client
+}
+
+func (c *SyncerConfig) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return time.Second
+}
+
+func (c *SyncerConfig) fullEvery() int {
+	if c.FullEvery > 0 {
+		return c.FullEvery
+	}
+	if c.FullEvery < 0 {
+		return 0 // disabled
+	}
+	return 32
+}
+
+// PeerHealth is one peer's observable sync state, as exposed by
+// Stats() and the gateway's /fed/status endpoint.
+type PeerHealth struct {
+	Peer    string `json:"peer"`
+	Breaker string `json:"breaker"` // closed | open | half-open
+	// ConsecutiveFailures counts failed rounds since the last success.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Rounds counts completed sync rounds (successful or not).
+	Rounds uint64 `json:"rounds"`
+	// LastSuccess is the wall time of the last fully successful round;
+	// zero means the peer has never answered. Readers derive staleness
+	// from it — data served locally is at most now−LastSuccess behind.
+	LastSuccess time.Time `json:"last_success"`
+	// LastError is the most recent failure, cleared on recovery.
+	LastError string `json:"last_error,omitempty"`
+	// LastApplied counts files applied in the most recent round.
+	LastApplied int `json:"last_applied"`
+	// TotalApplied counts files applied since the syncer started.
+	TotalApplied uint64 `json:"total_applied"`
+}
+
+// Syncer runs supervised pull loops against every configured peer.
+type Syncer struct {
+	cfg      SyncerConfig
+	breakers map[string]*Breaker
+
+	mu     sync.Mutex
+	links  map[string]*Link // key: peer + "\x00" + user
+	health map[string]*PeerHealth
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewSyncer builds a Syncer; call Start to launch the loops.
+func NewSyncer(cfg SyncerConfig) *Syncer {
+	s := &Syncer{
+		cfg:      cfg,
+		breakers: make(map[string]*Breaker, len(cfg.Peers)),
+		links:    make(map[string]*Link),
+		health:   make(map[string]*PeerHealth, len(cfg.Peers)),
+		stop:     make(chan struct{}),
+	}
+	for _, pc := range cfg.Peers {
+		// One breaker per peer, shared by every user's link, so the
+		// failure evidence pools across users.
+		s.breakers[pc.Name] = &Breaker{
+			Threshold: cfg.BreakerThreshold,
+			Cooldown:  cfg.BreakerCooldown,
+		}
+		s.health[pc.Name] = &PeerHealth{Peer: pc.Name, Breaker: "closed"}
+	}
+	return s
+}
+
+// Start launches one supervised loop per peer. Safe to call once.
+func (s *Syncer) Start() {
+	for _, pc := range s.cfg.Peers {
+		s.wg.Add(1)
+		go s.loop(pc)
+	}
+}
+
+// Close stops every loop and waits for them to exit.
+func (s *Syncer) Close() {
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// Stats snapshots per-peer health, sorted by peer name.
+func (s *Syncer) Stats() []PeerHealth {
+	s.mu.Lock()
+	out := make([]PeerHealth, 0, len(s.health))
+	for name, h := range s.health {
+		c := *h
+		c.Breaker = s.breakers[name].State()
+		out = append(out, c)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// loop is one peer's supervised sync loop. The first round runs
+// immediately; later rounds tick at the configured interval.
+func (s *Syncer) loop(pc PeerConfig) {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.interval())
+	defer t.Stop()
+	for round := uint64(0); ; round++ {
+		s.round(pc, round)
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// round syncs every user against one peer and folds the outcome into
+// that peer's health record, auditing fail/recover transitions.
+func (s *Syncer) round(pc PeerConfig, round uint64) {
+	users := s.cfg.Users
+	if users == nil {
+		users = s.cfg.Local.Users()
+	}
+	fe := s.cfg.fullEvery()
+	full := fe > 0 && round > 0 && round%uint64(fe) == 0
+
+	applied := 0
+	var firstErr error
+	for _, user := range users {
+		res, err := s.syncUser(pc, user, full)
+		applied += res.Applied
+		if err != nil && !errors.Is(err, ErrConflict) && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.health[pc.Name]
+	h.Rounds++
+	h.LastApplied = applied
+	h.TotalApplied += uint64(applied)
+	if firstErr == nil {
+		if h.ConsecutiveFailures > 0 {
+			s.cfg.Local.Log.Appendf(audit.KindPeerRecover, "federation", pc.Name,
+				"peer answering again after %d failed rounds", h.ConsecutiveFailures)
+		}
+		h.ConsecutiveFailures = 0
+		h.LastError = ""
+		h.LastSuccess = time.Now()
+		return
+	}
+	h.ConsecutiveFailures++
+	h.LastError = firstErr.Error()
+	if h.ConsecutiveFailures == 1 {
+		s.cfg.Local.Log.Appendf(audit.KindPeerFail, "federation", pc.Name,
+			"peer unreachable: %v", firstErr)
+	}
+}
+
+// syncUser runs one link sync under panic recovery: a panic in the
+// sync path (a bug, not a network fault) is converted into a failed
+// round instead of killing the loop — the supervisor's actual job.
+func (s *Syncer) syncUser(pc PeerConfig, user string, full bool) (res SyncResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PeerError{Peer: pc.Name, Class: ClassCorrupt,
+				Err: panicError{r}}
+		}
+	}()
+	l := s.link(pc, user)
+	if full {
+		return l.SyncFull()
+	}
+	return l.Sync()
+}
+
+// link returns (creating on first use) the cached Link for one
+// (peer, user) pair.
+func (s *Syncer) link(pc PeerConfig, user string) *Link {
+	key := pc.Name + "\x00" + user
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.links[key]; ok {
+		return l
+	}
+	l := &Link{
+		Local:    s.cfg.Local,
+		PeerName: pc.Name,
+		BaseURL:  pc.BaseURL,
+		Secret:   pc.Secret,
+		User:     user,
+		Client:   s.cfg.Client,
+		Options:  s.cfg.Options,
+		Breaker:  s.breakers[pc.Name],
+	}
+	if s.cfg.StateDir != "" {
+		l.StatePath = statePath(s.cfg.StateDir, pc.Name, user)
+	}
+	s.links[key] = l
+	return l
+}
+
+// panicError wraps a recovered panic value as an error.
+type panicError struct{ v any }
+
+func (p panicError) Error() string { return "panic during sync: " + toString(p.v) }
+
+func toString(v any) string {
+	if err, ok := v.(error); ok {
+		return err.Error()
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return "non-string panic value"
+}

@@ -1,0 +1,252 @@
+package federation
+
+// Syncer tests: supervised convergence, observable degradation during
+// a peer outage (breaker open, health reporting, audit transitions),
+// clean shutdown without goroutine leaks, durable-state resume (a
+// restarted importer re-applies nothing), and self-healing after
+// local data loss.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"w5/internal/audit"
+	"w5/internal/core"
+	"w5/internal/difc"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// fastSyncer returns a config tuned for test speed.
+func fastSyncer(pr *pair) SyncerConfig {
+	return SyncerConfig{
+		Local:    pr.B,
+		Peers:    []PeerConfig{{Name: "providerA", BaseURL: pr.srvA.URL, Secret: "s3cret"}},
+		Users:    []string{"bob"},
+		Interval: 5 * time.Millisecond,
+		Options:  Options{Timeout: 2 * time.Second, Retries: -1, Backoff: time.Millisecond},
+		Client:   &http.Client{Transport: &http.Transport{}},
+	}
+}
+
+func TestSyncerConvergesAndShutsDownCleanly(t *testing.T) {
+	pr := newPair(t, true)
+	writeBob(t, pr.A, "/private/diary", "day one", true)
+
+	cfg := fastSyncer(pr)
+	before := runtime.NumGoroutine()
+	s := NewSyncer(cfg)
+	s.Start()
+	waitFor(t, "convergence", func() bool {
+		got, _, err := readBob(t, pr.B, "/private/diary")
+		return err == nil && got == "day one"
+	})
+	// A later write propagates without any explicit kick.
+	writeBob(t, pr.A, "/private/diary", "day two", true)
+	waitFor(t, "update propagation", func() bool {
+		got, _, _ := readBob(t, pr.B, "/private/diary")
+		return got == "day two"
+	})
+	st := s.Stats()
+	if len(st) != 1 || st[0].Peer != "providerA" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st[0].LastSuccess.IsZero() || st[0].Breaker != "closed" || st[0].TotalApplied < 2 {
+		t.Errorf("healthy peer reported unhealthy: %+v", st[0])
+	}
+
+	s.Close()
+	cfg.Client.CloseIdleConnections()
+	// Every loop goroutine must be gone; give the runtime a moment.
+	waitFor(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before
+	})
+}
+
+// flakyFrontend forwards to an inner handler unless down.
+type flakyFrontend struct {
+	down  atomic.Bool
+	inner http.Handler
+}
+
+func (f *flakyFrontend) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.down.Load() {
+		http.Error(w, "upstream down", http.StatusServiceUnavailable)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+func TestSyncerDegradesAndRecoversThroughOutage(t *testing.T) {
+	A := core.NewProvider(core.Config{Name: "providerA", Enforce: true})
+	B := core.NewProvider(core.Config{Name: "providerB", Enforce: true})
+	for _, p := range []*core.Provider{A, B} {
+		if _, err := p.CreateUser("bob", "pw"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := AuthorizePeer(A, "bob", "providerB"); err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	MountExport(A, mux, map[string]string{"providerB": "s3cret"})
+	front := &flakyFrontend{inner: mux}
+	srv := httptest.NewServer(front)
+	defer srv.Close()
+
+	u, _ := A.GetUser("bob")
+	write := func(rel, content string) {
+		t.Helper()
+		label := difc.LabelPair{
+			Secrecy:   difc.NewLabel(u.SecrecyTag),
+			Integrity: difc.NewLabel(u.WriteTag),
+		}
+		if err := A.FS.Write(A.UserCred("bob"), "/home/bob"+rel, []byte(content), label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("/private/diary", "pre-outage")
+
+	client := &http.Client{Transport: &http.Transport{}}
+	s := NewSyncer(SyncerConfig{
+		Local:            B,
+		Peers:            []PeerConfig{{Name: "providerA", BaseURL: srv.URL, Secret: "s3cret"}},
+		Users:            []string{"bob"},
+		Interval:         5 * time.Millisecond,
+		Options:          Options{Timeout: 2 * time.Second, Retries: -1, Backoff: time.Millisecond},
+		BreakerThreshold: 2,
+		BreakerCooldown:  30 * time.Millisecond,
+		Client:           client,
+	})
+	s.Start()
+	defer func() { s.Close(); client.CloseIdleConnections() }()
+
+	waitFor(t, "initial convergence", func() bool {
+		got, _, err := B.FS.Read(B.UserCred("bob"), "/home/bob/private/diary")
+		return err == nil && string(got) == "pre-outage"
+	})
+
+	// Outage: the syncer must degrade, not stall. Local reads keep
+	// answering (stale), health reports the failure, the breaker opens,
+	// and the transition is audited exactly once.
+	front.down.Store(true)
+	waitFor(t, "breaker to open", func() bool {
+		st := s.Stats()[0]
+		return st.ConsecutiveFailures >= 2 && st.Breaker != "closed" && st.LastError != ""
+	})
+	if got, _, err := B.FS.Read(B.UserCred("bob"), "/home/bob/private/diary"); err != nil || string(got) != "pre-outage" {
+		t.Fatalf("stale local read failed during outage: %q %v", got, err)
+	}
+	if n := B.Log.CountKind(audit.KindPeerFail); n != 1 {
+		t.Errorf("peer-fail audited %d times, want 1", n)
+	}
+
+	// Recovery: the breaker half-opens after its cooldown, the probe
+	// succeeds, and data written during the outage converges.
+	write("/private/diary", "post-outage")
+	front.down.Store(false)
+	waitFor(t, "recovery and convergence", func() bool {
+		got, _, err := B.FS.Read(B.UserCred("bob"), "/home/bob/private/diary")
+		return err == nil && string(got) == "post-outage"
+	})
+	waitFor(t, "health to clear", func() bool {
+		st := s.Stats()[0]
+		return st.ConsecutiveFailures == 0 && st.Breaker == "closed" && st.LastError == ""
+	})
+	if n := B.Log.CountKind(audit.KindPeerRecover); n != 1 {
+		t.Errorf("peer-recover audited %d times, want 1", n)
+	}
+}
+
+func TestRestartedSyncerReappliesNothing(t *testing.T) {
+	pr := newPair(t, true)
+	for _, f := range []string{"/private/a", "/private/b", "/public/c"} {
+		writeBob(t, pr.A, f, "content"+f, f != "/public/c")
+	}
+	dir := t.TempDir()
+
+	cfg := fastSyncer(pr)
+	cfg.StateDir = dir
+	s1 := NewSyncer(cfg)
+	s1.Start()
+	waitFor(t, "first import", func() bool {
+		got, _, err := readBob(t, pr.B, "/public/c")
+		return err == nil && got == "content/public/c"
+	})
+	s1.Close()
+
+	// "Restart": a fresh Syncer over the same provider and state dir.
+	// The durable cursor makes its first pull empty — zero files
+	// re-applied, not three.
+	s2 := NewSyncer(cfg)
+	s2.Start()
+	waitFor(t, "post-restart rounds", func() bool { return s2.Stats()[0].Rounds >= 3 })
+	if applied := s2.Stats()[0].TotalApplied; applied != 0 {
+		t.Errorf("restarted syncer re-applied %d files, want 0", applied)
+	}
+	s2.Close()
+	cfg.Client.CloseIdleConnections()
+
+	// Even a forced FULL pull re-applies nothing: every record is
+	// recognized as already-applied via the durable version map.
+	l := &Link{Local: pr.B, PeerName: "providerA", BaseURL: pr.srvA.URL,
+		Secret: "s3cret", User: "bob", Options: fastOpts,
+		StatePath: statePath(dir, "providerA", "bob")}
+	res, err := l.SyncFull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 0 || res.Stale != 3 {
+		t.Errorf("full pull after restart: applied=%d stale=%d, want 0/3", res.Applied, res.Stale)
+	}
+}
+
+func TestStateSelfHealsAfterLocalDataLoss(t *testing.T) {
+	pr := newPair(t, true)
+	writeBob(t, pr.A, "/private/diary", "precious", true)
+	dir := t.TempDir()
+	sp := statePath(dir, "providerA", "bob")
+
+	l1 := &Link{Local: pr.B, PeerName: "providerA", BaseURL: pr.srvA.URL,
+		Secret: "s3cret", User: "bob", Options: fastOpts, StatePath: sp}
+	if n, err := l1.SyncOnce(); err != nil || n != 1 {
+		t.Fatalf("first sync: n=%d err=%v", n, err)
+	}
+
+	// Disaster: the importing provider loses its store (fresh instance)
+	// but the state file survives. Trusting the state blindly would
+	// mean silent data loss — the applied map says "have it", the store
+	// says otherwise. The load path must notice and re-pull in full.
+	B2 := core.NewProvider(core.Config{Name: "providerB", Enforce: true})
+	if _, err := B2.CreateUser("bob", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	l2 := &Link{Local: B2, PeerName: "providerA", BaseURL: pr.srvA.URL,
+		Secret: "s3cret", User: "bob", Options: fastOpts, StatePath: sp}
+	res, err := l2.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 {
+		t.Fatalf("self-heal re-applied %d files, want 1", res.Applied)
+	}
+	got, _, err := B2.FS.Read(B2.UserCred("bob"), "/home/bob/private/diary")
+	if err != nil || string(got) != "precious" {
+		t.Fatalf("healed read: %q %v", got, err)
+	}
+}

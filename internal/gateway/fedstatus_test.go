@@ -1,0 +1,51 @@
+package gateway
+
+// /fed/status: authenticated JSON view of federation sync health,
+// backed by whatever callback cmd/w5d installed via SetFedStats.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"testing"
+
+	"w5/internal/core"
+)
+
+func TestFedStatusEndpoint(t *testing.T) {
+	p := core.NewProvider(core.Config{Name: "gwtest", Enforce: true})
+	g := New(p, Options{})
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+	jar, _ := cookiejar.New(nil)
+	tc := &testClient{t: t, c: &http.Client{Jar: jar}, server: srv}
+
+	// Anonymous viewers get nothing — not even "not configured".
+	if code, _ := tc.anon().get("/fed/status"); code != http.StatusUnauthorized {
+		t.Fatalf("anonymous /fed/status: %d, want 401", code)
+	}
+	signup(tc, "bob", "pw")
+	// Authenticated but federation is off: 404.
+	if code, _ := tc.get("/fed/status"); code != http.StatusNotFound {
+		t.Fatalf("unconfigured /fed/status: %d, want 404", code)
+	}
+
+	g.SetFedStats(func() any {
+		return []map[string]any{{"peer": "providerA", "breaker": "closed"}}
+	})
+	code, body := tc.get("/fed/status")
+	if code != http.StatusOK {
+		t.Fatalf("/fed/status: %d %q", code, body)
+	}
+	var health []struct {
+		Peer    string `json:"peer"`
+		Breaker string `json:"breaker"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("non-JSON status: %v (%q)", err, body)
+	}
+	if len(health) != 1 || health[0].Peer != "providerA" || health[0].Breaker != "closed" {
+		t.Errorf("status = %+v", health)
+	}
+}

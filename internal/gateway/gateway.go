@@ -31,6 +31,7 @@
 package gateway
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -112,7 +113,14 @@ type Gateway struct {
 	warmHits     atomic.Uint64
 	coldResolves atomic.Uint64
 	swept        atomic.Uint64
+
+	// fedStats holds the federation health callback (SetFedStats) as a
+	// fedStatsFn; nil/unset means federation is not configured.
+	fedStats atomic.Value
 }
+
+// fedStatsFn is the stored type behind SetFedStats.
+type fedStatsFn func() any
 
 // New builds a gateway for the provider.
 func New(p *core.Provider, opts Options) *Gateway {
@@ -143,6 +151,7 @@ func New(p *core.Provider, opts Options) *Gateway {
 	g.mux.HandleFunc("/grants/write", g.handleWriteGrant)
 	g.mux.HandleFunc("/grants/declass", g.handleDeclass)
 	g.mux.HandleFunc("/registry/search", g.handleSearch)
+	g.mux.HandleFunc("/fed/status", g.handleFedStatus)
 	g.mux.HandleFunc("/", g.handleIndex)
 	return g
 }
@@ -160,6 +169,40 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Mux exposes the underlying mux so sibling packages (federation) can
 // mount additional trusted endpoints.
 func (g *Gateway) Mux() *http.ServeMux { return g.mux }
+
+// SetFedStats installs the callback behind /fed/status — typically
+// federation.Syncer.Stats wrapped by cmd/w5d. A callback (rather than
+// a direct dependency) keeps gateway importable from federation's side
+// of the graph. Pass nil to uninstall.
+func (g *Gateway) SetFedStats(fn func() any) {
+	g.fedStats.Store(fedStatsFn(fn))
+}
+
+// handleFedStatus reports per-peer federation sync health as JSON.
+// Authenticated: peer liveness and staleness is operational state any
+// local user may see (their own data's freshness), but not the
+// anonymous internet.
+func (g *Gateway) handleFedStatus(w http.ResponseWriter, r *http.Request) {
+	st := g.session(r)
+	if st == nil {
+		http.Error(w, "login required", http.StatusUnauthorized)
+		return
+	}
+	if !g.allowSession(st) {
+		http.Error(w, "rate limited", http.StatusTooManyRequests)
+		return
+	}
+	var fn fedStatsFn
+	if v := g.fedStats.Load(); v != nil {
+		fn, _ = v.(fedStatsFn)
+	}
+	if fn == nil {
+		http.Error(w, "federation not configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(fn())
+}
 
 func (g *Gateway) handleSignup(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {

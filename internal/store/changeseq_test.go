@@ -1,0 +1,109 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The change-sequence contract federation's incremental pulls rely on:
+// every content or label mutation stamps a strictly increasing
+// store-wide sequence, ExportSince(h) returns exactly the files changed
+// after horizon h, and both survive a snapshot round trip.
+
+func TestChangeSeqAdvancesOnMutation(t *testing.T) {
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	s0 := fs.ChangeSeq()
+	if s0 == 0 {
+		t.Fatal("writes did not advance the change sequence")
+	}
+	info, err := fs.Stat(bobCred, "/bob/diary.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq == 0 || info.Seq > s0 {
+		t.Fatalf("file seq %d outside (0, %d]", info.Seq, s0)
+	}
+	// Overwrite advances both the node stamp and the global counter.
+	if err := fs.Write(bobCred, "/bob/diary.txt", []byte("v2"), bobPrivate); err != nil {
+		t.Fatal(err)
+	}
+	info2, _ := fs.Stat(bobCred, "/bob/diary.txt")
+	if info2.Seq <= info.Seq || fs.ChangeSeq() <= s0 {
+		t.Fatalf("overwrite did not advance seq: %d -> %d (global %d -> %d)",
+			info.Seq, info2.Seq, s0, fs.ChangeSeq())
+	}
+	// Relabel is a policy mutation: it must be visible to incremental
+	// mirrors (Private/Protected travel as label semantics).
+	s1 := fs.ChangeSeq()
+	if err := fs.SetLabel(bobCred, "/bob/diary.txt", public); err != nil {
+		t.Fatal(err)
+	}
+	info3, _ := fs.Stat(bobCred, "/bob/diary.txt")
+	if info3.Seq <= info2.Seq || fs.ChangeSeq() <= s1 {
+		t.Fatal("relabel did not advance seq")
+	}
+}
+
+func TestExportSinceReturnsOnlyChangedFiles(t *testing.T) {
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	if err := fs.Write(bobCred, "/bob/notes.txt", []byte("n1"), bobPrivate); err != nil {
+		t.Fatal(err)
+	}
+	h := fs.ChangeSeq() // cursor after both files exist
+
+	infos, _, err := fs.ExportSince("/bob", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("nothing changed after horizon, got %d files", len(infos))
+	}
+	if err := fs.Write(bobCred, "/bob/notes.txt", []byte("n2"), bobPrivate); err != nil {
+		t.Fatal(err)
+	}
+	infos, datas, err := fs.ExportSince("/bob", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Path != "/bob/notes.txt" || string(datas[0]) != "n2" {
+		t.Fatalf("incremental export = %+v, want only the updated notes.txt", infos)
+	}
+	// since == 0 is the full export, including files that have never
+	// been stamped (pre-seq snapshots restore with seq 0).
+	infos, _, err = fs.ExportSince("/bob", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("full export = %d files, want 2", len(infos))
+	}
+}
+
+func TestChangeSeqSurvivesSnapshotRestore(t *testing.T) {
+	fs := newFS(t)
+	setupBobHome(t, fs)
+	before := fs.ChangeSeq()
+
+	var buf bytes.Buffer
+	if err := fs.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fs2 := newFS(t)
+	if err := fs2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs2.ChangeSeq(); got != before {
+		t.Fatalf("restored ChangeSeq = %d, want %d", got, before)
+	}
+	// A cursor taken before the restore must stay valid: the next write
+	// gets a stamp strictly above it.
+	if err := fs2.Write(bobCred, "/bob/diary.txt", []byte("post-restore"), bobPrivate); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs2.Stat(bobCred, "/bob/diary.txt")
+	if info.Seq <= before {
+		t.Fatalf("post-restore write seq %d not above pre-snapshot horizon %d", info.Seq, before)
+	}
+}

@@ -25,6 +25,7 @@ type snapNode struct {
 	Integrity difc.Label          `json:"integrity"`
 	Owner     string              `json:"owner"`
 	Version   uint64              `json:"version"`
+	Seq       uint64              `json:"seq,omitempty"`
 	Modified  time.Time           `json:"modified"`
 	Data      []byte              `json:"data,omitempty"` // base64 via encoding/json
 	Children  map[string]snapNode `json:"children,omitempty"`
@@ -38,6 +39,7 @@ func toSnap(n *node) snapNode {
 		Integrity: n.label.Integrity,
 		Owner:     n.owner,
 		Version:   n.version,
+		Seq:       n.seq,
 		Modified:  n.modified,
 	}
 	if n.isDir() {
@@ -57,6 +59,7 @@ func fromSnap(s snapNode) (*node, error) {
 		label:    difc.LabelPair{Secrecy: s.Secrecy, Integrity: s.Integrity},
 		owner:    s.Owner,
 		version:  s.Version,
+		seq:      s.Seq,
 		modified: s.Modified,
 	}
 	if s.Dir {
@@ -104,15 +107,49 @@ func (fs *FS) Restore(r io.Reader) error {
 	}
 	fs.lockAll()
 	fs.root = root
+	// Resume the change sequence after the snapshot's highest stamp so
+	// post-restore mutations keep strictly increasing seqs — an
+	// incremental-sync cursor taken before the restore stays valid.
+	if max := maxSeq(root); max > fs.seq.Load() {
+		fs.seq.Store(max)
+	}
 	fs.unlockAll()
 	return nil
 }
+
+// maxSeq reports the highest change-sequence stamp in the subtree.
+func maxSeq(n *node) uint64 {
+	max := n.seq
+	for _, c := range n.children {
+		if s := maxSeq(c); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// ChangeSeq reports the store-wide change sequence: the stamp of the
+// most recent content or label mutation. Capturing it BEFORE an
+// Export/ExportSince walk yields a horizon h such that a later
+// ExportSince(path, h) returns every file changed after the walk —
+// files mutated during the walk carry stamps > h and are re-sent, so
+// the cursor protocol is idempotent rather than lossy.
+func (fs *FS) ChangeSeq() uint64 { return fs.seq.Load() }
 
 // Export returns the Info and data of every file under path, without
 // credential checks, for the federation shipper. The caller must hold
 // the privileges appropriate to the destination — the federation
 // declassifier layer enforces that; see internal/federation.
 func (fs *FS) Export(path string) ([]Info, [][]byte, error) {
+	return fs.ExportSince(path, 0)
+}
+
+// ExportSince is Export restricted to files whose change sequence is
+// strictly greater than since (0 = everything). Unchanged files are
+// skipped before their payloads are copied, so a steady-state
+// incremental pull costs a tree walk but no data movement — the
+// federation cursor protocol's O(changed files) contract.
+func (fs *FS) ExportSince(path string, since uint64) ([]Info, [][]byte, error) {
 	var buf [pathBufLen]string
 	parts, _, err := fs.intern.resolve(path, buf[:0])
 	if err != nil {
@@ -142,14 +179,19 @@ func (fs *FS) Export(path string) ([]Info, [][]byte, error) {
 		sort.Strings(names)
 		for _, name := range names {
 			c := dir.children[name]
-			info := infoOf(prefix+"/", c)
-			info.Path = prefix + "/" + name
 			if c.isDir() {
 				rec(c, prefix+"/"+name)
-			} else {
-				infos = append(infos, info)
-				datas = append(datas, append([]byte(nil), c.data...))
+				continue
 			}
+			// since == 0 means everything, including seq-0 files
+			// restored from snapshots that predate change sequencing.
+			if since > 0 && c.seq <= since {
+				continue // unchanged since the caller's cursor
+			}
+			info := infoOf(prefix+"/", c)
+			info.Path = prefix + "/" + name
+			infos = append(infos, info)
+			datas = append(datas, append([]byte(nil), c.data...))
 		}
 	}
 	prefix := path

@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"w5/internal/audit"
@@ -78,6 +79,9 @@ type Info struct {
 	Owner    string
 	Version  uint64
 	Modified time.Time
+	// Seq is the store-wide change sequence at this object's last
+	// content or label mutation (see FS.ChangeSeq).
+	Seq uint64
 }
 
 type node struct {
@@ -85,6 +89,7 @@ type node struct {
 	label    difc.LabelPair
 	owner    string
 	version  uint64
+	seq      uint64 // store-wide change sequence at last mutation
 	modified time.Time
 
 	// exactly one of the following is used
@@ -122,6 +127,14 @@ type FS struct {
 	shards []lockShard
 	mask   uint32
 	intern pathIntern
+
+	// seq is the store-wide change sequence: every content or label
+	// mutation stamps its node with the next value. Consumers that
+	// mirror the store incrementally (federation's since-version pulls)
+	// use it to ask "what changed after N" without diffing the tree.
+	// A shared atomic across shards costs one uncontended Add per
+	// mutation — mutations already take a shard write lock.
+	seq atomic.Uint64
 
 	root   *node
 	log    *audit.Log
@@ -404,6 +417,7 @@ func (fs *FS) Write(cred Cred, path string, data []byte, label difc.LabelPair) e
 		}
 		existing.data = copyPayload(data)
 		existing.version++
+		existing.seq = fs.seq.Add(1)
 		existing.modified = fs.clock()
 		if !cached {
 			fs.intern.put(path, parts)
@@ -423,6 +437,7 @@ func (fs *FS) Write(cred Cred, path string, data []byte, label difc.LabelPair) e
 		owner:    cred.Principal,
 		data:     copyPayload(data),
 		version:  1,
+		seq:      fs.seq.Add(1),
 		modified: fs.clock(),
 	}
 	parent.version++
@@ -565,6 +580,7 @@ func infoOf(parentPath string, n *node) Info {
 		Owner:    n.owner,
 		Version:  n.version,
 		Modified: n.modified,
+		Seq:      n.seq,
 	}
 }
 
@@ -581,6 +597,7 @@ func statInfo(path string, n *node) Info {
 		Owner:    n.owner,
 		Version:  n.version,
 		Modified: n.modified,
+		Seq:      n.seq,
 	}
 }
 
@@ -677,6 +694,7 @@ func (fs *FS) SetLabel(cred Cred, path string, label difc.LabelPair) error {
 	}
 	n.label = label
 	n.version++
+	n.seq = fs.seq.Add(1)
 	n.modified = fs.clock()
 	fs.auditf(audit.KindPolicyChange, cred.Principal, path, "relabel to %s", label)
 	if !cached {
