@@ -8,7 +8,6 @@ package w5bench
 
 import (
 	"fmt"
-	"net/http"
 	"sync"
 	"testing"
 
@@ -227,14 +226,20 @@ func BenchmarkGatewayRequest(b *testing.B) {
 			defer gb.Close()
 			for _, gn := range []int{1, 2, 4, 8} {
 				b.Run(fmt.Sprintf("goroutines=%d", gn), func(b *testing.B) {
-					clients := make([]*http.Client, gn)
-					for i := range clients {
-						// Own transport per goroutine = own keep-alive
-						// connection = own warm session cache.
-						clients[i] = &http.Client{Transport: &http.Transport{}}
-						if err := gb.Do(clients[i]); err != nil {
+					conns := make([]*benchutil.GatewayConn, gn)
+					for i := range conns {
+						// Own raw keep-alive connection per goroutine =
+						// own warm session cache, no client-library
+						// allocations in the measurement.
+						c, err := gb.Dial()
+						if err != nil {
 							b.Fatal(err)
 						}
+						defer c.Close()
+						if err := c.Do(); err != nil {
+							b.Fatal(err)
+						}
+						conns[i] = c
 					}
 					b.ReportAllocs()
 					b.ResetTimer()
@@ -246,15 +251,15 @@ func BenchmarkGatewayRequest(b *testing.B) {
 							n++
 						}
 						wg.Add(1)
-						go func(c *http.Client, n int) {
+						go func(c *benchutil.GatewayConn, n int) {
 							defer wg.Done()
 							for i := 0; i < n; i++ {
-								if err := gb.Do(c); err != nil {
+								if err := c.Do(); err != nil {
 									errs <- err
 									return
 								}
 							}
-						}(clients[gi], n)
+						}(conns[gi], n)
 					}
 					wg.Wait()
 					b.StopTimer()
@@ -262,9 +267,6 @@ func BenchmarkGatewayRequest(b *testing.B) {
 					case err := <-errs:
 						b.Fatal(err)
 					default:
-					}
-					for _, c := range clients {
-						c.CloseIdleConnections()
 					}
 				})
 			}

@@ -62,6 +62,8 @@ func main() {
 		"measure the federation sync path and write JSON results to this file")
 	compare := flag.String("compare", "",
 		"baseline JSON to gate against; with -requestpath or -federation, exits 1 on >25% regression")
+	summary := flag.String("summary", "",
+		"with -compare, append a markdown comparison table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 
 	if *requestPath != "" && *federation != "" {
@@ -93,6 +95,7 @@ func main() {
 				os.Exit(1)
 			}
 			violations := benchutil.Compare(baseline, report, compareTolerance)
+			writeSummary(*summary, baseline, report)
 			if len(violations) > 0 {
 				fmt.Fprintf(os.Stderr, "w5bench: federation sync regressed vs %s:\n", *compare)
 				for _, v := range violations {
@@ -126,6 +129,7 @@ func main() {
 				os.Exit(1)
 			}
 			violations := benchutil.Compare(baseline, report, compareTolerance)
+			writeSummary(*summary, baseline, report)
 			if len(violations) > 0 {
 				fmt.Fprintf(os.Stderr, "w5bench: request path regressed vs %s:\n", *compare)
 				for _, v := range violations {
@@ -138,8 +142,30 @@ func main() {
 		return
 	}
 
+	runExperiments(flag.Args())
+}
+
+// writeSummary appends the comparison table to path (the
+// $GITHUB_STEP_SUMMARY protocol: append, never truncate). Written on
+// pass AND fail — a red gate is exactly when the table matters.
+func writeSummary(path string, baseline, current benchutil.Report) {
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "w5bench: summary:", err)
+		return
+	}
+	defer f.Close()
+	if _, err := f.WriteString(benchutil.MarkdownCompareTable(baseline, current, compareTolerance) + "\n"); err != nil {
+		fmt.Fprintln(os.Stderr, "w5bench: summary:", err)
+	}
+}
+
+func runExperiments(args []string) {
 	want := map[string]bool{}
-	for _, a := range flag.Args() {
+	for _, a := range args {
 		want[strings.ToUpper(a)] = true
 	}
 	fmt.Println("W5 evaluation suite — World Wide Web Without Walls (HotNets 2007)")

@@ -105,6 +105,10 @@ func main() {
 		"labeled-store lock stripes (0 = default; 1 = single-lock baseline)")
 	sessionTTL := flag.Duration("session-ttl", 0,
 		"login lifetime (0 = gateway default, 24h)")
+	sanCacheEntries := flag.Int("sanitize-cache-entries", 1024,
+		"sanitized-output cache entry cap (0 = disable the cache)")
+	sanCacheBytes := flag.Int64("sanitize-cache-bytes", 16<<20,
+		"sanitized-output cache byte cap (0 = disable the cache)")
 	loginRate := flag.Float64("login-rate", 1,
 		"per-source login/signup attempts per second (0 = unlimited)")
 	loginBurst := flag.Float64("login-burst", 10,
@@ -163,10 +167,12 @@ func main() {
 		p.InstallApp(app)
 	}
 	gw := gateway.New(p, gateway.Options{
-		FilterHTML: true,
-		SessionTTL: *sessionTTL,
-		LoginRate:  *loginRate,
-		LoginBurst: *loginBurst,
+		FilterHTML:           true,
+		SessionTTL:           *sessionTTL,
+		LoginRate:            *loginRate,
+		LoginBurst:           *loginBurst,
+		SanitizeCacheEntries: *sanCacheEntries,
+		SanitizeCacheBytes:   *sanCacheBytes,
 	})
 	exportPeers := make(map[string]string)
 	var syncPeers []federation.PeerConfig

@@ -21,9 +21,9 @@ const rendezvousTable = "rendezvous"
 // provider. Construct a fresh one per attack (processes accumulate
 // taint by design).
 type W5Surface struct {
-	P         *core.Provider
-	victim    *core.User
-	evil      *kernel.Process // the malicious app, with read grant
+	P          *core.Provider
+	victim     *core.User
+	evil       *kernel.Process // the malicious app, with read grant
 	accomplice *kernel.Process // unprivileged, untainted peer app
 }
 

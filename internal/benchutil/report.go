@@ -370,18 +370,28 @@ const auditNsTolMult = 2
 // paper's §2 front-end performs, measured at the socket. It is shared
 // by the w5bench gateway/request* entries and the root
 // BenchmarkGatewayRequest so the CI-gated measurement and the
-// testing.B twin cannot drift apart.
+// testing.B twin cannot drift apart. Requests are issued over raw
+// keep-alive connections (rawhttp.go), so the measured allocations are
+// the server's, not an HTTP client library's.
 type GatewayBench struct {
-	srv    *httptest.Server
-	cookie *http.Cookie
-	reqURL string
+	srv     *httptest.Server
+	cookie  *http.Cookie
+	addr    string
+	reqPath string
 }
 
 // StartGatewayBench serves p through a gateway (per-connection session
 // cache wired in, as cmd/w5d serves it) and logs MeasuredUser in once;
 // Close must be called when done.
 func StartGatewayBench(p *core.Provider) (*GatewayBench, error) {
-	g := gateway.New(p, gateway.Options{FilterHTML: true})
+	return StartGatewayBenchWith(p, gateway.Options{FilterHTML: true})
+}
+
+// StartGatewayBenchWith is StartGatewayBench with explicit gateway
+// options — the request-cached entry turns the sanitized-output cache
+// on through it.
+func StartGatewayBenchWith(p *core.Provider, opts gateway.Options) (*GatewayBench, error) {
+	g := gateway.New(p, opts)
 	srv := httptest.NewUnstartedServer(g)
 	srv.Config.ConnContext = g.ConnContext // enable the per-connection warm cache
 	srv.Start()
@@ -410,30 +420,16 @@ func StartGatewayBench(p *core.Provider) (*GatewayBench, error) {
 	return &GatewayBench{
 		srv:    srv,
 		cookie: cookie,
-		reqURL: srv.URL + "/app/" + AppName + "/?owner=" + MeasuredUser,
+		addr:   srv.Listener.Addr().String(),
+		// No ?owner= query: the viewer IS the measured owner (Invoke
+		// defaults an empty owner to the viewer), and a paramless GET
+		// rides the gateway's no-ParseForm fast path — the canonical
+		// "read your own page" request.
+		reqPath: "/app/" + AppName + "/",
 	}, nil
 }
 
 func (gb *GatewayBench) Close() { gb.srv.Close() }
-
-// do issues one authenticated request on the client's keep-alive pool.
-func (gb *GatewayBench) Do(client *http.Client) error {
-	req, err := http.NewRequest("GET", gb.reqURL, nil)
-	if err != nil {
-		return err
-	}
-	req.AddCookie(gb.cookie)
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("gateway request: status %d", resp.StatusCode)
-	}
-	return nil
-}
 
 // measureGatewayRequest times the sequential keep-alive request path:
 // cookie -> cached session -> Invoke -> ExportCheck -> sanitize, over
@@ -445,13 +441,21 @@ func measureGatewayRequest(name string, p *core.Provider) (Result, error) {
 		return Result{}, err
 	}
 	defer gb.Close()
-	client := &http.Client{Transport: &http.Transport{}}
-	if err := gb.Do(client); err != nil { // warm the connection + session cache
+	return timeGatewayRequests(name, gb)
+}
+
+// timeGatewayRequests runs the sequential fixed-iteration loop over one
+// raw keep-alive connection.
+func timeGatewayRequests(name string, gb *GatewayBench) (Result, error) {
+	conn, err := gb.Dial()
+	if err != nil {
 		return Result{}, err
 	}
-	res, err := runFixed(name, gatewayIters, func() error {
-		return gb.Do(client)
-	})
+	defer conn.Close()
+	if err := conn.Do(); err != nil { // warm the connection + session cache
+		return Result{}, err
+	}
+	res, err := runFixed(name, gatewayIters, conn.Do)
 	res.NsTolMult = gatewayNsTolMult
 	return res, err
 }
@@ -473,10 +477,14 @@ func measureGatewayParallel(p *core.Provider, goroutines int) (Result, error) {
 		return Result{}, err
 	}
 	defer gb.Close()
-	clients := make([]*http.Client, goroutines)
-	for i := range clients {
-		clients[i] = &http.Client{Transport: &http.Transport{}}
-		if err := gb.Do(clients[i]); err != nil {
+	conns := make([]*GatewayConn, goroutines)
+	for i := range conns {
+		// Own connection per goroutine = own warm session cache.
+		if conns[i], err = gb.Dial(); err != nil {
+			return Result{}, err
+		}
+		defer conns[i].Close()
+		if err := conns[i].Do(); err != nil {
 			return Result{}, err
 		}
 	}
@@ -489,7 +497,7 @@ func measureGatewayParallel(p *core.Provider, goroutines int) (Result, error) {
 		for g := 0; g < goroutines; g++ {
 			go func(g int) {
 				for i := 0; i < per; i++ {
-					if err := gb.Do(clients[g]); err != nil {
+					if err := conns[g].Do(); err != nil {
 						errs <- err
 						return
 					}
@@ -583,7 +591,21 @@ func MeasureRequestPath(progress func(Result)) (Report, error) {
 				}
 				add(res)
 			}
+			// Last in this block: it overwrites MeasuredUser's document
+			// with the hot dirty page the output cache serves.
+			res, err := measureGatewayCached(p)
+			if err != nil {
+				return report, err
+			}
+			add(res)
 		}
+	}
+	sanRes, err := measureSanitize()
+	if err != nil {
+		return report, err
+	}
+	for _, r := range sanRes {
+		add(r)
 	}
 	for _, g := range []int{1, 8} {
 		res, err := measureStoreParallel(g)

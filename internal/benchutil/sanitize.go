@@ -1,0 +1,92 @@
+package benchutil
+
+// The perimeter-filter bench entries: the streaming sanitizer's two
+// shapes (clean fast path, rewrite path) measured in-process, and the
+// end-to-end gateway request with the sanitized-output cache turned on.
+
+import (
+	"w5/internal/core"
+	"w5/internal/difc"
+	"w5/internal/gateway"
+	"w5/internal/htmlsafe"
+	"w5/internal/workload"
+)
+
+// sanitizeIters: the pass is O(bytes) over an 8 KiB page, ~µs scale.
+const sanitizeIters = 50_000
+
+// sanitizePageBytes is the benchmark document size — the same order as
+// the app pages the gateway actually filters.
+const sanitizePageBytes = 8 << 10
+
+// measureSanitize times SanitizeBytes on a clean page (the fast path:
+// scan, find nothing, return the input slice — pinned allocation-free)
+// and on a script-laden page rewritten into a reused buffer (also
+// pinned allocation-free: the rewrite lands in the caller's buffer).
+func measureSanitize() ([]Result, error) {
+	pol := htmlsafe.Policy{}
+
+	clean := []byte(workload.HTMLPage(sanitizePageBytes, 0, 0, 7))
+	cleanRes, err := runFixed("htmlsafe/sanitize-clean", sanitizeIters, func() error {
+		out, rep := htmlsafe.SanitizeBytes(nil, clean, pol)
+		if !rep.Clean() || len(out) != len(clean) {
+			return errUnexpectedSanitize
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	dirty := []byte(workload.HTMLPage(sanitizePageBytes, 4, 4, 7))
+	buf := make([]byte, 0, len(dirty))
+	dirtyRes, err := runFixed("htmlsafe/sanitize-dirty", sanitizeIters, func() error {
+		out, rep := htmlsafe.SanitizeBytes(buf, dirty, pol)
+		if rep.Clean() || len(out) == 0 {
+			return errUnexpectedSanitize
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []Result{cleanRes, dirtyRes}, nil
+}
+
+type sanitizeErr string
+
+func (e sanitizeErr) Error() string { return string(e) }
+
+const errUnexpectedSanitize = sanitizeErr("sanitize benchmark: unexpected report shape")
+
+// measureGatewayCached times the warm end-to-end request for a hot
+// DIRTY page with the sanitized-output cache on — the shape the cache
+// exists for: the page is filtered once, then every request is
+// SHA-256 + lookup + cached bytes. It overwrites MeasuredUser's
+// document with a script-laden HTML page, so it must run after the
+// entries that measure the stock 1 KiB document.
+func measureGatewayCached(p *core.Provider) (Result, error) {
+	u, err := p.GetUser(MeasuredUser)
+	if err != nil {
+		return Result{}, err
+	}
+	label := difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}
+	page := []byte(workload.HTMLPage(1<<10, 2, 2, 7))
+	if err := p.FS.Write(p.UserCred(MeasuredUser),
+		"/home/"+MeasuredUser+"/private/doc", page, label); err != nil {
+		return Result{}, err
+	}
+	gb, err := StartGatewayBenchWith(p, gateway.Options{
+		FilterHTML:           true,
+		SanitizeCacheEntries: 1024,
+		SanitizeCacheBytes:   16 << 20,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer gb.Close()
+	return timeGatewayRequests("gateway/request-cached", gb)
+}

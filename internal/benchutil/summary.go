@@ -1,0 +1,65 @@
+package benchutil
+
+// Markdown rendering of a baseline-vs-current comparison, written by
+// cmd/w5bench -summary into $GITHUB_STEP_SUMMARY so a bench-gate result
+// is readable on the run page without digging through logs.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MarkdownCompareTable renders current against baseline as a GitHub
+// markdown table, one row per baseline entry (plus any new entries),
+// flagging the rows the Compare gate would fail at the given tolerance.
+func MarkdownCompareTable(baseline, current Report, tolerance float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### Bench gate: %s (%s, %s)\n\n", current.Benchmark, current.GoVersion, current.GOARCH)
+	b.WriteString("| entry | ns/op (base → now) | Δ | allocs/op | B/op | status |\n")
+	b.WriteString("|---|---|---|---|---|---|\n")
+
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	seen := make(map[string]bool, len(baseline.Results))
+	for _, base := range baseline.Results {
+		seen[base.Name] = true
+		now, ok := cur[base.Name]
+		if !ok {
+			fmt.Fprintf(&b, "| `%s` | %.0f → — | | | | ❌ missing |\n", base.Name, base.NsPerOp)
+			continue
+		}
+		nsTol := tolerance
+		if base.NsTolMult > 1 {
+			nsTol = tolerance * base.NsTolMult
+		}
+		status := "✅"
+		switch {
+		case now.NsPerOp > base.NsPerOp*(1+nsTol),
+			base.AllocsPerOp == 0 && now.AllocsPerOp > 0,
+			base.BytesPerOp == 0 && now.BytesPerOp > 0,
+			float64(now.AllocsPerOp) > float64(base.AllocsPerOp)*(1+tolerance),
+			float64(now.BytesPerOp) > float64(base.BytesPerOp)*(1+tolerance):
+			status = "❌ regressed"
+		}
+		delta := "—"
+		if base.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.0f%%", (now.NsPerOp/base.NsPerOp-1)*100)
+		}
+		fmt.Fprintf(&b, "| `%s` | %.0f → %.0f | %s | %d → %d | %d → %d | %s |\n",
+			base.Name, base.NsPerOp, now.NsPerOp, delta,
+			base.AllocsPerOp, now.AllocsPerOp, base.BytesPerOp, now.BytesPerOp, status)
+	}
+	for _, r := range current.Results {
+		if !seen[r.Name] {
+			fmt.Fprintf(&b, "| `%s` | — → %.0f | | — → %d | — → %d | 🆕 new |\n",
+				r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		}
+	}
+	if baseline.ScalingRatio10k > 0 || current.ScalingRatio10k > 0 {
+		fmt.Fprintf(&b, "\nscaling ratio (10k/100 users): %.2f → %.2f\n",
+			baseline.ScalingRatio10k, current.ScalingRatio10k)
+	}
+	return b.String()
+}

@@ -55,9 +55,9 @@ func TestFriendList(t *testing.T) {
 		viewer string
 		want   bool
 	}{
-		{"bob", true},    // owner
-		{"alice", true},  // friend
-		{"carol", true},  // friend after comment/blank
+		{"bob", true},   // owner
+		{"alice", true}, // friend
+		{"carol", true}, // friend after comment/blank
 		{"charlie", false},
 		{"", false},
 		{"# a comment", false}, // comment lines are not names

@@ -23,15 +23,15 @@ func TestWVMFriendListMatchesGoPolicy(t *testing.T) {
 	cases := []struct {
 		owner, viewer string
 	}{
-		{"bob", "bob"},      // owner
-		{"bob", "alice"},    // friend (first line)
-		{"bob", "carol"},    // friend (last line, no trailing newline)
+		{"bob", "bob"},             // owner
+		{"bob", "alice"},           // friend (first line)
+		{"bob", "carol"},           // friend (last line, no trailing newline)
 		{"bob", "bob-the-builder"}, // friend with dashes
-		{"bob", "eve"},      // stranger
-		{"bob", "ali"},      // prefix of a friend: not a friend
-		{"bob", "alicex"},   // superstring: not a friend
-		{"bob", ""},         // anonymous
-		{"alice", "alice"},  // owner with different name
+		{"bob", "eve"},             // stranger
+		{"bob", "ali"},             // prefix of a friend: not a friend
+		{"bob", "alicex"},          // superstring: not a friend
+		{"bob", ""},                // anonymous
+		{"alice", "alice"},         // owner with different name
 	}
 	for _, tt := range cases {
 		r := req(tt.owner, tt.viewer, "payload")

@@ -57,12 +57,12 @@ func TestCheckLabelChangeDiagnostics(t *testing.T) {
 
 func TestSafeMessageSecrecy(t *testing.T) {
 	cases := []struct {
-		name               string
-		sendS              Label
-		sendCaps           CapSet
-		recvS              Label
-		recvCaps           CapSet
-		want               bool
+		name     string
+		sendS    Label
+		sendCaps CapSet
+		recvS    Label
+		recvCaps CapSet
+		want     bool
 	}{
 		{"public to public", lbl(), EmptyCaps, lbl(), EmptyCaps, true},
 		{"up the lattice", lbl(1), EmptyCaps, lbl(1, 2), EmptyCaps, true},

@@ -82,9 +82,9 @@ func E1AdoptionCost(users, itemsPerUser, apps int) Table {
 	copies := baseline.DataCopies(sites, names[0]) / itemsPerUser
 
 	return Table{
-		ID:    "E1",
-		Title: "Cost of adopting applications (Figure 1 vs Figure 2, functional)",
-		Claim: "decoupling applications from data removes per-app re-entry; adoption is one checkbox (§1, §2)",
+		ID:     "E1",
+		Title:  "Cost of adopting applications (Figure 1 vs Figure 2, functional)",
+		Claim:  "decoupling applications from data removes per-app re-entry; adoption is one checkbox (§1, §2)",
 		Header: []string{"platform", "users", "items/user", "apps", "user ops", "bytes uploaded", "copies of each datum"},
 		Rows: [][]string{
 			{"today's Web (baseline)", itoa(users), itoa(itemsPerUser), itoa(apps),

@@ -12,9 +12,9 @@ import (
 // (it must be total) and throughput across page sizes.
 func E10JSFilter(sizesKB []int) Table {
 	t := Table{
-		ID:    "E10",
-		Title: "Perimeter JavaScript filtering",
-		Claim: "W5 could disable JavaScript entirely by filtering it out at the security perimeter (§3.5)",
+		ID:     "E10",
+		Title:  "Perimeter JavaScript filtering",
+		Claim:  "W5 could disable JavaScript entirely by filtering it out at the security perimeter (§3.5)",
 		Header: []string{"page KiB", "scripts", "handlers", "all blocked", "MB/s"},
 	}
 	for _, kb := range sizesKB {

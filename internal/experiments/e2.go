@@ -11,9 +11,9 @@ import (
 // that a user must trust".
 func E2SecurityMatrix() Table {
 	t := Table{
-		ID:    "E2",
-		Title: "Exfiltration & vandalism vectors: blocked?",
-		Claim: "untrusted code can read private data but neither export it nor enlist another application to do so (§3.1); write protection stops vandalism",
+		ID:     "E2",
+		Title:  "Exfiltration & vandalism vectors: blocked?",
+		Claim:  "untrusted code can read private data but neither export it nor enlist another application to do so (§3.1); write protection stops vandalism",
 		Header: []string{"attack vector", "W5 blocked", "baseline blocked", "W5 refusal"},
 	}
 	blockedW5, blockedBL := 0, 0

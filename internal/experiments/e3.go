@@ -12,9 +12,9 @@ import (
 // function of label size — the per-flow cost of enforcement.
 func E3LabelOps() Table {
 	t := Table{
-		ID:    "E3a",
-		Title: "DIFC primitive cost vs label size",
-		Claim: "tracking data as it moves is feasible with DIFC (§2, §3.1)",
+		ID:     "E3a",
+		Title:  "DIFC primitive cost vs label size",
+		Claim:  "tracking data as it moves is feasible with DIFC (§2, §3.1)",
 		Header: []string{"tags/label", "union ns", "subset ns", "flow-check ns", "export-check ns"},
 	}
 	r := rand.New(rand.NewSource(42))
@@ -66,9 +66,9 @@ func (e3App) Handle(env *core.AppEnv, req core.AppRequest) (core.AppResponse, er
 // the reference monitor.
 func E3RequestPath(requests int) Table {
 	t := Table{
-		ID:    "E3b",
-		Title: "End-to-end request cost: enforcement on vs off",
-		Claim: "the factorized security mechanism is affordable on the request path (§1, §2)",
+		ID:     "E3b",
+		Title:  "End-to-end request cost: enforcement on vs off",
+		Claim:  "the factorized security mechanism is affordable on the request path (§1, §2)",
 		Header: []string{"kernel", "requests", "µs/request", "requests/s"},
 	}
 	var baseNs float64

@@ -30,9 +30,9 @@ func E4TCBSize() Table {
 		{"app/gallery", "application", galleryWVMSource, core.AppSyscallNames},
 	}
 	t := Table{
-		ID:    "E4",
-		Title: "Audit burden: declassifiers vs applications",
-		Claim: "declassifiers are much smaller than entire applications, hence easier to audit (§3.1)",
+		ID:     "E4",
+		Title:  "Audit burden: declassifiers vs applications",
+		Claim:  "declassifiers are much smaller than entire applications, hence easier to audit (§3.1)",
 		Header: []string{"unit", "kind", "bytes", "instructions", "source lines"},
 	}
 	for _, e := range entries {

@@ -16,9 +16,9 @@ import (
 // iterations and wall time as the graph grows.
 func E5CodeRank(sizes []int) Table {
 	t := Table{
-		ID:    "E5",
-		Title: "CodeRank: identifying trusted modules from dependency structure",
-		Claim: "dependency-graph PageRank surfaces widely-trusted modules and developers (§3.2)",
+		ID:     "E5",
+		Title:  "CodeRank: identifying trusted modules from dependency structure",
+		Claim:  "dependency-graph PageRank surfaces widely-trusted modules and developers (§3.2)",
 		Header: []string{"modules", "planted core", "precision@k", "iterations", "ms"},
 	}
 	for _, n := range sizes {

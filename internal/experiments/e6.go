@@ -60,9 +60,9 @@ func E6Federation(files int) Table {
 	updateSync := time.Since(start)
 
 	return Table{
-		ID:    "E6",
-		Title: "Cross-provider synchronization via import/export declassifiers",
-		Claim: "whenever the user updates data on one platform, changes propagate to the other (§3.3)",
+		ID:     "E6",
+		Title:  "Cross-provider synchronization via import/export declassifiers",
+		Claim:  "whenever the user updates data on one platform, changes propagate to the other (§3.3)",
 		Header: []string{"phase", "files shipped", "ms", "MB/s"},
 		Rows: [][]string{
 			{"initial sync", itoa(n1), f2(ms(firstSync)), f2(mbps(totalBytes, firstSync))},

@@ -17,9 +17,9 @@ import (
 // the probe uninformative.
 func E7CovertChannel(trials int) Table {
 	t := Table{
-		ID:    "E7",
-		Title: "Unique-constraint covert channel: attacker guess accuracy",
-		Claim: "the SQL interface can leak information implicitly and needs to be replaced under W5 (§3.5)",
+		ID:     "E7",
+		Title:  "Unique-constraint covert channel: attacker guess accuracy",
+		Claim:  "the SQL interface can leak information implicitly and needs to be replaced under W5 (§3.5)",
 		Header: []string{"store", "trials", "guess accuracy", "est. bits/query"},
 	}
 	for _, naive := range []bool{true, false} {

@@ -23,9 +23,9 @@ const (
 // performance of the W5 cluster" or "lock the database").
 func E8ResourceIsolation() Table {
 	t := Table{
-		ID:    "E8",
-		Title: "Rogue applications: contained resource consumption",
-		Claim: "processes must be limited in disk, network, memory and CPU; malicious queries must not lock the database (§3.5)",
+		ID:     "E8",
+		Title:  "Rogue applications: contained resource consumption",
+		Claim:  "processes must be limited in disk, network, memory and CPU; malicious queries must not lock the database (§3.5)",
 		Header: []string{"rogue", "quotas", "rogue stopped", "rogue consumed", "honest p50 µs", "honest max µs"},
 	}
 

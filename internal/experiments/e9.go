@@ -19,9 +19,9 @@ import (
 // net/http handler serving identical bytes with no platform behind it.
 func E9GatewayThroughput(concurrencies []int, requestsPerClient int) Table {
 	t := Table{
-		ID:    "E9",
-		Title: "Gateway throughput: W5 perimeter vs plain HTTP",
-		Claim: "DNS/HTTP front-ends let users interact with W5 using today's Web clients (§2)",
+		ID:     "E9",
+		Title:  "Gateway throughput: W5 perimeter vs plain HTTP",
+		Claim:  "DNS/HTTP front-ends let users interact with W5 using today's Web clients (§2)",
 		Header: []string{"server", "clients", "requests", "req/s", "mean µs/req"},
 	}
 

@@ -77,10 +77,10 @@ func timeOp(iters int, fn func()) float64 {
 	return float64(time.Since(start).Nanoseconds()) / float64(iters)
 }
 
-func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
-func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
-func itoa(v int) string    { return fmt.Sprintf("%d", v) }
-func u64(v uint64) string  { return fmt.Sprintf("%d", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+func itoa(v int) string   { return fmt.Sprintf("%d", v) }
+func u64(v uint64) string { return fmt.Sprintf("%d", v) }
 func yesno(b bool) string {
 	if b {
 		return "yes"

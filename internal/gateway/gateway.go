@@ -62,6 +62,12 @@ type Options struct {
 	FilterHTML bool
 	// ScriptAllowlist holds audited script hashes passed to htmlsafe.
 	ScriptAllowlist map[string]bool
+	// SanitizeCacheEntries and SanitizeCacheBytes bound the sanitized-
+	// output cache (htmlsafe.Cache): hot public pages pay the filtering
+	// pass once per content version. Both must be positive to enable
+	// it; zero leaves every request on the direct streaming path.
+	SanitizeCacheEntries int
+	SanitizeCacheBytes   int64
 	// RequestRate and RequestBurst bound per-user request rates; zero
 	// disables rate limiting.
 	RequestRate  float64
@@ -117,7 +123,21 @@ type Gateway struct {
 	// fedStats holds the federation health callback (SetFedStats) as a
 	// fedStatsFn; nil/unset means federation is not configured.
 	fedStats atomic.Value
+
+	// Perimeter filter plumbing, precomputed at New so the data path
+	// builds nothing per request: the policy value, its cache
+	// fingerprint, the optional sanitized-output cache, and a pool of
+	// rewrite buffers for the dirty path.
+	sanPolicy htmlsafe.Policy
+	sanFP     uint64
+	sanCache  *htmlsafe.Cache
+	sanBufs   sync.Pool
 }
+
+// maxPooledSanBuf caps the rewrite buffers the pool retains: one
+// multi-megabyte response must not pin its buffer for the gateway's
+// lifetime.
+const maxPooledSanBuf = 1 << 20
 
 // fedStatsFn is the stored type behind SetFedStats.
 type fedStatsFn func() any
@@ -135,6 +155,15 @@ func New(p *core.Provider, opts Options) *Gateway {
 		ttl:  ttl,
 	}
 	g.clock.Store(time.Now)
+	g.sanPolicy = htmlsafe.Policy{AllowedHashes: opts.ScriptAllowlist}
+	g.sanFP = g.sanPolicy.Fingerprint()
+	if opts.FilterHTML && opts.SanitizeCacheEntries > 0 && opts.SanitizeCacheBytes > 0 {
+		g.sanCache = htmlsafe.NewCache(opts.SanitizeCacheEntries, opts.SanitizeCacheBytes)
+	}
+	g.sanBufs.New = func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	}
 	if opts.RequestRate > 0 && opts.RequestBurst > 0 {
 		g.anonRate = quota.NewBucket(opts.RequestBurst, opts.RequestRate)
 	}
@@ -378,18 +407,29 @@ func (g *Gateway) handleApp(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no application named", http.StatusNotFound)
 		return
 	}
-	params := map[string]string{}
-	if err := r.ParseForm(); err != nil {
-		http.Error(w, "bad form", http.StatusBadRequest)
-		return
-	}
-	for k, vs := range r.Form {
-		if len(vs) > 0 {
+	// Paramless GETs (the hot read path) skip form parsing and the
+	// params map entirely; owner-only requests still pass a nil map.
+	var params map[string]string
+	owner := ""
+	if r.URL.RawQuery != "" || r.Method != http.MethodGet {
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, "bad form", http.StatusBadRequest)
+			return
+		}
+		for k, vs := range r.Form {
+			if len(vs) == 0 {
+				continue
+			}
+			if k == "owner" {
+				owner = vs[0]
+				continue
+			}
+			if params == nil {
+				params = make(map[string]string, len(r.Form))
+			}
 			params[k] = vs[0]
 		}
 	}
-	owner := params["owner"]
-	delete(params, "owner")
 
 	inv, err := g.p.Invoke(name, core.AppRequest{
 		Viewer: viewer,
@@ -423,18 +463,66 @@ func (g *Gateway) handleApp(w http.ResponseWriter, r *http.Request) {
 	}
 	ct := inv.Response.ContentType
 	if g.opts.FilterHTML && strings.HasPrefix(ct, "text/html") {
-		clean, rep := htmlsafe.Sanitize(string(body), htmlsafe.Policy{
-			AllowedHashes: g.opts.ScriptAllowlist,
-		})
+		// The streaming filter writes into a pooled buffer; its clean
+		// fast path returns body itself and touches the buffer not at
+		// all. With the output cache enabled, hot pages skip even the
+		// pass: one SHA-256 plus a map lookup.
+		bp := g.sanBufs.Get().(*[]byte)
+		buf := (*bp)[:0]
+		var (
+			clean []byte
+			rep   htmlsafe.Report
+			hit   bool
+		)
+		if g.sanCache != nil {
+			clean, rep, hit = g.sanCache.Sanitize(buf, body, g.sanPolicy, g.sanFP)
+		} else {
+			clean, rep = htmlsafe.SanitizeBytes(buf, body, g.sanPolicy)
+		}
 		if !rep.Clean() {
+			// Audited per request — a cache hit for a dirty page still
+			// records that filtered bytes crossed the perimeter.
 			g.p.Log.Appendf(audit.KindExport, "gateway", name,
 				"sanitized: %d scripts, %d attrs, %d urls, %d elements",
 				rep.ScriptsRemoved, rep.AttrsRemoved, rep.URLsNeutralized, rep.ElementsRemoved)
 		}
-		body = []byte(clean)
+		writeResponse(w, ct, inv.Response.Status, clean)
+		// Recycle after the write: clean may be rooted in the pooled
+		// buffer. Adopt a reallocated rewrite buffer, but never bytes
+		// we do not own (the input body, a shared cache entry).
+		if !hit && len(clean) > 0 && &clean[0] != &body[0] {
+			*bp = clean[:0]
+		}
+		if cap(*bp) <= maxPooledSanBuf {
+			g.sanBufs.Put(bp)
+		}
+		return
 	}
-	w.Header().Set("Content-Type", ct)
-	w.WriteHeader(inv.Response.Status)
+	writeResponse(w, ct, inv.Response.Status, body)
+}
+
+// ctSlices pre-boxes hot Content-Type values so the warm path's
+// header set is a map assignment of a shared slice, not a per-request
+// []string allocation. net/http only reads header values, never
+// mutates them.
+var ctSlices = map[string][]string{
+	"text/html; charset=utf-8":  {"text/html; charset=utf-8"},
+	"text/plain; charset=utf-8": {"text/plain; charset=utf-8"},
+	"application/json":          {"application/json"},
+}
+
+// writeResponse is the single exit point for app bodies: content type,
+// status, bytes. A 200 rides the implicit WriteHeader in Write.
+func writeResponse(w http.ResponseWriter, ct string, status int, body []byte) {
+	h := w.Header()
+	if v, ok := ctSlices[ct]; ok {
+		h["Content-Type"] = v
+	} else {
+		h.Set("Content-Type", ct)
+	}
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
 	w.Write(body)
 }
 

@@ -1,0 +1,140 @@
+package gateway
+
+import (
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"w5/internal/audit"
+)
+
+// TestSanitizeCacheServesHotPage: with the output cache enabled, a hot
+// dirty page is filtered once and served from the cache afterwards,
+// byte-identical, with every request still audited.
+func TestSanitizeCacheServesHotPage(t *testing.T) {
+	p, tc := newTestSetup(t, Options{
+		FilterHTML:           true,
+		SanitizeCacheEntries: 64,
+		SanitizeCacheBytes:   1 << 20,
+	})
+	signup(tc, "bob", "pw")
+
+	var first string
+	for i := 0; i < 5; i++ {
+		code, body := tc.get("/app/scripty/")
+		if code != 200 {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+		if strings.Contains(body, "steal") || strings.Contains(body, "onclick") {
+			t.Fatalf("request %d leaked script: %q", i, body)
+		}
+		if i == 0 {
+			first = body
+		} else if body != first {
+			t.Fatalf("request %d differed from first: %q vs %q", i, body, first)
+		}
+	}
+
+	g := tcGateway(tc)
+	st := g.Stats().SanitizeCache
+	if st.Misses != 1 || st.Hits != 4 {
+		t.Errorf("cache stats = %+v, want 1 miss / 4 hits", st)
+	}
+
+	// A cache hit must still audit the sanitization: count gateway
+	// export events for the scripty app.
+	n := 0
+	if err := p.Log.EventsByKind(audit.KindExport, 1, func(e audit.Event) bool {
+		if e.Actor == "gateway" && e.Subject == "scripty" {
+			n++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("sanitize audit events = %d, want 5 (one per request, hits included)", n)
+	}
+}
+
+// TestSanitizeCacheDisabledByDefault: plain Options leave the cache
+// off and the filter still works.
+func TestSanitizeCacheDisabledByDefault(t *testing.T) {
+	_, tc := newTestSetup(t, Options{FilterHTML: true})
+	signup(tc, "bob", "pw")
+	for i := 0; i < 3; i++ {
+		if _, body := tc.get("/app/scripty/"); strings.Contains(body, "steal") {
+			t.Fatalf("script leaked: %q", body)
+		}
+	}
+	if st := tcGateway(tc).Stats().SanitizeCache; st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Errorf("disabled cache recorded activity: %+v", st)
+	}
+}
+
+// TestSanitizeCacheConcurrentHotPage hammers one hot page from many
+// goroutines (run under -race in CI): pooled rewrite buffers and the
+// shared cache entry must never cross-contaminate responses.
+func TestSanitizeCacheConcurrentHotPage(t *testing.T) {
+	_, tc := newTestSetup(t, Options{
+		FilterHTML:           true,
+		SanitizeCacheEntries: 64,
+		SanitizeCacheBytes:   1 << 20,
+	})
+	signup(tc, "bob", "pw")
+	_, want := tc.get("/app/scripty/")
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := tc.anon()
+			for i := 0; i < 50; i++ {
+				code, body := c.get("/app/scripty/")
+				if code != 200 || body != want {
+					t.Errorf("code=%d body=%q, want 200 %q", code, body, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestParamlessGETStillRoutesOwner: the lazy-params fast path must not
+// change owner/param routing semantics.
+func TestParamlessGETStillRoutesOwner(t *testing.T) {
+	p, tc := newTestSetup(t, Options{FilterHTML: true})
+	signup(tc, "alice", "pw")
+	writeProfile(t, p, "alice", "alice data")
+	tc.post("/grants/enable", url.Values{"app": {"profile"}})
+
+	// With an owner param (query form).
+	code, body := tc.get("/app/profile/?owner=alice")
+	if code != 200 || !strings.Contains(body, "alice data") {
+		t.Fatalf("owner GET = %d %q", code, body)
+	}
+	// Paramless GET: no form parse, no params map; the empty owner
+	// still defaults to the viewer (core.Invoke), so alice sees her
+	// own profile.
+	code, body = tc.get("/app/profile/")
+	if code != 200 || !strings.Contains(body, "alice data") {
+		t.Fatalf("paramless GET = %d %q", code, body)
+	}
+	// POST form owner still works.
+	code, body = tc.post("/app/profile/", url.Values{"owner": {"alice"}})
+	if code != 200 || !strings.Contains(body, "alice data") {
+		t.Fatalf("owner POST = %d %q", code, body)
+	}
+}
+
+// tcGateway digs the *Gateway back out of the test server.
+func tcGateway(tc *testClient) *Gateway {
+	g, ok := tc.server.Config.Handler.(*Gateway)
+	if !ok {
+		tc.t.Fatalf("test server handler is %T, not *Gateway", tc.server.Config.Handler)
+	}
+	return g
+}

@@ -48,6 +48,7 @@ import (
 
 	"w5/internal/audit"
 	"w5/internal/core"
+	"w5/internal/htmlsafe"
 	"w5/internal/quota"
 )
 
@@ -119,6 +120,9 @@ type Stats struct {
 	// LoginThrottled counts login/signup attempts refused by the
 	// per-source limiter (loginlimit.go) before any password hashing.
 	LoginThrottled uint64
+	// SanitizeCache snapshots the sanitized-output cache (zero value
+	// when the cache is disabled).
+	SanitizeCache htmlsafe.CacheStats
 }
 
 // Stats snapshots the counters.
@@ -126,7 +130,7 @@ func (g *Gateway) Stats() Stats {
 	g.janMu.Lock()
 	queued := len(g.expiry) - g.janHead
 	g.janMu.Unlock()
-	return Stats{
+	st := Stats{
 		LiveSessions:   g.live.Load(),
 		WarmHits:       g.warmHits.Load(),
 		ColdResolves:   g.coldResolves.Load(),
@@ -134,6 +138,10 @@ func (g *Gateway) Stats() Stats {
 		QueuedExpiries: queued,
 		LoginThrottled: g.loginThrottled.Load(),
 	}
+	if g.sanCache != nil {
+		st.SanitizeCache = g.sanCache.Stats()
+	}
+	return st
 }
 
 // now reads the gateway clock (injectable for tests).

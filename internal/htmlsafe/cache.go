@@ -1,0 +1,209 @@
+package htmlsafe
+
+import (
+	"crypto/sha256"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sanitized-output cache.
+//
+// The power-law shape of web traffic means a small set of hot public
+// pages absorbs most requests, and those pages are usually byte-
+// identical between requests. Cache is a bounded cache of sanitizer
+// results keyed by (SHA-256 of the raw body, policy fingerprint): a hot
+// page pays the filtering pass once per content version and every
+// subsequent request is one hash plus one map lookup.
+//
+// Content-addressed keying is what makes the cache safe to run without
+// a TTL: if the app's output changes by even one byte, the key changes
+// and the stale entry is simply never looked up again (and is evicted
+// by capacity pressure). There is no invalidation protocol to get
+// wrong.
+//
+// Security invariants:
+//
+//   - Admission happens ONLY inside Cache.Sanitize, with the value the
+//     filter itself just produced. There is no Put. The cache can never
+//     serve bytes that did not come out of the sanitizer.
+//   - The policy fingerprint is part of the key, so a user whose script
+//     allowlist differs can never receive bytes sanitized under
+//     someone else's policy.
+//   - Keys are full SHA-256 sums of the exact body, so a request can
+//     only hit an entry whose plaintext the requesting app already
+//     produced. See README.md for the covert-channel discussion.
+type Cache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu    sync.RWMutex
+	m     map[cacheKey]*cacheEntry
+	bytes int64 // sum of stored sanitized copies
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type cacheKey struct {
+	sum [sha256.Size]byte // SHA-256 of the raw (pre-sanitize) body
+	pol uint64            // Policy.Fingerprint of the policy applied
+}
+
+type cacheEntry struct {
+	// out is the sanitized output for dirty bodies: a private immutable
+	// copy, shared with every hit — callers must not modify it. nil for
+	// clean bodies, where the output IS the input the caller already
+	// holds, so storing it would only duplicate memory.
+	out []byte
+	rep Report
+}
+
+// NewCache returns a cache bounded to maxEntries entries and maxBytes
+// total stored sanitized bytes (clean entries store no bytes and count
+// only against maxEntries). Non-positive bounds disable the cache:
+// Sanitize degrades to a plain SanitizeBytes call.
+func NewCache(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries <= 0 || maxBytes <= 0 {
+		return &Cache{}
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		m:          make(map[cacheKey]*cacheEntry, maxEntries),
+	}
+}
+
+// Sanitize filters body under pol, consulting the cache. fp must be
+// pol.Fingerprint() — callers compute it once per policy, not per
+// request. dst is the scratch buffer handed to SanitizeBytes on a miss
+// (nil is fine).
+//
+// On a hit the returned slice is either body itself (clean entry) or
+// the shared immutable cached copy (dirty entry) — never rooted in dst.
+// Callers must not modify the returned bytes.
+func (c *Cache) Sanitize(dst, body []byte, pol Policy, fp uint64) (out []byte, rep Report, hit bool) {
+	if c.m == nil { // disabled
+		out, rep = SanitizeBytes(dst, body, pol)
+		return out, rep, false
+	}
+
+	key := cacheKey{sum: sha256.Sum256(body), pol: fp}
+	c.mu.RLock()
+	e := c.m[key]
+	c.mu.RUnlock()
+	if e != nil {
+		c.hits.Add(1)
+		if e.out == nil {
+			return body, e.rep, true
+		}
+		return e.out, e.rep, true
+	}
+
+	c.misses.Add(1)
+	out, rep = SanitizeBytes(dst, body, pol)
+
+	e = &cacheEntry{rep: rep}
+	var cost int64
+	if rep.Clean() && len(out) == len(body) {
+		// Verbatim pass-through: the entry records only "this content
+		// is clean under this policy"; hits serve the caller's own body.
+	} else {
+		// The output may be rooted in a pooled dst the caller will
+		// recycle; the cache keeps its own immutable copy.
+		cp := make([]byte, len(out))
+		copy(cp, out)
+		e.out = cp
+		cost = int64(len(cp))
+		if cost > c.maxBytes {
+			return out, rep, false // larger than the whole budget: never cache
+		}
+	}
+
+	c.mu.Lock()
+	if _, dup := c.m[key]; !dup {
+		// Evict-one until the newcomer fits, mirroring the store's
+		// path-intern cache: a burst of one-off pages causes churn,
+		// never a permanently disabled cache.
+		for len(c.m) >= c.maxEntries || c.bytes+cost > c.maxBytes {
+			evicted := false
+			for k, v := range c.m {
+				c.bytes -= int64(len(v.out))
+				delete(c.m, k)
+				c.evictions.Add(1)
+				evicted = true
+				break
+			}
+			if !evicted {
+				break
+			}
+		}
+		c.m[key] = e
+		c.bytes += cost
+	}
+	c.mu.Unlock()
+	return out, rep, false
+}
+
+// CacheStats is a point-in-time snapshot of cache behavior, exported
+// through the gateway's /healthz-style stats plumbing and asserted by
+// tests.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Bytes     int64
+}
+
+// Stats returns current counters. Hits/misses/evictions are cumulative;
+// entries/bytes are the live footprint.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	if c.m != nil {
+		c.mu.RLock()
+		st.Entries = len(c.m)
+		st.Bytes = c.bytes
+		c.mu.RUnlock()
+	}
+	return st
+}
+
+// Fingerprint condenses the policy into the cache-key component that
+// isolates one policy's entries from another's. It is order-insensitive
+// over the allowlist and ignores hashes explicitly mapped to false, so
+// two policies that permit the same scripts share cache entries. It
+// allocates (sorts the allowlist) — compute it once per policy, not per
+// request.
+func (p Policy) Fingerprint() uint64 {
+	const (
+		fnvOffset64 = 14695981039346656037
+		fnvPrime64  = 1099511628211
+	)
+	mix := func(h uint64, s string) uint64 {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * fnvPrime64
+		}
+		return (h ^ 0xff) * fnvPrime64 // terminator: "ab","c" ≠ "a","bc"
+	}
+	h := uint64(fnvOffset64)
+	if p.AllowScripts {
+		h = mix(h, "allow-scripts")
+	}
+	if len(p.AllowedHashes) > 0 {
+		keys := make([]string, 0, len(p.AllowedHashes))
+		for k, ok := range p.AllowedHashes {
+			if ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			h = mix(h, k)
+		}
+	}
+	return h
+}

@@ -1,0 +1,208 @@
+package htmlsafe
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(8, 1<<20)
+	pol := Policy{}
+	fp := pol.Fingerprint()
+
+	dirty := []byte(`<p>a</p><script>evil()</script>`)
+	clean := []byte(`<p>honest page</p>`)
+
+	out, rep, hit := c.Sanitize(nil, dirty, pol, fp)
+	if hit || rep.ScriptsRemoved != 1 || string(out) != "<p>a</p>" {
+		t.Fatalf("first dirty call: out=%q rep=%+v hit=%v", out, rep, hit)
+	}
+	out, rep, hit = c.Sanitize(nil, dirty, pol, fp)
+	if !hit || rep.ScriptsRemoved != 1 || string(out) != "<p>a</p>" {
+		t.Fatalf("second dirty call: out=%q rep=%+v hit=%v", out, rep, hit)
+	}
+
+	out, rep, hit = c.Sanitize(nil, clean, pol, fp)
+	if hit || !rep.Clean() {
+		t.Fatalf("first clean call: rep=%+v hit=%v", rep, hit)
+	}
+	out, rep, hit = c.Sanitize(nil, clean, pol, fp)
+	if !hit || !rep.Clean() {
+		t.Fatalf("second clean call: rep=%+v hit=%v", rep, hit)
+	}
+	// A clean hit serves the caller's own slice — no stored copy.
+	if len(out) != len(clean) || &out[0] != &clean[0] {
+		t.Error("clean hit did not alias the input body")
+	}
+
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Evictions != 0 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 2 hits / 2 misses / 0 evictions / 2 entries", st)
+	}
+	if st.Bytes != int64(len("<p>a</p>")) {
+		t.Errorf("bytes = %d, want only the dirty copy charged", st.Bytes)
+	}
+}
+
+func TestCacheEntryCapEviction(t *testing.T) {
+	c := NewCache(4, 1<<20)
+	pol := Policy{}
+	fp := pol.Fingerprint()
+	for i := 0; i < 10; i++ {
+		body := []byte(fmt.Sprintf("<p>page %d</p><script>x()</script>", i))
+		c.Sanitize(nil, body, pol, fp)
+	}
+	st := c.Stats()
+	if st.Entries > 4 {
+		t.Errorf("entries = %d, want <= 4", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Error("expected evictions after overflowing the entry cap")
+	}
+	if st.Misses != 10 {
+		t.Errorf("misses = %d, want 10", st.Misses)
+	}
+}
+
+func TestCacheByteCapEviction(t *testing.T) {
+	// Each dirty page stores ~1 KiB; a 3 KiB budget holds at most 3.
+	c := NewCache(64, 3<<10)
+	pol := Policy{}
+	fp := pol.Fingerprint()
+	filler := strings.Repeat("x", 1<<10)
+	for i := 0; i < 8; i++ {
+		body := []byte(fmt.Sprintf("<p>%s%d</p><script>x()</script>", filler, i))
+		c.Sanitize(nil, body, pol, fp)
+	}
+	st := c.Stats()
+	if st.Bytes > 3<<10 {
+		t.Errorf("bytes = %d, want <= %d", st.Bytes, 3<<10)
+	}
+	if st.Evictions == 0 {
+		t.Error("expected evictions after overflowing the byte cap")
+	}
+
+	// An output larger than the whole budget is never admitted.
+	before := c.Stats().Entries
+	huge := []byte("<p>" + strings.Repeat("y", 8<<10) + "</p><script>x()</script>")
+	_, _, hit := c.Sanitize(nil, huge, pol, fp)
+	if hit {
+		t.Fatal("first sight of a body cannot be a hit")
+	}
+	_, _, hit = c.Sanitize(nil, huge, pol, fp)
+	if hit {
+		t.Error("over-budget output should not have been cached")
+	}
+	if got := c.Stats().Entries; got != before {
+		t.Errorf("entries changed %d -> %d admitting an over-budget body", before, got)
+	}
+}
+
+// TestCachePolicyIsolation: a user with a different script allowlist
+// must never receive bytes sanitized under someone else's policy.
+func TestCachePolicyIsolation(t *testing.T) {
+	c := NewCache(16, 1<<20)
+	body := []byte(`<p>w</p><script>trusted()</script>`)
+
+	strict := Policy{}
+	lax := Policy{AllowedHashes: map[string]bool{ScriptHash("trusted()"): true}}
+	strictFP, laxFP := strict.Fingerprint(), lax.Fingerprint()
+	if strictFP == laxFP {
+		t.Fatal("distinct policies produced the same fingerprint")
+	}
+
+	outStrict, repStrict, _ := c.Sanitize(nil, body, strict, strictFP)
+	if repStrict.ScriptsRemoved != 1 {
+		t.Fatalf("strict rep = %+v", repStrict)
+	}
+	// Same body under the lax policy: must MISS and keep the script.
+	outLax, repLax, hit := c.Sanitize(nil, body, lax, laxFP)
+	if hit {
+		t.Fatal("lax policy hit the strict policy's entry")
+	}
+	if repLax.ScriptsAllowed != 1 || string(outLax) != string(body) {
+		t.Fatalf("lax rep = %+v out = %q", repLax, outLax)
+	}
+	// Both now cached independently.
+	if out, _, hit := c.Sanitize(nil, body, strict, strictFP); !hit || string(out) != string(outStrict) {
+		t.Errorf("strict re-request: hit=%v out=%q", hit, out)
+	}
+	if _, _, hit := c.Sanitize(nil, body, lax, laxFP); !hit {
+		t.Error("lax re-request missed")
+	}
+}
+
+func TestPolicyFingerprintProperties(t *testing.T) {
+	a := Policy{AllowedHashes: map[string]bool{"aa": true, "bb": true}}
+	b := Policy{AllowedHashes: map[string]bool{"bb": true, "aa": true, "cc": false}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint should ignore order and false entries")
+	}
+	c := Policy{AllowedHashes: map[string]bool{"aa": true}}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different allowlists collided")
+	}
+	if (Policy{}).Fingerprint() == (Policy{AllowScripts: true}).Fingerprint() {
+		t.Error("AllowScripts must change the fingerprint")
+	}
+	// "ab","c" vs "a","bc" — the terminator keeps them apart.
+	x := Policy{AllowedHashes: map[string]bool{"ab": true, "c": true}}
+	y := Policy{AllowedHashes: map[string]bool{"a": true, "bc": true}}
+	if x.Fingerprint() == y.Fingerprint() {
+		t.Error("concatenation ambiguity in fingerprint")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0, 0)
+	body := []byte(`<p>a</p><script>evil()</script>`)
+	for i := 0; i < 2; i++ {
+		out, rep, hit := c.Sanitize(nil, body, Policy{}, 0)
+		if hit || rep.ScriptsRemoved != 1 || string(out) != "<p>a</p>" {
+			t.Fatalf("disabled cache call %d: out=%q rep=%+v hit=%v", i, out, rep, hit)
+		}
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Hits != 0 {
+		t.Errorf("disabled cache kept state: %+v", st)
+	}
+}
+
+// TestCacheHotPageStress hammers one hot page from many goroutines
+// (run under -race in CI): every request must get the identical
+// sanitized bytes, and the cache must settle at one entry.
+func TestCacheHotPageStress(t *testing.T) {
+	c := NewCache(128, 1<<20)
+	pol := Policy{}
+	fp := pol.Fingerprint()
+	hot := []byte(`<html><body><p>hot</p><script>evil()</script><p>page</p></body></html>`)
+	want := `<html><body><p>hot</p><p>page</p></body></html>`
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 0, len(hot))
+			for i := 0; i < 500; i++ {
+				out, rep, _ := c.Sanitize(buf, hot, pol, fp)
+				if rep.ScriptsRemoved != 1 || string(out) != want {
+					t.Errorf("hot page corrupted: %q %+v", out, rep)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+	if st.Hits+st.Misses != 8*500 {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*500)
+	}
+	if st.Hits == 0 {
+		t.Error("no hits on a hot page")
+	}
+}

@@ -1,0 +1,459 @@
+package htmlsafe
+
+// The pre-streaming sanitizer, kept verbatim as the equivalence oracle.
+//
+// PR 7 replaced the string-based Sanitize (string round trips, a whole-
+// document ToLower copy, per-tag attr slices) with the streaming
+// SanitizeBytes. The contract for that swap is byte-identical output
+// and identical reports over the adversarial corpus below, checked
+// against this frozen copy of the old implementation.
+//
+// One deliberate divergence: the old parser spun forever on a stray '/'
+// inside a tag that is not followed by '>' (e.g. "<img src=x / on...>")
+// — the attribute-name scan consumed zero bytes and never advanced. The
+// oracle carries the same one-line fix as the new parser (skip the
+// slash) so it can terminate on arbitrary corpus inputs;
+// TestLoneSlashInTagTerminates pins the fix itself.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"w5/internal/workload"
+)
+
+func legacySanitize(html string, pol Policy) (string, Report) {
+	var out strings.Builder
+	out.Grow(len(html))
+	var rep Report
+
+	lower := strings.ToLower(html)
+
+	i := 0
+	for i < len(html) {
+		lt := strings.IndexByte(html[i:], '<')
+		if lt < 0 {
+			out.WriteString(html[i:])
+			break
+		}
+		out.WriteString(html[i : i+lt])
+		i += lt
+
+		rest := html[i:]
+		switch {
+		case strings.HasPrefix(rest, "<!--"):
+			end := strings.Index(rest[4:], "-->")
+			if end < 0 {
+				return out.String(), rep
+			}
+			out.WriteString(rest[:4+end+3])
+			i += 4 + end + 3
+
+		case strings.HasPrefix(rest, "<!") || strings.HasPrefix(rest, "<?"):
+			end := strings.IndexByte(rest, '>')
+			if end < 0 {
+				out.WriteString(rest)
+				return out.String(), rep
+			}
+			out.WriteString(rest[:end+1])
+			i += end + 1
+
+		default:
+			tag, tagLen, ok := legacyParseTag(rest)
+			if !ok {
+				out.WriteByte('<')
+				i++
+				continue
+			}
+			name := strings.ToLower(tag.name)
+			switch {
+			case name == "script" && !tag.closing:
+				bodyEnd, closeLen := legacyFindScriptEnd(rest[tagLen:], lower[i+tagLen:])
+				body := rest[tagLen : tagLen+bodyEnd]
+				total := tagLen + bodyEnd + closeLen
+				if pol.AllowScripts || pol.AllowedHashes[ScriptHash(body)] {
+					out.WriteString(rest[:total])
+					rep.ScriptsAllowed++
+				} else {
+					rep.ScriptsRemoved++
+				}
+				i += total
+
+			case name == "script" && tag.closing:
+				rep.ScriptsRemoved++
+				i += tagLen
+
+			case legacyActiveElements[name]:
+				rep.ElementsRemoved++
+				i += tagLen
+
+			default:
+				cleaned, changed := legacySanitizeTag(rest[:tagLen], tag, &rep)
+				if changed {
+					out.WriteString(cleaned)
+				} else {
+					out.WriteString(rest[:tagLen])
+				}
+				i += tagLen
+			}
+		}
+	}
+	return out.String(), rep
+}
+
+var legacyActiveElements = map[string]bool{
+	"iframe": true, "object": true, "embed": true, "applet": true,
+}
+
+var legacyURLAttrs = map[string]bool{
+	"href": true, "src": true, "action": true, "formaction": true,
+}
+
+type legacyTagToken struct {
+	name    string
+	closing bool
+	attrs   []legacyAttr
+	selfEnd bool
+}
+
+type legacyAttr struct {
+	name  string
+	value string
+	quote byte
+	hasEq bool
+}
+
+func legacyParseTag(s string) (legacyTagToken, int, bool) {
+	if len(s) < 2 || s[0] != '<' {
+		return legacyTagToken{}, 0, false
+	}
+	j := 1
+	var tok legacyTagToken
+	if s[j] == '/' {
+		tok.closing = true
+		j++
+	}
+	start := j
+	for j < len(s) && isNameChar(s[j]) {
+		j++
+	}
+	if j == start {
+		return legacyTagToken{}, 0, false
+	}
+	tok.name = s[start:j]
+	for j < len(s) {
+		for j < len(s) && isSpace(s[j]) {
+			j++
+		}
+		if j >= len(s) {
+			return tok, j, true
+		}
+		if s[j] == '>' {
+			return tok, j + 1, true
+		}
+		if s[j] == '/' {
+			if j+1 < len(s) && s[j+1] == '>' {
+				tok.selfEnd = true
+				return tok, j + 2, true
+			}
+			// Oracle-only termination fix (see file comment): the
+			// original spun forever on a stray '/' inside a tag.
+			j++
+			continue
+		}
+		nameStart := j
+		for j < len(s) && s[j] != '=' && s[j] != '>' && s[j] != '/' && !isSpace(s[j]) {
+			j++
+		}
+		a := legacyAttr{name: s[nameStart:j]}
+		for j < len(s) && isSpace(s[j]) {
+			j++
+		}
+		if j < len(s) && s[j] == '=' {
+			a.hasEq = true
+			j++
+			for j < len(s) && isSpace(s[j]) {
+				j++
+			}
+			if j < len(s) && (s[j] == '"' || s[j] == '\'') {
+				a.quote = s[j]
+				j++
+				valStart := j
+				for j < len(s) && s[j] != a.quote {
+					j++
+				}
+				a.value = s[valStart:j]
+				if j < len(s) {
+					j++
+				}
+			} else {
+				valStart := j
+				for j < len(s) && !isSpace(s[j]) && s[j] != '>' {
+					j++
+				}
+				a.value = s[valStart:j]
+			}
+		}
+		if a.name != "" {
+			tok.attrs = append(tok.attrs, a)
+		}
+	}
+	return tok, len(s), true
+}
+
+func legacyFindScriptEnd(s, lower string) (bodyLen, closeLen int) {
+	from := 0
+	for {
+		k := strings.Index(lower[from:], "</script")
+		if k < 0 {
+			return len(s), 0
+		}
+		k += from
+		j := k + len("</script")
+		for j < len(s) && isSpace(s[j]) {
+			j++
+		}
+		if j < len(s) && s[j] == '>' {
+			return k, j + 1 - k
+		}
+		from = k + 1
+	}
+}
+
+func legacySanitizeTag(orig string, tok legacyTagToken, rep *Report) (string, bool) {
+	if tok.closing || len(tok.attrs) == 0 {
+		return orig, false
+	}
+	changed := false
+	var kept []legacyAttr
+	for _, a := range tok.attrs {
+		ln := strings.ToLower(a.name)
+		if strings.HasPrefix(ln, "on") && len(ln) > 2 {
+			rep.AttrsRemoved++
+			changed = true
+			continue
+		}
+		if legacyURLAttrs[ln] && legacyIsJavascriptURL(a.value) {
+			a.value = "#blocked"
+			a.quote = '"'
+			rep.URLsNeutralized++
+			changed = true
+		}
+		kept = append(kept, a)
+	}
+	if !changed {
+		return orig, false
+	}
+	var sb strings.Builder
+	sb.WriteByte('<')
+	sb.WriteString(tok.name)
+	for _, a := range kept {
+		sb.WriteByte(' ')
+		sb.WriteString(a.name)
+		if a.hasEq {
+			sb.WriteByte('=')
+			q := a.quote
+			if q == 0 {
+				q = '"'
+			}
+			sb.WriteByte(q)
+			sb.WriteString(a.value)
+			sb.WriteByte(q)
+		}
+	}
+	if tok.selfEnd {
+		sb.WriteString("/>")
+	} else {
+		sb.WriteByte('>')
+	}
+	return sb.String(), true
+}
+
+func legacyIsJavascriptURL(v string) bool {
+	var sb strings.Builder
+	for i := 0; i < len(v) && sb.Len() < 16; i++ {
+		c := v[i]
+		if c <= 0x20 {
+			continue
+		}
+		if c >= 'A' && c <= 'Z' {
+			c += 32
+		}
+		sb.WriteByte(c)
+	}
+	p := sb.String()
+	return strings.HasPrefix(p, "javascript:") ||
+		strings.HasPrefix(p, "vbscript:") ||
+		strings.HasPrefix(p, "data:text/h")
+}
+
+// adversarialCorpus is the fixed equivalence corpus: every shape the
+// tests above exercise plus the hostile edges the ISSUE calls out —
+// unterminated scripts, mixed-case close tags, nested/overlapping
+// tags, javascript: URLs hidden behind whitespace and entities, and
+// comment/doctype truncation.
+var adversarialCorpus = []string{
+	// Honest pages.
+	``,
+	`plain text, no markup at all`,
+	`<!DOCTYPE html><html><body><h1>Hi</h1><p class="x">text &amp; more</p></body></html>`,
+	`<p>3 < 5 and x <= y</p>`,
+	`<p>a</p><!-- a comment with <tags> inside --><p>b</p>`,
+	`<br/><hr /><img src="a.png" alt="ok"/>`,
+	`<a href="https://example.org/page?q=1&r=2">x</a>`,
+
+	// Script removal and obfuscation.
+	`<p>a</p><script>alert(document.cookie)</script><p>b</p>`,
+	`<ScRiPt>evil()</sCrIpT>`,
+	`<script type="text/javascript">evil()</script>`,
+	"<script\n\tsrc=\"http://evil.example/x.js\"></script>",
+	`<script>if (a<b) evil()</script>`,
+	`<script>s="</scr"+"ipt>"</script >`,
+	`<p>x</p><script>evil()`,                 // unterminated open script
+	`<script`,                                // unterminated open tag itself
+	`<script >`,                              // unterminated body after spaced tag
+	`</script>`,                              // stray close
+	`</ScRiPt >`,                             // mixed-case stray close
+	`<script></ScRiPt>done`,                  // mixed-case close terminates body
+	`<script><script></script>after`,         // nested opens, one close
+	`<script></script foo></script>x`,        // attributed close is not a close
+	`a<script>1</script><script>2</script>b`, // back-to-back scripts
+
+	// Overlapping / malformed tag structure.
+	`<b><i>bold-italic</b></i>`,
+	`<div <span>>text</div>`,
+	`<p`,
+	`<`,
+	`<>`,
+	`< >`,
+	`<!---->`,
+	`<!-- unterminated`,
+	`<p>a</p><!-- hidden <script>evil()</script>`,
+	`<!doctype html>`,
+	`<?xml version="1.0"?><p>x</p>`,
+	`<?unterminated-pi`,
+	`<!unterminated-doctype`,
+
+	// Event handlers and URL schemes.
+	`<img src="cat.jpg" onload="evil()" alt="cat"><div ONCLICK='evil()'>x</div><a onmouseover=evil()>y</a>`,
+	`<input name="once" value="onload"><option on>`,
+	`<a href="javascript:evil()">x</a>`,
+	`<a href="JaVaScRiPt:evil()">x</a>`,
+	`<a href=" javascript:evil()">x</a>`,
+	"<a href=\"\tjava\nscript:evil()\">x</a>",
+	"<a href=\"\x01\x02javascript:evil()\">x</a>",
+	`<a href=javascript:evil()>x</a>`,
+	`<a href="&#106;avascript:evil()">entity-obfuscated (not decoded: must match oracle)</a>`,
+	`<a href="jav&#x61;script:evil()">y</a>`,
+	`<form action="javascript:evil()">`,
+	`<img src='vbscript:evil()'>`,
+	`<a href="data:text/html,<script>evil()</script>">x</a>`,
+	`<a href="DATA:TEXT/Html;base64,x">x</a>`,
+	`<iframe src="http://evil"></iframe><object data="x">fallback</object><embed src="y"><applet code="z">old</applet>`,
+	`<IFRAME SRC=x>`,
+	`<a onclick="x" href="javascript:y" onfocus>both dropped and blocked</a>`,
+	`<a href = "javascript:spaced-equals()">x</a>`,
+	`<a href="unterminated-quote javascript:...`,
+	`<area href=javascript:1 shape=rect>`,
+}
+
+// policiesFor returns the policy variants the corpus is checked under.
+func policiesFor(in string) []Policy {
+	pols := []Policy{
+		{},
+		{AllowScripts: true},
+		{AllowedHashes: map[string]bool{ScriptHash("evil()"): true}},
+	}
+	// An allowlist matching a body actually present in the input.
+	if i := strings.Index(in, "<script>"); i >= 0 {
+		if j := strings.Index(in[i:], "</script>"); j >= 0 {
+			pols = append(pols, Policy{AllowedHashes: map[string]bool{
+				ScriptHash(in[i+len("<script>") : i+j]): true,
+			}})
+		}
+	}
+	return pols
+}
+
+// TestStreamingMatchesLegacyCorpus pins the rewrite: byte-identical
+// output and identical reports against the frozen legacy sanitizer over
+// the adversarial corpus, under every policy variant.
+func TestStreamingMatchesLegacyCorpus(t *testing.T) {
+	for ci, in := range adversarialCorpus {
+		for pi, pol := range policiesFor(in) {
+			wantOut, wantRep := legacySanitize(in, pol)
+			gotOut, gotRep := Sanitize(in, pol)
+			if gotOut != wantOut {
+				t.Errorf("corpus[%d] policy[%d] %q:\nlegacy: %q\nstream: %q", ci, pi, in, wantOut, gotOut)
+			}
+			if gotRep != wantRep {
+				t.Errorf("corpus[%d] policy[%d] %q: report legacy %+v stream %+v", ci, pi, in, wantRep, gotRep)
+			}
+		}
+	}
+}
+
+// TestStreamingMatchesLegacyGenerated extends the corpus with seeded
+// multi-KB to multi-MB synthetic pages (clean, script-laden, handler-
+// laden) and random tag soup assembled from hostile fragments.
+func TestStreamingMatchesLegacyGenerated(t *testing.T) {
+	pages := []string{
+		workload.HTMLPage(4<<10, 0, 0, 1),
+		workload.HTMLPage(64<<10, 20, 20, 2),
+		workload.HTMLPage(2<<20, 200, 200, 3), // multi-MB body
+		workload.HTMLPage(3<<20, 0, 0, 4),     // multi-MB clean body
+	}
+	frags := []string{
+		`<script>`, `</script>`, `</ScRiPt >`, `<script src=x>`,
+		`<p onclick=evil()>`, `<a href="javascript:x">`, `<a href=ok>`,
+		`<!--`, `-->`, `<!doctype>`, `<iframe>`, `</iframe>`, `<br/>`,
+		`text`, `<`, `>`, `"`, `'`, ` `, `=`, `<b class="k">`, `</b>`,
+		"\n", `<img src=x >`, `<embed>`, `<x y=`, `javascript:`,
+	}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		var sb strings.Builder
+		for n := r.Intn(40); n >= 0; n-- {
+			sb.WriteString(frags[r.Intn(len(frags))])
+		}
+		pages = append(pages, sb.String())
+	}
+	for ci, in := range pages {
+		for pi, pol := range policiesFor(in) {
+			wantOut, wantRep := legacySanitize(in, pol)
+			gotOut, gotRep := Sanitize(in, pol)
+			if gotOut != wantOut {
+				a, b := diffAround(wantOut, gotOut)
+				t.Fatalf("generated[%d] policy[%d] (len %d): first divergence:\nlegacy: %q\nstream: %q", ci, pi, len(in), a, b)
+			}
+			if gotRep != wantRep {
+				t.Fatalf("generated[%d] policy[%d]: report legacy %+v stream %+v", ci, pi, wantRep, gotRep)
+			}
+		}
+	}
+}
+
+// diffAround returns a small window around the first differing byte.
+func diffAround(a, b string) (string, string) {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 40
+	if lo < 0 {
+		lo = 0
+	}
+	win := func(s string) string {
+		hi := i + 40
+		if hi > len(s) {
+			hi = len(s)
+		}
+		if lo > len(s) {
+			return fmt.Sprintf("(len %d < %d)", len(s), lo)
+		}
+		return s[lo:hi]
+	}
+	return win(a), win(b)
+}

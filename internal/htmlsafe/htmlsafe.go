@@ -17,14 +17,21 @@
 //   - on* event-handler attributes;
 //   - javascript: URLs in href/src/action/formaction attributes.
 //
-// The sanitizer never parses into a DOM: it is a single linear pass,
-// so its cost is O(bytes) and measured by experiment E10.
+// The sanitizer never parses into a DOM: it is a single linear pass
+// over the raw bytes, so its cost is O(bytes) and measured by
+// experiment E10 and the CI-gated htmlsafe/sanitize-* bench entries.
+// SanitizeBytes is the streaming form the gateway uses: it appends into
+// a caller-supplied buffer and, when the pass removes nothing — the
+// common case for honest apps — returns the input slice itself: zero
+// copies, zero allocations. See README.md for the design note and the
+// sanitized-output cache (cache.go) that lets hot public pages pay the
+// pass once per content version.
 package htmlsafe
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
-	"strings"
 )
 
 // Policy controls what the filter permits.
@@ -59,288 +66,455 @@ func ScriptHash(body string) string {
 	return hex.EncodeToString(h[:])
 }
 
-// activeElements are stripped (tags only; inner content preserved).
-var activeElements = map[string]bool{
-	"iframe": true, "object": true, "embed": true, "applet": true,
-}
-
-// urlAttrs are checked for javascript: schemes.
-var urlAttrs = map[string]bool{
-	"href": true, "src": true, "action": true, "formaction": true,
-}
-
-// Sanitize filters one HTML document under the policy.
+// Sanitize filters one HTML document under the policy. It is the
+// string-typed convenience form (experiment tables, tests); the
+// gateway's request path uses SanitizeBytes, which avoids the two
+// string round-trip copies this wrapper pays.
 func Sanitize(html string, pol Policy) (string, Report) {
-	var out strings.Builder
-	out.Grow(len(html))
+	out, rep := SanitizeBytes(nil, []byte(html), pol)
+	return string(out), rep
+}
+
+// SanitizeBytes filters one HTML document under the policy, streaming
+// the output into dst (whose contents are overwritten; nil is fine).
+//
+// Fast path: when the pass finds nothing to remove AND reaches the end
+// of the input, the returned slice is body itself — zero copies, zero
+// allocations. Otherwise the returned slice is rooted in dst, grown as
+// needed. body is never modified; callers that pool dst must not
+// recycle the returned slice's backing array while the output is still
+// referenced.
+func SanitizeBytes(dst, body []byte, pol Policy) ([]byte, Report) {
+	// The attribute scratch lives in its own local, never stored in the
+	// sanitizer struct: escape analysis is field-insensitive for the
+	// address-taken s, so anything reachable from it is dragged to the
+	// heap along with the (necessarily escaping) output slice — which
+	// would cost one allocation per call and break the zero-alloc
+	// contract on both paths.
+	var attrBuf [16]battr
+	scratch := attrBuf[:0]
+	s := sanitizer{src: body, dst: dst}
 	var rep Report
 
-	// Lowered once so script-end scanning stays O(bytes) for the whole
-	// document rather than per-script.
-	lower := strings.ToLower(html)
-
 	i := 0
-	for i < len(html) {
-		lt := strings.IndexByte(html[i:], '<')
-		if lt < 0 {
-			out.WriteString(html[i:])
+	for i < len(body) {
+		rel := bytes.IndexByte(body[i:], '<')
+		if rel < 0 {
+			s.emit(i, len(body))
 			break
 		}
-		out.WriteString(html[i : i+lt])
-		i += lt
+		s.emit(i, i+rel)
+		i += rel
 
-		rest := html[i:]
 		switch {
-		case strings.HasPrefix(rest, "<!--"):
-			end := strings.Index(rest[4:], "-->")
+		case hasPrefixAt(body, i, "<!--"):
+			end := bytes.Index(body[i+4:], commentClose)
 			if end < 0 {
 				// Unterminated comment swallows the remainder; emit
 				// nothing further (a dangling comment can hide markup
 				// from naive filters — fail safe by dropping it).
-				return out.String(), rep
+				return s.finish(), rep
 			}
-			out.WriteString(rest[:4+end+3])
+			s.emit(i, i+4+end+3)
 			i += 4 + end + 3
 
-		case strings.HasPrefix(rest, "<!") || strings.HasPrefix(rest, "<?"):
+		case hasPrefixAt(body, i, "<!") || hasPrefixAt(body, i, "<?"):
 			// DOCTYPE or processing instruction: pass through to '>'.
-			end := strings.IndexByte(rest, '>')
+			end := bytes.IndexByte(body[i:], '>')
 			if end < 0 {
-				out.WriteString(rest)
-				return out.String(), rep
+				s.emit(i, len(body))
+				return s.finish(), rep
 			}
-			out.WriteString(rest[:end+1])
+			s.emit(i, i+end+1)
 			i += end + 1
 
 		default:
-			tag, tagLen, ok := parseTag(rest)
+			tg, ok := parseTag(body, i, scratch)
 			if !ok {
 				// A bare '<' that opens no tag: emit as text.
-				out.WriteByte('<')
+				s.emit(i, i+1)
 				i++
 				continue
 			}
-			name := strings.ToLower(tag.name)
+			name := body[tg.nameLo:tg.nameHi]
 			switch {
-			case name == "script" && !tag.closing:
-				bodyEnd, closeLen := findScriptEnd(rest[tagLen:], lower[i+tagLen:])
-				body := rest[tagLen : tagLen+bodyEnd]
-				total := tagLen + bodyEnd + closeLen
-				if pol.AllowScripts || pol.AllowedHashes[ScriptHash(body)] {
-					out.WriteString(rest[:total])
+			case foldEq(name, "script") && !tg.closing:
+				bodyEnd, end := s.findScriptEnd(tg.end)
+				if pol.AllowScripts || allowedHash(pol.AllowedHashes, body[tg.end:bodyEnd]) {
+					s.emit(i, end)
 					rep.ScriptsAllowed++
 				} else {
-					rep.ScriptsRemoved++
+					rep.ScriptsRemoved++ // bytes skipped, not emitted
 				}
-				i += total
+				i = end
 
-			case name == "script" && tag.closing:
+			case foldEq(name, "script"):
 				// Stray close tag; drop it.
 				rep.ScriptsRemoved++
-				i += tagLen
+				i = tg.end
 
-			case activeElements[name]:
+			case isActiveElement(name):
 				rep.ElementsRemoved++
-				i += tagLen // tag dropped, content preserved
+				i = tg.end // tag dropped, content preserved
 
 			default:
-				cleaned, changed := sanitizeTag(rest[:tagLen], tag, &rep)
-				if changed {
-					out.WriteString(cleaned)
-				} else {
-					out.WriteString(rest[:tagLen])
-				}
-				i += tagLen
+				s.sanitizeTag(i, tg, &rep)
+				i = tg.end
 			}
+			// Keep a spilled (>16-attr) backing for subsequent tags.
+			scratch = tg.attrs[:0]
 		}
 	}
-	return out.String(), rep
+	return s.finish(), rep
+}
+
+var commentClose = []byte("-->")
+
+// sanitizer is one pass's lazy-copy output writer. A pass over a clean
+// document performs no allocation at all.
+type sanitizer struct {
+	src []byte
+	dst []byte // caller-supplied backing for the rewrite path
+	out []byte // nil while the output is still a verbatim prefix of src
+	n   int    // length of that verbatim prefix
+}
+
+// emit appends src[lo:hi] to the output. While the output is a
+// verbatim prefix of src, contiguous emission just extends the prefix;
+// the first skipped or synthesized byte materializes the copy into dst.
+func (s *sanitizer) emit(lo, hi int) {
+	if s.out == nil {
+		if lo == s.n {
+			s.n = hi
+			return
+		}
+		s.materialize()
+	}
+	s.out = append(s.out, s.src[lo:hi]...)
+}
+
+func (s *sanitizer) materialize() {
+	s.out = append(s.dst[:0], s.src[:s.n]...)
+}
+
+func (s *sanitizer) emitByte(c byte) {
+	if s.out == nil {
+		s.materialize()
+	}
+	s.out = append(s.out, c)
+}
+
+func (s *sanitizer) emitString(str string) {
+	if s.out == nil {
+		s.materialize()
+	}
+	s.out = append(s.out, str...)
+}
+
+// finish returns the final output slice. The zero-copy return requires
+// both an untouched report AND a pass that reached the end of src: a
+// truncating stop (unterminated comment) leaves a clean report but must
+// still copy, because the result is a strict prefix.
+func (s *sanitizer) finish() []byte {
+	if s.out != nil {
+		return s.out
+	}
+	if s.n == len(s.src) {
+		return s.src
+	}
+	s.materialize()
+	return s.out
+}
+
+// battr is one parsed attribute, as offsets into src (no substrings).
+type battr struct {
+	nameLo, nameHi int
+	valLo, valHi   int
+	quote          byte // '"', '\'' or 0 for unquoted/valueless
+	hasEq          bool
+	blocked        bool // value neutralized to "#blocked"
 }
 
 // tagToken is a parsed start or end tag.
 type tagToken struct {
-	name    string
-	closing bool
-	attrs   []attr
-	selfEnd bool // "/>" form
+	nameLo, nameHi int
+	closing        bool
+	selfEnd        bool    // "/>" form
+	end            int     // absolute offset past the consumed bytes
+	attrs          []battr // aliases the sanitizer scratch until the next parseTag
 }
 
-type attr struct {
-	name  string // original case preserved for output
-	value string
-	quote byte // '"', '\'' or 0 for unquoted/valueless
-	hasEq bool
-}
-
-// parseTag parses "<name attr=... >" from the front of s. Returns the
-// token and total byte length including both angle brackets.
-func parseTag(s string) (tagToken, int, bool) {
-	if len(s) < 2 || s[0] != '<' {
-		return tagToken{}, 0, false
+// parseTag parses "<name attr=... >" at absolute offset at, collecting
+// attributes into scratch (whose backing tg.attrs reuses). ok=false
+// means the '<' opens no tag. An unterminated tag consumes the rest of
+// the input (end == len(src)), mirroring the fail-safe of the comment
+// path. It is a free function, not a sanitizer method, so the
+// stack-backed scratch never pins the (escaping) writer state.
+func parseTag(src []byte, at int, scratch []battr) (tg tagToken, ok bool) {
+	if at+1 >= len(src) {
+		return tg, false
 	}
-	j := 1
-	var tok tagToken
-	if s[j] == '/' {
-		tok.closing = true
+	j := at + 1
+	if src[j] == '/' {
+		tg.closing = true
 		j++
 	}
 	start := j
-	for j < len(s) && isNameChar(s[j]) {
+	for j < len(src) && isNameChar(src[j]) {
 		j++
 	}
 	if j == start {
-		return tagToken{}, 0, false
+		return tg, false
 	}
-	tok.name = s[start:j]
-	// Attributes.
-	for j < len(s) {
-		for j < len(s) && isSpace(s[j]) {
+	tg.nameLo, tg.nameHi = start, j
+	attrs := scratch[:0]
+	for j < len(src) {
+		for j < len(src) && isSpace(src[j]) {
 			j++
 		}
-		if j >= len(s) {
-			return tok, j, true // unterminated tag: treat rest as tag
+		if j >= len(src) {
+			break // unterminated tag: treat rest as tag
 		}
-		if s[j] == '>' {
-			return tok, j + 1, true
+		if src[j] == '>' {
+			tg.end = j + 1
+			tg.attrs = attrs
+			return tg, true
 		}
-		if s[j] == '/' && j+1 < len(s) && s[j+1] == '>' {
-			tok.selfEnd = true
-			return tok, j + 2, true
+		if src[j] == '/' {
+			if j+1 < len(src) && src[j+1] == '>' {
+				tg.selfEnd = true
+				tg.end = j + 2
+				tg.attrs = attrs
+				return tg, true
+			}
+			// A stray '/' that closes nothing (e.g. "<img src=x / on...>")
+			// is tag noise; consume it. The legacy string parser looped
+			// forever here — TestLoneSlashInTagTerminates pins the fix.
+			j++
+			continue
 		}
 		// Attribute name.
 		nameStart := j
-		for j < len(s) && s[j] != '=' && s[j] != '>' && s[j] != '/' && !isSpace(s[j]) {
+		for j < len(src) && src[j] != '=' && src[j] != '>' && src[j] != '/' && !isSpace(src[j]) {
 			j++
 		}
-		a := attr{name: s[nameStart:j]}
-		for j < len(s) && isSpace(s[j]) {
+		a := battr{nameLo: nameStart, nameHi: j}
+		for j < len(src) && isSpace(src[j]) {
 			j++
 		}
-		if j < len(s) && s[j] == '=' {
+		if j < len(src) && src[j] == '=' {
 			a.hasEq = true
 			j++
-			for j < len(s) && isSpace(s[j]) {
+			for j < len(src) && isSpace(src[j]) {
 				j++
 			}
-			if j < len(s) && (s[j] == '"' || s[j] == '\'') {
-				a.quote = s[j]
+			if j < len(src) && (src[j] == '"' || src[j] == '\'') {
+				a.quote = src[j]
 				j++
 				valStart := j
-				for j < len(s) && s[j] != a.quote {
+				for j < len(src) && src[j] != a.quote {
 					j++
 				}
-				a.value = s[valStart:j]
-				if j < len(s) {
+				a.valLo, a.valHi = valStart, j
+				if j < len(src) {
 					j++ // closing quote
 				}
 			} else {
 				valStart := j
-				for j < len(s) && !isSpace(s[j]) && s[j] != '>' {
+				for j < len(src) && !isSpace(src[j]) && src[j] != '>' {
 					j++
 				}
-				a.value = s[valStart:j]
+				a.valLo, a.valHi = valStart, j
 			}
 		}
-		if a.name != "" {
-			tok.attrs = append(tok.attrs, a)
+		if a.nameHi > a.nameLo {
+			attrs = append(attrs, a)
 		}
 	}
-	return tok, len(s), true
+	tg.end = len(src)
+	tg.attrs = attrs
+	return tg, true
 }
 
 // findScriptEnd locates the closing </script> (case-insensitive,
-// optional whitespace before '>'). lower is the pre-lowercased form of
-// s. Returns the body length and the length of the close tag; an
-// unterminated script consumes the rest.
-func findScriptEnd(s, lower string) (bodyLen, closeLen int) {
-	from := 0
+// optional whitespace before '>') scanning from absolute offset at.
+// Returns the absolute script-body end and the absolute offset past the
+// close tag; an unterminated script consumes the rest.
+func (s *sanitizer) findScriptEnd(at int) (bodyEnd, tagEnd int) {
+	src := s.src
+	from := at
 	for {
-		k := strings.Index(lower[from:], "</script")
-		if k < 0 {
-			return len(s), 0
+		rel := bytes.IndexByte(src[from:], '<')
+		if rel < 0 {
+			return len(src), len(src)
 		}
-		k += from
-		j := k + len("</script")
-		for j < len(s) && isSpace(s[j]) {
-			j++
+		k := from + rel
+		if k+len("</script") > len(src) {
+			return len(src), len(src)
 		}
-		if j < len(s) && s[j] == '>' {
-			return k, j + 1 - k
+		if src[k+1] == '/' && foldEq(src[k+2:k+8], "script") {
+			j := k + 8
+			for j < len(src) && isSpace(src[j]) {
+				j++
+			}
+			if j < len(src) && src[j] == '>' {
+				return k, j + 1
+			}
 		}
 		from = k + 1
 	}
 }
 
-// sanitizeTag rewrites a tag, dropping on* attributes and neutralizing
-// javascript: URLs. Returns the possibly-rewritten tag text.
-func sanitizeTag(orig string, tok tagToken, rep *Report) (string, bool) {
-	if tok.closing || len(tok.attrs) == 0 {
-		return orig, false
+// sanitizeTag emits the tag spanning [lo:tg.end), dropping on*
+// attributes and neutralizing javascript: URLs. Unchanged tags are
+// emitted verbatim (keeping the fast path alive); changed tags are
+// re-rendered in normalized form — '<' name, single-space-separated
+// attributes, values quoted — exactly as the legacy sanitizer did, so
+// the equivalence corpus holds byte-for-byte.
+func (s *sanitizer) sanitizeTag(lo int, tg tagToken, rep *Report) {
+	src := s.src
+	if tg.closing || len(tg.attrs) == 0 {
+		s.emit(lo, tg.end)
+		return
 	}
 	changed := false
-	var kept []attr
-	for _, a := range tok.attrs {
-		ln := strings.ToLower(a.name)
-		if strings.HasPrefix(ln, "on") && len(ln) > 2 {
+	for k := range tg.attrs {
+		a := &tg.attrs[k]
+		name := src[a.nameLo:a.nameHi]
+		if isEventAttr(name) {
 			rep.AttrsRemoved++
 			changed = true
 			continue
 		}
-		if urlAttrs[ln] && isJavascriptURL(a.value) {
-			a.value = "#blocked"
-			a.quote = '"'
+		if isURLAttr(name) && isJavascriptURL(src[a.valLo:a.valHi]) {
+			a.blocked = true
 			rep.URLsNeutralized++
 			changed = true
 		}
-		kept = append(kept, a)
 	}
 	if !changed {
-		return orig, false
+		s.emit(lo, tg.end)
+		return
 	}
-	var sb strings.Builder
-	sb.WriteByte('<')
-	sb.WriteString(tok.name)
-	for _, a := range kept {
-		sb.WriteByte(' ')
-		sb.WriteString(a.name)
-		if a.hasEq {
-			sb.WriteByte('=')
-			q := a.quote
-			if q == 0 {
-				q = '"'
-			}
-			sb.WriteByte(q)
-			sb.WriteString(a.value)
-			sb.WriteByte(q)
+	s.emitByte('<')
+	s.emit(tg.nameLo, tg.nameHi)
+	for _, a := range tg.attrs {
+		if isEventAttr(src[a.nameLo:a.nameHi]) {
+			continue
 		}
+		s.emitByte(' ')
+		s.emit(a.nameLo, a.nameHi)
+		if !a.hasEq {
+			continue
+		}
+		s.emitByte('=')
+		q := a.quote
+		if a.blocked || q == 0 {
+			q = '"'
+		}
+		s.emitByte(q)
+		if a.blocked {
+			s.emitString("#blocked")
+		} else {
+			s.emit(a.valLo, a.valHi)
+		}
+		s.emitByte(q)
 	}
-	if tok.selfEnd {
-		sb.WriteString("/>")
+	if tg.selfEnd {
+		s.emitString("/>")
 	} else {
-		sb.WriteByte('>')
+		s.emitByte('>')
 	}
-	return sb.String(), true
+}
+
+// allowedHash reports whether the script body's SHA-256 is on the
+// audited allowlist. The hex key is built in a stack buffer; the map
+// lookup's string conversion does not allocate.
+func allowedHash(m map[string]bool, body []byte) bool {
+	if len(m) == 0 {
+		return false
+	}
+	h := sha256.Sum256(body)
+	var hx [64]byte
+	hex.Encode(hx[:], h[:])
+	return m[string(hx[:])]
 }
 
 // isJavascriptURL detects javascript: (and vbscript:, data:text/html)
 // schemes, ignoring leading whitespace/control bytes and case — the
 // obfuscations real-world filters must handle.
-func isJavascriptURL(v string) bool {
-	var sb strings.Builder
-	for i := 0; i < len(v) && sb.Len() < 16; i++ {
+func isJavascriptURL(v []byte) bool {
+	var p [16]byte
+	n := 0
+	for i := 0; i < len(v) && n < len(p); i++ {
 		c := v[i]
 		if c <= 0x20 { // strip whitespace and control chars anywhere in prefix
 			continue
 		}
-		if c >= 'A' && c <= 'Z' {
-			c += 32
-		}
-		sb.WriteByte(c)
+		p[n] = lowerByte(c)
+		n++
 	}
-	p := sb.String()
-	return strings.HasPrefix(p, "javascript:") ||
-		strings.HasPrefix(p, "vbscript:") ||
-		strings.HasPrefix(p, "data:text/h")
+	pre := p[:n]
+	return hasPrefixBytes(pre, "javascript:") ||
+		hasPrefixBytes(pre, "vbscript:") ||
+		hasPrefixBytes(pre, "data:text/h")
+}
+
+// isEventAttr reports whether the attribute name is an on* handler
+// (strictly longer than "on", any case).
+func isEventAttr(name []byte) bool {
+	return len(name) > 2 && lowerByte(name[0]) == 'o' && lowerByte(name[1]) == 'n'
+}
+
+// isURLAttr reports whether the attribute's value is checked for
+// javascript: schemes.
+func isURLAttr(name []byte) bool {
+	return foldEq(name, "href") || foldEq(name, "src") ||
+		foldEq(name, "action") || foldEq(name, "formaction")
+}
+
+// isActiveElement reports whether the element is stripped (tags only;
+// inner content preserved).
+func isActiveElement(name []byte) bool {
+	return foldEq(name, "iframe") || foldEq(name, "object") ||
+		foldEq(name, "embed") || foldEq(name, "applet")
+}
+
+// foldEq reports whether b equals the all-lowercase word, ASCII
+// case-insensitively.
+func foldEq(b []byte, word string) bool {
+	if len(b) != len(word) {
+		return false
+	}
+	for i := 0; i < len(word); i++ {
+		if lowerByte(b[i]) != word[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasPrefixAt(b []byte, at int, p string) bool {
+	if at+len(p) > len(b) {
+		return false
+	}
+	for i := 0; i < len(p); i++ {
+		if b[at+i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasPrefixBytes(b []byte, p string) bool {
+	return len(b) >= len(p) && hasPrefixAt(b, 0, p)
+}
+
+func lowerByte(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c + 32
+	}
+	return c
 }
 
 func isSpace(c byte) bool {

@@ -41,8 +41,8 @@ func TestScriptObfuscations(t *testing.T) {
 		`<script type="text/javascript">evil()</script>`,
 		`<script
 			src="http://evil.example/x.js"></script>`,
-		`<script>if (a<b) evil()</script>`,     // '<' inside body
-		`<script>s="</scr"+"ipt>"</script >`,   // whitespace before '>'
+		`<script>if (a<b) evil()</script>`,   // '<' inside body
+		`<script>s="</scr"+"ipt>"</script >`, // whitespace before '>'
 	}
 	for _, in := range cases {
 		out, rep := sanitize(t, in)

@@ -1,0 +1,123 @@
+package htmlsafe
+
+// Contracts specific to the streaming SanitizeBytes form: the zero-copy
+// clean fast path, buffer reuse, allocation-freedom, and termination on
+// the input that hung the legacy parser.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"w5/internal/workload"
+)
+
+// TestCleanFastPathAliasesInput: a document the filter does not change
+// comes back as the input slice itself — no copy, and dst untouched.
+func TestCleanFastPathAliasesInput(t *testing.T) {
+	in := []byte(`<!DOCTYPE html><html><body><h1>Hi</h1><p class="x">t &amp; m</p></body></html>`)
+	dst := make([]byte, 0, 16)
+	out, rep := SanitizeBytes(dst, in, Policy{})
+	if !rep.Clean() {
+		t.Fatalf("report not clean: %+v", rep)
+	}
+	if len(out) != len(in) || &out[0] != &in[0] {
+		t.Errorf("clean output is not the input slice (len %d vs %d)", len(out), len(in))
+	}
+}
+
+// TestDirtyOutputRootedInDst: a rewrite lands in the caller's buffer
+// when it fits, so pooled buffers are actually reused.
+func TestDirtyOutputRootedInDst(t *testing.T) {
+	in := []byte(`<p>a</p><script>evil()</script><p>b</p>`)
+	dst := make([]byte, 0, 256)
+	out, rep := SanitizeBytes(dst, in, Policy{})
+	if rep.ScriptsRemoved != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	if string(out) != "<p>a</p><p>b</p>" {
+		t.Fatalf("out = %q", out)
+	}
+	if &out[0] != &dst[:1][0] {
+		t.Errorf("dirty output did not use the supplied buffer")
+	}
+	// The input must never be modified.
+	if !bytes.Contains(in, []byte("evil()")) {
+		t.Error("input mutated")
+	}
+}
+
+// TestTruncatedCleanOutputDoesNotAliasInput: an unterminated comment
+// drops the remainder — the report is clean but the result is a strict
+// prefix, which must be a copy (the gateway may cache or pool it).
+func TestTruncatedCleanOutputDoesNotAliasInput(t *testing.T) {
+	in := []byte(`<p>a</p><!-- hidden <script>evil()</script>`)
+	out, rep := SanitizeBytes(nil, in, Policy{})
+	if !rep.Clean() {
+		t.Fatalf("report: %+v", rep)
+	}
+	if string(out) != "<p>a</p>" {
+		t.Fatalf("out = %q", out)
+	}
+	if len(out) > 0 && &out[0] == &in[0] {
+		t.Error("truncated output aliases the input")
+	}
+}
+
+// TestCleanSanitizeAllocationFree pins the fast path's contract: a pass
+// over an honest page costs zero allocations.
+func TestCleanSanitizeAllocationFree(t *testing.T) {
+	in := []byte(workload.HTMLPage(8<<10, 0, 0, 7))
+	if n := testing.AllocsPerRun(200, func() {
+		out, rep := SanitizeBytes(nil, in, Policy{})
+		if !rep.Clean() || len(out) != len(in) {
+			t.Fatal("page unexpectedly dirty")
+		}
+	}); n != 0 {
+		t.Errorf("clean sanitize allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestDirtySanitizeReusesBuffer: with a caller-supplied buffer big
+// enough, even the rewrite path allocates nothing.
+func TestDirtySanitizeReusesBuffer(t *testing.T) {
+	in := []byte(workload.HTMLPage(8<<10, 4, 4, 7))
+	buf := make([]byte, 0, len(in))
+	if n := testing.AllocsPerRun(200, func() {
+		out, rep := SanitizeBytes(buf, in, Policy{})
+		if rep.Clean() || len(out) == 0 {
+			t.Fatal("page unexpectedly clean")
+		}
+	}); n != 0 {
+		t.Errorf("buffered dirty sanitize allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestLoneSlashInTagTerminates: the legacy parser looped forever on a
+// stray '/' inside a tag (a trivial request-hang DoS through the
+// perimeter). The streaming parser must terminate AND still strip the
+// handler riding behind the slash.
+func TestLoneSlashInTagTerminates(t *testing.T) {
+	inputs := []string{
+		`<img src=x / onerror=evil()>`,
+		`<a / href="javascript:evil()">x</a>`,
+		`<p / / / onclick=evil()>text</p>`,
+		`<a /`,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, in := range inputs {
+			out, _ := Sanitize(in, Policy{})
+			if strings.Contains(strings.ToLower(out), "evil") {
+				t.Errorf("payload survived %q -> %q", in, out)
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sanitizer hung on stray '/' inside a tag")
+	}
+}

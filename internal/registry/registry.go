@@ -44,11 +44,11 @@ const (
 
 // Errors.
 var (
-	ErrNotFound      = errors.New("registry: no such module or version")
-	ErrExists        = errors.New("registry: version already exists")
-	ErrClosedSource  = errors.New("registry: module is closed-source")
+	ErrNotFound       = errors.New("registry: no such module or version")
+	ErrExists         = errors.New("registry: version already exists")
+	ErrClosedSource   = errors.New("registry: module is closed-source")
 	ErrSourceMismatch = errors.New("registry: source does not reproduce bytecode")
-	ErrBadModule     = errors.New("registry: invalid module")
+	ErrBadModule      = errors.New("registry: invalid module")
 )
 
 // Version is one immutable uploaded revision of a module.
@@ -57,8 +57,8 @@ type Version struct {
 	Version    string
 	Developer  string
 	Kind       Kind
-	Hash       string // SHA-256 of the serialized program
-	Blob       []byte // serialized wvm.Program
+	Hash       string            // SHA-256 of the serialized program
+	Blob       []byte            // serialized wvm.Program
 	Source     string            // assembly listing; empty for closed-source
 	SysNames   map[string]uint16 // syscall name table the source uses
 	OpenSource bool

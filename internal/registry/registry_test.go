@@ -202,9 +202,9 @@ func TestDependencyGraph(t *testing.T) {
 
 	edges := r.DependencyGraph()
 	want := map[string]bool{
-		"app1->lib:import":  true,
-		"app2->lib:import":  true,
-		"app1->app2:embed":  true,
+		"app1->lib:import": true,
+		"app2->lib:import": true,
+		"app1->app2:embed": true,
 	}
 	if len(edges) != len(want) {
 		t.Fatalf("edges = %+v", edges)
