@@ -31,6 +31,18 @@
 //	                                         # gate: same rules, pinning
 //	                                         # the O(changed files)
 //	                                         # incremental-sync contract
+//	w5bench -capacity BENCH_capacity.json    # measure open-loop capacity
+//	                                         # (cmd/w5load methodology:
+//	                                         # fixed-rate window plus
+//	                                         # saturation ladder) against
+//	                                         # an in-process fixture, or
+//	                                         # with -capacity-addr against
+//	                                         # a running seeded daemon
+//	w5bench -capacity /tmp/new.json -compare BENCH_capacity.json
+//	                                         # the capacity gate: achieved
+//	                                         # req/s bounds from BELOW,
+//	                                         # latency percentiles and
+//	                                         # error rate from above
 //
 // The -requestpath mode exists so successive PRs can compare the
 // request-path cost (ns/op, allocs/op, and the population-scaling
@@ -44,9 +56,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"w5/internal/benchutil"
 	"w5/internal/experiments"
+	"w5/internal/loadgen"
 )
 
 // compareTolerance is the allowed relative regression before the gate
@@ -60,19 +74,57 @@ func main() {
 		"measure the invoke→export request path and write JSON results to this file")
 	federation := flag.String("federation", "",
 		"measure the federation sync path and write JSON results to this file")
+	capacity := flag.String("capacity", "",
+		"measure open-loop capacity (cmd/w5load methodology) and write JSON results to this file")
+	capacityAddr := flag.String("capacity-addr", "",
+		"with -capacity, drive this already-running seeded daemon instead of an in-process fixture")
+	capacityUsers := flag.Int("capacity-users", 128, "with -capacity, seeded population size")
+	capacityConns := flag.Int("capacity-conns", 4, "with -capacity, concurrent connections")
+	capacityWindow := flag.Duration("capacity-window", 2*time.Second, "with -capacity, per-rate window")
 	compare := flag.String("compare", "",
-		"baseline JSON to gate against; with -requestpath or -federation, exits 1 on >25% regression")
+		"baseline JSON to gate against; with -requestpath, -federation or -capacity, exits 1 on regression past tolerance")
 	summary := flag.String("summary", "",
 		"with -compare, append a markdown comparison table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	flag.Parse()
 
-	if *requestPath != "" && *federation != "" {
-		fmt.Fprintln(os.Stderr, "w5bench: -requestpath and -federation are separate runs; pick one")
+	modes := 0
+	for _, m := range []string{*requestPath, *federation, *capacity} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "w5bench: -requestpath, -federation and -capacity are separate runs; pick one")
 		os.Exit(2)
 	}
-	if *compare != "" && *requestPath == "" && *federation == "" {
-		fmt.Fprintln(os.Stderr, "w5bench: -compare requires -requestpath or -federation (nothing was measured)")
+	if *compare != "" && modes == 0 {
+		fmt.Fprintln(os.Stderr, "w5bench: -compare requires -requestpath, -federation or -capacity (nothing was measured)")
 		os.Exit(2)
+	}
+
+	if *capacity != "" {
+		report, err := loadgen.MeasureCapacity(loadgen.CapacityOptions{
+			Addr:   *capacityAddr,
+			Users:  *capacityUsers,
+			Conns:  *capacityConns,
+			Seed:   1,
+			Window: *capacityWindow,
+		}, func(name string, r *loadgen.Result) {
+			fmt.Printf("%-24s offered %7.0f req/s  achieved %7.0f req/s  err %5.2f%%  p99 %v\n",
+				name, r.OfferedRPS, r.AchievedRPS, r.ErrorRate*100, r.P99)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "w5bench:", err)
+			os.Exit(1)
+		}
+		if err := report.Write(*capacity); err != nil {
+			fmt.Fprintln(os.Stderr, "w5bench:", err)
+			os.Exit(1)
+		}
+		if *compare != "" {
+			gate(*compare, *summary, report, "open-loop capacity")
+		}
+		return
 	}
 
 	if *federation != "" {
@@ -89,21 +141,7 @@ func main() {
 			os.Exit(1)
 		}
 		if *compare != "" {
-			baseline, err := benchutil.LoadReport(*compare)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "w5bench: loading baseline:", err)
-				os.Exit(1)
-			}
-			violations := benchutil.Compare(baseline, report, compareTolerance)
-			writeSummary(*summary, baseline, report)
-			if len(violations) > 0 {
-				fmt.Fprintf(os.Stderr, "w5bench: federation sync regressed vs %s:\n", *compare)
-				for _, v := range violations {
-					fmt.Fprintln(os.Stderr, "  -", v)
-				}
-				os.Exit(1)
-			}
-			fmt.Printf("no regression vs %s (tolerance %.0f%%)\n", *compare, compareTolerance*100)
+			gate(*compare, *summary, report, "federation sync")
 		}
 		return
 	}
@@ -123,26 +161,33 @@ func main() {
 			os.Exit(1)
 		}
 		if *compare != "" {
-			baseline, err := benchutil.LoadReport(*compare)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "w5bench: loading baseline:", err)
-				os.Exit(1)
-			}
-			violations := benchutil.Compare(baseline, report, compareTolerance)
-			writeSummary(*summary, baseline, report)
-			if len(violations) > 0 {
-				fmt.Fprintf(os.Stderr, "w5bench: request path regressed vs %s:\n", *compare)
-				for _, v := range violations {
-					fmt.Fprintln(os.Stderr, "  -", v)
-				}
-				os.Exit(1)
-			}
-			fmt.Printf("no regression vs %s (tolerance %.0f%%)\n", *compare, compareTolerance*100)
+			gate(*compare, *summary, report, "request path")
 		}
 		return
 	}
 
 	runExperiments(flag.Args())
+}
+
+// gate loads the baseline, writes the markdown summary, and exits 1
+// with the violation list if the comparison fails — the shared tail of
+// every -compare mode.
+func gate(comparePath, summaryPath string, report benchutil.Report, what string) {
+	baseline, err := benchutil.LoadReport(comparePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "w5bench: loading baseline:", err)
+		os.Exit(1)
+	}
+	violations := benchutil.Compare(baseline, report, compareTolerance)
+	writeSummary(summaryPath, baseline, report)
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "w5bench: %s regressed vs %s:\n", what, comparePath)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  -", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("no regression vs %s (tolerance %.0f%%)\n", comparePath, compareTolerance*100)
 }
 
 // writeSummary appends the comparison table to path (the

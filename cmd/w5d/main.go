@@ -10,6 +10,11 @@
 //	    [-audit-spill-dir /var/w5/audit] [-audit-ring-segments 64]
 //	    [-audit-retain-segments N] [-audit-retain-age 720h]
 //	    [-login-rate 1] [-login-burst 10]
+//	    [-dev-seed 128] [-disable-quotas]
+//
+// -dev-seed provisions a deterministic load-test population (see
+// internal/loadgen.SeedProvider); pair it with -disable-quotas and
+// -login-rate 0 when driving the daemon with cmd/w5load.
 //
 // A two-field -peer (name=secret) only serves /fed/export to that peer.
 // A three-field -peer (name=url=secretfile) additionally PULLS from the
@@ -42,6 +47,7 @@ import (
 	"w5/internal/core"
 	"w5/internal/federation"
 	"w5/internal/gateway"
+	"w5/internal/loadgen"
 )
 
 // peerSpec is one -peer flag: always an export grant, and when URL is
@@ -103,6 +109,10 @@ func main() {
 		"maximum age of spilled audit segments (0 = unlimited)")
 	storeShards := flag.Int("store-shards", 0,
 		"labeled-store lock stripes (0 = default; 1 = single-lock baseline)")
+	devSeed := flag.Int("dev-seed", 0,
+		"provision N deterministic dev accounts (u0000.., password \"pw\") for load testing; 0 = off")
+	disableQuotas := flag.Bool("disable-quotas", false,
+		"remove per-app resource limits (load testing only: an open-loop run exhausts cumulative budgets by design)")
 	sessionTTL := flag.Duration("session-ttl", 0,
 		"login lifetime (0 = gateway default, 24h)")
 	sanCacheEntries := flag.Int("sanitize-cache-entries", 1024,
@@ -156,6 +166,7 @@ func main() {
 
 	p := core.NewProvider(core.Config{
 		Name: *name, Enforce: true, StoreShards: *storeShards, AuditLog: alog,
+		DisableQuotas: *disableQuotas,
 	})
 	if *auditStderr {
 		p.Log.SetSink(os.Stderr)
@@ -165,6 +176,16 @@ func main() {
 		apps.Recommend{}, apps.Dating{}, apps.Mashup{},
 	} {
 		p.InstallApp(app)
+	}
+	if *devSeed > 0 {
+		// Seed 1 always: the point is a population w5load's default trace
+		// can target bit-for-bit across daemon restarts.
+		start := time.Now()
+		if err := loadgen.SeedProvider(p, *devSeed, 1); err != nil {
+			alog.Close()
+			log.Fatal(err)
+		}
+		log.Printf("dev-seeded %d accounts in %s", *devSeed, time.Since(start).Round(time.Millisecond))
 	}
 	gw := gateway.New(p, gateway.Options{
 		FilterHTML:           true,

@@ -1,0 +1,94 @@
+// Command w5load is the open-loop capacity driver: it replays a
+// deterministic mixed scenario trace (logins, social-feed reads, photo
+// writes, table queries, audit pulls; Zipf-distributed popularity)
+// against a W5 gateway over raw keep-alive connections and reports
+// throughput, error rate and coordinated-omission-corrected latency
+// percentiles. See internal/loadgen/README.md for the methodology.
+//
+// Usage:
+//
+//	w5d -addr :8055 -dev-seed 128 -disable-quotas -login-rate 0 &
+//	w5load -addr 127.0.0.1:8055 -users 128 -rps 250 -duration 10s
+//	                                 # one fixed-rate open-loop window
+//	w5load -capacity -out capacity.json
+//	                                 # full measurement (fixed window +
+//	                                 # saturation ladder) against an
+//	                                 # in-process fixture; with -addr,
+//	                                 # against that daemon instead
+//
+// The target daemon must be dev-seeded with at least -users accounts
+// and must not rate-limit logins (the mix churns them on purpose).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"w5/internal/loadgen"
+)
+
+func main() {
+	addr := flag.String("addr", "", "gateway address (host:port); empty with -capacity starts an in-process fixture")
+	users := flag.Int("users", 128, "seeded population size the trace draws from")
+	conns := flag.Int("conns", 4, "concurrent keep-alive connections")
+	rps := flag.Float64("rps", 250, "open-loop arrival rate (fixed-rate mode)")
+	duration := flag.Duration("duration", 10*time.Second, "schedule length (fixed-rate mode)")
+	seed := flag.Int64("seed", 1, "trace seed; same seed, same requests")
+	capacity := flag.Bool("capacity", false, "run the full capacity measurement (fixed window + saturation ladder)")
+	window := flag.Duration("window", 2*time.Second, "per-rate window in -capacity mode")
+	out := flag.String("out", "", "with -capacity, write the BENCH_capacity.json-schema report here")
+	flag.Parse()
+
+	if *capacity {
+		rep, err := loadgen.MeasureCapacity(loadgen.CapacityOptions{
+			Addr: *addr, Users: *users, Conns: *conns, Seed: *seed, Window: *window,
+		}, printRun)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "w5load:", err)
+			os.Exit(1)
+		}
+		for _, c := range rep.Capacity {
+			fmt.Printf("%-34s offered %7.0f req/s  achieved %7.0f req/s  err %5.2f%%  p99 %s\n",
+				c.Name, c.OfferedRPS, c.AchievedRPS, c.ErrorRate*100,
+				time.Duration(c.P99Ns))
+		}
+		if *out != "" {
+			if err := rep.Write(*out); err != nil {
+				fmt.Fprintln(os.Stderr, "w5load:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "w5load: -addr required (or use -capacity for the in-process fixture)")
+		os.Exit(2)
+	}
+	res, err := loadgen.Run(loadgen.Config{
+		Addr: *addr, Users: *users, Conns: *conns,
+		RPS: *rps, Duration: *duration, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "w5load:", err)
+		os.Exit(1)
+	}
+	printRun("run", res)
+	for s, st := range res.Scenarios {
+		fmt.Printf("  %-12s %6d sent %5d errors\n", s, st.Sent, st.Errors)
+	}
+	if !res.SLOPass {
+		os.Exit(1)
+	}
+}
+
+func printRun(name string, r *loadgen.Result) {
+	verdict := "SLO ok"
+	if !r.SLOPass {
+		verdict = "SLO FAIL"
+	}
+	fmt.Printf("%-20s offered %7.0f req/s  achieved %7.0f req/s  err %5.2f%%  p50 %-9s p99 %-9s p999 %-9s %s\n",
+		name, r.OfferedRPS, r.AchievedRPS, r.ErrorRate*100, r.P50, r.P99, r.P999, verdict)
+}

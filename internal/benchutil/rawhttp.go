@@ -37,16 +37,28 @@ type GatewayConn struct {
 // Dial opens a fresh keep-alive connection with the logged-in session's
 // request precomputed.
 func (gb *GatewayBench) Dial() (*GatewayConn, error) {
-	conn, err := net.Dial("tcp", gb.addr)
+	conn, err := DialAddr(gb.addr)
 	if err != nil {
 		return nil, err
 	}
-	req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nCookie: %s=%s\r\n\r\n",
-		gb.reqPath, gb.addr, gb.cookie.Name, gb.cookie.Value)
+	conn.req = []byte(fmt.Sprintf("GET %s HTTP/1.1\r\nHost: %s\r\nCookie: %s=%s\r\n\r\n",
+		gb.reqPath, gb.addr, gb.cookie.Name, gb.cookie.Value))
+	return conn, nil
+}
+
+// DialAddr opens a raw keep-alive connection to any gateway address
+// with no precomputed request; callers drive it through Exchange.
+// This is the client the capacity harness (internal/loadgen) fans out
+// by the connection, so its load numbers measure the server, not an
+// HTTP client library.
+func DialAddr(addr string) (*GatewayConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
 	return &GatewayConn{
 		conn: conn,
 		br:   bufio.NewReaderSize(conn, 16<<10),
-		req:  []byte(req),
 	}, nil
 }
 
@@ -71,9 +83,56 @@ func (c *GatewayConn) Do() error {
 	if !bytes.HasPrefix(line, http200) {
 		return fmt.Errorf("gateway request: status %q", bytes.TrimSpace(line))
 	}
+	return c.drainResponse()
+}
+
+// Exchange writes a caller-preformatted HTTP/1.1 request (headers and
+// body included; the connection is keep-alive, so the request must not
+// ask for Connection: close) and drains exactly one response,
+// returning its status code. Unlike Do, a non-2xx status is NOT an
+// error — the body is drained either way and the connection stays
+// usable, which is what an open-loop load driver needs to keep issuing
+// requests while it counts failures.
+func (c *GatewayConn) Exchange(req []byte) (int, error) {
+	if _, err := c.conn.Write(req); err != nil {
+		return 0, err
+	}
+	line, err := c.br.ReadSlice('\n')
+	if err != nil {
+		return 0, err
+	}
+	status, ok := parseStatus(line)
+	if !ok {
+		return 0, fmt.Errorf("gateway request: bad status line %q", bytes.TrimSpace(line))
+	}
+	if err := c.drainResponse(); err != nil {
+		return status, err
+	}
+	return status, nil
+}
+
+// parseStatus extracts the 3-digit code from an HTTP/1.x status line.
+func parseStatus(line []byte) (int, bool) {
+	sp := bytes.IndexByte(line, ' ')
+	if sp < 0 || len(line) < sp+4 {
+		return 0, false
+	}
+	n := 0
+	for _, ch := range line[sp+1 : sp+4] {
+		if ch < '0' || ch > '9' {
+			return 0, false
+		}
+		n = n*10 + int(ch-'0')
+	}
+	return n, true
+}
+
+// drainResponse consumes headers and body of one response already past
+// its status line.
+func (c *GatewayConn) drainResponse() error {
 	clen, chunked := -1, false
 	for {
-		line, err = c.br.ReadSlice('\n')
+		line, err := c.br.ReadSlice('\n')
 		if err != nil {
 			return err
 		}

@@ -42,16 +42,59 @@ type Result struct {
 	NsTolMult float64 `json:"ns_tol_mult,omitempty"`
 }
 
-// Report is the full request-path record for one build.
+// Report is the full record for one build of one benchmark family
+// (requestpath, federation, or capacity).
 type Report struct {
 	Benchmark string   `json:"benchmark"`
 	GoVersion string   `json:"go_version"`
 	GOARCH    string   `json:"goarch"`
-	Results   []Result `json:"results"`
+	Results   []Result `json:"results,omitempty"`
 	// ScalingRatio10k is users=10000 ns/op divided by users=100 ns/op for
 	// the enforcing path; the O(request) contract requires it near 1.0
 	// (acceptance: <= 2.0).
-	ScalingRatio10k float64 `json:"scaling_ratio_10k"`
+	ScalingRatio10k float64 `json:"scaling_ratio_10k,omitempty"`
+	// Capacity holds open-loop load measurements (cmd/w5load /
+	// loadgen.MeasureCapacity); BENCH_capacity.json is a Report with
+	// only this section populated.
+	Capacity []CapacityResult `json:"capacity,omitempty"`
+}
+
+// CapacityResult is one open-loop load measurement: a scenario mix
+// offered at a fixed arrival rate over Conns connections for a fixed
+// window, with latencies recorded against each request's INTENDED
+// send time (coordinated-omission-corrected; see
+// internal/loadgen/README.md).
+//
+// Unlike a ns/op Result, the headline number here — AchievedRPS —
+// regresses DOWNWARD, so Compare holds a lower bound on it and upper
+// bounds on the latency percentiles and the error rate.
+type CapacityResult struct {
+	Name string `json:"name"`
+	// OfferedRPS is the open-loop arrival rate the schedule dictated;
+	// AchievedRPS is what actually completed. A healthy server keeps
+	// them equal; a saturated one falls behind.
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	// ErrorRate is the fraction of requests that failed (transport
+	// error or non-200).
+	ErrorRate float64 `json:"error_rate"`
+	// Latency percentiles in nanoseconds, measured from the intended
+	// send time over all connections' merged histograms.
+	P50Ns  float64 `json:"p50_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	P999Ns float64 `json:"p999_ns"`
+	Conns  int     `json:"conns"`
+	Ops    int     `json:"ops"`
+	// RPSTolMult widens the throughput shortfall line by multiplying
+	// the comparison tolerance (0 or 1 = standard). Saturation search
+	// results on shared CI runners swing with neighbor load, so their
+	// line is wide; fixed-rate entries hold a tighter one.
+	RPSTolMult float64 `json:"rps_tol_mult,omitempty"`
+	// NsTolMult widens the latency-percentile lines likewise. Zero
+	// SKIPS latency gating for this entry entirely — the saturation
+	// entry measures at whatever rate the search found, and comparing
+	// tail latency across different operating points is meaningless.
+	NsTolMult float64 `json:"ns_tol_mult,omitempty"`
 }
 
 // LoadReport reads a Report from a JSON file.
@@ -127,6 +170,7 @@ func Compare(baseline, current Report, tolerance float64) []string {
 					base.Name, now.BytesPerOp, base.BytesPerOp, tolerance*100))
 		}
 	}
+	violations = append(violations, compareCapacity(baseline, current, tolerance)...)
 	if baseline.ScalingRatio10k > 0 &&
 		current.ScalingRatio10k > baseline.ScalingRatio10k*(1+tolerance) &&
 		current.ScalingRatio10k > scalingRatioGrace {
@@ -136,6 +180,69 @@ func Compare(baseline, current Report, tolerance float64) []string {
 	}
 	return violations
 }
+
+// compareCapacity gates the capacity entries: throughput may not fall
+// more than tolerance×RPSTolMult below baseline, latency percentiles
+// may not rise more than tolerance×NsTolMult above it (skipped when
+// the baseline pins NsTolMult to 0 — saturation entries measure at
+// different operating points run to run), and the error rate may not
+// exceed the baseline's by more than errorRateGrace absolute. Missing
+// entries fail like missing Results: coverage cannot silently shrink.
+func compareCapacity(baseline, current Report, tolerance float64) []string {
+	var violations []string
+	cur := make(map[string]CapacityResult, len(current.Capacity))
+	for _, r := range current.Capacity {
+		cur[r.Name] = r
+	}
+	for _, base := range baseline.Capacity {
+		now, ok := cur[base.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline but not measured by this build", base.Name))
+			continue
+		}
+		rpsTol := tolerance
+		if base.RPSTolMult > 1 {
+			rpsTol = tolerance * base.RPSTolMult
+		}
+		if floor := base.AchievedRPS * (1 - rpsTol); now.AchievedRPS < floor {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.0f req/s falls short of baseline %.0f by more than %.0f%% (floor %.0f)",
+					base.Name, now.AchievedRPS, base.AchievedRPS, rpsTol*100, floor))
+		}
+		if base.NsTolMult > 0 {
+			nsTol := tolerance * base.NsTolMult
+			for _, p := range []struct {
+				label     string
+				base, now float64
+			}{
+				{"p50", base.P50Ns, now.P50Ns},
+				{"p99", base.P99Ns, now.P99Ns},
+				{"p999", base.P999Ns, now.P999Ns},
+			} {
+				if limit := p.base * (1 + nsTol); p.base > 0 && p.now > limit {
+					violations = append(violations,
+						fmt.Sprintf("%s: %s %.0f ns exceeds baseline %.0f by more than %.0f%% (limit %.0f)",
+							base.Name, p.label, p.now, p.base, nsTol*100, limit))
+				}
+			}
+		}
+		if limit := base.ErrorRate + errorRateGrace; now.ErrorRate > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s: error rate %.2f%% exceeds baseline %.2f%% by more than %.0f points",
+					base.Name, now.ErrorRate*100, base.ErrorRate*100, errorRateGrace*100))
+		}
+	}
+	return violations
+}
+
+// errorRateGrace is the absolute headroom the capacity gate allows
+// over the baseline's error rate: 2 points. The SLO the harness itself
+// enforces while searching is stricter; this line only exists so a
+// handful of connection resets on a noisy shared runner cannot redden
+// an otherwise healthy build, while a systematic failure mode (quota
+// exhaustion, 500s under load) still fails loudly.
+const errorRateGrace = 0.02
 
 // scalingRatioGrace is the absolute floor under which the
 // population-scaling ratio never fails the gate. The O(request)

@@ -184,3 +184,98 @@ func TestCommittedBaselineParses(t *testing.T) {
 		t.Errorf("committed scaling ratio %.2f outside the O(request) contract (0, 2.0]", r.ScalingRatio10k)
 	}
 }
+
+func capacityBaseline() Report {
+	return Report{
+		Benchmark: "capacity",
+		Capacity: []CapacityResult{
+			{Name: "capacity/mixed/rps=250", OfferedRPS: 250, AchievedRPS: 249,
+				ErrorRate: 0, P50Ns: 2e6, P99Ns: 20e6, P999Ns: 60e6,
+				Conns: 8, Ops: 1000, RPSTolMult: 1, NsTolMult: 8},
+			{Name: "capacity/mixed/max-sustainable", OfferedRPS: 2000, AchievedRPS: 1900,
+				ErrorRate: 0.001, P50Ns: 5e6, P99Ns: 80e6, P999Ns: 200e6,
+				Conns: 8, Ops: 4000, RPSTolMult: 2, NsTolMult: 0},
+		},
+	}
+}
+
+// The capacity gate holds a LOWER bound on throughput and UPPER bounds
+// on tail latency and errors — the opposite direction from ns/op
+// entries — with per-entry widening, and the saturation entry's
+// latencies deliberately ungated (NsTolMult 0: different operating
+// points are not comparable).
+func TestCompareCapacity(t *testing.T) {
+	base := capacityBaseline()
+
+	ok := capacityBaseline()
+	ok.Capacity[0].AchievedRPS = 240  // -3.6%: inside 25%
+	ok.Capacity[0].P99Ns = 35e6       // +75%: inside the 8x line
+	ok.Capacity[1].AchievedRPS = 1200 // -37%: inside 2*25% = 50%
+	ok.Capacity[1].P999Ns = 900e6     // ungated on the saturation entry
+	ok.Capacity[1].ErrorRate = 0.015  // +1.4 points: inside the 2-point grace
+	if v := Compare(base, ok, 0.25); len(v) != 0 {
+		t.Errorf("capacity gate flagged an acceptable run: %v", v)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Report)
+		want   string
+	}{
+		{"throughput shortfall", func(r *Report) { r.Capacity[0].AchievedRPS = 150 }, "falls short"},
+		{"saturation shortfall past the widened line", func(r *Report) { r.Capacity[1].AchievedRPS = 800 }, "falls short"},
+		{"tail latency blowup", func(r *Report) { r.Capacity[0].P99Ns = 200e6 }, "p99"},
+		{"median latency blowup", func(r *Report) { r.Capacity[0].P50Ns = 100e6 }, "p50"},
+		{"error rate past the grace line", func(r *Report) { r.Capacity[0].ErrorRate = 0.05 }, "error rate"},
+		{"coverage shrank", func(r *Report) { r.Capacity = r.Capacity[:1] }, "not measured"},
+	}
+	for _, tc := range cases {
+		cur := capacityBaseline()
+		tc.mutate(&cur)
+		v := Compare(base, cur, 0.25)
+		if len(v) == 0 {
+			t.Errorf("%s: capacity gate accepted a regressed run", tc.name)
+			continue
+		}
+		found := false
+		for _, s := range v {
+			if strings.Contains(s, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: violations %v missing %q", tc.name, v, tc.want)
+		}
+	}
+}
+
+func TestCapacityReportRoundTrip(t *testing.T) {
+	base := capacityBaseline()
+	path := filepath.Join(t.TempDir(), "capacity.json")
+	if err := base.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Capacity) != 2 || got.Capacity[1].NsTolMult != 0 ||
+		got.Capacity[0].NsTolMult != 8 || got.Capacity[0].P999Ns != 60e6 {
+		t.Errorf("round trip mangled capacity report: %+v", got)
+	}
+}
+
+// The summary table must carry the capacity rows (status per
+// compareCapacity) so the CI step summary shows the load numbers.
+func TestMarkdownCapacityTable(t *testing.T) {
+	base := capacityBaseline()
+	cur := capacityBaseline()
+	cur.Capacity[0].AchievedRPS = 100 // regressed
+	md := MarkdownCompareTable(base, cur, 0.25)
+	if !strings.Contains(md, "capacity/mixed/rps=250") || !strings.Contains(md, "❌ regressed") {
+		t.Errorf("capacity regression missing from summary table:\n%s", md)
+	}
+	if !strings.Contains(md, "capacity/mixed/max-sustainable") {
+		t.Errorf("saturation entry missing from summary table:\n%s", md)
+	}
+}

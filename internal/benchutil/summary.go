@@ -15,6 +15,14 @@ import (
 func MarkdownCompareTable(baseline, current Report, tolerance float64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "### Bench gate: %s (%s, %s)\n\n", current.Benchmark, current.GoVersion, current.GOARCH)
+	if len(baseline.Results) == 0 && len(current.Results) == 0 {
+		// Capacity-only reports (BENCH_capacity.json) have no ns/op
+		// entries; an empty table would just be noise.
+		if len(baseline.Capacity) > 0 || len(current.Capacity) > 0 {
+			b.WriteString(markdownCapacityTable(baseline, current, tolerance))
+		}
+		return b.String()
+	}
 	b.WriteString("| entry | ns/op (base → now) | Δ | allocs/op | B/op | status |\n")
 	b.WriteString("|---|---|---|---|---|---|\n")
 
@@ -60,6 +68,53 @@ func MarkdownCompareTable(baseline, current Report, tolerance float64) string {
 	if baseline.ScalingRatio10k > 0 || current.ScalingRatio10k > 0 {
 		fmt.Fprintf(&b, "\nscaling ratio (10k/100 users): %.2f → %.2f\n",
 			baseline.ScalingRatio10k, current.ScalingRatio10k)
+	}
+	if len(baseline.Capacity) > 0 || len(current.Capacity) > 0 {
+		b.WriteString("\n")
+		b.WriteString(markdownCapacityTable(baseline, current, tolerance))
+	}
+	return b.String()
+}
+
+// markdownCapacityTable renders the open-loop capacity entries:
+// throughput gates a lower bound, latency and errors gate upper
+// bounds, mirroring compareCapacity's rules row by row.
+func markdownCapacityTable(baseline, current Report, tolerance float64) string {
+	var b strings.Builder
+	b.WriteString("| capacity entry | req/s (base → now) | Δ | p50 ms | p99 ms | p999 ms | err % | status |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
+	cur := make(map[string]CapacityResult, len(current.Capacity))
+	for _, r := range current.Capacity {
+		cur[r.Name] = r
+	}
+	ms := func(ns float64) string { return fmt.Sprintf("%.1f", ns/1e6) }
+	seen := make(map[string]bool, len(baseline.Capacity))
+	for _, base := range baseline.Capacity {
+		seen[base.Name] = true
+		now, ok := cur[base.Name]
+		if !ok {
+			fmt.Fprintf(&b, "| `%s` | %.0f → — | | | | | | ❌ missing |\n", base.Name, base.AchievedRPS)
+			continue
+		}
+		status := "✅"
+		if len(compareCapacity(Report{Capacity: []CapacityResult{base}},
+			Report{Capacity: []CapacityResult{now}}, tolerance)) > 0 {
+			status = "❌ regressed"
+		}
+		delta := "—"
+		if base.AchievedRPS > 0 {
+			delta = fmt.Sprintf("%+.0f%%", (now.AchievedRPS/base.AchievedRPS-1)*100)
+		}
+		fmt.Fprintf(&b, "| `%s` | %.0f → %.0f | %s | %s → %s | %s → %s | %s → %s | %.2f → %.2f | %s |\n",
+			base.Name, base.AchievedRPS, now.AchievedRPS, delta,
+			ms(base.P50Ns), ms(now.P50Ns), ms(base.P99Ns), ms(now.P99Ns),
+			ms(base.P999Ns), ms(now.P999Ns), base.ErrorRate*100, now.ErrorRate*100, status)
+	}
+	for _, r := range current.Capacity {
+		if !seen[r.Name] {
+			fmt.Fprintf(&b, "| `%s` | — → %.0f | | %s | %s | %s | %.2f | 🆕 new |\n",
+				r.Name, r.AchievedRPS, ms(r.P50Ns), ms(r.P99Ns), ms(r.P999Ns), r.ErrorRate*100)
+		}
 	}
 	return b.String()
 }

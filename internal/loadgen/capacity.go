@@ -1,0 +1,142 @@
+package loadgen
+
+// Capacity measurement: the two BENCH_capacity.json entries.
+//
+//   - capacity/mixed/rps=<R>: one fixed-rate window well below
+//     saturation. Its latency percentiles are comparable run to run
+//     (same operating point), so the gate bounds them.
+//   - capacity/mixed/max-sustainable: the highest rung of a geometric
+//     rate ladder that still meets the SLO while keeping up with the
+//     offered schedule. Throughput gates a LOWER bound; latencies are
+//     recorded for the table but not gated (NsTolMult 0), because the
+//     operating point itself moves between runs.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"w5/internal/benchutil"
+)
+
+// CapacityOptions parameterizes MeasureCapacity.
+type CapacityOptions struct {
+	// Addr targets an already-running seeded daemon; empty starts an
+	// in-process fixture (StartFixture) for the measurement's duration.
+	Addr  string
+	Users int
+	Conns int
+	Seed  int64
+	// FixedRPS is the below-saturation reference rate (default 250).
+	FixedRPS float64
+	// Ladder lists ascending saturation-probe rates; default geometric
+	// 250..8000. The search stops at the first failing rung.
+	Ladder []float64
+	// Window is each run's scheduled duration (default 2s).
+	Window time.Duration
+	SLO    SLO
+}
+
+func (o *CapacityOptions) fill() {
+	if o.Users < 1 {
+		o.Users = 128
+	}
+	if o.Conns < 1 {
+		o.Conns = 4
+	}
+	if o.FixedRPS <= 0 {
+		o.FixedRPS = 250
+	}
+	if len(o.Ladder) == 0 {
+		o.Ladder = []float64{250, 500, 1000, 2000, 4000, 8000}
+	}
+	if o.Window <= 0 {
+		o.Window = 2 * time.Second
+	}
+	if o.SLO == (SLO{}) {
+		o.SLO = DefaultSLO()
+	}
+}
+
+// MeasureCapacity runs the fixed-rate window and the saturation ladder
+// and returns a Report whose Capacity section is the committed-baseline
+// schema. progress (optional) observes each completed run.
+func MeasureCapacity(opts CapacityOptions, progress func(string, *Result)) (benchutil.Report, error) {
+	opts.fill()
+	rep := benchutil.Report{
+		Benchmark: "w5 open-loop capacity",
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+	}
+
+	addr := opts.Addr
+	if addr == "" {
+		fx, err := StartFixture(opts.Users, opts.Seed)
+		if err != nil {
+			return rep, err
+		}
+		defer fx.Close()
+		addr = fx.Addr
+	}
+	run := func(rps float64) (*Result, error) {
+		return Run(Config{
+			Addr: addr, Users: opts.Users, Conns: opts.Conns,
+			RPS: rps, Duration: opts.Window, Seed: opts.Seed, SLO: opts.SLO,
+		})
+	}
+
+	fixed, err := run(opts.FixedRPS)
+	if err != nil {
+		return rep, err
+	}
+	fixedName := fmt.Sprintf("capacity/mixed/rps=%g", opts.FixedRPS)
+	if progress != nil {
+		progress(fixedName, fixed)
+	}
+	rep.Capacity = append(rep.Capacity, toCapacityResult(fixedName, fixed, opts,
+		1, // throughput at a fixed offered rate barely moves: tight bound
+		8, // latency on shared runners jitters: 8x the base tolerance
+	))
+
+	// Ladder search: rungs are ascending, so the first failure ends it —
+	// a higher rate will not get healthier.
+	var best *Result
+	for _, rps := range opts.Ladder {
+		r, err := run(rps)
+		if err != nil {
+			return rep, err
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("ladder rps=%g", rps), r)
+		}
+		if !r.SLOPass {
+			break
+		}
+		best = r
+	}
+	sat := &Result{} // no rung passed: zeros, which the gate will fail
+	if best != nil {
+		sat = best
+	}
+	rep.Capacity = append(rep.Capacity, toCapacityResult("capacity/mixed/max-sustainable", sat, opts,
+		2, // the sustained rate is the noisiest number: loosest bound
+		0, // latencies at a moving operating point: recorded, not gated
+	))
+	return rep, nil
+}
+
+func toCapacityResult(name string, r *Result, opts CapacityOptions, rpsTol, nsTol float64) benchutil.CapacityResult {
+	return benchutil.CapacityResult{
+		Name:        name,
+		OfferedRPS:  r.OfferedRPS,
+		AchievedRPS: r.AchievedRPS,
+		ErrorRate:   r.ErrorRate,
+		P50Ns:       float64(r.P50),
+		P99Ns:       float64(r.P99),
+		P999Ns:      float64(r.P999),
+		Conns:       opts.Conns,
+		Ops:         r.Ops,
+		RPSTolMult:  rpsTol,
+		NsTolMult:   nsTol,
+	}
+}

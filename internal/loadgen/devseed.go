@@ -1,0 +1,130 @@
+package loadgen
+
+// Dev-seed: provision a deterministic synthetic population a load run
+// can drive. The same (users, seed) always produces the same accounts,
+// friend graph, profiles and blog posts, so a trace replayed against a
+// freshly seeded daemon exercises identical server-side state run to
+// run. cmd/w5d exposes this as -dev-seed; StartFixture uses it for the
+// in-process harness.
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"w5/internal/core"
+	"w5/internal/declass"
+	"w5/internal/difc"
+	"w5/internal/workload"
+)
+
+// seedApps are the applications every seeded user enables; the write
+// set is the subset the mixed trace writes through.
+var (
+	seedEnabled = []string{"social", "photoshare", "blog"}
+	seedWrites  = []string{"photoshare", "blog"}
+)
+
+// SeedProvider provisions n dev accounts u0000..u<n-1> (password
+// SeedPassword) with the scenario mix's prerequisites: the stock apps
+// enabled, write grants for the writing apps, a Public declassifier so
+// cross-user reads export, a profile and friend list, and two blog
+// posts (one private, one public). Content is a pure function of
+// (n, seed).
+func SeedProvider(p *core.Provider, n int, seed int64) error {
+	if n < 1 {
+		return fmt.Errorf("loadgen: seed population must be positive")
+	}
+	names := workload.Users(n)
+	friends := workload.FriendGraph(n, 4, 0.1, seed)
+
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers > n {
+		workers = n
+	}
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if err := seedUser(p, names, friends, i, seed); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+// seedUser provisions one account end to end. Per-user content derives
+// from seed+i, and each user's writes happen sequentially on one
+// goroutine, so parallel seeding stays deterministic per user (blog
+// seq numbers count only the author's own rows).
+func seedUser(p *core.Provider, names []string, friends [][]int, i int, seed int64) error {
+	name := names[i]
+	u, err := p.CreateUser(name, SeedPassword)
+	if err != nil {
+		return fmt.Errorf("loadgen: seeding %s: %w", name, err)
+	}
+	for _, app := range seedEnabled {
+		if err := p.EnableApp(name, app); err != nil {
+			return fmt.Errorf("loadgen: enabling %s for %s: %w", app, name, err)
+		}
+	}
+	for _, app := range seedWrites {
+		if err := p.GrantWrite(name, app); err != nil {
+			return fmt.Errorf("loadgen: write grant %s for %s: %w", app, name, err)
+		}
+	}
+	// The load mix reads Zipf-sampled OTHER users' profiles and blogs;
+	// without an export policy every cross-user response would be
+	// (correctly) refused at the gateway. Public is the honest fixture
+	// policy: the population consents to being read.
+	if err := p.AuthorizeDeclassifier(name, declass.Public{}); err != nil {
+		return fmt.Errorf("loadgen: declassifier for %s: %w", name, err)
+	}
+
+	label := difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}
+	cred := p.UserCred(name)
+	profile := fmt.Sprintf("name: %s\nbio: %s\n", name, workload.Words(12, seed+int64(i)))
+	if err := p.FS.Write(cred, "/home/"+name+"/social/profile", []byte(profile), label); err != nil {
+		return fmt.Errorf("loadgen: profile for %s: %w", name, err)
+	}
+	var fl strings.Builder
+	for _, f := range friends[i] {
+		fl.WriteString(names[f])
+		fl.WriteByte('\n')
+	}
+	if err := p.FS.Write(cred, "/home/"+name+"/social/friends", []byte(fl.String()), label); err != nil {
+		return fmt.Errorf("loadgen: friends for %s: %w", name, err)
+	}
+
+	for post := 0; post < 2; post++ {
+		inv, err := p.Invoke("blog", core.AppRequest{
+			Viewer: name, Owner: name, Path: "/post", Method: "POST",
+			Params: map[string]string{
+				"title":  fmt.Sprintf("%s post %d", name, post+1),
+				"body":   workload.Words(40, seed+int64(i)*2+int64(post)),
+				"public": map[bool]string{false: "0", true: "1"}[post == 1],
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("loadgen: blog post for %s: %w", name, err)
+		}
+		// Complete the invocation lifecycle (releases the app process);
+		// exporting to the author always succeeds.
+		if _, err := p.ExportCheck(inv, name); err != nil {
+			return fmt.Errorf("loadgen: blog post export for %s: %w", name, err)
+		}
+	}
+	return nil
+}

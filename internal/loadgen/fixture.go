@@ -1,0 +1,68 @@
+package loadgen
+
+// In-process load fixture: a fully wired provider + gateway serving on
+// a real local TCP listener, so loadgen tests and `w5bench -capacity`
+// (without -capacity-addr) exercise the exact socket path production
+// traffic takes — keep-alive parsing, per-connection session cache,
+// sanitizer — with no external daemon to spawn.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"w5/internal/apps"
+	"w5/internal/audit"
+	"w5/internal/core"
+	"w5/internal/gateway"
+)
+
+// Fixture is a live in-process gateway with a seeded population.
+type Fixture struct {
+	// Addr is the listener's host:port, ready for Config.Addr.
+	Addr     string
+	Provider *core.Provider
+	srv      *http.Server
+	ln       net.Listener
+}
+
+// StartFixture seeds a provider with users dev accounts (SeedProvider)
+// and serves its gateway on an ephemeral 127.0.0.1 port. Quotas are
+// disabled (an open-loop run exhausts cumulative per-app budgets by
+// design) and the audit log is a bounded ring (the run only reads the
+// recent tail via /audit). Callers must Close.
+func StartFixture(users int, seed int64) (*Fixture, error) {
+	p := core.NewProvider(core.Config{
+		Name:          "w5-load",
+		Enforce:       true,
+		DisableQuotas: true,
+		Audit:         audit.Options{SegmentSize: 1024, RingSegments: 64},
+	})
+	for _, app := range []core.App{
+		apps.Social{}, apps.PhotoShare{}, apps.Blog{},
+		apps.Recommend{}, apps.Dating{}, apps.Mashup{},
+	} {
+		p.InstallApp(app)
+	}
+	if err := SeedProvider(p, users, seed); err != nil {
+		return nil, err
+	}
+	gw := gateway.New(p, gateway.Options{
+		FilterHTML:           true,
+		SanitizeCacheEntries: 1024,
+		SanitizeCacheBytes:   16 << 20,
+		// No login limiter: the harness churns logins on purpose.
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: fixture listen: %w", err)
+	}
+	srv := &http.Server{Handler: gw, ConnContext: gw.ConnContext}
+	go srv.Serve(ln)
+	return &Fixture{Addr: ln.Addr().String(), Provider: p, srv: srv, ln: ln}, nil
+}
+
+// Close tears the fixture down.
+func (f *Fixture) Close() {
+	f.srv.Close()
+}

@@ -1,0 +1,150 @@
+package loadgen
+
+// Hist is an HDR-style log-linear latency histogram: 32 linear
+// sub-buckets per power of two, so every recorded value lands in a
+// bucket whose width is at most 1/32 (~3.1%) of its magnitude —
+// precise enough to gate percentiles against, across nine decades of
+// nanoseconds, in a fixed ~10 KiB array.
+//
+// The shape is chosen for the open-loop driver's concurrency model:
+// each connection records into its OWN Hist with no synchronization at
+// all (Record is a single add on a private array), and the driver
+// merges the per-connection histograms after the run with Merge —
+// bucket-aligned addition, exact, order-independent. Percentiles over
+// the merged histogram are therefore computed over every request from
+// every connection without a single contended cache line on the hot
+// path, which matters because the recording happens INSIDE the latency
+// pipeline being measured.
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+const (
+	// histSubBits: 2^5 = 32 sub-buckets per octave => ≤3.1% relative
+	// bucket width.
+	histSubBits = 5
+	histSub     = 1 << histSubBits
+	// Buckets cover [0, 2^39) ns ≈ 9 minutes; anything above clamps
+	// into the top bucket and reports the exact tracked max (and a
+	// latency that large failed its SLO long before precision
+	// mattered).
+	histMaxExp  = 40
+	histBuckets = (histMaxExp - histSubBits) * histSub // 1120
+)
+
+// Hist records non-negative int64 values (nanoseconds, by convention).
+// The zero value is ready to use. Not safe for concurrent use — that
+// is the point; see the package comment on per-connection recording.
+type Hist struct {
+	counts [histBuckets]uint64
+	total  uint64
+	max    int64
+}
+
+// bucketOf maps a value to its bucket index. Values < histSub map
+// linearly (bucket = value); larger values keep their top 5 mantissa
+// bits: index = u*32 + (v>>u) where u shifts v into [32, 64).
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSub {
+		return int(v)
+	}
+	u := bits.Len64(uint64(v)) - (histSubBits + 1)
+	idx := u*histSub + int(v>>uint(u))
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the inclusive upper bound of a bucket — the
+// value Percentile reports, so percentile estimates err pessimistically
+// (never under-reporting a latency) by at most the bucket width.
+func bucketUpper(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	u := idx/histSub - 1
+	base := int64(idx - u*histSub) // in [32, 64)
+	return (base+1)<<uint(u) - 1
+}
+
+// Record adds one value.
+func (h *Hist) Record(v int64) {
+	h.counts[bucketOf(v)]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// RecordDuration adds one duration in nanoseconds.
+func (h *Hist) RecordDuration(d time.Duration) { h.Record(int64(d)) }
+
+// Count returns the number of recorded values.
+func (h *Hist) Count() uint64 { return h.total }
+
+// Max returns the largest recorded value (exact, not bucketed).
+func (h *Hist) Max() int64 { return h.max }
+
+// Merge adds other's counts into h. Buckets are identical across all
+// Hists, so merging is exact and commutative.
+func (h *Hist) Merge(other *Hist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Percentile returns the value at quantile q in [0, 1] (0.99 = p99):
+// the upper bound of the bucket containing the q-th ordered sample,
+// except the exact maximum for the top occupied bucket. Returns 0 on
+// an empty histogram.
+func (h *Hist) Percentile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target sample, 1-based; q=0 -> first, q=1 -> last.
+	rank := uint64(q*float64(h.total-1)) + 1
+	var seen uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			upper := bucketUpper(i)
+			// The saturated top bucket and any overshoot past the true
+			// maximum both report the exact tracked max instead.
+			if i == histBuckets-1 || upper > h.max {
+				return h.max
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// String summarizes the distribution for human logs.
+func (h *Hist) String() string {
+	return fmt.Sprintf("n=%d p50=%v p99=%v p999=%v max=%v",
+		h.total,
+		time.Duration(h.Percentile(0.50)),
+		time.Duration(h.Percentile(0.99)),
+		time.Duration(h.Percentile(0.999)),
+		time.Duration(h.max))
+}

@@ -1,0 +1,95 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Bucket mapping must be monotone and self-consistent: every value
+// lands in a bucket whose upper bound is >= the value and within ~3.1%
+// of it (one sub-bucket width).
+func TestHistBucketBounds(t *testing.T) {
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 12345,
+		1e6, 19e6 + 7, 1e9, 5e10, 1<<39 - 2} {
+		idx := bucketOf(v)
+		upper := bucketUpper(idx)
+		if upper < v {
+			t.Errorf("v=%d: bucket upper %d below the value", v, upper)
+		}
+		if v >= histSub {
+			if rel := float64(upper-v) / float64(v); rel > 1.0/histSub {
+				t.Errorf("v=%d: bucket upper %d overshoots by %.3f (> %.3f)",
+					v, upper, rel, 1.0/histSub)
+			}
+		}
+		if idx > 0 && bucketUpper(idx-1) >= upper {
+			t.Errorf("bucket %d: upper bounds not strictly increasing", idx)
+		}
+	}
+}
+
+// Percentiles over a known sample set must match the exact order
+// statistics within one bucket width (3.1% relative), and never
+// under-report.
+func TestHistPercentileAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var h Hist
+	samples := make([]int64, 100_000)
+	for i := range samples {
+		// Log-uniform over ~[1µs, 1s]: exercises many octaves.
+		v := int64(math.Exp(r.Float64()*math.Log(1e9/1e3)) * 1e3)
+		samples[i] = v
+		h.Record(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.50, 0.90, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)-1))]
+		got := h.Percentile(q)
+		if got < exact {
+			t.Errorf("p%g: %d under-reports exact %d", q*100, got, exact)
+		}
+		if rel := float64(got-exact) / float64(exact); rel > 2.0/histSub {
+			t.Errorf("p%g: %d vs exact %d, rel error %.3f", q*100, got, exact, rel)
+		}
+	}
+	if h.Percentile(1) != h.Max() {
+		t.Errorf("p100 %d != max %d", h.Percentile(1), h.Max())
+	}
+}
+
+// Merging per-connection histograms must equal recording everything
+// into one — the contention-free merge contract.
+func TestHistMergeEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	var whole Hist
+	parts := make([]Hist, 8)
+	for i := 0; i < 50_000; i++ {
+		v := int64(r.Intn(1e8))
+		whole.Record(v)
+		parts[i%len(parts)].Record(v)
+	}
+	var merged Hist
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged != whole {
+		t.Fatal("merged per-connection histograms differ from single-histogram recording")
+	}
+}
+
+func TestHistEmptyAndClamp(t *testing.T) {
+	var h Hist
+	if h.Percentile(0.99) != 0 {
+		t.Error("empty histogram should report 0")
+	}
+	h.Record(-5) // clamps to 0, never panics
+	h.Record(1 << 50)
+	if h.Count() != 2 {
+		t.Errorf("count %d after two records", h.Count())
+	}
+	if h.Percentile(1) != 1<<50 {
+		t.Errorf("max-tracking lost the clamped value: %d", h.Percentile(1))
+	}
+}

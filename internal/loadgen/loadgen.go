@@ -1,0 +1,420 @@
+// Package loadgen is the capacity harness: an open-loop,
+// multi-connection load driver that replays a deterministic mixed
+// scenario trace (internal/workload) against a live W5 gateway over
+// raw keep-alive sockets (internal/benchutil's GatewayConn), recording
+// coordinated-omission-corrected latency histograms and error rates.
+//
+// Open-loop means the request schedule is fixed BEFORE the run: with a
+// target rate R, request k is due at T0 + k/R whether or not the
+// server has answered request k-1. A closed-loop driver (issue, wait,
+// issue) would slow its own arrival rate exactly when the server
+// struggles — the coordinated-omission trap that makes saturated
+// systems look healthy. Here a stalled server faces a growing backlog
+// of due requests, and every latency is measured from the request's
+// INTENDED send time, so queueing delay the schedule suffered is in
+// the histogram where it belongs. See README.md for the full argument.
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"w5/internal/benchutil"
+	"w5/internal/gateway"
+	"w5/internal/workload"
+)
+
+// SeedPassword is the password every dev-seeded account gets (this is
+// a load fixture, not a threat model).
+const SeedPassword = "pw"
+
+// SLO is the service-level objective a rate must meet to count as
+// sustained: error rate at or under MaxErrorRate AND p99 latency at or
+// under P99.
+type SLO struct {
+	MaxErrorRate float64
+	P99          time.Duration
+}
+
+// DefaultSLO: at most 1% errors, p99 under 250 ms. Generous on
+// purpose — shared CI runners are the floor this has to hold on; the
+// committed baseline tightens the real contract.
+func DefaultSLO() SLO {
+	return SLO{MaxErrorRate: 0.01, P99: 250 * time.Millisecond}
+}
+
+// Config parameterizes one fixed-rate open-loop run.
+type Config struct {
+	// Addr is the gateway's host:port. The daemon there must have been
+	// seeded with at least Users dev accounts (w5d -dev-seed N, or
+	// StartFixture) and must not rate-limit logins.
+	Addr string
+	// Users is the seeded population size the trace draws from.
+	Users int
+	// Conns is the number of concurrent keep-alive connections; ops are
+	// dealt to them round-robin off the one global schedule.
+	Conns int
+	// RPS is the open-loop arrival rate; Duration the schedule length.
+	RPS      float64
+	Duration time.Duration
+	// Seed pins the whole trace; same seed, same requests.
+	Seed int64
+	// Mix, ItemsPerUser, ZipfS parameterize the trace
+	// (workload.TraceConfig); zero values take workload's defaults.
+	Mix          []workload.MixEntry
+	ItemsPerUser int
+	ZipfS        float64
+	// SLO judges the run; zero value means DefaultSLO.
+	SLO SLO
+}
+
+// ScenarioStats counts one scenario's outcomes within a run.
+type ScenarioStats struct {
+	Sent   int
+	Errors int
+}
+
+// Result is one fixed-rate run's measurement.
+type Result struct {
+	OfferedRPS  float64
+	AchievedRPS float64
+	Ops         int
+	Errors      int
+	ErrorRate   float64
+	Elapsed     time.Duration
+	Hist        Hist
+	P50         time.Duration
+	P99         time.Duration
+	P999        time.Duration
+	Scenarios   map[string]*ScenarioStats
+	// SLOPass reports whether this run met cfg.SLO while keeping up
+	// with the offered schedule (achieved >= 90% of offered).
+	SLOPass bool
+}
+
+// Run executes one fixed-rate open-loop window and reports it.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("loadgen: Addr required")
+	}
+	if cfg.Users < 1 {
+		cfg.Users = 1
+	}
+	if cfg.Conns < 1 {
+		cfg.Conns = 1
+	}
+	if cfg.RPS <= 0 {
+		return nil, fmt.Errorf("loadgen: RPS must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: Duration must be positive")
+	}
+	if cfg.SLO == (SLO{}) {
+		cfg.SLO = DefaultSLO()
+	}
+
+	users := workload.Users(cfg.Users)
+	cookies, err := loginAll(cfg.Addr, users)
+	if err != nil {
+		return nil, err
+	}
+
+	n := int(cfg.RPS * cfg.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	ops := workload.Trace(workload.TraceConfig{
+		Seed: cfg.Seed, Users: cfg.Users, ItemsPerUser: cfg.ItemsPerUser,
+		ZipfS: cfg.ZipfS, Mix: cfg.Mix,
+	}, n)
+
+	workers := make([]*worker, cfg.Conns)
+	for i := range workers {
+		w, err := newWorker(cfg.Addr, users, cookies)
+		if err != nil {
+			for _, prev := range workers[:i] {
+				prev.close()
+			}
+			return nil, fmt.Errorf("loadgen: dialing conn %d: %w", i, err)
+		}
+		workers[i] = w
+	}
+	defer func() {
+		for _, w := range workers {
+			w.close()
+		}
+	}()
+
+	// The schedule: op k is due at t0 + k*gap, regardless of anything
+	// the server does. A small lead lets every worker reach its first
+	// sleep before the clock starts.
+	gap := time.Duration(float64(time.Second) / cfg.RPS)
+	t0 := time.Now().Add(10 * time.Millisecond)
+	var wg sync.WaitGroup
+	for c, w := range workers {
+		wg.Add(1)
+		go func(c int, w *worker) {
+			defer wg.Done()
+			for k := c; k < n; k += cfg.Conns {
+				w.issue(ops[k], t0.Add(time.Duration(k)*gap))
+			}
+			w.done = time.Now()
+		}(c, w)
+	}
+	wg.Wait()
+
+	res := &Result{
+		OfferedRPS: cfg.RPS,
+		Ops:        n,
+		Scenarios:  map[string]*ScenarioStats{},
+	}
+	end := t0
+	for _, w := range workers {
+		res.Hist.Merge(&w.hist)
+		res.Errors += w.errors
+		for s, st := range w.scenarios {
+			agg := res.Scenarios[s]
+			if agg == nil {
+				agg = &ScenarioStats{}
+				res.Scenarios[s] = agg
+			}
+			agg.Sent += st.Sent
+			agg.Errors += st.Errors
+		}
+		if w.done.After(end) {
+			end = w.done
+		}
+	}
+	res.Elapsed = end.Sub(t0)
+	if res.Elapsed > 0 {
+		res.AchievedRPS = float64(n) / res.Elapsed.Seconds()
+	}
+	res.ErrorRate = float64(res.Errors) / float64(n)
+	res.P50 = time.Duration(res.Hist.Percentile(0.50))
+	res.P99 = time.Duration(res.Hist.Percentile(0.99))
+	res.P999 = time.Duration(res.Hist.Percentile(0.999))
+	res.SLOPass = res.ErrorRate <= cfg.SLO.MaxErrorRate &&
+		res.P99 <= cfg.SLO.P99 &&
+		res.AchievedRPS >= 0.9*cfg.RPS
+	return res, nil
+}
+
+// loginAll establishes one session per seeded user and returns the
+// cookie values, indexed like users. Logins go through net/http — this
+// is setup, not measurement — with modest parallelism because each one
+// costs the server a ~0.5 ms KDF.
+func loginAll(addr string, users []string) ([]string, error) {
+	cookies := make([]string, len(users))
+	sem := make(chan struct{}, 8)
+	errs := make(chan error, len(users))
+	var wg sync.WaitGroup
+	for i, u := range users {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			resp, err := http.PostForm("http://"+addr+"/login",
+				url.Values{"user": {u}, "password": {SeedPassword}})
+			if err != nil {
+				errs <- fmt.Errorf("loadgen: login %s: %w", u, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("loadgen: login %s: status %d (is the daemon seeded with -dev-seed >= %d and -login-rate 0?)",
+					u, resp.StatusCode, len(users))
+				return
+			}
+			for _, c := range resp.Cookies() {
+				if c.Name == gateway.SessionCookie {
+					cookies[i] = c.Value
+				}
+			}
+			if cookies[i] == "" {
+				errs <- fmt.Errorf("loadgen: login %s: no session cookie", u)
+			}
+		}(i, u)
+	}
+	wg.Wait()
+	close(errs)
+	return cookies, <-errs
+}
+
+// worker is one keep-alive connection plus its private, unsynchronized
+// measurement state.
+type worker struct {
+	addr      string
+	conn      *benchutil.GatewayConn
+	b         reqBuilder
+	hist      Hist
+	errors    int
+	scenarios map[string]*ScenarioStats
+	done      time.Time
+}
+
+func newWorker(addr string, users, cookies []string) (*worker, error) {
+	conn, err := benchutil.DialAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	w := &worker{
+		addr:      addr,
+		conn:      conn,
+		b:         reqBuilder{host: addr, users: users, cookies: cookies},
+		scenarios: map[string]*ScenarioStats{},
+	}
+	// Warm the connection outside the measured schedule.
+	if _, err := conn.Exchange(w.b.whoami()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *worker) close() {
+	if w.conn != nil {
+		w.conn.Close()
+	}
+}
+
+// issue sends one op at (or as soon as possible after) its scheduled
+// time and records the latency from the SCHEDULED time — the
+// coordinated-omission correction: a request the connection could not
+// even start on time has already waited, and that wait is real
+// user-visible latency.
+func (w *worker) issue(op workload.Op, due time.Time) {
+	if d := time.Until(due); d > 0 {
+		time.Sleep(d)
+	}
+	req := w.b.build(op)
+	ok := false
+	if w.conn != nil {
+		status, err := w.conn.Exchange(req)
+		if err != nil {
+			// The connection is poisoned (mid-response failure, reset);
+			// drop it and redial for the next op.
+			w.conn.Close()
+			w.conn = nil
+		} else {
+			ok = status == http.StatusOK
+		}
+	}
+	if w.conn == nil {
+		if conn, err := benchutil.DialAddr(w.addr); err == nil {
+			w.conn = conn
+		}
+	}
+	w.hist.RecordDuration(time.Since(due))
+	st := w.scenarios[op.Scenario]
+	if st == nil {
+		st = &ScenarioStats{}
+		w.scenarios[op.Scenario] = st
+	}
+	st.Sent++
+	if !ok {
+		w.errors++
+		st.Errors++
+	}
+}
+
+// reqBuilder renders ops into raw HTTP/1.1 request bytes, reusing one
+// buffer per connection. The rendering is a pure function of the op
+// and the (fixed) session table, so the byte stream each connection
+// writes is as deterministic as the trace itself.
+type reqBuilder struct {
+	host    string
+	users   []string
+	cookies []string
+	buf     []byte
+}
+
+// photoPayload is the base64 body every photo-write carries: content
+// is constant by design (the trace pins WHICH photo is written; the
+// bytes themselves are not what the harness measures).
+const photoPayload = "bG9hZGdlbi1waG90by1wYXlsb2Fk" // "loadgen-photo-payload"
+
+func (b *reqBuilder) whoami() []byte {
+	b.buf = b.buf[:0]
+	b.buf = append(b.buf, "GET /whoami HTTP/1.1\r\nHost: "...)
+	b.buf = append(b.buf, b.host...)
+	b.buf = append(b.buf, "\r\n\r\n"...)
+	return b.buf
+}
+
+// build renders one op. Scenario shapes mirror the routes the stock
+// apps serve (see workload scenario constants).
+func (b *reqBuilder) build(op workload.Op) []byte {
+	viewer := b.users[op.Viewer]
+	owner := b.users[op.Owner]
+	b.buf = b.buf[:0]
+	switch op.Scenario {
+	case workload.ScenarioLogin:
+		body := len("user=") + len(viewer) + len("&password=") + len(SeedPassword)
+		b.buf = append(b.buf, "POST /login HTTP/1.1\r\nHost: "...)
+		b.buf = append(b.buf, b.host...)
+		b.buf = append(b.buf, "\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: "...)
+		b.buf = strconv.AppendInt(b.buf, int64(body), 10)
+		b.buf = append(b.buf, "\r\n\r\nuser="...)
+		b.buf = append(b.buf, viewer...)
+		b.buf = append(b.buf, "&password="...)
+		b.buf = append(b.buf, SeedPassword...)
+
+	case workload.ScenarioSocialRead:
+		b.buf = append(b.buf, "GET /app/social/profile?owner="...)
+		b.buf = append(b.buf, owner...)
+		b.appendCommon(op.Viewer)
+
+	case workload.ScenarioTableQuery:
+		b.buf = append(b.buf, "GET /app/blog/?owner="...)
+		b.buf = append(b.buf, owner...)
+		b.appendCommon(op.Viewer)
+
+	case workload.ScenarioAuditPull:
+		b.buf = append(b.buf, "GET /audit?limit=25"...)
+		b.appendCommon(op.Viewer)
+
+	case workload.ScenarioPhotoWrite:
+		name := "p" + strconv.Itoa(op.Item)
+		body := len("name=") + len(name) + len("&data=") + len(photoPayload)
+		b.buf = append(b.buf, "POST /app/photoshare/upload?owner="...)
+		b.buf = append(b.buf, viewer...) // writes target the viewer's own album
+		b.buf = append(b.buf, " HTTP/1.1\r\nHost: "...)
+		b.buf = append(b.buf, b.host...)
+		b.buf = append(b.buf, "\r\nCookie: "...)
+		b.buf = append(b.buf, gateway.SessionCookie...)
+		b.buf = append(b.buf, '=')
+		b.buf = append(b.buf, b.cookies[op.Viewer]...)
+		b.buf = append(b.buf, "\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: "...)
+		b.buf = strconv.AppendInt(b.buf, int64(body), 10)
+		b.buf = append(b.buf, "\r\n\r\nname="...)
+		b.buf = append(b.buf, name...)
+		b.buf = append(b.buf, "&data="...)
+		b.buf = append(b.buf, photoPayload...)
+
+	default:
+		// Unknown scenarios degrade to a cheap authenticated no-op so a
+		// mix extension cannot crash the driver mid-run.
+		b.buf = append(b.buf, "GET /whoami"...)
+		b.appendCommon(op.Viewer)
+	}
+	return b.buf
+}
+
+// appendCommon finishes a body-less GET: HTTP version, Host, session
+// cookie, terminator.
+func (b *reqBuilder) appendCommon(viewer int) {
+	b.buf = append(b.buf, " HTTP/1.1\r\nHost: "...)
+	b.buf = append(b.buf, b.host...)
+	b.buf = append(b.buf, "\r\nCookie: "...)
+	b.buf = append(b.buf, gateway.SessionCookie...)
+	b.buf = append(b.buf, '=')
+	b.buf = append(b.buf, b.cookies[viewer]...)
+	b.buf = append(b.buf, "\r\n\r\n"...)
+}

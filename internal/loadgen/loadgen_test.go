@@ -1,0 +1,128 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"w5/internal/workload"
+)
+
+// End to end: seed a real in-process gateway, drive a short open-loop
+// mixed window over multiple raw connections, and require every
+// scenario to have run essentially error-free.
+func TestRunAgainstFixture(t *testing.T) {
+	fx, err := StartFixture(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fx.Close()
+
+	res, err := Run(Config{
+		Addr: fx.Addr, Users: 16, Conns: 4,
+		RPS: 200, Duration: 1500 * time.Millisecond, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 300 {
+		t.Fatalf("expected 300 scheduled ops, got %d", res.Ops)
+	}
+	if res.Hist.Count() != uint64(res.Ops) {
+		t.Errorf("histogram holds %d samples for %d ops", res.Hist.Count(), res.Ops)
+	}
+	// The DIFC path must answer 200 for every scenario in the mix:
+	// cross-user reads export via the seeded Public declassifier, writes
+	// ride the write grants. Anything else means the fixture and the
+	// driver disagree about the platform's contract.
+	if res.Errors != 0 {
+		t.Errorf("%d/%d ops failed (%.1f%%): %+v",
+			res.Errors, res.Ops, res.ErrorRate*100, res.Scenarios)
+	}
+	for _, s := range []string{
+		workload.ScenarioLogin, workload.ScenarioSocialRead,
+		workload.ScenarioPhotoWrite, workload.ScenarioTableQuery,
+		workload.ScenarioAuditPull,
+	} {
+		if res.Scenarios[s] == nil || res.Scenarios[s].Sent == 0 {
+			t.Errorf("scenario %s never ran in a 300-op window", s)
+		}
+	}
+	if res.AchievedRPS <= 0 || res.P99 <= 0 {
+		t.Errorf("degenerate measurement: achieved=%.1f p99=%v", res.AchievedRPS, res.P99)
+	}
+}
+
+// Two same-seed configurations must render byte-identical request
+// streams — the acceptance criterion that makes capacity runs
+// comparable. The builder is exercised exactly as Run uses it: one
+// trace, ops dealt round-robin to per-connection builders.
+func TestRequestTraceDeterministic(t *testing.T) {
+	users := workload.Users(16)
+	cookies := make([]string, len(users))
+	for i := range cookies {
+		cookies[i] = "fixed-cookie-for-determinism-test"
+	}
+	render := func(seed int64) [][]byte {
+		ops := workload.Trace(workload.TraceConfig{Seed: seed, Users: 16}, 400)
+		conns := make([]reqBuilder, 4)
+		for i := range conns {
+			conns[i] = reqBuilder{host: "gw:80", users: users, cookies: cookies}
+		}
+		out := make([][]byte, len(ops))
+		for k, op := range ops {
+			out[k] = append([]byte(nil), conns[k%len(conns)].build(op)...)
+		}
+		return out
+	}
+	a, b := render(42), render(42)
+	for k := range a {
+		if !bytes.Equal(a[k], b[k]) {
+			t.Fatalf("op %d differs between same-seed renders:\n%q\n%q", k, a[k], b[k])
+		}
+	}
+	c := render(43)
+	same := 0
+	for k := range a {
+		if bytes.Equal(a[k], c[k]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds rendered identical request streams")
+	}
+}
+
+// The capacity schema carries what the gate needs: both entries
+// present, tolerance multipliers set, and the fixed entry latency-gated
+// while the saturation entry is not.
+func TestMeasureCapacitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-window load run")
+	}
+	rep, err := MeasureCapacity(CapacityOptions{
+		Users: 16, Conns: 2, Seed: 1,
+		FixedRPS: 100, Ladder: []float64{100, 200},
+		Window: 500 * time.Millisecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Capacity) != 2 {
+		t.Fatalf("expected 2 capacity entries, got %d", len(rep.Capacity))
+	}
+	fixed, sat := rep.Capacity[0], rep.Capacity[1]
+	if fixed.Name != "capacity/mixed/rps=100" || sat.Name != "capacity/mixed/max-sustainable" {
+		t.Fatalf("unexpected entry names: %q, %q", fixed.Name, sat.Name)
+	}
+	if fixed.NsTolMult == 0 || sat.NsTolMult != 0 {
+		t.Errorf("latency gating direction wrong: fixed %v, saturation %v",
+			fixed.NsTolMult, sat.NsTolMult)
+	}
+	if fixed.AchievedRPS <= 0 || fixed.ErrorRate > 0.01 {
+		t.Errorf("fixed window unhealthy: %+v", fixed)
+	}
+	if sat.AchievedRPS <= 0 {
+		t.Errorf("no sustainable rung found on loopback: %+v", sat)
+	}
+}

@@ -1,0 +1,179 @@
+package workload
+
+// Capacity-harness workload generation: a Zipf popularity sampler and
+// a scenario mixer that together turn one integer seed into one exact
+// request trace. The split matters for the harness's reproducibility
+// contract (DESIGN substitution S4, extended to load testing): WHAT is
+// requested is decided here, deterministically, before any connection
+// is dialed; WHEN it is sent is the open-loop scheduler's business
+// (internal/loadgen). Two runs with the same TraceConfig therefore
+// replay byte-identical request sequences no matter how the server or
+// the network behaved — the precondition for comparing latency
+// distributions across builds at all.
+//
+// Popularity is Zipf-distributed over both users and per-user content,
+// the power-law structure Web measurement keeps finding (PAPERS.md,
+// "The diameter of the world wide web"): a few hot profiles absorb
+// most reads while the long tail stays cold, which is exactly the
+// shape that makes the gateway's caches and the store's shards earn
+// (or fail to earn) their keep under load.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Zipf draws ranks in [0, n) with P(k) proportional to 1/(k+1)^s, most
+// popular rank first. It wraps math/rand's rejection-inversion sampler
+// with an explicit seed so a given (seed, s, n) always yields the same
+// sequence. Not safe for concurrent use.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a deterministic sampler over [0, n) with skew s > 1
+// (s near 1 = heavy tail; larger = steeper head).
+func NewZipf(seed int64, s float64, n int) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	return &Zipf{z: rand.NewZipf(r, s, 1.0, uint64(n-1))}
+}
+
+// Next returns the next sampled rank.
+func (z *Zipf) Next() int { return int(z.z.Uint64()) }
+
+// Scenario names understood by the capacity harness. The mixer treats
+// them as opaque strings; internal/loadgen maps each to a concrete
+// HTTP request.
+const (
+	ScenarioLogin      = "login"       // POST /login for the viewer (session churn, KDF-bound)
+	ScenarioSocialRead = "social-read" // GET /app/social/profile?owner=<zipf user>
+	ScenarioPhotoWrite = "photo-write" // POST /app/photoshare/upload to the viewer's own album
+	ScenarioTableQuery = "table-query" // GET /app/blog/?owner=<zipf user> (labeled tuple-store select)
+	ScenarioAuditPull  = "audit-pull"  // GET /audit?limit=N (the viewer's slice of the trail)
+)
+
+// MixEntry weights one scenario within a mix. Weights are relative;
+// they need not sum to 1.
+type MixEntry struct {
+	Scenario string
+	Weight   float64
+}
+
+// DefaultMix is the harness's stock traffic blend: read-heavy social
+// traffic with a write minority and operational pulls — roughly the §2
+// shared-platform shape (browsing dominates, uploads trickle, a few
+// sessions churn, users occasionally inspect their trail).
+func DefaultMix() []MixEntry {
+	return []MixEntry{
+		{ScenarioSocialRead, 0.55},
+		{ScenarioTableQuery, 0.25},
+		{ScenarioPhotoWrite, 0.10},
+		{ScenarioLogin, 0.05},
+		{ScenarioAuditPull, 0.05},
+	}
+}
+
+// Op is one generated request: Scenario decides the HTTP shape, Viewer
+// is the user index issuing it (their session cookie), Owner the user
+// index whose data is addressed, and Item a per-user content index
+// (photo name, post number). Writes always target the viewer's own
+// data — the fixture grants apps write access only there.
+type Op struct {
+	Scenario string
+	Viewer   int
+	Owner    int
+	Item     int
+}
+
+// TraceConfig parameterizes a trace. The zero value is not usable;
+// fill Users and leave the rest to the defaults applied by Trace.
+type TraceConfig struct {
+	Seed         int64
+	Users        int        // seeded population size (user i = Users()[i])
+	ItemsPerUser int        // content namespace per user (default 16)
+	ZipfS        float64    // popularity skew, > 1 (default 1.2)
+	Mix          []MixEntry // default DefaultMix()
+}
+
+// Trace generates n ops. Everything — scenario choice, viewer, owner,
+// item — is drawn from one seeded stream, so the whole trace is a pure
+// function of (cfg, n).
+func Trace(cfg TraceConfig, n int) []Op {
+	if cfg.Users < 1 {
+		cfg.Users = 1
+	}
+	if cfg.ItemsPerUser < 1 {
+		cfg.ItemsPerUser = 16
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = DefaultMix()
+	}
+	var total float64
+	for _, m := range mix {
+		if m.Weight < 0 {
+			panic(fmt.Sprintf("workload: negative weight for %q", m.Scenario))
+		}
+		total += m.Weight
+	}
+	if total <= 0 {
+		panic("workload: mix has no positive weight")
+	}
+
+	// All randomness flows through r: the scenario picker and all three
+	// Zipf samplers share the one generator, so inserting or removing a
+	// draw anywhere changes the trace — there is exactly one stream to
+	// be deterministic about.
+	r := rand.New(rand.NewSource(cfg.Seed))
+	viewers := rand.NewZipf(r, cfg.ZipfS, 1.0, uint64(cfg.Users-1))
+	owners := rand.NewZipf(r, cfg.ZipfS, 1.0, uint64(cfg.Users-1))
+	items := rand.NewZipf(r, cfg.ZipfS, 1.0, uint64(cfg.ItemsPerUser-1))
+
+	ops := make([]Op, n)
+	for i := range ops {
+		pick := r.Float64() * total
+		var op Op
+		for j, m := range mix {
+			if pick -= m.Weight; pick < 0 || j == len(mix)-1 {
+				op.Scenario = m.Scenario
+				break
+			}
+		}
+		op.Viewer = int(viewers.Uint64())
+		switch op.Scenario {
+		case ScenarioSocialRead, ScenarioTableQuery:
+			op.Owner = int(owners.Uint64())
+		default:
+			// Writes, logins, and audit pulls address the viewer's own
+			// account; burn the owner draw anyway so every op consumes
+			// the same number of stream values and the trace stays
+			// stable when only weights change.
+			owners.Uint64()
+			op.Owner = op.Viewer
+		}
+		op.Item = int(items.Uint64())
+		ops[i] = op
+	}
+	return ops
+}
+
+// RankFrequencies returns the draw counts of n samples from sampler,
+// sorted descending — the empirical rank-frequency curve the shape
+// tests hold against the Zipf ideal.
+func RankFrequencies(samples []int, n int) []int {
+	counts := make([]int, n)
+	for _, s := range samples {
+		if s >= 0 && s < n {
+			counts[s]++
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	return counts
+}

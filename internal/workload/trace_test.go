@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// Same seed, same config => byte-identical trace. This is the
+// capacity harness's reproducibility contract: a latency comparison
+// between two builds is only meaningful if both replayed the same
+// requests.
+func TestTraceDeterministic(t *testing.T) {
+	cfg := TraceConfig{Seed: 42, Users: 100, ItemsPerUser: 16}
+	a := Trace(cfg, 10_000)
+	b := Trace(cfg, 10_000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := Trace(TraceConfig{Seed: 43, Users: 100, ItemsPerUser: 16}, 10_000)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces (seed ignored?)")
+	}
+}
+
+// A shorter trace must be a prefix of a longer one with the same
+// config: generation draws per-op, never ahead, so warm-up ops in a
+// long run match a short run exactly.
+func TestTracePrefixStable(t *testing.T) {
+	cfg := TraceConfig{Seed: 7, Users: 64}
+	long := Trace(cfg, 5_000)
+	short := Trace(cfg, 1_000)
+	if !reflect.DeepEqual(long[:1_000], short) {
+		t.Fatal("short trace is not a prefix of the long trace")
+	}
+}
+
+// Mix-ratio accuracy over 10k draws: each scenario's empirical share
+// must sit within 2 points (absolute) of its configured weight. For
+// the smallest weight (0.05) the binomial standard deviation at n=10k
+// is ~0.2 points, so 2 points is ~9 sigma — a real mixer bug, not
+// noise, is what fails this.
+func TestTraceMixRatios(t *testing.T) {
+	const n = 10_000
+	mix := DefaultMix()
+	ops := Trace(TraceConfig{Seed: 1, Users: 200, Mix: mix}, n)
+	counts := map[string]int{}
+	for _, op := range ops {
+		counts[op.Scenario]++
+	}
+	var total float64
+	for _, m := range mix {
+		total += m.Weight
+	}
+	for _, m := range mix {
+		want := m.Weight / total
+		got := float64(counts[m.Scenario]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%s: share %.3f, want %.3f ± 0.02", m.Scenario, got, want)
+		}
+	}
+}
+
+// Empirical rank-frequency shape: draws must be head-heavy like a
+// power law — a strictly thinning curve with the configured skew, not
+// uniform noise. Tolerances are loose (this pins the SHAPE, not the
+// constant): the most popular rank must beat rank 10 by >2x, the top
+// decile must absorb 35–85% of draws, and the curve must be
+// monotone non-increasing by construction of RankFrequencies.
+func TestZipfRankFrequencyShape(t *testing.T) {
+	const users, n = 100, 50_000
+	z := NewZipf(99, 1.2, users)
+	samples := make([]int, n)
+	for i := range samples {
+		samples[i] = z.Next()
+		if samples[i] < 0 || samples[i] >= users {
+			t.Fatalf("sample %d out of range [0,%d)", samples[i], users)
+		}
+	}
+	freqs := RankFrequencies(samples, users)
+	if freqs[0] < 2*freqs[9] {
+		t.Errorf("head not heavy enough: rank0=%d rank9=%d", freqs[0], freqs[9])
+	}
+	top10 := 0
+	for _, f := range freqs[:10] {
+		top10 += f
+	}
+	share := float64(top10) / n
+	if share < 0.35 || share > 0.85 {
+		t.Errorf("top-decile share %.2f outside [0.35, 0.85]", share)
+	}
+	// Deterministic too: the sampler is the trace's substrate.
+	z2 := NewZipf(99, 1.2, users)
+	for i := 0; i < 1_000; i++ {
+		if got, want := z2.Next(), samples[i]; got != want {
+			t.Fatalf("sampler not deterministic at draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+// Writes, logins, and audit pulls must target the viewer's own
+// account (the fixture only grants write access there), and reads must
+// range over the whole population.
+func TestTraceOwnership(t *testing.T) {
+	ops := Trace(TraceConfig{Seed: 3, Users: 50}, 10_000)
+	crossRead := false
+	for _, op := range ops {
+		switch op.Scenario {
+		case ScenarioPhotoWrite, ScenarioLogin, ScenarioAuditPull:
+			if op.Owner != op.Viewer {
+				t.Fatalf("%s op addresses owner %d from viewer %d", op.Scenario, op.Owner, op.Viewer)
+			}
+		default:
+			if op.Owner != op.Viewer {
+				crossRead = true
+			}
+		}
+	}
+	if !crossRead {
+		t.Fatal("no cross-user reads in 10k ops: owner sampling is broken")
+	}
+}
