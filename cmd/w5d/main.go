@@ -177,6 +177,12 @@ func main() {
 	} {
 		p.InstallApp(app)
 	}
+	// WVM twins: the stock apps reassembled from embedded w5asm and run
+	// on the metered VM, published through the registry like any upload.
+	if err := apps.InstallWVMTwins(p); err != nil {
+		alog.Close()
+		log.Fatal(err)
+	}
 	if *devSeed > 0 {
 		// Seed 1 always: the point is a population w5load's default trace
 		// can target bit-for-bit across daemon restarts.

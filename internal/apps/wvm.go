@@ -1,0 +1,83 @@
+package apps
+
+import (
+	_ "embed"
+	"fmt"
+
+	"w5/internal/core"
+	"w5/internal/registry"
+	"w5/internal/wvm"
+)
+
+// The WVM twins: the example applications reimplemented as untrusted
+// bytecode modules, assembled from the embedded W5 Assembly listings
+// and published through the registry's open-source path (the §2
+// guarantee that users run exactly the listing they audited). Each twin
+// is route-for-route, byte-for-byte equivalent to its native
+// counterpart on the ported routes; internal/apps/wvmtwin_test.go
+// enforces that differentially.
+
+//go:embed wvmsrc/social.w5asm
+var socialWVMSrc string
+
+//go:embed wvmsrc/blog.w5asm
+var blogWVMSrc string
+
+//go:embed wvmsrc/photoshare.w5asm
+var photoshareWVMSrc string
+
+// WVMTwinMemSize is the guest memory each twin runs with: the buffer
+// map in the listings ends at 0x8000.
+const WVMTwinMemSize = 32 << 10
+
+// WVMTwin pairs a native app name with the W5 Assembly source of its
+// bytecode twin.
+type WVMTwin struct {
+	Name   string // native app name ("social", "blog", "photoshare")
+	Source string
+}
+
+// WVMTwins lists the bytecode twins in install order.
+func WVMTwins() []WVMTwin {
+	return []WVMTwin{
+		{Name: "social", Source: socialWVMSrc},
+		{Name: "blog", Source: blogWVMSrc},
+		{Name: "photoshare", Source: photoshareWVMSrc},
+	}
+}
+
+// AssembleWVMTwin assembles one twin's listing against the app ABI.
+func AssembleWVMTwin(t WVMTwin) (*wvm.Program, error) {
+	prog, err := wvm.Assemble(t.Source, core.AppSyscallNames)
+	if err != nil {
+		return nil, fmt.Errorf("twin %s: %w", t.Name, err)
+	}
+	return prog, nil
+}
+
+// InstallWVMTwins publishes each twin to the provider's registry as an
+// open-source module named "<native>-wvm" (version 1.0) and installs
+// it as a runnable application, so e.g. /app/social-wvm/profile serves
+// the bytecode build of the social app. Publishing re-assembles the
+// listing and verifies it reproduces the uploaded bytecode.
+func InstallWVMTwins(p *core.Provider) error {
+	for _, t := range WVMTwins() {
+		prog, err := AssembleWVMTwin(t)
+		if err != nil {
+			return err
+		}
+		module := t.Name + "-wvm"
+		if _, err := p.Registry.Put(registry.Upload{
+			Module: module, Version: "1.0", Developer: "twin-dev",
+			Kind: registry.KindApp, Program: prog,
+			Source: t.Source, SysNames: core.AppSyscallNames,
+			Summary: "bytecode twin of the native " + t.Name + " app",
+		}); err != nil {
+			return fmt.Errorf("twin %s: publish: %w", t.Name, err)
+		}
+		if err := p.InstallWVMAppLimits(module, "1.0", 0, WVMTwinMemSize); err != nil {
+			return fmt.Errorf("twin %s: install: %w", t.Name, err)
+		}
+	}
+	return nil
+}

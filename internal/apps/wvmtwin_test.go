@@ -1,0 +1,308 @@
+package apps
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"w5/internal/core"
+	"w5/internal/declass"
+	"w5/internal/quota"
+)
+
+// The differential harness: every request is sent to two providers with
+// identical state — one running the native Go apps, one running the WVM
+// twins installed under the same names — and the two must agree on the
+// invocation error, status, content type, response bytes, export
+// verdict, the audit events appended, and (in the store-visible
+// dimensions) the quota bill. This is what makes the twins trustworthy
+// substitutes on the request path.
+
+var twinAppNames = []string{"social", "blog", "photoshare"}
+
+// newTwinPair builds the (native, wvm) provider pair. CPU and Memory
+// limits are raised far above the corpus's needs because the WVM
+// meters both per request while native apps do not — that asymmetry is
+// inherent (and asserted separately); the store-visible dimensions
+// (Disk, Query, Network) must match exactly.
+func newTwinPair(t *testing.T) (*core.Provider, *core.Provider) {
+	t.Helper()
+	limits := quota.DefaultAppLimits()
+	limits.CPU = 1 << 40
+	limits.Memory = 1 << 40
+	users := []string{"alice", "bob", "carol", "dana"}
+
+	mk := func(native bool) *core.Provider {
+		p := core.NewProvider(core.Config{Name: "twin", Enforce: true, AppLimits: limits})
+		if native {
+			for _, a := range []core.App{Social{}, Blog{}, PhotoShare{}} {
+				p.InstallApp(a)
+			}
+		} else {
+			for _, tw := range WVMTwins() {
+				prog, err := AssembleWVMTwin(tw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.InstallApp(&core.WVMApp{AppName: tw.Name, Prog: prog, MemSize: WVMTwinMemSize})
+			}
+		}
+		for _, u := range users {
+			if _, err := p.CreateUser(u, "pw"); err != nil {
+				t.Fatal(err)
+			}
+			for _, a := range twinAppNames {
+				p.EnableApp(u, a)
+				// dana never grants writes: her requests exercise the
+				// denied paths.
+				if u != "dana" {
+					p.GrantWrite(u, a)
+				}
+			}
+		}
+		// dana also has no declassifier, so strangers reading her data
+		// hit export denial; everyone else publishes via Public.
+		for _, u := range []string{"alice", "bob", "carol"} {
+			if err := p.AuthorizeDeclassifier(u, declass.Public{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return p
+	}
+	return mk(true), mk(false)
+}
+
+// outcome is everything observable about one request on one provider.
+type outcome struct {
+	invErr string // "" if the invocation succeeded
+	status int
+	ctype  string
+	denied bool // export denied
+	body   string
+	events []string // audit delta as kind|actor|subject|detail
+}
+
+func runOne(t *testing.T, p *core.Provider, app, viewer, owner, path, method string, params map[string]string) outcome {
+	t.Helper()
+	from := uint64(p.Log.Len())
+	var o outcome
+	inv, err := p.Invoke(app, core.AppRequest{
+		Viewer: viewer, Owner: owner, Path: path, Method: method, Params: params,
+	})
+	if err != nil {
+		o.invErr = err.Error()
+	} else {
+		o.status = inv.Response.Status
+		o.ctype = inv.Response.ContentType
+		body, exErr := p.ExportCheck(inv, viewer)
+		switch {
+		case exErr == nil:
+			o.body = string(body)
+		case errors.Is(exErr, core.ErrExportDenied):
+			o.denied = true
+		default:
+			t.Fatalf("ExportCheck(%s %s %s): %v", app, method, path, exErr)
+		}
+	}
+	for _, e := range p.Log.Since(from) {
+		o.events = append(o.events, fmt.Sprintf("%s|%s|%s|%s", e.Kind, e.Actor, e.Subject, e.Detail))
+	}
+	return o
+}
+
+// diffOne sends the same request to both providers and fails the test
+// on any observable divergence.
+func diffOne(t *testing.T, pn, pw *core.Provider, app, viewer, owner, path, method string, params map[string]string) {
+	t.Helper()
+	n := runOne(t, pn, app, viewer, owner, path, method, params)
+	w := runOne(t, pw, app, viewer, owner, path, method, params)
+	desc := fmt.Sprintf("%s %s%s viewer=%s owner=%s params=%v", method, app, path, viewer, owner, params)
+
+	if (n.invErr == "") != (w.invErr == "") {
+		t.Fatalf("%s: invocation error diverged: native=%q wvm=%q", desc, n.invErr, w.invErr)
+	}
+	if n.status != w.status {
+		t.Fatalf("%s: status diverged: native=%d wvm=%d", desc, n.status, w.status)
+	}
+	if n.ctype != w.ctype {
+		t.Fatalf("%s: content type diverged: native=%q wvm=%q", desc, n.ctype, w.ctype)
+	}
+	if n.denied != w.denied {
+		t.Fatalf("%s: export verdict diverged: native denied=%v wvm denied=%v", desc, n.denied, w.denied)
+	}
+	if n.body != w.body {
+		t.Fatalf("%s: body diverged:\nnative: %q\nwvm:    %q", desc, n.body, w.body)
+	}
+	if nj, wj := strings.Join(n.events, "\n"), strings.Join(w.events, "\n"); nj != wj {
+		t.Fatalf("%s: audit trail diverged:\nnative:\n%s\nwvm:\n%s", desc, nj, wj)
+	}
+}
+
+// TestWVMTwinFixedCases pins a readable set of handpicked requests:
+// every route, every error branch, escaping, and the export-denial
+// path.
+func TestWVMTwinFixedCases(t *testing.T) {
+	pn, pw := newTwinPair(t)
+	d := func(app, viewer, owner, path, method string, params map[string]string) {
+		t.Helper()
+		diffOne(t, pn, pw, app, viewer, owner, path, method, params)
+	}
+	photo := base64.StdEncoding.EncodeToString([]byte("jpeg<bytes>&more\x00\x01"))
+
+	// social
+	d("social", "alice", "", "/profile", "GET", nil)
+	d("social", "alice", "alice", "/profile", "GET", nil) // no profile yet
+	d("social", "alice", "alice", "/profile", "POST", map[string]string{"body": "hi <alice> & \"friends\""})
+	d("social", "alice", "alice", "/profile", "GET", nil)
+	d("social", "bob", "alice", "/profile", "GET", nil)                                     // declassified via Public
+	d("social", "alice", "nosuchuser", "/profile", "POST", map[string]string{"body": "x"})  // no such user
+	d("social", "dana", "dana", "/profile", "POST", map[string]string{"body": "private d"}) // write denied (no grant)
+	d("social", "alice", "alice", "/elsewhere", "GET", nil)                                 // unknown route
+	d("social", "alice", "alice", "/profile", "POST", nil)                                  // missing body param
+
+	// blog
+	d("blog", "bob", "", "/", "GET", nil)
+	d("blog", "bob", "bob", "/", "GET", nil) // empty list
+	d("blog", "bob", "bob", "/post", "POST", map[string]string{"title": "First <post>", "body": "hello & welcome", "public": "1"})
+	d("blog", "bob", "bob", "/post", "POST", map[string]string{"title": "  padded  ", "body": "b2", "public": "0"})
+	d("blog", "bob", "bob", "/post", "POST", map[string]string{"title": "   ", "body": "no title"}) // title required
+	d("blog", "bob", "bob", "", "GET", nil)
+	d("blog", "alice", "bob", "/", "GET", nil) // stranger sees public only
+	d("blog", "bob", "bob", "/read", "GET", map[string]string{"id": "1"})
+	d("blog", "alice", "bob", "/read", "GET", map[string]string{"id": "2"}) // private to stranger
+	d("blog", "bob", "bob", "/read", "GET", map[string]string{"id": "999"})
+	d("blog", "bob", "bob", "/read", "GET", map[string]string{"id": "abc"})
+	d("blog", "bob", "bob", "/read", "GET", map[string]string{"id": ""})
+	d("blog", "bob", "bob", "/read", "GET", map[string]string{"id": "-1"})
+	d("blog", "bob", "bob", "/read", "GET", nil)
+	d("blog", "bob", "nosuchuser", "/post", "POST", map[string]string{"title": "t"})
+	d("blog", "dana", "dana", "/post", "POST", map[string]string{"title": "t", "body": "b"}) // denied
+	d("blog", "bob", "bob", "/post", "GET", map[string]string{"title": "t"})                 // unknown route
+
+	// photoshare
+	d("photoshare", "carol", "carol", "/", "GET", nil) // no album yet
+	d("photoshare", "carol", "carol", "/upload", "POST", map[string]string{"name": "sunset <1>.jpg", "data": photo})
+	d("photoshare", "carol", "carol", "/upload", "POST", map[string]string{"name": "b.jpg", "data": "!!!not base64"})
+	d("photoshare", "carol", "carol", "/upload", "POST", map[string]string{"name": "../evil", "data": photo})
+	d("photoshare", "carol", "carol", "/upload", "POST", map[string]string{"name": "sub/dir", "data": photo})
+	d("photoshare", "carol", "carol", "/upload", "POST", map[string]string{"name": strings.Repeat("n", 129), "data": photo})
+	d("photoshare", "carol", "carol", "/upload", "POST", map[string]string{"name": "empty.jpg"}) // missing data = 0 bytes
+	d("photoshare", "carol", "carol", "/", "GET", nil)
+	d("photoshare", "carol", "carol", "/view", "GET", map[string]string{"name": "sunset <1>.jpg"})
+	d("photoshare", "bob", "carol", "/view", "GET", map[string]string{"name": "sunset <1>.jpg"})
+	d("photoshare", "carol", "carol", "/view", "GET", map[string]string{"name": "missing.jpg"})
+	d("photoshare", "carol", "carol", "/view", "GET", nil)
+	d("photoshare", "dana", "dana", "/upload", "POST", map[string]string{"name": "d.jpg", "data": photo}) // cannot create album
+	d("photoshare", "carol", "nosuchuser", "/upload", "POST", map[string]string{"name": "x.jpg", "data": photo})
+	d("photoshare", "carol", "carol", "/delete", "POST", map[string]string{"name": "missing.jpg"})
+	d("photoshare", "carol", "carol", "/delete", "POST", map[string]string{"name": "sunset <1>.jpg"})
+	d("photoshare", "carol", "carol", "/", "GET", nil)
+	d("photoshare", "carol", "carol", "/delete", "GET", map[string]string{"name": "x"}) // unknown route
+
+	// Export denial: dana's data read by a stranger (no declassifier).
+	d("social", "dana", "dana", "/profile", "GET", nil)
+	d("social", "alice", "dana", "/profile", "GET", nil)
+}
+
+// TestWVMTwinDifferential replays a seeded-random corpus through both
+// providers and then compares the apps' cumulative quota bills in the
+// store-visible dimensions. CPU and Memory are exempt: the WVM meters
+// its instruction count and guest memory into the ledger (asserted
+// non-zero below) while native Go code is not metered.
+func TestWVMTwinDifferential(t *testing.T) {
+	pn, pw := newTwinPair(t)
+	seed := int64(7)
+	if s := os.Getenv("W5_TWIN_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad W5_TWIN_SEED: %v", err)
+		}
+		seed = v
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	users := []string{"alice", "bob", "carol", "dana", "nosuchuser", ""}
+	pick := func(ss []string) string { return ss[rng.Intn(len(ss))] }
+	// Random ASCII strings over a charset heavy in HTML-escapable and
+	// whitespace bytes.
+	charset := `abcXYZ 019<>&"'` + "\t\n/\\."
+	randStr := func(max int) string {
+		n := rng.Intn(max + 1)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = charset[rng.Intn(len(charset))]
+		}
+		return string(b)
+	}
+
+	const rounds = 400
+	for i := 0; i < rounds; i++ {
+		viewer := pick(users[:4]) // viewer is always a real session
+		owner := pick(users)
+		switch rng.Intn(10) {
+		case 0: // social read
+			diffOne(t, pn, pw, "social", viewer, owner, "/profile", "GET", nil)
+		case 1: // social write
+			diffOne(t, pn, pw, "social", viewer, owner, "/profile", "POST",
+				map[string]string{"body": randStr(200)})
+		case 2: // blog list
+			diffOne(t, pn, pw, "blog", viewer, owner, pick([]string{"/", ""}), "GET", nil)
+		case 3: // blog read, ids mostly small (some valid), some garbage
+			id := pick([]string{"1", "2", "3", "4", "7", "15", "0", "-3", "12junk", "", "999999999999999999999999"})
+			diffOne(t, pn, pw, "blog", viewer, owner, "/read", "GET", map[string]string{"id": id})
+		case 4: // blog post
+			diffOne(t, pn, pw, "blog", viewer, owner, "/post", "POST", map[string]string{
+				"title":  randStr(40),
+				"body":   randStr(300),
+				"public": pick([]string{"", "0", "1", "1", "yes"}),
+			})
+		case 5: // photoshare list
+			diffOne(t, pn, pw, "photoshare", viewer, owner, pick([]string{"/", ""}), "GET", nil)
+		case 6: // photoshare view
+			diffOne(t, pn, pw, "photoshare", viewer, owner, "/view", "GET",
+				map[string]string{"name": pick([]string{"p0", "p1", "p2", "nope", randStr(12)})})
+		case 7: // photoshare upload (sometimes invalid base64)
+			data := base64.StdEncoding.EncodeToString([]byte(randStr(600)))
+			if rng.Intn(8) == 0 {
+				data = "%%%" + data
+			}
+			diffOne(t, pn, pw, "photoshare", viewer, owner, "/upload", "POST",
+				map[string]string{"name": pick([]string{"p0", "p1", "p2", randStr(12)}), "data": data})
+		case 8: // photoshare delete
+			diffOne(t, pn, pw, "photoshare", viewer, owner, "/delete", "POST",
+				map[string]string{"name": pick([]string{"p0", "p1", "p2", "nope"})})
+		case 9: // junk routes, wrong methods
+			app := pick(twinAppNames)
+			diffOne(t, pn, pw, app, viewer, owner,
+				pick([]string{"/x", "/post", "/upload", "/delete", "/profile/x"}),
+				pick([]string{"GET", "POST"}), nil)
+		}
+	}
+
+	// The quota ledgers must agree wherever the work is store-visible.
+	for _, app := range twinAppNames {
+		an := pn.Quotas.Account("app:" + app)
+		aw := pw.Quotas.Account("app:" + app)
+		for _, r := range []quota.Resource{quota.Disk, quota.Query, quota.Network} {
+			if an.Used(r) != aw.Used(r) {
+				t.Errorf("app %s: %s bill diverged: native=%d wvm=%d", app, r, an.Used(r), aw.Used(r))
+			}
+		}
+		// The WVM bills its execution into the same ledger.
+		if aw.Used(quota.CPU) == 0 {
+			t.Errorf("app %s: wvm twin charged no CPU", app)
+		}
+		if aw.Used(quota.Memory) == 0 {
+			t.Errorf("app %s: wvm twin charged no Memory", app)
+		}
+	}
+	// Sanity: the corpus actually exercised the audit log.
+	if pn.Log.Len() == 0 || pw.Log.Len() == 0 {
+		t.Fatal("corpus produced no audit events")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"time"
 
+	"w5/internal/apps"
 	"w5/internal/audit"
 	"w5/internal/core"
 	"w5/internal/difc"
@@ -316,6 +317,72 @@ func measureInvokeExport(name string, p *core.Provider) (Result, error) {
 		_, err = p.ExportCheck(inv, MeasuredUser)
 		return err
 	})
+}
+
+// measureWVMInvoke times the same social profile read twice — once
+// through the native Go app, once through its WVM twin (assembled from
+// the embedded w5asm source, compiled once into the provider's program
+// cache, run on pooled VMs). The pair of entries pins the
+// interpretation overhead: the twin must stay within ~3× of the
+// native app, and both are gated like every other request-path entry.
+func measureWVMInvoke(p *core.Provider) ([]Result, error) {
+	p.InstallApp(apps.Social{})
+	if err := apps.InstallWVMTwins(p); err != nil {
+		return nil, err
+	}
+	for _, app := range []string{"social", "social-wvm"} {
+		if err := p.EnableApp(MeasuredUser, app); err != nil {
+			return nil, err
+		}
+	}
+	u, err := p.GetUser(MeasuredUser)
+	if err != nil {
+		return nil, err
+	}
+	label := difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}
+	if err := p.FS.Write(p.UserCred(MeasuredUser),
+		"/home/"+MeasuredUser+"/social/profile",
+		[]byte("bench profile for the measured user"), label); err != nil {
+		return nil, err
+	}
+	req := core.AppRequest{
+		Viewer: MeasuredUser, Owner: MeasuredUser,
+		Path: "/profile", Method: "GET",
+	}
+	measure := func(name, app string) (Result, error) {
+		// One unmeasured request first: it must be the 200 profile page,
+		// not an error path that would make the timing meaningless.
+		inv, err := p.Invoke(app, req)
+		if err != nil {
+			return Result{}, err
+		}
+		if inv.Response.Status != 200 {
+			return Result{}, fmt.Errorf("%s warmup: status %d, want 200", app, inv.Response.Status)
+		}
+		if _, err := p.ExportCheck(inv, MeasuredUser); err != nil {
+			return Result{}, err
+		}
+		return runFixed(name, invokeIters, func() error {
+			inv, err := p.Invoke(app, req)
+			if err != nil {
+				return err
+			}
+			_, err = p.ExportCheck(inv, MeasuredUser)
+			return err
+		})
+	}
+	native, err := measure("wvm/invoke/native-twin", "social")
+	if err != nil {
+		return nil, err
+	}
+	twin, err := measure("wvm/invoke/social", "social-wvm")
+	if err != nil {
+		return nil, err
+	}
+	return []Result{native, twin}, nil
 }
 
 // measureStoreHotPath times raw labeled-store Read/Stat on an interned
@@ -705,6 +772,13 @@ func MeasureRequestPath(progress func(Result)) (Report, error) {
 				return report, err
 			}
 			add(res)
+			wvmRes, err := measureWVMInvoke(p)
+			if err != nil {
+				return report, err
+			}
+			for _, r := range wvmRes {
+				add(r)
+			}
 		}
 	}
 	sanRes, err := measureSanitize()

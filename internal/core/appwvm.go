@@ -1,8 +1,16 @@
 package core
 
 import (
+	"encoding/base64"
+	"errors"
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
 
+	"w5/internal/audit"
+	"w5/internal/store"
+	"w5/internal/table"
 	"w5/internal/wvm"
 )
 
@@ -10,14 +18,50 @@ import (
 // bytecode application codes against (§2's "API exposed by the W5
 // platform"). Everything flows through the AppEnv, so bytecode apps get
 // auto-tainting reads and label-checked writes exactly like native
-// apps.
+// apps. Syscalls report failures as status codes (-1, or -2 where
+// distinguished), never by aborting the program, so untrusted code can
+// handle them.
+//
+// Request and response:
 //
 //	copy_viewer(addr)                      -> len
 //	copy_owner(addr)                       -> len
-//	copy_param(keyAddr,keyLen,dst,cap)     -> len or -1
+//	copy_param(keyAddr,keyLen,dst,cap)     -> len or -1 (missing)
+//	copy_path(dst,cap)                     -> len
+//	is_post()                              -> 1 if method is POST
+//	param_b64(keyA,keyL,dst,cap)           -> decoded len or -1 (bad base64)
+//	content_type(k)                        -> 0  (k=1 text/plain, else text/html)
+//	emit(addr,len)                         -> len (append to response body)
+//	emit_esc(addr,len)                     -> emitted len (HTML-escaped)
+//	emit_int(v)                            -> emitted len (decimal)
+//	emit_b64(addr,len)                     -> emitted len (std base64)
+//	fmt_int(v,dst,cap)                     -> len or -1
+//	owner_ok()                             -> 1 if req.Owner is a real account
+//
+// Files (all paths are AppEnv-mediated: reads taint, writes are
+// label-checked):
+//
 //	read_file(pathAddr,pathLen,dst,cap)    -> n or -1   (taints process)
 //	write_private(pathA,pathL,dataA,dataL) -> 0 or -1   (owner's boilerplate label)
-//	emit(addr,len)                         -> len       (append to response body)
+//	stat(pathA,pathL)                      -> 0 or -1
+//	mkdir_owner(pathA,pathL)               -> 0 or -1   (owner's boilerplate label)
+//	remove(pathA,pathL)                    -> 0 or -1
+//	list_dir(pathA,pathL)                  -> count or -1; then
+//	dir_name(i,dst,cap)                    -> len or -1
+//	dir_size(i)                            -> size or -1
+//	dir_version(i)                         -> version or -1
+//
+// Labeled tuple store (query predicates and insert values are staged
+// column-by-column, so arbitrary byte values need no quoting):
+//
+//	table_create(nA,nL,colsA,colsL,idxA,idxL) -> 0 or -1 (comma-separated lists)
+//	q_filter(colA,colL,valA,valL)          -> 0   (AND an equality onto the next query)
+//	table_query(nameA,nameL)               -> row count or -1; then
+//	row_id(i)                              -> id or -1
+//	row_get(i,colA,colL,dst,cap)           -> len or -1
+//	ins_set(colA,colL,valA,valL)           -> 0   (stage a value for the next insert)
+//	table_insert(nameA,nameL,pub)          -> id, -1 (denied) or -2 (no such owner);
+//	                                          pub!=0 uses the owner's public label
 const (
 	AppSysCopyViewer   uint16 = 1
 	AppSysCopyOwner    uint16 = 2
@@ -25,6 +69,29 @@ const (
 	AppSysReadFile     uint16 = 4
 	AppSysWritePrivate uint16 = 5
 	AppSysEmit         uint16 = 6
+	AppSysCopyPath     uint16 = 7
+	AppSysIsPost       uint16 = 8
+	AppSysContentType  uint16 = 9
+	AppSysEmitEsc      uint16 = 10
+	AppSysEmitInt      uint16 = 11
+	AppSysEmitB64      uint16 = 12
+	AppSysFmtInt       uint16 = 13
+	AppSysOwnerOK      uint16 = 14
+	AppSysStat         uint16 = 15
+	AppSysMkdirOwner   uint16 = 16
+	AppSysRemove       uint16 = 17
+	AppSysListDir      uint16 = 18
+	AppSysDirName      uint16 = 19
+	AppSysDirSize      uint16 = 20
+	AppSysDirVersion   uint16 = 21
+	AppSysParamB64     uint16 = 22
+	AppSysTableCreate  uint16 = 23
+	AppSysQFilter      uint16 = 24
+	AppSysTableQuery   uint16 = 25
+	AppSysRowID        uint16 = 26
+	AppSysRowGet       uint16 = 27
+	AppSysInsSet       uint16 = 28
+	AppSysTableInsert  uint16 = 29
 )
 
 // AppSyscallNames maps assembly names to the app ABI numbers.
@@ -35,10 +102,474 @@ var AppSyscallNames = map[string]uint16{
 	"read_file":     AppSysReadFile,
 	"write_private": AppSysWritePrivate,
 	"emit":          AppSysEmit,
+	"copy_path":     AppSysCopyPath,
+	"is_post":       AppSysIsPost,
+	"content_type":  AppSysContentType,
+	"emit_esc":      AppSysEmitEsc,
+	"emit_int":      AppSysEmitInt,
+	"emit_b64":      AppSysEmitB64,
+	"fmt_int":       AppSysFmtInt,
+	"owner_ok":      AppSysOwnerOK,
+	"stat":          AppSysStat,
+	"mkdir_owner":   AppSysMkdirOwner,
+	"remove":        AppSysRemove,
+	"list_dir":      AppSysListDir,
+	"dir_name":      AppSysDirName,
+	"dir_size":      AppSysDirSize,
+	"dir_version":   AppSysDirVersion,
+	"param_b64":     AppSysParamB64,
+	"table_create":  AppSysTableCreate,
+	"q_filter":      AppSysQFilter,
+	"table_query":   AppSysTableQuery,
+	"row_id":        AppSysRowID,
+	"row_get":       AppSysRowGet,
+	"ins_set":       AppSysInsSet,
+	"table_insert":  AppSysTableInsert,
+}
+
+// ErrAppQuota marks a WVM program killed mid-request for exhausting its
+// gas or memory budget (the §3.5 "rogue application" bound). The
+// gateway maps it to 429 instead of the generic 500: the platform is
+// healthy, the app is over budget.
+var ErrAppQuota = errors.New("w5: application exceeded its resource quota")
+
+// wvmHost is the per-request context the shared syscall table reads
+// through vm.Host: the app environment, the response under
+// construction, and the staged/cached state of the cursor-style
+// syscalls. Hosts are pooled; putHost scrubs everything.
+type wvmHost struct {
+	env *AppEnv
+	req *AppRequest
+
+	body []byte // response body under construction (capacity retained)
+	ct   int64  // 0 = text/html (default), 1 = text/plain
+
+	dir []store.Info // list_dir result, read by dir_* cursors
+
+	qpred  table.Pred  // staged query predicate (q_filter chain)
+	rows   []table.Row // table_query result, read by row_* cursors
+	staged map[string]string
+
+	num [24]byte // fmt_int scratch
+}
+
+var wvmHostPool = sync.Pool{New: func() any { return new(wvmHost) }}
+
+func putHost(h *wvmHost) {
+	h.env, h.req = nil, nil
+	h.body = h.body[:0]
+	h.ct = 0
+	h.dir = nil
+	h.qpred = nil
+	h.rows = nil
+	h.staged = nil
+	wvmHostPool.Put(h)
+}
+
+var wvmVMPool = sync.Pool{New: func() any { return new(wvm.VM) }}
+
+// host extracts the request context; the table below is only ever
+// installed by WVMApp.Handle, which always plants a *wvmHost.
+func host(vm *wvm.VM) *wvmHost { return vm.Host.(*wvmHost) }
+
+// memStr reads a guest string without the ReadMem copy; the string
+// conversion is the single copy.
+func memStr(vm *wvm.VM, addr, n int64) (string, bool) {
+	b, err := vm.Mem(addr, n)
+	if err != nil {
+		return "", false
+	}
+	return string(b), true
+}
+
+// copyOut writes s (truncated to cap) into guest memory and returns the
+// ABI result: written length, or -1 on a bounds fault.
+func copyOut(vm *wvm.VM, dst, cap int64, s string) []int64 {
+	if cap >= 0 && int64(len(s)) > cap {
+		s = s[:cap]
+	}
+	if err := vm.WriteMem(dst, []byte(s)); err != nil {
+		return vm.Ret1(-1)
+	}
+	return vm.Ret1(int64(len(s)))
+}
+
+// appendEscaped appends the HTML-escaped form of b, byte-identical to
+// html.EscapeString (which native apps use) without the intermediate
+// string allocations.
+func appendEscaped(dst, b []byte) []byte {
+	for _, c := range b {
+		switch c {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '\'':
+			dst = append(dst, "&#39;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		case '"':
+			dst = append(dst, "&#34;"...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}
+
+// splitList splits a comma-separated syscall argument; empty means nil.
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// appSyscalls is the single immutable syscall table shared by every WVM
+// app invocation. Building the table per request was the bridge's
+// dominant allocation cost; per-request state lives on the pooled
+// wvmHost instead.
+var appSyscalls = wvm.SyscallTable{
+	AppSysCopyViewer: {Name: "copy_viewer", Arity: 1,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			return copyOut(vm, a[0], -1, host(vm).req.Viewer), nil
+		}},
+	AppSysCopyOwner: {Name: "copy_owner", Arity: 1,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			return copyOut(vm, a[0], -1, host(vm).req.Owner), nil
+		}},
+	AppSysCopyParam: {Name: "copy_param", Arity: 4,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			key, ok := memStr(vm, a[0], a[1])
+			if !ok {
+				return vm.Ret1(-1), nil
+			}
+			v, ok := host(vm).req.Params[key]
+			if !ok {
+				return vm.Ret1(-1), nil
+			}
+			return copyOut(vm, a[2], a[3], v), nil
+		}},
+	AppSysReadFile: {Name: "read_file", Arity: 4,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			path, ok := memStr(vm, a[0], a[1])
+			if !ok {
+				return vm.Ret1(-1), nil
+			}
+			data, err := host(vm).env.ReadFile(path)
+			if err != nil {
+				return vm.Ret1(-1), nil
+			}
+			if int64(len(data)) > a[3] {
+				data = data[:a[3]]
+			}
+			if err := vm.WriteMem(a[2], data); err != nil {
+				return vm.Ret1(-1), nil
+			}
+			return vm.Ret1(int64(len(data))), nil
+		}},
+	AppSysWritePrivate: {Name: "write_private", Arity: 4,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			h := host(vm)
+			path, ok := memStr(vm, a[0], a[1])
+			if !ok {
+				return vm.Ret1(-1), nil
+			}
+			data, err := vm.ReadMem(a[2], a[3])
+			if err != nil {
+				return vm.Ret1(-1), nil
+			}
+			label, err := h.env.UserLabel(h.req.Owner)
+			if err != nil {
+				return vm.Ret1(-1), nil
+			}
+			if err := h.env.WriteFile(path, data, label); err != nil {
+				return vm.Ret1(-1), nil
+			}
+			return vm.Ret1(0), nil
+		}},
+	AppSysEmit: {Name: "emit", Arity: 2,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			chunk, err := vm.Mem(a[0], a[1])
+			if err != nil {
+				return vm.Ret1(-1), nil
+			}
+			h := host(vm)
+			h.body = append(h.body, chunk...)
+			return vm.Ret1(int64(len(chunk))), nil
+		}},
+	AppSysCopyPath: {Name: "copy_path", Arity: 2,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			return copyOut(vm, a[0], a[1], host(vm).req.Path), nil
+		}},
+	AppSysIsPost: {Name: "is_post", Arity: 0,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			if host(vm).req.Method == "POST" {
+				return vm.Ret1(1), nil
+			}
+			return vm.Ret1(0), nil
+		}},
+	AppSysContentType: {Name: "content_type", Arity: 1,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			host(vm).ct = a[0]
+			return vm.Ret1(0), nil
+		}},
+	AppSysEmitEsc: {Name: "emit_esc", Arity: 2,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			chunk, err := vm.Mem(a[0], a[1])
+			if err != nil {
+				return vm.Ret1(-1), nil
+			}
+			h := host(vm)
+			n := len(h.body)
+			h.body = appendEscaped(h.body, chunk)
+			return vm.Ret1(int64(len(h.body) - n)), nil
+		}},
+	AppSysEmitInt: {Name: "emit_int", Arity: 1,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			h := host(vm)
+			n := len(h.body)
+			h.body = strconv.AppendInt(h.body, a[0], 10)
+			return vm.Ret1(int64(len(h.body) - n)), nil
+		}},
+	AppSysEmitB64: {Name: "emit_b64", Arity: 2,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			chunk, err := vm.Mem(a[0], a[1])
+			if err != nil {
+				return vm.Ret1(-1), nil
+			}
+			h := host(vm)
+			n := len(h.body)
+			h.body = base64.StdEncoding.AppendEncode(h.body, chunk)
+			return vm.Ret1(int64(len(h.body) - n)), nil
+		}},
+	AppSysFmtInt: {Name: "fmt_int", Arity: 3,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			h := host(vm)
+			s := strconv.AppendInt(h.num[:0], a[0], 10)
+			if int64(len(s)) > a[2] {
+				return vm.Ret1(-1), nil
+			}
+			if err := vm.WriteMem(a[1], s); err != nil {
+				return vm.Ret1(-1), nil
+			}
+			return vm.Ret1(int64(len(s))), nil
+		}},
+	AppSysOwnerOK: {Name: "owner_ok", Arity: 0,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			h := host(vm)
+			if _, err := h.env.UserLabel(h.req.Owner); err != nil {
+				return vm.Ret1(0), nil
+			}
+			return vm.Ret1(1), nil
+		}},
+	AppSysStat: {Name: "stat", Arity: 2,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			path, ok := memStr(vm, a[0], a[1])
+			if !ok {
+				return vm.Ret1(-1), nil
+			}
+			if _, err := host(vm).env.Stat(path); err != nil {
+				return vm.Ret1(-1), nil
+			}
+			return vm.Ret1(0), nil
+		}},
+	AppSysMkdirOwner: {Name: "mkdir_owner", Arity: 2,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			h := host(vm)
+			path, ok := memStr(vm, a[0], a[1])
+			if !ok {
+				return vm.Ret1(-1), nil
+			}
+			label, err := h.env.UserLabel(h.req.Owner)
+			if err != nil {
+				return vm.Ret1(-1), nil
+			}
+			if err := h.env.Mkdir(path, label); err != nil {
+				return vm.Ret1(-1), nil
+			}
+			return vm.Ret1(0), nil
+		}},
+	AppSysRemove: {Name: "remove", Arity: 2,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			path, ok := memStr(vm, a[0], a[1])
+			if !ok {
+				return vm.Ret1(-1), nil
+			}
+			if err := host(vm).env.Remove(path); err != nil {
+				return vm.Ret1(-1), nil
+			}
+			return vm.Ret1(0), nil
+		}},
+	AppSysListDir: {Name: "list_dir", Arity: 2,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			h := host(vm)
+			path, ok := memStr(vm, a[0], a[1])
+			if !ok {
+				return vm.Ret1(-1), nil
+			}
+			infos, err := h.env.List(path)
+			if err != nil {
+				return vm.Ret1(-1), nil
+			}
+			h.dir = infos
+			return vm.Ret1(int64(len(infos))), nil
+		}},
+	AppSysDirName: {Name: "dir_name", Arity: 3,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			h := host(vm)
+			if a[0] < 0 || a[0] >= int64(len(h.dir)) {
+				return vm.Ret1(-1), nil
+			}
+			return copyOut(vm, a[1], a[2], h.dir[a[0]].Name), nil
+		}},
+	AppSysDirSize: {Name: "dir_size", Arity: 1,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			h := host(vm)
+			if a[0] < 0 || a[0] >= int64(len(h.dir)) {
+				return vm.Ret1(-1), nil
+			}
+			return vm.Ret1(int64(h.dir[a[0]].Size)), nil
+		}},
+	AppSysDirVersion: {Name: "dir_version", Arity: 1,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			h := host(vm)
+			if a[0] < 0 || a[0] >= int64(len(h.dir)) {
+				return vm.Ret1(-1), nil
+			}
+			return vm.Ret1(int64(h.dir[a[0]].Version)), nil
+		}},
+	AppSysParamB64: {Name: "param_b64", Arity: 4,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			key, ok := memStr(vm, a[0], a[1])
+			if !ok {
+				return vm.Ret1(-1), nil
+			}
+			data, err := base64.StdEncoding.DecodeString(host(vm).req.Params[key])
+			if err != nil {
+				return vm.Ret1(-1), nil
+			}
+			if int64(len(data)) > a[3] {
+				data = data[:a[3]]
+			}
+			if err := vm.WriteMem(a[2], data); err != nil {
+				return vm.Ret1(-1), nil
+			}
+			return vm.Ret1(int64(len(data))), nil
+		}},
+	AppSysTableCreate: {Name: "table_create", Arity: 6,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			name, ok1 := memStr(vm, a[0], a[1])
+			cols, ok2 := memStr(vm, a[2], a[3])
+			idx, ok3 := memStr(vm, a[4], a[5])
+			if !ok1 || !ok2 || !ok3 {
+				return vm.Ret1(-1), nil
+			}
+			err := host(vm).env.CreateTable(table.Schema{
+				Name:    name,
+				Columns: splitList(cols),
+				Index:   splitList(idx),
+			})
+			if err != nil {
+				return vm.Ret1(-1), nil
+			}
+			return vm.Ret1(0), nil
+		}},
+	AppSysQFilter: {Name: "q_filter", Arity: 4,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			col, ok1 := memStr(vm, a[0], a[1])
+			val, ok2 := memStr(vm, a[2], a[3])
+			if !ok1 || !ok2 {
+				return vm.Ret1(-1), nil
+			}
+			h := host(vm)
+			cmp := table.Cmp{Col: col, Op: table.Eq, Val: val}
+			// Chained exactly like the native apps build their
+			// predicates, so the stores see identical query trees.
+			if h.qpred == nil {
+				h.qpred = cmp
+			} else {
+				h.qpred = table.And{L: h.qpred, R: cmp}
+			}
+			return vm.Ret1(0), nil
+		}},
+	AppSysTableQuery: {Name: "table_query", Arity: 2,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			h := host(vm)
+			name, ok := memStr(vm, a[0], a[1])
+			pred := h.qpred
+			h.qpred = nil // staged filters are consumed either way
+			if !ok || pred == nil {
+				return vm.Ret1(-1), nil
+			}
+			rows, err := h.env.Select(name, pred)
+			if err != nil {
+				return vm.Ret1(-1), nil
+			}
+			h.rows = rows
+			return vm.Ret1(int64(len(rows))), nil
+		}},
+	AppSysRowID: {Name: "row_id", Arity: 1,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			h := host(vm)
+			if a[0] < 0 || a[0] >= int64(len(h.rows)) {
+				return vm.Ret1(-1), nil
+			}
+			return vm.Ret1(int64(h.rows[a[0]].ID)), nil
+		}},
+	AppSysRowGet: {Name: "row_get", Arity: 5,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			h := host(vm)
+			if a[0] < 0 || a[0] >= int64(len(h.rows)) {
+				return vm.Ret1(-1), nil
+			}
+			col, ok := memStr(vm, a[1], a[2])
+			if !ok {
+				return vm.Ret1(-1), nil
+			}
+			return copyOut(vm, a[3], a[4], h.rows[a[0]].Values[col]), nil
+		}},
+	AppSysInsSet: {Name: "ins_set", Arity: 4,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			col, ok1 := memStr(vm, a[0], a[1])
+			val, ok2 := memStr(vm, a[2], a[3])
+			if !ok1 || !ok2 {
+				return vm.Ret1(-1), nil
+			}
+			h := host(vm)
+			if h.staged == nil {
+				h.staged = make(map[string]string, 8)
+			}
+			h.staged[col] = val
+			return vm.Ret1(0), nil
+		}},
+	AppSysTableInsert: {Name: "table_insert", Arity: 3,
+		Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
+			h := host(vm)
+			name, ok := memStr(vm, a[0], a[1])
+			values := h.staged
+			h.staged = nil // consumed either way; the store retains the map
+			if !ok || values == nil {
+				return vm.Ret1(-1), nil
+			}
+			label, err := h.env.UserLabel(h.req.Owner)
+			if err == nil && a[2] != 0 {
+				label, err = h.env.PublicLabel(h.req.Owner)
+			}
+			if err != nil {
+				return vm.Ret1(-2), nil
+			}
+			id, err := h.env.Insert(name, values, label)
+			if err != nil {
+				return vm.Ret1(-1), nil
+			}
+			return vm.Ret1(int64(id)), nil
+		}},
 }
 
 // WVMApp adapts an uploaded bytecode module to the App interface. The
-// module's exit value becomes the HTTP status (0 meaning 200).
+// module's exit value becomes the HTTP status (0 meaning 200). Methods
+// are on the pointer: the app caches its compiled form.
 type WVMApp struct {
 	// AppName is the registry name the module was uploaded under.
 	AppName string
@@ -49,124 +580,107 @@ type WVMApp struct {
 	Gas uint64
 	// MemSize bounds guest memory (default 64 KiB).
 	MemSize int
+
+	compileOnce sync.Once
+	comp        *wvm.Compiled
+	compileErr  error
 }
 
 // Name implements App.
-func (w WVMApp) Name() string { return w.AppName }
+func (w *WVMApp) Name() string { return w.AppName }
 
-// Handle implements App by executing the module under the request.
-func (w WVMApp) Handle(env *AppEnv, req AppRequest) (AppResponse, error) {
+// compiled returns the module's lowered form, compiling at most once.
+// InstallWVMApp pre-populates it from the provider's program cache so
+// the per-app compile never runs on the request path.
+func (w *WVMApp) compiled() (*wvm.Compiled, error) {
+	w.compileOnce.Do(func() {
+		if w.comp == nil {
+			w.comp, w.compileErr = wvm.Compile(w.Prog)
+		}
+	})
+	return w.comp, w.compileErr
+}
+
+// Handle implements App by executing the module under the request in a
+// pooled VM. A program over its gas or memory budget is killed
+// mid-request, the overage is audited, and the request fails with
+// ErrAppQuota (a clean 4xx at the gateway) — the charge stays on the
+// app's quota ledger.
+func (w *WVMApp) Handle(env *AppEnv, req AppRequest) (AppResponse, error) {
+	comp, err := w.compiled()
+	if err != nil {
+		return AppResponse{}, fmt.Errorf("module fault: %w", err)
+	}
 	gas := w.Gas
 	if gas == 0 {
 		gas = 1_000_000
 	}
-	var body []byte
 
-	copyStr := func(vm *wvm.VM, addr int64, s string) ([]int64, error) {
-		if err := vm.WriteMem(addr, []byte(s)); err != nil {
-			return []int64{-1}, nil
-		}
-		return []int64{int64(len(s))}, nil
-	}
+	h := wvmHostPool.Get().(*wvmHost)
+	h.env, h.req = env, &req
 
-	table := wvm.SyscallTable{
-		AppSysCopyViewer: {Name: "copy_viewer", Arity: 1,
-			Fn: func(vm *wvm.VM, a []int64) ([]int64, error) { return copyStr(vm, a[0], req.Viewer) }},
-		AppSysCopyOwner: {Name: "copy_owner", Arity: 1,
-			Fn: func(vm *wvm.VM, a []int64) ([]int64, error) { return copyStr(vm, a[0], req.Owner) }},
-		AppSysCopyParam: {Name: "copy_param", Arity: 4,
-			Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
-				key, err := vm.ReadMem(a[0], a[1])
-				if err != nil {
-					return []int64{-1}, nil
-				}
-				v, ok := req.Params[string(key)]
-				if !ok {
-					return []int64{-1}, nil
-				}
-				if int64(len(v)) > a[3] {
-					v = v[:a[3]]
-				}
-				if err := vm.WriteMem(a[2], []byte(v)); err != nil {
-					return []int64{-1}, nil
-				}
-				return []int64{int64(len(v))}, nil
-			}},
-		AppSysReadFile: {Name: "read_file", Arity: 4,
-			Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
-				path, err := vm.ReadMem(a[0], a[1])
-				if err != nil {
-					return []int64{-1}, nil
-				}
-				data, err := env.ReadFile(string(path))
-				if err != nil {
-					return []int64{-1}, nil
-				}
-				if int64(len(data)) > a[3] {
-					data = data[:a[3]]
-				}
-				if err := vm.WriteMem(a[2], data); err != nil {
-					return []int64{-1}, nil
-				}
-				return []int64{int64(len(data))}, nil
-			}},
-		AppSysWritePrivate: {Name: "write_private", Arity: 4,
-			Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
-				path, err := vm.ReadMem(a[0], a[1])
-				if err != nil {
-					return []int64{-1}, nil
-				}
-				data, err := vm.ReadMem(a[2], a[3])
-				if err != nil {
-					return []int64{-1}, nil
-				}
-				label, err := env.UserLabel(req.Owner)
-				if err != nil {
-					return []int64{-1}, nil
-				}
-				if err := env.WriteFile(string(path), data, label); err != nil {
-					return []int64{-1}, nil
-				}
-				return []int64{0}, nil
-			}},
-		AppSysEmit: {Name: "emit", Arity: 2,
-			Fn: func(vm *wvm.VM, a []int64) ([]int64, error) {
-				chunk, err := vm.ReadMem(a[0], a[1])
-				if err != nil {
-					return []int64{-1}, nil
-				}
-				body = append(body, chunk...)
-				return []int64{int64(len(chunk))}, nil
-			}},
-	}
-
-	vm := wvm.New(w.Prog, wvm.Config{
+	vm := wvmVMPool.Get().(*wvm.VM)
+	vm.Reset(comp, wvm.Config{
 		Gas:      gas,
 		MemSize:  w.MemSize,
-		Syscalls: table,
+		Syscalls: appSyscalls,
 		Account:  env.proc.Account(),
 	})
-	status, err := vm.Run()
-	if err != nil {
-		return AppResponse{}, fmt.Errorf("module fault: %w", err)
+	vm.Host = h
+
+	status, runErr := vm.Run()
+	steps := vm.Steps()
+	vm.Host = nil
+	wvmVMPool.Put(vm)
+
+	if runErr != nil {
+		putHost(h)
+		if errors.Is(runErr, wvm.ErrGas) || errors.Is(runErr, wvm.ErrMemQuota) {
+			env.p.Log.Appendf(audit.KindQuota, "app:"+w.AppName, "viewer:"+req.Viewer,
+				"wvm program killed mid-request: %v (gas=%d steps=%d)", runErr, gas, steps)
+			return AppResponse{}, fmt.Errorf("%w: %v", ErrAppQuota, runErr)
+		}
+		return AppResponse{}, fmt.Errorf("module fault: %w", runErr)
 	}
+
+	// The body buffer is pooled; the response needs its own copy.
+	body := make([]byte, len(h.body))
+	copy(body, h.body)
+	ct := ""
+	if h.ct == 1 {
+		ct = "text/plain; charset=utf-8"
+	}
+	putHost(h)
+
 	if status == 0 {
 		status = 200
 	}
-	return AppResponse{Status: int(status), Body: body}, nil
+	return AppResponse{Status: int(status), ContentType: ct, Body: body}, nil
 }
 
 // InstallWVMApp registers an uploaded module (by registry name/version)
-// as a runnable application.
+// as a runnable application. The compiled form comes from the
+// provider's bounded content-addressed program cache, so any number of
+// installs (or republished versions) of the same bytecode share one
+// compilation.
 func (p *Provider) InstallWVMApp(module, version string) error {
+	return p.InstallWVMAppLimits(module, version, 0, 0)
+}
+
+// InstallWVMAppLimits is InstallWVMApp with explicit per-request gas
+// and guest-memory budgets (0 means the defaults: 1M instructions,
+// 64 KiB).
+func (p *Provider) InstallWVMAppLimits(module, version string, gas uint64, memSize int) error {
 	v, err := p.Registry.Get(module, version)
 	if err != nil {
 		return err
 	}
-	prog, err := v.Program()
+	comp, err := p.Programs.Get(v.Hash, v.Program)
 	if err != nil {
 		return err
 	}
-	p.InstallApp(WVMApp{AppName: module, Prog: prog})
+	app := &WVMApp{AppName: module, Prog: comp.Program(), Gas: gas, MemSize: memSize, comp: comp}
+	app.compileOnce.Do(func() {}) // comp is pre-populated
+	p.InstallApp(app)
 	return nil
 }

@@ -34,6 +34,7 @@ import (
 	"w5/internal/registry"
 	"w5/internal/store"
 	"w5/internal/table"
+	"w5/internal/wvm"
 )
 
 // Errors.
@@ -109,6 +110,10 @@ type Provider struct {
 	Declass  *declass.Manager
 	Quotas   *quota.Manager
 	Log      *audit.Log
+	// Programs is the bounded compiled-WVM-program cache, keyed by
+	// registry content hash; InstallWVMApp loads through it so each
+	// published program compiles once platform-wide.
+	Programs *wvm.Cache
 
 	mu      sync.RWMutex
 	users   map[string]*User
@@ -189,6 +194,7 @@ func NewProvider(cfg Config) *Provider {
 		Registry:  reg,
 		Quotas:    qm,
 		Log:       log,
+		Programs:  wvm.NewCache(256),
 		users:     make(map[string]*User),
 		tagUser:   make(map[difc.Tag]string),
 		enabled:   make(map[string]map[string]bool),

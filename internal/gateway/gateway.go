@@ -442,6 +442,11 @@ func (g *Gateway) handleApp(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, core.ErrNoApp):
 			http.Error(w, "no such application", http.StatusNotFound)
+		case errors.Is(err, core.ErrAppQuota):
+			// A WVM program killed at its gas/memory budget: the
+			// platform is healthy and the charge is on the app's
+			// ledger, so answer 429 rather than the generic 500.
+			http.Error(w, "application exceeded its resource budget", http.StatusTooManyRequests)
 		default:
 			// App faults reveal nothing beyond their occurrence
 			// (§3.5 "Debugging": no core dumps across the perimeter).

@@ -1,0 +1,185 @@
+package gateway
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/cookiejar"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"w5/internal/apps"
+	"w5/internal/audit"
+	"w5/internal/core"
+	"w5/internal/quota"
+	"w5/internal/wvm"
+)
+
+// mustAssembleApp builds a WVM app program against the app ABI.
+func mustAssembleApp(t *testing.T, src string) *wvm.Program {
+	t.Helper()
+	prog, err := wvm.Assemble(src, core.AppSyscallNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestWVMGasExhaustionOverHTTP pins the rogue-app story end to end: a
+// hostile program that spins forever is killed mid-request at its gas
+// limit, the client gets a clean 429 (not a hang, not a 500), the kill
+// is audited, and the burned CPU stays billed on the app's ledger.
+func TestWVMGasExhaustionOverHTTP(t *testing.T) {
+	p := core.NewProvider(core.Config{Name: "gwtest", Enforce: true})
+	p.InstallApp(&core.WVMApp{
+		AppName: "spinner",
+		Prog:    mustAssembleApp(t, "loop: jmp loop\n"),
+		Gas:     50_000,
+		MemSize: 32 << 10,
+	})
+	g := New(p, Options{})
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+	jar, _ := cookiejar.New(nil)
+	tc := &testClient{t: t, c: &http.Client{Jar: jar}, server: srv}
+	signup(tc, "bob", "pw")
+
+	code, body := tc.get("/app/spinner/?owner=bob")
+	if code != 429 {
+		t.Fatalf("spinner status = %d body=%q, want 429", code, body)
+	}
+	if !strings.Contains(body, "resource budget") {
+		t.Errorf("spinner body = %q, want resource-budget message", body)
+	}
+
+	// The overage is audited...
+	kills := p.Log.ByKind(audit.KindQuota)
+	found := false
+	for _, e := range kills {
+		if e.Actor == "app:spinner" && strings.Contains(e.Detail, "killed mid-request") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no quota-kill audit event for app:spinner; got %v", kills)
+	}
+
+	// ...and the ledger shows the bill: every instruction up to the gas
+	// limit, plus the guest memory reservation.
+	acct := p.Quotas.Account("app:spinner")
+	if got := acct.Used(quota.CPU); got != 50_000 {
+		t.Errorf("CPU billed = %d, want 50000 (full gas budget)", got)
+	}
+	if got := acct.Used(quota.Memory); got != 32<<10 {
+		t.Errorf("Memory billed = %d, want %d", got, 32<<10)
+	}
+}
+
+// TestWVMCPUQuotaKillOverHTTP is the other half of gas-to-quota
+// billing: the per-app CPU budget (not the per-request gas limit) is
+// what runs out, because the chunked charges land on the shared
+// account. Same clean 429.
+func TestWVMCPUQuotaKillOverHTTP(t *testing.T) {
+	limits := quota.DefaultAppLimits()
+	limits.CPU = 10_000 // far below the per-request gas limit
+	p := core.NewProvider(core.Config{Name: "gwtest", Enforce: true, AppLimits: limits})
+	p.InstallApp(&core.WVMApp{
+		AppName: "spinner",
+		Prog:    mustAssembleApp(t, "loop: jmp loop\n"),
+		Gas:     1 << 30,
+	})
+	g := New(p, Options{})
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+	jar, _ := cookiejar.New(nil)
+	tc := &testClient{t: t, c: &http.Client{Jar: jar}, server: srv}
+	signup(tc, "bob", "pw")
+
+	code, body := tc.get("/app/spinner/?owner=bob")
+	if code != 429 {
+		t.Fatalf("spinner status = %d body=%q, want 429", code, body)
+	}
+	acct := p.Quotas.Account("app:spinner")
+	if used := acct.Used(quota.CPU); used == 0 || used > 10_000 {
+		t.Errorf("CPU billed = %d, want (0, 10000]", used)
+	}
+}
+
+// TestWVMTwinConcurrentInvokes hammers one gateway with concurrent
+// requests from several users through the WVM social twin. Run under
+// -race (CI does), it pins the sharing story: one compiled program in
+// the provider cache, pooled VMs and hosts recycled across users, and
+// no state bleeding between requests — each user always sees their own
+// profile.
+func TestWVMTwinConcurrentInvokes(t *testing.T) {
+	p := core.NewProvider(core.Config{Name: "gwtest", Enforce: true})
+	if err := apps.InstallWVMTwins(p); err != nil {
+		t.Fatal(err)
+	}
+	compilesAfterInstall := p.Programs.Compiles()
+	g := New(p, Options{})
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+
+	const users = 4
+	const perUser = 3
+	const rounds = 25
+	clients := make([]*testClient, users)
+	names := make([]string, users)
+	for i := range clients {
+		base := &testClient{t: t, server: srv}
+		clients[i] = base.anon()
+		names[i] = fmt.Sprintf("user%d", i)
+		signup(clients[i], names[i], "pw")
+		p.EnableApp(names[i], "social-wvm")
+		p.GrantWrite(names[i], "social-wvm")
+		// Each user stores a distinct sentinel profile via the twin.
+		code, body := clients[i].post("/app/social-wvm/profile?owner="+names[i],
+			url.Values{"body": {"sentinel-" + names[i]}})
+		if code != 200 {
+			t.Fatalf("seed profile %s: %d %q", names[i], code, body)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, users*perUser*rounds)
+	for i := 0; i < users; i++ {
+		for j := 0; j < perUser; j++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					code, body := clients[i].get("/app/social-wvm/profile?owner=" + names[i])
+					if code != 200 {
+						errs <- fmt.Sprintf("%s: status %d", names[i], code)
+						return
+					}
+					if !strings.Contains(body, "sentinel-"+names[i]) {
+						errs <- fmt.Sprintf("%s: own profile missing: %q", names[i], body)
+						return
+					}
+					for k := 0; k < users; k++ {
+						if k != i && strings.Contains(body, "sentinel-"+names[k]) {
+							errs <- fmt.Sprintf("%s: LEAK: saw %s's profile", names[i], names[k])
+							return
+						}
+					}
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	// The storm must not have compiled anything new: every invoke hit
+	// the cached compiled program.
+	if got := p.Programs.Compiles(); got != compilesAfterInstall {
+		t.Errorf("request path recompiled: %d compiles after install, %d after storm",
+			compilesAfterInstall, got)
+	}
+}

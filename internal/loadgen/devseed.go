@@ -22,7 +22,7 @@ import (
 // seedApps are the applications every seeded user enables; the write
 // set is the subset the mixed trace writes through.
 var (
-	seedEnabled = []string{"social", "photoshare", "blog"}
+	seedEnabled = []string{"social", "photoshare", "blog", "social-wvm"}
 	seedWrites  = []string{"photoshare", "blog"}
 )
 

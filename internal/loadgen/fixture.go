@@ -44,6 +44,11 @@ func StartFixture(users int, seed int64) (*Fixture, error) {
 	} {
 		p.InstallApp(app)
 	}
+	// The WVM twins ride the same request path as the natives; the
+	// capacity mix sends a slice of profile reads through social-wvm.
+	if err := apps.InstallWVMTwins(p); err != nil {
+		return nil, err
+	}
 	if err := SeedProvider(p, users, seed); err != nil {
 		return nil, err
 	}

@@ -371,6 +371,11 @@ func (b *reqBuilder) build(op workload.Op) []byte {
 		b.buf = append(b.buf, owner...)
 		b.appendCommon(op.Viewer)
 
+	case workload.ScenarioWVMRead:
+		b.buf = append(b.buf, "GET /app/social-wvm/profile?owner="...)
+		b.buf = append(b.buf, owner...)
+		b.appendCommon(op.Viewer)
+
 	case workload.ScenarioTableQuery:
 		b.buf = append(b.buf, "GET /app/blog/?owner="...)
 		b.buf = append(b.buf, owner...)

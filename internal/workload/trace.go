@@ -51,6 +51,7 @@ func (z *Zipf) Next() int { return int(z.z.Uint64()) }
 const (
 	ScenarioLogin      = "login"       // POST /login for the viewer (session churn, KDF-bound)
 	ScenarioSocialRead = "social-read" // GET /app/social/profile?owner=<zipf user>
+	ScenarioWVMRead    = "wvm-read"    // GET /app/social-wvm/profile?owner=<zipf user> (WVM twin of social-read)
 	ScenarioPhotoWrite = "photo-write" // POST /app/photoshare/upload to the viewer's own album
 	ScenarioTableQuery = "table-query" // GET /app/blog/?owner=<zipf user> (labeled tuple-store select)
 	ScenarioAuditPull  = "audit-pull"  // GET /audit?limit=N (the viewer's slice of the trail)
@@ -69,7 +70,8 @@ type MixEntry struct {
 // sessions churn, users occasionally inspect their trail).
 func DefaultMix() []MixEntry {
 	return []MixEntry{
-		{ScenarioSocialRead, 0.55},
+		{ScenarioSocialRead, 0.50},
+		{ScenarioWVMRead, 0.05},
 		{ScenarioTableQuery, 0.25},
 		{ScenarioPhotoWrite, 0.10},
 		{ScenarioLogin, 0.05},
@@ -148,7 +150,7 @@ func Trace(cfg TraceConfig, n int) []Op {
 		}
 		op.Viewer = int(viewers.Uint64())
 		switch op.Scenario {
-		case ScenarioSocialRead, ScenarioTableQuery:
+		case ScenarioSocialRead, ScenarioWVMRead, ScenarioTableQuery:
 			op.Owner = int(owners.Uint64())
 		default:
 			// Writes, logins, and audit pulls address the viewer's own

@@ -1,0 +1,100 @@
+package wvm
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a bounded compiled-program cache keyed by program hash (the
+// registry's content address). It exists so the request path compiles
+// each published program once, no matter how many requests or apps
+// reference it, and so a hostile sequence of uploads cannot grow the
+// compiled-code heap without bound (LRU eviction past Cap).
+//
+// Concurrent Gets for the same hash single-flight the load+compile: the
+// first caller runs it, the rest block on it and share the result — no
+// thundering herd when a cold program goes viral. Failed loads are not
+// cached, so a transient error does not poison the hash.
+type Cache struct {
+	mu       sync.Mutex
+	cap      int
+	entries  map[string]*cacheEntry
+	order    *list.List // front = most recently used
+	compiles atomic.Uint64
+}
+
+type cacheEntry struct {
+	hash string
+	elem *list.Element
+	once sync.Once
+	comp *Compiled
+	err  error
+}
+
+// NewCache returns a cache bounded to max compiled programs (min 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{
+		cap:     max,
+		entries: make(map[string]*cacheEntry, max),
+		order:   list.New(),
+	}
+}
+
+// Get returns the compiled program for hash, invoking load (then
+// Compile) at most once per cached lifetime of the hash. load runs
+// outside the cache lock.
+func (c *Cache) Get(hash string, load func() (*Program, error)) (*Compiled, error) {
+	c.mu.Lock()
+	e, ok := c.entries[hash]
+	if ok {
+		c.order.MoveToFront(e.elem)
+	} else {
+		e = &cacheEntry{hash: hash}
+		e.elem = c.order.PushFront(e)
+		c.entries[hash] = e
+		for c.order.Len() > c.cap {
+			back := c.order.Back()
+			victim := back.Value.(*cacheEntry)
+			c.order.Remove(back)
+			delete(c.entries, victim.hash)
+		}
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		c.compiles.Add(1)
+		p, err := load()
+		if err == nil {
+			e.comp, e.err = Compile(p)
+		} else {
+			e.err = err
+		}
+		if e.err != nil {
+			// Do not cache failures: drop the entry (if it is still
+			// ours) so the next Get retries the load.
+			c.mu.Lock()
+			if cur, ok := c.entries[hash]; ok && cur == e {
+				c.order.Remove(e.elem)
+				delete(c.entries, hash)
+			}
+			c.mu.Unlock()
+		}
+	})
+	return e.comp, e.err
+}
+
+// Len reports the number of cached programs.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Compiles reports how many load+compile operations have run — the
+// singleflight tests assert this stays at one per hash under
+// concurrency.
+func (c *Cache) Compiles() uint64 { return c.compiles.Load() }

@@ -1,0 +1,156 @@
+package wvm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func testProgram(t *testing.T) *Program {
+	t.Helper()
+	p, err := Assemble("push 41\npush 1\nadd\nhalt\n", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(8)
+	prog := testProgram(t)
+	var loads atomic.Uint64
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	comps := make([]*Compiled, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			comp, err := c.Get("h1", func() (*Program, error) {
+				loads.Add(1)
+				return prog, nil
+			})
+			if err != nil {
+				t.Errorf("Get: %v", err)
+			}
+			comps[i] = comp
+		}(i)
+	}
+	wg.Wait()
+
+	if n := loads.Load(); n != 1 {
+		t.Errorf("load ran %d times, want 1", n)
+	}
+	if n := c.Compiles(); n != 1 {
+		t.Errorf("Compiles() = %d, want 1", n)
+	}
+	for i := 1; i < goroutines; i++ {
+		if comps[i] != comps[0] {
+			t.Fatalf("goroutine %d got a different *Compiled", i)
+		}
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	prog := testProgram(t)
+	load := func() (*Program, error) { return prog, nil }
+
+	for _, h := range []string{"a", "b", "c"} { // c evicts a
+		if _, err := c.Get(h, load); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+	// b is still cached; a re-compiles.
+	before := c.Compiles()
+	if _, err := c.Get("b", load); err != nil {
+		t.Fatal(err)
+	}
+	if c.Compiles() != before {
+		t.Error("hit on b recompiled")
+	}
+	if _, err := c.Get("a", load); err != nil {
+		t.Fatal(err)
+	}
+	if c.Compiles() != before+1 {
+		t.Error("evicted a was not recompiled")
+	}
+}
+
+func TestCacheLRUTouchOnGet(t *testing.T) {
+	c := NewCache(2)
+	prog := testProgram(t)
+	load := func() (*Program, error) { return prog, nil }
+
+	c.Get("a", load)
+	c.Get("b", load)
+	c.Get("a", load) // touch a: now b is LRU
+	c.Get("c", load) // evicts b
+	before := c.Compiles()
+	c.Get("a", load)
+	if c.Compiles() != before {
+		t.Error("a should have survived eviction")
+	}
+	c.Get("b", load)
+	if c.Compiles() != before+1 {
+		t.Error("b should have been evicted")
+	}
+}
+
+func TestCacheErrorNotCached(t *testing.T) {
+	c := NewCache(4)
+	prog := testProgram(t)
+	boom := errors.New("transient")
+	calls := 0
+	flaky := func() (*Program, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return prog, nil
+	}
+	if _, err := c.Get("h", flaky); !errors.Is(err, boom) {
+		t.Fatalf("first Get err = %v, want %v", err, boom)
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("failed load left %d entries cached", n)
+	}
+	comp, err := c.Get("h", flaky)
+	if err != nil || comp == nil {
+		t.Fatalf("retry Get = %v, %v", comp, err)
+	}
+	if calls != 2 {
+		t.Errorf("load calls = %d, want 2", calls)
+	}
+}
+
+func TestCacheCompileErrorPropagates(t *testing.T) {
+	c := NewCache(4)
+	// Invalid program: jump into the middle of an instruction.
+	bad := &Program{Code: []byte{byte(OpJmp), 99, 0, 0, 0}}
+	if _, err := c.Get("bad", func() (*Program, error) { return bad, nil }); err == nil {
+		t.Fatal("want verify error from Compile")
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("failed compile left %d entries cached", n)
+	}
+}
+
+func TestCacheCapMinimumOne(t *testing.T) {
+	c := NewCache(0)
+	prog := testProgram(t)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Get(fmt.Sprintf("h%d", i), func() (*Program, error) { return prog, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+}

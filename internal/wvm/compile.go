@@ -1,0 +1,151 @@
+package wvm
+
+import "encoding/binary"
+
+// This file is the ahead-of-time half of the dispatch loop: Compile
+// turns verified bytecode into a flat []instr the interpreter walks
+// without re-decoding immediates, and fuses the three pair patterns
+// that dominate real W5 Assembly (constant-operand arithmetic,
+// global-operand arithmetic, and compare-and-branch) into single
+// superinstructions. See README.md for the dispatch design note.
+
+// instr is one pre-decoded (possibly fused) instruction.
+type instr struct {
+	a    int64  // immediate / branch target (instruction index) / global / sys num
+	b    int64  // fused second operand (binop opcode, or cmp<<1|jnz-flag)
+	off  int32  // byte offset of the source instruction, for fault reports
+	op   Opcode // opcode, possibly one of the fused internal codes below
+	cost uint8  // gas units: how many source instructions this covers
+}
+
+// Internal fused opcodes. They never appear in program bytes — only in
+// compiled instruction streams — so they live above opMax.
+const (
+	// opPushBin = OpPush imm; binop. Pops one, pushes one.
+	opPushBin Opcode = opMax + iota
+	// opLoadBin = OpLoad g; binop. Pops one, pushes one.
+	opLoadBin
+	// opCmpJmp = comparison; OpJz/OpJnz. Pops two, branches.
+	opCmpJmp
+)
+
+// Compiled is a Program lowered to the interpreter's internal form. One
+// Compiled is immutable and safely shared by any number of VMs — it is
+// what the platform's program cache stores, keyed by Program.Hash.
+type Compiled struct {
+	prog *Program
+	ins  []instr
+}
+
+// Program returns the source program (shared, do not mutate).
+func (c *Compiled) Program() *Program { return c.prog }
+
+// isBinop reports whether op pops two values and pushes one result.
+// (OpNeg and OpNot are unary and excluded.)
+func isBinop(op Opcode) bool {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return true
+	}
+	return false
+}
+
+func isCmp(op Opcode) bool { return op >= OpEq && op <= OpGe }
+
+// Compile verifies p and lowers it. Unlike the bytecode walk, the
+// compiled stream carries branch targets as instruction indexes, so the
+// hot loop never touches the raw code bytes. Fusion never crosses a
+// branch target: a jump that lands on the second instruction of a
+// would-be pair keeps both instructions unfused.
+func Compile(p *Program) (*Compiled, error) {
+	if err := p.Verify(); err != nil {
+		return nil, err
+	}
+	code := p.Code
+
+	// Pass 1: mark branch targets (fusion barriers). Verify guarantees
+	// every target is an instruction boundary or len(code).
+	targets := make([]bool, len(code)+1)
+	for i := 0; i < len(code); {
+		op := Opcode(code[i])
+		switch op {
+		case OpJmp, OpJz, OpJnz, OpCall:
+			targets[binary.LittleEndian.Uint32(code[i+1:])] = true
+		}
+		i += 1 + operandWidth(op)
+	}
+
+	// Pass 2: decode and fuse. off2idx maps every source byte offset to
+	// the compiled instruction covering it, for branch retargeting.
+	off2idx := make([]int32, len(code)+1)
+	ins := make([]instr, 0, len(code)/2+1)
+	for i := 0; i < len(code); {
+		off2idx[i] = int32(len(ins))
+		op := Opcode(code[i])
+		w := operandWidth(op)
+		next := i + 1 + w
+		if next < len(code) && !targets[next] {
+			nop := Opcode(code[next])
+			fused := instr{off: int32(i), cost: 2}
+			switch {
+			case op == OpPush && isBinop(nop):
+				fused.op, fused.a, fused.b = opPushBin,
+					int64(binary.LittleEndian.Uint64(code[i+1:])), int64(nop)
+			case op == OpLoad && isBinop(nop):
+				fused.op, fused.a, fused.b = opLoadBin,
+					int64(binary.LittleEndian.Uint16(code[i+1:])), int64(nop)
+			case isCmp(op) && (nop == OpJz || nop == OpJnz):
+				flag := int64(0)
+				if nop == OpJnz {
+					flag = 1
+				}
+				fused.op = opCmpJmp
+				fused.a = int64(binary.LittleEndian.Uint32(code[next+1:]))
+				fused.b = int64(op)<<1 | flag
+			}
+			if fused.op != 0 {
+				ins = append(ins, fused)
+				// The consumed second instruction is never a branch
+				// target (checked above), but map its offset anyway so
+				// off2idx is total.
+				off2idx[next] = int32(len(ins) - 1)
+				i = next + 1 + operandWidth(nop)
+				continue
+			}
+		}
+		in := instr{op: op, off: int32(i), cost: 1}
+		switch w {
+		case 8:
+			in.a = int64(binary.LittleEndian.Uint64(code[i+1:]))
+		case 4:
+			in.a = int64(binary.LittleEndian.Uint32(code[i+1:]))
+		case 2:
+			in.a = int64(binary.LittleEndian.Uint16(code[i+1:]))
+		}
+		ins = append(ins, in)
+		i = next
+	}
+	off2idx[len(code)] = int32(len(ins))
+
+	// Pass 3: branch targets byte offset -> instruction index.
+	for j := range ins {
+		switch ins[j].op {
+		case OpJmp, OpJz, OpJnz, OpCall, opCmpJmp:
+			ins[j].a = int64(off2idx[ins[j].a])
+		}
+	}
+	return &Compiled{prog: p, ins: ins}, nil
+}
+
+// faultOp is the opcode reported in a fault message: for fused
+// instructions, the half that can actually fault.
+func (in *instr) faultOp() Opcode {
+	switch in.op {
+	case opPushBin, opLoadBin:
+		return Opcode(in.b)
+	case opCmpJmp:
+		return Opcode(in.b >> 1)
+	}
+	return in.op
+}

@@ -1,0 +1,98 @@
+package wvm
+
+import (
+	"errors"
+	"testing"
+)
+
+// Fuzz targets for the two untrusted inputs the platform accepts:
+// assembly listings (registry uploads) and raw bytecode (closed-source
+// modules). Neither may ever panic the platform; bytecode that passes
+// verification must run to a typed error or a clean halt within its gas
+// budget. CI runs these briefly on every push (see the fuzz-smoke step
+// in ci.yml); longer local runs: go test -fuzz=FuzzVMRun ./internal/wvm/
+
+func FuzzAssemble(f *testing.F) {
+	f.Add("push 1\npush 2\nadd\nhalt\n")
+	f.Add(".data s \"hi \\x00 there\"\npush @s\npush #s\nsys 6\npop\nhalt\n")
+	f.Add("loop: dup\njnz loop\nhalt\n")
+	f.Add("push -9223372036854775808\nneg\nhalt")
+	f.Add("l:\nl2: jmp l2\n; comment\npush 0x10 # trailing")
+	f.Add(".data d \"\\xZZ\"")
+	f.Add("call missing\nret")
+	f.Add("push @nodata")
+	f.Add("store 9999")
+	f.Add("sys name_without_table")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src, map[string]uint16{"emit": 6})
+		if err != nil {
+			return
+		}
+		// Anything the assembler accepts must verify, compile, and
+		// survive a bounded run.
+		if err := prog.Verify(); err != nil {
+			t.Fatalf("assembled program fails verify: %v\nsource:\n%s", err, src)
+		}
+		comp, err := Compile(prog)
+		if err != nil {
+			t.Fatalf("assembled program fails compile: %v\nsource:\n%s", err, src)
+		}
+		vm := New(comp.Program(), Config{Gas: 10_000, MemSize: 4 << 10})
+		vm.Run() // must not panic; faults are fine
+	})
+}
+
+func FuzzVMRun(f *testing.F) {
+	// Seeds: valid marshaled programs and raw junk.
+	for _, src := range []string{
+		"push 1\npush 2\nadd\nhalt\n",
+		"loop: jmp loop\n",
+		".data d \"abcdef\"\npush 2\nmload\npush 0\nswap\nmstore\nhalt\n",
+		"push 100\nstore 3\nl: load 3\npush 1\nsub\ndup\nstore 3\njnz l\nhalt\n",
+	} {
+		p, err := Assemble(src, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(p.Marshal())
+	}
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{byte(OpPush)}) // truncated operand
+	f.Add([]byte{byte(OpJmp), 0xFF, 0xFF, 0xFF, 0x7F})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const gas = 50_000
+		run := func(prog *Program) {
+			comp, err := Compile(prog)
+			if err != nil {
+				return // verifier rejected it — the correct outcome for junk
+			}
+			vm := New(comp.Program(), Config{Gas: gas, MemSize: 4 << 10, MaxStack: 64, MaxCalls: 16})
+			_, err = vm.Run()
+			if err != nil && !knownRunError(err) {
+				t.Fatalf("untyped run error: %v", err)
+			}
+			if vm.Steps() > gas {
+				t.Fatalf("steps %d exceeded gas %d", vm.Steps(), gas)
+			}
+		}
+		// Path 1: the registry's wire format.
+		if prog, err := Unmarshal(raw); err == nil {
+			run(prog)
+		}
+		// Path 2: raw bytes straight into the code segment.
+		run(&Program{Code: raw})
+	})
+}
+
+func knownRunError(err error) bool {
+	for _, want := range []error{
+		ErrGas, ErrMemQuota, ErrStack, ErrStackLimit, ErrCallDepth,
+		ErrDivZero, ErrMemBounds, ErrGlobal, ErrBadSys,
+	} {
+		if errors.Is(err, want) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,131 @@
+package wvm
+
+import (
+	"errors"
+	"testing"
+)
+
+// The pool-hygiene contract: after Reset, a recycled VM is
+// observationally identical to a fresh one — no bytes, globals, or
+// stack slots from the previous request may be visible. The request
+// path leans on this (core pools VMs across users), so it is pinned
+// here at the unit level.
+
+func compileSrc(t *testing.T, src string) *Compiled {
+	t.Helper()
+	p, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestResetScrubsMemoryAndGlobals(t *testing.T) {
+	// Poison: write sentinel bytes at a high address and a global, leave
+	// values on the stack, and halt.
+	poison := compileSrc(t, `
+	    push 30000
+	    push 0xEE
+	    mstore
+	    push 12345
+	    store 17
+	    push 7
+	    push 8
+	    halt
+	`)
+	// Probe: read the same address and global; exit nonzero if either
+	// still holds the sentinel.
+	probe := compileSrc(t, `
+	    push 30000
+	    mload
+	    load 17
+	    add
+	    halt
+	`)
+
+	vm := New(poison.Program(), Config{MemSize: 32 << 10})
+	if _, err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	vm.Reset(probe, Config{MemSize: 32 << 10})
+	got, err := vm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("recycled VM leaked state: probe saw %d, want 0", got)
+	}
+}
+
+func TestResetScrubsStack(t *testing.T) {
+	leaver := compileSrc(t, "push 1\npush 2\npush 3\nhalt\n")
+	popper := compileSrc(t, "pop\nhalt\n")
+
+	vm := New(leaver.Program(), Config{})
+	if _, err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	vm.Reset(popper, Config{})
+	if _, err := vm.Run(); !errors.Is(err, ErrStack) {
+		t.Fatalf("pop on recycled VM = %v, want ErrStack (stack must start empty)", err)
+	}
+}
+
+func TestResetScrubsDataSegmentTail(t *testing.T) {
+	// First program has a long data segment; second has a short one. The
+	// tail of the first must not bleed through.
+	long := compileSrc(t, ".data d \"AAAAAAAAAAAAAAAA\"\nhalt\n")
+	short := compileSrc(t, ".data d \"B\"\npush 5\nmload\nhalt\n")
+
+	vm := New(long.Program(), Config{})
+	if _, err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	vm.Reset(short, Config{})
+	got, err := vm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("byte 5 = %d after reset, want 0 (old data segment leaked)", got)
+	}
+}
+
+func TestResetAllowsRerun(t *testing.T) {
+	c := compileSrc(t, "push 42\nhalt\n")
+	vm := New(c.Program(), Config{})
+	for i := 0; i < 3; i++ {
+		got, err := vm.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 42 {
+			t.Fatalf("run %d = %d", i, got)
+		}
+		vm.Reset(c, Config{})
+	}
+}
+
+func TestResetClearsHostAndSteps(t *testing.T) {
+	c := compileSrc(t, "push 1\npush 2\nadd\nhalt\n")
+	vm := New(c.Program(), Config{})
+	vm.Host = "request-context"
+	if _, err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Steps() == 0 {
+		t.Fatal("Steps not counted")
+	}
+	vm.Reset(c, Config{})
+	if vm.Host != nil {
+		t.Error("Reset kept Host")
+	}
+	if vm.Steps() != 0 {
+		t.Error("Reset kept step count")
+	}
+}

@@ -1,7 +1,6 @@
 package wvm
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -33,8 +32,8 @@ type Syscall struct {
 }
 
 // SyscallTable maps syscall numbers to implementations. The platform
-// builds one per process (closing over the process's kernel identity)
-// and hands it to the VM.
+// builds one (typically shared and immutable — per-request state goes in
+// VM.Host) and hands it to the VM.
 type SyscallTable map[uint16]Syscall
 
 // Config bounds a VM run.
@@ -60,24 +59,41 @@ type Config struct {
 // while bounding overshoot to one chunk.
 const GasChunk = 1024
 
-// VM executes one Program under one Config. A VM is single-use and not
-// safe for concurrent use; run each program in its own VM.
+// maxFixedArity is the syscall arity served from the VM's fixed argument
+// scratch buffer; rarer, wider syscalls fall back to an allocation.
+const maxFixedArity = 8
+
+// VM executes one Program under one Config. A VM is not safe for
+// concurrent use. After a run completes it can be re-armed with Reset
+// (the pooling path: retained buffers, scrubbed state); without Reset it
+// is single-use.
 type VM struct {
 	prog    *Program
+	comp    *Compiled
 	cfg     Config
 	mem     []byte
 	stack   []int64
+	sp      int
 	calls   []int
 	globals [globalSlots]int64
-	pc      int
-	steps   uint64 // total instructions executed
+	steps   uint64 // total instructions executed this run
+	chunk   uint64 // instructions since last quota flush
+	dirtyHi int    // high-water mark of bytes written to mem this run
 	halted  bool
+	argBuf  [maxFixedArity]int64
+	retBuf  [4]int64
+
+	// Host is an opaque per-run context slot for the platform's syscall
+	// layer: an immutable shared SyscallTable reads its request-scoped
+	// state (app environment, response buffer, ...) from here instead of
+	// closing over it. The VM itself never touches it. Reset clears it.
+	Host any
 }
 
 const globalSlots = 256
 
-// New prepares a VM for prog. Memory is allocated immediately (and
-// charged, if an account is configured, when Run starts).
+// New prepares a VM for prog. The program is lowered lazily on the
+// first Run (use Compile + Reset to share the lowered form across VMs).
 func New(prog *Program, cfg Config) *VM {
 	if cfg.MemSize <= 0 {
 		cfg.MemSize = 64 << 10
@@ -91,7 +107,43 @@ func New(prog *Program, cfg Config) *VM {
 	return &VM{prog: prog, cfg: cfg}
 }
 
-// Steps reports how many instructions have executed.
+// Reset re-arms vm to run c under cfg, scrubbing all state left by the
+// previous run while retaining the memory, stack, and call-stack
+// buffers. This is the pooled-execution path: after Reset, a recycled
+// VM is observationally identical to a fresh New(c.Program(), cfg) —
+// linear memory reads as zero (the dirty high-water mark bounds the
+// zeroing cost to bytes actually written), globals are zero, and the
+// operand stack is empty.
+func (vm *VM) Reset(c *Compiled, cfg Config) {
+	if cfg.MemSize <= 0 {
+		cfg.MemSize = 64 << 10
+	}
+	if cfg.MaxStack <= 0 {
+		cfg.MaxStack = 1024
+	}
+	if cfg.MaxCalls <= 0 {
+		cfg.MaxCalls = 256
+	}
+	clear(vm.stack)
+	clear(vm.globals[:])
+	if vm.dirtyHi > 0 {
+		n := vm.dirtyHi
+		if n > len(vm.mem) {
+			n = len(vm.mem)
+		}
+		clear(vm.mem[:n])
+	}
+	vm.dirtyHi = 0
+	vm.calls = vm.calls[:0]
+	vm.prog, vm.comp, vm.cfg = c.prog, c, cfg
+	vm.sp, vm.steps, vm.chunk = 0, 0, 0
+	vm.halted = false
+	vm.Host = nil
+}
+
+// Steps reports how many instructions have executed this run. Fused
+// superinstructions count as the number of source instructions they
+// cover, so gas accounting is unchanged by compilation.
 func (vm *VM) Steps() uint64 { return vm.steps }
 
 // ReadMem copies n bytes of linear memory at addr; syscall helpers use
@@ -105,13 +157,37 @@ func (vm *VM) ReadMem(addr, n int64) ([]byte, error) {
 	return out, nil
 }
 
+// Mem returns the live linear-memory window [addr, addr+n) without
+// copying. It is for platform syscall implementations only, and callers
+// must treat it as read-only and must not retain it past the syscall:
+// the backing array belongs to a possibly-pooled VM. Use WriteMem for
+// writes (it maintains the scrub watermark).
+func (vm *VM) Mem(addr, n int64) ([]byte, error) {
+	if addr < 0 || n < 0 || addr+n > int64(len(vm.mem)) {
+		return nil, ErrMemBounds
+	}
+	return vm.mem[addr : addr+n : addr+n], nil
+}
+
 // WriteMem copies b into linear memory at addr.
 func (vm *VM) WriteMem(addr int64, b []byte) error {
 	if addr < 0 || addr+int64(len(b)) > int64(len(vm.mem)) {
 		return ErrMemBounds
 	}
 	copy(vm.mem[addr:], b)
+	if end := int(addr) + len(b); end > vm.dirtyHi {
+		vm.dirtyHi = end
+	}
 	return nil
+}
+
+// Ret1 returns a single-value syscall result using the VM's scratch
+// buffer, avoiding a per-syscall allocation. The returned slice is only
+// valid until the next syscall; the interpreter copies it to the operand
+// stack immediately.
+func (vm *VM) Ret1(v int64) []int64 {
+	vm.retBuf[0] = v
+	return vm.retBuf[:1]
 }
 
 // Run executes the program to completion and returns its exit value
@@ -122,279 +198,380 @@ func (vm *VM) Run() (int64, error) {
 	}
 	vm.halted = true
 
+	comp := vm.comp
+	if comp == nil {
+		c, err := Compile(vm.prog)
+		if err != nil {
+			return 0, err
+		}
+		comp = c
+		vm.comp = c
+	}
+
 	if vm.cfg.Account != nil {
 		if err := vm.cfg.Account.Charge(quota.Memory, uint64(vm.cfg.MemSize)); err != nil {
 			return 0, ErrMemQuota
 		}
 	}
-	vm.mem = make([]byte, vm.cfg.MemSize)
+	// Reset scrubbed any previous run's bytes up to the dirty watermark,
+	// so a recycled buffer is all-zero and only needs reslicing.
+	if cap(vm.mem) >= vm.cfg.MemSize {
+		vm.mem = vm.mem[:vm.cfg.MemSize]
+	} else {
+		vm.mem = make([]byte, vm.cfg.MemSize)
+	}
 	if len(vm.prog.Data) > len(vm.mem) {
 		return 0, ErrMemBounds
 	}
 	copy(vm.mem, vm.prog.Data)
-
-	var chunkUsed uint64 // instructions since last quota flush
-	flush := func() error {
-		if vm.cfg.Account != nil && chunkUsed > 0 {
-			if err := vm.cfg.Account.Charge(quota.CPU, chunkUsed); err != nil {
-				chunkUsed = 0
-				return ErrGas
-			}
-		}
-		chunkUsed = 0
-		return nil
+	if n := len(vm.prog.Data); n > vm.dirtyHi {
+		vm.dirtyHi = n
 	}
+	if cap(vm.stack) >= vm.cfg.MaxStack {
+		vm.stack = vm.stack[:vm.cfg.MaxStack]
+	} else {
+		vm.stack = make([]int64, vm.cfg.MaxStack)
+	}
+	vm.sp = 0
+	return vm.exec(comp.ins)
+}
 
-	code := vm.prog.Code
-	for vm.pc < len(code) {
-		if vm.cfg.Gas > 0 && vm.steps >= vm.cfg.Gas {
-			flush()
+// flushChunk charges the accumulated instruction chunk to the CPU
+// quota; a failed charge is gas exhaustion.
+func (vm *VM) flushChunk() error {
+	if vm.cfg.Account != nil && vm.chunk > 0 {
+		if err := vm.cfg.Account.Charge(quota.CPU, vm.chunk); err != nil {
+			vm.chunk = 0
+			return ErrGas
+		}
+	}
+	vm.chunk = 0
+	return nil
+}
+
+// exec is the dispatch loop over the compiled instruction stream.
+func (vm *VM) exec(ins []instr) (int64, error) {
+	var (
+		stack = vm.stack
+		sp    = 0
+		pc    = 0
+		gas   = vm.cfg.Gas
+	)
+	for pc < len(ins) {
+		in := &ins[pc]
+		cost := uint64(in.cost)
+		if gas > 0 && vm.steps+cost > gas {
+			vm.sp = sp
+			vm.flushChunk()
 			return 0, ErrGas
 		}
-		vm.steps++
-		chunkUsed++
-		if chunkUsed >= GasChunk {
-			if err := flush(); err != nil {
+		vm.steps += cost
+		vm.chunk += cost
+		if vm.chunk >= GasChunk {
+			if err := vm.flushChunk(); err != nil {
+				vm.sp = sp
 				return 0, err
 			}
 		}
-
-		op := Opcode(code[vm.pc])
-		pc := vm.pc
-		vm.pc += 1 + operandWidth(op)
+		pc++
 
 		var err error
-		switch op {
+		switch in.op {
 		case OpHalt:
-			flush()
-			if len(vm.stack) == 0 {
+			vm.sp = sp
+			vm.flushChunk()
+			if sp == 0 {
 				return 0, nil
 			}
-			return vm.stack[len(vm.stack)-1], nil
+			return stack[sp-1], nil
 
 		case OpPush:
-			err = vm.push(int64(binary.LittleEndian.Uint64(code[pc+1:])))
+			if sp == len(stack) {
+				err = ErrStackLimit
+			} else {
+				stack[sp] = in.a
+				sp++
+			}
 		case OpPop:
-			_, err = vm.pop()
+			if sp == 0 {
+				err = ErrStack
+			} else {
+				sp--
+			}
 		case OpDup:
-			var v int64
-			if v, err = vm.peek(); err == nil {
-				err = vm.push(v)
+			if sp == 0 {
+				err = ErrStack
+			} else if sp == len(stack) {
+				err = ErrStackLimit
+			} else {
+				stack[sp] = stack[sp-1]
+				sp++
 			}
 		case OpSwap:
-			if len(vm.stack) < 2 {
+			if sp < 2 {
 				err = ErrStack
 			} else {
-				n := len(vm.stack)
-				vm.stack[n-1], vm.stack[n-2] = vm.stack[n-2], vm.stack[n-1]
+				stack[sp-1], stack[sp-2] = stack[sp-2], stack[sp-1]
 			}
 		case OpOver:
-			if len(vm.stack) < 2 {
+			if sp < 2 {
 				err = ErrStack
+			} else if sp == len(stack) {
+				err = ErrStackLimit
 			} else {
-				err = vm.push(vm.stack[len(vm.stack)-2])
+				stack[sp] = stack[sp-2]
+				sp++
 			}
 
 		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
 			OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
-			err = vm.binop(op)
+			if sp < 2 {
+				err = ErrStack
+			} else {
+				sp--
+				var r int64
+				r, err = binopEval(in.op, stack[sp-1], stack[sp])
+				stack[sp-1] = r
+			}
 		case OpNeg:
-			var v int64
-			if v, err = vm.pop(); err == nil {
-				err = vm.push(-v)
+			if sp == 0 {
+				err = ErrStack
+			} else {
+				stack[sp-1] = -stack[sp-1]
 			}
 		case OpNot:
-			var v int64
-			if v, err = vm.pop(); err == nil {
-				err = vm.push(^v)
+			if sp == 0 {
+				err = ErrStack
+			} else {
+				stack[sp-1] = ^stack[sp-1]
 			}
 
 		case OpJmp:
-			vm.pc = int(binary.LittleEndian.Uint32(code[pc+1:]))
+			pc = int(in.a)
 		case OpJz, OpJnz:
-			var v int64
-			if v, err = vm.pop(); err == nil {
-				if (op == OpJz) == (v == 0) {
-					vm.pc = int(binary.LittleEndian.Uint32(code[pc+1:]))
+			if sp == 0 {
+				err = ErrStack
+			} else {
+				sp--
+				if (in.op == OpJz) == (stack[sp] == 0) {
+					pc = int(in.a)
 				}
 			}
 		case OpCall:
 			if len(vm.calls) >= vm.cfg.MaxCalls {
 				err = ErrCallDepth
 			} else {
-				vm.calls = append(vm.calls, vm.pc)
-				vm.pc = int(binary.LittleEndian.Uint32(code[pc+1:]))
+				vm.calls = append(vm.calls, pc)
+				pc = int(in.a)
 			}
 		case OpRet:
 			if len(vm.calls) == 0 {
 				// Returning from top level halts cleanly.
-				flush()
-				if len(vm.stack) == 0 {
+				vm.sp = sp
+				vm.flushChunk()
+				if sp == 0 {
 					return 0, nil
 				}
-				return vm.stack[len(vm.stack)-1], nil
+				return stack[sp-1], nil
 			}
-			vm.pc = vm.calls[len(vm.calls)-1]
+			pc = vm.calls[len(vm.calls)-1]
 			vm.calls = vm.calls[:len(vm.calls)-1]
 
 		case OpLoad:
-			idx := binary.LittleEndian.Uint16(code[pc+1:])
-			if int(idx) >= globalSlots {
+			if int(in.a) >= globalSlots {
 				err = ErrGlobal
+			} else if sp == len(stack) {
+				err = ErrStackLimit
 			} else {
-				err = vm.push(vm.globals[idx])
+				stack[sp] = vm.globals[in.a]
+				sp++
 			}
 		case OpStore:
-			idx := binary.LittleEndian.Uint16(code[pc+1:])
-			var v int64
-			if v, err = vm.pop(); err == nil {
-				if int(idx) >= globalSlots {
-					err = ErrGlobal
-				} else {
-					vm.globals[idx] = v
-				}
+			if sp == 0 {
+				err = ErrStack
+			} else if int(in.a) >= globalSlots {
+				err = ErrGlobal
+			} else {
+				sp--
+				vm.globals[in.a] = stack[sp]
 			}
 
 		case OpMload:
-			var addr int64
-			if addr, err = vm.pop(); err == nil {
-				if addr < 0 || addr >= int64(len(vm.mem)) {
-					err = ErrMemBounds
-				} else {
-					err = vm.push(int64(vm.mem[addr]))
-				}
+			if sp == 0 {
+				err = ErrStack
+			} else if addr := stack[sp-1]; addr < 0 || addr >= int64(len(vm.mem)) {
+				err = ErrMemBounds
+			} else {
+				stack[sp-1] = int64(vm.mem[addr])
 			}
 		case OpMstore:
-			var v, addr int64
-			if v, err = vm.pop(); err == nil {
-				if addr, err = vm.pop(); err == nil {
-					if addr < 0 || addr >= int64(len(vm.mem)) {
-						err = ErrMemBounds
-					} else {
-						vm.mem[addr] = byte(v)
-					}
+			if sp < 2 {
+				err = ErrStack
+			} else if addr := stack[sp-2]; addr < 0 || addr >= int64(len(vm.mem)) {
+				err = ErrMemBounds
+			} else {
+				vm.mem[addr] = byte(stack[sp-1])
+				if int(addr) >= vm.dirtyHi {
+					vm.dirtyHi = int(addr) + 1
 				}
+				sp -= 2
 			}
 		case OpMsize:
-			err = vm.push(int64(len(vm.mem)))
+			if sp == len(stack) {
+				err = ErrStackLimit
+			} else {
+				stack[sp] = int64(len(vm.mem))
+				sp++
+			}
 
 		case OpSys:
-			num := binary.LittleEndian.Uint16(code[pc+1:])
-			sc, ok := vm.cfg.Syscalls[num]
+			sc, ok := vm.cfg.Syscalls[uint16(in.a)]
 			if !ok {
 				err = ErrBadSys
 				break
 			}
-			args := make([]int64, sc.Arity)
-			for i := sc.Arity - 1; i >= 0; i-- {
-				if args[i], err = vm.pop(); err != nil {
+			var args []int64
+			if arity := sc.Arity; arity > 0 {
+				if sp < arity {
+					err = ErrStack
 					break
 				}
+				sp -= arity
+				if arity <= len(vm.argBuf) {
+					args = vm.argBuf[:arity]
+				} else {
+					args = make([]int64, arity)
+				}
+				copy(args, stack[sp:sp+arity])
 			}
-			if err != nil {
-				break
-			}
+			vm.sp = sp // keep VM state coherent for the host callback
 			var rets []int64
 			rets, err = sc.Fn(vm, args)
 			for _, r := range rets {
 				if err != nil {
 					break
 				}
-				err = vm.push(r)
+				if sp == len(stack) {
+					err = ErrStackLimit
+					break
+				}
+				stack[sp] = r
+				sp++
+			}
+
+		// Fused superinstructions (see compile.go). Each preserves the
+		// exact fault semantics of its source pair, checked in source
+		// order; gas-wise the pair is atomic.
+		case opPushBin:
+			if sp == len(stack) {
+				err = ErrStackLimit // the push half would overflow
+			} else if sp == 0 {
+				err = ErrStack
+			} else {
+				var r int64
+				r, err = binopEval(Opcode(in.b), stack[sp-1], in.a)
+				stack[sp-1] = r
+			}
+		case opLoadBin:
+			if int(in.a) >= globalSlots {
+				err = ErrGlobal
+			} else if sp == len(stack) {
+				err = ErrStackLimit
+			} else if sp == 0 {
+				err = ErrStack
+			} else {
+				var r int64
+				r, err = binopEval(Opcode(in.b), stack[sp-1], vm.globals[in.a])
+				stack[sp-1] = r
+			}
+		case opCmpJmp:
+			if sp < 2 {
+				err = ErrStack
+			} else {
+				sp -= 2
+				var t bool
+				a, b := stack[sp], stack[sp+1]
+				switch Opcode(in.b >> 1) {
+				case OpEq:
+					t = a == b
+				case OpNe:
+					t = a != b
+				case OpLt:
+					t = a < b
+				case OpLe:
+					t = a <= b
+				case OpGt:
+					t = a > b
+				case OpGe:
+					t = a >= b
+				}
+				if t == (in.b&1 == 1) {
+					pc = int(in.a)
+				}
 			}
 
 		default:
-			err = fmt.Errorf("wvm: invalid opcode %d (verifier bypassed?)", op)
+			err = fmt.Errorf("wvm: invalid opcode %d (verifier bypassed?)", in.op)
 		}
 
 		if err != nil {
-			flush()
-			return 0, fmt.Errorf("wvm: at offset %d (%s): %w", pc, op, err)
+			vm.sp = sp
+			vm.flushChunk()
+			return 0, fmt.Errorf("wvm: at offset %d (%s): %w", in.off, in.faultOp(), err)
 		}
 	}
 	// Fell off the end of the code segment: clean halt.
-	flush()
-	if len(vm.stack) == 0 {
+	vm.sp = sp
+	vm.flushChunk()
+	if sp == 0 {
 		return 0, nil
 	}
-	return vm.stack[len(vm.stack)-1], nil
+	return stack[sp-1], nil
 }
 
-func (vm *VM) push(v int64) error {
-	if len(vm.stack) >= vm.cfg.MaxStack {
-		return ErrStackLimit
-	}
-	vm.stack = append(vm.stack, v)
-	return nil
-}
-
-func (vm *VM) pop() (int64, error) {
-	if len(vm.stack) == 0 {
-		return 0, ErrStack
-	}
-	v := vm.stack[len(vm.stack)-1]
-	vm.stack = vm.stack[:len(vm.stack)-1]
-	return v, nil
-}
-
-func (vm *VM) peek() (int64, error) {
-	if len(vm.stack) == 0 {
-		return 0, ErrStack
-	}
-	return vm.stack[len(vm.stack)-1], nil
-}
-
-func (vm *VM) binop(op Opcode) error {
-	b, err := vm.pop()
-	if err != nil {
-		return err
-	}
-	a, err := vm.pop()
-	if err != nil {
-		return err
-	}
-	var r int64
+// binopEval computes one two-operand operation.
+func binopEval(op Opcode, a, b int64) (int64, error) {
 	switch op {
 	case OpAdd:
-		r = a + b
+		return a + b, nil
 	case OpSub:
-		r = a - b
+		return a - b, nil
 	case OpMul:
-		r = a * b
+		return a * b, nil
 	case OpDiv:
 		if b == 0 {
-			return ErrDivZero
+			return 0, ErrDivZero
 		}
-		r = a / b
+		return a / b, nil
 	case OpMod:
 		if b == 0 {
-			return ErrDivZero
+			return 0, ErrDivZero
 		}
-		r = a % b
+		return a % b, nil
 	case OpAnd:
-		r = a & b
+		return a & b, nil
 	case OpOr:
-		r = a | b
+		return a | b, nil
 	case OpXor:
-		r = a ^ b
+		return a ^ b, nil
 	case OpShl:
-		r = a << (uint64(b) & 63)
+		return a << (uint64(b) & 63), nil
 	case OpShr:
-		r = int64(uint64(a) >> (uint64(b) & 63))
+		return int64(uint64(a) >> (uint64(b) & 63)), nil
 	case OpEq:
-		r = btoi(a == b)
+		return btoi(a == b), nil
 	case OpNe:
-		r = btoi(a != b)
+		return btoi(a != b), nil
 	case OpLt:
-		r = btoi(a < b)
+		return btoi(a < b), nil
 	case OpLe:
-		r = btoi(a <= b)
+		return btoi(a <= b), nil
 	case OpGt:
-		r = btoi(a > b)
+		return btoi(a > b), nil
 	case OpGe:
-		r = btoi(a >= b)
+		return btoi(a >= b), nil
 	}
-	return vm.push(r)
+	return 0, nil
 }
 
 func btoi(b bool) int64 {
