@@ -138,14 +138,26 @@ func Compile(p *Program) (*Compiled, error) {
 	return &Compiled{prog: p, ins: ins}, nil
 }
 
-// faultOp is the opcode reported in a fault message: for fused
-// instructions, the half that can actually fault.
-func (in *instr) faultOp() Opcode {
+// faultSite is the byte offset and opcode reported in a fault message.
+// For fused pairs it attributes err to the half an unfused run would
+// blame: a stack-limit fault (or a bad global for opLoadBin) belongs to
+// the first half, everything else — stack underflow, div-by-zero — to
+// the second, whose offset follows the first's operand. opCmpJmp can
+// only underflow on the comparison, its first half.
+func (in *instr) faultSite(err error) (int32, Opcode) {
 	switch in.op {
-	case opPushBin, opLoadBin:
-		return Opcode(in.b)
+	case opPushBin:
+		if err == ErrStackLimit {
+			return in.off, OpPush
+		}
+		return in.off + 1 + int32(operandWidth(OpPush)), Opcode(in.b)
+	case opLoadBin:
+		if err == ErrStackLimit || err == ErrGlobal {
+			return in.off, OpLoad
+		}
+		return in.off + 1 + int32(operandWidth(OpLoad)), Opcode(in.b)
 	case opCmpJmp:
-		return Opcode(in.b >> 1)
+		return in.off, Opcode(in.b >> 1)
 	}
-	return in.op
+	return in.off, in.op
 }

@@ -49,6 +49,11 @@ func FuzzVMRun(f *testing.F) {
 		"loop: jmp loop\n",
 		".data d \"abcdef\"\npush 2\nmload\npush 0\nswap\nmstore\nhalt\n",
 		"push 100\nstore 3\nl: load 3\npush 1\nsub\ndup\nstore 3\njnz l\nhalt\n",
+		// Hostile addr/n into the host memory API: near-MaxInt64 values
+		// that overflow a naive addr+n bounds check.
+		"push 9223372036854775807\npush 16\nsys 1\nhalt\n",
+		"push 4611686018427387904\npush 4611686018427387904\nsys 1\nhalt\n",
+		"push 9223372036854775807\npush 9223372036854775807\nsys 1\nhalt\n",
 	} {
 		p, err := Assemble(src, nil)
 		if err != nil {
@@ -60,6 +65,23 @@ func FuzzVMRun(f *testing.F) {
 	f.Add([]byte{byte(OpPush)}) // truncated operand
 	f.Add([]byte{byte(OpJmp), 0xFF, 0xFF, 0xFF, 0x7F})
 
+	// Syscall 1 forwards guest-controlled addr/n straight into the host
+	// memory API, so the fuzzer probes the ReadMem/Mem/WriteMem bounds
+	// checks (historically overflowable near MaxInt64).
+	table := SyscallTable{
+		1: {Name: "memprobe", Arity: 2, Fn: func(vm *VM, args []int64) ([]int64, error) {
+			if b, err := vm.ReadMem(args[0], args[1]); err == nil {
+				if err := vm.WriteMem(args[0], b); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := vm.Mem(args[0], args[1]); err != nil {
+				return vm.Ret1(-1), nil // typed bounds rejection, keep running
+			}
+			return vm.Ret1(0), nil
+		}},
+	}
+
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		const gas = 50_000
 		run := func(prog *Program) {
@@ -67,7 +89,7 @@ func FuzzVMRun(f *testing.F) {
 			if err != nil {
 				return // verifier rejected it — the correct outcome for junk
 			}
-			vm := New(comp.Program(), Config{Gas: gas, MemSize: 4 << 10, MaxStack: 64, MaxCalls: 16})
+			vm := New(comp.Program(), Config{Gas: gas, MemSize: 4 << 10, MaxStack: 64, MaxCalls: 16, Syscalls: table})
 			_, err = vm.Run()
 			if err != nil && !knownRunError(err) {
 				t.Fatalf("untyped run error: %v", err)

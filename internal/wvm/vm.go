@@ -149,7 +149,9 @@ func (vm *VM) Steps() uint64 { return vm.steps }
 // ReadMem copies n bytes of linear memory at addr; syscall helpers use
 // it to fetch strings and buffers from guest memory.
 func (vm *VM) ReadMem(addr, n int64) ([]byte, error) {
-	if addr < 0 || n < 0 || addr+n > int64(len(vm.mem)) {
+	// Guest-controlled addr and n: compare against len-n instead of
+	// addr+n, which can wrap negative and pass the check.
+	if addr < 0 || n < 0 || n > int64(len(vm.mem)) || addr > int64(len(vm.mem))-n {
 		return nil, ErrMemBounds
 	}
 	out := make([]byte, n)
@@ -163,7 +165,7 @@ func (vm *VM) ReadMem(addr, n int64) ([]byte, error) {
 // the backing array belongs to a possibly-pooled VM. Use WriteMem for
 // writes (it maintains the scrub watermark).
 func (vm *VM) Mem(addr, n int64) ([]byte, error) {
-	if addr < 0 || n < 0 || addr+n > int64(len(vm.mem)) {
+	if addr < 0 || n < 0 || n > int64(len(vm.mem)) || addr > int64(len(vm.mem))-n {
 		return nil, ErrMemBounds
 	}
 	return vm.mem[addr : addr+n : addr+n], nil
@@ -171,7 +173,8 @@ func (vm *VM) Mem(addr, n int64) ([]byte, error) {
 
 // WriteMem copies b into linear memory at addr.
 func (vm *VM) WriteMem(addr int64, b []byte) error {
-	if addr < 0 || addr+int64(len(b)) > int64(len(vm.mem)) {
+	n := int64(len(b))
+	if addr < 0 || n > int64(len(vm.mem)) || addr > int64(len(vm.mem))-n {
 		return ErrMemBounds
 	}
 	copy(vm.mem[addr:], b)
@@ -279,7 +282,13 @@ func (vm *VM) exec(ins []instr) (int64, error) {
 		switch in.op {
 		case OpHalt:
 			vm.sp = sp
-			vm.flushChunk()
+			// The tail charge must land even on a clean exit: short
+			// programs (< GasChunk instructions) only ever flush here,
+			// and an exhausted account must fail the request, not be
+			// silently comped.
+			if err := vm.flushChunk(); err != nil {
+				return 0, err
+			}
 			if sp == 0 {
 				return 0, nil
 			}
@@ -368,7 +377,9 @@ func (vm *VM) exec(ins []instr) (int64, error) {
 			if len(vm.calls) == 0 {
 				// Returning from top level halts cleanly.
 				vm.sp = sp
-				vm.flushChunk()
+				if err := vm.flushChunk(); err != nil {
+					return 0, err
+				}
 				if sp == 0 {
 					return 0, nil
 				}
@@ -516,13 +527,19 @@ func (vm *VM) exec(ins []instr) (int64, error) {
 
 		if err != nil {
 			vm.sp = sp
+			// The fault already fails the run; a flush failure here just
+			// means the account is exhausted too, and the fault stays the
+			// primary error.
 			vm.flushChunk()
-			return 0, fmt.Errorf("wvm: at offset %d (%s): %w", in.off, in.faultOp(), err)
+			off, fop := in.faultSite(err)
+			return 0, fmt.Errorf("wvm: at offset %d (%s): %w", off, fop, err)
 		}
 	}
 	// Fell off the end of the code segment: clean halt.
 	vm.sp = sp
-	vm.flushChunk()
+	if err := vm.flushChunk(); err != nil {
+		return 0, err
+	}
 	if sp == 0 {
 		return 0, nil
 	}

@@ -2,6 +2,9 @@ package wvm
 
 import (
 	"errors"
+	"fmt"
+	"math"
+	"strings"
 	"testing"
 
 	"w5/internal/quota"
@@ -403,6 +406,123 @@ func TestGlobalsIsolatedPerVM(t *testing.T) {
 	v2, err2 := New(p, Config{}).Run()
 	if err1 != nil || err2 != nil || v1 != 42 || v2 != 42 {
 		t.Errorf("runs: %d/%v, %d/%v", v1, err1, v2, err2)
+	}
+}
+
+// Guest-controlled addr/n near MaxInt64 used to wrap the addr+n bounds
+// check negative and panic on the slice expression. Every combination
+// must return ErrMemBounds, never panic.
+func TestMemBoundsOverflowNoPanic(t *testing.T) {
+	p, _ := Assemble("halt", nil)
+	vm := New(p, Config{MemSize: 4096})
+	if _, err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	const max = int64(math.MaxInt64)
+	reads := []struct{ addr, n int64 }{
+		{max, 10}, {10, max}, {max, max}, {1 << 62, 1 << 62},
+		{max - 1, 2}, {4096, 1}, {-1, 1}, {0, -1}, {max, -1},
+	}
+	for _, c := range reads {
+		if _, err := vm.ReadMem(c.addr, c.n); !errors.Is(err, ErrMemBounds) {
+			t.Errorf("ReadMem(%d, %d) = %v, want ErrMemBounds", c.addr, c.n, err)
+		}
+		if _, err := vm.Mem(c.addr, c.n); !errors.Is(err, ErrMemBounds) {
+			t.Errorf("Mem(%d, %d) = %v, want ErrMemBounds", c.addr, c.n, err)
+		}
+	}
+	for _, c := range []struct {
+		addr int64
+		n    int
+	}{{max, 1}, {max - 2, 4}, {1 << 62, 4096}, {-1, 1}, {4093, 4}} {
+		if err := vm.WriteMem(c.addr, make([]byte, c.n)); !errors.Is(err, ErrMemBounds) {
+			t.Errorf("WriteMem(%d, %d bytes) = %v, want ErrMemBounds", c.addr, c.n, err)
+		}
+	}
+	// Legal edge accesses still work.
+	if err := vm.WriteMem(4094, []byte("ok")); err != nil {
+		t.Errorf("in-bounds WriteMem: %v", err)
+	}
+	if b, err := vm.ReadMem(4094, 2); err != nil || string(b) != "ok" {
+		t.Errorf("in-bounds ReadMem = %q, %v", b, err)
+	}
+	if _, err := vm.Mem(0, 4096); err != nil {
+		t.Errorf("full-window Mem: %v", err)
+	}
+}
+
+// The same overflow reached the bounds checks through addr-taking
+// syscalls; a one-instruction hostile program must fault, not panic.
+func TestMemBoundsOverflowViaSyscall(t *testing.T) {
+	table := SyscallTable{
+		1: {Name: "peek", Arity: 2, Fn: func(vm *VM, args []int64) ([]int64, error) {
+			if _, err := vm.ReadMem(args[0], args[1]); err != nil {
+				return nil, err
+			}
+			return vm.Ret1(0), nil
+		}},
+	}
+	src := fmt.Sprintf("push %d\npush 16\nsys 1\nhalt", int64(math.MaxInt64))
+	p, err := Assemble(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(p, Config{Syscalls: table}).Run(); !errors.Is(err, ErrMemBounds) {
+		t.Errorf("hostile syscall args: %v, want ErrMemBounds", err)
+	}
+}
+
+// A program shorter than GasChunk only flushes its CPU charge at exit;
+// when the account is already exhausted that tail charge must fail the
+// run with ErrGas instead of being silently dropped.
+func TestTailChargeFailureFailsShortProgram(t *testing.T) {
+	acct := quota.NewAccount("app:x", quota.Limits{CPU: 3})
+	if err := acct.Charge(quota.CPU, 3); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := Assemble("push 1\nhalt", nil) // 2 instructions, far below GasChunk
+	if _, err := New(p, Config{Account: acct}).Run(); !errors.Is(err, ErrGas) {
+		t.Errorf("exhausted account, short program: %v, want ErrGas", err)
+	}
+	// With headroom the same program succeeds and the tail is billed.
+	acct2 := quota.NewAccount("app:y", quota.Limits{CPU: 100})
+	vm := New(p, Config{Account: acct2})
+	if _, err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if used := acct2.Used(quota.CPU); used != vm.Steps() {
+		t.Errorf("CPU billed = %d, want %d (all steps)", used, vm.Steps())
+	}
+}
+
+// Faults inside fused superinstructions must report the byte offset and
+// opcode an unfused run of the same bytecode would report.
+func TestFusedFaultOffsets(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+		cfg             Config
+		err             error
+	}{
+		// push(9B)@0, push(9B)@9, div@18 — pair (push,div) fuses at 9;
+		// the div-by-zero belongs to the div at 18.
+		{"pushbin second half", "push 1\npush 0\ndiv\nhalt", "at offset 18 (div)", Config{}, ErrDivZero},
+		// Underflow: unfused push would succeed, add@9 underflows.
+		{"pushbin underflow", "push 1\nadd\nhalt", "at offset 9 (add)", Config{}, ErrStack},
+		// Overflow: the push half @9 is what an unfused run rejects.
+		{"pushbin overflow", "push 1\npush 2\nadd\nhalt", "at offset 9 (push)", Config{MaxStack: 1}, ErrStackLimit},
+		// load(3B)@0, add@3 — underflow belongs to the add.
+		{"loadbin underflow", "load 0\nadd\nhalt", "at offset 3 (add)", Config{}, ErrStack},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := run(t, tt.src, tt.cfg)
+			if !errors.Is(err, tt.err) {
+				t.Fatalf("err = %v, want %v", err, tt.err)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("fault message %q, want it to contain %q", err, tt.want)
+			}
+		})
 	}
 }
 
