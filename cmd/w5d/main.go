@@ -45,6 +45,7 @@ import (
 	"w5/internal/apps"
 	"w5/internal/audit"
 	"w5/internal/core"
+	"w5/internal/declass"
 	"w5/internal/federation"
 	"w5/internal/gateway"
 	"w5/internal/loadgen"
@@ -119,6 +120,8 @@ func main() {
 		"sanitized-output cache entry cap (0 = disable the cache)")
 	sanCacheBytes := flag.Int64("sanitize-cache-bytes", 16<<20,
 		"sanitized-output cache byte cap (0 = disable the cache)")
+	declassCacheEntries := flag.Int("declass-cache-entries", declass.DefaultVerdictCacheEntries,
+		"declassifier verdict cache entry cap (0 = consult policies on every export)")
 	loginRate := flag.Float64("login-rate", 1,
 		"per-source login/signup attempts per second (0 = unlimited)")
 	loginBurst := flag.Float64("login-burst", 10,
@@ -171,6 +174,7 @@ func main() {
 	if *auditStderr {
 		p.Log.SetSink(os.Stderr)
 	}
+	p.Declass.SetVerdictCacheEntries(*declassCacheEntries)
 	for _, app := range []core.App{
 		apps.Social{}, apps.PhotoShare{}, apps.Blog{},
 		apps.Recommend{}, apps.Dating{}, apps.Mashup{},

@@ -1,16 +1,23 @@
-// Marketplace: the paper's developer ecosystem (§2, §3.2) in one run.
-// A developer uploads an open-source module (the registry verifies the
-// listing reproduces the bytecode); another developer forks it; an
-// editor endorses; users' dependency structure feeds CodeRank; and a
-// search returns rank-ordered results. Finally the uploaded module
-// actually RUNS as a confined application.
+// Marketplace: the paper's developer ecosystem (§2, §3.2) in one run,
+// end to end. A developer uploads an open-source module (the registry
+// verifies the listing reproduces the bytecode); another developer
+// forks it; an editor endorses; users' dependency structure feeds
+// CodeRank; discovery is served rank-ordered off the catalogue
+// snapshot and the cached rank view; a provider pins the audited
+// version; the uploaded module actually RUNS as a confined
+// application; and finally data crosses the perimeter the only way it
+// can — through a user-authorized declassifier, whose verdict the
+// second read gets from the epoch-keyed cache.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"w5/internal/apps"
 	"w5/internal/core"
+	"w5/internal/declass"
+	"w5/internal/difc"
 	"w5/internal/rank"
 	"w5/internal/registry"
 	"w5/internal/wvm"
@@ -83,15 +90,35 @@ func main() {
 	p.Registry.RecordEmbed("blogapp", "photoapp")
 	p.Registry.Endorse("editor:webweekly", "greeter")
 
-	// Code search, rank-ordered (§3.2).
-	fmt.Println("\ncode search 'greeter' (rank-ordered):")
-	for _, r := range rank.SearchRanked(p.Registry, "greeter", rank.Options{}) {
+	// Code search, rank-ordered (§3.2) — served the way the gateway
+	// serves it: off the immutable catalogue snapshot and the Index's
+	// cached CodeRank view, no locks and no power iteration per query.
+	ix := rank.NewIndex(rank.Options{})
+	fmt.Println("\ncode search 'greeter' (rank-ordered, cached view):")
+	for _, r := range ix.SearchRanked(p.Registry, "greeter") {
 		fmt.Printf("  %-16s score %.4f\n", r.Module, r.Score)
 	}
+	fmt.Printf("rank view: seq %d, %d power-iteration steps\n",
+		ix.View(p.Registry).Seq, ix.View(p.Registry).Iterations)
 	fmt.Println("developer trust ranking:")
 	for _, r := range rank.DeveloperRank(p.Registry, rank.Options{}) {
 		fmt.Printf("  %-6s %.4f\n", r.Module, r.Score)
 	}
+
+	// The provider audits 1.0 and pins it: a later 1.1 upload does not
+	// change what "greeter" resolves to until the pin moves.
+	if _, err := p.Registry.Put(registry.Upload{
+		Module: "greeter", Version: "1.1", Developer: "devA",
+		Kind: registry.KindApp, Program: prog,
+		Source: greeterSource, SysNames: core.AppSyscallNames,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Registry.Pin("greeter", "1.0"); err != nil {
+		log.Fatal(err)
+	}
+	pinned, _ := p.Registry.Get("greeter", "")
+	fmt.Printf("\npinned greeter@%s (1.1 published, pin holds)\n", pinned.Version)
 
 	// And the module actually runs, confined, for a real user.
 	p.CreateUser("mallory", "pw") // even mallory can safely run it
@@ -106,5 +133,47 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nrunning greeter for mallory: %q\n", body)
+	fmt.Printf("running greeter for mallory: %q\n", body)
+
+	// Last leg of the lifecycle: a cross-user read. Alice's profile is
+	// secrecy-labeled, so Bob only sees it because Alice authorized a
+	// FriendList declassifier and listed him. The first read consults
+	// the policy (reads and parses her friend file); the second is
+	// served from the verdict cache, keyed by Alice's credential epoch —
+	// revoking the grant or unfriending Bob would bump the epoch and
+	// strand the cached positive.
+	p.InstallApp(apps.Social{})
+	for _, u := range []string{"alice", "bob"} {
+		if _, err := p.CreateUser(u, "pw"); err != nil {
+			log.Fatal(err)
+		}
+		if err := p.EnableApp(u, "social"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	au, _ := p.GetUser("alice")
+	label := difc.LabelPair{
+		Secrecy:   difc.NewLabel(au.SecrecyTag),
+		Integrity: difc.NewLabel(au.WriteTag),
+	}
+	cred := p.UserCred("alice")
+	p.FS.Write(cred, "/home/alice/social/profile", []byte("name: alice\nbio: likes marketplaces\n"), label)
+	p.FS.Write(cred, "/home/alice/social/friends", []byte("bob\n"), label)
+	if err := p.AuthorizeDeclassifier("alice", declass.FriendList{}); err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		inv, err := p.Invoke("social", core.AppRequest{
+			Viewer: "bob", Owner: "alice", Path: "/profile",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := p.ExportCheck(inv, "bob"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	hits, misses, _ := p.Declass.CacheStats()
+	fmt.Printf("\nbob read alice's profile twice: declassifier consulted once, "+
+		"verdict cache %d hit / %d miss\n", hits, misses)
 }

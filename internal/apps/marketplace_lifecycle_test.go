@@ -1,0 +1,343 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"w5/internal/core"
+	"w5/internal/declass"
+	"w5/internal/difc"
+	"w5/internal/quota"
+	"w5/internal/rank"
+	"w5/internal/registry"
+)
+
+// The marketplace lifecycle differential suite: every lifecycle
+// operation — publish, fork, pin, endorse, declassifier grant and
+// revocation, friend-list edits, and declassifier-gated reads — is
+// applied to two identically seeded providers, one with the declass
+// verdict cache enabled (the default) and one with it disabled. The
+// two must stay byte-identical in responses, audit events, and quota
+// bills across seeded-random interleavings; this is what licenses
+// serving cached verdicts on the request path. Style follows the WVM
+// twin harness in wvmtwin_test.go.
+
+var lcUsers = []string{"alice", "bob", "carol", "dana"}
+
+// lcProvider pairs a provider with its rank index (the gateway owns
+// the index in production; here each twin gets its own).
+type lcProvider struct {
+	p  *core.Provider
+	rk *rank.Index
+}
+
+// newLifecyclePair builds the (cached, uncached) provider pair. The
+// ONLY difference between the two is SetVerdictCacheEntries(0) on the
+// second; everything observable must nevertheless agree.
+func newLifecyclePair(t *testing.T) (lcProvider, lcProvider) {
+	t.Helper()
+	mk := func(cache bool) lcProvider {
+		p := core.NewProvider(core.Config{Name: "lc", Enforce: true})
+		p.Registry.SetClock(func() time.Time { return time.Unix(0, 0) })
+		p.InstallApp(Social{})
+		for _, u := range lcUsers {
+			if _, err := p.CreateUser(u, "pw"); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.EnableApp(u, "social"); err != nil {
+				t.Fatal(err)
+			}
+			if err := p.GrantWrite(u, "social"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !cache {
+			p.Declass.SetVerdictCacheEntries(0)
+		}
+		return lcProvider{p: p, rk: rank.NewIndex(rank.Options{})}
+	}
+	return mk(true), mk(false)
+}
+
+// lcWriteOwnerFile writes an owner-labeled file directly (the way the
+// friend list is edited), returning the error string for diffing.
+func lcWriteOwnerFile(t *testing.T, p *core.Provider, owner, rel string, data []byte) string {
+	t.Helper()
+	u, err := p.GetUser(owner)
+	if err != nil {
+		t.Fatalf("get user %s: %v", owner, err)
+	}
+	label := difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}
+	return errStr(p.FS.Write(p.UserCred(owner), "/home/"+owner+rel, data, label))
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return "<ok>"
+	}
+	return err.Error()
+}
+
+func lcEvents(p *core.Provider, from uint64) string {
+	var b strings.Builder
+	for _, e := range p.Log.Since(from) {
+		fmt.Fprintf(&b, "%s|%s|%s|%s\n", e.Kind, e.Actor, e.Subject, e.Detail)
+	}
+	return b.String()
+}
+
+// lcStep runs one lifecycle operation on both providers and fails on
+// any divergence in the operation's rendered outcome or audit delta.
+func lcStep(t *testing.T, desc string, a, b lcProvider, op func(lc lcProvider) string) {
+	t.Helper()
+	fromA, fromB := uint64(a.p.Log.Len()), uint64(b.p.Log.Len())
+	outA, outB := op(a), op(b)
+	if outA != outB {
+		t.Fatalf("%s: outcome diverged:\ncached:   %q\nuncached: %q", desc, outA, outB)
+	}
+	if evA, evB := lcEvents(a.p, fromA), lcEvents(b.p, fromB); evA != evB {
+		t.Fatalf("%s: audit trail diverged:\ncached:\n%s\nuncached:\n%s", desc, evA, evB)
+	}
+}
+
+// lcRead renders everything observable about one declassifier-gated
+// read: invocation error, status, content type, export verdict, and
+// the (possibly policy-rewritten) body.
+func lcRead(t *testing.T, lc lcProvider, viewer, owner string) string {
+	t.Helper()
+	inv, err := lc.p.Invoke("social", core.AppRequest{
+		Viewer: viewer, Owner: owner, Path: "/profile", Method: "GET",
+	})
+	if err != nil {
+		return "invoke-err: " + err.Error()
+	}
+	body, exErr := lc.p.ExportCheck(inv, viewer)
+	return fmt.Sprintf("status=%d ctype=%s export=%s body=%q",
+		inv.Response.Status, inv.Response.ContentType, errStr(exErr), body)
+}
+
+// lcSearch renders a registry snapshot search in deterministic name
+// order (rank ordering is float-valued and compared separately with a
+// tolerance, not byte-compared).
+func lcSearch(lc lcProvider, query string) string {
+	rv := lc.p.Registry.View()
+	var b strings.Builder
+	fmt.Fprintf(&b, "seq=%d\n", rv.Seq())
+	for _, v := range rv.Search(query) {
+		fmt.Fprintf(&b, "%s@%s by %s open=%v endorse=%d deps=%v fork=%q %s\n",
+			v.Module, v.Version, v.Developer, v.OpenSource,
+			rv.EndorsementCount(v.Module), v.Deps, v.ForkOf, v.Summary)
+	}
+	return b.String()
+}
+
+func TestMarketplaceLifecycleDifferential(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if s := os.Getenv("W5_LIFECYCLE_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad W5_LIFECYCLE_SEED: %v", err)
+		}
+		seeds = []int64{v}
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runLifecycleDifferential(t, seed, 400)
+		})
+	}
+}
+
+func runLifecycleDifferential(t *testing.T, seed int64, rounds int) {
+	ca, un := newLifecyclePair(t)
+	rng := rand.New(rand.NewSource(seed))
+	pick := func(ss []string) string { return ss[rng.Intn(len(ss))] }
+
+	// Pre-assembled module sources for publish/fork ops. The module
+	// name pool is larger than the source pool: names and programs mix
+	// freely, and re-publishing an existing version must fail
+	// identically on both sides.
+	twins := WVMTwins()
+	progs := make([]*registry.Upload, len(twins))
+	for i, tw := range twins {
+		prog, err := AssembleWVMTwin(tw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs[i] = &registry.Upload{
+			Program: prog, Source: tw.Source, SysNames: core.AppSyscallNames,
+			Summary: "marketplace build of " + tw.Name,
+		}
+	}
+	modules := []string{"notes", "notes-lite", "gallery", "planner"}
+	versions := []string{"1.0", "1.1", "2.0", "3.0"}
+
+	// The policy pool deliberately mixes cacheable policies with the
+	// two non-cacheable shapes (Chameleon rewrites the payload, Any
+	// over a Chameleon poisons composition) so the suite exercises the
+	// cache-bypass path too.
+	policies := []declass.Policy{
+		declass.FriendList{},
+		declass.Public{},
+		declass.OwnerOnly{},
+		declass.Group{GroupName: "room", Members: []string{"bob", "carol"}},
+		declass.Chameleon{Inner: declass.FriendList{}},
+		declass.Any{Policies: []declass.Policy{declass.OwnerOnly{}, declass.FriendList{}}},
+	}
+	policyNames := make([]string, len(policies))
+	for i, p := range policies {
+		policyNames[i] = p.Name()
+	}
+
+	owners := append(append([]string(nil), lcUsers...), "nosuchuser", "")
+
+	for i := 0; i < rounds; i++ {
+		viewer := pick(lcUsers)
+		owner := pick(owners)
+		switch rng.Intn(12) {
+		case 0, 1, 2, 3: // declassifier-gated read (the hot path)
+			lcStep(t, fmt.Sprintf("round %d: read %s←%s", i, owner, viewer), ca, un,
+				func(lc lcProvider) string { return lcRead(t, lc, viewer, owner) })
+		case 4: // profile write through the app (advances the owner epoch)
+			body := fmt.Sprintf("profile of %s at round %d\n[private]\nsecret %d\n[/private]\ntail", owner, i, rng.Int63())
+			lcStep(t, fmt.Sprintf("round %d: write %s", i, owner), ca, un,
+				func(lc lcProvider) string {
+					inv, err := lc.p.Invoke("social", core.AppRequest{
+						Viewer: viewer, Owner: owner, Path: "/profile", Method: "POST",
+						Params: map[string]string{"body": body},
+					})
+					if err != nil {
+						return "invoke-err: " + err.Error()
+					}
+					return fmt.Sprintf("status=%d", inv.Response.Status)
+				})
+		case 5: // friend-list edit (a new epoch mid-stream)
+			if owner == "" || owner == "nosuchuser" {
+				owner = viewer
+			}
+			n := rng.Intn(len(lcUsers) + 1)
+			friends := make([]string, 0, n)
+			for j := 0; j < n; j++ {
+				friends = append(friends, pick(lcUsers))
+			}
+			data := []byte("# friends\n" + strings.Join(friends, "\n") + "\n")
+			ow := owner
+			lcStep(t, fmt.Sprintf("round %d: friends %s=%v", i, ow, friends), ca, un,
+				func(lc lcProvider) string { return lcWriteOwnerFile(t, lc.p, ow, "/social/friends", data) })
+		case 6: // declassifier grant
+			if owner == "" || owner == "nosuchuser" {
+				owner = viewer
+			}
+			pol := policies[rng.Intn(len(policies))]
+			ow := owner
+			lcStep(t, fmt.Sprintf("round %d: grant %s %s", i, ow, pol.Name()), ca, un,
+				func(lc lcProvider) string { return errStr(lc.p.AuthorizeDeclassifier(ow, pol)) })
+		case 7: // declassifier revocation
+			if owner == "" || owner == "nosuchuser" {
+				owner = viewer
+			}
+			name := pick(policyNames)
+			ow := owner
+			lcStep(t, fmt.Sprintf("round %d: revoke %s %s", i, ow, name), ca, un,
+				func(lc lcProvider) string { lc.p.Declass.Revoke(ow, name); return "<ok>" })
+		case 8: // publish (sometimes a duplicate version → identical refusal)
+			up := *progs[rng.Intn(len(progs))]
+			up.Module = pick(modules)
+			up.Version = pick(versions)
+			up.Developer = viewer
+			up.Kind = registry.KindApp
+			if rng.Intn(4) == 0 {
+				up.Deps = []string{pick(modules)}
+			}
+			lcStep(t, fmt.Sprintf("round %d: publish %s@%s", i, up.Module, up.Version), ca, un,
+				func(lc lcProvider) string {
+					v, err := lc.p.Registry.Put(up)
+					if err != nil {
+						return "put-err: " + err.Error()
+					}
+					return "hash=" + v.Hash
+				})
+		case 9: // fork or pin
+			src := pick(modules)
+			if rng.Intn(2) == 0 {
+				dst := src + "-fork" + strconv.Itoa(rng.Intn(3))
+				dev := viewer
+				lcStep(t, fmt.Sprintf("round %d: fork %s→%s", i, src, dst), ca, un,
+					func(lc lcProvider) string {
+						_, err := lc.p.Registry.Fork(dev, src, "", dst, "1.0")
+						return errStr(err)
+					})
+			} else {
+				ver := pick(append([]string(nil), "", versions[rng.Intn(len(versions))]))
+				lcStep(t, fmt.Sprintf("round %d: pin %s@%q", i, src, ver), ca, un,
+					func(lc lcProvider) string { return errStr(lc.p.Registry.Pin(src, ver)) })
+			}
+		case 10: // endorse / embed edge
+			mod := pick(modules)
+			if rng.Intn(2) == 0 {
+				ed := viewer
+				lcStep(t, fmt.Sprintf("round %d: endorse %s by %s", i, mod, ed), ca, un,
+					func(lc lcProvider) string { return errStr(lc.p.Registry.Endorse(ed, mod)) })
+			} else {
+				to := pick(modules)
+				lcStep(t, fmt.Sprintf("round %d: embed %s→%s", i, mod, to), ca, un,
+					func(lc lcProvider) string { lc.p.Registry.RecordEmbed(mod, to); return "<ok>" })
+			}
+		case 11: // snapshot search (name-ordered, byte-compared)
+			q := pick([]string{"", "notes", "gallery", "marketplace", "zzz"})
+			lcStep(t, fmt.Sprintf("round %d: search %q", i, q), ca, un,
+				func(lc lcProvider) string { return lcSearch(lc, q) })
+		}
+
+		// Rank views are float-valued, so they are compared with a
+		// tolerance rather than byte-for-byte, every so often.
+		if i%50 == 49 {
+			va := ca.rk.View(ca.p.Registry)
+			vb := un.rk.View(un.p.Registry)
+			if va.Seq != vb.Seq || len(va.Scores) != len(vb.Scores) {
+				t.Fatalf("round %d: rank views diverged: seq %d/%d, %d/%d modules",
+					i, va.Seq, vb.Seq, len(va.Scores), len(vb.Scores))
+			}
+			for name, sa := range va.Scores {
+				sb, ok := vb.Scores[name]
+				if !ok || sa-sb > 1e-6 || sb-sa > 1e-6 {
+					t.Fatalf("round %d: rank score diverged for %s: %v vs %v", i, name, sa, sb)
+				}
+			}
+		}
+	}
+
+	// The quota ledgers must agree exactly: a cache hit skips the
+	// policy's owner-file read, and that read was free (FS.Read charges
+	// nothing), so no dimension may drift.
+	accA := ca.p.Quotas.Account("app:social")
+	accB := un.p.Quotas.Account("app:social")
+	for _, r := range []quota.Resource{quota.Disk, quota.Query, quota.Network, quota.CPU, quota.Memory} {
+		if accA.Used(r) != accB.Used(r) {
+			t.Errorf("app:social %s bill diverged: cached=%d uncached=%d", r, accA.Used(r), accB.Used(r))
+		}
+	}
+
+	// Sanity: the corpus actually hit the cache on one side only.
+	hits, misses, _ := ca.p.Declass.CacheStats()
+	if hits == 0 {
+		t.Fatal("cached provider saw no verdict-cache hits")
+	}
+	if misses == 0 {
+		t.Fatal("cached provider saw no verdict-cache misses")
+	}
+	if h, _, _ := un.p.Declass.CacheStats(); h != 0 {
+		t.Fatalf("uncached provider reported %d cache hits", h)
+	}
+	if ca.p.Log.Len() == 0 {
+		t.Fatal("corpus produced no audit events")
+	}
+}

@@ -1,0 +1,163 @@
+package benchutil
+
+// Marketplace request-path entries: the declassifier consultation with
+// and without the verdict cache, catalogue-snapshot search, and the
+// warm-started CodeRank recompute. The cached/uncached declass pair is
+// the PR's headline acceptance line: decide-cached must come in at or
+// under half the uncached cost, or the cache is not paying for its
+// complexity.
+
+import (
+	"fmt"
+
+	"w5/internal/audit"
+	"w5/internal/core"
+	"w5/internal/declass"
+	"w5/internal/difc"
+	"w5/internal/rank"
+	"w5/internal/registry"
+	"w5/internal/wvm"
+)
+
+// benchEnv is the owner environment the measured FriendList policy
+// reads from; the friend file is ~32 lines, the shape a real social
+// account carries.
+type benchEnv struct{ files map[string][]byte }
+
+func (e benchEnv) ReadOwnerFile(path string) ([]byte, error) {
+	if b, ok := e.files[path]; ok {
+		return b, nil
+	}
+	return nil, fmt.Errorf("benchutil: no file %s", path)
+}
+
+// measureDeclassDecide times Manager.Ask for a friend-list consultation
+// — the per-export policy cost on the request path — uncached (every
+// Ask re-reads and re-parses the friend file) and cached (epoch-keyed
+// verdict hit; the audit append still happens, as in production).
+func measureDeclassDecide() ([]Result, error) {
+	var friends []byte
+	for i := 0; i < 32; i++ {
+		friends = append(friends, fmt.Sprintf("friend%04d\n", i)...)
+	}
+	env := benchEnv{files: map[string][]byte{"/social/friends": friends}}
+	m := declass.NewManager(func(string) declass.Env { return env }, audit.New())
+	m.Authorize("owner", declass.FriendList{}, difc.NewCapSet(difc.Minus(1)))
+	req := declass.Request{
+		Owner: "owner", Viewer: "friend0017", App: "app:social", Path: "/profile",
+	}
+	ask := func() error {
+		d, _, err := m.Ask(req)
+		if err != nil {
+			return err
+		}
+		if !d.Allow {
+			return fmt.Errorf("benchutil: declass bench denied: %s", d.Reason)
+		}
+		return nil
+	}
+
+	m.SetVerdictCacheEntries(0)
+	uncached, err := runFixed("declass/decide", invokeIters, ask)
+	if err != nil {
+		return nil, err
+	}
+	m.SetVerdictCacheEntries(declass.DefaultVerdictCacheEntries)
+	if err := ask(); err != nil { // warm the cache outside the timing
+		return nil, err
+	}
+	cached, err := runFixed("declass/decide-cached", invokeIters, ask)
+	if err != nil {
+		return nil, err
+	}
+	return []Result{uncached, cached}, nil
+}
+
+// benchRegistry builds a catalogue shaped like a modest marketplace:
+// modules modules with one-line summaries and a dependency graph (every
+// module imports a few earlier ones, plus embed edges onto the hubs).
+func benchRegistry(modules int) (*registry.Registry, error) {
+	prog, err := wvm.Assemble("start:\n  push 0\n  halt\n", core.AppSyscallNames)
+	if err != nil {
+		return nil, err
+	}
+	r := registry.New(nil)
+	for i := 0; i < modules; i++ {
+		var deps []string
+		for d := 1; d <= 3 && i-d*7 >= 0; d++ {
+			deps = append(deps, fmt.Sprintf("mod%04d", i-d*7))
+		}
+		if _, err := r.Put(registry.Upload{
+			Module:    fmt.Sprintf("mod%04d", i),
+			Version:   "1.0",
+			Developer: fmt.Sprintf("dev%d", i%8),
+			Kind:      registry.KindApp,
+			Program:   prog,
+			Deps:      deps,
+			Summary:   fmt.Sprintf("module %d: photo social blog utility", i),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < modules; i += 5 {
+		r.RecordEmbed(fmt.Sprintf("mod%04d", i), "mod0000")
+	}
+	for e := 0; e < 4; e++ {
+		if err := r.Endorse(fmt.Sprintf("editor%d", e), fmt.Sprintf("mod%04d", e*3)); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// measureRegistrySearch times a catalogue-snapshot substring search —
+// the lock-free /registry/search read path, minus HTTP.
+func measureRegistrySearch(r *registry.Registry) (Result, error) {
+	v := r.View()
+	if n := len(v.Search("photo")); n == 0 {
+		return Result{}, fmt.Errorf("benchutil: search bench matches nothing")
+	}
+	return runFixed("registry/search", invokeIters, func() error {
+		if len(r.View().Search("photo")) == 0 {
+			return fmt.Errorf("benchutil: search lost its matches")
+		}
+		return nil
+	})
+}
+
+// measureRankRecompute times one full warm-started CodeRank recompute
+// over the bench catalogue — the cost a catalogue mutation imposes on
+// the next search, which the Index pays once per change sequence.
+func measureRankRecompute(r *registry.Registry) (Result, error) {
+	ix := rank.NewIndex(rank.Options{})
+	if v := ix.Refresh(r); len(v.Scores) == 0 {
+		return Result{}, fmt.Errorf("benchutil: rank bench ranked nothing")
+	}
+	return runFixed("rank/recompute", 2_000, func() error {
+		if v := ix.Refresh(r); len(v.Ordered) == 0 {
+			return fmt.Errorf("benchutil: rank recompute lost its modules")
+		}
+		return nil
+	})
+}
+
+// measureMarketplace bundles the marketplace entries.
+func measureMarketplace() ([]Result, error) {
+	out, err := measureDeclassDecide()
+	if err != nil {
+		return nil, err
+	}
+	reg, err := benchRegistry(64)
+	if err != nil {
+		return nil, err
+	}
+	search, err := measureRegistrySearch(reg)
+	if err != nil {
+		return nil, err
+	}
+	recompute, err := measureRankRecompute(reg)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, search, recompute), nil
+}

@@ -700,9 +700,11 @@ func measureGatewayParallel(p *core.Provider, goroutines int) (Result, error) {
 // MeasureRequestPath runs the full request-path suite — invoke→export
 // at two population scales, the raw store hot path, parallel store
 // reads, the HTTP-level gateway request path, the audit append path
-// (inline + 1M-event sustained spill), and the labeled tuple store
+// (inline + 1M-event sustained spill), the labeled tuple store
 // (scan, indexed point query, unique-indexed insert, per-table
-// parallel selects) — and assembles the Report.
+// parallel selects), and the marketplace lifecycle (declassifier
+// consultation uncached vs verdict-cached, catalogue-snapshot search,
+// warm-started CodeRank recompute) — and assembles the Report.
 func MeasureRequestPath(progress func(Result)) (Report, error) {
 	report := Report{
 		Benchmark: "requestpath",
@@ -807,6 +809,13 @@ func MeasureRequestPath(progress func(Result)) (Report, error) {
 		return report, err
 	}
 	for _, r := range tableRes {
+		add(r)
+	}
+	marketRes, err := measureMarketplace()
+	if err != nil {
+		return report, err
+	}
+	for _, r := range marketRes {
 		add(r)
 	}
 	if ns100 > 0 {

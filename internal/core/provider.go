@@ -203,6 +203,17 @@ func NewProvider(cfg Config) *Provider {
 		appGrants: make(map[string]*appGrant),
 	}
 	p.Declass = declass.NewManager(p.ownerEnv, log)
+	// Declassifier verdicts may depend on the owner's stored data (the
+	// friend list, group rosters). Any mutation under a user's home
+	// advances that user's declassifier credential epoch, so cached
+	// verdicts computed from the old data become unreachable — the
+	// "edited friend list is a new epoch" invalidation argument
+	// (internal/declass/README.md).
+	fs.SetWriteObserver(func(parts []string) {
+		if len(parts) >= 2 && parts[0] == "home" {
+			p.Declass.Invalidate(parts[1])
+		}
+	})
 	return p
 }
 
@@ -589,4 +600,12 @@ func (p *Provider) lookupApp(name string) (installedApp, bool) {
 	defer p.mu.RUnlock()
 	a, ok := p.goApps[name]
 	return a, ok
+}
+
+// AppInstalled reports whether an app with the given name is
+// installed and invokable. The gateway uses it to decide whether an
+// enable request should first install the module from the registry.
+func (p *Provider) AppInstalled(name string) bool {
+	_, ok := p.lookupApp(name)
+	return ok
 }

@@ -1,0 +1,193 @@
+// Verdict caching: the declassifier consultation on the export path is
+// the last per-request DIFC cost that was still paid in full on every
+// request (a policy consultation reads owner files — the friend list —
+// and walks the grant chain). This file adds a bounded verdict cache in
+// the style of the table package's credential-epoch visibility cache
+// (PR 5): verdicts are keyed by an owner "epoch" that advances on every
+// grant change AND on every write to the owner's data, so a revoked
+// grant or an edited friend list makes every previously cached verdict
+// unreachable — a stale positive can never be served. The full
+// soundness and covert-channel argument lives in README.md.
+package declass
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"w5/internal/difc"
+)
+
+// DefaultVerdictCacheEntries bounds the verdict cache a NewManager
+// starts with. At ~128 bytes per entry the default costs well under a
+// megabyte.
+const DefaultVerdictCacheEntries = 4096
+
+// Cacheable is an optional Policy extension. A policy whose Decide is a
+// pure function of (owner, viewer, app, path) and the owner's stored
+// data — no payload inspection, no clocks, no other ambient state —
+// reports true and becomes eligible for verdict caching. Policies that
+// do not implement Cacheable are conservatively treated as
+// non-cacheable and consulted fresh on every request.
+type Cacheable interface {
+	CacheableVerdict() bool
+}
+
+// The stock gate-only policies are pure in exactly the cached sense:
+// OwnerOnly and Group read only the request, FriendList reads only the
+// request plus the owner's friend file (covered by the owner-data
+// epoch; see Invalidate). Public is constant.
+func (OwnerOnly) CacheableVerdict() bool  { return true }
+func (Public) CacheableVerdict() bool     { return true }
+func (FriendList) CacheableVerdict() bool { return true }
+func (Group) CacheableVerdict() bool      { return true }
+
+// WVMPolicy verdicts are cacheable: the VM is deterministic and its
+// syscall surface exposes only the viewer name, owner name, and owner
+// files — all covered by the epoch. (TimeWindow reads the clock and
+// Chameleon rewrites the payload; neither implements Cacheable.)
+func (p WVMPolicy) CacheableVerdict() bool { return true }
+
+// Any is cacheable iff every inner policy is.
+func (a Any) CacheableVerdict() bool {
+	for _, p := range a.Policies {
+		if !policyCacheable(p) {
+			return false
+		}
+	}
+	return len(a.Policies) > 0
+}
+
+func policyCacheable(p Policy) bool {
+	c, ok := p.(Cacheable)
+	return ok && c.CacheableVerdict()
+}
+
+// ownerState is the immutable (epoch, fingerprint, grant count) triple
+// published per owner. Republished under Manager.mu on every grant
+// change; read lock-free on the Ask path.
+type ownerState struct {
+	epoch uint64 // advances on Authorize/Revoke/Invalidate; never reused
+	fpr   uint64 // FNV-1a over the grant chain's policy names, in order
+	n     int    // grant count (0 short-circuits to ErrNoPolicy)
+}
+
+// republishOwner recomputes and publishes owner's state. Caller holds
+// m.mu.
+func (m *Manager) republishOwner(owner string) {
+	var epoch uint64
+	if prev, ok := m.owners.Load(owner); ok {
+		epoch = prev.(*ownerState).epoch
+	}
+	gs := m.grants[owner]
+	h := fnv.New64a()
+	for _, g := range gs {
+		h.Write([]byte(g.policy.Name()))
+		h.Write([]byte{0})
+	}
+	m.owners.Store(owner, &ownerState{epoch: epoch + 1, fpr: h.Sum64(), n: len(gs)})
+}
+
+// Invalidate advances owner's credential epoch without changing the
+// grant set, making every cached verdict for the owner unreachable.
+// The provider calls this from its store write observer whenever any
+// file under the owner's home changes — the "edited friend list is a
+// new epoch" half of the invalidation argument.
+func (m *Manager) Invalidate(owner string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prev, ok := m.owners.Load(owner)
+	if !ok {
+		return // nothing granted, nothing cached
+	}
+	st := prev.(*ownerState)
+	m.owners.Store(owner, &ownerState{epoch: st.epoch + 1, fpr: st.fpr, n: st.n})
+}
+
+// SetVerdictCacheEntries resizes the verdict cache (dropping all cached
+// verdicts); entries <= 0 disables caching entirely. Safe to call
+// concurrently with Ask.
+func (m *Manager) SetVerdictCacheEntries(entries int) {
+	if entries <= 0 {
+		m.cache.Store((*verdictCache)(nil))
+		return
+	}
+	m.cache.Store(newVerdictCache(entries))
+}
+
+// CacheStats reports verdict-cache hits, misses, and generation
+// flushes since the cache was created.
+func (m *Manager) CacheStats() (hits, misses, flushes uint64) {
+	c := m.cache.Load()
+	if c == nil {
+		return 0, 0, 0
+	}
+	return c.hits.Load(), c.misses.Load(), c.flushes.Load()
+}
+
+// verdictKey identifies one consultation. The payload is deliberately
+// absent: only verdicts independent of it are ever stored.
+type verdictKey struct {
+	owner, viewer, app, path string
+}
+
+// verdict is one cached consultation outcome, pinned to the owner
+// state it was computed under. Immutable once stored.
+type verdict struct {
+	epoch  uint64
+	fpr    uint64
+	allow  bool
+	reason string
+	policy string      // deciding policy name (allow verdicts)
+	caps   difc.CapSet // capabilities deposited with the deciding grant
+}
+
+// verdictCache is a bounded lock-free map with generation flushing:
+// when the entry count reaches the cap the whole generation is dropped
+// and a fresh map published — O(1), no eviction scans, and sound
+// because entries revalidate (epoch, fingerprint) on every hit anyway.
+type verdictCache struct {
+	capacity int64
+	count    atomic.Int64
+	gen      atomic.Pointer[sync.Map]
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	flushes  atomic.Uint64
+}
+
+func newVerdictCache(entries int) *verdictCache {
+	c := &verdictCache{capacity: int64(entries)}
+	c.gen.Store(&sync.Map{})
+	return c
+}
+
+// lookup returns the cached verdict for k iff it was computed under
+// exactly the given owner state.
+func (c *verdictCache) lookup(k verdictKey, epoch, fpr uint64) *verdict {
+	if v, ok := c.gen.Load().Load(k); ok {
+		ve := v.(*verdict)
+		if ve.epoch == epoch && ve.fpr == fpr {
+			c.hits.Add(1)
+			return ve
+		}
+	}
+	c.misses.Add(1)
+	return nil
+}
+
+func (c *verdictCache) store(k verdictKey, v *verdict) {
+	m := c.gen.Load()
+	if _, loaded := m.LoadOrStore(k, v); loaded {
+		// Refresh an existing (likely epoch-stale) entry in place; the
+		// count is unchanged.
+		m.Store(k, v)
+		return
+	}
+	if c.count.Add(1) >= c.capacity {
+		// Generation flush. Two racing flushes publish two fresh maps;
+		// the loser's entries are simply lost — harmless.
+		c.gen.Store(&sync.Map{})
+		c.count.Store(0)
+		c.flushes.Add(1)
+	}
+}

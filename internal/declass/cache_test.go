@@ -1,0 +1,287 @@
+package declass
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"w5/internal/audit"
+	"w5/internal/difc"
+)
+
+// mutEnv is a mutable owner environment shared between the two managers
+// under differential test, so both always read identical owner data.
+type mutEnv struct {
+	files map[string]string
+}
+
+func (e *mutEnv) ReadOwnerFile(path string) ([]byte, error) {
+	v, ok := e.files[path]
+	if !ok {
+		return nil, errors.New("not found")
+	}
+	return []byte(v), nil
+}
+
+func fmtDecision(d Decision, caps difc.CapSet, err error) string {
+	e := "<nil>"
+	if err != nil {
+		e = err.Error()
+	}
+	return fmt.Sprintf("allow=%v reason=%q data=%q caps=%v err=%s", d.Allow, d.Reason, d.Data, caps, e)
+}
+
+func fmtTrail(log *audit.Log, from uint64) string {
+	var b strings.Builder
+	for _, e := range log.Since(from) {
+		fmt.Fprintf(&b, "%s|%s|%s|%s\n", e.Kind, e.Actor, e.Subject, e.Detail)
+	}
+	return b.String()
+}
+
+// TestVerdictCacheDifferential drives a cached and an uncached Manager
+// through seeded-random interleavings of grants, revocations,
+// friend-list edits, and Asks. Decisions, capabilities, errors, and
+// audit trails must stay byte-identical — the property that licenses
+// serving cached verdicts at all.
+func TestVerdictCacheDifferential(t *testing.T) {
+	users := []string{"alice", "bob", "carol", "dana"}
+	envs := map[string]*mutEnv{}
+	for _, u := range users {
+		envs[u] = &mutEnv{files: map[string]string{}}
+	}
+	envFor := func(owner string) Env {
+		if e, ok := envs[owner]; ok {
+			return e
+		}
+		return noEnv{}
+	}
+	logC, logU := audit.New(), audit.New()
+	cached := NewManager(envFor, logC)
+	uncached := NewManager(envFor, logU)
+	uncached.SetVerdictCacheEntries(0)
+
+	policies := []Policy{
+		Public{},
+		OwnerOnly{},
+		FriendList{},
+		Group{GroupName: "room", Members: []string{"bob", "carol"}},
+		Chameleon{Inner: FriendList{}},
+		Any{Policies: []Policy{OwnerOnly{}, FriendList{}}},
+	}
+	names := make([]string, len(policies))
+	for i, p := range policies {
+		names[i] = p.Name()
+	}
+	caps := difc.NewCapSet(difc.Minus(7))
+
+	rng := rand.New(rand.NewSource(11))
+	pick := func(ss []string) string { return ss[rng.Intn(len(ss))] }
+	viewers := append(append([]string(nil), users...), "", "stranger")
+
+	for i := 0; i < 2000; i++ {
+		owner := pick(users)
+		fromC, fromU := uint64(logC.Len()), uint64(logU.Len())
+		var outC, outU string
+		var desc string
+		switch n := rng.Intn(10); {
+		case n < 6: // Ask — the hot path, most frequent
+			r := Request{
+				Owner: owner, Viewer: pick(viewers), App: "app:test",
+				Path: pick([]string{"/p", "/q"}),
+				Data: []byte("line\n[private]\nhidden\n[/private]\nend"),
+			}
+			desc = fmt.Sprintf("ask %s←%s %s", r.Owner, r.Viewer, r.Path)
+			d, c, err := cached.Ask(r)
+			outC = fmtDecision(d, c, err)
+			d, c, err = uncached.Ask(r)
+			outU = fmtDecision(d, c, err)
+		case n < 7: // grant
+			p := policies[rng.Intn(len(policies))]
+			desc = fmt.Sprintf("grant %s %s", owner, p.Name())
+			cached.Authorize(owner, p, caps)
+			uncached.Authorize(owner, p, caps)
+		case n < 8: // revoke
+			name := pick(names)
+			desc = fmt.Sprintf("revoke %s %s", owner, name)
+			cached.Revoke(owner, name)
+			uncached.Revoke(owner, name)
+		default: // friend-list edit mid-stream: shared env + epoch bump
+			var fs []string
+			for j := rng.Intn(3); j > 0; j-- {
+				fs = append(fs, pick(users))
+			}
+			desc = fmt.Sprintf("friends %s=%v", owner, fs)
+			envs[owner].files["/social/friends"] = strings.Join(fs, "\n")
+			cached.Invalidate(owner)
+			uncached.Invalidate(owner)
+		}
+		if outC != outU {
+			t.Fatalf("round %d (%s): decision diverged:\ncached:   %s\nuncached: %s", i, desc, outC, outU)
+		}
+		if tc, tu := fmtTrail(logC, fromC), fmtTrail(logU, fromU); tc != tu {
+			t.Fatalf("round %d (%s): audit trail diverged:\ncached:\n%s\nuncached:\n%s", i, desc, tc, tu)
+		}
+	}
+	if hits, _, _ := cached.CacheStats(); hits == 0 {
+		t.Fatal("differential corpus never hit the cache")
+	}
+	if hits, _, _ := uncached.CacheStats(); hits != 0 {
+		t.Fatalf("disabled cache reported %d hits", hits)
+	}
+}
+
+// TestRevokedGrantNeverServedCachedPositive is the named invalidation
+// guarantee from the design note: once a grant is revoked or the data a
+// policy depends on changes, a previously cached allow verdict is
+// unreachable — the very next Ask re-consults and denies.
+func TestRevokedGrantNeverServedCachedPositive(t *testing.T) {
+	env := &mutEnv{files: map[string]string{"/social/friends": "alice\n"}}
+	m := NewManager(func(string) Env { return env }, nil)
+	caps := difc.NewCapSet(difc.Minus(9))
+	ask := func() (Decision, error) {
+		d, _, err := m.Ask(Request{Owner: "bob", Viewer: "alice", App: "a", Path: "/p"})
+		return d, err
+	}
+
+	// Scenario 1: revoking the only grant. Warm the cache first and
+	// prove the second Ask was served from it.
+	m.Authorize("bob", Public{}, caps)
+	if d, err := ask(); err != nil || !d.Allow {
+		t.Fatalf("initial ask: %+v %v", d, err)
+	}
+	if d, err := ask(); err != nil || !d.Allow {
+		t.Fatalf("warm ask: %+v %v", d, err)
+	}
+	hits, _, _ := m.CacheStats()
+	if hits == 0 {
+		t.Fatal("second ask was not a cache hit; the scenario is vacuous")
+	}
+	m.Revoke("bob", "public")
+	if d, err := ask(); !errors.Is(err, ErrNoPolicy) || d.Allow {
+		t.Fatalf("ask after revoking sole grant: allow=%v err=%v, want deny+ErrNoPolicy", d.Allow, err)
+	}
+
+	// Scenario 2: revoking one of two grants changes the fingerprint,
+	// so the cached positive from the permissive policy is unreachable
+	// and the surviving stricter policy decides fresh.
+	m.Authorize("bob", Public{}, caps)
+	m.Authorize("bob", FriendList{}, caps)
+	if d, _ := ask(); !d.Allow {
+		t.Fatal("public grant should allow")
+	}
+	h0, _, _ := m.CacheStats()
+	if d, _ := ask(); !d.Allow {
+		t.Fatal("warm ask should allow")
+	}
+	if h1, _, _ := m.CacheStats(); h1 == h0 {
+		t.Fatal("warm ask was not a cache hit")
+	}
+	m.Revoke("bob", "public")
+	env.files["/social/friends"] = "# nobody\n"
+	m.Invalidate("bob") // what the provider's store observer does on the edit
+	if d, err := ask(); err != nil || d.Allow {
+		t.Fatalf("ask after revoke+unfriend: allow=%v err=%v, want fresh deny", d.Allow, err)
+	}
+
+	// Scenario 3: the friend-list edit alone (grant set unchanged).
+	env.files["/social/friends"] = "alice\n"
+	m.Invalidate("bob")
+	if d, _ := ask(); !d.Allow {
+		t.Fatal("refriended ask should allow")
+	}
+	if d, _ := ask(); !d.Allow {
+		t.Fatal("warm refriended ask should allow")
+	}
+	env.files["/social/friends"] = ""
+	m.Invalidate("bob")
+	if d, _ := ask(); d.Allow {
+		t.Fatal("cached positive served after unfriending edit")
+	}
+}
+
+// TestVerdictCacheability pins the cacheability contract: pure
+// gate-only policies opt in, payload- and clock-dependent policies stay
+// out, and one non-cacheable policy in the consulted prefix poisons the
+// whole verdict.
+func TestVerdictCacheability(t *testing.T) {
+	cacheable := []Policy{
+		Public{}, OwnerOnly{}, FriendList{}, Group{GroupName: "g"},
+		Any{Policies: []Policy{OwnerOnly{}, Public{}}},
+	}
+	for _, p := range cacheable {
+		if !policyCacheable(p) {
+			t.Errorf("%s should be cacheable", p.Name())
+		}
+	}
+	uncacheable := []Policy{
+		Chameleon{Inner: Public{}},
+		TimeWindow{Inner: Public{}, FromHour: 0, ToHour: 24, Clock: time.Now},
+		Any{Policies: []Policy{Chameleon{Inner: Public{}}}},
+		Any{}, // vacuous disjunction: nothing to vouch for purity
+	}
+	for _, p := range uncacheable {
+		if policyCacheable(p) {
+			t.Errorf("%s should NOT be cacheable", p.Name())
+		}
+	}
+
+	// A Chameleon granted before a Public poisons caching even though
+	// Public ultimately decides some requests: the Chameleon's answer
+	// could change without an epoch bump (it rewrites per payload).
+	m := NewManager(nil, nil)
+	m.Authorize("o", Chameleon{Inner: OwnerOnly{}}, difc.EmptyCaps)
+	m.Authorize("o", Public{}, difc.EmptyCaps)
+	for i := 0; i < 3; i++ {
+		d, _, err := m.Ask(Request{Owner: "o", Viewer: "v", App: "a", Path: "/p", Data: []byte("x")})
+		if err != nil || !d.Allow {
+			t.Fatalf("ask %d: %+v %v", i, d, err)
+		}
+	}
+	if hits, _, _ := m.CacheStats(); hits != 0 {
+		t.Fatalf("poisoned verdict served from cache (%d hits)", hits)
+	}
+
+	// A rewritten payload (Decision.Data != nil) is never cached even
+	// when the deciding policy chain is otherwise cacheable-free.
+	m2 := NewManager(nil, nil)
+	m2.Authorize("o", Chameleon{Inner: Public{}}, difc.EmptyCaps)
+	for i := 0; i < 3; i++ {
+		d, _, err := m2.Ask(Request{Owner: "o", Viewer: "v", App: "a", Path: "/p",
+			Data: []byte("keep\n[private]\ndrop\n[/private]")})
+		if err != nil || !d.Allow || string(d.Data) != "keep" {
+			t.Fatalf("chameleon ask %d: %+v %v", i, d, err)
+		}
+	}
+	if hits, _, _ := m2.CacheStats(); hits != 0 {
+		t.Fatalf("payload-rewriting verdict served from cache (%d hits)", hits)
+	}
+}
+
+// TestVerdictCacheGenerationFlush fills a tiny cache past capacity and
+// checks the generation flush: the count resets, correctness holds, and
+// the flush counter advances.
+func TestVerdictCacheGenerationFlush(t *testing.T) {
+	m := NewManager(nil, nil)
+	m.SetVerdictCacheEntries(4)
+	m.Authorize("o", Public{}, difc.EmptyCaps)
+	for i := 0; i < 16; i++ {
+		viewer := fmt.Sprintf("v%d", i)
+		for j := 0; j < 2; j++ {
+			d, _, err := m.Ask(Request{Owner: "o", Viewer: viewer, App: "a", Path: "/p"})
+			if err != nil || !d.Allow {
+				t.Fatalf("ask %s/%d: %+v %v", viewer, j, d, err)
+			}
+		}
+	}
+	hits, misses, flushes := m.CacheStats()
+	if flushes == 0 {
+		t.Fatalf("no generation flush after 16 distinct keys in a 4-entry cache (hits=%d misses=%d)", hits, misses)
+	}
+	if hits == 0 {
+		t.Fatal("repeat asks between flushes never hit")
+	}
+}

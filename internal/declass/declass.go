@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"w5/internal/audit"
@@ -90,21 +91,31 @@ type grant struct {
 
 // Manager tracks which policies each user has authorized and holds the
 // corresponding export privileges. Safe for concurrent use.
+//
+// Verdicts from cacheable policies are served from a bounded cache
+// keyed by the owner's credential epoch and policy-set fingerprint; see
+// cache.go and README.md for the invalidation argument. Every cache hit
+// is audited identically to a fresh consultation.
 type Manager struct {
 	mu     sync.RWMutex
 	grants map[string][]grant // owner -> authorized policies, in grant order
 	envFor func(owner string) Env
 	log    *audit.Log
+	owners sync.Map // owner -> *ownerState, republished on every grant change
+	cache  atomic.Pointer[verdictCache]
 }
 
 // NewManager returns a Manager. envFor builds the owner-scoped data
 // view handed to policies (nil yields an Env whose reads always fail);
-// log may be nil.
+// log may be nil. The verdict cache starts enabled at
+// DefaultVerdictCacheEntries; SetVerdictCacheEntries(0) disables it.
 func NewManager(envFor func(owner string) Env, log *audit.Log) *Manager {
 	if envFor == nil {
 		envFor = func(string) Env { return noEnv{} }
 	}
-	return &Manager{grants: make(map[string][]grant), envFor: envFor, log: log}
+	m := &Manager{grants: make(map[string][]grant), envFor: envFor, log: log}
+	m.cache.Store(newVerdictCache(DefaultVerdictCacheEntries))
+	return m
 }
 
 type noEnv struct{}
@@ -121,6 +132,7 @@ func (m *Manager) Authorize(owner string, policy Policy, caps difc.CapSet) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.grants[owner] = append(m.grants[owner], grant{policy: policy, caps: caps})
+	m.republishOwner(owner)
 	if m.log != nil {
 		m.log.Appendf(audit.KindPolicyChange, owner, policy.Name(),
 			"authorized declassifier with %s", caps)
@@ -138,6 +150,7 @@ func (m *Manager) Revoke(owner, policyName string) {
 		}
 	}
 	m.grants[owner] = kept
+	m.republishOwner(owner)
 	if m.log != nil {
 		m.log.Appendf(audit.KindPolicyChange, owner, policyName, "revoked declassifier")
 	}
@@ -163,6 +176,31 @@ func (m *Manager) Policies(owner string) []string {
 // reason — the provider-visible trail that makes declassifiers "easier
 // to audit" operationally as well as statically.
 func (m *Manager) Ask(req Request) (Decision, difc.CapSet, error) {
+	// The owner's epoch/fingerprint pair is read BEFORE the grants and
+	// before any policy reads owner data: a concurrent grant change or
+	// owner-file write advances the epoch, so a verdict computed from
+	// the older state is stored under a key no future lookup can match
+	// — stale positives are unreachable, never served (see README.md).
+	st, _ := m.owners.Load(req.Owner)
+	if st == nil {
+		return Deny("no policy"), difc.EmptyCaps, ErrNoPolicy
+	}
+	state := st.(*ownerState)
+	if state.n == 0 {
+		return Deny("no policy"), difc.EmptyCaps, ErrNoPolicy
+	}
+	cache := m.cache.Load()
+	var key verdictKey
+	if cache != nil {
+		key = verdictKey{owner: req.Owner, viewer: req.Viewer, app: req.App, path: req.Path}
+		if v := cache.lookup(key, state.epoch, state.fpr); v != nil {
+			m.auditVerdict(req, v.allow, v.policy, v.reason)
+			if v.allow {
+				return Decision{Allow: true, Reason: v.reason}, v.caps, nil
+			}
+			return Deny(v.reason), difc.EmptyCaps, nil
+		}
+	}
 	m.mu.RLock()
 	grants := append([]grant(nil), m.grants[req.Owner]...)
 	m.mu.RUnlock()
@@ -170,25 +208,56 @@ func (m *Manager) Ask(req Request) (Decision, difc.CapSet, error) {
 		return Deny("no policy"), difc.EmptyCaps, ErrNoPolicy
 	}
 	env := m.envFor(req.Owner)
+	cacheable := cache != nil
 	var lastReason string
 	for _, g := range grants {
+		// A non-cacheable policy anywhere in the consulted prefix
+		// poisons the whole verdict: its future answer could change
+		// without an epoch bump and alter which policy decides.
+		if cacheable && !policyCacheable(g.policy) {
+			cacheable = false
+		}
 		d := g.policy.Decide(req, env)
 		if d.Allow {
-			if m.log != nil {
-				m.log.Appendf(audit.KindDeclassify, g.policy.Name(),
-					req.Owner+"→"+displayViewer(req.Viewer),
-					"app=%s path=%s: %s", req.App, req.Path, d.Reason)
+			m.auditVerdict(req, true, g.policy.Name(), d.Reason)
+			if cacheable && d.Data == nil {
+				cache.store(key, &verdict{
+					epoch: state.epoch, fpr: state.fpr,
+					allow: true, reason: d.Reason,
+					policy: g.policy.Name(), caps: g.caps,
+				})
 			}
 			return d, g.caps, nil
 		}
 		lastReason = d.Reason
 	}
-	if m.log != nil {
-		m.log.Appendf(audit.KindExportDenied, req.App,
-			req.Owner+"→"+displayViewer(req.Viewer),
-			"all policies refused: %s", lastReason)
+	m.auditVerdict(req, false, "", lastReason)
+	if cacheable {
+		cache.store(key, &verdict{
+			epoch: state.epoch, fpr: state.fpr,
+			allow: false, reason: lastReason,
+		})
 	}
 	return Deny(lastReason), difc.EmptyCaps, nil
+}
+
+// auditVerdict writes the consultation outcome to the audit log. Cache
+// hits and fresh consultations go through the same code path, so the
+// two produce byte-identical trails — the property the differential
+// lifecycle suite pins.
+func (m *Manager) auditVerdict(req Request, allow bool, policyName, reason string) {
+	if m.log == nil {
+		return
+	}
+	if allow {
+		m.log.Appendf(audit.KindDeclassify, policyName,
+			req.Owner+"→"+displayViewer(req.Viewer),
+			"app=%s path=%s: %s", req.App, req.Path, reason)
+	} else {
+		m.log.Appendf(audit.KindExportDenied, req.App,
+			req.Owner+"→"+displayViewer(req.Viewer),
+			"all policies refused: %s", reason)
+	}
 }
 
 func displayViewer(v string) string {

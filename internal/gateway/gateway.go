@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -46,6 +47,9 @@ import (
 	"w5/internal/declass"
 	"w5/internal/htmlsafe"
 	"w5/internal/quota"
+	"w5/internal/rank"
+	"w5/internal/registry"
+	"w5/internal/wvm"
 )
 
 // SessionCookie is the authentication cookie name.
@@ -132,6 +136,12 @@ type Gateway struct {
 	sanFP     uint64
 	sanCache  *htmlsafe.Cache
 	sanBufs   sync.Pool
+
+	// rankIdx serves /registry/search its CodeRank ordering: an
+	// immutable ranked view tracking the registry's change sequence,
+	// recomputed (warm-started) at most once per catalogue mutation
+	// and read lock-free on every search.
+	rankIdx *rank.Index
 }
 
 // maxPooledSanBuf caps the rewrite buffers the pool retains: one
@@ -149,10 +159,11 @@ func New(p *core.Provider, opts Options) *Gateway {
 		ttl = DefaultSessionTTL
 	}
 	g := &Gateway{
-		p:    p,
-		opts: opts,
-		mux:  http.NewServeMux(),
-		ttl:  ttl,
+		p:       p,
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		ttl:     ttl,
+		rankIdx: rank.NewIndex(rank.Options{}),
 	}
 	g.clock.Store(time.Now)
 	g.sanPolicy = htmlsafe.Policy{AllowedHashes: opts.ScriptAllowlist}
@@ -180,6 +191,10 @@ func New(p *core.Provider, opts Options) *Gateway {
 	g.mux.HandleFunc("/grants/write", g.handleWriteGrant)
 	g.mux.HandleFunc("/grants/declass", g.handleDeclass)
 	g.mux.HandleFunc("/registry/search", g.handleSearch)
+	g.mux.HandleFunc("/registry/publish", g.handlePublish)
+	g.mux.HandleFunc("/registry/fork", g.handleFork)
+	g.mux.HandleFunc("/registry/endorse", g.handleEndorse)
+	g.mux.HandleFunc("/registry/pin", g.handlePin)
 	g.mux.HandleFunc("/fed/status", g.handleFedStatus)
 	g.mux.HandleFunc("/", g.handleIndex)
 	return g
@@ -556,6 +571,17 @@ func (g *Gateway) handleEnable(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "disabled %s\n", app)
 		return
 	}
+	// Marketplace adoption: enabling a published-but-not-yet-installed
+	// module installs its audited bytecode from the registry first, so
+	// "publish → discover → enable" needs no operator step.
+	if !g.p.AppInstalled(app) {
+		if _, err := g.p.Registry.Get(app, ""); err == nil {
+			if err := g.p.InstallWVMApp(app, ""); err != nil {
+				http.Error(w, "install failed", http.StatusBadRequest)
+				return
+			}
+		}
+	}
 	// The paper's one-checkbox adoption.
 	if err := g.p.EnableApp(user, app); err != nil {
 		http.Error(w, "enable failed", http.StatusBadRequest)
@@ -639,11 +665,22 @@ func splitNonEmpty(s string) []string {
 }
 
 // handleSearch is the user-facing "code search" (§3.2): keyword filter
-// over the registry. Rank ordering is applied by cmd/w5d wiring; the
-// handler reports name, developer, endorsements and provenance.
+// over one immutable registry snapshot, ordered by the cached CodeRank
+// view (endorsement-personalized). The whole read is lock-free: one
+// atomic load for the catalogue, one for the ranked view.
 func (g *Gateway) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.FormValue("q")
-	for _, v := range g.p.Registry.Search(q) {
+	rv := g.p.Registry.View()
+	ranked := g.rankIdx.View(g.p.Registry)
+	matches := rv.Search(q)
+	sort.SliceStable(matches, func(i, j int) bool {
+		si, sj := ranked.Scores[matches[i].Module], ranked.Scores[matches[j].Module]
+		if si != sj {
+			return si > sj
+		}
+		return matches[i].Module < matches[j].Module
+	})
+	for _, v := range matches {
 		openness := "closed-source"
 		if v.OpenSource {
 			openness = "open-source"
@@ -652,9 +689,137 @@ func (g *Gateway) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if v.ForkOf != "" {
 			fork = " fork-of=" + v.ForkOf
 		}
-		fmt.Fprintf(w, "%s@%s by %s [%s] %s — %s endorsements=%d%s\n",
+		fmt.Fprintf(w, "%s@%s by %s [%s] %s — %s endorsements=%d rank=%.6f%s\n",
 			v.Module, v.Version, v.Developer, v.Kind, openness, v.Summary,
-			len(g.p.Registry.Endorsements(v.Module)), fork)
+			rv.EndorsementCount(v.Module), ranked.Scores[v.Module], fork)
+	}
+}
+
+// handlePublish is the developer upload path (§2): the authenticated
+// user submits an open-source listing, the gateway assembles it against
+// the platform syscall table, and the registry's reproducibility check
+// guarantees the published bytecode is exactly the audited source.
+func (g *Gateway) handlePublish(w http.ResponseWriter, r *http.Request) {
+	user, ok := g.requireAuth(w, r)
+	if !ok {
+		return
+	}
+	moduleName, version := r.FormValue("module"), r.FormValue("version")
+	source := r.FormValue("source")
+	if moduleName == "" || version == "" || source == "" {
+		http.Error(w, "module, version and source required", http.StatusBadRequest)
+		return
+	}
+	kind := registry.Kind(r.FormValue("kind"))
+	if kind == "" {
+		kind = registry.KindApp
+	}
+	prog, err := wvm.Assemble(source, core.AppSyscallNames)
+	if err != nil {
+		http.Error(w, "source does not assemble", http.StatusBadRequest)
+		return
+	}
+	v, err := g.p.Registry.Put(registry.Upload{
+		Module:    moduleName,
+		Version:   version,
+		Developer: user,
+		Kind:      kind,
+		Program:   prog,
+		Source:    source,
+		SysNames:  core.AppSyscallNames,
+		Deps:      splitNonEmpty(r.FormValue("deps")),
+		Summary:   r.FormValue("summary"),
+	})
+	switch {
+	case errors.Is(err, registry.ErrExists):
+		http.Error(w, "version already exists", http.StatusConflict)
+		return
+	case err != nil:
+		http.Error(w, "publish refused", http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "published %s@%s hash=%s\n", v.Module, v.Version, v.Hash[:12])
+}
+
+// handleFork implements §2's "any developer … can customize an existing
+// application by simply 'forking' the existing code".
+func (g *Gateway) handleFork(w http.ResponseWriter, r *http.Request) {
+	user, ok := g.requireAuth(w, r)
+	if !ok {
+		return
+	}
+	src, newMod, newVer := r.FormValue("module"), r.FormValue("newmodule"), r.FormValue("newversion")
+	if src == "" || newMod == "" || newVer == "" {
+		http.Error(w, "module, newmodule and newversion required", http.StatusBadRequest)
+		return
+	}
+	v, err := g.p.Registry.Fork(user, src, r.FormValue("version"), newMod, newVer)
+	switch {
+	case errors.Is(err, registry.ErrClosedSource):
+		http.Error(w, "module is closed-source", http.StatusForbidden)
+		return
+	case errors.Is(err, registry.ErrNotFound):
+		http.Error(w, "no such module", http.StatusNotFound)
+		return
+	case errors.Is(err, registry.ErrExists):
+		http.Error(w, "version already exists", http.StatusConflict)
+		return
+	case err != nil:
+		http.Error(w, "fork refused", http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintf(w, "forked %s into %s@%s\n", v.ForkOf, v.Module, v.Version)
+}
+
+// handleEndorse records a §3.2 editor endorsement, which feeds the
+// CodeRank personalization vector.
+func (g *Gateway) handleEndorse(w http.ResponseWriter, r *http.Request) {
+	user, ok := g.requireAuth(w, r)
+	if !ok {
+		return
+	}
+	moduleName := r.FormValue("module")
+	if moduleName == "" {
+		http.Error(w, "module required", http.StatusBadRequest)
+		return
+	}
+	if err := g.p.Registry.Endorse(user, moduleName); err != nil {
+		http.Error(w, "no such module", http.StatusNotFound)
+		return
+	}
+	fmt.Fprintf(w, "endorsed %s\n", moduleName)
+}
+
+// handlePin lets a module's developer pin which version "latest"
+// resolves to — §2's "version X.Y of that Web application, not the
+// latest version". Only the developer of the pinned version may pin.
+func (g *Gateway) handlePin(w http.ResponseWriter, r *http.Request) {
+	user, ok := g.requireAuth(w, r)
+	if !ok {
+		return
+	}
+	moduleName, version := r.FormValue("module"), r.FormValue("version")
+	if moduleName == "" {
+		http.Error(w, "module required", http.StatusBadRequest)
+		return
+	}
+	latest, err := g.p.Registry.Get(moduleName, "")
+	if err != nil {
+		http.Error(w, "no such module", http.StatusNotFound)
+		return
+	}
+	if latest.Developer != user {
+		http.Error(w, "only the developer may pin", http.StatusForbidden)
+		return
+	}
+	if err := g.p.Registry.Pin(moduleName, version); err != nil {
+		http.Error(w, "no such version", http.StatusNotFound)
+		return
+	}
+	if version == "" {
+		fmt.Fprintf(w, "pin cleared for %s\n", moduleName)
+	} else {
+		fmt.Fprintf(w, "pinned %s@%s\n", moduleName, version)
 	}
 }
 

@@ -1,0 +1,255 @@
+package gateway
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+
+	"w5/internal/core"
+	"w5/internal/difc"
+)
+
+// writeUserFile writes an owner-labeled file into the user's home, the
+// way the social app would.
+func writeUserFile(t *testing.T, p *core.Provider, user, rel string, data []byte) {
+	t.Helper()
+	u, err := p.GetUser(user)
+	if err != nil {
+		t.Fatalf("get user %s: %v", user, err)
+	}
+	label := difc.LabelPair{
+		Secrecy:   difc.NewLabel(u.SecrecyTag),
+		Integrity: difc.NewLabel(u.WriteTag),
+	}
+	if err := p.FS.Write(p.UserCred(user), "/home/"+user+rel, data, label); err != nil {
+		t.Fatalf("write %s%s: %v", user, rel, err)
+	}
+}
+
+// notesSrc is a minimal marketplace app: it reads the owner's profile
+// file (tainting the process with s_owner) and emits it as text, so a
+// cross-user read exercises the declassifier gate end to end.
+const notesSrc = `; notes — marketplace demo: emit the owner's profile (tainted read).
+.data d_home "/home/"
+.data d_suf  "/social/profile"
+.data t_none "no note"
+
+start:
+    push 0x1000
+    sys copy_owner
+    store 1
+    load 1
+    jnz go
+    push 1
+    sys content_type
+    pop
+    push @t_none
+    push #t_none
+    sys emit
+    pop
+    push 400
+    halt
+go:
+    push 0x1900
+    store 15
+    push @d_home
+    store 16
+    push #d_home
+    store 17
+    call memcpy
+    push 0x1906
+    store 15
+    push 0x1000
+    store 16
+    load 1
+    store 17
+    call memcpy
+    push 0x1906
+    load 1
+    add
+    store 15
+    push @d_suf
+    store 16
+    push #d_suf
+    store 17
+    call memcpy
+    push 1
+    sys content_type
+    pop
+    push 0x1900
+    push 6
+    load 1
+    add
+    push #d_suf
+    add
+    push 0x2000
+    push 0x4000
+    sys read_file
+    dup
+    push 0
+    lt
+    jz emit_note
+    pop
+    push @t_none
+    push #t_none
+    sys emit
+    pop
+    push 404
+    halt
+emit_note:
+    store 3
+    push 0x2000
+    load 3
+    sys emit
+    pop
+    push 200
+    halt
+
+memcpy:
+    push 0
+    store 18
+memcpy_loop:
+    load 18
+    load 17
+    lt
+    jz memcpy_done
+    load 15
+    load 18
+    add
+    load 16
+    load 18
+    add
+    mload
+    mstore
+    load 18
+    push 1
+    add
+    store 18
+    jmp memcpy_loop
+memcpy_done:
+    ret
+`
+
+// TestMarketplaceLifecycleHTTP walks the paper's §2/§3 marketplace
+// story over plain HTTP: a developer publishes an open-source module,
+// an editor endorses it, users discover it rank-ordered, enabling it
+// installs the audited bytecode, and a cross-user read crosses the
+// perimeter only through the owner's declassifier.
+func TestMarketplaceLifecycleHTTP(t *testing.T) {
+	p, tc := newTestSetup(t, Options{})
+
+	dev := tc
+	signup(dev, "eve", "pw")
+	// publish: bad source refused, good source accepted, dup refused.
+	if code, _ := dev.post("/registry/publish", url.Values{
+		"module": {"notes"}, "version": {"1.0"}, "source": {"bogus opcode\n"},
+	}); code != 400 {
+		t.Fatalf("bogus publish: status %d", code)
+	}
+	code, body := dev.post("/registry/publish", url.Values{
+		"module": {"notes"}, "version": {"1.0"}, "source": {notesSrc},
+		"summary": {"owner note viewer"},
+	})
+	if code != 200 || !strings.Contains(body, "published notes@1.0") {
+		t.Fatalf("publish: %d %q", code, body)
+	}
+	if code, _ := dev.post("/registry/publish", url.Values{
+		"module": {"notes"}, "version": {"1.0"}, "source": {notesSrc},
+	}); code != 409 {
+		t.Fatalf("dup publish: status %d", code)
+	}
+	// A second, unendorsed module that also matches the query.
+	if code, _ := dev.post("/registry/publish", url.Values{
+		"module": {"notes-lite"}, "version": {"0.1"}, "source": {notesSrc},
+		"summary": {"fork bait"},
+	}); code != 200 {
+		t.Fatalf("publish notes-lite: status %d", code)
+	}
+
+	// fork + pin.
+	if code, body := dev.post("/registry/fork", url.Values{
+		"module": {"notes"}, "newmodule": {"notes-fork"}, "newversion": {"1.0"},
+	}); code != 200 || !strings.Contains(body, "forked notes@1.0") {
+		t.Fatalf("fork: %d %q", code, body)
+	}
+	if code, _ := dev.post("/registry/publish", url.Values{
+		"module": {"notes"}, "version": {"2.0"}, "source": {notesSrc},
+	}); code != 200 {
+		t.Fatalf("publish 2.0: failed")
+	}
+	if code, body := dev.post("/registry/pin", url.Values{
+		"module": {"notes"}, "version": {"1.0"},
+	}); code != 200 || !strings.Contains(body, "pinned notes@1.0") {
+		t.Fatalf("pin: %d %q", code, body)
+	}
+
+	// endorse: an editor boosts "notes"; search comes back rank-ordered.
+	editor := tc.anon()
+	signup(editor, "edna", "pw")
+	if code, _ := editor.post("/registry/endorse", url.Values{"module": {"notes"}}); code != 200 {
+		t.Fatalf("endorse failed")
+	}
+	if code, _ := editor.post("/registry/endorse", url.Values{"module": {"nosuch"}}); code != 404 {
+		t.Fatalf("endorse missing module: expected 404")
+	}
+	_, list := tc.anon().get("/registry/search?q=notes")
+	lines := strings.Split(strings.TrimSpace(list), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("search: expected 3 results, got %q", list)
+	}
+	if !strings.HasPrefix(lines[0], "notes@1.0 ") {
+		t.Fatalf("endorsed+pinned module not ranked first: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], "endorsements=1") || !strings.Contains(lines[0], "rank=") {
+		t.Fatalf("search line missing rank/endorsements: %q", lines[0])
+	}
+
+	// enable: alice adopts the module; the gateway installs the audited
+	// bytecode from the registry on first enable.
+	alice := tc.anon()
+	signup(alice, "alice", "pw")
+	if p.AppInstalled("notes") {
+		t.Fatal("notes installed before any enable")
+	}
+	if code, body := alice.post("/grants/enable", url.Values{"app": {"notes"}}); code != 200 || !strings.Contains(body, "enabled notes") {
+		t.Fatalf("enable: %d %q", code, body)
+	}
+	if !p.AppInstalled("notes") {
+		t.Fatal("enable did not install the published module")
+	}
+
+	// Owner data + own read.
+	writeUserFile(t, p, "alice", "/social/profile", []byte("alice's marketplace note"))
+	if code, body := alice.get("/app/notes/?owner=alice"); code != 200 || body != "alice's marketplace note" {
+		t.Fatalf("owner read: %d %q", code, body)
+	}
+
+	// Cross-user read: denied without a declassifier, allowed through
+	// the friend-list policy once bob is a friend, denied again after
+	// an unfriending edit (the epoch invalidation in action over HTTP).
+	bob := tc.anon()
+	signup(bob, "bob", "pw")
+	if code, _ := bob.post("/grants/enable", url.Values{"app": {"notes"}}); code != 200 {
+		t.Fatalf("bob enable failed")
+	}
+	if code, _ := bob.get("/app/notes/?owner=alice"); code != 403 {
+		t.Fatalf("cross read without declassifier: status %d, want 403", code)
+	}
+	if code, _ := alice.post("/grants/declass", url.Values{"policy": {"friend-list"}}); code != 200 {
+		t.Fatalf("declass grant failed")
+	}
+	writeUserFile(t, p, "alice", "/social/friends", []byte("bob\n"))
+	for i := 0; i < 3; i++ { // repeated reads exercise the verdict cache
+		if code, body := bob.get("/app/notes/?owner=alice"); code != 200 || body != "alice's marketplace note" {
+			t.Fatalf("friend read %d: %d %q", i, code, body)
+		}
+	}
+	writeUserFile(t, p, "alice", "/social/friends", []byte("# nobody\n"))
+	if code, _ := bob.get("/app/notes/?owner=alice"); code != 403 {
+		t.Fatalf("read after unfriending: status %d, want 403", code)
+	}
+	hits, _, _ := p.Declass.CacheStats()
+	if hits == 0 {
+		t.Fatal("verdict cache saw no hits across repeated friend reads")
+	}
+}

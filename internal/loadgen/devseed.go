@@ -8,6 +8,7 @@ package loadgen
 // in-process harness.
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"w5/internal/core"
 	"w5/internal/declass"
 	"w5/internal/difc"
+	"w5/internal/registry"
 	"w5/internal/workload"
 )
 
@@ -59,7 +61,23 @@ func SeedProvider(p *core.Provider, n int, seed int64) error {
 	}
 	wg.Wait()
 	close(errs)
-	return <-errs
+	if err := <-errs; err != nil {
+		return err
+	}
+
+	// Editors endorse the twin modules with distinct counts, so the
+	// market-search scenario exercises a non-trivial CodeRank
+	// personalization vector. A provider seeded without the twins (no
+	// InstallWVMTwins) just skips them.
+	for i, mod := range []string{"social-wvm", "blog-wvm", "photoshare-wvm"} {
+		for e := 0; e <= i; e++ {
+			if err := p.Registry.Endorse(fmt.Sprintf("editor%d", e), mod); err != nil &&
+				!errors.Is(err, registry.ErrNotFound) {
+				return fmt.Errorf("loadgen: endorsing %s: %w", mod, err)
+			}
+		}
+	}
+	return nil
 }
 
 // seedUser provisions one account end to end. Per-user content derives

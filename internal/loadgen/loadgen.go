@@ -335,6 +335,11 @@ type reqBuilder struct {
 	buf     []byte
 }
 
+// marketQueries is the pool a market-search op draws from (by item
+// index). Every entry matches at least one dev-seeded module so the
+// scenario measures a served result page, not an empty miss.
+var marketQueries = []string{"social", "blog", "photo", "twin", "wvm", "bytecode"}
+
 // photoPayload is the base64 body every photo-write carries: content
 // is constant by design (the trace pins WHICH photo is written; the
 // bytes themselves are not what the harness measures).
@@ -383,6 +388,14 @@ func (b *reqBuilder) build(op workload.Op) []byte {
 
 	case workload.ScenarioAuditPull:
 		b.buf = append(b.buf, "GET /audit?limit=25"...)
+		b.appendCommon(op.Viewer)
+
+	case workload.ScenarioMarketSearch:
+		// The query is keyed by the op's item draw, so which searches
+		// are hot is as Zipf-shaped (and as deterministic) as the rest
+		// of the trace. All queries match the dev-seeded twin modules.
+		b.buf = append(b.buf, "GET /registry/search?q="...)
+		b.buf = append(b.buf, marketQueries[op.Item%len(marketQueries)]...)
 		b.appendCommon(op.Viewer)
 
 	case workload.ScenarioPhotoWrite:

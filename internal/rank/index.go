@@ -1,0 +1,143 @@
+// The Index puts CodeRank on the request path. The registry publishes
+// immutable catalogue snapshots with a change sequence; the Index keeps
+// one immutable RankedView per observed sequence behind an atomic
+// pointer. Reads are lock-free: a request either reuses the cached view
+// (the overwhelmingly common case — catalogue mutations are rare
+// relative to searches) or, when the sequence moved, recomputes once
+// under a single-flight mutex, warm-started from the previous scores so
+// the power iteration converges in a few steps instead of hundreds.
+package rank
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"w5/internal/registry"
+)
+
+// RankedView is one immutable CodeRank result tied to a registry
+// snapshot. Everything reachable from a published view is read-only.
+type RankedView struct {
+	// Seq is the registry change sequence this view was computed from.
+	Seq uint64
+	// Scores maps module name to CodeRank score (summing to 1).
+	Scores map[string]float64
+	// Ordered lists all modules by descending score (name tiebreak).
+	Ordered []Ranked
+	// Iterations is how many power-iteration steps the recompute took —
+	// small when warm-started after an incremental catalogue change.
+	Iterations int
+}
+
+// Index serves lock-free CodeRank views that track a registry
+// incrementally. Safe for concurrent use; the zero value is not valid,
+// use NewIndex.
+type Index struct {
+	opts Options
+	mu   sync.Mutex // single-flight recompute
+	view atomic.Pointer[RankedView]
+}
+
+// NewIndex returns an Index computing with the given options.
+// opts.Personalization is normally left nil: the Index derives the
+// teleport vector from editor endorsements (§3.2) at each recompute,
+// exactly as SearchRanked does.
+func NewIndex(opts Options) *Index {
+	return &Index{opts: opts}
+}
+
+// View returns the ranked view for the registry's current snapshot,
+// recomputing at most once per change sequence. The fast path is two
+// atomic loads and a comparison.
+func (ix *Index) View(reg *registry.Registry) *RankedView {
+	if v := ix.view.Load(); v != nil && v.Seq == reg.Seq() {
+		return v
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	rv := reg.View()
+	if v := ix.view.Load(); v != nil && v.Seq >= rv.Seq() {
+		return v
+	}
+	nv := ix.compute(rv)
+	ix.view.Store(nv)
+	return nv
+}
+
+// Refresh recomputes unconditionally from the registry's current
+// snapshot (still warm-started) and publishes the result. Exists for
+// benchmarks and tests that must measure or observe the recompute
+// itself.
+func (ix *Index) Refresh(reg *registry.Registry) *RankedView {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	nv := ix.compute(reg.View())
+	ix.view.Store(nv)
+	return nv
+}
+
+// compute runs CodeRank against one catalogue snapshot, warm-started
+// from the previously published view. Caller holds ix.mu.
+func (ix *Index) compute(rv registry.View) *RankedView {
+	nodes := rv.Modules()
+	opts := ix.opts
+	if opts.Personalization == nil {
+		opts.Personalization = endorsementVector(rv, nodes)
+	}
+	if prev := ix.view.Load(); prev != nil {
+		opts.Warm = prev.Scores
+	}
+	res := Compute(nodes, rv.Edges(), opts)
+	return &RankedView{
+		Seq:        rv.Seq(),
+		Scores:     res.Scores,
+		Ordered:    Order(res.Scores),
+		Iterations: res.Iterations,
+	}
+}
+
+// endorsementVector builds the §3.2 personalization: a uniform base so
+// every module keeps teleport mass, plus one unit per editor
+// endorsement. Returns nil (uniform teleport) when nothing is endorsed.
+func endorsementVector(rv registry.View, nodes []string) map[string]float64 {
+	any := false
+	for _, m := range nodes {
+		if rv.EndorsementCount(m) > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	pers := make(map[string]float64, len(nodes))
+	for _, m := range nodes {
+		pers[m] = 1 + float64(rv.EndorsementCount(m))
+	}
+	return pers
+}
+
+// SearchRanked filters one catalogue snapshot by query and orders the
+// matches by the cached CodeRank view — the request-path form of the
+// package-level SearchRanked, O(matches·log matches) per call with no
+// locks and no power iteration on the hot path.
+func (ix *Index) SearchRanked(reg *registry.Registry, query string) []Ranked {
+	rv := reg.View()
+	v := ix.View(reg)
+	matches := rv.Search(query)
+	if len(matches) == 0 {
+		return nil
+	}
+	out := make([]Ranked, 0, len(matches))
+	for _, m := range matches {
+		out = append(out, Ranked{Module: m.Module, Score: v.Scores[m.Module]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Module < out[j].Module
+	})
+	return out
+}

@@ -1,0 +1,183 @@
+package rank
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"w5/internal/registry"
+)
+
+// TestWarmRecomputeMatchesCold is the incremental-recompute regression
+// guarantee: after a graph delta, a power iteration warm-started from
+// the pre-delta scores converges to the same fixpoint as a from-scratch
+// run — within Epsilon — across dangling-node and personalization edge
+// cases. (The fixpoint is independent of the starting vector; warm
+// starting may only change the iteration count.)
+func TestWarmRecomputeMatchesCold(t *testing.T) {
+	base := []registry.Edge{
+		edge("a", "b", "import"),
+		edge("b", "c", "import"),
+		edge("c", "a", "embed"),
+		edge("d", "a", "import"),
+		// e is dangling: no outgoing edges.
+	}
+	nodes := []string{"a", "b", "c", "d", "e"}
+	cases := []struct {
+		name  string
+		nodes []string
+		delta []registry.Edge // edges after the one-edge change
+		opts  Options
+	}{
+		{
+			name:  "edge added",
+			nodes: nodes,
+			delta: append(append([]registry.Edge(nil), base...), edge("e", "b", "import")),
+		},
+		{
+			name:  "edge removed leaves a dangling node",
+			nodes: nodes,
+			delta: base[:len(base)-1], // d loses its only out-edge
+		},
+		{
+			name:  "edge added under personalization",
+			nodes: nodes,
+			delta: append(append([]registry.Edge(nil), base...), edge("e", "d", "embed")),
+			opts:  Options{Personalization: map[string]float64{"b": 3, "c": 1}},
+		},
+		{
+			name:  "node added",
+			nodes: append(append([]string(nil), nodes...), "f"),
+			delta: append(append([]registry.Edge(nil), base...), edge("f", "a", "import")),
+		},
+		{
+			name:  "node removed",
+			nodes: nodes[:4],
+			delta: base,
+		},
+		{
+			name:  "personalization covering no surviving node falls back to uniform",
+			nodes: nodes[:3],
+			delta: base[:3],
+			opts:  Options{Personalization: map[string]float64{"zzz": 5}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pre := Compute(nodes, base, tc.opts)
+			if !pre.Converged {
+				t.Fatal("pre-delta computation did not converge")
+			}
+			cold := Compute(tc.nodes, tc.delta, tc.opts)
+			warmOpts := tc.opts
+			warmOpts.Warm = pre.Scores
+			warm := Compute(tc.nodes, tc.delta, warmOpts)
+			if !cold.Converged || !warm.Converged {
+				t.Fatalf("converged: cold=%v warm=%v", cold.Converged, warm.Converged)
+			}
+			if len(cold.Scores) != len(warm.Scores) {
+				t.Fatalf("score sets differ: %d vs %d", len(cold.Scores), len(warm.Scores))
+			}
+			var sum float64
+			for name, cs := range cold.Scores {
+				ws, ok := warm.Scores[name]
+				if !ok {
+					t.Fatalf("warm result missing %s", name)
+				}
+				if math.Abs(cs-ws) > 1e-6 {
+					t.Errorf("%s: cold=%v warm=%v (|Δ|=%g)", name, cs, ws, math.Abs(cs-ws))
+				}
+				sum += ws
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Errorf("warm scores sum to %v, want 1", sum)
+			}
+		})
+	}
+}
+
+// TestWarmStartConvergesFaster pins the point of warm starting: after a
+// small delta to a large graph, the warm-started iteration takes fewer
+// steps than the cold one.
+func TestWarmStartConvergesFaster(t *testing.T) {
+	var nodes []string
+	var edges []registry.Edge
+	for i := 0; i < 200; i++ {
+		nodes = append(nodes, fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < 200; i++ {
+		// Irregular in-degrees (a hub every 5th node) so the fixpoint is
+		// far from uniform and a warm start actually has a head start.
+		edges = append(edges, edge(nodes[i], nodes[(i*7+1)%200], "import"))
+		edges = append(edges, edge(nodes[i], nodes[(i/5)*5%200], "embed"))
+	}
+	pre := Compute(nodes, edges, Options{})
+	delta := append(append([]registry.Edge(nil), edges...), edge("n0", "n100", "import"))
+	cold := Compute(nodes, delta, Options{})
+	warm := Compute(nodes, delta, Options{Warm: pre.Scores})
+	if warm.Iterations >= cold.Iterations {
+		t.Errorf("warm start did not help: warm=%d cold=%d iterations", warm.Iterations, cold.Iterations)
+	}
+}
+
+// TestIndexCaching pins the Index's snapshot protocol: the view is
+// reused while the registry sequence is unchanged, recomputed once
+// after a mutation, and endorsements feed the personalization vector.
+func TestIndexCaching(t *testing.T) {
+	reg := testRegistry(t)
+	ix := NewIndex(Options{})
+
+	v1 := ix.View(reg)
+	if v1.Seq != reg.Seq() {
+		t.Fatalf("view seq %d, registry seq %d", v1.Seq, reg.Seq())
+	}
+	if v2 := ix.View(reg); v2 != v1 {
+		t.Fatal("unchanged registry produced a new view")
+	}
+	if len(v1.Ordered) != len(v1.Scores) || len(v1.Scores) != 4 {
+		t.Fatalf("view covers %d ordered / %d scores, want 4", len(v1.Ordered), len(v1.Scores))
+	}
+
+	// A mutation advances the sequence; the next View recomputes, and
+	// the endorsement shows up as personalization (blogger rises).
+	for _, e := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"} {
+		if err := reg.Endorse(e, "blogger"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v3 := ix.View(reg)
+	if v3 == v1 || v3.Seq != reg.Seq() {
+		t.Fatalf("view not recomputed after mutation: %p/%p seq %d/%d", v3, v1, v3.Seq, reg.Seq())
+	}
+	if v3.Scores["blogger"] <= v1.Scores["blogger"] {
+		t.Errorf("endorsements did not raise blogger: %v -> %v",
+			v1.Scores["blogger"], v3.Scores["blogger"])
+	}
+
+	// The warm-started incremental recompute agrees with a cold run.
+	rv := reg.View()
+	cold := Compute(rv.Modules(), rv.Edges(), Options{Personalization: endorsementVector(rv, rv.Modules())})
+	for name, cs := range cold.Scores {
+		if math.Abs(cs-v3.Scores[name]) > 1e-6 {
+			t.Errorf("%s: index=%v cold=%v", name, v3.Scores[name], cs)
+		}
+	}
+
+	// SearchRanked serves from the same cached view, rank-ordered.
+	res := ix.SearchRanked(reg, "photo")
+	if len(res) != 2 || res[0].Score < res[1].Score {
+		t.Fatalf("SearchRanked = %+v", res)
+	}
+	if ix.SearchRanked(reg, "zebra") != nil {
+		t.Error("no-match query returned results")
+	}
+
+	// Refresh always recomputes and republishes.
+	v4 := ix.Refresh(reg)
+	if v4 == v3 {
+		t.Fatal("Refresh reused the cached view")
+	}
+	if v4.Seq != v3.Seq {
+		t.Fatalf("Refresh changed the sequence: %d vs %d", v4.Seq, v3.Seq)
+	}
+}

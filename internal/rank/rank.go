@@ -43,6 +43,16 @@ type Options struct {
 	// given nodes (e.g. editor-endorsed modules). Values need not be
 	// normalized; missing nodes get zero teleport mass.
 	Personalization map[string]float64
+	// Warm, if non-nil, seeds the iteration vector from a previous
+	// result's scores instead of the uniform vector. The fixpoint of
+	// the power iteration does not depend on the starting vector, so a
+	// warm start changes only the iteration count — after a small graph
+	// delta the previous scores are nearly stationary and the
+	// recompute converges in a handful of steps (the incremental
+	// recompute package rank's Index relies on). Nodes missing from
+	// Warm start at zero; if Warm covers no node, the uniform start is
+	// used.
+	Warm map[string]float64
 }
 
 func (o *Options) defaults() {
@@ -130,8 +140,24 @@ func Compute(nodes []string, edges []registry.Edge, opts Options) Result {
 
 	rank := make([]float64, n)
 	next := make([]float64, n)
-	for i := range rank {
-		rank[i] = 1.0 / float64(n)
+	var warmTotal float64
+	if opts.Warm != nil {
+		for i, name := range nodes {
+			if s := opts.Warm[name]; s > 0 {
+				rank[i] = s
+				warmTotal += s
+			}
+		}
+	}
+	if warmTotal > 0 {
+		// Renormalize: new nodes entered at zero, departed mass drops.
+		for i := range rank {
+			rank[i] /= warmTotal
+		}
+	} else {
+		for i := range rank {
+			rank[i] = 1.0 / float64(n)
+		}
 	}
 
 	d := opts.Damping

@@ -1,0 +1,106 @@
+package registry_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"w5/internal/apps"
+	"w5/internal/core"
+	"w5/internal/registry"
+	"w5/internal/wvm"
+)
+
+// FuzzPublish fuzzes the registry's open-source reproducibility check —
+// the §2 guarantee that a published listing reproduces the published
+// bytecode bit-for-bit. For every (module name, source, tamper) input:
+//
+//   - Put never panics, whatever the source looks like.
+//   - If the source assembles, the honest upload is accepted and comes
+//     back marked open-source with the right hash.
+//   - A tampered program whose hash differs from the honest build is
+//     ALWAYS rejected with ErrSourceMismatch; a tamper that round-trips
+//     to the identical program is indistinguishable and accepted.
+//
+// Corpus: the embedded WVM twin listings (real apps) plus minimal and
+// malformed listings. CI runs this seeded for a few seconds (see
+// ci.yml); longer local runs: go test -fuzz=FuzzPublish ./internal/registry/
+func FuzzPublish(f *testing.F) {
+	for _, tw := range apps.WVMTwins() {
+		f.Add(tw.Name, tw.Source, uint(0), byte(0))
+		f.Add(tw.Name, tw.Source, uint(17), byte(0x41))
+	}
+	f.Add("tiny", "start:\n  push 0\n  halt\n", uint(3), byte(1))
+	f.Add("bad", "not a program", uint(0), byte(0xff))
+	f.Add("with@at", "start:\n  push 0\n  halt\n", uint(1), byte(2))
+
+	f.Fuzz(func(t *testing.T, module, source string, pos uint, xor byte) {
+		r := registry.New(nil)
+		prog, err := wvm.Assemble(source, core.AppSyscallNames)
+		if err != nil {
+			// Unassemblable source must be refused, never panic.
+			if _, perr := r.Put(registry.Upload{
+				Module: "m", Version: "1", Developer: "dev",
+				Kind: registry.KindApp, Program: &wvm.Program{}, Source: source,
+				SysNames: core.AppSyscallNames,
+			}); !errors.Is(perr, registry.ErrSourceMismatch) && !errors.Is(perr, registry.ErrBadModule) {
+				t.Fatalf("unassemblable source accepted: %v", perr)
+			}
+			return
+		}
+
+		honest := registry.Upload{
+			Module: module, Version: "1", Developer: "dev",
+			Kind: registry.KindApp, Program: prog, Source: source,
+			SysNames: core.AppSyscallNames, Summary: "fuzz",
+		}
+		v, err := r.Put(honest)
+		if err != nil {
+			// Only name validation may refuse an honest reproducible upload.
+			if !errors.Is(err, registry.ErrBadModule) {
+				t.Fatalf("honest upload refused: %v", err)
+			}
+			if !strings.ContainsAny(module, "@/ \t") && module != "" {
+				t.Fatalf("valid module name %q refused: %v", module, err)
+			}
+			return
+		}
+		if v.OpenSource != (source != "") || v.Hash != prog.Hash() {
+			t.Fatalf("honest upload stored wrong: open=%v (src len %d) hash=%s want %s",
+				v.OpenSource, len(source), v.Hash, prog.Hash())
+		}
+		if source == "" {
+			return // closed-source: no listing, no reproducibility check
+		}
+		got, err := r.Get(module, "1")
+		if err != nil || got.Hash != v.Hash {
+			t.Fatalf("round-trip Get: %v", err)
+		}
+
+		// Tamper with the serialized program and try to pass it off as
+		// the build of the same listing.
+		blob := prog.Marshal()
+		if len(blob) == 0 {
+			return
+		}
+		blob[int(pos)%len(blob)] ^= xor
+		tampered, err := wvm.Unmarshal(blob)
+		if err != nil {
+			return // tamper broke the container format; nothing to publish
+		}
+		_, err = r.Put(registry.Upload{
+			Module: module, Version: "2", Developer: "dev",
+			Kind: registry.KindApp, Program: tampered, Source: source,
+			SysNames: core.AppSyscallNames,
+		})
+		if tampered.Hash() == prog.Hash() {
+			if err != nil {
+				t.Fatalf("identical rebuild refused: %v", err)
+			}
+			return
+		}
+		if !errors.Is(err, registry.ErrSourceMismatch) && !errors.Is(err, registry.ErrBadModule) {
+			t.Fatalf("tampered bytecode accepted under an honest listing: err=%v", err)
+		}
+	})
+}

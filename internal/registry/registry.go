@@ -18,6 +18,18 @@
 //   - The §3.2 trust signals: editor endorsements, and the dependency
 //     edges (library imports and HTML-embed references) that feed the
 //     CodeRank computation in package rank.
+//
+// Concurrency protocol (the PR 3 session-snapshot protocol, reused):
+// every mutation (publish, fork, pin, embed, endorse) is serialized
+// under a mutex, builds a fresh immutable catalogue, and publishes it
+// with a single atomic pointer store. Reads (search, version
+// resolution, dependency-edge walks) load the pointer once and operate
+// on data that will never change — no locks, no torn catalogues, and
+// the hot-path derived structures (sorted name list, lowercased search
+// haystack, dependency edges) are computed once per mutation instead of
+// once per read. Each snapshot carries a monotonically increasing
+// change sequence that package rank uses to recompute its ranked view
+// incrementally.
 package registry
 
 import (
@@ -26,6 +38,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"w5/internal/audit"
@@ -73,35 +86,159 @@ func (v *Version) Program() (*wvm.Program, error) {
 	return wvm.Unmarshal(v.Blob)
 }
 
-// module groups the versions of one name.
+// module groups the versions of one name. A module value inside a
+// published catalogue is immutable; mutations clone it.
 type module struct {
 	versions map[string]*Version
-	order    []string // upload order; last is "latest"
+	order    []string // upload order; last is "latest" unless pinned
+	pinned   string   // version Get(name, "") resolves to; "" = last upload
 }
 
-// Registry is the module catalogue. Safe for concurrent use.
-type Registry struct {
-	mu      sync.RWMutex
+func (m *module) clone() *module {
+	nm := &module{
+		versions: make(map[string]*Version, len(m.versions)+1),
+		order:    append(make([]string, 0, len(m.order)+1), m.order...),
+		pinned:   m.pinned,
+	}
+	for k, v := range m.versions {
+		nm.versions[k] = v
+	}
+	return nm
+}
+
+// latest resolves the version Get(name, "") returns.
+func (m *module) latest() *Version {
+	if m.pinned != "" {
+		if v, ok := m.versions[m.pinned]; ok {
+			return v
+		}
+	}
+	return m.versions[m.order[len(m.order)-1]]
+}
+
+// catalogue is one immutable snapshot of the whole registry. Everything
+// reachable from a published catalogue is read-only.
+type catalogue struct {
+	seq     uint64
 	modules map[string]*module
 	embeds  map[string]map[string]bool // from module -> to modules (HTML embed edges)
 	endorse map[string]map[string]bool // module -> editors who endorsed it
-	log     *audit.Log
-	clock   func() time.Time
+
+	// Derived, rebuilt once per mutation so reads are O(result):
+	names    []string   // sorted module names
+	latest   []*Version // latest (or pinned) version per module, name order
+	haystack []string   // lowercase name+"\x00"+summary per latest entry
+	byHash   map[string]*Version
+	edges    []Edge // full dependency graph, deterministic order
+}
+
+// emptyCatalogue is the seq-0 snapshot a fresh registry serves.
+var emptyCatalogue = &catalogue{
+	modules: map[string]*module{},
+	embeds:  map[string]map[string]bool{},
+	endorse: map[string]map[string]bool{},
+	byHash:  map[string]*Version{},
+}
+
+// Registry is the module catalogue. Safe for concurrent use: reads are
+// lock-free against the current snapshot, mutations serialize on mu.
+type Registry struct {
+	mu    sync.Mutex // serializes mutations; reads never take it
+	snap  atomic.Pointer[catalogue]
+	log   *audit.Log
+	clock func() time.Time
 }
 
 // New returns an empty registry; log may be nil.
 func New(log *audit.Log) *Registry {
-	return &Registry{
-		modules: make(map[string]*module),
-		embeds:  make(map[string]map[string]bool),
-		endorse: make(map[string]map[string]bool),
-		log:     log,
-		clock:   time.Now,
-	}
+	r := &Registry{log: log, clock: time.Now}
+	r.snap.Store(emptyCatalogue)
+	return r
 }
 
 // SetClock injects a time source for deterministic tests.
 func (r *Registry) SetClock(clock func() time.Time) { r.clock = clock }
+
+// Seq returns the change sequence of the current catalogue snapshot. It
+// increases by exactly one per completed mutation, so a cached
+// derivation (package rank's view) is fresh iff its recorded sequence
+// matches.
+func (r *Registry) Seq() uint64 { return r.snap.Load().seq }
+
+// View returns the current immutable catalogue snapshot. All reads on a
+// View observe one coherent catalogue: either entirely before or
+// entirely after any concurrent mutation, never a mix.
+func (r *Registry) View() View { return View{c: r.snap.Load()} }
+
+// mutate runs fn against a private clone of the current catalogue and
+// publishes the result with seq+1. fn returning an error abandons the
+// clone. The shallow fields (modules/embeds/endorse maps) are copied
+// here; fn must clone any *module it modifies.
+func (r *Registry) mutate(fn func(c *catalogue) error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.snap.Load()
+	next := &catalogue{
+		seq:     cur.seq + 1,
+		modules: make(map[string]*module, len(cur.modules)+1),
+		embeds:  cur.embeds,
+		endorse: cur.endorse,
+	}
+	for k, v := range cur.modules {
+		next.modules[k] = v
+	}
+	if err := fn(next); err != nil {
+		return err
+	}
+	next.rebuild()
+	r.snap.Store(next)
+	return nil
+}
+
+// rebuild recomputes the derived read-path structures.
+func (c *catalogue) rebuild() {
+	c.names = make([]string, 0, len(c.modules))
+	for n := range c.modules {
+		c.names = append(c.names, n)
+	}
+	sort.Strings(c.names)
+	c.latest = make([]*Version, len(c.names))
+	c.haystack = make([]string, len(c.names))
+	c.byHash = make(map[string]*Version, len(c.modules))
+	for i, n := range c.names {
+		m := c.modules[n]
+		c.latest[i] = m.latest()
+		c.haystack[i] = strings.ToLower(n) + "\x00" + strings.ToLower(c.latest[i].Summary)
+		for _, ver := range m.order {
+			v := m.versions[ver]
+			if _, dup := c.byHash[v.Hash]; !dup {
+				c.byHash[v.Hash] = v
+			}
+		}
+	}
+	c.edges = c.edges[:0]
+	for i, from := range c.names {
+		deps := append([]string(nil), c.latest[i].Deps...)
+		sort.Strings(deps)
+		for _, to := range deps {
+			if _, ok := c.modules[to]; ok {
+				c.edges = append(c.edges, Edge{From: from, To: to, Kind: "import"})
+			}
+		}
+	}
+	for _, from := range c.names {
+		tos := make([]string, 0, len(c.embeds[from]))
+		for to := range c.embeds[from] {
+			if _, ok := c.modules[to]; ok {
+				tos = append(tos, to)
+			}
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			c.edges = append(c.edges, Edge{From: from, To: to, Kind: "embed"})
+		}
+	}
+}
 
 // Upload describes a module submission.
 type Upload struct {
@@ -160,18 +297,24 @@ func (r *Registry) Put(u Upload) (*Version, error) {
 		ForkOf:     u.forkOf,
 		Uploaded:   r.clock(),
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	m, ok := r.modules[u.Module]
-	if !ok {
-		m = &module{versions: make(map[string]*Version)}
-		r.modules[u.Module] = m
+	err := r.mutate(func(c *catalogue) error {
+		m, ok := c.modules[u.Module]
+		if !ok {
+			m = &module{versions: make(map[string]*Version)}
+		} else {
+			if _, dup := m.versions[u.Version]; dup {
+				return ErrExists
+			}
+			m = m.clone()
+		}
+		m.versions[u.Version] = v
+		m.order = append(m.order, u.Version)
+		c.modules[u.Module] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if _, dup := m.versions[u.Version]; dup {
-		return nil, ErrExists
-	}
-	m.versions[u.Version] = v
-	m.order = append(m.order, u.Version)
 	if r.log != nil {
 		r.log.Appendf(audit.KindUpload, u.Developer, u.Module+"@"+u.Version,
 			"kind=%s open=%v hash=%s", u.Kind, open, v.Hash[:12])
@@ -179,38 +322,48 @@ func (r *Registry) Put(u Upload) (*Version, error) {
 	return v, nil
 }
 
-// Get fetches a specific version, or the latest when version is "".
-// This is how users pin "version X.Y, not the latest" (§2).
+// Get fetches a specific version, or the latest (respecting any pin)
+// when version is "".
 func (r *Registry) Get(name, version string) (*Version, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	m, ok := r.modules[name]
-	if !ok {
-		return nil, ErrNotFound
-	}
-	if version == "" {
-		version = m.order[len(m.order)-1]
-	}
-	v, ok := m.versions[version]
-	if !ok {
-		return nil, ErrNotFound
-	}
-	return v, nil
+	return r.View().Get(name, version)
 }
 
 // GetByHash finds a version by its program hash — used by the platform
 // to guarantee a user runs exactly the audited code.
 func (r *Registry) GetByHash(hash string) (*Version, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for _, m := range r.modules {
-		for _, v := range m.versions {
-			if v.Hash == hash {
-				return v, nil
+	return r.View().GetByHash(hash)
+}
+
+// Pin makes Get(name, "") resolve to the given version instead of the
+// latest upload — the §2 "version X.Y of that Web application, not the
+// latest version" story. An empty version clears the pin.
+func (r *Registry) Pin(name, version string) error {
+	err := r.mutate(func(c *catalogue) error {
+		m, ok := c.modules[name]
+		if !ok {
+			return ErrNotFound
+		}
+		if version != "" {
+			if _, ok := m.versions[version]; !ok {
+				return ErrNotFound
 			}
 		}
+		m = m.clone()
+		m.pinned = version
+		c.modules[name] = m
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	return nil, ErrNotFound
+	if r.log != nil {
+		if version == "" {
+			r.log.Appendf(audit.KindUpload, "registry", name, "pin cleared")
+		} else {
+			r.log.Appendf(audit.KindUpload, "registry", name+"@"+version, "pinned")
+		}
+	}
+	return nil
 }
 
 // Fork copies the latest (or given) version of an open-source module
@@ -244,65 +397,72 @@ func (r *Registry) Fork(dev, srcModule, srcVersion, newModule, newVersion string
 }
 
 // Modules lists all module names, sorted.
-func (r *Registry) Modules() []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.modules))
-	for n := range r.modules {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
+func (r *Registry) Modules() []string { return r.View().Modules() }
 
 // Versions lists a module's versions in upload order.
 func (r *Registry) Versions(name string) ([]string, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	m, ok := r.modules[name]
-	if !ok {
-		return nil, ErrNotFound
-	}
-	return append([]string(nil), m.order...), nil
+	return r.View().Versions(name)
 }
 
 // RecordEmbed records that module from emits HTML that references
 // module to — the first dependency kind of §3.2. The gateway calls this
-// as it serves pages.
+// as it serves pages. Re-recording a known edge is a no-op and does not
+// advance the change sequence.
 func (r *Registry) RecordEmbed(from, to string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.embeds[from] == nil {
-		r.embeds[from] = make(map[string]bool)
+	if r.snap.Load().embeds[from][to] {
+		return
 	}
-	r.embeds[from][to] = true
+	_ = r.mutate(func(c *catalogue) error {
+		if c.embeds[from][to] {
+			return errNoChange
+		}
+		c.embeds = cloneEdgeSet(c.embeds, from)
+		c.embeds[from][to] = true
+		return nil
+	})
+}
+
+var errNoChange = errors.New("registry: no change")
+
+// cloneEdgeSet shallow-copies an adjacency map, deep-copying only the
+// row about to change.
+func cloneEdgeSet(src map[string]map[string]bool, row string) map[string]map[string]bool {
+	out := make(map[string]map[string]bool, len(src)+1)
+	for k, v := range src {
+		out[k] = v
+	}
+	nr := make(map[string]bool, len(src[row])+1)
+	for k, v := range src[row] {
+		nr[k] = v
+	}
+	out[row] = nr
+	return out
 }
 
 // Endorse records an editor's endorsement (§3.2 "W5 editors, who
-// collect, audit and vet software collections").
+// collect, audit and vet software collections"). Idempotent per
+// (editor, module).
 func (r *Registry) Endorse(editor, moduleName string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.modules[moduleName]; !ok {
-		return ErrNotFound
+	err := r.mutate(func(c *catalogue) error {
+		if _, ok := c.modules[moduleName]; !ok {
+			return ErrNotFound
+		}
+		if c.endorse[moduleName][editor] {
+			return errNoChange
+		}
+		c.endorse = cloneEdgeSet(c.endorse, moduleName)
+		c.endorse[moduleName][editor] = true
+		return nil
+	})
+	if errors.Is(err, errNoChange) {
+		return nil
 	}
-	if r.endorse[moduleName] == nil {
-		r.endorse[moduleName] = make(map[string]bool)
-	}
-	r.endorse[moduleName][editor] = true
-	return nil
+	return err
 }
 
 // Endorsements returns the editors who endorsed a module, sorted.
 func (r *Registry) Endorsements(moduleName string) []string {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.endorse[moduleName]))
-	for e := range r.endorse[moduleName] {
-		out = append(out, e)
-	}
-	sort.Strings(out)
-	return out
+	return r.View().Endorsements(moduleName)
 }
 
 // Edge is one dependency edge for CodeRank. Import edges come from the
@@ -313,61 +473,105 @@ type Edge struct {
 }
 
 // DependencyGraph exports every edge among registered modules. Edges
-// referencing unregistered modules are dropped.
+// referencing unregistered modules are dropped. The returned slice is
+// the caller's to modify.
 func (r *Registry) DependencyGraph() []Edge {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	var edges []Edge
-	names := make([]string, 0, len(r.modules))
-	for n := range r.modules {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, from := range names {
-		m := r.modules[from]
-		latest := m.versions[m.order[len(m.order)-1]]
-		deps := append([]string(nil), latest.Deps...)
-		sort.Strings(deps)
-		for _, to := range deps {
-			if _, ok := r.modules[to]; ok {
-				edges = append(edges, Edge{From: from, To: to, Kind: "import"})
-			}
-		}
-	}
-	for _, from := range names {
-		tos := make([]string, 0, len(r.embeds[from]))
-		for to := range r.embeds[from] {
-			if _, ok := r.modules[to]; ok {
-				tos = append(tos, to)
-			}
-		}
-		sort.Strings(tos)
-		for _, to := range tos {
-			edges = append(edges, Edge{From: from, To: to, Kind: "embed"})
-		}
-	}
-	return edges
+	return append([]Edge(nil), r.View().Edges()...)
 }
 
 // Search returns the modules whose name or summary contains the query
 // (case-insensitive), sorted by name; package rank re-orders results by
 // CodeRank. An empty query matches everything.
 func (r *Registry) Search(query string) []*Version {
-	q := strings.ToLower(query)
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	var out []*Version
-	names := make([]string, 0, len(r.modules))
-	for n := range r.modules {
-		names = append(names, n)
+	return r.View().Search(query)
+}
+
+// View is a read handle on one immutable catalogue snapshot. All
+// methods are lock-free, safe for concurrent use, and mutually
+// consistent: two reads on the same View can never observe different
+// catalogue states. Obtain one with Registry.View; a View held across a
+// mutation simply keeps serving the older snapshot.
+type View struct {
+	c *catalogue
+}
+
+// Seq is the snapshot's change sequence (0 for an empty registry).
+func (v View) Seq() uint64 { return v.c.seq }
+
+// Get resolves (name, version) in this snapshot; "" means latest,
+// respecting any pin.
+func (v View) Get(name, version string) (*Version, error) {
+	m, ok := v.c.modules[name]
+	if !ok {
+		return nil, ErrNotFound
 	}
-	sort.Strings(names)
-	for _, n := range names {
-		m := r.modules[n]
-		latest := m.versions[m.order[len(m.order)-1]]
-		if q == "" || strings.Contains(strings.ToLower(n), q) ||
-			strings.Contains(strings.ToLower(latest.Summary), q) {
-			out = append(out, latest)
+	if version == "" {
+		return m.latest(), nil
+	}
+	ver, ok := m.versions[version]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return ver, nil
+}
+
+// GetByHash resolves a program hash to its version in O(1).
+func (v View) GetByHash(hash string) (*Version, error) {
+	ver, ok := v.c.byHash[hash]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return ver, nil
+}
+
+// Modules lists all module names, sorted.
+func (v View) Modules() []string {
+	return append([]string(nil), v.c.names...)
+}
+
+// Versions lists a module's versions in upload order.
+func (v View) Versions(name string) ([]string, error) {
+	m, ok := v.c.modules[name]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return append([]string(nil), m.order...), nil
+}
+
+// Endorsements returns the editors who endorsed a module, sorted.
+func (v View) Endorsements(moduleName string) []string {
+	out := make([]string, 0, len(v.c.endorse[moduleName]))
+	for e := range v.c.endorse[moduleName] {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EndorsementCount returns how many editors endorsed a module without
+// materializing the list.
+func (v View) EndorsementCount(moduleName string) int {
+	return len(v.c.endorse[moduleName])
+}
+
+// Edges returns the snapshot's dependency graph. The slice is shared
+// with the snapshot and MUST NOT be modified; use
+// Registry.DependencyGraph for an owned copy.
+func (v View) Edges() []Edge { return v.c.edges }
+
+// Search returns the latest version of every module whose name or
+// summary contains the query (case-insensitive), sorted by name. The
+// only allocations are the lowered query and the result slice; the
+// haystack is precomputed per snapshot.
+func (v View) Search(query string) []*Version {
+	if query == "" {
+		return append([]*Version(nil), v.c.latest...)
+	}
+	q := strings.ToLower(query)
+	var out []*Version
+	for i, hay := range v.c.haystack {
+		if strings.Contains(hay, q) {
+			out = append(out, v.c.latest[i])
 		}
 	}
 	return out

@@ -1,0 +1,138 @@
+package registry_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"w5/internal/core"
+	"w5/internal/rank"
+	"w5/internal/registry"
+	"w5/internal/wvm"
+)
+
+// TestSnapshotStress hammers the registry with concurrent publish,
+// fork, pin, endorse, and embed mutations while readers spin on View()
+// and on a shared rank.Index. Every reader must observe a coherent
+// pre- or post-mutation catalogue — never a torn one — and sequence
+// numbers must be monotonic per reader. Run under -race (the internal
+// CI job does).
+func TestSnapshotStress(t *testing.T) {
+	prog, err := wvm.Assemble("start:\n  push 0\n  halt\n", core.AppSyscallNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "start:\n  push 0\n  halt\n"
+	r := registry.New(nil)
+	// Seed one module so forks/pins have something to land on.
+	if _, err := r.Put(registry.Upload{
+		Module: "seed", Version: "1.0", Developer: "dev0",
+		Kind: registry.KindApp, Program: prog, Source: src,
+		SysNames: core.AppSyscallNames, Summary: "seed module",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	idx := rank.NewIndex(rank.Options{})
+
+	const writers, readers, rounds = 4, 4, 200
+	var stop atomic.Bool
+	var writersWg, readersWg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		w := w
+		writersWg.Add(1)
+		go func() {
+			defer writersWg.Done()
+			for i := 0; i < rounds; i++ {
+				mod := fmt.Sprintf("mod-%d", i%7)
+				switch i % 5 {
+				case 0:
+					_, _ = r.Put(registry.Upload{
+						Module: mod, Version: fmt.Sprintf("1.%d.%d", w, i),
+						Developer: fmt.Sprintf("dev%d", w), Kind: registry.KindApp,
+						Program: prog, Source: src, SysNames: core.AppSyscallNames,
+						Deps: []string{"seed"}, Summary: "stress module",
+					})
+				case 1:
+					_, _ = r.Fork(fmt.Sprintf("dev%d", w), "seed", "", fmt.Sprintf("fork-%d-%d", w, i%3), "1.0")
+				case 2:
+					_ = r.Pin("seed", "")
+				case 3:
+					_ = r.Endorse(fmt.Sprintf("editor%d", w), mod)
+				case 4:
+					r.RecordEmbed(mod, "seed")
+				}
+			}
+		}()
+	}
+
+	for g := 0; g < readers; g++ {
+		readersWg.Add(1)
+		go func() {
+			defer readersWg.Done()
+			var lastSeq uint64
+			for !stop.Load() {
+				v := r.View()
+				if v.Seq() < lastSeq {
+					t.Errorf("sequence went backwards: %d after %d", v.Seq(), lastSeq)
+					return
+				}
+				lastSeq = v.Seq()
+				names := v.Modules()
+				// Every listed module resolves, and its latest version
+				// belongs to it — a torn snapshot would mix these up.
+				for _, n := range names {
+					ver, err := v.Get(n, "")
+					if err != nil {
+						t.Errorf("seq %d: listed module %s does not resolve: %v", v.Seq(), n, err)
+						return
+					}
+					if ver.Module != n {
+						t.Errorf("seq %d: module %s resolved to version of %s", v.Seq(), n, ver.Module)
+						return
+					}
+					if got, err := v.GetByHash(ver.Hash); err != nil || got == nil {
+						t.Errorf("seq %d: hash of %s not indexed: %v", v.Seq(), n, err)
+						return
+					}
+				}
+				if res := v.Search(""); len(res) != len(names) {
+					t.Errorf("seq %d: empty search returned %d of %d modules", v.Seq(), len(res), len(names))
+					return
+				}
+				// Dependency edges never reference modules outside the
+				// same snapshot.
+				inSnap := make(map[string]bool, len(names))
+				for _, n := range names {
+					inSnap[n] = true
+				}
+				for _, e := range v.Edges() {
+					if !inSnap[e.From] || !inSnap[e.To] {
+						t.Errorf("seq %d: edge %s→%s references module outside snapshot", v.Seq(), e.From, e.To)
+						return
+					}
+				}
+				// The rank view derives from one coherent snapshot: its
+				// ordering agrees with its scores.
+				rv := idx.View(r)
+				if len(rv.Ordered) != len(rv.Scores) {
+					t.Errorf("rank view: %d ordered vs %d scores", len(rv.Ordered), len(rv.Scores))
+					return
+				}
+				for i := 1; i < len(rv.Ordered); i++ {
+					if rv.Ordered[i-1].Score < rv.Ordered[i].Score {
+						t.Errorf("rank view not sorted at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Readers spin until every writer has finished, so the corpus is
+	// guaranteed to overlap mutations with reads.
+	writersWg.Wait()
+	stop.Store(true)
+	readersWg.Wait()
+}

@@ -140,6 +140,12 @@ type FS struct {
 	log    *audit.Log
 	quotas *quota.Manager
 	clock  func() time.Time
+
+	// onWrite, if set, observes every successful content mutation
+	// (write, remove, relabel) with the canonical path segments. The
+	// provider uses it to advance declassifier credential epochs when
+	// an owner's data changes. See SetWriteObserver.
+	onWrite atomic.Pointer[func(parts []string)]
 }
 
 // Options configures an FS.
@@ -186,6 +192,27 @@ func New(opts Options) *FS {
 	}
 	fs.intern.init()
 	return fs
+}
+
+// SetWriteObserver registers fn to be called after every successful
+// content mutation (Write, Remove, SetLabel) with the canonical path
+// segments. The segments slice is only valid for the duration of the
+// call — fn must not retain it. fn runs with the mutated shard still
+// locked, so it must not call back into this FS. Passing nil clears
+// the observer.
+func (fs *FS) SetWriteObserver(fn func(parts []string)) {
+	if fn == nil {
+		fs.onWrite.Store(nil)
+		return
+	}
+	fs.onWrite.Store(&fn)
+}
+
+// notifyWrite invokes the write observer, if any.
+func (fs *FS) notifyWrite(parts []string) {
+	if fn := fs.onWrite.Load(); fn != nil {
+		(*fn)(parts)
+	}
 }
 
 // shardFor maps a canonical path to its lock shard: an FNV-1a hash of
@@ -422,6 +449,7 @@ func (fs *FS) Write(cred Cred, path string, data []byte, label difc.LabelPair) e
 		if !cached {
 			fs.intern.put(path, parts)
 		}
+		fs.notifyWrite(parts)
 		return nil
 	}
 	if !canWrite(parent.label, cred) || !canWrite(label, cred) {
@@ -444,6 +472,7 @@ func (fs *FS) Write(cred Cred, path string, data []byte, label difc.LabelPair) e
 	if !cached {
 		fs.intern.put(path, parts)
 	}
+	fs.notifyWrite(parts)
 	return nil
 }
 
@@ -660,6 +689,7 @@ func (fs *FS) Remove(cred Cred, path string) error {
 	fs.chargeDelta(cred, n.owner, -len(n.data))
 	delete(parent.children, name)
 	parent.version++
+	fs.notifyWrite(parts)
 	return nil
 }
 
@@ -700,6 +730,7 @@ func (fs *FS) SetLabel(cred Cred, path string, label difc.LabelPair) error {
 	if !cached {
 		fs.intern.put(path, parts)
 	}
+	fs.notifyWrite(parts)
 	return nil
 }
 

@@ -55,6 +55,11 @@ const (
 	ScenarioPhotoWrite = "photo-write" // POST /app/photoshare/upload to the viewer's own album
 	ScenarioTableQuery = "table-query" // GET /app/blog/?owner=<zipf user> (labeled tuple-store select)
 	ScenarioAuditPull  = "audit-pull"  // GET /audit?limit=N (the viewer's slice of the trail)
+
+	// ScenarioMarketSearch is the marketplace on the request path:
+	// GET /registry/search?q=<item-keyed query> served rank-ordered off
+	// the registry's catalogue snapshot and the cached CodeRank view.
+	ScenarioMarketSearch = "market-search"
 )
 
 // MixEntry weights one scenario within a mix. Weights are relative;
@@ -70,12 +75,13 @@ type MixEntry struct {
 // sessions churn, users occasionally inspect their trail).
 func DefaultMix() []MixEntry {
 	return []MixEntry{
-		{ScenarioSocialRead, 0.50},
+		{ScenarioSocialRead, 0.45},
 		{ScenarioWVMRead, 0.05},
 		{ScenarioTableQuery, 0.25},
 		{ScenarioPhotoWrite, 0.10},
 		{ScenarioLogin, 0.05},
 		{ScenarioAuditPull, 0.05},
+		{ScenarioMarketSearch, 0.05},
 	}
 }
 
