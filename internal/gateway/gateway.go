@@ -695,19 +695,37 @@ func (g *Gateway) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// maxPublishBody bounds a /registry/publish request. The handler (and
+// the registry's reproducibility check) assembles the submitted source,
+// so an unbounded body would be a cheap CPU/memory exhaustion surface
+// for any authenticated user.
+const maxPublishBody = 1 << 20 // 1 MiB
+
 // handlePublish is the developer upload path (§2): the authenticated
 // user submits an open-source listing, the gateway assembles it against
 // the platform syscall table, and the registry's reproducibility check
 // guarantees the published bytecode is exactly the audited source.
+// Ownership is the registry's: only a module's first publisher may add
+// versions; anyone else must fork.
 func (g *Gateway) handlePublish(w http.ResponseWriter, r *http.Request) {
 	user, ok := g.requireAuth(w, r)
 	if !ok {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxPublishBody)
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, "publish request too large", http.StatusRequestEntityTooLarge)
 		return
 	}
 	moduleName, version := r.FormValue("module"), r.FormValue("version")
 	source := r.FormValue("source")
 	if moduleName == "" || version == "" || source == "" {
 		http.Error(w, "module, version and source required", http.StatusBadRequest)
+		return
+	}
+	deps := splitNonEmpty(r.FormValue("deps"))
+	if len(deps) > registry.MaxDeps {
+		http.Error(w, "too many deps", http.StatusBadRequest)
 		return
 	}
 	kind := registry.Kind(r.FormValue("kind"))
@@ -727,10 +745,13 @@ func (g *Gateway) handlePublish(w http.ResponseWriter, r *http.Request) {
 		Program:   prog,
 		Source:    source,
 		SysNames:  core.AppSyscallNames,
-		Deps:      splitNonEmpty(r.FormValue("deps")),
+		Deps:      deps,
 		Summary:   r.FormValue("summary"),
 	})
 	switch {
+	case errors.Is(err, registry.ErrNotOwner):
+		http.Error(w, "module is owned by another developer; fork it instead", http.StatusForbidden)
+		return
 	case errors.Is(err, registry.ErrExists):
 		http.Error(w, "version already exists", http.StatusConflict)
 		return
@@ -790,9 +811,12 @@ func (g *Gateway) handleEndorse(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "endorsed %s\n", moduleName)
 }
 
-// handlePin lets a module's developer pin which version "latest"
-// resolves to — §2's "version X.Y of that Web application, not the
-// latest version". Only the developer of the pinned version may pin.
+// handlePin lets a module's owner pin which version "latest" resolves
+// to — §2's "version X.Y of that Web application, not the latest
+// version". Pin rights are anchored to the module's owner (its first
+// publisher, a property of the module, not of any version), and
+// PinBy checks ownership inside the same registry mutation that applies
+// the pin, so there is no check-then-act window.
 func (g *Gateway) handlePin(w http.ResponseWriter, r *http.Request) {
 	user, ok := g.requireAuth(w, r)
 	if !ok {
@@ -803,17 +827,12 @@ func (g *Gateway) handlePin(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "module required", http.StatusBadRequest)
 		return
 	}
-	latest, err := g.p.Registry.Get(moduleName, "")
-	if err != nil {
-		http.Error(w, "no such module", http.StatusNotFound)
+	switch err := g.p.Registry.PinBy(user, moduleName, version); {
+	case errors.Is(err, registry.ErrNotOwner):
+		http.Error(w, "only the module owner may pin", http.StatusForbidden)
 		return
-	}
-	if latest.Developer != user {
-		http.Error(w, "only the developer may pin", http.StatusForbidden)
-		return
-	}
-	if err := g.p.Registry.Pin(moduleName, version); err != nil {
-		http.Error(w, "no such version", http.StatusNotFound)
+	case err != nil:
+		http.Error(w, "no such module or version", http.StatusNotFound)
 		return
 	}
 	if version == "" {

@@ -1,12 +1,14 @@
 package gateway
 
 import (
+	"net/http"
 	"net/url"
 	"strings"
 	"testing"
 
 	"w5/internal/core"
 	"w5/internal/difc"
+	"w5/internal/registry"
 )
 
 // writeUserFile writes an owner-labeled file into the user's home, the
@@ -251,5 +253,75 @@ func TestMarketplaceLifecycleHTTP(t *testing.T) {
 	hits, _, _ := p.Declass.CacheStats()
 	if hits == 0 {
 		t.Fatal("verdict cache saw no hits across repeated friend reads")
+	}
+}
+
+// TestPublishOwnershipAndLimits pins the marketplace's anti-hijack and
+// resource-bound behavior over HTTP: only a module's first publisher
+// may add versions or pin (anyone else gets 403 and must fork), and
+// oversized publish requests are refused before any assembly work.
+func TestPublishOwnershipAndLimits(t *testing.T) {
+	_, tc := newTestSetup(t, Options{})
+
+	dana := tc
+	signup(dana, "dana", "pw")
+	if code, _ := dana.post("/registry/publish", url.Values{
+		"module": {"notes"}, "version": {"1.0"}, "source": {notesSrc},
+	}); code != 200 {
+		t.Fatalf("publish: status %d", code)
+	}
+
+	// A different authenticated developer cannot ship a new "latest"
+	// under dana's name and trust signals...
+	mallory := tc.anon()
+	signup(mallory, "mallory", "pw")
+	if code, body := mallory.post("/registry/publish", url.Values{
+		"module": {"notes"}, "version": {"2.0"}, "source": {notesSrc},
+	}); code != 403 || !strings.Contains(body, "owned by another developer") {
+		t.Fatalf("hijack publish: %d %q, want 403", code, body)
+	}
+	// ...nor repoint "latest" by pinning.
+	if code, _ := mallory.post("/registry/pin", url.Values{
+		"module": {"notes"}, "version": {"1.0"},
+	}); code != 403 {
+		t.Fatalf("hijack pin: status %d, want 403", code)
+	}
+	// Forking stays open to everyone — that is §2's customization path.
+	if code, _ := mallory.post("/registry/fork", url.Values{
+		"module": {"notes"}, "newmodule": {"notes-m"}, "newversion": {"1.0"},
+	}); code != 200 {
+		t.Fatalf("fork: status %d", code)
+	}
+
+	// The owner is unaffected.
+	if code, _ := dana.post("/registry/publish", url.Values{
+		"module": {"notes"}, "version": {"2.0"}, "source": {notesSrc},
+	}); code != 200 {
+		t.Fatalf("owner publish 2.0: status %d", code)
+	}
+	if code, _ := dana.post("/registry/pin", url.Values{
+		"module": {"notes"}, "version": {"1.0"},
+	}); code != 200 {
+		t.Fatalf("owner pin: status %d", code)
+	}
+	if code, _ := dana.post("/registry/pin", url.Values{
+		"module": {"nosuch"},
+	}); code != 404 {
+		t.Fatalf("pin missing module: status %d, want 404", code)
+	}
+
+	// A publish body past the cap is refused before assembly.
+	if code, _ := dana.post("/registry/publish", url.Values{
+		"module": {"big"}, "version": {"1.0"},
+		"source": {strings.Repeat("; padding\n", 1<<17)}, // ~1.2 MiB
+	}); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized publish: status %d, want 413", code)
+	}
+	// So is a dependency list past the bound.
+	deps := strings.TrimSuffix(strings.Repeat("d,", registry.MaxDeps+1), ",")
+	if code, body := dana.post("/registry/publish", url.Values{
+		"module": {"deps"}, "version": {"1.0"}, "source": {notesSrc}, "deps": {deps},
+	}); code != 400 || !strings.Contains(body, "too many deps") {
+		t.Fatalf("oversized deps: %d %q, want 400", code, body)
 	}
 }

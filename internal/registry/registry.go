@@ -62,7 +62,11 @@ var (
 	ErrClosedSource   = errors.New("registry: module is closed-source")
 	ErrSourceMismatch = errors.New("registry: source does not reproduce bytecode")
 	ErrBadModule      = errors.New("registry: invalid module")
+	ErrNotOwner       = errors.New("registry: module is owned by another developer")
 )
+
+// MaxDeps bounds how many dependency edges one version may declare.
+const MaxDeps = 64
 
 // Version is one immutable uploaded revision of a module.
 type Version struct {
@@ -89,6 +93,7 @@ func (v *Version) Program() (*wvm.Program, error) {
 // module groups the versions of one name. A module value inside a
 // published catalogue is immutable; mutations clone it.
 type module struct {
+	owner    string // first publisher; the only developer who may add versions or pin
 	versions map[string]*Version
 	order    []string // upload order; last is "latest" unless pinned
 	pinned   string   // version Get(name, "") resolves to; "" = last upload
@@ -96,6 +101,7 @@ type module struct {
 
 func (m *module) clone() *module {
 	nm := &module{
+		owner:    m.owner,
 		versions: make(map[string]*Version, len(m.versions)+1),
 		order:    append(make([]string, 0, len(m.order)+1), m.order...),
 		pinned:   m.pinned,
@@ -261,13 +267,21 @@ type Upload struct {
 	forkOf   string
 }
 
-// Put registers a new module version.
+// Put registers a new module version. The first publisher of a module
+// name becomes its owner; uploads into an existing module by any other
+// developer fail with ErrNotOwner, so nobody can ship code as a new
+// "latest" under someone else's name, endorsements, and CodeRank score
+// — §2's customization path for outsiders is Fork, which creates a
+// module they own.
 func (r *Registry) Put(u Upload) (*Version, error) {
 	if u.Module == "" || u.Version == "" || u.Developer == "" || u.Program == nil {
 		return nil, ErrBadModule
 	}
 	if strings.ContainsAny(u.Module, "@/ \t") || strings.ContainsAny(u.Version, "@/ \t") {
 		return nil, fmt.Errorf("%w: names may not contain '@', '/', or spaces", ErrBadModule)
+	}
+	if len(u.Deps) > MaxDeps {
+		return nil, fmt.Errorf("%w: more than %d deps", ErrBadModule, MaxDeps)
 	}
 	if err := u.Program.Verify(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadModule, err)
@@ -300,8 +314,11 @@ func (r *Registry) Put(u Upload) (*Version, error) {
 	err := r.mutate(func(c *catalogue) error {
 		m, ok := c.modules[u.Module]
 		if !ok {
-			m = &module{versions: make(map[string]*Version)}
+			m = &module{owner: u.Developer, versions: make(map[string]*Version)}
 		} else {
+			if m.owner != u.Developer {
+				return ErrNotOwner
+			}
 			if _, dup := m.versions[u.Version]; dup {
 				return ErrExists
 			}
@@ -336,12 +353,30 @@ func (r *Registry) GetByHash(hash string) (*Version, error) {
 
 // Pin makes Get(name, "") resolve to the given version instead of the
 // latest upload — the §2 "version X.Y of that Web application, not the
-// latest version" story. An empty version clears the pin.
+// latest version" story. An empty version clears the pin. This is the
+// operator/trusted path with no ownership check; untrusted callers (the
+// gateway) must use PinBy.
 func (r *Registry) Pin(name, version string) error {
+	return r.pin("registry", name, version, false)
+}
+
+// PinBy pins on behalf of a developer: it fails with ErrNotOwner unless
+// dev is the module's owner (its first publisher). The ownership check
+// and the pin happen inside one mutation, against the same catalogue
+// snapshot — there is no check-then-act window in which a concurrent
+// publish could change what is being authorized.
+func (r *Registry) PinBy(dev, name, version string) error {
+	return r.pin(dev, name, version, true)
+}
+
+func (r *Registry) pin(dev, name, version string, enforceOwner bool) error {
 	err := r.mutate(func(c *catalogue) error {
 		m, ok := c.modules[name]
 		if !ok {
 			return ErrNotFound
+		}
+		if enforceOwner && m.owner != dev {
+			return ErrNotOwner
 		}
 		if version != "" {
 			if _, ok := m.versions[version]; !ok {
@@ -358,9 +393,9 @@ func (r *Registry) Pin(name, version string) error {
 	}
 	if r.log != nil {
 		if version == "" {
-			r.log.Appendf(audit.KindUpload, "registry", name, "pin cleared")
+			r.log.Appendf(audit.KindUpload, dev, name, "pin cleared")
 		} else {
-			r.log.Appendf(audit.KindUpload, "registry", name+"@"+version, "pinned")
+			r.log.Appendf(audit.KindUpload, dev, name+"@"+version, "pinned")
 		}
 	}
 	return nil
@@ -398,6 +433,10 @@ func (r *Registry) Fork(dev, srcModule, srcVersion, newModule, newVersion string
 
 // Modules lists all module names, sorted.
 func (r *Registry) Modules() []string { return r.View().Modules() }
+
+// Owner returns the module's owner — its first publisher, the only
+// developer who may add versions or pin.
+func (r *Registry) Owner(name string) (string, error) { return r.View().Owner(name) }
 
 // Versions lists a module's versions in upload order.
 func (r *Registry) Versions(name string) ([]string, error) {
@@ -527,6 +566,15 @@ func (v View) GetByHash(hash string) (*Version, error) {
 // Modules lists all module names, sorted.
 func (v View) Modules() []string {
 	return append([]string(nil), v.c.names...)
+}
+
+// Owner returns the module's owner (its first publisher).
+func (v View) Owner(name string) (string, error) {
+	m, ok := v.c.modules[name]
+	if !ok {
+		return "", ErrNotFound
+	}
+	return m.owner, nil
 }
 
 // Versions lists a module's versions in upload order.

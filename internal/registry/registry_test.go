@@ -248,3 +248,74 @@ func TestClockInjection(t *testing.T) {
 		t.Errorf("Uploaded = %v", v.Uploaded)
 	}
 }
+
+// TestModuleOwnership pins the anti-hijack invariant: the first
+// publisher of a module name owns it, and only the owner may add
+// versions or pin. Everyone else must fork, which creates a module the
+// forker owns.
+func TestModuleOwnership(t *testing.T) {
+	r := New(nil)
+	prog := tinyProgram(t)
+	upload(t, r, "m", "1.0", "alice", true)
+
+	// A different developer cannot publish a new "latest" into m.
+	_, err := r.Put(Upload{Module: "m", Version: "2.0", Developer: "mallory", Program: prog})
+	if !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("hijack publish: err = %v, want ErrNotOwner", err)
+	}
+	if got, _ := r.Get("m", ""); got == nil || got.Version != "1.0" {
+		t.Fatalf("latest after refused hijack = %v", got)
+	}
+	// The owner still can.
+	upload(t, r, "m", "2.0", "alice", true)
+
+	if owner, err := r.Owner("m"); err != nil || owner != "alice" {
+		t.Fatalf("Owner(m) = %q, %v", owner, err)
+	}
+	if _, err := r.Owner("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Owner(nope): %v", err)
+	}
+
+	// Forking is the outsider's customization path; the fork is theirs.
+	fv, err := r.Fork("mallory", "m", "", "m-fork", "1.0")
+	if err != nil {
+		t.Fatalf("fork: %v", err)
+	}
+	if owner, _ := r.Owner("m-fork"); owner != "mallory" {
+		t.Fatalf("fork owner = %q", owner)
+	}
+	if fv.ForkOf != "m@2.0" {
+		t.Fatalf("fork ancestry = %q", fv.ForkOf)
+	}
+	// ...and the original owner cannot push into the fork either.
+	if _, err := r.Put(Upload{Module: "m-fork", Version: "2.0", Developer: "alice", Program: prog}); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("publish into fork: %v, want ErrNotOwner", err)
+	}
+
+	// PinBy anchors pin rights to the owner, not to any version's
+	// developer, and checks inside the mutation.
+	if err := r.PinBy("mallory", "m", "1.0"); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("hijack pin: %v, want ErrNotOwner", err)
+	}
+	if err := r.PinBy("alice", "m", "1.0"); err != nil {
+		t.Fatalf("owner pin: %v", err)
+	}
+	if got, _ := r.Get("m", ""); got.Version != "1.0" {
+		t.Fatalf("pinned latest = %v", got.Version)
+	}
+	if err := r.PinBy("alice", "m", "9.9"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("pin missing version: %v", err)
+	}
+	if err := r.PinBy("alice", "nope", ""); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("pin missing module: %v", err)
+	}
+
+	// The deps bound refuses oversized dependency lists up front.
+	big := make([]string, MaxDeps+1)
+	for i := range big {
+		big[i] = "d"
+	}
+	if _, err := r.Put(Upload{Module: "deps", Version: "1", Developer: "d", Program: prog, Deps: big}); !errors.Is(err, ErrBadModule) {
+		t.Fatalf("oversized deps: %v, want ErrBadModule", err)
+	}
+}
